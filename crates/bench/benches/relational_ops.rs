@@ -1,0 +1,49 @@
+//! Microbenchmarks of the relational substrate: multi-way joins, boundary
+//! queries and degree statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsyn_datagen::{random_star, zipf_two_table};
+use dpsyn_noise::seeded_rng;
+use dpsyn_relational::join_size;
+use dpsyn_sensitivity::boundary_query;
+use std::time::Duration;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational/join");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[200usize, 800] {
+        let mut rng = seeded_rng(1);
+        let (query, instance) = zipf_two_table(64, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("two_table", n), &n, |b, _| {
+            b.iter(|| join_size(&query, &instance).unwrap())
+        });
+    }
+    for &m in &[3usize, 4] {
+        let mut rng = seeded_rng(2);
+        let (query, instance) = random_star(m, 32, 200, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("star", m), &m, |b, _| {
+            b.iter(|| join_size(&query, &instance).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational/boundary_query");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(3);
+    let (query, instance) = random_star(3, 32, 300, 1.0, &mut rng);
+    group.bench_function("T_E star3", |b| {
+        b.iter(|| {
+            let mut total = 0u128;
+            for e in [&[0usize][..], &[0, 1], &[1, 2]] {
+                total += boundary_query(&query, &instance, e).unwrap();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_boundary_queries);
+criterion_main!(benches);

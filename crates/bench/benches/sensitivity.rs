@@ -1,0 +1,40 @@
+//! E7 benchmark: residual-sensitivity computation time versus input size and
+//! number of relations (Definition 3.6's polynomial-time claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsyn_datagen::random_star;
+use dpsyn_noise::seeded_rng;
+use dpsyn_sensitivity::{local_sensitivity, residual_sensitivity};
+use std::time::Duration;
+
+fn bench_residual_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity/residual");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let beta = 1.0 / 13.8; // λ at ε = 1, δ = 1e-6
+    for &n in &[200usize, 800] {
+        for &m in &[2usize, 3] {
+            let mut rng = seeded_rng(n as u64 + m as u64);
+            let (query, instance) = random_star(m, 32, n / m, 1.0, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("m{m}"), n),
+                &n,
+                |b, _| b.iter(|| residual_sensitivity(&query, &instance, beta).unwrap().value),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_local_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity/local");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(9);
+    let (query, instance) = random_star(3, 32, 300, 1.0, &mut rng);
+    group.bench_function("star3 n=900", |b| {
+        b.iter(|| local_sensitivity(&query, &instance).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_residual_sensitivity, bench_local_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! E9 — empirical privacy accounting.
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_accounting [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E9 — empirical privacy accounting", dpsyn_bench::exp_accounting);
+}

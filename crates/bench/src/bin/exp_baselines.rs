@@ -1,0 +1,9 @@
+//! E6 — synthetic data vs per-query Laplace (Sec. 1.2).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_baselines [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E6 — synthetic data vs per-query Laplace (Sec. 1.2)", dpsyn_bench::exp_baselines);
+}

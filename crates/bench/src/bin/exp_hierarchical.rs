@@ -1,0 +1,9 @@
+//! E5 — hierarchical uniformization (Sec. 4.2 / Thm C.2).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_hierarchical [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E5 — hierarchical uniformization (Sec. 4.2 / Thm C.2)", dpsyn_bench::exp_hierarchical);
+}

@@ -1,0 +1,9 @@
+//! E1 — distinguishing attack (Fig. 1 / Example 3.1).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_privacy_attack [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E1 — distinguishing attack (Fig. 1 / Example 3.1)", dpsyn_bench::exp_privacy_attack);
+}

@@ -1,0 +1,9 @@
+//! E7 — residual sensitivity runtime (Def. 3.6).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_sensitivity_scaling [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E7 — residual sensitivity runtime (Def. 3.6)", dpsyn_bench::exp_sensitivity_scaling);
+}

@@ -1,0 +1,9 @@
+//! E2 — two-table error vs OUT (Theorems 3.3 / 3.5).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_two_table_error [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E2 — two-table error vs OUT (Theorems 3.3 / 3.5)", dpsyn_bench::exp_two_table_error);
+}

@@ -1,0 +1,9 @@
+//! E3 — uniformization gain (Fig. 3 / Example 4.2 / Thm 4.4, 4.5).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_uniformize_gain [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E3 — uniformization gain (Fig. 3 / Example 4.2 / Thm 4.4, 4.5)", dpsyn_bench::exp_uniformize_gain);
+}

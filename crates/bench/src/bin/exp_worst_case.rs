@@ -1,0 +1,9 @@
+//! E8 — worst-case error (Appendix B.3).
+//!
+//! Usage: `cargo run --release -p dpsyn-bench --bin exp_worst_case [--quick] [--json]`
+//! See `EXPERIMENTS.md` for the recorded output and the paper claim it
+//! reproduces.
+
+fn main() {
+    dpsyn_bench::run_cli("E8 — worst-case error (Appendix B.3)", dpsyn_bench::exp_worst_case);
+}

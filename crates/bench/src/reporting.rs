@@ -1,0 +1,101 @@
+//! Plain-text / JSON reporting shared by the experiment binaries.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One row of an experiment's output: a label plus named numeric columns.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Row {
+    /// Row label (e.g. the swept parameter value).
+    pub label: String,
+    /// Named numeric columns, in insertion order of the experiment.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// Creates a row with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a named value (builder style).
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.values.insert(key.to_string(), value);
+        self
+    }
+}
+
+/// Prints rows as an aligned plain-text table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let mut columns: Vec<String> = Vec::new();
+    for row in rows {
+        for key in row.values.keys() {
+            if !columns.contains(key) {
+                columns.push(key.clone());
+            }
+        }
+    }
+    print!("{:<16}", "case");
+    for c in &columns {
+        print!(" {c:>18}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<16}", row.label);
+        for c in &columns {
+            match row.values.get(c) {
+                Some(v) => print!(" {v:>18.3}"),
+                None => print!(" {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Standard CLI wrapper used by every experiment binary: `--json` emits the
+/// rows as JSON, `--quick` is forwarded to the experiment to shrink the sweep.
+pub fn run_cli(title: &str, run: impl Fn(bool) -> Vec<Row>) {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows = run(quick);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize to JSON")
+        );
+    } else {
+        print_table(title, &rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builder_and_table_do_not_panic() {
+        let rows = vec![
+            Row::new("n=8").with("error", 1.5).with("bound", 3.0),
+            Row::new("n=16").with("error", 2.5),
+        ];
+        print_table("smoke", &rows);
+        print_table("empty", &[]);
+        assert_eq!(rows[0].values.len(), 2);
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let row = Row::new("x").with("v", 1.0);
+        let s = serde_json::to_string(&row).unwrap();
+        assert!(s.contains("\"label\""));
+    }
+}

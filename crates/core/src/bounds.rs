@@ -1,0 +1,168 @@
+//! Closed-form predictions from the paper's theorems, used by the experiment
+//! harness to plot measured error against the predicted upper and lower
+//! bounds (shape reproduction).
+//!
+//! All bounds are stated up to constants and poly-logarithmic factors; the
+//! harness reports them as guide curves, never as pass/fail thresholds on
+//! absolute values.
+
+use dpsyn_pmw::{f_lower, f_upper};
+
+/// Theorem 3.3 (two-table upper bound):
+/// `O((√(count·(Δ+λ)) + (Δ+λ)·√λ) · f_upper)`.
+pub fn two_table_upper_bound(
+    count: f64,
+    local_sensitivity: f64,
+    lambda: f64,
+    log2_domain: f64,
+    num_queries: usize,
+    epsilon: f64,
+    delta: f64,
+) -> f64 {
+    let d = local_sensitivity + lambda;
+    ((count * d).sqrt() + d * lambda.sqrt())
+        * f_upper(log2_domain, num_queries, epsilon, delta)
+}
+
+/// Theorem 3.5 / Theorem 1.6 (parameterised lower bound):
+/// `Ω̃(min{OUT, √(OUT·Δ)·f_lower})`.
+pub fn parameterized_lower_bound(
+    out: f64,
+    local_sensitivity: f64,
+    log2_domain: f64,
+    epsilon: f64,
+) -> f64 {
+    let lower = (out * local_sensitivity).sqrt() * f_lower(log2_domain, epsilon);
+    out.min(lower)
+}
+
+/// Theorem 1.5 (multi-table upper bound):
+/// `O((√(count·RS^β) + RS^β·√λ) · f_upper)`.
+pub fn multi_table_upper_bound(
+    count: f64,
+    residual_sensitivity: f64,
+    lambda: f64,
+    log2_domain: f64,
+    num_queries: usize,
+    epsilon: f64,
+    delta: f64,
+) -> f64 {
+    ((count * residual_sensitivity).sqrt() + residual_sensitivity * lambda.sqrt())
+        * f_upper(log2_domain, num_queries, epsilon, delta)
+}
+
+/// Theorem 4.4 (uniformized two-table upper bound): given the per-bucket join
+/// sizes of the *uniform partition* (`bucket_counts[i]` is `count(I^{i+1})`,
+/// i.e. bucket indices start at 1),
+/// `O((λ^{3/2}(Δ+λ) + Σ_i √(count(I^i)·2^i·λ)) · f_upper)`.
+pub fn uniformized_upper_bound(
+    bucket_counts: &[(usize, f64)],
+    local_sensitivity: f64,
+    lambda: f64,
+    log2_domain: f64,
+    num_queries: usize,
+    epsilon: f64,
+    delta: f64,
+) -> f64 {
+    let sum: f64 = bucket_counts
+        .iter()
+        .map(|&(i, count)| (count * (2.0f64).powi(i as i32) * lambda).sqrt())
+        .sum();
+    (lambda.powf(1.5) * (local_sensitivity + lambda) + sum)
+        * f_upper(log2_domain, num_queries, epsilon, delta)
+}
+
+/// Theorem 4.5 (uniformized two-table lower bound):
+/// `Ω̃(max_i min{OUT_i, √(OUT_i·2^i·λ)·f_lower})`.
+pub fn uniformized_lower_bound(
+    bucket_counts: &[(usize, f64)],
+    lambda: f64,
+    log2_domain: f64,
+    epsilon: f64,
+) -> f64 {
+    bucket_counts
+        .iter()
+        .map(|&(i, out)| {
+            let alt = (out * (2.0f64).powi(i as i32) * lambda).sqrt() * f_lower(log2_domain, epsilon);
+            out.min(alt)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Appendix B.3 worst-case error (annotated relations): `Õ(n^{m - 1/2})`.
+pub fn worst_case_error_annotated(n: f64, m: usize) -> f64 {
+    n.powf(m as f64 - 0.5)
+}
+
+/// Appendix B.3 worst-case error (set-valued relations):
+/// `Õ(√(n^{ρ(H)} · max_E n^{ρ(H_{E,∂E})}))` given the two exponents.
+pub fn worst_case_error_set_valued(n: f64, rho_full: f64, rho_residual: f64) -> f64 {
+    (n.powf(rho_full) * n.powf(rho_residual)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_table_bound_orders_scale_correctly() {
+        let b1 = two_table_upper_bound(1_000.0, 10.0, 5.0, 12.0, 64, 1.0, 1e-6);
+        let b2 = two_table_upper_bound(4_000.0, 10.0, 5.0, 12.0, 64, 1.0, 1e-6);
+        // √count scaling: quadrupling the join size roughly doubles the bound.
+        assert!(b2 / b1 > 1.7 && b2 / b1 < 2.2, "ratio = {}", b2 / b1);
+        // Larger Δ gives a larger bound.
+        assert!(two_table_upper_bound(1_000.0, 100.0, 5.0, 12.0, 64, 1.0, 1e-6) > b1);
+    }
+
+    #[test]
+    fn lower_bound_is_dominated_by_out() {
+        // For tiny OUT the min picks OUT itself.
+        let lb = parameterized_lower_bound(4.0, 100.0, 20.0, 1.0);
+        assert_eq!(lb, 4.0);
+        // For large OUT the √(OUT·Δ) branch applies and sits below OUT.
+        let lb = parameterized_lower_bound(1e6, 10.0, 20.0, 1.0);
+        assert!(lb < 1e6);
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        // On matching parameters the Theorem 3.3 upper bound must sit above
+        // the Theorem 3.5 lower bound (sanity of the implementation, the
+        // theorems guarantee it up to log factors).
+        for &(count, delta) in &[(100.0, 2.0), (10_000.0, 16.0), (1e6, 64.0)] {
+            let up = two_table_upper_bound(count, delta, 5.0, 16.0, 128, 1.0, 1e-6);
+            let low = parameterized_lower_bound(count, delta, 16.0, 1.0);
+            assert!(up >= low, "count {count}, Δ {delta}: {up} < {low}");
+        }
+    }
+
+    #[test]
+    fn uniformized_bound_beats_join_as_one_on_skewed_profiles() {
+        // Example 4.2 style profile: many light buckets, one heavy bucket.
+        let lambda = 2.0;
+        let buckets = vec![(1usize, 4096.0), (2, 2048.0), (3, 1024.0), (8, 512.0)];
+        let total: f64 = buckets.iter().map(|&(_, c)| c).sum();
+        let delta = lambda * (2.0f64).powi(8);
+        let uni = uniformized_upper_bound(&buckets, delta, lambda, 16.0, 128, 1.0, 1e-6);
+        let joined = two_table_upper_bound(total, delta, lambda, 16.0, 128, 1.0, 1e-6);
+        assert!(uni < joined, "uniformized {uni} vs join-as-one {joined}");
+    }
+
+    #[test]
+    fn uniformized_lower_bound_takes_the_max_over_buckets() {
+        let lambda = 2.0;
+        let buckets = vec![(1usize, 100.0), (5, 10_000.0)];
+        let lb = uniformized_lower_bound(&buckets, lambda, 16.0, 1.0);
+        let lb_heavy = uniformized_lower_bound(&[(5usize, 10_000.0)], lambda, 16.0, 1.0);
+        assert!((lb - lb_heavy).abs() < 1e-9);
+        assert_eq!(uniformized_lower_bound(&[], lambda, 16.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn worst_case_bounds() {
+        assert!((worst_case_error_annotated(100.0, 2) - 100.0f64.powf(1.5)).abs() < 1e-6);
+        let wc = worst_case_error_set_valued(100.0, 2.0, 1.0);
+        assert!((wc - 100.0f64.powf(1.5)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the release algorithms.
+
+use std::fmt;
+
+use dpsyn_noise::NoiseError;
+use dpsyn_pmw::PmwError;
+use dpsyn_query::QueryError;
+use dpsyn_relational::RelationalError;
+use dpsyn_sensitivity::SensitivityError;
+
+/// Errors raised by the multi-table release algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReleaseError {
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+    /// A DP primitive rejected its parameters.
+    Noise(NoiseError),
+    /// A sensitivity computation failed.
+    Sensitivity(SensitivityError),
+    /// A query-evaluation operation failed.
+    Query(QueryError),
+    /// The PMW sub-routine failed.
+    Pmw(PmwError),
+    /// The algorithm requires a two-table join query.
+    RequiresTwoTable {
+        /// Number of relations actually supplied.
+        got: usize,
+    },
+    /// The algorithm requires a hierarchical join query.
+    RequiresHierarchical(String),
+    /// The requested privacy parameters cannot be used by this algorithm
+    /// (e.g. `δ = 0` where a truncated-Laplace calibration is required).
+    UnsupportedPrivacyParams(String),
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReleaseError::Relational(e) => write!(f, "relational error: {e}"),
+            ReleaseError::Noise(e) => write!(f, "noise error: {e}"),
+            ReleaseError::Sensitivity(e) => write!(f, "sensitivity error: {e}"),
+            ReleaseError::Query(e) => write!(f, "query error: {e}"),
+            ReleaseError::Pmw(e) => write!(f, "PMW error: {e}"),
+            ReleaseError::RequiresTwoTable { got } => {
+                write!(f, "this algorithm requires a two-table query, got {got} relations")
+            }
+            ReleaseError::RequiresHierarchical(msg) => {
+                write!(f, "this algorithm requires a hierarchical join query: {msg}")
+            }
+            ReleaseError::UnsupportedPrivacyParams(msg) => {
+                write!(f, "unsupported privacy parameters: {msg}")
+            }
+            ReleaseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReleaseError::Relational(e) => Some(e),
+            ReleaseError::Noise(e) => Some(e),
+            ReleaseError::Sensitivity(e) => Some(e),
+            ReleaseError::Query(e) => Some(e),
+            ReleaseError::Pmw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for ReleaseError {
+    fn from(e: RelationalError) -> Self {
+        ReleaseError::Relational(e)
+    }
+}
+impl From<NoiseError> for ReleaseError {
+    fn from(e: NoiseError) -> Self {
+        ReleaseError::Noise(e)
+    }
+}
+impl From<SensitivityError> for ReleaseError {
+    fn from(e: SensitivityError) -> Self {
+        ReleaseError::Sensitivity(e)
+    }
+}
+impl From<QueryError> for ReleaseError {
+    fn from(e: QueryError) -> Self {
+        ReleaseError::Query(e)
+    }
+}
+impl From<PmwError> for ReleaseError {
+    fn from(e: PmwError) -> Self {
+        ReleaseError::Pmw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ReleaseError = RelationalError::EmptyQuery.into();
+        assert!(e.to_string().contains("relational"));
+        let e: ReleaseError = NoiseError::EmptyCandidateSet.into();
+        assert!(e.to_string().contains("noise"));
+        let e = ReleaseError::RequiresTwoTable { got: 5 };
+        assert!(e.to_string().contains("5"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: ReleaseError = PmwError::InvalidConfig("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,498 @@
+//! Algorithms 6 and 7: uniformization for hierarchical join queries, and the
+//! corresponding release (Algorithm 4 instantiated with the hierarchical
+//! partition).
+//!
+//! The attribute tree of a hierarchical query is walked bottom-up
+//! (Algorithm 6); at each attribute `x`, every current sub-instance is further
+//! decomposed (Algorithm 7) by bucketing the tuples over `x`'s ancestors `y`
+//! according to the noisy degree `deg_{atom(x), y}` — exactly the maximum
+//! degrees that, by Lemma 4.8, control the residual sensitivity.  Each
+//! resulting sub-instance is characterised by a *degree configuration*
+//! (Definition 4.9) and is released with `MultiTable` (Algorithm 3); the union
+//! of the synthetic datasets is returned.
+//!
+//! ### Privacy accounting
+//!
+//! Unlike the two-table case, a tuple of a relation *outside* `atom(x)` is
+//! replicated into every bucket, so a tuple can reach up to `ℓ^c` sub-instances
+//! (Lemma 4.10), and the overall guarantee degrades to
+//! `(O(ℓ^c)·ε, O(ℓ^c)·δ)` (Lemma 4.11).  This implementation makes the
+//! accounting concrete and conservative: given a *target* `(ε, δ)`, it
+//! computes the replication bound `G` from the query structure and a public
+//! upper bound on the input size, and runs every noisy degree computation and
+//! every per-sub-instance `MultiTable` call with budget `(ε/(2G·V), δ/(2G·V))`
+//! and `(ε/(2G), δ/(2G))` respectively (`V` = number of tree attributes), so
+//! that the released union satisfies the target `(ε, δ)` under the Lemma 4.11
+//! bookkeeping.  Utility therefore degrades with `G`; the experiments use
+//! small trees where `G` stays moderate.
+
+use std::collections::BTreeMap;
+
+use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
+use dpsyn_pmw::{Histogram, PmwConfig};
+use dpsyn_query::QueryFamily;
+use dpsyn_relational::{
+    deg_multi, AttrId, AttributeTree, Instance, JoinQuery, Value,
+};
+use dpsyn_sensitivity::config::{bucket_of, DegreeConfiguration};
+use rand::Rng;
+
+use crate::error::ReleaseError;
+use crate::multi_table::MultiTable;
+use crate::release::{ReleaseKind, SyntheticRelease};
+use crate::Result;
+
+/// Configuration of the hierarchical release.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalConfig {
+    /// PMW configuration forwarded to the per-sub-instance `MultiTable` calls.
+    pub pmw: PmwConfig,
+    /// Public upper bound on the input size, used only to bound the number of
+    /// degree buckets `ℓ = ⌈log₂(n_upper/λ)⌉ + 1` in the privacy accounting.
+    /// When `None`, the actual input size is used (matching the paper's
+    /// parameterisation of ℓ by `n`, at the cost of treating `n` as public).
+    pub n_upper: Option<u64>,
+    /// Caps the number of sub-instances (a safety valve against pathological
+    /// bucket explosions; never hit in the paper's regimes).
+    pub max_sub_instances: usize,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            pmw: PmwConfig::default(),
+            n_upper: None,
+            max_sub_instances: 4096,
+        }
+    }
+}
+
+/// One sub-instance produced by the hierarchical partition, together with the
+/// degree configuration that characterises it (Lemma 4.10, third property).
+#[derive(Debug, Clone)]
+pub struct HierarchicalPart {
+    /// The sub-instance.
+    pub sub_instance: Instance,
+    /// The degree configuration σ (bucket per decomposed attribute).
+    pub configuration: DegreeConfiguration,
+}
+
+/// Algorithm 7: `Decompose_{ε,δ}(I, x)` — splits one sub-instance by the
+/// noisy degrees of attribute `x` over its ancestors.
+fn decompose<R: Rng>(
+    query: &JoinQuery,
+    tree: &AttributeTree,
+    part: &HierarchicalPart,
+    attr: AttrId,
+    params: PrivacyParams,
+    lambda: f64,
+    rng: &mut R,
+) -> Result<Vec<HierarchicalPart>> {
+    let relations = query.atom(attr);
+    if relations.is_empty() {
+        // Attribute unused by the query: nothing to decompose.
+        return Ok(vec![part.clone()]);
+    }
+    let ancestors = tree.ancestors(attr);
+    let instance = &part.sub_instance;
+
+    // Noisy degree per ancestor tuple (Algorithm 7, lines 3-6).  Only tuples
+    // with non-zero degree matter: zero-degree ancestor tuples induce empty
+    // sub-relations.
+    let degrees = deg_multi(query, instance, &relations, &ancestors)?;
+    let tlap = TruncatedLaplace::calibrated(params.epsilon(), params.delta(), 1.0)?;
+    let mut bucket_members: BTreeMap<usize, std::collections::BTreeSet<Vec<Value>>> =
+        BTreeMap::new();
+    for (tuple, deg) in &degrees {
+        let noisy = *deg as f64 + tlap.sample(rng);
+        bucket_members
+            .entry(bucket_of(noisy, lambda))
+            .or_default()
+            .insert(tuple.clone());
+    }
+    if bucket_members.is_empty() {
+        // The relations of atom(x) are empty in this sub-instance; keep it as
+        // a single (still empty on those relations) part labelled bucket 1.
+        let mut configuration = part.configuration.clone();
+        configuration.set(attr, 1);
+        return Ok(vec![HierarchicalPart {
+            sub_instance: instance.clone(),
+            configuration,
+        }]);
+    }
+
+    // Build one sub-instance per non-empty bucket (lines 7-10).
+    let mut out = Vec::with_capacity(bucket_members.len());
+    for (bucket, members) in bucket_members {
+        let mut relations_out = Vec::with_capacity(instance.num_relations());
+        for j in 0..instance.num_relations() {
+            if relations.contains(&j) {
+                relations_out.push(instance.relation(j).restrict(&ancestors, &members)?);
+            } else {
+                relations_out.push(instance.relation(j).clone());
+            }
+        }
+        let mut configuration = part.configuration.clone();
+        configuration.set(attr, bucket);
+        out.push(HierarchicalPart {
+            sub_instance: Instance::new(relations_out),
+            configuration,
+        });
+    }
+    Ok(out)
+}
+
+/// Algorithm 6: `Partition-Hierarchical_{ε,δ}(H, I)` — walks the attribute
+/// tree bottom-up and decomposes every current sub-instance at every
+/// attribute.  `params` is the budget of a *single* noisy-degree mechanism;
+/// the caller is responsible for the Lemma 4.11 accounting.
+pub fn partition_hierarchical<R: Rng>(
+    query: &JoinQuery,
+    instance: &Instance,
+    per_step: PrivacyParams,
+    lambda: f64,
+    max_sub_instances: usize,
+    rng: &mut R,
+) -> Result<Vec<HierarchicalPart>> {
+    let tree = AttributeTree::build(query)
+        .map_err(|e| ReleaseError::RequiresHierarchical(e.to_string()))?;
+    let mut parts = vec![HierarchicalPart {
+        sub_instance: instance.clone(),
+        configuration: DegreeConfiguration::new(),
+    }];
+    for &attr in tree.bottom_up_order() {
+        let mut next = Vec::new();
+        for part in &parts {
+            next.extend(decompose(query, &tree, part, attr, per_step, lambda, rng)?);
+            if next.len() > max_sub_instances {
+                return Err(ReleaseError::InvalidConfig(format!(
+                    "hierarchical partition produced more than {max_sub_instances} sub-instances; \
+                     raise HierarchicalConfig::max_sub_instances"
+                )));
+            }
+        }
+        parts = next;
+    }
+    Ok(parts)
+}
+
+/// Algorithm 4 instantiated with the hierarchical partition: decompose, run
+/// `MultiTable` on every sub-instance, union the releases.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchicalRelease {
+    config: HierarchicalConfig,
+}
+
+impl HierarchicalRelease {
+    /// Creates the algorithm with a custom configuration.
+    pub fn new(config: HierarchicalConfig) -> Self {
+        HierarchicalRelease { config }
+    }
+
+    /// The replication bound `G = ℓ^c` of Lemma 4.10/4.11 used by the privacy
+    /// accounting: `ℓ` is the number of degree buckets and `c` the maximum,
+    /// over relations `j`, of the number of tree attributes whose `atom` does
+    /// not contain `j` (each such decomposition can replicate `R_j`'s tuples).
+    pub fn replication_bound(
+        query: &JoinQuery,
+        n_upper: u64,
+        lambda: f64,
+    ) -> Result<f64> {
+        let tree = AttributeTree::build(query)
+            .map_err(|e| ReleaseError::RequiresHierarchical(e.to_string()))?;
+        let ell = ((n_upper.max(2) as f64 / lambda.max(1e-9)).log2().ceil()).max(1.0) + 1.0;
+        let mut c_max = 0usize;
+        for j in 0..query.num_relations() {
+            let c = tree
+                .bottom_up_order()
+                .iter()
+                .filter(|&&x| !query.atom(x).contains(&j) && !query.atom(x).is_empty())
+                .count();
+            c_max = c_max.max(c);
+        }
+        Ok(ell.powi(c_max as i32))
+    }
+
+    /// Runs the hierarchical release with an overall target of `params`.
+    pub fn release<R: Rng>(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<SyntheticRelease> {
+        if params.delta() <= 0.0 {
+            return Err(ReleaseError::UnsupportedPrivacyParams(
+                "the hierarchical release requires δ > 0".to_string(),
+            ));
+        }
+        let lambda = params.lambda();
+        let n_upper = self.config.n_upper.unwrap_or_else(|| instance.input_size());
+        let replication = Self::replication_bound(query, n_upper, lambda)?;
+
+        let tree_size = AttributeTree::build(query)
+            .map_err(|e| ReleaseError::RequiresHierarchical(e.to_string()))?
+            .len()
+            .max(1);
+
+        // Lemma 4.11 bookkeeping: partition noise gets (ε/2, δ/2) divided by
+        // the replication bound and the number of decomposition steps; each
+        // MultiTable call gets (ε/2, δ/2) divided by the replication bound
+        // (sub-instances sharing a tuple compose sequentially up to G times;
+        // disjoint ones compose in parallel).
+        let per_step = PrivacyParams::new(
+            params.epsilon() / (2.0 * replication * tree_size as f64),
+            (params.delta() / (2.0 * replication * tree_size as f64)).max(f64::MIN_POSITIVE),
+        )?;
+        let per_release = PrivacyParams::new(
+            params.epsilon() / (2.0 * replication),
+            (params.delta() / (2.0 * replication)).max(f64::MIN_POSITIVE),
+        )?;
+
+        let parts = partition_hierarchical(
+            query,
+            instance,
+            per_step,
+            lambda,
+            self.config.max_sub_instances,
+            rng,
+        )?;
+
+        let inner = MultiTable::new(self.config.pmw);
+        let mut combined: Option<SyntheticRelease> = None;
+        for part in &parts {
+            // Skip sub-instances with no data at all; their release would be
+            // pure padding noise and the paper's union only ranges over
+            // non-empty buckets.
+            if part.sub_instance.input_size() == 0 {
+                continue;
+            }
+            let release = inner.release(query, &part.sub_instance, family, per_release, rng)?;
+            match &mut combined {
+                None => combined = Some(release),
+                Some(c) => c.absorb(&release)?,
+            }
+        }
+
+        let combined = match combined {
+            Some(c) => c,
+            None => SyntheticRelease::new(
+                query.clone(),
+                Histogram::zeros(query, self.config.pmw.max_domain_cells)?,
+                ReleaseKind::Hierarchical,
+                params,
+                0.0,
+                0,
+                0.0,
+            ),
+        };
+
+        Ok(SyntheticRelease::new(
+            query.clone(),
+            combined.histogram().clone(),
+            ReleaseKind::Hierarchical,
+            params,
+            combined.noisy_total(),
+            combined.parts(),
+            combined.delta_tilde(),
+        ))
+    }
+
+    /// Exposes the partition for diagnostics (degree configurations and
+    /// per-part instances), using the same per-step budget split as
+    /// [`HierarchicalRelease::release`].
+    pub fn partition<R: Rng>(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<Vec<HierarchicalPart>> {
+        let lambda = params.lambda();
+        let n_upper = self.config.n_upper.unwrap_or_else(|| instance.input_size());
+        let replication = Self::replication_bound(query, n_upper, lambda)?;
+        let tree_size = AttributeTree::build(query)
+            .map_err(|e| ReleaseError::RequiresHierarchical(e.to_string()))?
+            .len()
+            .max(1);
+        let per_step = PrivacyParams::new(
+            params.epsilon() / (2.0 * replication * tree_size as f64),
+            (params.delta() / (2.0 * replication * tree_size as f64)).max(f64::MIN_POSITIVE),
+        )?;
+        partition_hierarchical(
+            query,
+            instance,
+            per_step,
+            lambda,
+            self.config.max_sub_instances,
+            rng,
+        )
+    }
+}
+
+/// Checks the first property of Lemma 4.10 on a concrete partition: the join
+/// results of the sub-instances are disjoint and their union is the join
+/// result of the original instance (i.e. join sizes add up and every original
+/// join tuple is covered exactly once).
+pub fn verify_hierarchical_partition(
+    query: &JoinQuery,
+    instance: &Instance,
+    parts: &[HierarchicalPart],
+) -> Result<bool> {
+    let full = dpsyn_relational::join(query, instance)?;
+    let mut recombined: BTreeMap<Vec<Value>, u128> = BTreeMap::new();
+    for part in parts {
+        let j = dpsyn_relational::join(query, &part.sub_instance)?;
+        for (t, w) in j.iter() {
+            *recombined.entry(t.clone()).or_insert(0) += w;
+        }
+    }
+    let original: BTreeMap<Vec<Value>, u128> =
+        full.iter().map(|(t, w)| (t.clone(), w)).collect();
+    Ok(recombined == original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_noise::seeded_rng;
+    use dpsyn_relational::join_size;
+
+    /// A small, skewed star instance (hierarchical): hub attribute B with one
+    /// heavy hub value and several light ones.
+    fn star_instance() -> (JoinQuery, Instance) {
+        let q = JoinQuery::star(2, 32).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        // Heavy hub value 0: 8 tuples in each relation.
+        for a in 0..8u64 {
+            inst.relation_mut(0).add(vec![0, a], 1).unwrap();
+            inst.relation_mut(1).add(vec![0, a], 1).unwrap();
+        }
+        // Light hub values 1..6: single tuple per relation.
+        for b in 1..6u64 {
+            inst.relation_mut(0).add(vec![b, 0], 1).unwrap();
+            inst.relation_mut(1).add(vec![b, 0], 1).unwrap();
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn partition_preserves_the_join_exactly() {
+        let (q, inst) = star_instance();
+        let per_step = PrivacyParams::new(4.0, 1e-3).unwrap();
+        let mut rng = seeded_rng(1);
+        let parts =
+            partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
+        assert!(!parts.is_empty());
+        assert!(verify_hierarchical_partition(&q, &inst, &parts).unwrap());
+        // Join sizes add up.
+        let total: u128 = parts
+            .iter()
+            .map(|p| join_size(&q, &p.sub_instance).unwrap())
+            .sum();
+        assert_eq!(total, join_size(&q, &inst).unwrap());
+    }
+
+    #[test]
+    fn every_part_has_a_complete_degree_configuration() {
+        let (q, inst) = star_instance();
+        let per_step = PrivacyParams::new(4.0, 1e-3).unwrap();
+        let mut rng = seeded_rng(2);
+        let parts =
+            partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
+        let tree = AttributeTree::build(&q).unwrap();
+        for part in &parts {
+            for &attr in tree.bottom_up_order() {
+                assert!(
+                    part.configuration.bucket(attr).is_some(),
+                    "attribute {attr} missing from configuration"
+                );
+            }
+        }
+        // Distinct parts carry distinct configurations.
+        let mut configs: Vec<_> = parts.iter().map(|p| p.configuration.clone()).collect();
+        configs.sort();
+        configs.dedup();
+        assert_eq!(configs.len(), parts.len());
+    }
+
+    #[test]
+    fn replication_bound_is_one_for_two_table_like_trees() {
+        // For the two-table query every attribute's atom contains at least one
+        // of the two relations, and the only decompositions that replicate are
+        // those on attributes missing from a relation: A (missing from R2) and
+        // C (missing from R1), so c = 1 and G = ℓ.
+        let q = JoinQuery::two_table(16, 16, 16);
+        let g = HierarchicalRelease::replication_bound(&q, 100, 10.0).unwrap();
+        let ell = ((100.0f64 / 10.0).log2().ceil()) + 1.0;
+        assert!((g - ell).abs() < 1e-9, "g = {g}, ell = {ell}");
+        // Non-hierarchical queries are rejected.
+        assert!(HierarchicalRelease::replication_bound(
+            &JoinQuery::path(3, 4).unwrap(),
+            100,
+            10.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn release_answers_queries_on_hierarchical_instances() {
+        let (q, inst) = star_instance();
+        let params = PrivacyParams::new(4.0, 1e-3).unwrap();
+        let mut rng = seeded_rng(7);
+        let family = QueryFamily::random_sign(&q, 6, &mut rng).unwrap();
+        let release = HierarchicalRelease::default()
+            .release(&q, &inst, &family, params, &mut rng)
+            .unwrap();
+        assert_eq!(release.kind(), ReleaseKind::Hierarchical);
+        assert!(release.parts() >= 1);
+        assert_eq!(release.answer_all(&family).unwrap().len(), 6);
+        assert!(release.histogram().weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn rejects_non_hierarchical_queries_and_pure_dp() {
+        let path = JoinQuery::path(3, 4).unwrap();
+        let inst = Instance::empty_for(&path).unwrap();
+        let family = QueryFamily::counting(&path);
+        let mut rng = seeded_rng(4);
+        assert!(matches!(
+            HierarchicalRelease::default().release(
+                &path,
+                &inst,
+                &family,
+                PrivacyParams::new(1.0, 1e-6).unwrap(),
+                &mut rng
+            ),
+            Err(ReleaseError::RequiresHierarchical(_))
+        ));
+        let star = JoinQuery::star(2, 4).unwrap();
+        let inst = Instance::empty_for(&star).unwrap();
+        let family = QueryFamily::counting(&star);
+        assert!(matches!(
+            HierarchicalRelease::default().release(
+                &star,
+                &inst,
+                &family,
+                PrivacyParams::pure(1.0).unwrap(),
+                &mut rng
+            ),
+            Err(ReleaseError::UnsupportedPrivacyParams(_))
+        ));
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_release() {
+        let q = JoinQuery::star(2, 8).unwrap();
+        let inst = Instance::empty_for(&q).unwrap();
+        let params = PrivacyParams::new(1.0, 1e-4).unwrap();
+        let mut rng = seeded_rng(9);
+        let family = QueryFamily::counting(&q);
+        let release = HierarchicalRelease::default()
+            .release(&q, &inst, &family, params, &mut rng)
+            .unwrap();
+        assert_eq!(release.parts(), 0);
+        assert_eq!(release.histogram().total(), 0.0);
+    }
+}

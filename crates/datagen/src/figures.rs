@@ -1,0 +1,202 @@
+//! The concrete instances drawn in the paper's figures and worked examples.
+
+use dpsyn_relational::{AttrId, Attribute, Instance, JoinQuery, Schema};
+
+/// Figure 1: a pair of two-table instances over `dom(A) = dom(C) = [n]`,
+/// `dom(B) = [2n]`, with identical per-relation sizes but join sizes `n²`
+/// (left) and `0` (right).  The pair demonstrates why handing the raw join to
+/// single-table PMW leaks the join size.
+pub fn fig1_pair(n: u64) -> (JoinQuery, Instance, Instance) {
+    let query = JoinQuery::two_table(n, 2 * n, n);
+    let mut left = Instance::empty_for(&query).expect("schema matches");
+    let mut right = Instance::empty_for(&query).expect("schema matches");
+    for j in 0..n {
+        // Left: every R1 tuple uses join value b_1 = 0, and so does every R2 tuple.
+        left.relation_mut(0).add(vec![j, 0], 1).expect("valid tuple");
+        left.relation_mut(1).add(vec![0, j], 1).expect("valid tuple");
+        // Right: R1 uses join values {0..n-1}, R2 uses {n..2n-1} — nothing joins.
+        right.relation_mut(0).add(vec![j, j], 1).expect("valid tuple");
+        right
+            .relation_mut(1)
+            .add(vec![n + j, j], 1)
+            .expect("valid tuple");
+    }
+    (query, left, right)
+}
+
+/// Figure 2 / Theorem 3.5: the hard two-table instance that encodes a
+/// single-table database `T : [d] → Z≥0` and amplifies both the join size and
+/// the local sensitivity by a factor `Δ`.
+///
+/// * `dom(A) = [d]`, `dom(B) = [d·n]` (encoding pairs `(a, copy)`),
+///   `dom(C) = [Δ]`;
+/// * `R1(a, (b1, b2)) = 1` iff `a = b1` and `b2 ≤ T(a)`;
+/// * `R2(b, c) = 1` for every `b` in the active domain of `B` and every `c`.
+///
+/// `n` is the maximum multiplicity (`T(a) ≤ n`); the resulting instance has
+/// join size `Δ·Σ_a T(a)` and local sensitivity `Δ`.
+pub fn fig2_hard_instance(table: &[u64], n: u64, delta: u64) -> (JoinQuery, Instance) {
+    let d = table.len() as u64;
+    let schema = Schema::new(vec![
+        Attribute::new("A", d.max(1)),
+        Attribute::new("B", (d * n).max(1)),
+        Attribute::new("C", delta.max(1)),
+    ]);
+    let query = JoinQuery::new(
+        schema,
+        vec![vec![AttrId(0), AttrId(1)], vec![AttrId(1), AttrId(2)]],
+    )
+    .expect("two-table query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for (a, &count) in table.iter().enumerate() {
+        for copy in 0..count.min(n) {
+            let b = a as u64 * n + copy;
+            inst.relation_mut(0)
+                .add(vec![a as u64, b], 1)
+                .expect("valid tuple");
+            for c in 0..delta {
+                inst.relation_mut(1).add(vec![b, c], 1).expect("valid tuple");
+            }
+        }
+    }
+    (query, inst)
+}
+
+/// Figure 3: the non-uniform two-table instance with `√n`-style degree spread:
+/// for every `d ∈ {1, …, max_degree}` there is exactly one join value whose
+/// degree is `d` in both relations.  Input size `Θ(max_degree²)`, join size
+/// `Θ(max_degree³)`, local sensitivity `max_degree`.
+pub fn fig3_nonuniform(max_degree: u64) -> (JoinQuery, Instance) {
+    let num_values = max_degree;
+    // The non-join attributes only need to distinguish tuples *within* a join
+    // value, so their domains can be as small as the maximum degree — this
+    // keeps the joint domain small enough for dense synthetic histograms.
+    let dom_side = max_degree.max(1);
+    let query = JoinQuery::two_table(dom_side, num_values.max(1), dom_side);
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for b in 0..num_values {
+        let degree = b + 1;
+        for k in 0..degree {
+            inst.relation_mut(0).add(vec![k, b], 1).expect("valid tuple");
+            inst.relation_mut(1).add(vec![b, k], 1).expect("valid tuple");
+        }
+    }
+    (query, inst)
+}
+
+/// Example 4.2: for `i ∈ {0, …, (2/3)·log₂ k}` there are `k²/8^i` distinct join
+/// values with degree `2^i` on both sides.  The instance has input size
+/// `Θ(k²)`, join size `Θ(k² log k)` and local sensitivity `k^{2/3}`, and is the
+/// family on which uniformization beats join-as-one by a `k^{1/3}` factor.
+///
+/// The returned instance uses `scale = k` (values of `k` below 8 are rounded
+/// up so at least two degree classes exist).
+pub fn example42_instance(k: u64) -> (JoinQuery, Instance) {
+    let k = k.max(8);
+    let levels = ((2.0 / 3.0) * (k as f64).log2()).floor() as u32;
+    // Upper bounds on the number of join values and per-side degrees.
+    let mut value_count: u64 = 0;
+    for i in 0..=levels {
+        value_count += (k * k / 8u64.pow(i)).max(1);
+    }
+    let max_degree = 2u64.pow(levels);
+    // As in `fig3_nonuniform`, non-join attributes only need `max_degree`
+    // distinct values, which keeps the joint domain tractable.
+    let query = JoinQuery::two_table(max_degree, value_count, max_degree);
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    let mut next_value: u64 = 0;
+    for i in 0..=levels {
+        let degree = 2u64.pow(i);
+        let values = (k * k / 8u64.pow(i)).max(1);
+        for _ in 0..values {
+            let b = next_value;
+            next_value += 1;
+            for d in 0..degree {
+                inst.relation_mut(0).add(vec![d, b], 1).expect("valid tuple");
+                inst.relation_mut(1).add(vec![b, d], 1).expect("valid tuple");
+            }
+        }
+    }
+    (query, inst)
+}
+
+/// The Figure 4 hierarchical join query:
+/// `x = {A,B,C,D,F,G,K,L}`, `x1={A,B,D}`, `x2={A,B,F}`, `x3={A,B,G,K}`,
+/// `x4={A,B,G,L}`, `x5={A,C}` with a uniform per-attribute domain size.
+pub fn fig4_query(domain_size: u64) -> JoinQuery {
+    let schema = Schema::uniform(&["A", "B", "C", "D", "F", "G", "K", "L"], domain_size);
+    JoinQuery::new(
+        schema,
+        vec![
+            vec![AttrId(0), AttrId(1), AttrId(3)],
+            vec![AttrId(0), AttrId(1), AttrId(4)],
+            vec![AttrId(0), AttrId(1), AttrId(5), AttrId(6)],
+            vec![AttrId(0), AttrId(1), AttrId(5), AttrId(7)],
+            vec![AttrId(0), AttrId(2)],
+        ],
+    )
+    .expect("figure 4 query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_relational::join_size;
+    use dpsyn_sensitivity::local_sensitivity;
+
+    #[test]
+    fn fig1_join_sizes_are_n_squared_and_zero() {
+        let n = 16;
+        let (q, left, right) = fig1_pair(n);
+        assert_eq!(join_size(&q, &left).unwrap(), (n * n) as u128);
+        assert_eq!(join_size(&q, &right).unwrap(), 0);
+        assert_eq!(left.input_size(), right.input_size());
+        assert!(left.validate(&q).is_ok());
+        assert!(right.validate(&q).is_ok());
+    }
+
+    #[test]
+    fn fig2_amplifies_join_size_and_sensitivity_by_delta() {
+        let table = vec![3u64, 0, 2, 5];
+        let (q, inst) = fig2_hard_instance(&table, 8, 4);
+        let total: u64 = table.iter().sum();
+        assert_eq!(join_size(&q, &inst).unwrap(), (total * 4) as u128);
+        assert_eq!(local_sensitivity(&q, &inst).unwrap(), 4);
+        assert!(inst.validate(&q).is_ok());
+    }
+
+    #[test]
+    fn fig3_has_one_value_per_degree() {
+        let (q, inst) = fig3_nonuniform(8);
+        assert!(inst.validate(&q).is_ok());
+        // Input size per relation = 1 + 2 + … + 8 = 36.
+        assert_eq!(inst.relation(0).total(), 36);
+        assert_eq!(inst.relation(1).total(), 36);
+        // Join size = Σ d² = 204; local sensitivity = 8.
+        assert_eq!(join_size(&q, &inst).unwrap(), 204);
+        assert_eq!(local_sensitivity(&q, &inst).unwrap(), 8);
+    }
+
+    #[test]
+    fn example42_degree_profile() {
+        let k = 16;
+        let (q, inst) = example42_instance(k);
+        assert!(inst.validate(&q).is_ok());
+        // Local sensitivity is the largest degree class 2^levels ≈ k^{2/3}.
+        let levels = ((2.0 / 3.0) * (k as f64).log2()).floor() as u32;
+        assert_eq!(
+            local_sensitivity(&q, &inst).unwrap(),
+            2u128.pow(levels)
+        );
+        // Input size is Θ(k²): each level contributes ≈ k² tuples per relation.
+        let n = inst.input_size();
+        assert!(n >= (k * k) as u64 && n <= 4 * (levels as u64 + 1) * k * k);
+    }
+
+    #[test]
+    fn fig4_query_is_hierarchical() {
+        let q = fig4_query(4);
+        assert_eq!(q.num_relations(), 5);
+        assert!(q.is_hierarchical());
+    }
+}

@@ -1,0 +1,172 @@
+//! Realistic synthetic scenarios used by the runnable examples.
+//!
+//! None of these use real data; they are parameterised generators whose shape
+//! mimics the workloads the paper's introduction motivates (analytics over
+//! joins of private tables).
+
+use dpsyn_relational::{AttrId, Attribute, Instance, JoinQuery, Schema};
+use rand::{Rng, RngExt};
+
+use crate::random::zipf_two_table;
+
+/// A "social network" two-table scenario:
+/// `Follows(follower, user) ⋈ Posts(user, topic)` — a linear query over the
+/// join asks weighted questions such as "how many (follower, post) exposure
+/// pairs involve topic t".  Popular users are Zipf-distributed, so degrees are
+/// heavily skewed (the regime where uniformization shines).
+pub fn social_network<R: Rng>(
+    users: u64,
+    follows: usize,
+    posts: usize,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let schema = Schema::new(vec![
+        Attribute::new("follower", users),
+        Attribute::new("user", users),
+        Attribute::new("topic", 16),
+    ]);
+    let query = JoinQuery::new(
+        schema,
+        vec![vec![AttrId(0), AttrId(1)], vec![AttrId(1), AttrId(2)]],
+    )
+    .expect("two-table query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for _ in 0..follows {
+        let follower = rng.random_range(0..users);
+        // Popularity is Zipf-like: low user ids are followed much more often.
+        let user = popular(users, rng);
+        inst.relation_mut(0)
+            .add(vec![follower, user], 1)
+            .expect("valid tuple");
+    }
+    for _ in 0..posts {
+        let user = popular(users, rng);
+        let topic = rng.random_range(0..16);
+        inst.relation_mut(1)
+            .add(vec![user, topic], 1)
+            .expect("valid tuple");
+    }
+    (query, inst)
+}
+
+fn popular<R: Rng>(domain: u64, rng: &mut R) -> u64 {
+    // Approximate Zipf(1.2) via rejection-free inverse power transform.
+    let u: f64 = rng.random::<f64>().max(1e-9);
+    let x = (u.powf(-0.8) - 1.0) * 3.0;
+    (x as u64).min(domain - 1)
+}
+
+/// A "retail" star-schema scenario: `Sales(product, store)`,
+/// `Inventory(product, warehouse)`, `Promotions(product, campaign)` joined on
+/// `product` — a 3-relation hierarchical (star) join whose linear queries are
+/// cross-table marginals.
+pub fn retail_star<R: Rng>(
+    products: u64,
+    rows_per_table: usize,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let schema = Schema::new(vec![
+        Attribute::new("product", products),
+        Attribute::new("store", 32),
+        Attribute::new("warehouse", 8),
+        Attribute::new("campaign", 8),
+    ]);
+    let query = JoinQuery::new(
+        schema,
+        vec![
+            vec![AttrId(0), AttrId(1)],
+            vec![AttrId(0), AttrId(2)],
+            vec![AttrId(0), AttrId(3)],
+        ],
+    )
+    .expect("star query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for _ in 0..rows_per_table {
+        let p = popular(products, rng);
+        inst.relation_mut(0)
+            .add(vec![p, rng.random_range(0..32)], 1)
+            .expect("valid tuple");
+        let p = popular(products, rng);
+        inst.relation_mut(1)
+            .add(vec![p, rng.random_range(0..8)], 1)
+            .expect("valid tuple");
+        let p = popular(products, rng);
+        inst.relation_mut(2)
+            .add(vec![p, rng.random_range(0..8)], 1)
+            .expect("valid tuple");
+    }
+    (query, inst)
+}
+
+/// An "organisational hierarchy" scenario built on the two-table query with a
+/// department attribute shared between `Employees(employee, dept)` and
+/// `Projects(dept, project)`; department sizes are heavy-tailed.
+pub fn org_hierarchy<R: Rng>(
+    departments: u64,
+    employees: usize,
+    projects: usize,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    // Reuse the Zipf two-table generator and relabel: attribute B plays the
+    // department role.
+    let (query, mut inst) = zipf_two_table(departments.max(4), 0, 0.0, rng);
+    for _ in 0..employees {
+        let e = rng.random_range(0..departments.max(4));
+        let d = popular(departments.max(4), rng);
+        inst.relation_mut(0).add(vec![e, d], 1).expect("valid tuple");
+    }
+    for _ in 0..projects {
+        let d = popular(departments.max(4), rng);
+        let p = rng.random_range(0..departments.max(4));
+        inst.relation_mut(1).add(vec![d, p], 1).expect("valid tuple");
+    }
+    (query, inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_relational::join_size;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn social_network_is_valid_and_skewed() {
+        let (q, inst) = social_network(64, 300, 200, &mut rng());
+        assert!(inst.validate(&q).is_ok());
+        assert_eq!(inst.input_size(), 500);
+        // Popular users make the join noticeably larger than a uniform pairing
+        // would suggest.
+        assert!(join_size(&q, &inst).unwrap() > 300);
+        // Skew: the local sensitivity is well above the average degree.
+        let ls = dpsyn_sensitivity::local_sensitivity(&q, &inst).unwrap();
+        assert!(ls >= 10, "ls = {ls}");
+    }
+
+    #[test]
+    fn retail_star_shape() {
+        let (q, inst) = retail_star(32, 100, &mut rng());
+        assert_eq!(q.num_relations(), 3);
+        assert!(q.is_hierarchical());
+        assert!(inst.validate(&q).is_ok());
+        assert_eq!(inst.input_size(), 300);
+    }
+
+    #[test]
+    fn org_hierarchy_shape() {
+        let (q, inst) = org_hierarchy(16, 120, 80, &mut rng());
+        assert!(inst.validate(&q).is_ok());
+        assert_eq!(inst.input_size(), 200);
+        assert_eq!(q.num_relations(), 2);
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let (_, a) = social_network(64, 100, 100, &mut rng());
+        let (_, b) = social_network(64, 100, 100, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,304 @@
+//! Privacy parameters `(ε, δ)`, the paper's `λ`, and composition rules.
+//!
+//! The release algorithms of the paper split a global `(ε, δ)` budget across
+//! sub-mechanisms: Algorithm 1 and Algorithm 3 split it in half between the
+//! sensitivity estimate and the PMW invocation (basic composition), Algorithm
+//! 4 relies on parallel composition across disjoint sub-instances, Algorithm 2
+//! internally relies on advanced composition across its `k` iterations, and
+//! Algorithm 6/7 additionally pay a group-privacy factor because a tuple can
+//! reach several sub-instances.  This module implements all of those rules and
+//! a small accountant that refuses to overspend.
+
+use crate::error::NoiseError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// An `(ε, δ)` differential-privacy parameter pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyParams {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyParams {
+    /// Creates a parameter pair.  Requires `ε > 0` and `0 ≤ δ < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        if !(epsilon > 0.0) || !epsilon.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "0 < epsilon < ∞",
+            });
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(NoiseError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "0 <= delta < 1",
+            });
+        }
+        Ok(PrivacyParams { epsilon, delta })
+    }
+
+    /// Pure-DP parameters (`δ = 0`).
+    pub fn pure(epsilon: f64) -> Result<Self> {
+        PrivacyParams::new(epsilon, 0.0)
+    }
+
+    /// The ε component.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ component.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The paper's `λ = (1/ε)·ln(1/δ)` (Section 1.1).  Returns `+∞` when
+    /// `δ = 0`.
+    pub fn lambda(&self) -> f64 {
+        if self.delta == 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 / self.epsilon) * (1.0 / self.delta).ln()
+        }
+    }
+
+    /// Splits the budget into `parts` equal pieces (basic composition in
+    /// reverse): each piece carries `ε/parts` and `δ/parts`.
+    pub fn split(&self, parts: usize) -> Result<Self> {
+        if parts == 0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "parts",
+                value: 0.0,
+                constraint: "parts >= 1",
+            });
+        }
+        PrivacyParams::new(self.epsilon / parts as f64, self.delta / parts as f64)
+    }
+
+    /// Convenience for the ubiquitous `(ε/2, δ/2)` split.
+    pub fn halve(&self) -> Self {
+        PrivacyParams {
+            epsilon: self.epsilon / 2.0,
+            delta: self.delta / 2.0,
+        }
+    }
+
+    /// Multiplies both parameters by `factor > 0` (used for group privacy:
+    /// a mechanism run on data where one individual influences `g` records is
+    /// `(gε, g e^{gε} δ)`-DP; the paper's Lemma 4.11 uses the looser
+    /// `(gε, gδ)` bookkeeping for its `O(log^c n)` factor, which we follow).
+    pub fn scale(&self, factor: f64) -> Result<Self> {
+        if !(factor > 0.0) {
+            return Err(NoiseError::InvalidParameter {
+                name: "factor",
+                value: factor,
+                constraint: "factor > 0",
+            });
+        }
+        PrivacyParams::new(self.epsilon * factor, (self.delta * factor).min(0.999_999))
+    }
+}
+
+/// Composition rules over sequences of `(ε, δ)` guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Composition {
+    /// Basic (sequential) composition: parameters add up.
+    Basic,
+    /// Parallel composition: mechanisms run on disjoint parts of the data;
+    /// the guarantee is the maximum of the individual parameters.
+    Parallel,
+}
+
+impl Composition {
+    /// Composes a sequence of guarantees under this rule.
+    pub fn compose(&self, parts: &[PrivacyParams]) -> Result<PrivacyParams> {
+        if parts.is_empty() {
+            return Err(NoiseError::InvalidParameter {
+                name: "parts",
+                value: 0.0,
+                constraint: "at least one mechanism",
+            });
+        }
+        let (eps, delta) = match self {
+            Composition::Basic => parts
+                .iter()
+                .fold((0.0, 0.0), |(e, d), p| (e + p.epsilon(), d + p.delta())),
+            Composition::Parallel => parts.iter().fold((0.0, 0.0), |(e, d), p| {
+                (f64::max(e, p.epsilon()), f64::max(d, p.delta()))
+            }),
+        };
+        PrivacyParams::new(eps, delta.min(0.999_999))
+    }
+}
+
+/// The per-iteration ε used inside Algorithm 2 so that `k` adaptive iterations
+/// compose (by advanced composition) to at most `(ε, δ)`:
+/// `ε' = ε / (16 √(k · ln(1/δ)))`.
+pub fn advanced_composition_per_step_epsilon(params: PrivacyParams, k: usize) -> f64 {
+    let k = k.max(1) as f64;
+    let log_term = if params.delta() > 0.0 {
+        (1.0 / params.delta()).ln()
+    } else {
+        // δ = 0 degenerates to basic composition; fall back to ε/k.
+        return params.epsilon() / k;
+    };
+    params.epsilon() / (16.0 * (k * log_term).sqrt())
+}
+
+/// Tracks how much of a global privacy budget has been spent, refusing
+/// requests that would exceed it.  A small utility for building pipelines on
+/// top of the release algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetAccountant {
+    total: PrivacyParams,
+    spent_epsilon: f64,
+    spent_delta: f64,
+    charges: Vec<(String, PrivacyParams)>,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant for a global budget.
+    pub fn new(total: PrivacyParams) -> Self {
+        BudgetAccountant {
+            total,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// The global budget.
+    pub fn total(&self) -> PrivacyParams {
+        self.total
+    }
+
+    /// Remaining budget under basic composition.
+    pub fn remaining(&self) -> PrivacyParams {
+        PrivacyParams {
+            epsilon: (self.total.epsilon() - self.spent_epsilon).max(0.0),
+            delta: (self.total.delta() - self.spent_delta).max(0.0),
+        }
+    }
+
+    /// Charges a mechanism's cost against the budget; errors when the budget
+    /// would be exceeded (with a small tolerance for floating-point error).
+    pub fn charge(&mut self, label: impl Into<String>, cost: PrivacyParams) -> Result<()> {
+        const TOL: f64 = 1e-9;
+        let rem = self.remaining();
+        if cost.epsilon() > rem.epsilon() + TOL || cost.delta() > rem.delta() + TOL {
+            return Err(NoiseError::BudgetExhausted {
+                requested_epsilon: cost.epsilon(),
+                remaining_epsilon: rem.epsilon(),
+                requested_delta: cost.delta(),
+                remaining_delta: rem.delta(),
+            });
+        }
+        self.spent_epsilon += cost.epsilon();
+        self.spent_delta += cost.delta();
+        self.charges.push((label.into(), cost));
+        Ok(())
+    }
+
+    /// The log of individual charges (label, cost), in order.
+    pub fn charges(&self) -> &[(String, PrivacyParams)] {
+        &self.charges
+    }
+
+    /// Total spent so far under basic composition.
+    pub fn spent(&self) -> PrivacyParams {
+        PrivacyParams {
+            epsilon: self.spent_epsilon,
+            delta: self.spent_delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PrivacyParams::new(1.0, 1e-6).is_ok());
+        assert!(PrivacyParams::new(0.0, 0.0).is_err());
+        assert!(PrivacyParams::new(-1.0, 0.0).is_err());
+        assert!(PrivacyParams::new(1.0, 1.0).is_err());
+        assert!(PrivacyParams::new(1.0, -0.1).is_err());
+        assert!(PrivacyParams::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn lambda_matches_formula() {
+        let p = PrivacyParams::new(2.0, 1e-6).unwrap();
+        let expect = (1.0 / 2.0) * (1e6f64).ln();
+        assert!((p.lambda() - expect).abs() < 1e-9);
+        assert!(PrivacyParams::pure(1.0).unwrap().lambda().is_infinite());
+    }
+
+    #[test]
+    fn split_and_halve() {
+        let p = PrivacyParams::new(1.0, 1e-4).unwrap();
+        let h = p.halve();
+        assert!((h.epsilon() - 0.5).abs() < 1e-12);
+        assert!((h.delta() - 5e-5).abs() < 1e-18);
+        let s = p.split(4).unwrap();
+        assert!((s.epsilon() - 0.25).abs() < 1e-12);
+        assert!(p.split(0).is_err());
+    }
+
+    #[test]
+    fn basic_and_parallel_composition() {
+        let a = PrivacyParams::new(0.5, 1e-6).unwrap();
+        let b = PrivacyParams::new(0.25, 2e-6).unwrap();
+        let basic = Composition::Basic.compose(&[a, b]).unwrap();
+        assert!((basic.epsilon() - 0.75).abs() < 1e-12);
+        assert!((basic.delta() - 3e-6).abs() < 1e-15);
+        let par = Composition::Parallel.compose(&[a, b]).unwrap();
+        assert!((par.epsilon() - 0.5).abs() < 1e-12);
+        assert!((par.delta() - 2e-6).abs() < 1e-15);
+        assert!(Composition::Basic.compose(&[]).is_err());
+    }
+
+    #[test]
+    fn advanced_composition_epsilon_shrinks_with_k() {
+        let p = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let e1 = advanced_composition_per_step_epsilon(p, 1);
+        let e100 = advanced_composition_per_step_epsilon(p, 100);
+        assert!(e100 < e1);
+        // Matches the formula from Algorithm 2 line 3.
+        let expect = 1.0 / (16.0 * (100.0 * (1e6f64).ln()).sqrt());
+        assert!((e100 - expect).abs() < 1e-12);
+        // Pure DP falls back to basic composition.
+        let pure = PrivacyParams::pure(1.0).unwrap();
+        assert!((advanced_composition_per_step_epsilon(pure, 10) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_charges_and_refuses_overdraw() {
+        let total = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        acc.charge("first", PrivacyParams::new(0.6, 5e-7).unwrap())
+            .unwrap();
+        assert!((acc.remaining().epsilon() - 0.4).abs() < 1e-12);
+        let err = acc
+            .charge("second", PrivacyParams::new(0.5, 0.0).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NoiseError::BudgetExhausted { .. }));
+        acc.charge("third", PrivacyParams::new(0.4, 5e-7).unwrap())
+            .unwrap();
+        assert_eq!(acc.charges().len(), 2);
+        assert!((acc.spent().epsilon() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_models_group_privacy() {
+        let p = PrivacyParams::new(0.1, 1e-8).unwrap();
+        let g = p.scale(8.0).unwrap();
+        assert!((g.epsilon() - 0.8).abs() < 1e-12);
+        assert!((g.delta() - 8e-8).abs() < 1e-18);
+        assert!(p.scale(0.0).is_err());
+    }
+}

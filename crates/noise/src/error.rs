@@ -1,0 +1,94 @@
+//! Error type for the DP primitives.
+
+use std::fmt;
+
+/// Errors raised by differential-privacy primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A privacy or distribution parameter is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A mechanism asked for more privacy budget than remains in an accountant.
+    BudgetExhausted {
+        /// ε requested by the mechanism.
+        requested_epsilon: f64,
+        /// ε still available.
+        remaining_epsilon: f64,
+        /// δ requested by the mechanism.
+        requested_delta: f64,
+        /// δ still available.
+        remaining_delta: f64,
+    },
+    /// The exponential mechanism was invoked with no candidates.
+    EmptyCandidateSet,
+    /// Candidate / score lengths disagree.
+    LengthMismatch {
+        /// Number of candidates supplied.
+        candidates: usize,
+        /// Number of scores supplied.
+        scores: usize,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: must satisfy {constraint}"),
+            NoiseError::BudgetExhausted {
+                requested_epsilon,
+                remaining_epsilon,
+                requested_delta,
+                remaining_delta,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested (ε = {requested_epsilon}, δ = {requested_delta}) \
+                 but only (ε = {remaining_epsilon}, δ = {remaining_delta}) remains"
+            ),
+            NoiseError::EmptyCandidateSet => {
+                write!(f, "exponential mechanism requires at least one candidate")
+            }
+            NoiseError::LengthMismatch { candidates, scores } => write!(
+                f,
+                "exponential mechanism received {candidates} candidates but {scores} scores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter_name() {
+        let e = NoiseError::InvalidParameter {
+            name: "epsilon",
+            value: -1.0,
+            constraint: "epsilon > 0",
+        };
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn budget_error_mentions_values() {
+        let e = NoiseError::BudgetExhausted {
+            requested_epsilon: 1.0,
+            remaining_epsilon: 0.5,
+            requested_delta: 0.0,
+            remaining_delta: 0.0,
+        };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The exponential mechanism (Section 2).
+//!
+//! Given candidates with a score function of sensitivity at most
+//! `score_sensitivity`, the mechanism samples candidate `c` with probability
+//! proportional to `exp(ε · s(c) / (2 · score_sensitivity))` and is
+//! `(ε, 0)`-DP.  Algorithm 2 uses it in every iteration to select a query
+//! whose current answer is far from the truth (a *maximising* selection, so
+//! the exponent carries a positive sign — the `−0.5` in the paper's line 5 is
+//! a typographical slip of the standard mechanism from [36]).
+
+use crate::error::NoiseError;
+use crate::Result;
+use rand::{Rng, RngExt};
+
+/// Computes the (unnormalised, numerically stabilised) selection weights of
+/// the exponential mechanism.  Exposed for testing and for callers that want
+/// to inspect the induced distribution.
+pub fn exponential_mechanism_weights(
+    scores: &[f64],
+    epsilon: f64,
+    score_sensitivity: f64,
+) -> Result<Vec<f64>> {
+    if scores.is_empty() {
+        return Err(NoiseError::EmptyCandidateSet);
+    }
+    if !(epsilon > 0.0) || !epsilon.is_finite() {
+        return Err(NoiseError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            constraint: "0 < epsilon < ∞",
+        });
+    }
+    if !(score_sensitivity > 0.0) || !score_sensitivity.is_finite() {
+        return Err(NoiseError::InvalidParameter {
+            name: "score_sensitivity",
+            value: score_sensitivity,
+            constraint: "0 < score_sensitivity < ∞",
+        });
+    }
+    let factor = epsilon / (2.0 * score_sensitivity);
+    let max_score = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(scores
+        .iter()
+        .map(|s| ((s - max_score) * factor).exp())
+        .collect())
+}
+
+/// Runs the exponential mechanism over `scores`, returning the index of the
+/// selected candidate.  Higher scores are more likely to be selected.
+pub fn exponential_mechanism<R: Rng>(
+    scores: &[f64],
+    epsilon: f64,
+    score_sensitivity: f64,
+    rng: &mut R,
+) -> Result<usize> {
+    let weights = exponential_mechanism_weights(scores, epsilon, score_sensitivity)?;
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) || !total.is_finite() {
+        // All weights underflowed (extremely negative scores); fall back to a
+        // uniform choice, which is still a valid instantiation of the
+        // mechanism over equal weights.
+        return Ok(rng.random_range(0..scores.len()));
+    }
+    let mut threshold: f64 = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if threshold < *w {
+            return Ok(i);
+        }
+        threshold -= w;
+    }
+    Ok(weights.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = seeded_rng(1);
+        assert!(matches!(
+            exponential_mechanism(&[], 1.0, 1.0, &mut rng),
+            Err(NoiseError::EmptyCandidateSet)
+        ));
+        assert!(exponential_mechanism(&[1.0], 0.0, 1.0, &mut rng).is_err());
+        assert!(exponential_mechanism(&[1.0], 1.0, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn weights_favor_higher_scores() {
+        let w = exponential_mechanism_weights(&[0.0, 10.0, 5.0], 1.0, 1.0).unwrap();
+        assert!(w[1] > w[2] && w[2] > w[0]);
+        // The maximum score always has weight exactly 1 after stabilisation.
+        assert!((w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_concentrates_on_best_candidate_with_large_epsilon() {
+        let scores = vec![0.0, 0.0, 50.0, 0.0];
+        let mut rng = seeded_rng(3);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if exponential_mechanism(&scores, 2.0, 1.0, &mut rng).unwrap() == 2 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 990, "hits = {hits}");
+    }
+
+    #[test]
+    fn selection_is_near_uniform_with_tiny_epsilon() {
+        let scores = vec![0.0, 1.0, 2.0, 3.0];
+        let mut rng = seeded_rng(4);
+        let mut counts = [0usize; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[exponential_mechanism(&scores, 1e-6, 1.0, &mut rng).unwrap()] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn selection_probabilities_match_exponential_weights() {
+        // With ε = 2 and sensitivity 1, P[i] ∝ e^{s_i}.
+        let scores = vec![0.0, 1.0];
+        let mut rng = seeded_rng(5);
+        let trials = 100_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            if exponential_mechanism(&scores, 2.0, 1.0, &mut rng).unwrap() == 1 {
+                hits += 1;
+            }
+        }
+        let p_expected = std::f64::consts::E / (1.0 + std::f64::consts::E);
+        let p_observed = hits as f64 / trials as f64;
+        assert!((p_observed - p_expected).abs() < 0.01, "observed {p_observed}");
+    }
+
+    #[test]
+    fn underflowed_weights_fall_back_to_uniform() {
+        let scores = vec![-1e308, -1e308];
+        let mut rng = seeded_rng(6);
+        // Must not panic and must return a valid index.
+        let idx = exponential_mechanism(&scores, 1.0, 1.0, &mut rng).unwrap();
+        assert!(idx < 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Laplace distribution and the Laplace mechanism.
+//!
+//! `Lap_b` has density `∝ e^{-|x|/b}`; adding `Lap_{Δ/ε}` noise to a statistic
+//! of (global or smooth-upper-bounded) sensitivity `Δ` yields `(ε, 0)`-DP.
+//! Algorithm 2 uses it for the noisy measurements `m_i = q_i(I) + Lap_{Δ̃/ε'}`.
+
+use crate::error::NoiseError;
+use crate::Result;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A zero-mean Laplace distribution with scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with scale `b > 0`.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "0 < scale < ∞",
+            });
+        }
+        Ok(Laplace { scale })
+    }
+
+    /// The Laplace mechanism's distribution for a statistic with sensitivity
+    /// `sensitivity` under `ε`-DP: scale `b = sensitivity / ε`.
+    pub fn calibrated(sensitivity: f64, epsilon: f64) -> Result<Self> {
+        if !(sensitivity >= 0.0) || !sensitivity.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "sensitivity",
+                value: sensitivity,
+                constraint: "0 <= sensitivity < ∞",
+            });
+        }
+        if !(epsilon > 0.0) {
+            return Err(NoiseError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "epsilon > 0",
+            });
+        }
+        // A zero-sensitivity statistic needs no noise; represent it with a
+        // degenerate tiny scale to keep the API uniform.
+        Laplace::new((sensitivity / epsilon).max(f64::MIN_POSITIVE))
+    }
+
+    /// The scale `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2 b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x.abs()) / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Quantile (inverse CDF) at `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling from a uniform in (0, 1).
+        let mut u: f64 = rng.random();
+        // Guard against u == 0 or u == 1 producing infinities.
+        u = u.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        self.quantile(u)
+    }
+
+    /// Convenience: adds calibrated Laplace noise to a value.
+    pub fn add_noise<R: Rng>(&self, value: f64, rng: &mut R) -> f64 {
+        value + self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Laplace::new(1.0).is_ok());
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-2.0).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+        assert!(Laplace::calibrated(1.0, 0.5).is_ok());
+        assert!(Laplace::calibrated(-1.0, 0.5).is_err());
+        assert!(Laplace::calibrated(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn calibration_scale_is_sensitivity_over_epsilon() {
+        let l = Laplace::calibrated(3.0, 0.5).unwrap();
+        assert!((l.scale() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let l = Laplace::new(2.5).unwrap();
+        for &p in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = l.quantile(p);
+            assert!((l.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let l = Laplace::new(1.5).unwrap();
+        let mut total = 0.0;
+        let step = 0.01;
+        let mut x = -40.0;
+        while x < 40.0 {
+            total += l.pdf(x) * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral = {total}");
+    }
+
+    #[test]
+    fn sample_statistics_match_distribution() {
+        let l = Laplace::new(2.0).unwrap();
+        let mut rng = seeded_rng(123);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - l.variance()).abs() / l.variance() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn add_noise_centres_on_value() {
+        let l = Laplace::new(0.5).unwrap();
+        let mut rng = seeded_rng(7);
+        let n = 50_000;
+        let mean = (0..n).map(|_| l.add_noise(10.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+    }
+}

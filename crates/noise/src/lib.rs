@@ -1,0 +1,35 @@
+//! Differential privacy primitives used by the multi-table release algorithms.
+//!
+//! This crate provides the mechanisms of Section 2 of the paper:
+//!
+//! * the Laplace mechanism ([`laplace`]),
+//! * the shifted, truncated Laplace distribution `TLap_b^τ` and its
+//!   calibration `τ(ε, δ, Δ)` ([`tlap`]),
+//! * the exponential mechanism ([`exponential`]),
+//! * privacy parameters `(ε, δ)`, the paper's `λ = (1/ε)·ln(1/δ)`, and
+//!   basic / advanced / parallel composition with a budget accountant
+//!   ([`budget`]),
+//! * deterministic RNG plumbing ([`rng`]).
+//!
+//! All sampling takes an explicit `&mut impl Rng` so that every experiment in
+//! the workspace is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod error;
+pub mod exponential;
+pub mod laplace;
+pub mod rng;
+pub mod tlap;
+
+pub use budget::{BudgetAccountant, Composition, PrivacyParams};
+pub use error::NoiseError;
+pub use exponential::{exponential_mechanism, exponential_mechanism_weights};
+pub use laplace::Laplace;
+pub use rng::seeded_rng;
+pub use tlap::{truncation_radius, TruncatedLaplace};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NoiseError>;

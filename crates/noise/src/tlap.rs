@@ -1,0 +1,262 @@
+//! The shifted, truncated Laplace distribution `TLap_b^τ` (Section 2).
+//!
+//! `TLap_b^τ` is supported on `[0, 2τ]` with density `∝ e^{-|x-τ|/b}`.  Its DP
+//! guarantee: for any `u, v` with `|u − v| ≤ Δ`,
+//! `u + TLap^{τ(ε,δ,Δ)}_{Δ/ε} ≈_{(ε,δ)} v + TLap^{τ(ε,δ,Δ)}_{Δ/ε}` where
+//! `τ(ε, δ, Δ) = (Δ/ε)·ln(1 + (e^ε − 1)/δ)`.
+//!
+//! The release algorithms use it whenever a *non-negative* upper bound on a
+//! sensitive quantity is needed: the noisy local-sensitivity bound `Δ̃`
+//! (Algorithm 1 line 1), the noisy residual-sensitivity bound (Algorithm 3
+//! line 2), the noisy join size `n̂` (Algorithm 2 line 1) and the noisy degree
+//! buckets (Algorithm 5 line 3, Algorithm 7 line 4).
+
+use crate::error::NoiseError;
+use crate::Result;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// The truncation/shift radius `τ(ε, δ, Δ) = (Δ/ε)·ln(1 + (e^ε − 1)/δ)`.
+///
+/// For constant `ε` this is `O(Δ·λ)` with `λ = (1/ε)·ln(1/δ)`, as noted in the
+/// paper's preliminaries.
+pub fn truncation_radius(epsilon: f64, delta: f64, sensitivity: f64) -> Result<f64> {
+    if !(epsilon > 0.0) || !epsilon.is_finite() {
+        return Err(NoiseError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            constraint: "0 < epsilon < ∞",
+        });
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(NoiseError::InvalidParameter {
+            name: "delta",
+            value: delta,
+            constraint: "0 < delta < 1 (the truncated Laplace mechanism needs δ > 0)",
+        });
+    }
+    if !(sensitivity >= 0.0) || !sensitivity.is_finite() {
+        return Err(NoiseError::InvalidParameter {
+            name: "sensitivity",
+            value: sensitivity,
+            constraint: "0 <= sensitivity < ∞",
+        });
+    }
+    Ok((sensitivity / epsilon) * (1.0 + (epsilon.exp() - 1.0) / delta).ln())
+}
+
+/// The shifted truncated Laplace distribution `TLap_b^τ` on `[0, 2τ]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruncatedLaplace {
+    scale: f64,
+    tau: f64,
+}
+
+impl TruncatedLaplace {
+    /// Creates `TLap_b^τ` with scale `b > 0` and shift `τ ≥ 0`.
+    pub fn new(scale: f64, tau: f64) -> Result<Self> {
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "0 < scale < ∞",
+            });
+        }
+        if !(tau >= 0.0) || !tau.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "tau",
+                value: tau,
+                constraint: "0 <= tau < ∞",
+            });
+        }
+        Ok(TruncatedLaplace { scale, tau })
+    }
+
+    /// The calibrated distribution `TLap^{τ(ε,δ,Δ)}_{Δ/ε}` whose addition to a
+    /// statistic of sensitivity `Δ` is `(ε, δ)`-DP and always non-negative.
+    ///
+    /// The paper's notation `TLap^{τ(ε/2, δ/2, 1)}_{2/ε}` corresponds to
+    /// `TruncatedLaplace::calibrated(ε/2, δ/2, 1.0)`.
+    pub fn calibrated(epsilon: f64, delta: f64, sensitivity: f64) -> Result<Self> {
+        let tau = truncation_radius(epsilon, delta, sensitivity)?;
+        let scale = (sensitivity / epsilon).max(f64::MIN_POSITIVE);
+        TruncatedLaplace::new(scale, tau)
+    }
+
+    /// The scale `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The shift `τ` (also the mean of the distribution).
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The largest value the distribution can produce (`2τ`).
+    pub fn max_value(&self) -> f64 {
+        2.0 * self.tau
+    }
+
+    /// Normalising constant `Z = ∫_0^{2τ} e^{-|x-τ|/b} dx = 2b(1 − e^{-τ/b})`.
+    fn normaliser(&self) -> f64 {
+        2.0 * self.scale * (1.0 - (-self.tau / self.scale).exp())
+    }
+
+    /// Probability density at `x` (zero outside `[0, 2τ]`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 || x > 2.0 * self.tau {
+            return 0.0;
+        }
+        if self.tau == 0.0 {
+            return 0.0;
+        }
+        (-(x - self.tau).abs() / self.scale).exp() / self.normaliser()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 2.0 * self.tau {
+            return 1.0;
+        }
+        let z = self.normaliser();
+        let b = self.scale;
+        let tau = self.tau;
+        if x <= tau {
+            b * ((-(tau - x) / b).exp() - (-tau / b).exp()) / z
+        } else {
+            let lower_half = b * (1.0 - (-tau / b).exp());
+            let upper = b * (1.0 - (-(x - tau) / b).exp());
+            (lower_half + upper) / z
+        }
+    }
+
+    /// Draws one sample from `[0, 2τ]` by inverse-CDF sampling.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.tau == 0.0 {
+            return 0.0;
+        }
+        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        self.quantile(u)
+    }
+
+    /// Quantile (inverse CDF) at `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let b = self.scale;
+        let tau = self.tau;
+        let z = self.normaliser();
+        let lower_mass = b * (1.0 - (-tau / b).exp()) / z; // mass of [0, τ] = 1/2
+        let x = if p <= lower_mass {
+            // Solve p·Z = b(e^{-(τ-x)/b} − e^{-τ/b}).
+            tau + b * (p * z / b + (-tau / b).exp()).ln()
+        } else {
+            // Symmetric upper branch.
+            let q = 1.0 - p;
+            2.0 * tau - (tau + b * (q * z / b + (-tau / b).exp()).ln())
+        };
+        x.clamp(0.0, 2.0 * tau)
+    }
+
+    /// Convenience: adds a sample to `value` (yielding a value that is always
+    /// at least `value` and at most `value + 2τ`).
+    pub fn add_noise<R: Rng>(&self, value: f64, rng: &mut R) -> f64 {
+        value + self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn truncation_radius_formula() {
+        let tau = truncation_radius(1.0, 1e-6, 1.0).unwrap();
+        let expect = (1.0 + (1f64.exp() - 1.0) / 1e-6).ln();
+        assert!((tau - expect).abs() < 1e-9);
+        // Scales linearly with sensitivity.
+        let tau3 = truncation_radius(1.0, 1e-6, 3.0).unwrap();
+        assert!((tau3 - 3.0 * tau).abs() < 1e-9);
+        // Invalid parameters.
+        assert!(truncation_radius(0.0, 1e-6, 1.0).is_err());
+        assert!(truncation_radius(1.0, 0.0, 1.0).is_err());
+        assert!(truncation_radius(1.0, 1.5, 1.0).is_err());
+        assert!(truncation_radius(1.0, 1e-6, -1.0).is_err());
+    }
+
+    #[test]
+    fn tau_is_big_o_of_lambda_times_sensitivity() {
+        // τ(ε, δ, Δ) ≤ O(Δ·λ) for constant ε: check the concrete constant here.
+        let (eps, delta) = (1.0, 1e-9);
+        let lambda = (1.0 / eps) * (1.0 / delta as f64).ln();
+        let tau = truncation_radius(eps, delta, 1.0).unwrap();
+        assert!(tau <= 2.0 * lambda + 2.0, "tau = {tau}, lambda = {lambda}");
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = TruncatedLaplace::calibrated(0.5, 1e-6, 2.0).unwrap();
+        let mut rng = seeded_rng(99);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0 && x <= d.max_value(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let d = TruncatedLaplace::new(2.0, 11.0).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p = {p}, x = {x}");
+        }
+        assert!((d.cdf(11.0) - 0.5).abs() < 1e-9);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(23.0), 1.0);
+    }
+
+    #[test]
+    fn sample_mean_is_tau() {
+        let d = TruncatedLaplace::new(1.5, 9.0).unwrap();
+        let mut rng = seeded_rng(5);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 9.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = TruncatedLaplace::new(1.0, 5.0).unwrap();
+        let step = 1e-3;
+        let mut total = 0.0;
+        let mut x = 0.0;
+        while x < 10.0 {
+            total += d.pdf(x) * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-2, "integral = {total}");
+    }
+
+    #[test]
+    fn noise_is_nonnegative_upper_bound() {
+        // The whole point of TLap in the paper: the noisy value never falls
+        // below the true value, and exceeds it by at most 2τ.
+        let d = TruncatedLaplace::calibrated(1.0, 1e-6, 1.0).unwrap();
+        let mut rng = seeded_rng(21);
+        for _ in 0..1000 {
+            let noisy = d.add_noise(42.0, &mut rng);
+            assert!(noisy >= 42.0);
+            assert!(noisy <= 42.0 + d.max_value());
+        }
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(TruncatedLaplace::new(0.0, 1.0).is_err());
+        assert!(TruncatedLaplace::new(1.0, -1.0).is_err());
+        assert!(TruncatedLaplace::new(f64::NAN, 1.0).is_err());
+    }
+}

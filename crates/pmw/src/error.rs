@@ -1,0 +1,106 @@
+//! Error type for the PMW release algorithm.
+
+use std::fmt;
+
+use dpsyn_noise::NoiseError;
+use dpsyn_query::QueryError;
+use dpsyn_relational::RelationalError;
+
+/// Errors raised while building histograms or running PMW.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmwError {
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+    /// A query-evaluation operation failed.
+    Query(QueryError),
+    /// A DP primitive rejected its parameters.
+    Noise(NoiseError),
+    /// The joint domain is too large to materialise densely.
+    DomainTooLarge {
+        /// The joint domain size that was requested.
+        cells: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// The combination of workload size and domain size exceeds the memory
+    /// budget for pre-computed query weight vectors.
+    WorkloadTooLarge {
+        /// `|Q| · |D|` requested.
+        entries: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PmwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmwError::Relational(e) => write!(f, "relational error: {e}"),
+            PmwError::Query(e) => write!(f, "query error: {e}"),
+            PmwError::Noise(e) => write!(f, "noise error: {e}"),
+            PmwError::DomainTooLarge { cells, limit } => write!(
+                f,
+                "joint domain has {cells} cells which exceeds the dense-histogram limit {limit}; \
+                 reduce attribute domain sizes or raise PmwConfig::max_domain_cells"
+            ),
+            PmwError::WorkloadTooLarge { entries, limit } => write!(
+                f,
+                "workload needs {entries} precomputed weights which exceeds the limit {limit}; \
+                 reduce |Q| or the domain size, or raise PmwConfig::max_weight_entries"
+            ),
+            PmwError::InvalidConfig(msg) => write!(f, "invalid PMW configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmwError::Relational(e) => Some(e),
+            PmwError::Query(e) => Some(e),
+            PmwError::Noise(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for PmwError {
+    fn from(e: RelationalError) -> Self {
+        PmwError::Relational(e)
+    }
+}
+
+impl From<QueryError> for PmwError {
+    fn from(e: QueryError) -> Self {
+        PmwError::Query(e)
+    }
+}
+
+impl From<NoiseError> for PmwError {
+    fn from(e: NoiseError) -> Self {
+        PmwError::Noise(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PmwError = RelationalError::EmptyQuery.into();
+        assert!(e.to_string().contains("relational"));
+        let e: PmwError = QueryError::WeightOutOfRange { weight: 3.0 }.into();
+        assert!(e.to_string().contains("query"));
+        let e: PmwError = NoiseError::EmptyCandidateSet.into();
+        assert!(e.to_string().contains("noise"));
+        let e = PmwError::DomainTooLarge {
+            cells: 1 << 40,
+            limit: 1 << 26,
+        };
+        assert!(e.to_string().contains("dense-histogram limit"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

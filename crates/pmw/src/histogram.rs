@@ -1,0 +1,397 @@
+//! Dense synthetic histograms `F : dom(x) → ℝ≥0` over the joint domain of a
+//! join query.
+//!
+//! The histogram is the released object `F` of the paper: any linear query
+//! can be answered from it by summing `F(x) · Π_i q_i(π_{x_i} x)` over the
+//! joint domain.  It is stored densely (row-major over the attribute domains),
+//! which is exactly the representation PMW's multiplicative-weights update
+//! needs; experiment configurations keep `|dom(x)|` small enough for this to
+//! be practical.
+
+use dpsyn_query::{JointEvaluator, ProductQuery, QueryFamily};
+use dpsyn_relational::{AttrId, JoinQuery, JoinResult, Value};
+use rand::{Rng, RngExt};
+
+use crate::error::PmwError;
+use crate::Result;
+
+/// Default cap on the number of dense cells a histogram may hold.
+pub const DEFAULT_MAX_CELLS: u128 = 1 << 26;
+
+/// A dense non-negative function over the joint domain `dom(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    attrs: Vec<AttrId>,
+    dims: Vec<u64>,
+    weights: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an all-zero histogram over the full attribute set of `query`.
+    ///
+    /// Fails when the joint domain exceeds `max_cells` (use
+    /// [`DEFAULT_MAX_CELLS`] unless you know better).
+    pub fn zeros(query: &JoinQuery, max_cells: u128) -> Result<Self> {
+        let attrs = query.all_attrs();
+        let mut dims = Vec::with_capacity(attrs.len());
+        for &a in &attrs {
+            dims.push(query.schema().domain_size(a)?);
+        }
+        let cells = dims.iter().map(|&d| d.max(1) as u128).product::<u128>();
+        if cells > max_cells {
+            return Err(PmwError::DomainTooLarge {
+                cells,
+                limit: max_cells,
+            });
+        }
+        Ok(Histogram {
+            attrs,
+            dims,
+            weights: vec![0.0; cells as usize],
+        })
+    }
+
+    /// Creates the uniform histogram `F_0(x) = total / |dom(x)|` used to
+    /// initialise PMW (Algorithm 2, line 2).
+    pub fn uniform(query: &JoinQuery, total: f64, max_cells: u128) -> Result<Self> {
+        let mut h = Self::zeros(query, max_cells)?;
+        let per_cell = total / h.weights.len() as f64;
+        h.weights.fill(per_cell.max(0.0));
+        Ok(h)
+    }
+
+    /// Builds the dense histogram of a join result (the non-private `Join_I`).
+    pub fn from_join(query: &JoinQuery, join_result: &JoinResult, max_cells: u128) -> Result<Self> {
+        let mut h = Self::zeros(query, max_cells)?;
+        // The join result attributes must equal the full attribute set for a
+        // direct copy; project up otherwise (attributes absent from the result
+        // would be ambiguous, so require equality).
+        if join_result.attrs() != h.attrs.as_slice() {
+            return Err(PmwError::InvalidConfig(format!(
+                "join result attributes {:?} do not cover the full schema {:?}",
+                join_result.attrs(),
+                h.attrs
+            )));
+        }
+        for (tuple, weight) in join_result.iter() {
+            let idx = h.index_of(tuple);
+            h.weights[idx] += weight as f64;
+        }
+        Ok(h)
+    }
+
+    /// The attribute list the histogram ranges over.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of cells `|dom(x)|`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the histogram has no cells (never true for a valid schema).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total mass `Σ_x F(x)`.
+    pub fn total(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// The raw weights (row-major).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The linear index of a joint tuple.
+    pub fn index_of(&self, tuple: &[Value]) -> usize {
+        let mut idx = 0usize;
+        for (pos, &v) in tuple.iter().enumerate() {
+            idx = idx * self.dims[pos] as usize + v as usize;
+        }
+        idx
+    }
+
+    /// The joint tuple at a linear index.
+    pub fn tuple_of(&self, mut idx: usize) -> Vec<Value> {
+        let mut out = vec![0u64; self.dims.len()];
+        for pos in (0..self.dims.len()).rev() {
+            let d = self.dims[pos] as usize;
+            out[pos] = (idx % d) as u64;
+            idx /= d;
+        }
+        out
+    }
+
+    /// The weight of a joint tuple.
+    pub fn weight(&self, tuple: &[Value]) -> f64 {
+        self.weights[self.index_of(tuple)]
+    }
+
+    /// Computes the per-cell weight vector `x ↦ Π_i q_i(π_{x_i} x)` of a
+    /// product query (used by both query answering and the PMW update).
+    pub fn query_weight_vector(&self, query: &JoinQuery, q: &ProductQuery) -> Result<Vec<f64>> {
+        let evaluator = JointEvaluator::new(query, &self.attrs)?;
+        let mut out = Vec::with_capacity(self.weights.len());
+        let mut tuple = vec![0u64; self.dims.len()];
+        for _ in 0..self.weights.len() {
+            out.push(evaluator.weight(q, &tuple));
+            // Odometer increment in row-major order (last attribute fastest).
+            for pos in (0..self.dims.len()).rev() {
+                tuple[pos] += 1;
+                if tuple[pos] < self.dims[pos] {
+                    break;
+                }
+                tuple[pos] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Answers one query: `q(F) = Σ_x F(x) · Π_i q_i(π_{x_i} x)`.
+    pub fn answer(&self, query: &JoinQuery, q: &ProductQuery) -> Result<f64> {
+        let weights = self.query_weight_vector(query, q)?;
+        Ok(self.answer_with_weights(&weights))
+    }
+
+    /// Answers a query given its pre-computed per-cell weight vector.
+    pub fn answer_with_weights(&self, query_weights: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(query_weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// Answers every query of a family.
+    pub fn answer_all(&self, query: &JoinQuery, family: &QueryFamily) -> Result<Vec<f64>> {
+        family
+            .iter()
+            .map(|q| self.answer(query, q))
+            .collect::<Result<Vec<_>>>()
+    }
+
+    /// Rescales the histogram so its total mass equals `total` (no-op if the
+    /// current mass is zero).
+    pub fn normalize_to(&mut self, total: f64) {
+        let cur = self.total();
+        if cur > 0.0 && total >= 0.0 {
+            let factor = total / cur;
+            for w in &mut self.weights {
+                *w *= factor;
+            }
+        }
+    }
+
+    /// The multiplicative-weights update of Algorithm 2 line 7:
+    /// `F(x) ← F(x) · exp(q(x) · η)`, followed by renormalisation to the
+    /// previous total mass.
+    pub fn multiplicative_update(&mut self, query_weights: &[f64], eta: f64) {
+        let total = self.total();
+        for (f, w) in self.weights.iter_mut().zip(query_weights) {
+            *f *= (w * eta).exp();
+        }
+        self.normalize_to(total);
+    }
+
+    /// Adds another histogram cell-wise (used to average PMW iterates).
+    pub fn accumulate(&mut self, other: &Histogram) -> Result<()> {
+        if self.weights.len() != other.weights.len() || self.attrs != other.attrs {
+            return Err(PmwError::InvalidConfig(
+                "cannot accumulate histograms over different domains".to_string(),
+            ));
+        }
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Divides every cell by `count` (completing an average).
+    pub fn scale(&mut self, factor: f64) {
+        for w in &mut self.weights {
+            *w *= factor;
+        }
+    }
+
+    /// Draws an integer-valued synthetic dataset from the histogram: the
+    /// released function `F : dom(x) → N` of the problem statement.  Each
+    /// cell's mass is rounded stochastically (floor plus a Bernoulli on the
+    /// fractional part), preserving the expected total.
+    pub fn round_to_records<R: Rng>(&self, rng: &mut R) -> Vec<(Vec<Value>, u64)> {
+        let mut out = Vec::new();
+        for (idx, &w) in self.weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            let floor = w.floor();
+            let frac = w - floor;
+            let mut count = floor as u64;
+            if rng.random::<f64>() < frac {
+                count += 1;
+            }
+            if count > 0 {
+                out.push((self.tuple_of(idx), count));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_query::RelationQuery;
+    use dpsyn_relational::{Instance, Relation};
+    use rand::SeedableRng;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn tiny_query() -> JoinQuery {
+        JoinQuery::two_table(3, 4, 5)
+    }
+
+    #[test]
+    fn zeros_and_uniform_have_right_shape() {
+        let q = tiny_query();
+        let z = Histogram::zeros(&q, DEFAULT_MAX_CELLS).unwrap();
+        assert_eq!(z.len(), 3 * 4 * 5);
+        assert_eq!(z.total(), 0.0);
+        let u = Histogram::uniform(&q, 120.0, DEFAULT_MAX_CELLS).unwrap();
+        assert!((u.total() - 120.0).abs() < 1e-9);
+        assert!((u.weight(&[1, 2, 3]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_cap_enforced() {
+        let q = JoinQuery::two_table(1 << 20, 1 << 20, 1 << 20);
+        assert!(matches!(
+            Histogram::zeros(&q, DEFAULT_MAX_CELLS),
+            Err(PmwError::DomainTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn index_tuple_roundtrip() {
+        let q = tiny_query();
+        let h = Histogram::zeros(&q, DEFAULT_MAX_CELLS).unwrap();
+        for idx in 0..h.len() {
+            let t = h.tuple_of(idx);
+            assert_eq!(h.index_of(&t), idx);
+            assert!(t[0] < 3 && t[1] < 4 && t[2] < 5);
+        }
+    }
+
+    fn small_instance(_q: &JoinQuery) -> Instance {
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            vec![(vec![0, 0], 1), (vec![0, 1], 1), (vec![1, 3], 3)],
+        )
+        .unwrap();
+        Instance::new(vec![r1, r2])
+    }
+
+    #[test]
+    fn from_join_matches_sparse_result_and_answers_agree() {
+        let q = tiny_query();
+        let inst = small_instance(&q);
+        let join = dpsyn_relational::join(&q, &inst).unwrap();
+        let h = Histogram::from_join(&q, &join, DEFAULT_MAX_CELLS).unwrap();
+        assert!((h.total() - join.total() as f64).abs() < 1e-9);
+        assert_eq!(h.weight(&[1, 0, 1]), 2.0);
+        // Query answers over the dense histogram match answers over the
+        // sparse join result.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let family = QueryFamily::random_sign(&q, 10, &mut rng).unwrap();
+        let sparse = family.answer_all_on_join(&q, &join).unwrap();
+        let dense = h.answer_all(&q, &family).unwrap();
+        for i in 0..family.len() {
+            assert!((sparse.get(i) - dense[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_weight_vector_matches_pointwise_eval() {
+        let q = tiny_query();
+        let h = Histogram::zeros(&q, DEFAULT_MAX_CELLS).unwrap();
+        let pq = ProductQuery::new(vec![
+            RelationQuery::SignHash { seed: 9 },
+            RelationQuery::AllOne,
+        ]);
+        let weights = h.query_weight_vector(&q, &pq).unwrap();
+        let evaluator = JointEvaluator::full_domain(&q).unwrap();
+        for idx in 0..h.len() {
+            let t = h.tuple_of(idx);
+            assert!((weights[idx] - evaluator.weight(&pq, &t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiplicative_update_moves_mass_toward_positive_weights() {
+        let q = tiny_query();
+        let mut h = Histogram::uniform(&q, 60.0, DEFAULT_MAX_CELLS).unwrap();
+        // Query weights: +1 on cells with A = 0, -1 elsewhere.
+        let weights: Vec<f64> = (0..h.len())
+            .map(|idx| if h.tuple_of(idx)[0] == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let before_mass_a0: f64 = (0..h.len())
+            .filter(|&i| h.tuple_of(i)[0] == 0)
+            .map(|i| h.weights()[i])
+            .sum();
+        h.multiplicative_update(&weights, 0.5);
+        let after_mass_a0: f64 = (0..h.len())
+            .filter(|&i| h.tuple_of(i)[0] == 0)
+            .map(|i| h.weights()[i])
+            .sum();
+        assert!(after_mass_a0 > before_mass_a0);
+        // Total mass preserved by renormalisation.
+        assert!((h.total() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_and_scale_average() {
+        let q = tiny_query();
+        let mut acc = Histogram::zeros(&q, DEFAULT_MAX_CELLS).unwrap();
+        let a = Histogram::uniform(&q, 30.0, DEFAULT_MAX_CELLS).unwrap();
+        let b = Histogram::uniform(&q, 90.0, DEFAULT_MAX_CELLS).unwrap();
+        acc.accumulate(&a).unwrap();
+        acc.accumulate(&b).unwrap();
+        acc.scale(0.5);
+        assert!((acc.total() - 60.0).abs() < 1e-9);
+        // Mismatched domains rejected.
+        let other = Histogram::zeros(&JoinQuery::two_table(2, 2, 2), DEFAULT_MAX_CELLS).unwrap();
+        assert!(acc.accumulate(&other).is_err());
+    }
+
+    #[test]
+    fn rounding_preserves_mass_in_expectation() {
+        let q = tiny_query();
+        let h = Histogram::uniform(&q, 240.0, DEFAULT_MAX_CELLS).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut totals = 0u64;
+        let trials = 50;
+        for _ in 0..trials {
+            let records = h.round_to_records(&mut rng);
+            totals += records.iter().map(|(_, c)| c).sum::<u64>();
+        }
+        let avg = totals as f64 / trials as f64;
+        assert!((avg - 240.0).abs() < 10.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn normalize_to_handles_zero_mass() {
+        let q = tiny_query();
+        let mut h = Histogram::zeros(&q, DEFAULT_MAX_CELLS).unwrap();
+        h.normalize_to(10.0); // must not divide by zero
+        assert_eq!(h.total(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper's bookkeeping quantities: `f_lower`, `f_upper`, the recommended
+//! PMW iteration count, and the closed-form error bound of Theorem A.1.
+//!
+//! These are *predictions*, not measurements; the experiment harness prints
+//! them next to measured errors so that the shape of each theorem can be
+//! checked empirically.
+
+/// `f_lower(D, Q, ε) = √(1/ε) · √(log |D|)` — the factor appearing in all
+/// lower bounds.  `log2_domain` is `log₂ |D|`.
+pub fn f_lower(log2_domain: f64, epsilon: f64) -> f64 {
+    (1.0 / epsilon).sqrt() * log2_domain.max(1.0).sqrt()
+}
+
+/// `f_upper(D, Q, ε, δ) = f_lower · √(log |Q| · log 1/δ)` — the factor
+/// appearing in all upper bounds.
+pub fn f_upper(log2_domain: f64, num_queries: usize, epsilon: f64, delta: f64) -> f64 {
+    let log_q = (num_queries.max(2) as f64).ln();
+    let log_inv_delta = if delta > 0.0 { (1.0 / delta).ln() } else { 1.0 };
+    f_lower(log2_domain, epsilon) * (log_q * log_inv_delta).max(1.0).sqrt()
+}
+
+/// The iteration count `k` that minimises the PMW error bound
+/// (Appendix A): `k = n̂·ε·√(log|D|) / (Δ̃·log|Q|·√(log 1/δ))`, clamped to
+/// `[1, max_iterations]`.
+pub fn recommended_iterations(
+    noisy_total: f64,
+    delta_tilde: f64,
+    log2_domain: f64,
+    num_queries: usize,
+    epsilon: f64,
+    delta: f64,
+    max_iterations: usize,
+) -> usize {
+    let log_q = (num_queries.max(2) as f64).ln();
+    let log_inv_delta = if delta > 0.0 { (1.0 / delta).ln() } else { 1.0 };
+    let denom = delta_tilde.max(1.0) * log_q * log_inv_delta.sqrt();
+    let k = noisy_total.max(1.0) * epsilon * log2_domain.max(1.0).sqrt() / denom;
+    (k.ceil() as usize).clamp(1, max_iterations.max(1))
+}
+
+/// The PMW error bound of Theorem A.1 (up to constants):
+/// `(√(count·Δ̃) + Δ̃·√λ) · f_upper`.
+pub fn pmw_error_bound(
+    count: f64,
+    delta_tilde: f64,
+    log2_domain: f64,
+    num_queries: usize,
+    epsilon: f64,
+    delta: f64,
+) -> f64 {
+    let lambda = if delta > 0.0 {
+        (1.0 / epsilon) * (1.0 / delta).ln()
+    } else {
+        1.0
+    };
+    ((count * delta_tilde).sqrt() + delta_tilde * lambda.sqrt())
+        * f_upper(log2_domain, num_queries, epsilon, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_lower_scales_with_domain_and_epsilon() {
+        let base = f_lower(16.0, 1.0);
+        assert!(f_lower(64.0, 1.0) > base);
+        assert!(f_lower(16.0, 0.25) > base);
+        assert!((f_lower(16.0, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_upper_dominates_f_lower() {
+        let lo = f_lower(20.0, 0.5);
+        let hi = f_upper(20.0, 128, 0.5, 1e-6);
+        assert!(hi >= lo);
+    }
+
+    #[test]
+    fn iteration_count_clamps_and_scales() {
+        let k_small = recommended_iterations(100.0, 10.0, 12.0, 64, 1.0, 1e-6, 500);
+        let k_big = recommended_iterations(100_000.0, 10.0, 12.0, 64, 1.0, 1e-6, 500);
+        assert!(k_big >= k_small);
+        assert!(k_big <= 500);
+        assert!(recommended_iterations(0.0, 1.0, 1.0, 2, 1.0, 1e-6, 500) >= 1);
+        // Larger Δ̃ → fewer iterations.
+        let k_hi_delta = recommended_iterations(100_000.0, 1000.0, 12.0, 64, 1.0, 1e-6, 500);
+        assert!(k_hi_delta <= k_big);
+    }
+
+    #[test]
+    fn error_bound_monotone_in_count_and_delta() {
+        let base = pmw_error_bound(1000.0, 5.0, 12.0, 64, 1.0, 1e-6);
+        assert!(pmw_error_bound(4000.0, 5.0, 12.0, 64, 1.0, 1e-6) > base);
+        assert!(pmw_error_bound(1000.0, 20.0, 12.0, 64, 1.0, 1e-6) > base);
+        // Roughly doubles when count quadruples (sqrt scaling) for small Δ̃·√λ.
+        let big = pmw_error_bound(4000.0, 5.0, 12.0, 64, 1.0, 1e-6);
+        assert!(big / base < 2.2);
+    }
+}

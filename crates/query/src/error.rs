@@ -1,0 +1,83 @@
+//! Error type for query construction and evaluation.
+
+use std::fmt;
+
+use dpsyn_relational::RelationalError;
+
+/// Errors raised while constructing or evaluating linear queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+    /// A query has the wrong number of per-relation components.
+    ComponentCountMismatch {
+        /// Components expected (the query's `m`).
+        expected: usize,
+        /// Components supplied.
+        got: usize,
+    },
+    /// A weight lies outside `[-1, 1]`.
+    WeightOutOfRange {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A workload parameter is invalid (e.g. zero queries requested).
+    InvalidWorkload(String),
+    /// Answer vectors of different lengths were compared.
+    AnswerLengthMismatch {
+        /// Length of the first vector.
+        left: usize,
+        /// Length of the second vector.
+        right: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Relational(e) => write!(f, "relational error: {e}"),
+            QueryError::ComponentCountMismatch { expected, got } => write!(
+                f,
+                "query has {got} per-relation components but the join query has {expected} relations"
+            ),
+            QueryError::WeightOutOfRange { weight } => {
+                write!(f, "linear query weight {weight} is outside [-1, 1]")
+            }
+            QueryError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            QueryError::AnswerLengthMismatch { left, right } => write!(
+                f,
+                "cannot compare answer vectors of different lengths ({left} vs {right})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Relational(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for QueryError {
+    fn from(e: RelationalError) -> Self {
+        QueryError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: QueryError = RelationalError::EmptyQuery.into();
+        assert!(e.to_string().contains("relational"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = QueryError::WeightOutOfRange { weight: 2.0 };
+        assert!(e.to_string().contains("[-1, 1]"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Attributes, finite domains and schemas.
+//!
+//! The paper models each attribute `x` as having a finite domain `dom(x)`.
+//! We represent domain elements as integers `0..domain_size`, which is fully
+//! general for the algorithms in the paper (only equality on join attributes
+//! and per-relation linear query weights matter).
+
+use crate::error::RelationalError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an attribute within a [`Schema`].
+///
+/// Attribute ids are dense indices `0..schema.attr_count()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for AttrId {
+    fn from(v: u16) -> Self {
+        AttrId(v)
+    }
+}
+
+impl std::fmt::Display for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named attribute with a finite integer domain `{0, …, domain_size-1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Human-readable name (e.g. `"A"`, `"user_id"`).
+    pub name: String,
+    /// Number of distinct values in the attribute's domain.
+    pub domain_size: u64,
+}
+
+impl Attribute {
+    /// Creates a new attribute.
+    pub fn new(name: impl Into<String>, domain_size: u64) -> Self {
+        Attribute {
+            name: name.into(),
+            domain_size,
+        }
+    }
+}
+
+/// The global attribute set `x` of a join query, with per-attribute domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from an ordered list of attributes.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Convenience constructor: attributes named by `names`, all with the same
+    /// domain size.
+    pub fn uniform(names: &[&str], domain_size: u64) -> Self {
+        Schema {
+            attrs: names
+                .iter()
+                .map(|n| Attribute::new(*n, domain_size))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes in the schema.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attribute ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len() as u16).map(AttrId)
+    }
+
+    /// All attribute ids collected into a vector.
+    pub fn all_ids(&self) -> Vec<AttrId> {
+        self.ids().collect()
+    }
+
+    /// Looks up an attribute by id.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
+        self.attrs
+            .get(id.index())
+            .ok_or(RelationalError::UnknownAttribute {
+                attr: id.0,
+                schema_len: self.attrs.len(),
+            })
+    }
+
+    /// Domain size of an attribute.
+    pub fn domain_size(&self, id: AttrId) -> Result<u64> {
+        Ok(self.attr(id)?.domain_size)
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn id_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Product of the domain sizes of `ids` (the size of `dom(y)` for a set of
+    /// attributes `y`).  Returns `1` for the empty set.
+    pub fn joint_domain_size(&self, ids: &[AttrId]) -> Result<u128> {
+        let mut prod: u128 = 1;
+        for id in ids {
+            prod = prod.saturating_mul(self.domain_size(*id)? as u128);
+        }
+        Ok(prod)
+    }
+
+    /// `log2` of the joint domain size of all attributes (the `log |D|` term
+    /// in the paper's error bounds).
+    pub fn log2_full_domain(&self) -> f64 {
+        self.attrs
+            .iter()
+            .map(|a| (a.domain_size.max(1) as f64).log2())
+            .sum()
+    }
+
+    /// Validates that `id` exists in the schema.
+    pub fn check_attr(&self, id: AttrId) -> Result<()> {
+        self.attr(id).map(|_| ())
+    }
+
+    /// Validates that every id in `ids` exists, is sorted strictly increasing.
+    pub fn check_attr_list(&self, ids: &[AttrId]) -> Result<()> {
+        if ids.is_empty() {
+            return Err(RelationalError::InvalidAttributeList(
+                "attribute list is empty".to_string(),
+            ));
+        }
+        for w in ids.windows(2) {
+            if w[0] >= w[1] {
+                return Err(RelationalError::InvalidAttributeList(format!(
+                    "attribute list must be strictly increasing, found {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        for id in ids {
+            self.check_attr(*id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Attribute::new("A", 4),
+            Attribute::new("B", 8),
+            Attribute::new("C", 16),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = abc();
+        assert_eq!(s.attr_count(), 3);
+        assert_eq!(s.id_by_name("B"), Some(AttrId(1)));
+        assert_eq!(s.id_by_name("Z"), None);
+        assert_eq!(s.attr(AttrId(2)).unwrap().name, "C");
+        assert!(s.attr(AttrId(3)).is_err());
+    }
+
+    #[test]
+    fn joint_domain_size_multiplies() {
+        let s = abc();
+        assert_eq!(s.joint_domain_size(&[]).unwrap(), 1);
+        assert_eq!(s.joint_domain_size(&[AttrId(0), AttrId(2)]).unwrap(), 64);
+        assert_eq!(
+            s.joint_domain_size(&s.all_ids()).unwrap(),
+            4 * 8 * 16
+        );
+    }
+
+    #[test]
+    fn log2_full_domain_matches() {
+        let s = abc();
+        let expect = (4.0f64).log2() + (8.0f64).log2() + (16.0f64).log2();
+        assert!((s.log2_full_domain() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_attr_list_rejects_unsorted_and_dups() {
+        let s = abc();
+        assert!(s.check_attr_list(&[AttrId(0), AttrId(1)]).is_ok());
+        assert!(s.check_attr_list(&[AttrId(1), AttrId(0)]).is_err());
+        assert!(s.check_attr_list(&[AttrId(1), AttrId(1)]).is_err());
+        assert!(s.check_attr_list(&[]).is_err());
+        assert!(s.check_attr_list(&[AttrId(7)]).is_err());
+    }
+
+    #[test]
+    fn uniform_schema() {
+        let s = Schema::uniform(&["A", "B"], 10);
+        assert_eq!(s.attr_count(), 2);
+        assert_eq!(s.domain_size(AttrId(1)).unwrap(), 10);
+    }
+}

@@ -1,0 +1,271 @@
+//! Fractional edge covers and the AGM bound (Appendix B.3).
+//!
+//! The worst-case error analysis of the paper bounds `count(I) ≤ n^{ρ(H)}` via
+//! the AGM bound, where `ρ(H)` is the optimal value of the fractional
+//! edge-cover LP:
+//!
+//! ```text
+//! minimize   Σ_i W_i
+//! subject to Σ_{i : x ∈ x_i} W_i ≥ 1      for every attribute x
+//!            0 ≤ W_i ≤ 1                  for every relation i
+//! ```
+//!
+//! The number of relations `m` is a constant (data complexity), so we solve
+//! the LP exactly by enumerating basic feasible solutions: every vertex of the
+//! feasible polytope is determined by `m` tight constraints chosen among the
+//! coverage constraints and the box constraints.
+
+use crate::attr::AttrId;
+use crate::hypergraph::JoinQuery;
+use crate::Result;
+
+/// Solves a small dense linear system `a · x = b` by Gaussian elimination with
+/// partial pivoting.  Returns `None` when the system is (numerically) singular.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot selection.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// A generic fractional edge cover solver over an explicit hypergraph:
+/// `vertices` is the attribute set to cover and `edges` the hyperedges
+/// (attribute lists).  Attributes in `vertices` not covered by any edge make
+/// the LP infeasible, in which case `None` is returned.
+pub fn cover_weights(vertices: &[AttrId], edges: &[Vec<AttrId>]) -> Option<Vec<f64>> {
+    let m = edges.len();
+    if m == 0 {
+        return if vertices.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    // Feasibility pre-check: every vertex must appear in some edge.
+    for v in vertices {
+        if !edges.iter().any(|e| e.binary_search(v).is_ok()) {
+            return None;
+        }
+    }
+    // Constraint rows: coverage rows (Σ a_i W_i ≥ 1) then box rows
+    // (W_i ≥ 0 as -W_i ≥ -1·0, W_i ≤ 1).  We store each as (coeffs, rhs, is_eq_candidate).
+    struct Row {
+        coeffs: Vec<f64>,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for v in vertices {
+        let coeffs: Vec<f64> = edges
+            .iter()
+            .map(|e| if e.binary_search(v).is_ok() { 1.0 } else { 0.0 })
+            .collect();
+        rows.push(Row { coeffs, rhs: 1.0 });
+    }
+    for i in 0..m {
+        let mut low = vec![0.0; m];
+        low[i] = 1.0;
+        rows.push(Row {
+            coeffs: low.clone(),
+            rhs: 0.0,
+        }); // W_i = 0 candidate
+        rows.push(Row {
+            coeffs: low,
+            rhs: 1.0,
+        }); // W_i = 1 candidate
+    }
+
+    let feasible = |w: &[f64]| -> bool {
+        for v in vertices {
+            let sum: f64 = edges
+                .iter()
+                .zip(w)
+                .filter(|(e, _)| e.binary_search(v).is_ok())
+                .map(|(_, wi)| *wi)
+                .sum();
+            if sum < 1.0 - 1e-7 {
+                return false;
+            }
+        }
+        w.iter().all(|&wi| (-1e-9..=1.0 + 1e-9).contains(&wi))
+    };
+
+    // Enumerate all size-m subsets of rows as tight constraints.
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let row_count = rows.len();
+    let mut indices: Vec<usize> = (0..m).collect();
+    loop {
+        // Solve the square system given by the chosen tight rows.
+        let a: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].coeffs.clone()).collect();
+        let b: Vec<f64> = indices.iter().map(|&i| rows[i].rhs).collect();
+        if let Some(w) = solve_linear_system(a, b) {
+            if feasible(&w) {
+                let obj: f64 = w.iter().sum();
+                let better = match &best {
+                    None => true,
+                    Some((cur, _)) => obj < *cur - 1e-12,
+                };
+                if better {
+                    best = Some((obj, w));
+                }
+            }
+        }
+        // Advance the combination (lexicographic next subset).
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return best.map(|(_, w)| w);
+            }
+            i -= 1;
+            if indices[i] + (m - i) < row_count {
+                indices[i] += 1;
+                for j in i + 1..m {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Fractional edge-cover weights of a join query (one weight per relation).
+pub fn fractional_edge_cover(query: &JoinQuery) -> Result<Vec<f64>> {
+    let attrs: Vec<AttrId> = query
+        .all_attrs()
+        .into_iter()
+        .filter(|a| !query.atom(*a).is_empty())
+        .collect();
+    let edges: Vec<Vec<AttrId>> = query.relations().to_vec();
+    Ok(cover_weights(&attrs, &edges)
+        .expect("every attribute of a join query is covered by its own relation"))
+}
+
+/// The fractional edge-cover number `ρ(H)`.
+pub fn fractional_edge_cover_number(query: &JoinQuery) -> Result<f64> {
+    Ok(fractional_edge_cover(query)?.iter().sum())
+}
+
+/// The AGM bound `n^{ρ(H)}` on the join size of any instance of input size `n`
+/// whose relations are set-valued (frequencies in `{0, 1}`).
+pub fn agm_bound(query: &JoinQuery, n: u64) -> Result<f64> {
+    Ok((n as f64).powf(fractional_edge_cover_number(query)?))
+}
+
+/// Fractional edge-cover number of the residual query `H_{E,y}` (relations in
+/// `e` with the attributes `removed` deleted) — the quantity `ρ(H_{E,∂E})`
+/// appearing in the worst-case error bound of Appendix B.3.
+pub fn residual_cover_number(
+    query: &JoinQuery,
+    e: &[usize],
+    removed: &[AttrId],
+) -> Result<Option<f64>> {
+    query.check_subset(e)?;
+    let union = query.union_attrs(e)?;
+    let vertices: Vec<AttrId> = crate::tuple::diff_attrs(&union, removed);
+    let edges: Vec<Vec<AttrId>> = e
+        .iter()
+        .map(|&i| crate::tuple::diff_attrs(query.relation_attrs(i), removed))
+        .filter(|attrs| !attrs.is_empty())
+        .collect();
+    Ok(cover_weights(&vertices, &edges).map(|w| w.iter().sum()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_table_cover_is_two() {
+        // A appears only in R1 and C only in R2, so both weights must be 1.
+        let q = JoinQuery::two_table(4, 4, 4);
+        let rho = fractional_edge_cover_number(&q).unwrap();
+        assert!((rho - 2.0).abs() < 1e-6, "got {rho}");
+    }
+
+    #[test]
+    fn triangle_cover_is_three_halves() {
+        let q = JoinQuery::triangle(4);
+        let rho = fractional_edge_cover_number(&q).unwrap();
+        assert!((rho - 1.5).abs() < 1e-6, "got {rho}");
+        let w = fractional_edge_cover(&q).unwrap();
+        assert_eq!(w.len(), 3);
+        for wi in w {
+            assert!((wi - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn path_cover() {
+        // Path of 3 relations R1(A0,A1) R2(A1,A2) R3(A2,A3): the end attributes
+        // force W1 = W3 = 1, and A1, A2 are then covered, so W2 = 0 → ρ = 2.
+        let q = JoinQuery::path(3, 4).unwrap();
+        let rho = fractional_edge_cover_number(&q).unwrap();
+        assert!((rho - 2.0).abs() < 1e-6, "got {rho}");
+    }
+
+    #[test]
+    fn star_cover_is_m() {
+        // Each petal attribute appears in exactly one relation, so all weights
+        // are 1 and ρ = m.
+        let q = JoinQuery::star(4, 4).unwrap();
+        let rho = fractional_edge_cover_number(&q).unwrap();
+        assert!((rho - 4.0).abs() < 1e-6, "got {rho}");
+    }
+
+    #[test]
+    fn agm_bound_value() {
+        let q = JoinQuery::triangle(4);
+        let bound = agm_bound(&q, 100).unwrap();
+        assert!((bound - 100f64.powf(1.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_cover_of_two_table_boundary() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        // H_{E={0}, ∂E={B}}: relation {A,B} minus {B} = {A}; ρ = 1.
+        let rho = residual_cover_number(&q, &[0], &[AttrId(1)]).unwrap();
+        assert_eq!(rho, Some(1.0));
+        // Removing everything leaves an empty vertex set: ρ = 0.
+        let rho = residual_cover_number(&q, &[0], &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(rho, Some(0.0));
+    }
+
+    #[test]
+    fn infeasible_cover_returns_none() {
+        // A vertex not covered by any edge.
+        assert_eq!(cover_weights(&[AttrId(0)], &[]), None);
+    }
+
+    #[test]
+    fn linear_solver_smoke() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or evaluating relational objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// An attribute id refers outside the schema.
+    UnknownAttribute {
+        /// Offending attribute index.
+        attr: u16,
+        /// Number of attributes in the schema.
+        schema_len: usize,
+    },
+    /// A tuple's arity does not match the relation's arity.
+    ArityMismatch {
+        /// Expected arity (number of attributes of the relation).
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A value lies outside its attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute whose domain was violated.
+        attr: u16,
+        /// Offending value.
+        value: u64,
+        /// Domain size of the attribute.
+        domain_size: u64,
+    },
+    /// A relation's attribute list is empty, unsorted, or contains duplicates.
+    InvalidAttributeList(String),
+    /// A join query was constructed with no relations.
+    EmptyQuery,
+    /// The number of relations in an instance does not match the query.
+    RelationCountMismatch {
+        /// Relations expected by the query.
+        expected: usize,
+        /// Relations present in the instance.
+        got: usize,
+    },
+    /// The attribute list of a relation in an instance does not match the query.
+    SchemaMismatch {
+        /// Index of the offending relation.
+        relation: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The requested operation needs a hierarchical join query.
+    NotHierarchical(String),
+    /// A projection target is not a subset of the source attribute list.
+    NotASubset {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A subset of relation indices is out of range or empty when it must not be.
+    InvalidRelationSubset(String),
+    /// Frequency arithmetic would underflow below zero.
+    FrequencyUnderflow,
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownAttribute { attr, schema_len } => write!(
+                f,
+                "attribute id {attr} is out of range for a schema with {schema_len} attributes"
+            ),
+            RelationalError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity mismatch: expected {expected}, got {got}")
+            }
+            RelationalError::ValueOutOfDomain {
+                attr,
+                value,
+                domain_size,
+            } => write!(
+                f,
+                "value {value} is outside the domain of attribute {attr} (domain size {domain_size})"
+            ),
+            RelationalError::InvalidAttributeList(msg) => {
+                write!(f, "invalid attribute list: {msg}")
+            }
+            RelationalError::EmptyQuery => write!(f, "join query must contain at least one relation"),
+            RelationalError::RelationCountMismatch { expected, got } => write!(
+                f,
+                "instance has {got} relations but the join query expects {expected}"
+            ),
+            RelationalError::SchemaMismatch { relation, detail } => {
+                write!(f, "relation {relation} does not match the query schema: {detail}")
+            }
+            RelationalError::NotHierarchical(msg) => {
+                write!(f, "join query is not hierarchical: {msg}")
+            }
+            RelationalError::NotASubset { detail } => write!(f, "not a subset: {detail}"),
+            RelationalError::InvalidRelationSubset(msg) => {
+                write!(f, "invalid relation subset: {msg}")
+            }
+            RelationalError::FrequencyUnderflow => {
+                write!(f, "frequency update would drop a tuple's frequency below zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationalError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        let e = RelationalError::ValueOutOfDomain {
+            attr: 1,
+            value: 9,
+            domain_size: 4,
+        };
+        assert!(e.to_string().contains("domain size 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RelationalError::EmptyQuery);
+    }
+}

@@ -1,0 +1,355 @@
+//! Multi-way natural join evaluation.
+//!
+//! The join result of an instance `I` over a query `H` is the function
+//! `Join_I : dom(x) → Z≥0` of Section 1.1, represented sparsely (only tuples
+//! with non-zero weight are stored).  Weights are products of the input
+//! frequencies of the participating tuples.
+//!
+//! The same machinery evaluates *sub-joins* (joins of a subset `E` of the
+//! relations), which the sensitivity computations of Section 3.3 need for the
+//! maximum boundary queries `T_E`.
+
+use std::collections::BTreeMap;
+
+use crate::attr::AttrId;
+use crate::error::RelationalError;
+use crate::hypergraph::JoinQuery;
+use crate::instance::Instance;
+use crate::tuple::{intersect_attrs, project_positions, project_with_positions, union_attrs, Value};
+use crate::Result;
+
+/// A sparse join result: tuples over `attrs` with positive integer weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinResult {
+    attrs: Vec<AttrId>,
+    tuples: BTreeMap<Vec<Value>, u128>,
+}
+
+impl JoinResult {
+    /// The attribute list the result tuples range over (sorted).
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Total weight `Σ_t Join(t)` — the join size when the result covers all
+    /// relations of the query.
+    pub fn total(&self) -> u128 {
+        self.tuples.values().sum()
+    }
+
+    /// Number of distinct result tuples.
+    pub fn distinct_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over `(tuple, weight)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, u128)> {
+        self.tuples.iter().map(|(t, &w)| (t, w))
+    }
+
+    /// Weight of a specific tuple (zero if absent).
+    pub fn weight(&self, tuple: &[Value]) -> u128 {
+        self.tuples.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Groups the result by a subset of its attributes, summing weights.
+    /// For an empty `group_by` the map has one entry (the empty key) holding
+    /// the total weight.
+    pub fn group_by(&self, group_by: &[AttrId]) -> Result<BTreeMap<Vec<Value>, u128>> {
+        let positions = project_positions(&self.attrs, group_by)?;
+        let mut out: BTreeMap<Vec<Value>, u128> = BTreeMap::new();
+        for (t, w) in self.iter() {
+            let key = project_with_positions(t, &positions);
+            *out.entry(key).or_insert(0) += w;
+        }
+        if group_by.is_empty() && out.is_empty() {
+            out.insert(Vec::new(), 0);
+        }
+        Ok(out)
+    }
+
+    /// Maximum group weight over `group_by` (zero for an empty result).
+    pub fn max_group_weight(&self, group_by: &[AttrId]) -> Result<u128> {
+        Ok(self
+            .group_by(group_by)?
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// Returns the set of distinct projections of result tuples onto `onto`.
+    pub fn distinct_projections(
+        &self,
+        onto: &[AttrId],
+    ) -> Result<std::collections::BTreeSet<Vec<Value>>> {
+        let positions = project_positions(&self.attrs, onto)?;
+        Ok(self
+            .iter()
+            .map(|(t, _)| project_with_positions(t, &positions))
+            .collect())
+    }
+
+    /// Builds a result directly from parts (used by tests and simulators).
+    pub fn from_parts(attrs: Vec<AttrId>, tuples: BTreeMap<Vec<Value>, u128>) -> Self {
+        JoinResult { attrs, tuples }
+    }
+}
+
+/// Joins the subset `rels` of the instance's relations (a sub-join of the
+/// query).  `rels` must be non-empty, sorted and in range.
+pub fn join_subset(query: &JoinQuery, instance: &Instance, rels: &[usize]) -> Result<JoinResult> {
+    query.check_subset(rels)?;
+    if rels.is_empty() {
+        return Err(RelationalError::InvalidRelationSubset(
+            "cannot join an empty set of relations; the empty join is handled by callers"
+                .to_string(),
+        ));
+    }
+    if instance.num_relations() != query.num_relations() {
+        return Err(RelationalError::RelationCountMismatch {
+            expected: query.num_relations(),
+            got: instance.num_relations(),
+        });
+    }
+
+    // Start from the first relation.
+    let first = instance.relation(rels[0]);
+    let mut acc_attrs: Vec<AttrId> = first.attrs().to_vec();
+    let mut acc: BTreeMap<Vec<Value>, u128> = first
+        .iter()
+        .map(|(t, f)| (t.clone(), f as u128))
+        .collect();
+
+    for &ri in &rels[1..] {
+        let rel = instance.relation(ri);
+        let rel_attrs = rel.attrs().to_vec();
+        let shared = intersect_attrs(&acc_attrs, &rel_attrs);
+        let new_attrs = union_attrs(&acc_attrs, &rel_attrs);
+
+        // Index the relation's tuples by their projection onto the shared attributes.
+        let rel_shared_pos = project_positions(&rel_attrs, &shared)?;
+        let mut index: BTreeMap<Vec<Value>, Vec<(&Vec<Value>, u64)>> = BTreeMap::new();
+        for (t, f) in rel.iter() {
+            index
+                .entry(project_with_positions(t, &rel_shared_pos))
+                .or_default()
+                .push((t, f));
+        }
+
+        let acc_shared_pos = project_positions(&acc_attrs, &shared)?;
+        // Positions to assemble the merged tuple: for each attribute of
+        // new_attrs, where to read it from (left accumulated tuple or right
+        // relation tuple).
+        enum Side {
+            Left(usize),
+            Right(usize),
+        }
+        let merge_plan: Vec<Side> = new_attrs
+            .iter()
+            .map(|a| match acc_attrs.binary_search(a) {
+                Ok(p) => Side::Left(p),
+                Err(_) => Side::Right(
+                    rel_attrs
+                        .binary_search(a)
+                        .expect("attribute must originate from one operand"),
+                ),
+            })
+            .collect();
+
+        let mut next: BTreeMap<Vec<Value>, u128> = BTreeMap::new();
+        for (t, w) in &acc {
+            let key = project_with_positions(t, &acc_shared_pos);
+            if let Some(matches) = index.get(&key) {
+                for (rt, rf) in matches {
+                    let merged: Vec<Value> = merge_plan
+                        .iter()
+                        .map(|side| match side {
+                            Side::Left(p) => t[*p],
+                            Side::Right(p) => rt[*p],
+                        })
+                        .collect();
+                    let contribution = w.saturating_mul(*rf as u128);
+                    *next.entry(merged).or_insert(0) += contribution;
+                }
+            }
+        }
+        acc_attrs = new_attrs;
+        acc = next;
+        // Note: even when the accumulated result is already empty we keep
+        // folding in the remaining relations so that the result's attribute
+        // list always covers the union of the requested relations' attributes
+        // (downstream evaluators rely on it).
+    }
+
+    Ok(JoinResult {
+        attrs: acc_attrs,
+        tuples: acc,
+    })
+}
+
+/// Joins all relations of the query (the paper's `Join_I`).
+pub fn join(query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
+    let all: Vec<usize> = (0..query.num_relations()).collect();
+    join_subset(query, instance, &all)
+}
+
+/// The join size `count(I) = Σ_t Join_I(t)`.
+pub fn join_size(query: &JoinQuery, instance: &Instance) -> Result<u128> {
+    Ok(join(query, instance)?.total())
+}
+
+/// Joins the relation subset `rels` and groups the result by `group_by`,
+/// returning total weight per group.  For `rels = ∅` the result is the single
+/// empty group with weight 1 (the empty product), matching the convention
+/// `T_∅(I) = 1` used by residual sensitivity.
+pub fn grouped_join_size(
+    query: &JoinQuery,
+    instance: &Instance,
+    rels: &[usize],
+    group_by: &[AttrId],
+) -> Result<BTreeMap<Vec<Value>, u128>> {
+    if rels.is_empty() {
+        let mut out = BTreeMap::new();
+        out.insert(Vec::new(), 1u128);
+        return Ok(out);
+    }
+    join_subset(query, instance, rels)?.group_by(group_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::relation::Relation;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn two_table() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(8, 8, 8);
+        // R1(A,B): (0,0):1 (1,0):2 (2,1):1
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        // R2(B,C): (0,0):1 (0,1):1 (1,3):3 (5,5):7
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            vec![
+                (vec![0, 0], 1),
+                (vec![0, 1], 1),
+                (vec![1, 3], 3),
+                (vec![5, 5], 7),
+            ],
+        )
+        .unwrap();
+        (q, Instance::new(vec![r1, r2]))
+    }
+
+    #[test]
+    fn two_table_join_matches_manual_computation() {
+        let (q, inst) = two_table();
+        let result = join(&q, &inst).unwrap();
+        assert_eq!(result.attrs(), ids(&[0, 1, 2]).as_slice());
+        // B=0 matches: R1 weight (0,0)->1, (1,0)->2; R2 weight (0,0)->1, (0,1)->1
+        // B=1 matches: R1 (2,1)->1; R2 (1,3)->3
+        // B=5 matches nothing in R1.
+        assert_eq!(result.weight(&[0, 0, 0]), 1);
+        assert_eq!(result.weight(&[0, 0, 1]), 1);
+        assert_eq!(result.weight(&[1, 0, 0]), 2);
+        assert_eq!(result.weight(&[1, 0, 1]), 2);
+        assert_eq!(result.weight(&[2, 1, 3]), 3);
+        assert_eq!(result.weight(&[2, 1, 0]), 0);
+        assert_eq!(result.total(), 1 + 1 + 2 + 2 + 3);
+        assert_eq!(join_size(&q, &inst).unwrap(), 9);
+    }
+
+    #[test]
+    fn frequencies_multiply() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 5)]).unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 7)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        assert_eq!(join_size(&q, &inst).unwrap(), 35);
+    }
+
+    #[test]
+    fn empty_join_when_no_common_value() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 1)]).unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![1, 0], 1)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let result = join(&q, &inst).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.total(), 0);
+    }
+
+    #[test]
+    fn path_join_three_relations() {
+        let q = JoinQuery::path(3, 4).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        // R1(A0,A1) = {(0,1)}, R2(A1,A2) = {(1,2):2}, R3(A2,A3) = {(2,3), (2,0)}
+        inst.relation_mut(0).add_one(vec![0, 1]).unwrap();
+        inst.relation_mut(1).add(vec![1, 2], 2).unwrap();
+        inst.relation_mut(2).add_one(vec![2, 3]).unwrap();
+        inst.relation_mut(2).add_one(vec![2, 0]).unwrap();
+        let result = join(&q, &inst).unwrap();
+        assert_eq!(result.total(), 4);
+        assert_eq!(result.weight(&[0, 1, 2, 3]), 2);
+        assert_eq!(result.weight(&[0, 1, 2, 0]), 2);
+    }
+
+    #[test]
+    fn subjoin_and_grouping() {
+        let (q, inst) = two_table();
+        // Sub-join of just R1 grouped by B.
+        let groups = grouped_join_size(&q, &inst, &[0], &ids(&[1])).unwrap();
+        assert_eq!(groups.get(&vec![0]).copied(), Some(3));
+        assert_eq!(groups.get(&vec![1]).copied(), Some(1));
+        // Empty relation subset: conventionally a single unit group.
+        let empty = grouped_join_size(&q, &inst, &[], &[]).unwrap();
+        assert_eq!(empty.get(&Vec::new()).copied(), Some(1));
+        // Full join grouped by nothing = join size.
+        let total = grouped_join_size(&q, &inst, &[0, 1], &[]).unwrap();
+        assert_eq!(total.get(&Vec::new()).copied(), Some(9));
+    }
+
+    #[test]
+    fn max_group_weight_and_projections() {
+        let (q, inst) = two_table();
+        let result = join(&q, &inst).unwrap();
+        // Grouped by B: B=0 contributes 6, B=1 contributes 3.
+        assert_eq!(result.max_group_weight(&ids(&[1])).unwrap(), 6);
+        let projs = result.distinct_projections(&ids(&[1])).unwrap();
+        assert_eq!(projs.len(), 2);
+    }
+
+    #[test]
+    fn star_join() {
+        let q = JoinQuery::star(3, 4).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        // Hub value 2 appears in all three relations.
+        inst.relation_mut(0).add(vec![2, 0], 2).unwrap();
+        inst.relation_mut(1).add(vec![2, 1], 3).unwrap();
+        inst.relation_mut(2).add(vec![2, 3], 1).unwrap();
+        // Hub value 1 appears only in two relations.
+        inst.relation_mut(0).add(vec![1, 0], 1).unwrap();
+        inst.relation_mut(1).add(vec![1, 1], 1).unwrap();
+        assert_eq!(join_size(&q, &inst).unwrap(), 6);
+    }
+
+    #[test]
+    fn invalid_subset_rejected() {
+        let (q, inst) = two_table();
+        assert!(join_subset(&q, &inst, &[]).is_err());
+        assert!(join_subset(&q, &inst, &[3]).is_err());
+    }
+}

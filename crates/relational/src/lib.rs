@@ -1,0 +1,56 @@
+//! Relational substrate for differentially private data release over
+//! multiple tables.
+//!
+//! This crate implements the data model of Section 1.1 of the paper
+//! *Differentially Private Data Release over Multiple Tables* (PODS 2023):
+//!
+//! * attributes with finite domains and schemas ([`attr`]),
+//! * frequency-annotated relations `R_i : D_i → Z≥0` ([`relation`]),
+//! * join queries as hypergraphs `H = (x, {x_1, …, x_m})` with boundaries,
+//!   connectivity and the hierarchical-query test ([`hypergraph`]),
+//! * multi-table instances and neighbouring-instance edits ([`instance`]),
+//! * multi-way natural join evaluation and grouped join sizes ([`join`]),
+//! * degree statistics `deg`, `Ψ_E` and maximum degrees `mdeg` ([`degree`]),
+//! * attribute trees for hierarchical joins ([`tree`]),
+//! * fractional edge covers and the AGM bound ([`cover`]).
+//!
+//! Everything downstream (sensitivity computation, the PMW release algorithm
+//! and the paper's join-as-one / uniformization algorithms) is built on these
+//! primitives.
+//!
+//! # Conventions
+//!
+//! * Attribute lists are always kept sorted in increasing [`AttrId`] order and
+//!   tuples store their values in that order.
+//! * Relations map tuples to non-negative integer frequencies (annotated
+//!   relations); a "plain" relation is simply one whose frequencies are all 1.
+//! * All iteration uses ordered maps so that downstream randomized algorithms
+//!   are reproducible from an RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod cover;
+pub mod degree;
+pub mod error;
+pub mod hypergraph;
+pub mod instance;
+pub mod join;
+pub mod relation;
+pub mod tree;
+pub mod tuple;
+
+pub use attr::{AttrId, Attribute, Schema};
+pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
+pub use degree::{deg_multi, deg_single, max_degree, psi};
+pub use error::RelationalError;
+pub use hypergraph::JoinQuery;
+pub use instance::{Instance, NeighborEdit};
+pub use join::{grouped_join_size, join, join_size, join_subset, JoinResult};
+pub use relation::Relation;
+pub use tree::AttributeTree;
+pub use tuple::{project, project_positions, Value};
+
+/// Result alias used throughout the relational crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -1,0 +1,304 @@
+//! Attribute trees for hierarchical join queries (Section 4.2).
+//!
+//! A join query is *hierarchical* when, for every pair of attributes `x, y`,
+//! the relation sets `atom(x)` and `atom(y)` are nested or disjoint.  The
+//! attributes of a hierarchical query can be organised into a forest in which
+//! every relation corresponds to a root-to-node path (Figure 4 of the paper).
+//! The hierarchical partition procedure (Algorithm 6) walks this tree bottom
+//! up, and Lemma 4.8 identifies, for each attribute `x`, the maximum degree
+//! `mdeg_{atom(x)}(ancestors(x))` that must be uniformized.
+
+use crate::attr::AttrId;
+use crate::error::RelationalError;
+use crate::hypergraph::JoinQuery;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The attribute forest of a hierarchical join query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeTree {
+    /// Parent of each attribute (`None` for roots).  Indexed by attribute id.
+    parent: Vec<Option<AttrId>>,
+    /// Children of each attribute.  Indexed by attribute id.
+    children: Vec<Vec<AttrId>>,
+    /// Root attributes (attributes with maximal `atom` sets).
+    roots: Vec<AttrId>,
+    /// Attributes in a bottom-up order (every attribute appears after all of
+    /// its descendants).
+    bottom_up: Vec<AttrId>,
+}
+
+impl AttributeTree {
+    /// Builds the attribute tree of a hierarchical join query.
+    ///
+    /// Returns [`RelationalError::NotHierarchical`] when the query is not
+    /// hierarchical.  Attributes that appear in no relation are left out of
+    /// the tree (they have no `atom` and play no role in the join).
+    pub fn build(query: &JoinQuery) -> Result<Self> {
+        if !query.is_hierarchical() {
+            return Err(RelationalError::NotHierarchical(
+                "attribute tree requires a hierarchical join query".to_string(),
+            ));
+        }
+        let attr_count = query.schema().attr_count();
+        let atoms: Vec<Vec<usize>> = (0..attr_count as u16)
+            .map(|a| query.atom(AttrId(a)))
+            .collect();
+
+        let mut parent: Vec<Option<AttrId>> = vec![None; attr_count];
+        let mut children: Vec<Vec<AttrId>> = vec![Vec::new(); attr_count];
+        let mut roots = Vec::new();
+
+        for x in 0..attr_count {
+            if atoms[x].is_empty() {
+                continue; // attribute unused by the query
+            }
+            // Candidate parents: attributes whose atom strictly contains
+            // atom(x), or equals it with a smaller id (to chain equal-atom
+            // attributes deterministically).
+            let mut best: Option<(usize, usize)> = None; // (|atom|, attr id)
+            for y in 0..attr_count {
+                if y == x || atoms[y].is_empty() {
+                    continue;
+                }
+                let contains = atoms[x].iter().all(|i| atoms[y].contains(i));
+                if !contains {
+                    continue;
+                }
+                let strictly = atoms[y].len() > atoms[x].len();
+                let equal_chain = atoms[y].len() == atoms[x].len() && y < x;
+                if strictly || equal_chain {
+                    let key = (atoms[y].len(), y);
+                    // Minimal |atom| wins; among equals the largest id wins so
+                    // that equal-atom attributes form a chain x0 ← x1 ← x2 …
+                    let better = match best {
+                        None => true,
+                        Some((len, id)) => key.0 < len || (key.0 == len && key.1 > id),
+                    };
+                    if better {
+                        best = Some(key);
+                    }
+                }
+            }
+            match best {
+                Some((_, y)) => {
+                    parent[x] = Some(AttrId(y as u16));
+                    children[y].push(AttrId(x as u16));
+                }
+                None => roots.push(AttrId(x as u16)),
+            }
+        }
+
+        // Bottom-up (post-order) traversal.
+        let mut bottom_up = Vec::with_capacity(attr_count);
+        fn post_order(
+            node: AttrId,
+            children: &[Vec<AttrId>],
+            out: &mut Vec<AttrId>,
+        ) {
+            for &c in &children[node.index()] {
+                post_order(c, children, out);
+            }
+            out.push(node);
+        }
+        for &r in &roots {
+            post_order(r, &children, &mut bottom_up);
+        }
+
+        let tree = AttributeTree {
+            parent,
+            children,
+            roots,
+            bottom_up,
+        };
+        tree.verify_paths(query)?;
+        Ok(tree)
+    }
+
+    /// Verifies that every relation corresponds to a root-to-node path, the
+    /// defining property of hierarchical queries (Section 4.2).
+    fn verify_paths(&self, query: &JoinQuery) -> Result<()> {
+        for i in 0..query.num_relations() {
+            let attrs = query.relation_attrs(i);
+            // The relation's attributes, sorted by depth, must form a chain
+            // where each one's parent is the previous one.
+            let mut by_depth: Vec<AttrId> = attrs.to_vec();
+            by_depth.sort_by_key(|a| self.depth(*a));
+            for w in by_depth.windows(2) {
+                if self.parent(w[1]) != Some(w[0]) {
+                    return Err(RelationalError::NotHierarchical(format!(
+                        "relation {i} does not form a root-to-node path: {} is not the parent of {}",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            // The shallowest attribute must be a root.
+            if let Some(first) = by_depth.first() {
+                if self.parent(*first).is_some() {
+                    return Err(RelationalError::NotHierarchical(format!(
+                        "relation {i} does not start at a root attribute"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parent of an attribute (`None` for roots or unused attributes).
+    pub fn parent(&self, x: AttrId) -> Option<AttrId> {
+        self.parent.get(x.index()).copied().flatten()
+    }
+
+    /// Children of an attribute.
+    pub fn children(&self, x: AttrId) -> &[AttrId] {
+        &self.children[x.index()]
+    }
+
+    /// Root attributes.
+    pub fn roots(&self) -> &[AttrId] {
+        &self.roots
+    }
+
+    /// Depth of an attribute (roots have depth 0).
+    pub fn depth(&self, x: AttrId) -> usize {
+        let mut d = 0;
+        let mut cur = x;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Strict ancestors of `x`, ordered root → parent (the paper's `y` — the
+    /// ancestors of `x` in `T`).  Returned sorted by [`AttrId`] so the result
+    /// can be used directly as a projection target.
+    pub fn ancestors(&self, x: AttrId) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        let mut cur = x;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out.sort();
+        out
+    }
+
+    /// Attributes in bottom-up order (every node after all of its descendants):
+    /// the visit order of Algorithm 6.
+    pub fn bottom_up_order(&self) -> &[AttrId] {
+        &self.bottom_up
+    }
+
+    /// Number of attributes participating in the tree.
+    pub fn len(&self) -> usize {
+        self.bottom_up.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bottom_up.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Schema;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn figure4_query() -> JoinQuery {
+        let schema = Schema::uniform(&["A", "B", "C", "D", "F", "G", "K", "L"], 4);
+        JoinQuery::new(
+            schema,
+            vec![
+                ids(&[0, 1, 3]),    // x1 = {A,B,D}
+                ids(&[0, 1, 4]),    // x2 = {A,B,F}
+                ids(&[0, 1, 5, 6]), // x3 = {A,B,G,K}
+                ids(&[0, 1, 5, 7]), // x4 = {A,B,G,L}
+                ids(&[0, 2]),       // x5 = {A,C}
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_tree_shape() {
+        let q = figure4_query();
+        let tree = AttributeTree::build(&q).unwrap();
+        // A is the unique root; B and C are children of A; D, F, G under B;
+        // K, L under G.
+        assert_eq!(tree.roots(), &[AttrId(0)]);
+        assert_eq!(tree.parent(AttrId(1)), Some(AttrId(0))); // B ← A
+        assert_eq!(tree.parent(AttrId(2)), Some(AttrId(0))); // C ← A
+        assert_eq!(tree.parent(AttrId(3)), Some(AttrId(1))); // D ← B
+        assert_eq!(tree.parent(AttrId(4)), Some(AttrId(1))); // F ← B
+        assert_eq!(tree.parent(AttrId(5)), Some(AttrId(1))); // G ← B
+        assert_eq!(tree.parent(AttrId(6)), Some(AttrId(5))); // K ← G
+        assert_eq!(tree.parent(AttrId(7)), Some(AttrId(5))); // L ← G
+        assert_eq!(tree.ancestors(AttrId(6)), ids(&[0, 1, 5]));
+        assert_eq!(tree.ancestors(AttrId(0)), Vec::<AttrId>::new());
+        assert_eq!(tree.depth(AttrId(7)), 3);
+    }
+
+    #[test]
+    fn bottom_up_order_places_children_first() {
+        let q = figure4_query();
+        let tree = AttributeTree::build(&q).unwrap();
+        let order = tree.bottom_up_order();
+        assert_eq!(order.len(), 8);
+        let pos = |a: AttrId| order.iter().position(|&x| x == a).unwrap();
+        for a in 0..8u16 {
+            if let Some(p) = tree.parent(AttrId(a)) {
+                assert!(pos(AttrId(a)) < pos(p), "child {a} must precede its parent");
+            }
+        }
+    }
+
+    #[test]
+    fn two_table_tree() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let tree = AttributeTree::build(&q).unwrap();
+        // B (shared) is the root; A and C hang off it.
+        assert_eq!(tree.roots(), &[AttrId(1)]);
+        assert_eq!(tree.parent(AttrId(0)), Some(AttrId(1)));
+        assert_eq!(tree.parent(AttrId(2)), Some(AttrId(1)));
+    }
+
+    #[test]
+    fn star_tree_has_hub_root() {
+        let q = JoinQuery::star(3, 4).unwrap();
+        let tree = AttributeTree::build(&q).unwrap();
+        assert_eq!(tree.roots(), &[AttrId(0)]);
+        assert_eq!(tree.children(AttrId(0)).len(), 3);
+    }
+
+    #[test]
+    fn non_hierarchical_rejected() {
+        let q = JoinQuery::path(3, 4).unwrap();
+        assert!(matches!(
+            AttributeTree::build(&q),
+            Err(RelationalError::NotHierarchical(_))
+        ));
+    }
+
+    #[test]
+    fn equal_atom_attributes_form_a_chain() {
+        // Both attributes appear in both relations: atoms are equal.
+        let schema = Schema::uniform(&["A", "B", "C"], 4);
+        let q = JoinQuery::new(
+            schema,
+            vec![ids(&[0, 1]), ids(&[0, 1, 2])],
+        )
+        .unwrap();
+        let tree = AttributeTree::build(&q).unwrap();
+        // atom(A) = atom(B) = {0,1}; they chain A ← B deterministically, and C
+        // (atom {1}) hangs below B.
+        assert_eq!(tree.roots(), &[AttrId(0)]);
+        assert_eq!(tree.parent(AttrId(1)), Some(AttrId(0)));
+        assert_eq!(tree.parent(AttrId(2)), Some(AttrId(1)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Tuples and projections.
+//!
+//! A tuple over an attribute list `attrs` (sorted by [`AttrId`]) is stored as a
+//! `Vec<Value>` whose `i`-th entry is the value of `attrs[i]`.  The paper
+//! writes `π_y t` for the projection of tuple `t` onto attributes `y`; this
+//! module provides that operation together with position pre-computation for
+//! hot loops.
+
+use crate::attr::AttrId;
+use crate::error::RelationalError;
+use crate::Result;
+
+/// A single attribute value.  Domain elements are integers `0..domain_size`.
+pub type Value = u64;
+
+/// Computes, for each attribute in `onto`, its position inside `attrs`.
+///
+/// Both lists must be sorted; `onto` must be a subset of `attrs`.
+/// The returned positions can be reused to project many tuples cheaply.
+pub fn project_positions(attrs: &[AttrId], onto: &[AttrId]) -> Result<Vec<usize>> {
+    let mut positions = Vec::with_capacity(onto.len());
+    for target in onto {
+        match attrs.binary_search(target) {
+            Ok(pos) => positions.push(pos),
+            Err(_) => {
+                return Err(RelationalError::NotASubset {
+                    detail: format!("attribute {target} is not part of the source attribute list"),
+                })
+            }
+        }
+    }
+    Ok(positions)
+}
+
+/// Projects `tuple` (over `attrs`) onto the attribute subset `onto`:
+/// the paper's `π_onto tuple`.
+pub fn project(tuple: &[Value], attrs: &[AttrId], onto: &[AttrId]) -> Result<Vec<Value>> {
+    let positions = project_positions(attrs, onto)?;
+    Ok(project_with_positions(tuple, &positions))
+}
+
+/// Projects using pre-computed positions (see [`project_positions`]).
+#[inline]
+pub fn project_with_positions(tuple: &[Value], positions: &[usize]) -> Vec<Value> {
+    positions.iter().map(|&p| tuple[p]).collect()
+}
+
+/// Merges two attribute lists (each sorted, duplicate-free) into their sorted
+/// union, returning the union.
+pub fn union_attrs(a: &[AttrId], b: &[AttrId]) -> Vec<AttrId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersection of two sorted attribute lists.
+pub fn intersect_attrs(a: &[AttrId], b: &[AttrId]) -> Vec<AttrId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Set difference `a \ b` of two sorted attribute lists.
+pub fn diff_attrs(a: &[AttrId], b: &[AttrId]) -> Vec<AttrId> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Merges a tuple over `a_attrs` with a tuple over `b_attrs` into a tuple over
+/// their sorted union.  Where both sides define a value for an attribute the
+/// values must agree (the caller is expected to have checked join
+/// compatibility); the left value is used.
+pub fn merge_tuples(
+    a_tuple: &[Value],
+    a_attrs: &[AttrId],
+    b_tuple: &[Value],
+    b_attrs: &[AttrId],
+) -> (Vec<AttrId>, Vec<Value>) {
+    let attrs = union_attrs(a_attrs, b_attrs);
+    let mut values = Vec::with_capacity(attrs.len());
+    for attr in &attrs {
+        if let Ok(pos) = a_attrs.binary_search(attr) {
+            values.push(a_tuple[pos]);
+        } else {
+            let pos = b_attrs
+                .binary_search(attr)
+                .expect("attribute must come from one of the operands");
+            values.push(b_tuple[pos]);
+        }
+    }
+    (attrs, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    #[test]
+    fn projection_basic() {
+        let attrs = ids(&[0, 2, 5]);
+        let t = vec![10, 20, 50];
+        assert_eq!(project(&t, &attrs, &ids(&[0, 5])).unwrap(), vec![10, 50]);
+        assert_eq!(project(&t, &attrs, &ids(&[2])).unwrap(), vec![20]);
+        assert_eq!(project(&t, &attrs, &[]).unwrap(), Vec::<Value>::new());
+        assert!(project(&t, &attrs, &ids(&[1])).is_err());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = ids(&[0, 1, 3, 5]);
+        let b = ids(&[1, 2, 5, 7]);
+        assert_eq!(union_attrs(&a, &b), ids(&[0, 1, 2, 3, 5, 7]));
+        assert_eq!(intersect_attrs(&a, &b), ids(&[1, 5]));
+        assert_eq!(diff_attrs(&a, &b), ids(&[0, 3]));
+        assert_eq!(diff_attrs(&b, &a), ids(&[2, 7]));
+        assert_eq!(union_attrs(&[], &b), b);
+        assert_eq!(intersect_attrs(&a, &[]), vec![]);
+    }
+
+    #[test]
+    fn merge_preserves_sorted_union() {
+        let a_attrs = ids(&[0, 2]);
+        let b_attrs = ids(&[2, 4]);
+        let (attrs, vals) = merge_tuples(&[7, 9], &a_attrs, &[9, 11], &b_attrs);
+        assert_eq!(attrs, ids(&[0, 2, 4]));
+        assert_eq!(vals, vec![7, 9, 11]);
+    }
+
+    #[test]
+    fn project_positions_reusable() {
+        let attrs = ids(&[1, 4, 6, 9]);
+        let pos = project_positions(&attrs, &ids(&[4, 9])).unwrap();
+        assert_eq!(pos, vec![1, 3]);
+        assert_eq!(project_with_positions(&[5, 6, 7, 8], &pos), vec![6, 8]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Degree configurations (Definition 4.9) and uniform partitions
+//! (Definition 4.3).
+//!
+//! The uniformization framework buckets degrees geometrically: bucket `i ≥ 1`
+//! covers degrees in `(γ_{i-1}, γ_i]` with `γ_i = λ·2^i` and `γ_0 = 0`.  A
+//! *degree configuration* assigns one bucket to every attribute of a
+//! hierarchical query (equivalently, per Lemma 4.8, to every maximum degree
+//! `mdeg_{atom(x)}(ancestors(x))`), and each sub-instance produced by
+//! Algorithm 6/7 is characterised by one configuration.  The configuration's
+//! bucket caps upper-bound the sub-instance's boundary queries, which is how
+//! the fine-grained error bound of Theorem C.2 is assembled.
+
+use std::collections::BTreeMap;
+
+use dpsyn_relational::tuple::diff_attrs;
+use dpsyn_relational::{AttrId, AttributeTree, Instance, JoinQuery, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SensitivityError;
+use crate::Result;
+
+/// Returns the bucket index `i = max{1, ⌈log₂(deg/λ)⌉}` used by Algorithms 5
+/// and 7 (degrees of zero map to bucket 1 as well).
+pub fn bucket_of(degree: f64, lambda: f64) -> usize {
+    if degree <= lambda {
+        return 1;
+    }
+    let i = (degree / lambda).log2().ceil() as i64;
+    i.max(1) as usize
+}
+
+/// The degree range `(γ_{i-1}, γ_i]` covered by bucket `i` (with `γ_0 = 0`).
+pub fn bucket_range(i: usize, lambda: f64) -> (f64, f64) {
+    let hi = lambda * (2.0f64).powi(i as i32);
+    let lo = if i <= 1 { 0.0 } else { lambda * (2.0f64).powi(i as i32 - 1) };
+    (lo, hi)
+}
+
+/// The cap `γ_i = λ·2^i` of bucket `i`.
+pub fn bucket_cap(i: usize, lambda: f64) -> f64 {
+    lambda * (2.0f64).powi(i as i32)
+}
+
+/// A degree configuration: one bucket per attribute of a hierarchical query
+/// (Definition 4.9, indexed by attribute via the Lemma 4.8 correspondence
+/// `x ↔ (atom(x), ancestors(x))`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct DegreeConfiguration {
+    buckets: BTreeMap<AttrId, usize>,
+}
+
+impl DegreeConfiguration {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bucket of attribute `x`.
+    pub fn set(&mut self, attr: AttrId, bucket: usize) {
+        self.buckets.insert(attr, bucket);
+    }
+
+    /// The bucket of attribute `x` (`None` = the paper's `⊥`).
+    pub fn bucket(&self, attr: AttrId) -> Option<usize> {
+        self.buckets.get(&attr).copied()
+    }
+
+    /// Iterates over `(attribute, bucket)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, usize)> + '_ {
+        self.buckets.iter().map(|(&a, &b)| (a, b))
+    }
+
+    /// Number of attributes assigned a bucket.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no attribute has been assigned a bucket.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The cap `γ_i` of attribute `x`'s bucket, or `None` if unassigned.
+    pub fn cap(&self, attr: AttrId, lambda: f64) -> Option<f64> {
+        self.bucket(attr).map(|i| bucket_cap(i, lambda))
+    }
+
+    /// Builds the configuration of an instance from its *true* degrees (the
+    /// uniform partition's characterisation): attribute `x` gets the bucket of
+    /// `mdeg_{atom(x)}(ancestors(x))`.
+    pub fn from_true_degrees(
+        query: &JoinQuery,
+        tree: &AttributeTree,
+        instance: &Instance,
+        lambda: f64,
+    ) -> Result<Self> {
+        check_lambda(lambda)?;
+        let mut config = DegreeConfiguration::new();
+        for &attr in tree.bottom_up_order() {
+            let relations = query.atom(attr);
+            if relations.is_empty() {
+                continue;
+            }
+            let ancestors = tree.ancestors(attr);
+            let d = dpsyn_relational::max_degree(query, instance, &relations, &ancestors)?;
+            config.set(attr, bucket_of(d as f64, lambda));
+        }
+        Ok(config)
+    }
+
+    /// Upper bound on the boundary query `T_E` of an instance *conforming to
+    /// this configuration*, as the product of bucket caps over the attributes
+    /// of `Ô_E ∖ ∂E` (Lemma 4.8 with `mdeg ≤ γ`).
+    pub fn t_e_upper_bound(
+        &self,
+        query: &JoinQuery,
+        e: &[usize],
+        lambda: f64,
+    ) -> Result<f64> {
+        check_lambda(lambda)?;
+        if e.is_empty() {
+            return Ok(1.0);
+        }
+        let union = query.union_attrs(e)?;
+        let boundary = query.boundary(e)?;
+        let inner = diff_attrs(&union, &boundary);
+        let mut product = 1.0;
+        for attr in inner {
+            match self.cap(attr, lambda) {
+                Some(cap) => product *= cap,
+                None => {
+                    return Err(SensitivityError::RequiresHierarchical(format!(
+                        "degree configuration has no bucket for attribute {attr}"
+                    )))
+                }
+            }
+        }
+        Ok(product)
+    }
+
+    /// Upper bound on the *local sensitivity* of an instance conforming to
+    /// this configuration: `max_i Π caps over Ô_{[m]∖{i}} ∖ ∂`.  This is the
+    /// quantity `LS^σ_count` appearing in Theorem C.3.
+    pub fn local_sensitivity_upper_bound(
+        &self,
+        query: &JoinQuery,
+        lambda: f64,
+    ) -> Result<f64> {
+        let m = query.num_relations();
+        let mut worst: f64 = 0.0;
+        for i in 0..m {
+            let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+            worst = worst.max(self.t_e_upper_bound(query, &others, lambda)?);
+        }
+        Ok(worst)
+    }
+}
+
+fn check_lambda(lambda: f64) -> Result<()> {
+    if !(lambda > 0.0) || !lambda.is_finite() {
+        return Err(SensitivityError::InvalidParameter {
+            name: "lambda",
+            value: lambda,
+            constraint: "0 < lambda < ∞",
+        });
+    }
+    Ok(())
+}
+
+/// The uniform partition of a two-table instance (Definition 4.3): join
+/// values of the shared attribute(s) are grouped into buckets by their *true*
+/// maximum degree `max{deg_{1,B}(b), deg_{2,B}(b)}`.
+///
+/// This is the non-private object that Theorem 4.4 and Theorem 4.5 are
+/// parameterised by; the private Algorithm 5 approximates it with noisy
+/// degrees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformPartitionSpec {
+    /// Bucket index for each join value (keyed by the value tuple over the
+    /// shared attributes).
+    pub assignment: BTreeMap<Vec<Value>, usize>,
+    /// The λ used to define the bucket boundaries.
+    pub lambda_bits: u64,
+}
+
+impl UniformPartitionSpec {
+    /// Computes the uniform partition of a two-table instance.
+    pub fn two_table(query: &JoinQuery, instance: &Instance, lambda: f64) -> Result<Self> {
+        check_lambda(lambda)?;
+        if query.num_relations() != 2 {
+            return Err(SensitivityError::RequiresTwoTable {
+                got: query.num_relations(),
+            });
+        }
+        let shared = query.intersect_attrs(&[0, 1])?;
+        let d1 = instance.relation(0).degree_map(&shared)?;
+        let d2 = instance.relation(1).degree_map(&shared)?;
+        let mut assignment = BTreeMap::new();
+        let mut keys: std::collections::BTreeSet<Vec<Value>> = d1.keys().cloned().collect();
+        keys.extend(d2.keys().cloned());
+        for key in keys {
+            let deg = d1.get(&key).copied().unwrap_or(0).max(d2.get(&key).copied().unwrap_or(0));
+            assignment.insert(key, bucket_of(deg as f64, lambda));
+        }
+        Ok(UniformPartitionSpec {
+            assignment,
+            lambda_bits: lambda.to_bits(),
+        })
+    }
+
+    /// The λ used to build this partition.
+    pub fn lambda(&self) -> f64 {
+        f64::from_bits(self.lambda_bits)
+    }
+
+    /// The set of join values assigned to bucket `i`.
+    pub fn bucket_members(&self, i: usize) -> std::collections::BTreeSet<Vec<Value>> {
+        self.assignment
+            .iter()
+            .filter(|(_, &b)| b == i)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// The largest bucket index in use (0 when the partition is empty).
+    pub fn max_bucket(&self) -> usize {
+        self.assignment.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_relational::Relation;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    #[test]
+    fn bucket_of_matches_geometric_ranges() {
+        let lambda = 4.0;
+        assert_eq!(bucket_of(0.0, lambda), 1);
+        assert_eq!(bucket_of(3.0, lambda), 1);
+        assert_eq!(bucket_of(8.0, lambda), 1);
+        assert_eq!(bucket_of(8.1, lambda), 2);
+        assert_eq!(bucket_of(16.0, lambda), 2);
+        assert_eq!(bucket_of(16.1, lambda), 3);
+        // Each degree lies inside its bucket's range (above bucket 1's floor).
+        for &d in &[1.0, 5.0, 9.0, 17.0, 100.0, 1000.0] {
+            let i = bucket_of(d, lambda);
+            let (lo, hi) = bucket_range(i, lambda);
+            assert!(d <= hi, "degree {d} above cap {hi}");
+            if i > 1 {
+                assert!(d > lo, "degree {d} below floor {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_cap_doubles() {
+        assert_eq!(bucket_cap(1, 3.0), 6.0);
+        assert_eq!(bucket_cap(2, 3.0), 12.0);
+        assert_eq!(bucket_cap(5, 1.0), 32.0);
+    }
+
+    #[test]
+    fn configuration_round_trips() {
+        let mut c = DegreeConfiguration::new();
+        assert!(c.is_empty());
+        c.set(AttrId(3), 2);
+        c.set(AttrId(1), 4);
+        assert_eq!(c.bucket(AttrId(3)), Some(2));
+        assert_eq!(c.bucket(AttrId(9)), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.cap(AttrId(1), 2.0), Some(32.0));
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(AttrId(1), 4), (AttrId(3), 2)]);
+    }
+
+    fn skewed_two_table() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(64, 64, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        // Join value 0 is heavy (degree 16 on both sides), value 1 is light.
+        for a in 0..16u64 {
+            inst.relation_mut(0).add(vec![a, 0], 1).unwrap();
+            inst.relation_mut(1).add(vec![0, a], 1).unwrap();
+        }
+        inst.relation_mut(0).add(vec![0, 1], 1).unwrap();
+        inst.relation_mut(1).add(vec![1, 0], 1).unwrap();
+        (q, inst)
+    }
+
+    #[test]
+    fn uniform_partition_buckets_by_true_degree() {
+        let (q, inst) = skewed_two_table();
+        let lambda = 2.0;
+        let spec = UniformPartitionSpec::two_table(&q, &inst, lambda).unwrap();
+        // Value 0 has degree 16 → bucket ⌈log2(16/2)⌉ = 3; value 1 has degree 1 → bucket 1.
+        assert_eq!(spec.assignment.get(&vec![0u64]).copied(), Some(3));
+        assert_eq!(spec.assignment.get(&vec![1u64]).copied(), Some(1));
+        assert_eq!(spec.max_bucket(), 3);
+        assert_eq!(spec.bucket_members(3).len(), 1);
+        assert!((spec.lambda() - lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_partition_requires_two_tables() {
+        let q = JoinQuery::star(3, 8).unwrap();
+        let inst = Instance::empty_for(&q).unwrap();
+        assert!(matches!(
+            UniformPartitionSpec::two_table(&q, &inst, 1.0),
+            Err(SensitivityError::RequiresTwoTable { got: 3 })
+        ));
+    }
+
+    #[test]
+    fn configuration_from_true_degrees_and_bounds() {
+        let q = JoinQuery::two_table(64, 64, 64);
+        let tree = AttributeTree::build(&q).unwrap();
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            (0..12u64).map(|a| (vec![a, 0], 1)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            (0..3u64).map(|c| (vec![0, c], 1)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let lambda = 2.0;
+        let config =
+            DegreeConfiguration::from_true_degrees(&q, &tree, &inst, lambda).unwrap();
+        // Attribute A (id 0): mdeg_{R1}(B) = 12 → bucket 3 (cap 16).
+        assert_eq!(config.bucket(AttrId(0)), Some(3));
+        // Attribute C (id 2): mdeg_{R2}(B) = 3 → bucket 1 (cap 4).
+        assert_eq!(config.bucket(AttrId(2)), Some(1));
+        // T_{E={0}} bound = cap(A) = 16 ≥ true value 12.
+        let bound = config.t_e_upper_bound(&q, &[0], lambda).unwrap();
+        assert_eq!(bound, 16.0);
+        // LS^σ bound = max over i of the T bounds = 16.
+        let ls_bound = config.local_sensitivity_upper_bound(&q, lambda).unwrap();
+        assert_eq!(ls_bound, 16.0);
+        let true_ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+        assert!(ls_bound >= true_ls);
+    }
+
+    #[test]
+    fn missing_bucket_is_an_error() {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let config = DegreeConfiguration::new();
+        assert!(config.t_e_upper_bound(&q, &[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_lambda_rejected() {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let inst = Instance::empty_for(&q).unwrap();
+        assert!(UniformPartitionSpec::two_table(&q, &inst, 0.0).is_err());
+        let tree = AttributeTree::build(&q).unwrap();
+        assert!(DegreeConfiguration::from_true_degrees(&q, &tree, &inst, -1.0).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for sensitivity computations.
+
+use std::fmt;
+
+use dpsyn_relational::RelationalError;
+
+/// Errors raised by sensitivity computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensitivityError {
+    /// An underlying relational operation failed.
+    Relational(RelationalError),
+    /// A numeric parameter (e.g. `β` or `λ`) is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Constraint violated.
+        constraint: &'static str,
+    },
+    /// The operation requires a hierarchical join query.
+    RequiresHierarchical(String),
+    /// The operation is specific to two-table queries.
+    RequiresTwoTable {
+        /// Number of relations actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SensitivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensitivityError::Relational(e) => write!(f, "relational error: {e}"),
+            SensitivityError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: must satisfy {constraint}"),
+            SensitivityError::RequiresHierarchical(msg) => {
+                write!(f, "operation requires a hierarchical join query: {msg}")
+            }
+            SensitivityError::RequiresTwoTable { got } => {
+                write!(f, "operation requires a two-table query, got {got} relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensitivityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensitivityError::Relational(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for SensitivityError {
+    fn from(e: RelationalError) -> Self {
+        SensitivityError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_relational_errors() {
+        let inner = RelationalError::EmptyQuery;
+        let e: SensitivityError = inner.clone().into();
+        assert_eq!(e, SensitivityError::Relational(inner));
+        assert!(e.to_string().contains("relational error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn parameter_error_displays_constraint() {
+        let e = SensitivityError::InvalidParameter {
+            name: "beta",
+            value: -0.5,
+            constraint: "beta > 0",
+        };
+        assert!(e.to_string().contains("beta > 0"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Global (worst-case) sensitivity bounds and the worst-case error exponents
+//! of Appendix B.3.
+//!
+//! Global sensitivity `GS_count = max_I LS_count(I)` is what a naive Laplace
+//! mechanism would have to calibrate to.  Over instances of input size at most
+//! `n`:
+//!
+//! * for set-valued relations (frequencies in `{0,1}`), the AGM bound gives
+//!   `T_E(I) ≤ n^{ρ(H_{E,∂E})}`, so `GS ≤ max_i n^{ρ(H_{[m]∖{i}, ∂}) }`;
+//! * for general annotated relations the tight bound is `Θ(n^{m-1})`.
+//!
+//! These quantities are used by the global-sensitivity baseline (to show how
+//! much worse it is than residual sensitivity) and by the worst-case error
+//! experiment (E8).
+
+use dpsyn_relational::cover::residual_cover_number;
+use dpsyn_relational::JoinQuery;
+
+use crate::Result;
+
+/// An upper bound on the global sensitivity of `count(·)` over instances of
+/// input size at most `n`.
+///
+/// * `set_valued = true`: uses the AGM bound on each residual query
+///   `H_{[m]∖{i}, ∂}`, i.e. `max_i n^{ρ_i}`.
+/// * `set_valued = false`: uses the annotated-relation bound `n^{m-1}`.
+pub fn global_sensitivity_bound(query: &JoinQuery, n: u64, set_valued: bool) -> Result<f64> {
+    let m = query.num_relations();
+    if m == 1 {
+        // A single table: adding/removing one record changes the count by 1.
+        return Ok(1.0);
+    }
+    let nf = n as f64;
+    if !set_valued {
+        return Ok(nf.powi(m as i32 - 1));
+    }
+    let mut worst: f64 = 1.0;
+    for i in 0..m {
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let boundary = query.boundary(&others)?;
+        let rho = residual_cover_number(query, &others, &boundary)?.unwrap_or((m - 1) as f64);
+        worst = worst.max(nf.powf(rho));
+    }
+    Ok(worst)
+}
+
+/// The exponent pair `(ρ(H), max_{E⊊[m]} ρ(H_{E,∂E}))` of the worst-case error
+/// bound in Appendix B.3: the error of Theorem 1.5 on set-valued instances of
+/// input size `n` is `Õ(√(n^{ρ(H)} · n^{max_E ρ(H_{E,∂E})}))`.
+pub fn worst_case_error_exponent(query: &JoinQuery) -> Result<(f64, f64)> {
+    let rho_full = dpsyn_relational::fractional_edge_cover_number(query)?;
+    let m = query.num_relations();
+    let mut rho_residual: f64 = 0.0;
+    // Enumerate proper subsets E ⊊ [m].
+    for mask in 0u32..((1u32 << m) - 1) {
+        let e: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+        if e.is_empty() {
+            continue;
+        }
+        let boundary = query.boundary(&e)?;
+        if let Some(rho) = residual_cover_number(query, &e, &boundary)? {
+            rho_residual = rho_residual.max(rho);
+        }
+    }
+    Ok((rho_full, rho_residual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_relational::{Instance, Relation};
+
+    #[test]
+    fn single_table_global_sensitivity_is_one() {
+        let q = JoinQuery::new(
+            dpsyn_relational::Schema::uniform(&["A"], 8),
+            vec![vec![dpsyn_relational::AttrId(0)]],
+        )
+        .unwrap();
+        assert_eq!(global_sensitivity_bound(&q, 100, true).unwrap(), 1.0);
+        assert_eq!(global_sensitivity_bound(&q, 100, false).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn two_table_bounds() {
+        let q = JoinQuery::two_table(8, 8, 8);
+        // Set-valued: the residual query {A,B} minus boundary {B} has ρ = 1.
+        assert!((global_sensitivity_bound(&q, 50, true).unwrap() - 50.0).abs() < 1e-9);
+        // Annotated: n^{m-1} = n.
+        assert!((global_sensitivity_bound(&q, 50, false).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annotated_bound_grows_with_m() {
+        let q = JoinQuery::star(3, 8).unwrap();
+        assert!((global_sensitivity_bound(&q, 10, false).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_bound_dominates_local_sensitivity_of_concrete_instances() {
+        // Build a skewed two-table instance of size n and check LS ≤ GS bound.
+        let q = JoinQuery::two_table(64, 64, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        let n_half = 20u64;
+        for j in 0..n_half {
+            inst.relation_mut(0).add(vec![j, 0], 1).unwrap();
+            inst.relation_mut(1).add(vec![0, j], 1).unwrap();
+        }
+        let ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+        let gs = global_sensitivity_bound(&q, inst.input_size(), true).unwrap();
+        assert!(ls <= gs + 1e-9, "LS {ls} must not exceed GS bound {gs}");
+    }
+
+    #[test]
+    fn worst_case_exponents_for_common_queries() {
+        let (rho, rho_res) = worst_case_error_exponent(&JoinQuery::two_table(4, 4, 4)).unwrap();
+        assert!((rho - 2.0).abs() < 1e-6);
+        assert!((rho_res - 1.0).abs() < 1e-6);
+
+        let (rho, rho_res) = worst_case_error_exponent(&JoinQuery::triangle(4)).unwrap();
+        assert!((rho - 1.5).abs() < 1e-6);
+        // For the triangle, removing one relation leaves a path of two
+        // relations whose boundary is its two endpoints; ρ of the residual is 1.
+        assert!(rho_res >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn relation_helper_used_by_docs_compiles() {
+        // Keep a tiny usage of Relation in this module so the example in the
+        // crate docs stays honest about the types involved.
+        let r = Relation::new(vec![dpsyn_relational::AttrId(0)]).unwrap();
+        assert!(r.is_empty());
+    }
+}

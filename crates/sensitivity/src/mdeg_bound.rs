@@ -1,0 +1,194 @@
+//! The maximum-degree upper bound on boundary queries for hierarchical joins
+//! (Section 4.2.1, Lemma 4.8).
+//!
+//! For a hierarchical join, `T_E(I)` can be upper-bounded by a product of
+//! maximum degrees, one per attribute of `⋃_{i∈E} x_i ∖ ∂E`:
+//!
+//! ```text
+//! T_E(I) ≤ Π_{x ∈ Ô_E ∖ ∂E}  mdeg_{atom(x)}(ancestors(x))
+//! ```
+//!
+//! (Figure 4's example: `T_{345} ≤ mdeg_5(A) · mdeg_{34}(AB) · mdeg_3(ABG) ·
+//! mdeg_4(ABG)`.)  Unlike `T_E` itself, each factor is a per-attribute degree
+//! that the partition procedure of Algorithm 7 can uniformize, which is what
+//! makes the fine-grained hierarchical bounds of Theorem C.2 possible.
+
+use dpsyn_relational::tuple::diff_attrs;
+use dpsyn_relational::{max_degree, AttrId, AttributeTree, Instance, JoinQuery};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// One maximum-degree factor `mdeg_{atom(x)}(ancestors(x))` in the Lemma 4.8
+/// upper bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MdegTerm {
+    /// The attribute `x` this factor corresponds to.
+    pub attr: AttrId,
+    /// `atom(x)` — the relations containing `x`.
+    pub relations: Vec<usize>,
+    /// The ancestors of `x` in the attribute tree (sorted).
+    pub ancestors: Vec<AttrId>,
+}
+
+/// The maximum-degree terms participating in the upper bound of `T_E(I)`
+/// (Lemma 4.8): one term per attribute of `Ô_E ∖ ∂E`.
+pub fn lemma48_mdeg_terms(
+    query: &JoinQuery,
+    tree: &AttributeTree,
+    e: &[usize],
+) -> Result<Vec<MdegTerm>> {
+    let union = query.union_attrs(e)?;
+    let boundary = query.boundary(e)?;
+    let inner = diff_attrs(&union, &boundary);
+    Ok(inner
+        .into_iter()
+        .map(|attr| MdegTerm {
+            attr,
+            relations: query.atom(attr),
+            ancestors: tree.ancestors(attr),
+        })
+        .collect())
+}
+
+/// Evaluates the Lemma 4.8 upper bound on `T_E(I)` as a product of maximum
+/// degrees.  Returns 1 for `E = ∅` (matching `T_∅ = 1`) and 0 when any factor
+/// is 0 (the sub-join is empty).
+pub fn t_e_mdeg_upper_bound(
+    query: &JoinQuery,
+    tree: &AttributeTree,
+    instance: &Instance,
+    e: &[usize],
+) -> Result<f64> {
+    if e.is_empty() {
+        return Ok(1.0);
+    }
+    let terms = lemma48_mdeg_terms(query, tree, e)?;
+    let mut product = 1.0f64;
+    for term in &terms {
+        let d = max_degree(query, instance, &term.relations, &term.ancestors)?;
+        product *= d as f64;
+        if product == 0.0 {
+            return Ok(0.0);
+        }
+    }
+    Ok(product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::boundary_query;
+    use dpsyn_relational::{Relation, Schema};
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn figure4_query() -> JoinQuery {
+        let schema = Schema::uniform(&["A", "B", "C", "D", "F", "G", "K", "L"], 8);
+        JoinQuery::new(
+            schema,
+            vec![
+                ids(&[0, 1, 3]),    // x1 = {A,B,D}
+                ids(&[0, 1, 4]),    // x2 = {A,B,F}
+                ids(&[0, 1, 5, 6]), // x3 = {A,B,G,K}
+                ids(&[0, 1, 5, 7]), // x4 = {A,B,G,L}
+                ids(&[0, 2]),       // x5 = {A,C}
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_terms_match_the_caption() {
+        let q = figure4_query();
+        let tree = AttributeTree::build(&q).unwrap();
+        // E = {3, 4, 5} in the paper's 1-based numbering = {2, 3, 4} here.
+        let e = vec![2usize, 3, 4];
+        let terms = lemma48_mdeg_terms(&q, &tree, &e).unwrap();
+        // ∂E = {A, B}; Ô_E ∖ ∂E = {C, G, K, L}.
+        let attrs: Vec<AttrId> = terms.iter().map(|t| t.attr).collect();
+        assert_eq!(attrs, ids(&[2, 5, 6, 7]));
+        // C: atom = {4} (relation x5), ancestors = {A}.
+        assert_eq!(terms[0].relations, vec![4]);
+        assert_eq!(terms[0].ancestors, ids(&[0]));
+        // G: atom = {2, 3}, ancestors = {A, B}.
+        assert_eq!(terms[1].relations, vec![2, 3]);
+        assert_eq!(terms[1].ancestors, ids(&[0, 1]));
+        // K: atom = {2}, ancestors = {A, B, G}.
+        assert_eq!(terms[2].relations, vec![2]);
+        assert_eq!(terms[2].ancestors, ids(&[0, 1, 5]));
+        // L: atom = {3}, ancestors = {A, B, G}.
+        assert_eq!(terms[3].relations, vec![3]);
+        assert_eq!(terms[3].ancestors, ids(&[0, 1, 5]));
+    }
+
+    fn small_figure4_instance(q: &JoinQuery) -> Instance {
+        let mut inst = Instance::empty_for(q).unwrap();
+        // A=0, B in {0,1}, assorted children.
+        for b in 0..2u64 {
+            for d in 0..3u64 {
+                inst.relation_mut(0).add(vec![0, b, d], 1).unwrap();
+            }
+            for f in 0..2u64 {
+                inst.relation_mut(1).add(vec![0, b, f], 1).unwrap();
+            }
+            for g in 0..2u64 {
+                for k in 0..2u64 {
+                    inst.relation_mut(2).add(vec![0, b, g, k], 1).unwrap();
+                }
+                inst.relation_mut(3).add(vec![0, b, g, 0], 1).unwrap();
+            }
+        }
+        for c in 0..4u64 {
+            inst.relation_mut(4).add(vec![0, c], 1).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn mdeg_bound_dominates_true_boundary_query() {
+        let q = figure4_query();
+        let tree = AttributeTree::build(&q).unwrap();
+        let inst = small_figure4_instance(&q);
+        // Check every proper subset of relations.
+        let m = q.num_relations();
+        for mask in 1u32..((1u32 << m) - 1) {
+            let e: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+            let exact = boundary_query(&q, &inst, &e).unwrap() as f64;
+            let bound = t_e_mdeg_upper_bound(&q, &tree, &inst, &e).unwrap();
+            assert!(
+                bound >= exact - 1e-9,
+                "E = {e:?}: bound {bound} < exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_table_bound_is_the_shared_degree() {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let tree = AttributeTree::build(&q).unwrap();
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![0, 1], 1)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        // T_{E={0}} bound: attributes of R1 minus boundary {B} = {A};
+        // mdeg_{atom(A)={0}}(ancestors(A)={B}) = max degree of R1 on B = 3.
+        let bound = t_e_mdeg_upper_bound(&q, &tree, &inst, &[0]).unwrap();
+        assert_eq!(bound, 3.0);
+        assert_eq!(boundary_query(&q, &inst, &[0]).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_subset_and_empty_instance() {
+        let q = figure4_query();
+        let tree = AttributeTree::build(&q).unwrap();
+        let inst = Instance::empty_for(&q).unwrap();
+        assert_eq!(t_e_mdeg_upper_bound(&q, &tree, &inst, &[]).unwrap(), 1.0);
+        assert_eq!(t_e_mdeg_upper_bound(&q, &tree, &inst, &[0]).unwrap(), 0.0);
+    }
+}

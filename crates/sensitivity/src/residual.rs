@@ -1,0 +1,372 @@
+//! Residual sensitivity `RS^β_count(I)` (Definition 3.6, after Dong & Yi
+//! [15, 16]).
+//!
+//! ```text
+//! RS^β(I)   = max_{k ≥ 0} e^{-βk} · L̂S^k(I)
+//! L̂S^k(I)  = max_{s ∈ S_k} max_{i ∈ [m]} Σ_{E ⊆ [m]∖{i}} T_{([m]∖{i})∖E}(I) · Π_{j∈E} s_j
+//! ```
+//!
+//! where `S_k` is the set of non-negative integer vectors summing to `k` and
+//! `T_F` are the maximum boundary queries of Equation (1).  `L̂S^k` is the
+//! maximum local sensitivity over instances at distance ≤ `k` from `I`, so
+//! `RS^β` is a β-smooth upper bound on the local sensitivity; unlike smooth
+//! sensitivity it is computable in polynomial time (the `T_F` are joins and
+//! `m` is a constant).
+//!
+//! ### How the maximisation is carried out
+//!
+//! Writing `k = Σ_j s_j`, the objective
+//! `e^{-βΣ_j s_j} · Σ_E T_{O_i∖E} Π_{j∈E} s_j` factors per coordinate into
+//! `s_j e^{-β s_j}` (for `j ∈ E`) or `e^{-β s_j}` (for `j ∉ E`).  Both factors
+//! are non-increasing in `s_j` beyond `1/β`, so no coordinate of an optimal
+//! `s` ever needs to exceed `⌈1/β⌉`.  We therefore enumerate
+//! `s ∈ {0, …, ⌈1/β⌉}^{m-1}` exactly — polynomial for constant `m`.
+
+use std::collections::BTreeMap;
+
+use dpsyn_relational::{Instance, JoinQuery};
+
+use crate::boundary::boundary_query;
+use crate::error::SensitivityError;
+use crate::Result;
+
+/// The result of a residual-sensitivity computation, retaining the
+/// intermediate boundary-query values for inspection and testing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSensitivity {
+    /// The smoothing parameter β used.
+    pub beta: f64,
+    /// The value `RS^β_count(I)`.
+    pub value: f64,
+    /// The relation index `i` attaining the outer maximum.
+    pub maximizing_relation: usize,
+    /// The distance `k = Σ_j s_j` at which the maximum is attained.
+    pub maximizing_distance: u64,
+    /// All maximum boundary-query values `T_F(I)` for proper subsets
+    /// `F ⊊ [m]`, keyed by the sorted subset.
+    pub boundary_values: BTreeMap<Vec<usize>, u128>,
+}
+
+impl ResidualSensitivity {
+    /// The boundary-query value `T_F(I)` for a proper subset `F` (1 for the
+    /// empty subset by convention).
+    pub fn boundary_value(&self, f: &[usize]) -> Option<u128> {
+        if f.is_empty() {
+            Some(1)
+        } else {
+            self.boundary_values.get(f).copied()
+        }
+    }
+}
+
+fn check_beta(beta: f64) -> Result<()> {
+    if !(beta > 0.0) || !beta.is_finite() {
+        return Err(SensitivityError::InvalidParameter {
+            name: "beta",
+            value: beta,
+            constraint: "0 < beta < ∞",
+        });
+    }
+    Ok(())
+}
+
+/// Precomputes `T_F(I)` for every proper subset `F ⊊ [m]`, keyed by the sorted
+/// subset (the empty subset maps to 1).
+fn all_boundary_values(
+    query: &JoinQuery,
+    instance: &Instance,
+) -> Result<BTreeMap<Vec<usize>, u128>> {
+    let m = query.num_relations();
+    let mut out = BTreeMap::new();
+    for mask in 0u32..((1u32 << m) - 1) {
+        let f: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+        let value = boundary_query(query, instance, &f)?;
+        out.insert(f, value);
+    }
+    Ok(out)
+}
+
+/// Evaluates `Σ_{E ⊆ O} T_{O∖E} Π_{j∈E} s_j` for a fixed relation-exclusion
+/// set `O` (given as a sorted list) and assignment `s` (aligned with `O`).
+fn inner_sum(
+    o: &[usize],
+    s: &[u64],
+    boundary_values: &BTreeMap<Vec<usize>, u128>,
+) -> f64 {
+    let len = o.len();
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << len) {
+        let mut product = 1.0f64;
+        let mut complement: Vec<usize> = Vec::with_capacity(len);
+        for (bit, &rel) in o.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                product *= s[bit] as f64;
+            } else {
+                complement.push(rel);
+            }
+        }
+        if product == 0.0 && mask != 0 {
+            // A zero s_j annihilates the term; skip the lookup.
+            continue;
+        }
+        let t = if complement.is_empty() {
+            1u128
+        } else {
+            boundary_values.get(&complement).copied().unwrap_or(0)
+        };
+        total += product * t as f64;
+    }
+    total
+}
+
+/// Computes the residual sensitivity `RS^β_count(I)`.
+pub fn residual_sensitivity(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+) -> Result<ResidualSensitivity> {
+    check_beta(beta)?;
+    let m = query.num_relations();
+    let boundary_values = all_boundary_values(query, instance)?;
+
+    // No coordinate of an optimal s exceeds ⌈1/β⌉ (see module docs).
+    let s_cap: u64 = (1.0 / beta).ceil() as u64;
+
+    let mut best_value = 0.0f64;
+    let mut best_relation = 0usize;
+    let mut best_distance = 0u64;
+
+    for i in 0..m {
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let mut s = vec![0u64; others.len()];
+        loop {
+            let k: u64 = s.iter().sum();
+            let value = (-beta * k as f64).exp() * inner_sum(&others, &s, &boundary_values);
+            if value > best_value {
+                best_value = value;
+                best_relation = i;
+                best_distance = k;
+            }
+            // Odometer increment over {0..=s_cap}^{m-1}.
+            let mut pos = 0;
+            loop {
+                if pos == s.len() {
+                    break;
+                }
+                if s[pos] < s_cap {
+                    s[pos] += 1;
+                    break;
+                }
+                s[pos] = 0;
+                pos += 1;
+            }
+            if pos == s.len() {
+                break;
+            }
+            if s.is_empty() {
+                break;
+            }
+        }
+    }
+
+    Ok(ResidualSensitivity {
+        beta,
+        value: best_value,
+        maximizing_relation: best_relation,
+        maximizing_distance: best_distance,
+        boundary_values,
+    })
+}
+
+/// The quantity `L̂S^k(I)` of Definition 3.6: the maximum local sensitivity
+/// over instances at distance at most `k` from `I`, evaluated exactly by
+/// enumerating the integer compositions of `k` over `[m]∖{i}`.
+///
+/// Intended for moderate `k` (tests and cross-checks); `residual_sensitivity`
+/// never calls it.
+pub fn ls_hat_k(query: &JoinQuery, instance: &Instance, k: u64) -> Result<f64> {
+    let m = query.num_relations();
+    let boundary_values = all_boundary_values(query, instance)?;
+    let mut best = 0.0f64;
+    for i in 0..m {
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let parts = others.len();
+        if parts == 0 {
+            best = best.max(inner_sum(&others, &[], &boundary_values));
+            continue;
+        }
+        // Enumerate all non-negative integer vectors of length `parts` summing
+        // to exactly k.
+        let mut s = vec![0u64; parts];
+        s[0] = k;
+        loop {
+            best = best.max(inner_sum(&others, &s, &boundary_values));
+            // Next composition in colex order: move one unit from the first
+            // non-zero prefix position to the next position.
+            let first_nonzero = match s[..parts - 1].iter().position(|&v| v > 0) {
+                Some(p) => p,
+                None => break,
+            };
+            let moved = s[first_nonzero] - 1;
+            s[first_nonzero + 1] += 1;
+            s[first_nonzero] = 0;
+            s[0] = moved;
+            if false {
+                break;
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_relational::{AttrId, Relation};
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn two_table() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            vec![(vec![0, 0], 1), (vec![0, 1], 1), (vec![1, 3], 3)],
+        )
+        .unwrap();
+        (q, Instance::new(vec![r1, r2]))
+    }
+
+    #[test]
+    fn two_table_matches_closed_form() {
+        // For two tables, L̂S^k = max(T_{R1}, T_{R2}) + k... more precisely
+        // max_i (T_{[2]∖{i}} + k), so RS^β = max_k e^{-βk}·(LS + k) where
+        // LS = max(T_{{0}}, T_{{1}}).
+        let (q, inst) = two_table();
+        let beta = 0.2;
+        let rs = residual_sensitivity(&q, &inst, beta).unwrap();
+        let ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+        let mut expect = 0.0f64;
+        for k in 0..200u64 {
+            expect = expect.max((-beta * k as f64).exp() * (ls + k as f64));
+        }
+        assert!(
+            (rs.value - expect).abs() < 1e-9,
+            "rs = {}, closed form = {expect}",
+            rs.value
+        );
+    }
+
+    #[test]
+    fn residual_upper_bounds_local_sensitivity() {
+        let (q, inst) = two_table();
+        for &beta in &[0.05, 0.1, 0.5, 1.0, 5.0] {
+            let rs = residual_sensitivity(&q, &inst, beta).unwrap();
+            let ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+            assert!(rs.value >= ls - 1e-9, "beta = {beta}");
+        }
+    }
+
+    #[test]
+    fn residual_decreases_as_beta_grows() {
+        let (q, inst) = two_table();
+        let lo = residual_sensitivity(&q, &inst, 0.05).unwrap().value;
+        let hi = residual_sensitivity(&q, &inst, 2.0).unwrap().value;
+        assert!(lo >= hi);
+    }
+
+    #[test]
+    fn matches_ls_hat_k_enumeration() {
+        let (q, inst) = two_table();
+        let beta = 0.4;
+        let rs = residual_sensitivity(&q, &inst, beta).unwrap();
+        // RS = max_k e^{-βk} L̂S^k; enumerate k up to a comfortable bound.
+        let mut expect = 0.0f64;
+        for k in 0..50u64 {
+            let lsk = ls_hat_k(&q, &inst, k).unwrap();
+            expect = expect.max((-beta * k as f64).exp() * lsk);
+        }
+        assert!((rs.value - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_table_star_residual() {
+        let q = JoinQuery::star(3, 8).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        // Hub value 0 has 2, 3, 4 tuples in the three relations.
+        for a in 0..2u64 {
+            inst.relation_mut(0).add(vec![0, a], 1).unwrap();
+        }
+        for a in 0..3u64 {
+            inst.relation_mut(1).add(vec![0, a], 1).unwrap();
+        }
+        for a in 0..4u64 {
+            inst.relation_mut(2).add(vec![0, a], 1).unwrap();
+        }
+        let beta = 0.5;
+        let rs = residual_sensitivity(&q, &inst, beta).unwrap();
+        let ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+        assert_eq!(ls, 12.0);
+        assert!(rs.value >= ls);
+        // Cross-check against the k-wise enumeration.
+        let mut expect = 0.0f64;
+        for k in 0..30u64 {
+            let lsk = ls_hat_k(&q, &inst, k).unwrap();
+            expect = expect.max((-beta * k as f64).exp() * lsk);
+        }
+        assert!(
+            (rs.value - expect).abs() / expect < 1e-9,
+            "rs = {} expect = {expect}",
+            rs.value
+        );
+        // The boundary values include every proper subset.
+        assert_eq!(rs.boundary_values.len(), 7);
+        assert_eq!(rs.boundary_value(&[]), Some(1));
+    }
+
+    #[test]
+    fn ls_hat_zero_is_local_sensitivity() {
+        let (q, inst) = two_table();
+        let ls0 = ls_hat_k(&q, &inst, 0).unwrap();
+        let ls = crate::local_sensitivity(&q, &inst).unwrap() as f64;
+        assert!((ls0 - ls).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ls_hat_k_is_monotone_in_k() {
+        let (q, inst) = two_table();
+        let mut prev = 0.0;
+        for k in 0..10u64 {
+            let cur = ls_hat_k(&q, &inst, k).unwrap();
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_beta() {
+        let (q, inst) = two_table();
+        assert!(residual_sensitivity(&q, &inst, 0.0).is_err());
+        assert!(residual_sensitivity(&q, &inst, -1.0).is_err());
+        assert!(residual_sensitivity(&q, &inst, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_instance_residual_is_tiny() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let inst = Instance::empty_for(&q).unwrap();
+        let rs = residual_sensitivity(&q, &inst, 0.5).unwrap();
+        // With no data every T_F (F ≠ ∅) is 0, so only the k·T_∅ terms remain:
+        // max_k e^{-βk}·k = e^{-β·2}·2 at β = 0.5.
+        let expect = (0..20u64)
+            .map(|k| (-0.5 * k as f64).exp() * k as f64)
+            .fold(0.0f64, f64::max);
+        assert!((rs.value - expect).abs() < 1e-9);
+    }
+}

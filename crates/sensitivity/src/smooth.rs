@@ -1,0 +1,256 @@
+//! Smooth upper bounds on local sensitivity (Nissim–Raskhodnikova–Smith [40])
+//! and brute-force checkers used by the test-suite.
+//!
+//! A function `S^β` is a β-smooth upper bound on `LS_count` when
+//!
+//! 1. `S^β(I) ≥ LS_count(I)` for every instance `I`, and
+//! 2. `S^β(I') ≤ e^β · S^β(I)` for every pair of neighbouring instances.
+//!
+//! Residual sensitivity satisfies both (it is a constant-factor approximation
+//! of the *smallest* such bound — smooth sensitivity — while being computable
+//! in polynomial time).  The checkers below verify the two conditions
+//! empirically on concrete instances, and compute a restricted brute-force
+//! version of smooth sensitivity for cross-validation.
+
+use std::collections::BTreeSet;
+
+use dpsyn_relational::{Instance, JoinQuery, NeighborEdit, Value};
+
+use crate::error::SensitivityError;
+use crate::local::local_sensitivity;
+use crate::Result;
+
+/// Generates a set of neighbouring instances of `instance`: all single-copy
+/// removals plus additions of candidate tuples drawn from the cross product of
+/// per-attribute active values (plus one fresh value per attribute when the
+/// domain allows it).  This covers the edits that can change degree structure.
+fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Instance>> {
+    let mut out = Vec::new();
+    for edit in instance.removal_edits() {
+        out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
+    }
+    // Additions: for each relation, build candidate values per attribute.
+    for i in 0..query.num_relations() {
+        let attrs = query.relation_attrs(i);
+        let mut per_attr: Vec<Vec<Value>> = Vec::with_capacity(attrs.len());
+        for (pos, &attr) in attrs.iter().enumerate() {
+            let mut values: BTreeSet<Value> = BTreeSet::new();
+            for (t, _) in instance.relation(i).iter() {
+                values.insert(t[pos]);
+            }
+            // Also consider values appearing in other relations on the same
+            // attribute (they create new join partners) and one fresh value.
+            for j in 0..query.num_relations() {
+                if j == i {
+                    continue;
+                }
+                if let Ok(p) = dpsyn_relational::tuple::project_positions(
+                    query.relation_attrs(j),
+                    &[attr],
+                ) {
+                    for (t, _) in instance.relation(j).iter() {
+                        values.insert(t[p[0]]);
+                    }
+                }
+            }
+            let domain = query.schema().domain_size(attr).map_err(SensitivityError::from)?;
+            for fresh in 0..domain {
+                if !values.contains(&fresh) {
+                    values.insert(fresh);
+                    break;
+                }
+            }
+            if values.is_empty() {
+                values.insert(0);
+            }
+            per_attr.push(values.into_iter().collect());
+        }
+        // Cartesian product of candidate values (bounded in tests by small
+        // instances; guard against blow-up with a hard cap).
+        let mut tuples: Vec<Vec<Value>> = vec![Vec::new()];
+        for values in &per_attr {
+            let mut next = Vec::with_capacity(tuples.len() * values.len());
+            for t in &tuples {
+                for &v in values {
+                    let mut t2 = t.clone();
+                    t2.push(v);
+                    next.push(t2);
+                }
+            }
+            tuples = next;
+            if tuples.len() > 4096 {
+                break;
+            }
+        }
+        for tuple in tuples.into_iter().take(4096) {
+            if tuple.len() != attrs.len() {
+                continue;
+            }
+            let edit = NeighborEdit::Add {
+                relation: i,
+                tuple,
+            };
+            out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Empirically checks that `bound` behaves as a β-smooth upper bound *around*
+/// `instance`: it dominates the local sensitivity of `instance`, and changes
+/// by at most a factor `e^β` when moving to any candidate neighbour.
+///
+/// `bound` receives each instance and must return the candidate smooth bound
+/// for it.  Returns the first violation found, if any.
+pub fn is_smooth_upper_bound(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+    mut bound: impl FnMut(&Instance) -> Result<f64>,
+) -> Result<Option<String>> {
+    let here = bound(instance)?;
+    let ls = local_sensitivity(query, instance)? as f64;
+    if here + 1e-9 < ls {
+        return Ok(Some(format!(
+            "bound {here} is below the local sensitivity {ls}"
+        )));
+    }
+    let factor = beta.exp();
+    for neighbor in candidate_neighbors(query, instance)? {
+        let there = bound(&neighbor)?;
+        if there > factor * here + 1e-9 {
+            return Ok(Some(format!(
+                "bound grows too fast: {here} → {there} exceeds e^β factor {factor}"
+            )));
+        }
+        if here > factor * there + 1e-9 {
+            return Ok(Some(format!(
+                "bound shrinks too fast: {here} → {there} exceeds e^β factor {factor}"
+            )));
+        }
+    }
+    Ok(None)
+}
+
+/// A restricted brute-force smooth sensitivity:
+/// `max_{k ≤ max_radius} e^{-βk} · max_{I' : dist(I, I') ≤ k} LS(I')`,
+/// exploring neighbours through the candidate-edit generator above.
+///
+/// Because additions are restricted to candidate tuples, the result is a
+/// *lower bound* on the true smooth sensitivity; since residual sensitivity
+/// upper-bounds smooth sensitivity, tests check
+/// `smooth_sensitivity_bruteforce ≤ RS^β`.
+pub fn smooth_sensitivity_bruteforce(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+    max_radius: usize,
+) -> Result<f64> {
+    if !(beta > 0.0) || !beta.is_finite() {
+        return Err(SensitivityError::InvalidParameter {
+            name: "beta",
+            value: beta,
+            constraint: "0 < beta < ∞",
+        });
+    }
+    let mut frontier = vec![instance.clone()];
+    let mut best = local_sensitivity(query, instance)? as f64;
+    let mut result = best;
+    for k in 1..=max_radius {
+        let mut next = Vec::new();
+        for inst in &frontier {
+            for neighbor in candidate_neighbors(query, inst)? {
+                let ls = local_sensitivity(query, &neighbor)? as f64;
+                best = best.max(ls);
+                next.push(neighbor);
+            }
+        }
+        // Keep the frontier small: the highest-sensitivity instances are the
+        // ones whose further neighbourhoods matter.
+        next.sort_by(|a, b| {
+            local_sensitivity(query, b)
+                .unwrap_or(0)
+                .cmp(&local_sensitivity(query, a).unwrap_or(0))
+        });
+        next.truncate(16);
+        frontier = next;
+        result = result.max((-beta * k as f64).exp() * best);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::residual::residual_sensitivity;
+    use dpsyn_relational::{AttrId, Relation};
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn small_two_table() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(6, 6, 6);
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 1), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![1, 1], 2)]).unwrap();
+        (q, Instance::new(vec![r1, r2]))
+    }
+
+    #[test]
+    fn residual_sensitivity_passes_the_smoothness_check() {
+        let (q, inst) = small_two_table();
+        let beta = 0.3;
+        let violation = is_smooth_upper_bound(&q, &inst, beta, |i| {
+            Ok(residual_sensitivity(&q, i, beta)?.value)
+        })
+        .unwrap();
+        assert_eq!(violation, None);
+    }
+
+    #[test]
+    fn local_sensitivity_itself_fails_the_smoothness_check() {
+        // LS is not a smooth upper bound: a single edit can multiply it.
+        // Build an instance where adding one R2 tuple with join value 0 jumps
+        // LS from 1 to 3.
+        let q = JoinQuery::two_table(8, 8, 8);
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 1), (vec![2, 0], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![5, 5], 1)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let beta = 0.1;
+        let violation = is_smooth_upper_bound(&q, &inst, beta, |i| {
+            Ok(local_sensitivity(&q, i)? as f64)
+        })
+        .unwrap();
+        assert!(violation.is_some(), "LS should violate β-smoothness");
+    }
+
+    #[test]
+    fn bruteforce_smooth_sensitivity_is_dominated_by_residual() {
+        let (q, inst) = small_two_table();
+        for &beta in &[0.2, 0.5, 1.0] {
+            let ss = smooth_sensitivity_bruteforce(&q, &inst, beta, 2).unwrap();
+            let rs = residual_sensitivity(&q, &inst, beta).unwrap().value;
+            assert!(
+                ss <= rs + 1e-6,
+                "beta = {beta}: brute-force SS {ss} exceeds RS {rs}"
+            );
+            // And both dominate the local sensitivity.
+            let ls = local_sensitivity(&q, &inst).unwrap() as f64;
+            assert!(ss >= ls - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bruteforce_rejects_bad_beta() {
+        let (q, inst) = small_two_table();
+        assert!(smooth_sensitivity_bruteforce(&q, &inst, 0.0, 1).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! # dpsyn — Differentially Private Data Release over Multiple Tables
+//!
+//! A Rust implementation of the algorithms from *"Differentially Private Data
+//! Release over Multiple Tables"* (Ghazi, Hu, Kumar, Manurangsi — PODS 2023),
+//! together with every substrate the paper relies on: a relational engine for
+//! frequency-annotated multi-table instances, differential-privacy noise
+//! primitives, join sensitivity machinery (local / global / residual
+//! sensitivity), the single-table Private Multiplicative Weights release
+//! algorithm, workload generators, and an experiment harness.
+//!
+//! This crate is a thin facade that re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`relational`] | `dpsyn-relational` | schemas, annotated relations, join hypergraphs, joins, degrees, attribute trees |
+//! | [`noise`] | `dpsyn-noise` | Laplace / truncated Laplace, exponential mechanism, privacy budgets & composition |
+//! | [`sensitivity`] | `dpsyn-sensitivity` | local, global, and residual sensitivity; maximum degrees; degree configurations |
+//! | [`query`] | `dpsyn-query` | linear query families over joins and their evaluation |
+//! | [`pmw`] | `dpsyn-pmw` | single-table Private Multiplicative Weights (Algorithm 2) |
+//! | [`core`] | `dpsyn-core` | the paper's release algorithms (Algorithms 1, 3–7), flawed strawmen, baselines |
+//! | [`datagen`] | `dpsyn-datagen` | paper figure instances, random / Zipf generators, realistic scenarios |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run; the short
+//! version is:
+//!
+//! ```no_run
+//! use dpsyn::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // 1. A two-table join query R1(A, B) ⋈ R2(B, C).
+//! let query = JoinQuery::two_table(16, 16, 16);
+//!
+//! // 2. Some private data.
+//! let mut instance = Instance::empty_for(&query).unwrap();
+//! instance.relation_mut(0).add_one(vec![1, 2]).unwrap();
+//! instance.relation_mut(1).add_one(vec![2, 3]).unwrap();
+//!
+//! // 3. A workload of linear queries and a privacy budget.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let workload = QueryFamily::random_sign(&query, 64, &mut rng).unwrap();
+//! let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+//!
+//! // 4. Release a DP synthetic dataset and answer every query from it.
+//! let release = TwoTable::default()
+//!     .release(&query, &instance, &workload, budget, &mut rng)
+//!     .unwrap();
+//! let answers = release.answer_all(&workload).unwrap();
+//! println!("answered {} queries privately", answers.len());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dpsyn_core as core;
+pub use dpsyn_datagen as datagen;
+pub use dpsyn_noise as noise;
+pub use dpsyn_pmw as pmw;
+pub use dpsyn_query as query;
+pub use dpsyn_relational as relational;
+pub use dpsyn_sensitivity as sensitivity;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use dpsyn_core::{
+        FlawedJoinAsOne, FlawedPadAfter, HierarchicalRelease, IndependentLaplaceBaseline,
+        MultiTable, SyntheticRelease, TwoTable, UniformizedTwoTable,
+    };
+    pub use dpsyn_datagen::{self as datagen};
+    pub use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
+    pub use dpsyn_pmw::{Histogram, Pmw, PmwConfig};
+    pub use dpsyn_query::{LinearQuery, ProductQuery, QueryFamily};
+    pub use dpsyn_relational::{
+        join, join_size, AttrId, Attribute, Instance, JoinQuery, Relation, Schema,
+    };
+    pub use dpsyn_sensitivity::{local_sensitivity, residual_sensitivity, ResidualSensitivity};
+}

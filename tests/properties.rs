@@ -1,0 +1,149 @@
+//! Property-based integration tests over the whole stack: join algebra,
+//! sensitivity invariants and partition invariants on randomly generated
+//! instances.
+
+use dpsyn::prelude::*;
+use dpsyn_core::{partition_two_table, verify_two_table_partition};
+use dpsyn_noise::seeded_rng;
+use dpsyn_relational::NeighborEdit;
+use dpsyn_sensitivity::ls_hat_k;
+use proptest::prelude::*;
+
+/// Builds a two-table instance from arbitrary (a, b) / (b, c) pairs over a
+/// small domain.
+fn instance_from_pairs(r1: &[(u8, u8)], r2: &[(u8, u8)]) -> (JoinQuery, Instance) {
+    let query = JoinQuery::two_table(8, 8, 8);
+    let mut inst = Instance::empty_for(&query).unwrap();
+    for &(a, b) in r1 {
+        inst.relation_mut(0)
+            .add(vec![(a % 8) as u64, (b % 8) as u64], 1)
+            .unwrap();
+    }
+    for &(b, c) in r2 {
+        inst.relation_mut(1)
+            .add(vec![(b % 8) as u64, (c % 8) as u64], 1)
+            .unwrap();
+    }
+    (query, inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The join size always equals Σ_b deg1(b)·deg2(b) for two tables.
+    #[test]
+    fn join_size_matches_degree_formula(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 0..40),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 0..40),
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let shared = vec![AttrId(1)];
+        let d1 = inst.relation(0).degree_map(&shared).unwrap();
+        let d2 = inst.relation(1).degree_map(&shared).unwrap();
+        let expected: u128 = d1
+            .iter()
+            .map(|(b, &f1)| f1 as u128 * d2.get(b).copied().unwrap_or(0) as u128)
+            .sum();
+        prop_assert_eq!(join_size(&query, &inst).unwrap(), expected);
+    }
+
+    /// Local sensitivity really bounds the join-size change of any single
+    /// removal edit.
+    #[test]
+    fn local_sensitivity_bounds_single_edits(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..30),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..30),
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let ls = local_sensitivity(&query, &inst).unwrap();
+        let base = join_size(&query, &inst).unwrap();
+        for edit in inst.removal_edits() {
+            let neighbor = inst.apply_edit(&edit).unwrap();
+            let diff = join_size(&query, &neighbor).unwrap().abs_diff(base);
+            prop_assert!(diff <= ls);
+        }
+    }
+
+    /// Residual sensitivity dominates the local sensitivity of every instance
+    /// within distance 1 discounted by e^{-β} (the smoothness property, tested
+    /// through the L̂S^k characterisation).
+    #[test]
+    fn residual_sensitivity_dominates_discounted_neighborhoods(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        beta_pct in 5u32..100,
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let beta = beta_pct as f64 / 100.0;
+        let rs = residual_sensitivity(&query, &inst, beta).unwrap().value;
+        for k in 0..3u64 {
+            let lsk = ls_hat_k(&query, &inst, k).unwrap();
+            prop_assert!(rs + 1e-9 >= (-beta * k as f64).exp() * lsk);
+        }
+    }
+
+    /// Residual sensitivity changes by at most e^{±β} across a neighbouring
+    /// edit (β-smoothness, checked on an explicit random edit).
+    #[test]
+    fn residual_sensitivity_is_beta_smooth_across_one_edit(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        add_a in 0u8..8,
+        add_b in 0u8..8,
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let beta = 0.25;
+        let rs_here = residual_sensitivity(&query, &inst, beta).unwrap().value;
+        let neighbor = inst
+            .apply_edit(&NeighborEdit::Add {
+                relation: 0,
+                tuple: vec![(add_a % 8) as u64, (add_b % 8) as u64],
+            })
+            .unwrap();
+        let rs_there = residual_sensitivity(&query, &neighbor, beta).unwrap().value;
+        prop_assert!(rs_there <= beta.exp() * rs_here + 1e-9);
+        prop_assert!(rs_here <= beta.exp() * rs_there + 1e-9);
+    }
+
+    /// Algorithm 5's partition always reassembles the original instance and
+    /// never splits a join value across buckets.
+    #[test]
+    fn two_table_partition_is_a_partition(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 0..30),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 0..30),
+        seed in 0u64..1000,
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let params = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let mut rng = seeded_rng(seed);
+        let buckets = partition_two_table(&query, &inst, params, &mut rng).unwrap();
+        prop_assert!(verify_two_table_partition(&inst, &buckets));
+        let total: u128 = buckets
+            .iter()
+            .map(|b| join_size(&query, &b.sub_instance).unwrap())
+            .sum();
+        prop_assert_eq!(total, join_size(&query, &inst).unwrap());
+    }
+
+    /// Query answering is linear: answers over a histogram scale with the
+    /// histogram (post-processing consistency of the released object).
+    #[test]
+    fn released_answers_are_linear_in_the_histogram(
+        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
+        seed in 0u64..1000,
+    ) {
+        let (query, inst) = instance_from_pairs(&r1, &r2);
+        let mut rng = seeded_rng(seed);
+        let family = QueryFamily::random_sign(&query, 4, &mut rng).unwrap();
+        let join = dpsyn_relational::join(&query, &inst).unwrap();
+        let hist = Histogram::from_join(&query, &join, 1 << 20).unwrap();
+        let answers = hist.answer_all(&query, &family).unwrap();
+        let mut doubled = hist.clone();
+        doubled.scale(2.0);
+        let answers2 = doubled.answer_all(&query, &family).unwrap();
+        for (a, b) in answers.iter().zip(answers2.iter()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+}
