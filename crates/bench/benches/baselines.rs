@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     let mut rng = seeded_rng(30);
     let (query, instance) = zipf_two_table(16, 300, 1.0, &mut rng);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_hierarchical(c: &mut Criterion) {
     let mut group = c.benchmark_group("release/hierarchical");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let params = PrivacyParams::new(2.0, 1e-4).unwrap();
     let mut rng = seeded_rng(20);
     let (query, instance) = retail_star(24, 80, &mut rng);

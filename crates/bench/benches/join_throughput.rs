@@ -1,0 +1,126 @@
+//! Head-to-head benchmark of the hash-join engine against the retained
+//! naive `BTreeMap` engine, plus the shared-cache residual-sensitivity
+//! subset enumeration against its from-scratch counterpart.
+//!
+//! Besides printing per-scenario timings, this bench writes the speedup
+//! table to `BENCH_join.json` at the repository root (via the shared
+//! reporting module), so the performance trajectory is tracked in-tree and
+//! by CI.  The scenarios mirror `relational_ops` (two-table Zipf joins,
+//! star joins) and `sensitivity` (m-star residual subset enumeration).
+
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use dpsyn_bench::{print_table, rows_to_json_pretty, Row};
+use dpsyn_datagen::{random_star, zipf_two_table};
+use dpsyn_noise::seeded_rng;
+use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive};
+use dpsyn_relational::{join_size, Instance, JoinQuery};
+use dpsyn_sensitivity::all_boundary_values;
+
+/// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
+/// in nanoseconds.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Picks a sample count so each measurement stays within a small budget.
+fn sample_count(once: Duration) -> usize {
+    let budget = Duration::from_millis(600);
+    ((budget.as_nanos() / once.as_nanos().max(1)) as usize).clamp(5, 60)
+}
+
+fn bench_pair(label: &str, mut fast: impl FnMut(), mut naive: impl FnMut()) -> Row {
+    let probe = Instant::now();
+    naive();
+    let samples = sample_count(probe.elapsed());
+    let fast_ns = median_ns(samples, &mut fast);
+    let naive_ns = median_ns(samples, &mut naive);
+    let speedup = naive_ns / fast_ns.max(1.0);
+    println!(
+        "bench: {label:<32} hash {fast_ns:>14.1} ns  naive {naive_ns:>14.1} ns  speedup {speedup:>6.2}x"
+    );
+    Row::new(label)
+        .with("hash_ns", fast_ns)
+        .with("naive_ns", naive_ns)
+        .with("speedup", speedup)
+}
+
+fn join_scenarios() -> Vec<(String, JoinQuery, Instance)> {
+    let mut out = Vec::new();
+    for &n in &[200usize, 800] {
+        let mut rng = seeded_rng(1);
+        let (query, instance) = zipf_two_table(64, n, 1.0, &mut rng);
+        out.push((format!("join/two_table/{n}"), query, instance));
+    }
+    for &m in &[3usize, 4] {
+        let mut rng = seeded_rng(2);
+        let (query, instance) = random_star(m, 32, 200, 1.0, &mut rng);
+        out.push((format!("join/star/{m}"), query, instance));
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows = Vec::new();
+
+    // --- Join throughput: hash engine vs. naive engine --------------------
+    for (label, query, instance) in join_scenarios() {
+        if quick && label.contains("800") {
+            continue;
+        }
+        rows.push(bench_pair(
+            &label,
+            || {
+                black_box(join_size(&query, &instance).unwrap());
+            },
+            || {
+                black_box(join_size_naive(&query, &instance).unwrap());
+            },
+        ));
+    }
+
+    // --- Residual-sensitivity subset enumeration --------------------------
+    // m = 4 star: 15 non-empty subsets; shared-prefix caching vs. re-joining
+    // from scratch per subset.
+    for &(m, per_rel) in &[(3usize, 150usize), (4, 120)] {
+        if quick && m == 4 {
+            continue;
+        }
+        let mut rng = seeded_rng(7);
+        let (query, instance) = random_star(m, 32, per_rel, 1.0, &mut rng);
+        rows.push(bench_pair(
+            &format!("residual/subsets/star{m}"),
+            || {
+                black_box(all_boundary_values(&query, &instance).unwrap());
+            },
+            || {
+                black_box(all_boundary_values_naive(&query, &instance).unwrap());
+            },
+        ));
+    }
+
+    print_table("join_throughput — hash engine vs naive reference", &rows);
+
+    // Commit the full results next to the workspace root so CI and the repo
+    // track the trajectory (BENCH_join.json).  Quick mode covers a reduced
+    // row set, so it writes a sibling file instead of truncating the
+    // committed one.
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json")
+    };
+    std::fs::write(path, rows_to_json_pretty(&rows) + "\n").expect("write bench results");
+    println!("wrote {path}");
+}

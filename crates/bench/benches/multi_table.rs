@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_multi_table_release(c: &mut Criterion) {
     let mut group = c.benchmark_group("release/multi_table");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     for &per_rel in &[60usize, 180] {
         let mut rng = seeded_rng(10);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_privacy_attack(c: &mut Criterion) {
     let mut group = c.benchmark_group("privacy_attack");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let (query, heavy, empty) = fig1_pair(8);
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     let family = QueryFamily::counting(&query);

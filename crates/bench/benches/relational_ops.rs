@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("relational/join");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[200usize, 800] {
         let mut rng = seeded_rng(1);
         let (query, instance) = zipf_two_table(64, n, 1.0, &mut rng);
@@ -30,7 +32,9 @@ fn bench_join(c: &mut Criterion) {
 
 fn bench_boundary_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("relational/boundary_query");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = seeded_rng(3);
     let (query, instance) = random_star(3, 32, 300, 1.0, &mut rng);
     group.bench_function("T_E star3", |b| {

@@ -1,0 +1,52 @@
+//! Residual-sensitivity subset-enumeration scaling: the shared
+//! [`SubJoinCache`]d boundary-value computation against the naive
+//! from-scratch recomputation, across star sizes `m`, plus the end-to-end
+//! `residual_sensitivity` call that dominates the multi-table release.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsyn_datagen::random_star;
+use dpsyn_noise::seeded_rng;
+use dpsyn_relational::naive::all_boundary_values_naive;
+use dpsyn_sensitivity::{all_boundary_values, residual_sensitivity};
+use std::time::Duration;
+
+fn bench_boundary_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residual/boundary_values");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[2usize, 3, 4] {
+        let mut rng = seeded_rng(40 + m as u64);
+        let (query, instance) = random_star(m, 32, 400 / m, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cached", m), &m, |b, _| {
+            b.iter(|| all_boundary_values(&query, &instance).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            b.iter(|| all_boundary_values_naive(&query, &instance).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_residual_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residual/end_to_end");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let beta = 1.0 / 13.8; // λ at ε = 1, δ = 1e-6
+    for &m in &[3usize, 4] {
+        let mut rng = seeded_rng(50 + m as u64);
+        let (query, instance) = random_star(m, 32, 400 / m, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            b.iter(|| residual_sensitivity(&query, &instance, beta).unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_boundary_enumeration,
+    bench_residual_end_to_end
+);
+criterion_main!(benches);

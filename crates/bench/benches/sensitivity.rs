@@ -9,17 +9,17 @@ use std::time::Duration;
 
 fn bench_residual_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensitivity/residual");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let beta = 1.0 / 13.8; // λ at ε = 1, δ = 1e-6
     for &n in &[200usize, 800] {
         for &m in &[2usize, 3] {
             let mut rng = seeded_rng(n as u64 + m as u64);
             let (query, instance) = random_star(m, 32, n / m, 1.0, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::new(format!("m{m}"), n),
-                &n,
-                |b, _| b.iter(|| residual_sensitivity(&query, &instance, beta).unwrap().value),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("m{m}"), n), &n, |b, _| {
+                b.iter(|| residual_sensitivity(&query, &instance, beta).unwrap().value)
+            });
         }
     }
     group.finish();
@@ -27,7 +27,9 @@ fn bench_residual_sensitivity(c: &mut Criterion) {
 
 fn bench_local_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensitivity/local");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = seeded_rng(9);
     let (query, instance) = random_star(3, 32, 300, 1.0, &mut rng);
     group.bench_function("star3 n=900", |b| {

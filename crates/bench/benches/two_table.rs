@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_two_table_release(c: &mut Criterion) {
     let mut group = c.benchmark_group("release/two_table");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     for &out in &[256u64, 1024] {
         let per_value = out / 4;
@@ -36,12 +38,18 @@ fn bench_two_table_error_shape(c: &mut Criterion) {
     // Not a timing benchmark per se: runs the quick E2 experiment once per
     // iteration so regressions in the experiment pipeline show up in CI.
     let mut group = c.benchmark_group("experiment/two_table_error");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("quick", |b| {
         b.iter(|| dpsyn_bench::exp_two_table_error(true).len())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_two_table_release, bench_two_table_error_shape);
+criterion_group!(
+    benches,
+    bench_two_table_release,
+    bench_two_table_error_shape
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("uniformize/partition");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &k in &[8u64, 16] {
         let (query, instance) = example42_instance(k);
         let params = PrivacyParams::new(1.0, 1e-6).unwrap();
@@ -29,7 +31,9 @@ fn bench_partition(c: &mut Criterion) {
 
 fn bench_release_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("uniformize/release");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let (query, instance) = example42_instance(8);
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     let mut rng = seeded_rng(4);

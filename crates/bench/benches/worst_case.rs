@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_worst_case_release(c: &mut Criterion) {
     let mut group = c.benchmark_group("worst_case");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     let mut rng = seeded_rng(50);
     let (query, instance) = random_star(3, 8, 60, 3.0, &mut rng);

@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E9 — empirical privacy accounting", dpsyn_bench::exp_accounting);
+    dpsyn_bench::run_cli(
+        "E9 — empirical privacy accounting",
+        dpsyn_bench::exp_accounting,
+    );
 }

@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E6 — synthetic data vs per-query Laplace (Sec. 1.2)", dpsyn_bench::exp_baselines);
+    dpsyn_bench::run_cli(
+        "E6 — synthetic data vs per-query Laplace (Sec. 1.2)",
+        dpsyn_bench::exp_baselines,
+    );
 }

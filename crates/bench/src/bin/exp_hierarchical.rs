@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E5 — hierarchical uniformization (Sec. 4.2 / Thm C.2)", dpsyn_bench::exp_hierarchical);
+    dpsyn_bench::run_cli(
+        "E5 — hierarchical uniformization (Sec. 4.2 / Thm C.2)",
+        dpsyn_bench::exp_hierarchical,
+    );
 }

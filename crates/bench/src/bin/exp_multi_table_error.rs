@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E4 — multi-table error vs n (Theorem 1.5)", dpsyn_bench::exp_multi_table_error);
+    dpsyn_bench::run_cli(
+        "E4 — multi-table error vs n (Theorem 1.5)",
+        dpsyn_bench::exp_multi_table_error,
+    );
 }

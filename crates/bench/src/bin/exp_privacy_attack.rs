@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E1 — distinguishing attack (Fig. 1 / Example 3.1)", dpsyn_bench::exp_privacy_attack);
+    dpsyn_bench::run_cli(
+        "E1 — distinguishing attack (Fig. 1 / Example 3.1)",
+        dpsyn_bench::exp_privacy_attack,
+    );
 }

@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E7 — residual sensitivity runtime (Def. 3.6)", dpsyn_bench::exp_sensitivity_scaling);
+    dpsyn_bench::run_cli(
+        "E7 — residual sensitivity runtime (Def. 3.6)",
+        dpsyn_bench::exp_sensitivity_scaling,
+    );
 }

@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E2 — two-table error vs OUT (Theorems 3.3 / 3.5)", dpsyn_bench::exp_two_table_error);
+    dpsyn_bench::run_cli(
+        "E2 — two-table error vs OUT (Theorems 3.3 / 3.5)",
+        dpsyn_bench::exp_two_table_error,
+    );
 }

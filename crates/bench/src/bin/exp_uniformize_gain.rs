@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E3 — uniformization gain (Fig. 3 / Example 4.2 / Thm 4.4, 4.5)", dpsyn_bench::exp_uniformize_gain);
+    dpsyn_bench::run_cli(
+        "E3 — uniformization gain (Fig. 3 / Example 4.2 / Thm 4.4, 4.5)",
+        dpsyn_bench::exp_uniformize_gain,
+    );
 }

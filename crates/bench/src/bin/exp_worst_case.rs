@@ -5,5 +5,8 @@
 //! reproduces.
 
 fn main() {
-    dpsyn_bench::run_cli("E8 — worst-case error (Appendix B.3)", dpsyn_bench::exp_worst_case);
+    dpsyn_bench::run_cli(
+        "E8 — worst-case error (Appendix B.3)",
+        dpsyn_bench::exp_worst_case,
+    );
 }

@@ -77,7 +77,10 @@ pub fn exp_privacy_attack(quick: bool) -> Vec<Row> {
 
     let mut rows = Vec::new();
     let mut run = |name: &str,
-                   release: &dyn Fn(&Instance, &mut rand::rngs::StdRng) -> dpsyn_core::SyntheticRelease| {
+                   release: &dyn Fn(
+        &Instance,
+        &mut rand::rngs::StdRng,
+    ) -> dpsyn_core::SyntheticRelease| {
         let mut correct = 0usize;
         let mut heavy_stat = 0.0;
         let mut empty_stat = 0.0;
@@ -135,14 +138,19 @@ pub fn exp_privacy_attack(quick: bool) -> Vec<Row> {
 pub fn exp_two_table_error(quick: bool) -> Vec<Row> {
     let params = standard_params();
     let delta_sens = 4u64;
-    let outs: &[u64] = if quick { &[256, 1024] } else { &[256, 1024, 4096, 16384] };
+    let outs: &[u64] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 16384]
+    };
     let num_queries = if quick { 16 } else { 32 };
     let mut rows = Vec::new();
     for (idx, &out) in outs.iter().enumerate() {
         let per_value = out / delta_sens; // join size = Δ · Σ T(a)
         let d = 8u64;
         let table: Vec<u64> = (0..d).map(|_| (per_value / d).max(1)).collect();
-        let (query, instance) = datagen::fig2_hard_instance(&table, (per_value / d).max(1), delta_sens);
+        let (query, instance) =
+            datagen::fig2_hard_instance(&table, (per_value / d).max(1), delta_sens);
         let count = join_size(&query, &instance).unwrap() as f64;
         let ls = local_sensitivity(&query, &instance).unwrap() as f64;
 
@@ -267,7 +275,11 @@ pub fn exp_uniformize_gain(quick: bool) -> Vec<Row> {
 /// with the residual-sensitivity-based bound, under uniform and Zipf skew.
 pub fn exp_multi_table_error(quick: bool) -> Vec<Row> {
     let params = standard_params();
-    let sizes: &[usize] = if quick { &[60, 120] } else { &[60, 120, 240, 480] };
+    let sizes: &[usize] = if quick {
+        &[60, 120]
+    } else {
+        &[60, 120, 240, 480]
+    };
     let num_queries = if quick { 8 } else { 16 };
     let mut rows = Vec::new();
     for &theta in &[0.0f64, 1.2] {
@@ -407,7 +419,11 @@ pub fn exp_sensitivity_scaling(quick: bool) -> Vec<Row> {
     let params = standard_params();
     let beta = 1.0 / params.lambda();
     let mut rows = Vec::new();
-    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 400, 1600] };
+    let sizes: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[100, 400, 1600]
+    };
     for &n in sizes {
         for &m in &[2usize, 3, 4] {
             let mut rng = seeded_rng(800 + n as u64 + m as u64);
@@ -418,7 +434,10 @@ pub fn exp_sensitivity_scaling(quick: bool) -> Vec<Row> {
             rows.push(
                 Row::new(format!("n={n} m={m}"))
                     .with("rs_value", rs.value)
-                    .with("ls_value", local_sensitivity(&query, &instance).unwrap() as f64)
+                    .with(
+                        "ls_value",
+                        local_sensitivity(&query, &instance).unwrap() as f64,
+                    )
                     .with("time_ms", elapsed),
             );
         }
@@ -446,8 +465,7 @@ pub fn exp_worst_case(quick: bool) -> Vec<Row> {
             &family,
             &release.answer_all(&family).unwrap(),
         );
-        let (rho_full, rho_res) =
-            dpsyn_sensitivity::worst_case_error_exponent(&query).unwrap();
+        let (rho_full, rho_res) = dpsyn_sensitivity::worst_case_error_exponent(&query).unwrap();
         let input = instance.input_size() as f64;
         rows.push(
             Row::new(format!("star3 n={n}"))
@@ -515,11 +533,13 @@ pub fn exp_accounting(quick: bool) -> Vec<Row> {
     let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
     all.sort_by(|x, y| x.partial_cmp(y).unwrap());
     for threshold in all.iter().step_by((all.len() / 16).max(1)) {
-        let pa = (a.iter().filter(|&&x| x > *threshold).count() as f64 + 1.0)
-            / (trials as f64 + 2.0);
-        let pb = (b.iter().filter(|&&x| x > *threshold).count() as f64 + 1.0)
-            / (trials as f64 + 2.0);
-        eps_hat = eps_hat.max((pa / pb).ln().abs()).max(((1.0 - pa) / (1.0 - pb)).ln().abs());
+        let pa =
+            (a.iter().filter(|&&x| x > *threshold).count() as f64 + 1.0) / (trials as f64 + 2.0);
+        let pb =
+            (b.iter().filter(|&&x| x > *threshold).count() as f64 + 1.0) / (trials as f64 + 2.0);
+        eps_hat = eps_hat
+            .max((pa / pb).ln().abs())
+            .max(((1.0 - pa) / (1.0 - pb)).ln().abs());
     }
 
     vec![Row::new("two-table counting")
@@ -567,6 +587,9 @@ mod tests {
         let eps_hat = rows[0].values["empirical_epsilon_lower_bound"];
         let eps = rows[0].values["accounted_epsilon"];
         // Allow generous slack for sampling error with few trials.
-        assert!(eps_hat <= 3.0 * eps + 1.0, "eps_hat = {eps_hat}, eps = {eps}");
+        assert!(
+            eps_hat <= 3.0 * eps + 1.0,
+            "eps_hat = {eps_hat}, eps = {eps}"
+        );
     }
 }

@@ -14,4 +14,4 @@ pub mod experiments;
 pub mod reporting;
 
 pub use experiments::*;
-pub use reporting::{print_table, run_cli, Row};
+pub use reporting::{print_table, rows_to_json_pretty, run_cli, Row};

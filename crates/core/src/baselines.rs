@@ -213,7 +213,13 @@ mod tests {
         let mut rng = seeded_rng(1);
         let family = QueryFamily::counting(&q);
         assert!(IndependentLaplaceBaseline::default()
-            .answer_all(&q, &inst, &family, PrivacyParams::pure(1.0).unwrap(), &mut rng)
+            .answer_all(
+                &q,
+                &inst,
+                &family,
+                PrivacyParams::pure(1.0).unwrap(),
+                &mut rng
+            )
             .is_err());
     }
 }

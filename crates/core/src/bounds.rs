@@ -20,8 +20,7 @@ pub fn two_table_upper_bound(
     delta: f64,
 ) -> f64 {
     let d = local_sensitivity + lambda;
-    ((count * d).sqrt() + d * lambda.sqrt())
-        * f_upper(log2_domain, num_queries, epsilon, delta)
+    ((count * d).sqrt() + d * lambda.sqrt()) * f_upper(log2_domain, num_queries, epsilon, delta)
 }
 
 /// Theorem 3.5 / Theorem 1.6 (parameterised lower bound):
@@ -83,7 +82,8 @@ pub fn uniformized_lower_bound(
     bucket_counts
         .iter()
         .map(|&(i, out)| {
-            let alt = (out * (2.0f64).powi(i as i32) * lambda).sqrt() * f_lower(log2_domain, epsilon);
+            let alt =
+                (out * (2.0f64).powi(i as i32) * lambda).sqrt() * f_lower(log2_domain, epsilon);
             out.min(alt)
         })
         .fold(0.0, f64::max)

@@ -44,10 +44,16 @@ impl fmt::Display for ReleaseError {
             ReleaseError::Query(e) => write!(f, "query error: {e}"),
             ReleaseError::Pmw(e) => write!(f, "PMW error: {e}"),
             ReleaseError::RequiresTwoTable { got } => {
-                write!(f, "this algorithm requires a two-table query, got {got} relations")
+                write!(
+                    f,
+                    "this algorithm requires a two-table query, got {got} relations"
+                )
             }
             ReleaseError::RequiresHierarchical(msg) => {
-                write!(f, "this algorithm requires a hierarchical join query: {msg}")
+                write!(
+                    f,
+                    "this algorithm requires a hierarchical join query: {msg}"
+                )
             }
             ReleaseError::UnsupportedPrivacyParams(msg) => {
                 write!(f, "unsupported privacy parameters: {msg}")

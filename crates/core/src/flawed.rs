@@ -179,8 +179,12 @@ mod tests {
         let family = QueryFamily::counting(&q);
         let mut rng = seeded_rng(1);
         let strawman = FlawedJoinAsOne::default();
-        let rel_heavy = strawman.release(&q, &heavy, &family, params, &mut rng).unwrap();
-        let rel_empty = strawman.release(&q, &empty, &family, params, &mut rng).unwrap();
+        let rel_heavy = strawman
+            .release(&q, &heavy, &family, params, &mut rng)
+            .unwrap();
+        let rel_empty = strawman
+            .release(&q, &empty, &family, params, &mut rng)
+            .unwrap();
         // The released totals are the exact join sizes: 64 vs 0 — a perfect
         // distinguisher even though the instances are "close" (every relation
         // differs only in which join values tuples carry).
@@ -201,7 +205,9 @@ mod tests {
         let strawman = FlawedPadAfter::default();
 
         let mut rng = seeded_rng(5);
-        let rel_heavy = strawman.release(&q, &heavy, &family, params, &mut rng).unwrap();
+        let rel_heavy = strawman
+            .release(&q, &heavy, &family, params, &mut rng)
+            .unwrap();
         let count = 64.0;
         let total = rel_heavy.histogram().total();
         assert!(total > count, "padding must be strictly positive");
@@ -228,8 +234,12 @@ mod tests {
         let family = QueryFamily::counting(&q);
         let mut rng = seeded_rng(3);
         let fixed = TwoTable::default();
-        let rel_heavy = fixed.release(&q, &heavy, &family, params, &mut rng).unwrap();
-        let rel_empty = fixed.release(&q, &empty, &family, params, &mut rng).unwrap();
+        let rel_heavy = fixed
+            .release(&q, &heavy, &family, params, &mut rng)
+            .unwrap();
+        let rel_empty = fixed
+            .release(&q, &empty, &family, params, &mut rng)
+            .unwrap();
         assert!(rel_heavy.answer(&ProductQuery::counting(2)).unwrap() >= 64.0);
         // The empty instance's total is pure padding — strictly positive, so
         // "total == 0" no longer identifies it.
@@ -243,10 +253,22 @@ mod tests {
         let family = QueryFamily::counting(&q);
         let mut rng = seeded_rng(2);
         assert!(FlawedJoinAsOne::default()
-            .release(&q, &inst, &family, PrivacyParams::new(1.0, 1e-6).unwrap(), &mut rng)
+            .release(
+                &q,
+                &inst,
+                &family,
+                PrivacyParams::new(1.0, 1e-6).unwrap(),
+                &mut rng
+            )
             .is_err());
         assert!(FlawedPadAfter::default()
-            .release(&q, &inst, &family, PrivacyParams::new(1.0, 1e-6).unwrap(), &mut rng)
+            .release(
+                &q,
+                &inst,
+                &family,
+                PrivacyParams::new(1.0, 1e-6).unwrap(),
+                &mut rng
+            )
             .is_err());
     }
 }

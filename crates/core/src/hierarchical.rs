@@ -31,9 +31,7 @@ use std::collections::BTreeMap;
 use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
 use dpsyn_pmw::{Histogram, PmwConfig};
 use dpsyn_query::QueryFamily;
-use dpsyn_relational::{
-    deg_multi, AttrId, AttributeTree, Instance, JoinQuery, Value,
-};
+use dpsyn_relational::{deg_multi, AttrId, AttributeTree, Instance, JoinQuery, Value};
 use dpsyn_sensitivity::config::{bucket_of, DegreeConfiguration};
 use rand::Rng;
 
@@ -193,11 +191,7 @@ impl HierarchicalRelease {
     /// accounting: `ℓ` is the number of degree buckets and `c` the maximum,
     /// over relations `j`, of the number of tree attributes whose `atom` does
     /// not contain `j` (each such decomposition can replicate `R_j`'s tuples).
-    pub fn replication_bound(
-        query: &JoinQuery,
-        n_upper: u64,
-        lambda: f64,
-    ) -> Result<f64> {
+    pub fn replication_bound(query: &JoinQuery, n_upper: u64, lambda: f64) -> Result<f64> {
         let tree = AttributeTree::build(query)
             .map_err(|e| ReleaseError::RequiresHierarchical(e.to_string()))?;
         let ell = ((n_upper.max(2) as f64 / lambda.max(1e-9)).log2().ceil()).max(1.0) + 1.0;
@@ -344,12 +338,15 @@ pub fn verify_hierarchical_partition(
     let mut recombined: BTreeMap<Vec<Value>, u128> = BTreeMap::new();
     for part in parts {
         let j = dpsyn_relational::join(query, &part.sub_instance)?;
-        for (t, w) in j.iter() {
-            *recombined.entry(t.clone()).or_insert(0) += w;
+        // The BTreeMap orders keys itself; skip the sorted emit.
+        for (t, w) in j.iter_unordered() {
+            *recombined.entry(t.to_vec()).or_insert(0) += w;
         }
     }
-    let original: BTreeMap<Vec<Value>, u128> =
-        full.iter().map(|(t, w)| (t.clone(), w)).collect();
+    let original: BTreeMap<Vec<Value>, u128> = full
+        .iter_unordered()
+        .map(|(t, w)| (t.to_vec(), w))
+        .collect();
     Ok(recombined == original)
 }
 
@@ -382,8 +379,7 @@ mod tests {
         let (q, inst) = star_instance();
         let per_step = PrivacyParams::new(4.0, 1e-3).unwrap();
         let mut rng = seeded_rng(1);
-        let parts =
-            partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
+        let parts = partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
         assert!(!parts.is_empty());
         assert!(verify_hierarchical_partition(&q, &inst, &parts).unwrap());
         // Join sizes add up.
@@ -399,8 +395,7 @@ mod tests {
         let (q, inst) = star_instance();
         let per_step = PrivacyParams::new(4.0, 1e-3).unwrap();
         let mut rng = seeded_rng(2);
-        let parts =
-            partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
+        let parts = partition_hierarchical(&q, &inst, per_step, 4.0, 4096, &mut rng).unwrap();
         let tree = AttributeTree::build(&q).unwrap();
         for part in &parts {
             for &attr in tree.bottom_up_order() {
@@ -428,12 +423,10 @@ mod tests {
         let ell = ((100.0f64 / 10.0).log2().ceil()) + 1.0;
         assert!((g - ell).abs() < 1e-9, "g = {g}, ell = {ell}");
         // Non-hierarchical queries are rejected.
-        assert!(HierarchicalRelease::replication_bound(
-            &JoinQuery::path(3, 4).unwrap(),
-            100,
-            10.0
-        )
-        .is_err());
+        assert!(
+            HierarchicalRelease::replication_bound(&JoinQuery::path(3, 4).unwrap(), 100, 10.0)
+                .is_err()
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ impl SyntheticRelease {
 
     /// Answers every query of a family from the synthetic data.
     pub fn answer_all(&self, family: &QueryFamily) -> Result<AnswerSet> {
-        Ok(AnswerSet::new(self.histogram.answer_all(&self.query, family)?))
+        Ok(AnswerSet::new(
+            self.histogram.answer_all(&self.query, family)?,
+        ))
     }
 
     /// The ℓ∞ error of this release against the true answers.
@@ -134,8 +136,8 @@ impl SyntheticRelease {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpsyn_pmw::histogram::DEFAULT_MAX_CELLS;
     use dpsyn_noise::seeded_rng;
+    use dpsyn_pmw::histogram::DEFAULT_MAX_CELLS;
 
     fn release_with_total(total: f64) -> SyntheticRelease {
         let q = JoinQuery::two_table(3, 3, 3);

@@ -181,7 +181,9 @@ mod tests {
             .release(&q, &inst, &family, params, &mut rng)
             .unwrap();
         let count = join_size(&q, &inst).unwrap() as f64;
-        let answered = release.answer(&dpsyn_query::ProductQuery::counting(2)).unwrap();
+        let answered = release
+            .answer(&dpsyn_query::ProductQuery::counting(2))
+            .unwrap();
         let padding = dpsyn_noise::truncation_radius(0.25, 2.5e-7, release.delta_tilde()).unwrap();
         assert!(
             (answered - count).abs() <= 2.0 * padding + 1e-6,

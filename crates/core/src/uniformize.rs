@@ -183,10 +183,7 @@ impl UniformizedTwoTable {
 /// tuple of each relation appears, with its full frequency, in exactly one
 /// sub-instance.  Used by tests and by the experiment harness as a sanity
 /// check (it mirrors the first property of Lemma 4.10 for two tables).
-pub fn verify_two_table_partition(
-    instance: &Instance,
-    buckets: &[PartitionBucket],
-) -> bool {
+pub fn verify_two_table_partition(instance: &Instance, buckets: &[PartitionBucket]) -> bool {
     for rel_idx in 0..2 {
         let mut recombined: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
         for bucket in buckets {
@@ -255,7 +252,11 @@ mod tests {
         let params = PrivacyParams::new(8.0, 1e-3).unwrap();
         let mut rng = seeded_rng(3);
         let buckets = partition_two_table(&q, &inst, params, &mut rng).unwrap();
-        assert!(buckets.len() >= 2, "expected ≥ 2 buckets, got {}", buckets.len());
+        assert!(
+            buckets.len() >= 2,
+            "expected ≥ 2 buckets, got {}",
+            buckets.len()
+        );
         // The heavy value (degree 32) must be in a strictly higher bucket than
         // the light values (degree 1): noise is at most 2τ(8, 1e-3, 1) ≈ 2.2.
         let bucket_of_value = |v: u64| {
@@ -298,9 +299,7 @@ mod tests {
         let mut rng = seeded_rng(11);
         let family = QueryFamily::random_sign(&q, 8, &mut rng).unwrap();
         let algo = UniformizedTwoTable::default();
-        let release = algo
-            .release(&q, &inst, &family, params, &mut rng)
-            .unwrap();
+        let release = algo.release(&q, &inst, &family, params, &mut rng).unwrap();
         assert!(release.parts() >= 1);
         assert_eq!(release.kind(), ReleaseKind::UniformizedTwoTable);
         let answers = release.answer_all(&family).unwrap();

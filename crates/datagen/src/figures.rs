@@ -12,10 +12,17 @@ pub fn fig1_pair(n: u64) -> (JoinQuery, Instance, Instance) {
     let mut right = Instance::empty_for(&query).expect("schema matches");
     for j in 0..n {
         // Left: every R1 tuple uses join value b_1 = 0, and so does every R2 tuple.
-        left.relation_mut(0).add(vec![j, 0], 1).expect("valid tuple");
-        left.relation_mut(1).add(vec![0, j], 1).expect("valid tuple");
+        left.relation_mut(0)
+            .add(vec![j, 0], 1)
+            .expect("valid tuple");
+        left.relation_mut(1)
+            .add(vec![0, j], 1)
+            .expect("valid tuple");
         // Right: R1 uses join values {0..n-1}, R2 uses {n..2n-1} — nothing joins.
-        right.relation_mut(0).add(vec![j, j], 1).expect("valid tuple");
+        right
+            .relation_mut(0)
+            .add(vec![j, j], 1)
+            .expect("valid tuple");
         right
             .relation_mut(1)
             .add(vec![n + j, j], 1)
@@ -55,7 +62,9 @@ pub fn fig2_hard_instance(table: &[u64], n: u64, delta: u64) -> (JoinQuery, Inst
                 .add(vec![a as u64, b], 1)
                 .expect("valid tuple");
             for c in 0..delta {
-                inst.relation_mut(1).add(vec![b, c], 1).expect("valid tuple");
+                inst.relation_mut(1)
+                    .add(vec![b, c], 1)
+                    .expect("valid tuple");
             }
         }
     }
@@ -77,8 +86,12 @@ pub fn fig3_nonuniform(max_degree: u64) -> (JoinQuery, Instance) {
     for b in 0..num_values {
         let degree = b + 1;
         for k in 0..degree {
-            inst.relation_mut(0).add(vec![k, b], 1).expect("valid tuple");
-            inst.relation_mut(1).add(vec![b, k], 1).expect("valid tuple");
+            inst.relation_mut(0)
+                .add(vec![k, b], 1)
+                .expect("valid tuple");
+            inst.relation_mut(1)
+                .add(vec![b, k], 1)
+                .expect("valid tuple");
         }
     }
     (query, inst)
@@ -112,8 +125,12 @@ pub fn example42_instance(k: u64) -> (JoinQuery, Instance) {
             let b = next_value;
             next_value += 1;
             for d in 0..degree {
-                inst.relation_mut(0).add(vec![d, b], 1).expect("valid tuple");
-                inst.relation_mut(1).add(vec![b, d], 1).expect("valid tuple");
+                inst.relation_mut(0)
+                    .add(vec![d, b], 1)
+                    .expect("valid tuple");
+                inst.relation_mut(1)
+                    .add(vec![b, d], 1)
+                    .expect("valid tuple");
             }
         }
     }
@@ -184,13 +201,10 @@ mod tests {
         assert!(inst.validate(&q).is_ok());
         // Local sensitivity is the largest degree class 2^levels ≈ k^{2/3}.
         let levels = ((2.0 / 3.0) * (k as f64).log2()).floor() as u32;
-        assert_eq!(
-            local_sensitivity(&q, &inst).unwrap(),
-            2u128.pow(levels)
-        );
+        assert_eq!(local_sensitivity(&q, &inst).unwrap(), 2u128.pow(levels));
         // Input size is Θ(k²): each level contributes ≈ k² tuples per relation.
         let n = inst.input_size();
-        assert!(n >= (k * k) as u64 && n <= 4 * (levels as u64 + 1) * k * k);
+        assert!(n >= (k * k) && n <= 4 * (levels as u64 + 1) * k * k);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Random instance generators (uniform and Zipf-skewed).
 
 use dpsyn_relational::{Instance, JoinQuery, Value};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draws a value in `0..domain` from a Zipf-like distribution with exponent
 /// `theta` (`theta = 0` is uniform; larger values are more skewed).  Uses the
@@ -11,7 +11,9 @@ fn zipf_value<R: Rng>(domain: u64, theta: f64, rng: &mut R) -> Value {
         return rng.random_range(0..domain.max(1));
     }
     // Cumulative weights 1/(i+1)^theta.
-    let weights: Vec<f64> = (0..domain).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+    let weights: Vec<f64> = (0..domain)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut target = rng.random::<f64>() * total;
     for (i, w) in weights.iter().enumerate() {
@@ -48,10 +50,14 @@ pub fn zipf_two_table<R: Rng>(
     for _ in 0..tuples_per_relation {
         let a = rng.random_range(0..domain_size);
         let b = zipf_value(domain_size, theta, rng);
-        inst.relation_mut(0).add(vec![a, b], 1).expect("valid tuple");
+        inst.relation_mut(0)
+            .add(vec![a, b], 1)
+            .expect("valid tuple");
         let b2 = zipf_value(domain_size, theta, rng);
         let c = rng.random_range(0..domain_size);
-        inst.relation_mut(1).add(vec![b2, c], 1).expect("valid tuple");
+        inst.relation_mut(1)
+            .add(vec![b2, c], 1)
+            .expect("valid tuple");
     }
     (query, inst)
 }
@@ -101,9 +107,8 @@ mod tests {
         let mut r = rng();
         let (q, uniform) = zipf_two_table(32, 400, 0.0, &mut r);
         let (_, skewed) = zipf_two_table(32, 400, 1.5, &mut r);
-        let max_deg = |inst: &Instance| {
-            dpsyn_sensitivity::two_table_local_sensitivity(&q, inst).unwrap()
-        };
+        let max_deg =
+            |inst: &Instance| dpsyn_sensitivity::two_table_local_sensitivity(&q, inst).unwrap();
         assert!(
             max_deg(&skewed) > max_deg(&uniform),
             "skewed {} vs uniform {}",

@@ -5,7 +5,7 @@
 //! joins of private tables).
 
 use dpsyn_relational::{AttrId, Attribute, Instance, JoinQuery, Schema};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::random::zipf_two_table;
 
@@ -113,12 +113,16 @@ pub fn org_hierarchy<R: Rng>(
     for _ in 0..employees {
         let e = rng.random_range(0..departments.max(4));
         let d = popular(departments.max(4), rng);
-        inst.relation_mut(0).add(vec![e, d], 1).expect("valid tuple");
+        inst.relation_mut(0)
+            .add(vec![e, d], 1)
+            .expect("valid tuple");
     }
     for _ in 0..projects {
         let d = popular(departments.max(4), rng);
         let p = rng.random_range(0..departments.max(4));
-        inst.relation_mut(1).add(vec![d, p], 1).expect("valid tuple");
+        inst.relation_mut(1)
+            .add(vec![d, p], 1)
+            .expect("valid tuple");
     }
     (query, inst)
 }

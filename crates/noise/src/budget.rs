@@ -11,10 +11,9 @@
 
 use crate::error::NoiseError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// An `(ε, δ)` differential-privacy parameter pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyParams {
     epsilon: f64,
     delta: f64,
@@ -23,7 +22,7 @@ pub struct PrivacyParams {
 impl PrivacyParams {
     /// Creates a parameter pair.  Requires `ε > 0` and `0 ≤ δ < 1`.
     pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
-        if !(epsilon > 0.0) || !epsilon.is_finite() {
+        if epsilon.is_nan() || epsilon <= 0.0 || epsilon.is_infinite() {
             return Err(NoiseError::InvalidParameter {
                 name: "epsilon",
                 value: epsilon,
@@ -91,7 +90,7 @@ impl PrivacyParams {
     /// `(gε, g e^{gε} δ)`-DP; the paper's Lemma 4.11 uses the looser
     /// `(gε, gδ)` bookkeeping for its `O(log^c n)` factor, which we follow).
     pub fn scale(&self, factor: f64) -> Result<Self> {
-        if !(factor > 0.0) {
+        if factor.is_nan() || factor <= 0.0 {
             return Err(NoiseError::InvalidParameter {
                 name: "factor",
                 value: factor,
@@ -103,7 +102,7 @@ impl PrivacyParams {
 }
 
 /// Composition rules over sequences of `(ε, δ)` guarantees.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Composition {
     /// Basic (sequential) composition: parameters add up.
     Basic,
@@ -151,7 +150,7 @@ pub fn advanced_composition_per_step_epsilon(params: PrivacyParams, k: usize) ->
 /// Tracks how much of a global privacy budget has been spent, refusing
 /// requests that would exceed it.  A small utility for building pipelines on
 /// top of the release algorithms.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BudgetAccountant {
     total: PrivacyParams,
     spent_epsilon: f64,

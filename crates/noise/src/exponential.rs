@@ -10,7 +10,7 @@
 
 use crate::error::NoiseError;
 use crate::Result;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Computes the (unnormalised, numerically stabilised) selection weights of
 /// the exponential mechanism.  Exposed for testing and for callers that want
@@ -23,14 +23,14 @@ pub fn exponential_mechanism_weights(
     if scores.is_empty() {
         return Err(NoiseError::EmptyCandidateSet);
     }
-    if !(epsilon > 0.0) || !epsilon.is_finite() {
+    if epsilon.is_nan() || epsilon <= 0.0 || epsilon.is_infinite() {
         return Err(NoiseError::InvalidParameter {
             name: "epsilon",
             value: epsilon,
             constraint: "0 < epsilon < ∞",
         });
     }
-    if !(score_sensitivity > 0.0) || !score_sensitivity.is_finite() {
+    if score_sensitivity.is_nan() || score_sensitivity <= 0.0 || score_sensitivity.is_infinite() {
         return Err(NoiseError::InvalidParameter {
             name: "score_sensitivity",
             value: score_sensitivity,
@@ -55,7 +55,7 @@ pub fn exponential_mechanism<R: Rng>(
 ) -> Result<usize> {
     let weights = exponential_mechanism_weights(scores, epsilon, score_sensitivity)?;
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) || !total.is_finite() {
+    if total.is_nan() || total <= 0.0 || total.is_infinite() {
         // All weights underflowed (extremely negative scores); fall back to a
         // uniform choice, which is still a valid instantiation of the
         // mechanism over equal weights.
@@ -137,7 +137,10 @@ mod tests {
         }
         let p_expected = std::f64::consts::E / (1.0 + std::f64::consts::E);
         let p_observed = hits as f64 / trials as f64;
-        assert!((p_observed - p_expected).abs() < 0.01, "observed {p_observed}");
+        assert!(
+            (p_observed - p_expected).abs() < 0.01,
+            "observed {p_observed}"
+        );
     }
 
     #[test]

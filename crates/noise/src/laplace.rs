@@ -6,11 +6,10 @@
 
 use crate::error::NoiseError;
 use crate::Result;
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use rand::Rng;
 
 /// A zero-mean Laplace distribution with scale `b`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Laplace {
     scale: f64,
 }
@@ -18,7 +17,7 @@ pub struct Laplace {
 impl Laplace {
     /// Creates a Laplace distribution with scale `b > 0`.
     pub fn new(scale: f64) -> Result<Self> {
-        if !(scale > 0.0) || !scale.is_finite() {
+        if scale.is_nan() || scale <= 0.0 || scale.is_infinite() {
             return Err(NoiseError::InvalidParameter {
                 name: "scale",
                 value: scale,
@@ -31,14 +30,14 @@ impl Laplace {
     /// The Laplace mechanism's distribution for a statistic with sensitivity
     /// `sensitivity` under `ε`-DP: scale `b = sensitivity / ε`.
     pub fn calibrated(sensitivity: f64, epsilon: f64) -> Result<Self> {
-        if !(sensitivity >= 0.0) || !sensitivity.is_finite() {
+        if sensitivity.is_nan() || sensitivity < 0.0 || sensitivity.is_infinite() {
             return Err(NoiseError::InvalidParameter {
                 name: "sensitivity",
                 value: sensitivity,
                 constraint: "0 <= sensitivity < ∞",
             });
         }
-        if !(epsilon > 0.0) {
+        if epsilon.is_nan() || epsilon <= 0.0 {
             return Err(NoiseError::InvalidParameter {
                 name: "epsilon",
                 value: epsilon,
@@ -152,7 +151,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean = {mean}");
-        assert!((var - l.variance()).abs() / l.variance() < 0.05, "var = {var}");
+        assert!(
+            (var - l.variance()).abs() / l.variance() < 0.05,
+            "var = {var}"
+        );
     }
 
     #[test]

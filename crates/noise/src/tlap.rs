@@ -13,29 +13,28 @@
 
 use crate::error::NoiseError;
 use crate::Result;
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use rand::Rng;
 
 /// The truncation/shift radius `τ(ε, δ, Δ) = (Δ/ε)·ln(1 + (e^ε − 1)/δ)`.
 ///
 /// For constant `ε` this is `O(Δ·λ)` with `λ = (1/ε)·ln(1/δ)`, as noted in the
 /// paper's preliminaries.
 pub fn truncation_radius(epsilon: f64, delta: f64, sensitivity: f64) -> Result<f64> {
-    if !(epsilon > 0.0) || !epsilon.is_finite() {
+    if epsilon.is_nan() || epsilon <= 0.0 || epsilon.is_infinite() {
         return Err(NoiseError::InvalidParameter {
             name: "epsilon",
             value: epsilon,
             constraint: "0 < epsilon < ∞",
         });
     }
-    if !(delta > 0.0 && delta < 1.0) {
+    if delta.is_nan() || delta <= 0.0 || delta >= 1.0 {
         return Err(NoiseError::InvalidParameter {
             name: "delta",
             value: delta,
             constraint: "0 < delta < 1 (the truncated Laplace mechanism needs δ > 0)",
         });
     }
-    if !(sensitivity >= 0.0) || !sensitivity.is_finite() {
+    if sensitivity.is_nan() || sensitivity < 0.0 || sensitivity.is_infinite() {
         return Err(NoiseError::InvalidParameter {
             name: "sensitivity",
             value: sensitivity,
@@ -46,7 +45,7 @@ pub fn truncation_radius(epsilon: f64, delta: f64, sensitivity: f64) -> Result<f
 }
 
 /// The shifted truncated Laplace distribution `TLap_b^τ` on `[0, 2τ]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TruncatedLaplace {
     scale: f64,
     tau: f64,
@@ -55,14 +54,14 @@ pub struct TruncatedLaplace {
 impl TruncatedLaplace {
     /// Creates `TLap_b^τ` with scale `b > 0` and shift `τ ≥ 0`.
     pub fn new(scale: f64, tau: f64) -> Result<Self> {
-        if !(scale > 0.0) || !scale.is_finite() {
+        if scale.is_nan() || scale <= 0.0 || scale.is_infinite() {
             return Err(NoiseError::InvalidParameter {
                 name: "scale",
                 value: scale,
                 constraint: "0 < scale < ∞",
             });
         }
-        if !(tau >= 0.0) || !tau.is_finite() {
+        if tau.is_nan() || tau < 0.0 || tau.is_infinite() {
             return Err(NoiseError::InvalidParameter {
                 name: "tau",
                 value: tau,
@@ -139,7 +138,9 @@ impl TruncatedLaplace {
         if self.tau == 0.0 {
             return 0.0;
         }
-        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        let u: f64 = rng
+            .random::<f64>()
+            .clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
         self.quantile(u)
     }
 
@@ -190,8 +191,8 @@ mod tests {
     #[test]
     fn tau_is_big_o_of_lambda_times_sensitivity() {
         // τ(ε, δ, Δ) ≤ O(Δ·λ) for constant ε: check the concrete constant here.
-        let (eps, delta) = (1.0, 1e-9);
-        let lambda = (1.0 / eps) * (1.0 / delta as f64).ln();
+        let (eps, delta) = (1.0f64, 1e-9f64);
+        let lambda = (1.0 / eps) * (1.0 / delta).ln();
         let tau = truncation_radius(eps, delta, 1.0).unwrap();
         assert!(tau <= 2.0 * lambda + 2.0, "tau = {tau}, lambda = {lambda}");
     }

@@ -20,7 +20,6 @@ use dpsyn_noise::{exponential_mechanism, Laplace, PrivacyParams, TruncatedLaplac
 use dpsyn_query::QueryFamily;
 use dpsyn_relational::{join, Instance, JoinQuery};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::PmwError;
 use crate::histogram::{Histogram, DEFAULT_MAX_CELLS};
@@ -28,7 +27,7 @@ use crate::theory::recommended_iterations;
 use crate::Result;
 
 /// Configuration of the PMW release procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PmwConfig {
     /// Hard cap on the number of multiplicative-weights iterations.
     pub max_iterations: usize,
@@ -96,7 +95,7 @@ impl Pmw {
         delta_tilde: f64,
         rng: &mut R,
     ) -> Result<PmwOutput> {
-        if !(delta_tilde >= 0.0) || !delta_tilde.is_finite() {
+        if delta_tilde.is_nan() || delta_tilde < 0.0 || delta_tilde.is_infinite() {
             return Err(PmwError::InvalidConfig(format!(
                 "delta_tilde must be a non-negative finite number, got {delta_tilde}"
             )));
@@ -110,9 +109,13 @@ impl Pmw {
         let delta = params.delta();
 
         // Line 1: noisy join size.
-        let count = join(query, instance)?.total() as f64;
         let join_result = join(query, instance)?;
-        let tlap = TruncatedLaplace::calibrated(epsilon / 2.0, (delta / 2.0).max(f64::MIN_POSITIVE), delta_tilde)?;
+        let count = join_result.total() as f64;
+        let tlap = TruncatedLaplace::calibrated(
+            epsilon / 2.0,
+            (delta / 2.0).max(f64::MIN_POSITIVE),
+            delta_tilde,
+        )?;
         let noisy_total = count + tlap.sample(rng);
 
         // Line 2: uniform initial histogram.

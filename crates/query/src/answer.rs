@@ -2,7 +2,6 @@
 //! answer vectors.
 
 use dpsyn_relational::{join, Instance, JoinQuery, JoinResult};
-use serde::{Deserialize, Serialize};
 
 use crate::error::QueryError;
 use crate::family::QueryFamily;
@@ -10,7 +9,7 @@ use crate::product::{JointEvaluator, ProductQuery};
 use crate::Result;
 
 /// A vector of query answers, aligned with a [`QueryFamily`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnswerSet {
     answers: Vec<f64>,
 }
@@ -93,7 +92,9 @@ pub fn answer_on_join(
     q.validate(query)?;
     let evaluator = JointEvaluator::new(query, join_result.attrs())?;
     let mut total = 0.0;
-    for (tuple, weight) in join_result.iter() {
+    // Construction order is deterministic and each tuple contributes exactly
+    // once, so the sorted view (an O(n log n) emit) is unnecessary here.
+    for (tuple, weight) in join_result.iter_unordered() {
         total += weight as f64 * evaluator.weight(q, tuple);
     }
     Ok(total)
@@ -117,7 +118,7 @@ impl QueryFamily {
         for q in self.iter() {
             q.validate(query)?;
             let mut total = 0.0;
-            for (tuple, weight) in join_result.iter() {
+            for (tuple, weight) in join_result.iter_unordered() {
                 total += weight as f64 * evaluator.weight(q, tuple);
             }
             answers.push(total);

@@ -12,8 +12,7 @@
 //! * random predicate (marginal-style) workloads over attribute values,
 //! * explicit cross products of per-relation families.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use rand::Rng;
 use std::collections::BTreeSet;
 
 use dpsyn_relational::{JoinQuery, Value};
@@ -24,7 +23,7 @@ use crate::product::ProductQuery;
 use crate::Result;
 
 /// A finite family of product queries over a fixed join query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryFamily {
     queries: Vec<ProductQuery>,
 }
@@ -55,11 +54,7 @@ impl QueryFamily {
     /// each query assigns an independent pseudo-random ±1 weight to every
     /// tuple of its relation.  The counting query is always included as the
     /// first entry so that join-size information is represented.
-    pub fn random_sign<R: Rng>(
-        query: &JoinQuery,
-        count: usize,
-        rng: &mut R,
-    ) -> Result<Self> {
+    pub fn random_sign<R: Rng>(query: &JoinQuery, count: usize, rng: &mut R) -> Result<Self> {
         if count == 0 {
             return Err(QueryError::InvalidWorkload(
                 "requested an empty random-sign workload".to_string(),
@@ -110,10 +105,7 @@ impl QueryFamily {
                 let mut allowed = Vec::with_capacity(attrs.len());
                 for &attr in attrs {
                     if rng.random::<f64>() < constrain_prob {
-                        let domain = query
-                            .schema()
-                            .domain_size(attr)
-                            .map_err(QueryError::from)?;
+                        let domain = query.schema().domain_size(attr).map_err(QueryError::from)?;
                         let mut set: BTreeSet<Value> = BTreeSet::new();
                         for v in 0..domain {
                             if rng.random::<bool>() {
@@ -260,9 +252,7 @@ mod tests {
         // Wrong number of per-relation families is rejected.
         assert!(QueryFamily::cross_product(&q, vec![vec![RelationQuery::AllOne]]).is_err());
         // Empty per-relation family is rejected.
-        assert!(
-            QueryFamily::cross_product(&q, vec![vec![], vec![RelationQuery::AllOne]]).is_err()
-        );
+        assert!(QueryFamily::cross_product(&q, vec![vec![], vec![RelationQuery::AllOne]]).is_err());
     }
 
     #[test]

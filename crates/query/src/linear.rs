@@ -3,13 +3,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dpsyn_relational::Value;
-use serde::{Deserialize, Serialize};
 
 use crate::error::QueryError;
 use crate::Result;
 
 /// A weight function on one relation's tuple domain, with values in `[-1, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RelationQuery {
     /// The all-ones function — the per-relation component of the counting
     /// join-size query.
@@ -58,9 +57,10 @@ impl RelationQuery {
                 weights.get(tuple).copied().unwrap_or(*default)
             }
             RelationQuery::Predicate { allowed } => {
-                let ok = allowed.iter().zip(tuple).all(|(constraint, v)| {
-                    constraint.as_ref().map_or(true, |set| set.contains(v))
-                });
+                let ok = allowed
+                    .iter()
+                    .zip(tuple)
+                    .all(|(constraint, v)| constraint.as_ref().is_none_or(|set| set.contains(v)));
                 if ok {
                     1.0
                 } else {

@@ -2,14 +2,13 @@
 
 use dpsyn_relational::tuple::{project_positions, project_with_positions};
 use dpsyn_relational::{AttrId, JoinQuery, Value};
-use serde::{Deserialize, Serialize};
 
 use crate::error::QueryError;
 use crate::linear::RelationQuery;
 use crate::Result;
 
 /// A linear query over a multi-table join: one weight function per relation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProductQuery {
     components: Vec<RelationQuery>,
 }
@@ -134,7 +133,10 @@ mod tests {
         assert!(ProductQuery::counting(2).validate(&jq).is_ok());
         assert!(matches!(
             ProductQuery::counting(3).validate(&jq),
-            Err(QueryError::ComponentCountMismatch { expected: 2, got: 3 })
+            Err(QueryError::ComponentCountMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 

@@ -7,14 +7,11 @@
 
 use crate::error::RelationalError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an attribute within a [`Schema`].
 ///
 /// Attribute ids are dense indices `0..schema.attr_count()`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AttrId(pub u16);
 
 impl AttrId {
@@ -38,7 +35,7 @@ impl std::fmt::Display for AttrId {
 }
 
 /// A named attribute with a finite integer domain `{0, …, domain_size-1}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Human-readable name (e.g. `"A"`, `"user_id"`).
     pub name: String,
@@ -57,7 +54,7 @@ impl Attribute {
 }
 
 /// The global attribute set `x` of a join query, with per-attribute domains.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<Attribute>,
 }
@@ -190,10 +187,7 @@ mod tests {
         let s = abc();
         assert_eq!(s.joint_domain_size(&[]).unwrap(), 1);
         assert_eq!(s.joint_domain_size(&[AttrId(0), AttrId(2)]).unwrap(), 64);
-        assert_eq!(
-            s.joint_domain_size(&s.all_ids()).unwrap(),
-            4 * 8 * 16
-        );
+        assert_eq!(s.joint_domain_size(&s.all_ids()).unwrap(), 4 * 8 * 16);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Shared sub-join caching for relation-subset enumerations.
+//!
+//! Residual sensitivity (Definition 3.6) and the degree statistics of
+//! Definition 4.7 evaluate sub-joins for *many* subsets `E ⊆ [m]` of the same
+//! instance — the residual computation touches every proper subset, `2^m` of
+//! them.  Recomputing each sub-join from the base relations repeats almost
+//! all of the work: the join of `{0, 1, 2}` contains the join of `{0, 1}` as
+//! an intermediate.
+//!
+//! [`SubJoinCache`] memoises sub-join results keyed by the subset's bitmask.
+//! A subset's result is computed with **one** binary hash-join step from the
+//! cached result of the subset minus its highest relation index, so the
+//! whole `2^m` enumeration performs exactly one join step per *distinct*
+//! non-singleton subset instead of up to `m - 1` steps per subset — and each
+//! shared prefix is computed once, ever.
+//!
+//! The cache borrows the query and instance immutably; drop it before
+//! mutating the instance.  (Prefix decomposition is deliberately fixed —
+//! reuse across subsets outweighs per-subset join-order selection here.)
+//!
+//! **Memory trade-off:** every materialised sub-join stays resident until
+//! the cache is dropped, so a full `2^m` enumeration holds all `2^m - 1`
+//! results at once where the uncached path held one at a time.  `m` is a
+//! small constant in the paper's data-complexity setting, but on instances
+//! with very heavy sub-joins callers can bound the footprint by splitting
+//! the enumeration across several shorter-lived caches (an eviction policy
+//! is tracked as a ROADMAP follow-on).
+
+use crate::error::RelationalError;
+use crate::hash::FxHashMap;
+use crate::hypergraph::JoinQuery;
+use crate::instance::Instance;
+use crate::join::{hash_join_step, JoinResult};
+use crate::Result;
+
+/// Memoised sub-join results over one `(query, instance)` pair, keyed by the
+/// relation-subset bitmask.
+#[derive(Debug)]
+pub struct SubJoinCache<'a> {
+    query: &'a JoinQuery,
+    instance: &'a Instance,
+    memo: FxHashMap<u32, JoinResult>,
+}
+
+impl<'a> SubJoinCache<'a> {
+    /// Creates an empty cache for the given query and instance.
+    pub fn new(query: &'a JoinQuery, instance: &'a Instance) -> Result<Self> {
+        if instance.num_relations() != query.num_relations() {
+            return Err(RelationalError::RelationCountMismatch {
+                expected: query.num_relations(),
+                got: instance.num_relations(),
+            });
+        }
+        // Strictly below 32 so that `mask >> m` in `join_mask` never shifts
+        // by the full bit width.
+        if query.num_relations() >= 32 {
+            return Err(RelationalError::InvalidRelationSubset(format!(
+                "SubJoinCache supports at most 31 relations, got {}",
+                query.num_relations()
+            )));
+        }
+        Ok(SubJoinCache {
+            query,
+            instance,
+            memo: FxHashMap::default(),
+        })
+    }
+
+    /// The query this cache evaluates sub-joins of.
+    pub fn query(&self) -> &JoinQuery {
+        self.query
+    }
+
+    /// The instance this cache evaluates sub-joins over.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// Number of sub-join results currently memoised.
+    pub fn cached_count(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Converts a sorted relation-index subset to its bitmask.
+    pub fn mask_of(&self, rels: &[usize]) -> Result<u32> {
+        self.query.check_subset(rels)?;
+        Ok(rels.iter().fold(0u32, |m, &i| m | (1u32 << i)))
+    }
+
+    /// The memoised sub-join of the subset given as a sorted index list.
+    /// Computes (and caches) any missing prefixes on the way.
+    pub fn join_rels(&mut self, rels: &[usize]) -> Result<&JoinResult> {
+        let mask = self.mask_of(rels)?;
+        if mask == 0 {
+            return Err(RelationalError::InvalidRelationSubset(
+                "cannot join an empty set of relations; the empty join is handled by callers"
+                    .to_string(),
+            ));
+        }
+        self.join_mask(mask)
+    }
+
+    /// The memoised sub-join of the subset given as a bitmask (bit `i` set ⇔
+    /// relation `i` participates).  `mask` must be non-zero and within range.
+    pub fn join_mask(&mut self, mask: u32) -> Result<&JoinResult> {
+        let m = self.query.num_relations();
+        if mask == 0 || (mask >> m) != 0 {
+            return Err(RelationalError::InvalidRelationSubset(format!(
+                "invalid sub-join bitmask {mask:#b} for m = {m}"
+            )));
+        }
+        self.ensure(mask)?;
+        Ok(self.memo.get(&mask).expect("ensured above"))
+    }
+
+    /// Computes the sub-join of `rels` reusing (and extending) cached
+    /// prefixes, but **without memoising the final step**: the returned
+    /// result is owned by the caller and freed when dropped.
+    ///
+    /// Use this when the top-level results are large and consumed once —
+    /// e.g. local sensitivity's `m` size-`(m-1)` sub-joins, which share only
+    /// their smaller prefixes.  Memoising them would pin `m` full-size join
+    /// results in memory for no reuse.
+    pub fn join_rels_transient(&mut self, rels: &[usize]) -> Result<JoinResult> {
+        let mask = self.mask_of(rels)?;
+        if mask == 0 {
+            return Err(RelationalError::InvalidRelationSubset(
+                "cannot join an empty set of relations; the empty join is handled by callers"
+                    .to_string(),
+            ));
+        }
+        let top = (31 - mask.leading_zeros()) as usize;
+        let rest = mask & !(1u32 << top);
+        // Copy the instance reference out so the shared borrow of the memo
+        // entry below doesn't conflict with it.
+        let instance = self.instance;
+        if rest == 0 {
+            return Ok(JoinResult::from_relation(instance.relation(top)));
+        }
+        let sub = self.join_mask(rest)?;
+        hash_join_step(sub, instance.relation(top))
+    }
+
+    /// Materialises `mask` (and every missing prefix of its decomposition
+    /// chain) in the memo table.
+    fn ensure(&mut self, mask: u32) -> Result<()> {
+        // Walk down the chain mask → mask \ {top bit} → … until we hit a
+        // cached prefix (or a singleton), then build back up.
+        let mut missing: Vec<u32> = Vec::new();
+        let mut cur = mask;
+        while cur != 0 && !self.memo.contains_key(&cur) {
+            missing.push(cur);
+            cur &= !(1u32 << (31 - cur.leading_zeros()));
+        }
+        for &step in missing.iter().rev() {
+            let top = (31 - step.leading_zeros()) as usize;
+            let rest = step & !(1u32 << top);
+            let result = if rest == 0 {
+                JoinResult::from_relation(self.instance.relation(top))
+            } else {
+                let sub = self.memo.get(&rest).expect("prefix built first");
+                hash_join_step(sub, self.instance.relation(top))?
+            };
+            self.memo.insert(step, result);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::join::join_subset;
+    use crate::relation::Relation;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn star_instance(m: usize) -> (JoinQuery, Instance) {
+        let q = JoinQuery::star(m, 16).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..m {
+            for hub in 0..4u64 {
+                for petal in 0..3u64 {
+                    inst.relation_mut(r)
+                        .add(vec![hub, (petal + r as u64) % 16], 1 + (hub % 2))
+                        .unwrap();
+                }
+            }
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn cached_subjoins_match_direct_evaluation() {
+        let (q, inst) = star_instance(4);
+        let mut cache = SubJoinCache::new(&q, &inst).unwrap();
+        for mask in 1u32..(1 << 4) {
+            let rels: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let direct = join_subset(&q, &inst, &rels).unwrap();
+            let cached = cache.join_rels(&rels).unwrap();
+            assert_eq!(cached.attrs(), direct.attrs());
+            assert_eq!(cached.total(), direct.total());
+            assert_eq!(cached.distinct_count(), direct.distinct_count());
+        }
+        // Every non-empty subset is memoised exactly once.
+        assert_eq!(cache.cached_count(), (1 << 4) - 1);
+    }
+
+    #[test]
+    fn enumeration_reuses_prefixes() {
+        let (q, inst) = star_instance(3);
+        let mut cache = SubJoinCache::new(&q, &inst).unwrap();
+        cache.join_rels(&[0, 1, 2]).unwrap();
+        // The chain {0} → {0,1} → {0,1,2} is materialised by one call.
+        assert_eq!(cache.cached_count(), 3);
+        // Asking for the prefix again computes nothing new.
+        cache.join_rels(&[0, 1]).unwrap();
+        assert_eq!(cache.cached_count(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_masks_and_subsets() {
+        let (q, inst) = star_instance(2);
+        let mut cache = SubJoinCache::new(&q, &inst).unwrap();
+        assert!(cache.join_rels(&[]).is_err());
+        assert!(cache.join_rels(&[5]).is_err());
+        assert!(cache.join_mask(0).is_err());
+        assert!(cache.join_mask(1 << 3).is_err());
+    }
+
+    #[test]
+    fn mismatched_instance_rejected() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 1)]).unwrap();
+        let inst = Instance::new(vec![r1]);
+        assert!(SubJoinCache::new(&q, &inst).is_err());
+    }
+}

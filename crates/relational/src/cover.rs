@@ -44,6 +44,9 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>
             if factor == 0.0 {
                 continue;
             }
+            // Two distinct rows of `a` are touched per iteration; index-based
+            // access keeps the disjoint borrows obvious.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }

@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::attr::AttrId;
+use crate::cache::SubJoinCache;
 use crate::error::RelationalError;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
@@ -40,6 +41,18 @@ pub fn psi(query: &JoinQuery, instance: &Instance, e: &[usize]) -> Result<BTreeS
     result.distinct_projections(&cap)
 }
 
+/// [`psi`] evaluated through a [`SubJoinCache`], so that enumerating many
+/// subsets `E` of the same instance shares sub-join work.
+pub fn psi_cached(cache: &mut SubJoinCache<'_>, e: &[usize]) -> Result<BTreeSet<Vec<Value>>> {
+    if e.is_empty() {
+        return Err(RelationalError::InvalidRelationSubset(
+            "Ψ_E requires a non-empty relation subset".to_string(),
+        ));
+    }
+    let cap = cache.query().intersect_attrs(e)?;
+    cache.join_rels(e)?.distinct_projections(&cap)
+}
+
 /// Degree map `deg_{E,y}` of Definition 4.7:
 ///
 /// * `|E| = 1`, say `E = {i}`: the frequency-weighted degree of relation `i`
@@ -59,16 +72,47 @@ pub fn deg_multi(
         1 => deg_single(instance, e[0], y),
         _ => {
             let cap = query.intersect_attrs(e)?;
-            let positions = project_positions(&cap, y)?;
             let members = psi(query, instance, e)?;
-            let mut out: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
-            for t in &members {
-                let key = project_with_positions(t, &positions);
-                *out.entry(key).or_insert(0) += 1;
-            }
-            Ok(out)
+            count_projections(&members, &cap, y)
         }
     }
+}
+
+/// [`deg_multi`] evaluated through a [`SubJoinCache`]: same semantics, but
+/// the `|E| > 1` case reuses memoised sub-joins across calls.
+pub fn deg_multi_cached(
+    cache: &mut SubJoinCache<'_>,
+    e: &[usize],
+    y: &[AttrId],
+) -> Result<BTreeMap<Vec<Value>, u64>> {
+    match e.len() {
+        0 => Err(RelationalError::InvalidRelationSubset(
+            "deg_{E,y} requires a non-empty relation subset".to_string(),
+        )),
+        1 => cache.instance().relation(e[0]).degree_map(y),
+        _ => {
+            let cap = cache.query().intersect_attrs(e)?;
+            let members = psi_cached(cache, e)?;
+            count_projections(&members, &cap, y)
+        }
+    }
+}
+
+/// Shared `|E| > 1` body of [`deg_multi`] / [`deg_multi_cached`]: counts, for
+/// each tuple of `dom(y)`, the members of `Ψ_E` (over `cap = ⋂ x_i`)
+/// projecting onto it.
+fn count_projections(
+    members: &BTreeSet<Vec<Value>>,
+    cap: &[AttrId],
+    y: &[AttrId],
+) -> Result<BTreeMap<Vec<Value>, u64>> {
+    let positions = project_positions(cap, y)?;
+    let mut out: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
+    for t in members {
+        let key = project_with_positions(t, &positions);
+        *out.entry(key).or_insert(0) += 1;
+    }
+    Ok(out)
 }
 
 /// Maximum degree `mdeg_E(y) = max_t deg_{E,y}(t)` (zero on empty data).

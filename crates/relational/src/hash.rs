@@ -1,0 +1,121 @@
+//! Fast, non-cryptographic hashing for the join engine.
+//!
+//! The hot maps of the relational layer (join results, join-build indexes,
+//! degree maps, sub-join caches) are keyed by short sequences of `u64`
+//! values.  `std`'s default SipHash is safe against adversarial collisions
+//! but costs far more than the arithmetic it guards here, so this module
+//! provides an `FxHash`-style multiply-rotate hasher (the rustc hasher) and
+//! map/set aliases built on it.
+//!
+//! Determinism note: these maps have **no deterministic iteration order**.
+//! Everything that leaves the relational engine is sorted on emit (see the
+//! crate-level "Determinism" docs), so downstream consumers never observe
+//! hash order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant of the Fx hash (a 64-bit golden-ratio prime).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHasher`: one multiply and one rotate per 8-byte word.
+///
+/// Not collision-resistant against adversaries; inputs here are tuple values
+/// from finite attribute domains, produced by the engine itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_of(&[1u64, 2, 3][..]), hash_of(&vec![1u64, 2, 3][..]));
+        assert_ne!(hash_of(&[1u64, 2, 3][..]), hash_of(&[1u64, 2, 4][..]));
+        assert_ne!(hash_of(&[0u64][..]), hash_of(&[0u64, 0][..]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(vec![i, i * 2], i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&vec![i, i * 2]).copied(), Some(i));
+        }
+    }
+
+    #[test]
+    fn byte_write_path_consistent_with_word_path() {
+        // Hashing a &str exercises the `write` fallback.
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+}

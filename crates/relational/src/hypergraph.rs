@@ -10,11 +10,10 @@ use crate::attr::{AttrId, Schema};
 use crate::error::RelationalError;
 use crate::tuple::{diff_attrs, intersect_attrs, union_attrs};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A natural join query over a schema: one hyperedge (attribute list) per
 /// relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinQuery {
     schema: Schema,
     rel_attrs: Vec<Vec<AttrId>>,
@@ -77,9 +76,7 @@ impl JoinQuery {
             attrs.push(crate::attr::Attribute::new(format!("A{i}"), domain_size));
         }
         let schema = Schema::new(attrs);
-        let rels = (1..=m)
-            .map(|i| vec![AttrId(0), AttrId(i as u16)])
-            .collect();
+        let rels = (1..=m).map(|i| vec![AttrId(0), AttrId(i as u16)]).collect();
         JoinQuery::new(schema, rels)
     }
 
@@ -179,11 +176,7 @@ impl JoinQuery {
     /// subset `e` where the attributes `removed` have been deleted from every
     /// hyperedge.  Two relations are adjacent when they still share an
     /// attribute outside `removed`.
-    pub fn connected_components(
-        &self,
-        e: &[usize],
-        removed: &[AttrId],
-    ) -> Result<Vec<Vec<usize>>> {
+    pub fn connected_components(&self, e: &[usize], removed: &[AttrId]) -> Result<Vec<Vec<usize>>> {
         self.check_subset(e)?;
         let residual: Vec<Vec<AttrId>> = e
             .iter()
@@ -285,7 +278,9 @@ impl JoinQuery {
 
     /// Complement `[m] \ e` of a relation subset.
     pub fn complement(&self, e: &[usize]) -> Vec<usize> {
-        (0..self.num_relations()).filter(|i| !e.contains(i)).collect()
+        (0..self.num_relations())
+            .filter(|i| !e.contains(i))
+            .collect()
     }
 }
 

@@ -6,17 +6,16 @@ use crate::hypergraph::JoinQuery;
 use crate::relation::Relation;
 use crate::tuple::Value;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A database instance `I = (R_1, …, R_m)` over a join query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     relations: Vec<Relation>,
 }
 
 /// A single-tuple edit turning an instance into a neighbouring instance
 /// (add or remove one copy of one tuple in one relation — Definition 1.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NeighborEdit {
     /// Add one copy of `tuple` to relation `relation`.
     Add {
@@ -93,9 +92,7 @@ impl Instance {
                     ),
                 });
             }
-            rel.validate_domains(|a: AttrId| {
-                query.schema().domain_size(a).unwrap_or(0)
-            })?;
+            rel.validate_domains(|a: AttrId| query.schema().domain_size(a).unwrap_or(0))?;
         }
         Ok(())
     }
@@ -127,7 +124,8 @@ impl Instance {
                 return false;
             }
             // Count tuples whose frequencies differ.
-            let mut keys: std::collections::BTreeSet<&Vec<Value>> = a.iter().map(|(t, _)| t).collect();
+            let mut keys: std::collections::BTreeSet<&Vec<Value>> =
+                a.iter().map(|(t, _)| t).collect();
             keys.extend(b.iter().map(|(t, _)| t));
             for t in keys {
                 let fa = a.freq(t);

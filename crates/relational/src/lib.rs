@@ -9,10 +9,15 @@
 //! * join queries as hypergraphs `H = (x, {x_1, …, x_m})` with boundaries,
 //!   connectivity and the hierarchical-query test ([`hypergraph`]),
 //! * multi-table instances and neighbouring-instance edits ([`instance`]),
-//! * multi-way natural join evaluation and grouped join sizes ([`join`]),
+//! * multi-way natural **hash-join** evaluation and grouped join sizes
+//!   ([`join`]), with the original `BTreeMap` engine retained as a
+//!   cross-check oracle ([`naive`]),
+//! * shared sub-join caching for relation-subset enumerations ([`cache`]),
 //! * degree statistics `deg`, `Ψ_E` and maximum degrees `mdeg` ([`degree`]),
 //! * attribute trees for hierarchical joins ([`tree`]),
-//! * fractional edge covers and the AGM bound ([`cover`]).
+//! * fractional edge covers and the AGM bound ([`cover`]),
+//! * the compact tuple representation and fast hashing underneath it all
+//!   ([`tuple`], [`hash`]).
 //!
 //! Everything downstream (sensitivity computation, the PMW release algorithm
 //! and the paper's join-as-one / uniformization algorithms) is built on these
@@ -24,33 +29,57 @@
 //!   tuples store their values in that order.
 //! * Relations map tuples to non-negative integer frequencies (annotated
 //!   relations); a "plain" relation is simply one whose frequencies are all 1.
-//! * All iteration uses ordered maps so that downstream randomized algorithms
-//!   are reproducible from an RNG seed.
+//!
+//! # Determinism contract
+//!
+//! The join engine's internal maps are unordered hash maps keyed by the
+//! compact [`TupleKey`] (inline, allocation-free for arity ≤ 4).  Hash order
+//! is **never observable**: every API that exposes tuples — [`JoinResult::iter`],
+//! [`JoinResult::group_by`], [`JoinResult::distinct_projections`],
+//! [`Relation::degree_map`], [`degree::deg_multi`] — sorts on emit (or
+//! returns an ordered map/set), so two runs over the same instance produce
+//! byte-identical output and downstream seeded randomized algorithms are
+//! reproducible from an RNG seed exactly as with the previous ordered-map
+//! engine.  APIs whose results are order-free aggregates
+//! ([`JoinResult::total`], [`JoinResult::max_group_weight`],
+//! [`Relation::max_degree`]) skip the sort entirely.  The `*_key` /
+//! `iter_unordered` escape hatches expose the raw hash containers for hot
+//! paths that aggregate further; callers must not let their order escape.
+//!
+//! [`SubJoinCache`] memoises sub-join results per subset bitmask so that
+//! `2^m`-subset enumerations (residual sensitivity, multi-relation degree
+//! statistics) perform one hash-join step per distinct subset instead of
+//! re-joining from the base relations each time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod cache;
 pub mod cover;
 pub mod degree;
 pub mod error;
+pub mod hash;
 pub mod hypergraph;
 pub mod instance;
 pub mod join;
+pub mod naive;
 pub mod relation;
 pub mod tree;
 pub mod tuple;
 
 pub use attr::{AttrId, Attribute, Schema};
+pub use cache::SubJoinCache;
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
-pub use degree::{deg_multi, deg_single, max_degree, psi};
+pub use degree::{deg_multi, deg_multi_cached, deg_single, max_degree, psi, psi_cached};
 pub use error::RelationalError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hypergraph::JoinQuery;
 pub use instance::{Instance, NeighborEdit};
-pub use join::{grouped_join_size, join, join_size, join_subset, JoinResult};
+pub use join::{grouped_join_size, hash_join_step, join, join_size, join_subset, JoinResult};
 pub use relation::Relation;
 pub use tree::AttributeTree;
-pub use tuple::{project, project_positions, Value};
+pub use tuple::{project, project_positions, TupleKey, Value, INLINE_ARITY};
 
 /// Result alias used throughout the relational crate.
 pub type Result<T> = std::result::Result<T, RelationalError>;

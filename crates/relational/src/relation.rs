@@ -10,12 +10,12 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::attr::AttrId;
 use crate::error::RelationalError;
-use crate::tuple::{project_positions, project_with_positions, Value};
+use crate::hash::FxHashMap;
+use crate::tuple::{project_into, project_positions, project_with_positions, TupleKey, Value};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A frequency-annotated relation over a sorted list of attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     attrs: Vec<AttrId>,
     freqs: BTreeMap<Vec<Value>, u64>,
@@ -159,22 +159,41 @@ impl Relation {
     /// For `y = ∅` the map has a single entry keyed by the empty tuple whose
     /// value is [`Relation::total`].
     pub fn degree_map(&self, onto: &[AttrId]) -> Result<BTreeMap<Vec<Value>, u64>> {
+        // Accumulate in a hash map (O(1) probes), emit sorted.
+        Ok(self
+            .degree_map_key(onto)?
+            .into_iter()
+            .map(|(k, f)| (k.to_vec(), f))
+            .collect())
+    }
+
+    /// The degree map as a hash map keyed by the projected [`TupleKey`] — the
+    /// order-free fast path behind [`Relation::degree_map`] and
+    /// [`Relation::max_degree`].
+    pub fn degree_map_key(&self, onto: &[AttrId]) -> Result<FxHashMap<TupleKey, u64>> {
         let positions = project_positions(&self.attrs, onto)?;
-        let mut out: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
+        let mut out: FxHashMap<TupleKey, u64> = FxHashMap::default();
+        let mut scratch: Vec<Value> = Vec::with_capacity(positions.len());
         for (t, f) in self.iter() {
-            let key = project_with_positions(t, &positions);
-            *out.entry(key).or_insert(0) += f;
+            project_into(t, &positions, &mut scratch);
+            match out.get_mut(scratch.as_slice()) {
+                Some(total) => *total = total.saturating_add(f),
+                None => {
+                    out.insert(TupleKey::from_slice(&scratch), f);
+                }
+            }
         }
         if onto.is_empty() && out.is_empty() {
-            out.insert(Vec::new(), 0);
+            out.insert(TupleKey::from_slice(&[]), 0);
         }
         Ok(out)
     }
 
     /// Maximum degree onto `y`: `max_t deg_{i,y}(t)` (zero for an empty relation).
+    /// Never sorts: a pure fold over the hash groups.
     pub fn max_degree(&self, onto: &[AttrId]) -> Result<u64> {
         Ok(self
-            .degree_map(onto)?
+            .degree_map_key(onto)?
             .values()
             .copied()
             .max()
@@ -194,11 +213,7 @@ impl Relation {
     /// Restricts the relation to tuples whose projection onto `onto` lies in
     /// `allowed`.  This is the sub-relation `R_i^j` used by the partition
     /// procedures (Algorithms 5 and 7).
-    pub fn restrict(
-        &self,
-        onto: &[AttrId],
-        allowed: &BTreeSet<Vec<Value>>,
-    ) -> Result<Relation> {
+    pub fn restrict(&self, onto: &[AttrId], allowed: &BTreeSet<Vec<Value>>) -> Result<Relation> {
         let positions = project_positions(&self.attrs, onto)?;
         let mut out = Relation::new(self.attrs.clone())?;
         for (t, f) in self.iter() {

@@ -12,10 +12,9 @@ use crate::attr::AttrId;
 use crate::error::RelationalError;
 use crate::hypergraph::JoinQuery;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// The attribute forest of a hierarchical join query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeTree {
     /// Parent of each attribute (`None` for roots).  Indexed by attribute id.
     parent: Vec<Option<AttrId>>,
@@ -91,11 +90,7 @@ impl AttributeTree {
 
         // Bottom-up (post-order) traversal.
         let mut bottom_up = Vec::with_capacity(attr_count);
-        fn post_order(
-            node: AttrId,
-            children: &[Vec<AttrId>],
-            out: &mut Vec<AttrId>,
-        ) {
+        fn post_order(node: AttrId, children: &[Vec<AttrId>], out: &mut Vec<AttrId>) {
             for &c in &children[node.index()] {
                 post_order(c, children, out);
             }
@@ -289,11 +284,7 @@ mod tests {
     fn equal_atom_attributes_form_a_chain() {
         // Both attributes appear in both relations: atoms are equal.
         let schema = Schema::uniform(&["A", "B", "C"], 4);
-        let q = JoinQuery::new(
-            schema,
-            vec![ids(&[0, 1]), ids(&[0, 1, 2])],
-        )
-        .unwrap();
+        let q = JoinQuery::new(schema, vec![ids(&[0, 1]), ids(&[0, 1, 2])]).unwrap();
         let tree = AttributeTree::build(&q).unwrap();
         // atom(A) = atom(B) = {0,1}; they chain A ← B deterministically, and C
         // (atom {1}) hangs below B.

@@ -13,6 +13,177 @@ use crate::Result;
 /// A single attribute value.  Domain elements are integers `0..domain_size`.
 pub type Value = u64;
 
+/// Maximum arity stored inline by [`TupleKey`] (no heap allocation).
+///
+/// `TupleKey` is used for hash-index and group-by keys, which range over
+/// shared-attribute sets and grouping sets: arity ≤ 4 covers every query
+/// shape in `dpsyn-datagen` (join keys of two-table/path/star/triangle
+/// queries have arity 1–2, boundaries at most a handful).  Full result
+/// tuples never pass through `TupleKey` — `JoinResult` stores them in a
+/// flat row-major buffer — so wider keys (which spill to a boxed slice)
+/// only arise in unusual ad-hoc projections.
+pub const INLINE_ARITY: usize = 4;
+
+/// A compact tuple key for the hash-join engine.
+///
+/// Tuples of arity ≤ [`INLINE_ARITY`] are stored inline (one enum word plus
+/// four values, no heap allocation); wider tuples spill to a boxed slice.
+/// `TupleKey` hashes, compares and orders exactly like its value slice, so a
+/// map keyed by `TupleKey` can be probed with a borrowed `&[Value]` (via
+/// [`std::borrow::Borrow`]) without materialising a key.
+#[derive(Debug, Clone)]
+pub enum TupleKey {
+    /// Inline storage: `vals[..len]` are the tuple's values.
+    Inline {
+        /// Number of valid values.
+        len: u8,
+        /// Value storage (entries past `len` are zero and ignored).
+        vals: [Value; INLINE_ARITY],
+    },
+    /// Heap storage for tuples wider than [`INLINE_ARITY`].
+    Heap(Box<[Value]>),
+}
+
+impl TupleKey {
+    /// Builds a key from a value slice.
+    #[inline]
+    pub fn from_slice(values: &[Value]) -> Self {
+        if values.len() <= INLINE_ARITY {
+            let mut vals = [0; INLINE_ARITY];
+            vals[..values.len()].copy_from_slice(values);
+            TupleKey::Inline {
+                len: values.len() as u8,
+                vals,
+            }
+        } else {
+            TupleKey::Heap(values.into())
+        }
+    }
+
+    /// Builds a key of length `len` whose `i`-th value is `f(i)`.
+    ///
+    /// This is the allocation-free construction used by the join engine's
+    /// merge step (values are pulled from the two operand tuples in place).
+    #[inline]
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> Value) -> Self {
+        if len <= INLINE_ARITY {
+            let mut vals = [0; INLINE_ARITY];
+            for (i, slot) in vals[..len].iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            TupleKey::Inline {
+                len: len as u8,
+                vals,
+            }
+        } else {
+            TupleKey::Heap((0..len).map(f).collect())
+        }
+    }
+
+    /// Projects `tuple` onto pre-computed `positions`
+    /// (see [`project_positions`]) without any intermediate allocation.
+    #[inline]
+    pub fn project(tuple: &[Value], positions: &[usize]) -> Self {
+        TupleKey::from_fn(positions.len(), |i| tuple[positions[i]])
+    }
+
+    /// The key's values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Value] {
+        match self {
+            TupleKey::Inline { len, vals } => &vals[..*len as usize],
+            TupleKey::Heap(vals) => vals,
+        }
+    }
+
+    /// Number of values in the key.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            TupleKey::Inline { len, .. } => *len as usize,
+            TupleKey::Heap(vals) => vals.len(),
+        }
+    }
+
+    /// Whether the key is the empty tuple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the key into an owned `Vec`.
+    #[inline]
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl PartialEq for TupleKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TupleKey {}
+
+impl PartialOrd for TupleKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TupleKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for TupleKey {
+    /// Hashes exactly like the value slice, keeping the `Borrow<[Value]>`
+    /// lookup contract: `hash(key) == hash(key.as_slice())`.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for TupleKey {
+    #[inline]
+    fn borrow(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for TupleKey {
+    type Target = [Value];
+
+    #[inline]
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl From<&[Value]> for TupleKey {
+    #[inline]
+    fn from(values: &[Value]) -> Self {
+        TupleKey::from_slice(values)
+    }
+}
+
+impl From<Vec<Value>> for TupleKey {
+    #[inline]
+    fn from(values: Vec<Value>) -> Self {
+        if values.len() <= INLINE_ARITY {
+            TupleKey::from_slice(&values)
+        } else {
+            TupleKey::Heap(values.into_boxed_slice())
+        }
+    }
+}
+
 /// Computes, for each attribute in `onto`, its position inside `attrs`.
 ///
 /// Both lists must be sorted; `onto` must be a subset of `attrs`.
@@ -43,6 +214,16 @@ pub fn project(tuple: &[Value], attrs: &[AttrId], onto: &[AttrId]) -> Result<Vec
 #[inline]
 pub fn project_with_positions(tuple: &[Value], positions: &[usize]) -> Vec<Value> {
     positions.iter().map(|&p| tuple[p]).collect()
+}
+
+/// Projects `tuple` onto `positions` into a reusable scratch buffer,
+/// clearing it first.  Hot loops call this with one buffer per loop so that
+/// probing a hash index allocates nothing (the buffer's slice is used as the
+/// lookup key via `Borrow<[Value]>`).
+#[inline]
+pub fn project_into(tuple: &[Value], positions: &[usize], scratch: &mut Vec<Value>) {
+    scratch.clear();
+    scratch.extend(positions.iter().map(|&p| tuple[p]));
 }
 
 /// Merges two attribute lists (each sorted, duplicate-free) into their sorted
@@ -175,5 +356,63 @@ mod tests {
         let pos = project_positions(&attrs, &ids(&[4, 9])).unwrap();
         assert_eq!(pos, vec![1, 3]);
         assert_eq!(project_with_positions(&[5, 6, 7, 8], &pos), vec![6, 8]);
+        let mut scratch = Vec::new();
+        project_into(&[5, 6, 7, 8], &pos, &mut scratch);
+        assert_eq!(scratch, vec![6, 8]);
+        project_into(&[5, 6, 7, 8], &[0], &mut scratch);
+        assert_eq!(scratch, vec![5]);
+    }
+
+    #[test]
+    fn tuple_key_inline_and_heap_agree_with_slices() {
+        use std::hash::BuildHasher;
+
+        for len in 0..=6usize {
+            let values: Vec<Value> = (0..len as u64).map(|v| v * 7 + 1).collect();
+            let key = TupleKey::from_slice(&values);
+            assert_eq!(key.as_slice(), values.as_slice());
+            assert_eq!(key.len(), len);
+            assert_eq!(key.is_empty(), len == 0);
+            assert_eq!(key.to_vec(), values);
+            assert!(
+                matches!(
+                    key,
+                    TupleKey::Inline { .. } if len <= INLINE_ARITY,
+                ) || len > INLINE_ARITY
+            );
+
+            // Hash must match the slice hash (Borrow-based map probing).
+            let build = crate::hash::FxBuildHasher::default();
+            assert_eq!(build.hash_one(&key), build.hash_one(values.as_slice()));
+        }
+    }
+
+    #[test]
+    fn tuple_key_orders_like_slices() {
+        let a = TupleKey::from_slice(&[1, 2]);
+        let b = TupleKey::from_slice(&[1, 3]);
+        let c = TupleKey::from_slice(&[1, 2, 0]);
+        assert!(a < b);
+        assert!(a < c);
+        assert_eq!(a, TupleKey::from(vec![1, 2]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tuple_key_from_fn_and_project() {
+        let key = TupleKey::from_fn(3, |i| (i as Value) * 10);
+        assert_eq!(key.as_slice(), &[0, 10, 20]);
+        let wide = TupleKey::from_fn(6, |i| i as Value);
+        assert_eq!(wide.as_slice(), &[0, 1, 2, 3, 4, 5]);
+        let projected = TupleKey::project(&[9, 8, 7, 6], &[3, 0]);
+        assert_eq!(projected.as_slice(), &[6, 9]);
+    }
+
+    #[test]
+    fn tuple_key_borrow_lookup() {
+        let mut map: crate::hash::FxHashMap<TupleKey, u64> = crate::hash::FxHashMap::default();
+        map.insert(TupleKey::from_slice(&[4, 5]), 99);
+        assert_eq!(map.get(&[4u64, 5][..]).copied(), Some(99));
+        assert_eq!(map.get(&[4u64, 6][..]).copied(), None);
     }
 }

@@ -7,7 +7,7 @@
 //! hierarchical machinery of Section 4.2 upper-bounds them by products of
 //! maximum degrees.
 
-use dpsyn_relational::{grouped_join_size, AttrId, Instance, JoinQuery};
+use dpsyn_relational::{grouped_join_size, AttrId, Instance, JoinQuery, SubJoinCache};
 
 use crate::Result;
 
@@ -30,6 +30,29 @@ pub fn aggregate_query(
     }
     let groups = grouped_join_size(query, instance, e, y)?;
     Ok(groups.values().copied().max().unwrap_or(0))
+}
+
+/// [`aggregate_query`] evaluated through a [`SubJoinCache`], so that
+/// enumerating many subsets `E` of the same instance shares sub-join work
+/// (the `2^m` enumeration of residual sensitivity in particular).
+pub fn aggregate_query_cached(
+    cache: &mut SubJoinCache<'_>,
+    e: &[usize],
+    y: &[AttrId],
+) -> Result<u128> {
+    if e.is_empty() {
+        return Ok(1);
+    }
+    Ok(cache.join_rels(e)?.max_group_weight(y)?)
+}
+
+/// [`boundary_query`] evaluated through a [`SubJoinCache`].
+pub fn boundary_query_cached(cache: &mut SubJoinCache<'_>, e: &[usize]) -> Result<u128> {
+    if e.is_empty() {
+        return Ok(1);
+    }
+    let boundary = cache.query().boundary(e)?;
+    aggregate_query_cached(cache, e, &boundary)
 }
 
 /// The maximum boundary query `T_E(I) = T_{E, ∂E}(I)` of Equation (1).
@@ -87,10 +110,7 @@ mod tests {
     fn aggregate_query_with_custom_projection() {
         let (q, inst) = two_table();
         // T_{E={1}, y={B,C}} is the maximum frequency of a single tuple of R2.
-        assert_eq!(
-            aggregate_query(&q, &inst, &[1], &ids(&[1, 2])).unwrap(),
-            7
-        );
+        assert_eq!(aggregate_query(&q, &inst, &[1], &ids(&[1, 2])).unwrap(), 7);
         // T_{E={1}, y=∅} is the total size of R2.
         assert_eq!(aggregate_query(&q, &inst, &[1], &[]).unwrap(), 12);
     }

@@ -14,7 +14,6 @@ use std::collections::BTreeMap;
 
 use dpsyn_relational::tuple::diff_attrs;
 use dpsyn_relational::{AttrId, AttributeTree, Instance, JoinQuery, Value};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SensitivityError;
 use crate::Result;
@@ -32,7 +31,11 @@ pub fn bucket_of(degree: f64, lambda: f64) -> usize {
 /// The degree range `(γ_{i-1}, γ_i]` covered by bucket `i` (with `γ_0 = 0`).
 pub fn bucket_range(i: usize, lambda: f64) -> (f64, f64) {
     let hi = lambda * (2.0f64).powi(i as i32);
-    let lo = if i <= 1 { 0.0 } else { lambda * (2.0f64).powi(i as i32 - 1) };
+    let lo = if i <= 1 {
+        0.0
+    } else {
+        lambda * (2.0f64).powi(i as i32 - 1)
+    };
     (lo, hi)
 }
 
@@ -44,7 +47,7 @@ pub fn bucket_cap(i: usize, lambda: f64) -> f64 {
 /// A degree configuration: one bucket per attribute of a hierarchical query
 /// (Definition 4.9, indexed by attribute via the Lemma 4.8 correspondence
 /// `x ↔ (atom(x), ancestors(x))`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct DegreeConfiguration {
     buckets: BTreeMap<AttrId, usize>,
 }
@@ -111,12 +114,7 @@ impl DegreeConfiguration {
     /// Upper bound on the boundary query `T_E` of an instance *conforming to
     /// this configuration*, as the product of bucket caps over the attributes
     /// of `Ô_E ∖ ∂E` (Lemma 4.8 with `mdeg ≤ γ`).
-    pub fn t_e_upper_bound(
-        &self,
-        query: &JoinQuery,
-        e: &[usize],
-        lambda: f64,
-    ) -> Result<f64> {
+    pub fn t_e_upper_bound(&self, query: &JoinQuery, e: &[usize], lambda: f64) -> Result<f64> {
         check_lambda(lambda)?;
         if e.is_empty() {
             return Ok(1.0);
@@ -141,11 +139,7 @@ impl DegreeConfiguration {
     /// Upper bound on the *local sensitivity* of an instance conforming to
     /// this configuration: `max_i Π caps over Ô_{[m]∖{i}} ∖ ∂`.  This is the
     /// quantity `LS^σ_count` appearing in Theorem C.3.
-    pub fn local_sensitivity_upper_bound(
-        &self,
-        query: &JoinQuery,
-        lambda: f64,
-    ) -> Result<f64> {
+    pub fn local_sensitivity_upper_bound(&self, query: &JoinQuery, lambda: f64) -> Result<f64> {
         let m = query.num_relations();
         let mut worst: f64 = 0.0;
         for i in 0..m {
@@ -157,7 +151,7 @@ impl DegreeConfiguration {
 }
 
 fn check_lambda(lambda: f64) -> Result<()> {
-    if !(lambda > 0.0) || !lambda.is_finite() {
+    if lambda.is_nan() || lambda <= 0.0 || lambda.is_infinite() {
         return Err(SensitivityError::InvalidParameter {
             name: "lambda",
             value: lambda,
@@ -174,7 +168,7 @@ fn check_lambda(lambda: f64) -> Result<()> {
 /// This is the non-private object that Theorem 4.4 and Theorem 4.5 are
 /// parameterised by; the private Algorithm 5 approximates it with noisy
 /// degrees.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UniformPartitionSpec {
     /// Bucket index for each join value (keyed by the value tuple over the
     /// shared attributes).
@@ -199,7 +193,11 @@ impl UniformPartitionSpec {
         let mut keys: std::collections::BTreeSet<Vec<Value>> = d1.keys().cloned().collect();
         keys.extend(d2.keys().cloned());
         for key in keys {
-            let deg = d1.get(&key).copied().unwrap_or(0).max(d2.get(&key).copied().unwrap_or(0));
+            let deg = d1
+                .get(&key)
+                .copied()
+                .unwrap_or(0)
+                .max(d2.get(&key).copied().unwrap_or(0));
             assignment.insert(key, bucket_of(deg as f64, lambda));
         }
         Ok(UniformPartitionSpec {
@@ -330,8 +328,7 @@ mod tests {
         .unwrap();
         let inst = Instance::new(vec![r1, r2]);
         let lambda = 2.0;
-        let config =
-            DegreeConfiguration::from_true_degrees(&q, &tree, &inst, lambda).unwrap();
+        let config = DegreeConfiguration::from_true_degrees(&q, &tree, &inst, lambda).unwrap();
         // Attribute A (id 0): mdeg_{R1}(B) = 12 → bucket 3 (cap 16).
         assert_eq!(config.bucket(AttrId(0)), Some(3));
         // Attribute C (id 2): mdeg_{R2}(B) = 3 → bucket 1 (cap 4).

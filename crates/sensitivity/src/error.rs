@@ -35,12 +35,18 @@ impl fmt::Display for SensitivityError {
                 name,
                 value,
                 constraint,
-            } => write!(f, "invalid parameter {name} = {value}: must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid parameter {name} = {value}: must satisfy {constraint}"
+            ),
             SensitivityError::RequiresHierarchical(msg) => {
                 write!(f, "operation requires a hierarchical join query: {msg}")
             }
             SensitivityError::RequiresTwoTable { got } => {
-                write!(f, "operation requires a two-table query, got {got} relations")
+                write!(
+                    f,
+                    "operation requires a two-table query, got {got} relations"
+                )
             }
         }
     }

@@ -29,13 +29,15 @@ pub mod mdeg_bound;
 pub mod residual;
 pub mod smooth;
 
-pub use boundary::{aggregate_query, boundary_query};
+pub use boundary::{
+    aggregate_query, aggregate_query_cached, boundary_query, boundary_query_cached,
+};
 pub use config::{DegreeConfiguration, UniformPartitionSpec};
 pub use error::SensitivityError;
 pub use global::{global_sensitivity_bound, worst_case_error_exponent};
 pub use local::{local_sensitivity, two_table_local_sensitivity};
 pub use mdeg_bound::{lemma48_mdeg_terms, t_e_mdeg_upper_bound, MdegTerm};
-pub use residual::{ls_hat_k, residual_sensitivity, ResidualSensitivity};
+pub use residual::{all_boundary_values, ls_hat_k, residual_sensitivity, ResidualSensitivity};
 pub use smooth::{is_smooth_upper_bound, smooth_sensitivity_bruteforce};
 
 /// Result alias for this crate.

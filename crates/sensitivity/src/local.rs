@@ -14,19 +14,45 @@
 //! `Δ = max_b max{deg_{1,B}(b), deg_{2,B}(b)}`.
 
 use dpsyn_relational::degree::two_table_max_shared_degree;
-use dpsyn_relational::{Instance, JoinQuery};
+use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
 
 use crate::boundary::boundary_query;
 use crate::Result;
 
 /// Local sensitivity `LS_count(I) = max_i T_{[m]∖{i}}(I)` of the counting
 /// query.
+///
+/// The `m` size-`(m-1)` sub-joins overlap heavily, so they are evaluated
+/// through one shared [`SubJoinCache`].
 pub fn local_sensitivity(query: &JoinQuery, instance: &Instance) -> Result<u128> {
     let m = query.num_relations();
     let mut best = 0u128;
+    // The bitmask cache handles m < 32; beyond that (no enumeration is
+    // needed here, only m boundary queries) fall back to direct evaluation
+    // rather than inheriting the cache's representation limit.
+    let mut cache = if m < 32 {
+        Some(SubJoinCache::new(query, instance)?)
+    } else {
+        None
+    };
     for i in 0..m {
         let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
-        let t = boundary_query(query, instance, &others)?;
+        let t = match &mut cache {
+            Some(cache) => {
+                // Transient top-level join: the m size-(m-1) results are
+                // each consumed once and can dwarf the inputs, so only
+                // their shared prefixes are memoised.
+                let boundary = query.boundary(&others)?;
+                if others.is_empty() {
+                    1
+                } else {
+                    cache
+                        .join_rels_transient(&others)?
+                        .max_group_weight(&boundary)?
+                }
+            }
+            None => boundary_query(query, instance, &others)?,
+        };
         best = best.max(t);
     }
     Ok(best)

@@ -15,13 +15,12 @@
 
 use dpsyn_relational::tuple::diff_attrs;
 use dpsyn_relational::{max_degree, AttrId, AttributeTree, Instance, JoinQuery};
-use serde::{Deserialize, Serialize};
 
 use crate::Result;
 
 /// One maximum-degree factor `mdeg_{atom(x)}(ancestors(x))` in the Lemma 4.8
 /// upper bound.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MdegTerm {
     /// The attribute `x` this factor corresponds to.
     pub attr: AttrId,
@@ -174,7 +173,8 @@ mod tests {
             vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
         )
         .unwrap();
-        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![0, 1], 1)]).unwrap();
+        let r2 =
+            Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![0, 1], 1)]).unwrap();
         let inst = Instance::new(vec![r1, r2]);
         // T_{E={0}} bound: attributes of R1 minus boundary {B} = {A};
         // mdeg_{atom(A)={0}}(ancestors(A)={B}) = max degree of R1 on B = 3.

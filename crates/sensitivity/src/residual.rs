@@ -24,9 +24,9 @@
 
 use std::collections::BTreeMap;
 
-use dpsyn_relational::{Instance, JoinQuery};
+use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
 
-use crate::boundary::boundary_query;
+use crate::boundary::boundary_query_cached;
 use crate::error::SensitivityError;
 use crate::Result;
 
@@ -60,7 +60,7 @@ impl ResidualSensitivity {
 }
 
 fn check_beta(beta: f64) -> Result<()> {
-    if !(beta > 0.0) || !beta.is_finite() {
+    if beta.is_nan() || beta <= 0.0 || beta.is_infinite() {
         return Err(SensitivityError::InvalidParameter {
             name: "beta",
             value: beta,
@@ -72,15 +72,20 @@ fn check_beta(beta: f64) -> Result<()> {
 
 /// Precomputes `T_F(I)` for every proper subset `F ⊊ [m]`, keyed by the sorted
 /// subset (the empty subset maps to 1).
-fn all_boundary_values(
+///
+/// All `2^m - 1` sub-joins are evaluated through one shared [`SubJoinCache`],
+/// so each subset costs a single incremental hash-join step over its cached
+/// prefix instead of a full re-join from the base relations.
+pub fn all_boundary_values(
     query: &JoinQuery,
     instance: &Instance,
 ) -> Result<BTreeMap<Vec<usize>, u128>> {
     let m = query.num_relations();
+    let mut cache = SubJoinCache::new(query, instance)?;
     let mut out = BTreeMap::new();
     for mask in 0u32..((1u32 << m) - 1) {
         let f: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
-        let value = boundary_query(query, instance, &f)?;
+        let value = boundary_query_cached(&mut cache, &f)?;
         out.insert(f, value);
     }
     Ok(out)
@@ -88,11 +93,7 @@ fn all_boundary_values(
 
 /// Evaluates `Σ_{E ⊆ O} T_{O∖E} Π_{j∈E} s_j` for a fixed relation-exclusion
 /// set `O` (given as a sorted list) and assignment `s` (aligned with `O`).
-fn inner_sum(
-    o: &[usize],
-    s: &[u64],
-    boundary_values: &BTreeMap<Vec<usize>, u128>,
-) -> f64 {
+fn inner_sum(o: &[usize], s: &[u64], boundary_values: &BTreeMap<Vec<usize>, u128>) -> f64 {
     let len = o.len();
     let mut total = 0.0;
     for mask in 0u32..(1u32 << len) {
@@ -347,6 +348,23 @@ mod tests {
             assert!(cur >= prev);
             prev = cur;
         }
+    }
+
+    #[test]
+    fn cached_boundary_values_match_naive_enumeration() {
+        let q = JoinQuery::star(4, 8).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..4usize {
+            for hub in 0..3u64 {
+                inst.relation_mut(r)
+                    .add(vec![hub, (hub + r as u64) % 8], 1 + r as u64)
+                    .unwrap();
+            }
+        }
+        let cached = all_boundary_values(&q, &inst).unwrap();
+        let naive = dpsyn_relational::naive::all_boundary_values_naive(&q, &inst).unwrap();
+        assert_eq!(cached, naive);
+        assert_eq!(cached.len(), (1 << 4) - 1);
     }
 
     #[test]

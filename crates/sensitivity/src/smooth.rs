@@ -44,16 +44,18 @@ fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Ins
                 if j == i {
                     continue;
                 }
-                if let Ok(p) = dpsyn_relational::tuple::project_positions(
-                    query.relation_attrs(j),
-                    &[attr],
-                ) {
+                if let Ok(p) =
+                    dpsyn_relational::tuple::project_positions(query.relation_attrs(j), &[attr])
+                {
                     for (t, _) in instance.relation(j).iter() {
                         values.insert(t[p[0]]);
                     }
                 }
             }
-            let domain = query.schema().domain_size(attr).map_err(SensitivityError::from)?;
+            let domain = query
+                .schema()
+                .domain_size(attr)
+                .map_err(SensitivityError::from)?;
             for fresh in 0..domain {
                 if !values.contains(&fresh) {
                     values.insert(fresh);
@@ -86,10 +88,7 @@ fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Ins
             if tuple.len() != attrs.len() {
                 continue;
             }
-            let edit = NeighborEdit::Add {
-                relation: i,
-                tuple,
-            };
+            let edit = NeighborEdit::Add { relation: i, tuple };
             out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
         }
     }
@@ -146,7 +145,7 @@ pub fn smooth_sensitivity_bruteforce(
     beta: f64,
     max_radius: usize,
 ) -> Result<f64> {
-    if !(beta > 0.0) || !beta.is_finite() {
+    if beta.is_nan() || beta <= 0.0 || beta.is_infinite() {
         return Err(SensitivityError::InvalidParameter {
             name: "beta",
             value: beta,
@@ -196,7 +195,8 @@ mod tests {
             vec![(vec![0, 0], 1), (vec![1, 0], 1), (vec![2, 1], 1)],
         )
         .unwrap();
-        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![1, 1], 2)]).unwrap();
+        let r2 =
+            Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![1, 1], 2)]).unwrap();
         (q, Instance::new(vec![r1, r2]))
     }
 
@@ -225,10 +225,9 @@ mod tests {
         let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![5, 5], 1)]).unwrap();
         let inst = Instance::new(vec![r1, r2]);
         let beta = 0.1;
-        let violation = is_smooth_upper_bound(&q, &inst, beta, |i| {
-            Ok(local_sensitivity(&q, i)? as f64)
-        })
-        .unwrap();
+        let violation =
+            is_smooth_upper_bound(&q, &inst, beta, |i| Ok(local_sensitivity(&q, i)? as f64))
+                .unwrap();
         assert!(violation.is_some(), "LS should violate β-smoothness");
     }
 

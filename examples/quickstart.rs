@@ -22,7 +22,10 @@ fn main() {
         instance.relation_mut(1).add(vec![b, b], 1).unwrap();
     }
     println!("input size         : {}", instance.input_size());
-    println!("join size          : {}", join_size(&query, &instance).unwrap());
+    println!(
+        "join size          : {}",
+        join_size(&query, &instance).unwrap()
+    );
     println!(
         "local sensitivity  : {}",
         local_sensitivity(&query, &instance).unwrap()

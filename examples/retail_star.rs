@@ -18,7 +18,10 @@ fn main() {
     let (query, instance) = dpsyn::datagen::retail_star(24, 150, &mut rng);
     println!("products=24, rows per table=150");
     println!("hierarchical query : {}", query.is_hierarchical());
-    println!("join size          : {}", join_size(&query, &instance).unwrap());
+    println!(
+        "join size          : {}",
+        join_size(&query, &instance).unwrap()
+    );
 
     let budget = PrivacyParams::new(2.0, 1e-4).unwrap();
     let beta = 1.0 / budget.lambda();
@@ -44,7 +47,10 @@ fn main() {
         .unwrap()
         .linf_distance(&truth)
         .unwrap();
-    println!("MultiTable     error: {err_multi:.2} (Δ̃ = {:.1})", multi.delta_tilde());
+    println!(
+        "MultiTable     error: {err_multi:.2} (Δ̃ = {:.1})",
+        multi.delta_tilde()
+    );
 
     let hierarchical = HierarchicalRelease::new(HierarchicalConfig {
         pmw,

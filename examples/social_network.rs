@@ -14,7 +14,10 @@ fn main() {
     let mut rng = seeded_rng(2024);
     let (query, instance) = dpsyn::datagen::social_network(48, 500, 400, &mut rng);
     println!("users=48, follows=500, posts=400");
-    println!("join size          : {}", join_size(&query, &instance).unwrap());
+    println!(
+        "join size          : {}",
+        join_size(&query, &instance).unwrap()
+    );
     println!(
         "local sensitivity  : {}",
         local_sensitivity(&query, &instance).unwrap()
@@ -42,7 +45,10 @@ fn main() {
         .linf_distance(&truth)
         .unwrap();
 
-    println!("join-as-one   error: {err_join:.2} (Δ̃ = {:.1})", join_as_one.delta_tilde());
+    println!(
+        "join-as-one   error: {err_join:.2} (Δ̃ = {:.1})",
+        join_as_one.delta_tilde()
+    );
     println!(
         "uniformized   error: {err_uni:.2} across {} degree buckets (Δ̃ = {:.1})",
         uniformized.parts(),

@@ -12,13 +12,28 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`relational`] | `dpsyn-relational` | schemas, annotated relations, join hypergraphs, joins, degrees, attribute trees |
+//! | [`relational`] | `dpsyn-relational` | schemas, annotated relations, join hypergraphs, the hash-join engine (columnar `JoinResult`, inline `TupleKey`), the `SubJoinCache` for subset enumerations, degrees, attribute trees, plus the retained `naive` reference engine |
 //! | [`noise`] | `dpsyn-noise` | Laplace / truncated Laplace, exponential mechanism, privacy budgets & composition |
 //! | [`sensitivity`] | `dpsyn-sensitivity` | local, global, and residual sensitivity; maximum degrees; degree configurations |
 //! | [`query`] | `dpsyn-query` | linear query families over joins and their evaluation |
 //! | [`pmw`] | `dpsyn-pmw` | single-table Private Multiplicative Weights (Algorithm 2) |
 //! | [`core`] | `dpsyn-core` | the paper's release algorithms (Algorithms 1, 3–7), flawed strawmen, baselines |
 //! | [`datagen`] | `dpsyn-datagen` | paper figure instances, random / Zipf generators, realistic scenarios |
+//!
+//! ## Performance and determinism
+//!
+//! The relational data plane is built for throughput: join results are
+//! stored columnar (flat row-major buffers, no per-tuple allocation), hash
+//! indexes use an Fx-style hasher keyed by the inline
+//! [`relational::TupleKey`], multi-way joins pick their fold order by
+//! relation size, and the `2^m` relation-subset enumerations behind residual
+//! sensitivity share sub-join work through a
+//! [`relational::SubJoinCache`].  Hash order is never observable: every
+//! tuple-exposing API sorts on emit, so runs are byte-reproducible from an
+//! RNG seed — see the determinism contract in [`relational`]'s crate docs.
+//! The previous `BTreeMap` engine survives as `relational::naive`, the
+//! cross-check oracle for `tests/properties.rs` and the `join_throughput` /
+//! `residual_subsets` benchmarks (speedups tracked in `BENCH_join.json`).
 //!
 //! ## Quickstart
 //!

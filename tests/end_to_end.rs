@@ -54,7 +54,10 @@ fn uniformized_release_beats_or_matches_join_as_one_on_skewed_data() {
     // On the Example 4.2 family the uniformized algorithm should not be
     // (much) worse than join-as-one; on average it is better.  We compare
     // averaged errors over a few seeds to keep the test robust.
-    let (query, instance) = dpsyn::datagen::example42_instance(12);
+    // k = 48 is large enough for the asymptotic gap to dominate the fixed
+    // overhead of budget-halving and bucketing (at k = 12 the ratio sits
+    // right at the assertion threshold and the test is noise-sensitive).
+    let (query, instance) = dpsyn::datagen::example42_instance(48);
     let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
     let mut err_join = 0.0;
     let mut err_uni = 0.0;

@@ -1,13 +1,23 @@
 //! Property-based integration tests over the whole stack: join algebra,
-//! sensitivity invariants and partition invariants on randomly generated
-//! instances.
+//! hash-engine vs. naive-engine cross-checks, sensitivity invariants and
+//! partition invariants on randomly generated instances.
+//!
+//! The environment has no crates.io access, so instead of `proptest` these
+//! properties are exercised on seeded randomized instances drawn from
+//! `dpsyn-datagen` (deterministic and reproducible: every failure reports
+//! the case seed).
 
 use dpsyn::prelude::*;
 use dpsyn_core::{partition_two_table, verify_two_table_partition};
+use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
-use dpsyn_relational::NeighborEdit;
-use dpsyn_sensitivity::ls_hat_k;
-use proptest::prelude::*;
+use dpsyn_relational::naive::{all_boundary_values_naive, join_subset_naive};
+use dpsyn_relational::{
+    deg_multi, deg_multi_cached, join_subset, NeighborEdit, SubJoinCache, Value,
+};
+use dpsyn_sensitivity::{all_boundary_values, ls_hat_k};
+
+const CASES: u64 = 24;
 
 /// Builds a two-table instance from arbitrary (a, b) / (b, c) pairs over a
 /// small domain.
@@ -27,16 +37,148 @@ fn instance_from_pairs(r1: &[(u8, u8)], r2: &[(u8, u8)]) -> (JoinQuery, Instance
     (query, inst)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws a random small two-table instance (pair lists) from a seed.
+fn random_pairs(seed: u64, max_len: usize) -> (JoinQuery, Instance) {
+    use rand::Rng;
+    let mut rng = seeded_rng(seed);
+    let n1 = rng.random_range(0..max_len.max(1));
+    let n2 = rng.random_range(0..max_len.max(1));
+    let r1: Vec<(u8, u8)> = (0..n1)
+        .map(|_| {
+            (
+                rng.random_range(0u64..8) as u8,
+                rng.random_range(0u64..8) as u8,
+            )
+        })
+        .collect();
+    let r2: Vec<(u8, u8)> = (0..n2)
+        .map(|_| {
+            (
+                rng.random_range(0u64..8) as u8,
+                rng.random_range(0u64..8) as u8,
+            )
+        })
+        .collect();
+    instance_from_pairs(&r1, &r2)
+}
 
-    /// The join size always equals Σ_b deg1(b)·deg2(b) for two tables.
-    #[test]
-    fn join_size_matches_degree_formula(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 0..40),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 0..40),
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
+/// Enumerates the non-empty sorted relation subsets of an m-relation query.
+fn non_empty_subsets(m: usize) -> Vec<Vec<usize>> {
+    (1u32..(1 << m))
+        .map(|mask| (0..m).filter(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Hash engine vs. retained naive reference
+// ---------------------------------------------------------------------------
+
+/// The hash-join engine and the naive BTreeMap engine agree on every subset:
+/// attribute lists, totals, per-tuple weights (iterated in the same sorted
+/// order), and group-by maps over every attribute subset of the boundary.
+#[test]
+fn hash_join_matches_naive_reference_on_random_instances() {
+    for seed in 0..CASES {
+        // Mix shapes: uniform two-table, Zipf two-table, 3- and 4-star.
+        let shapes: Vec<(JoinQuery, Instance)> = vec![
+            random_two_table(16, 60, &mut seeded_rng(seed * 4)),
+            zipf_two_table(16, 60, 1.2, &mut seeded_rng(seed * 4 + 1)),
+            random_star(3, 8, 40, 1.0, &mut seeded_rng(seed * 4 + 2)),
+            random_star(4, 8, 30, 1.1, &mut seeded_rng(seed * 4 + 3)),
+        ];
+        for (query, inst) in &shapes {
+            for rels in non_empty_subsets(query.num_relations()) {
+                let fast = join_subset(query, inst, &rels).unwrap();
+                let slow = join_subset_naive(query, inst, &rels).unwrap();
+                assert_eq!(fast.attrs(), slow.attrs(), "attrs differ, seed {seed}");
+                assert_eq!(fast.total(), slow.total(), "totals differ, seed {seed}");
+                assert_eq!(
+                    fast.distinct_count(),
+                    slow.distinct_count(),
+                    "distinct counts differ, seed {seed}"
+                );
+                // Sorted emission must match the BTreeMap's natural order
+                // tuple by tuple.
+                let fast_tuples: Vec<(Vec<Value>, u128)> =
+                    fast.iter().map(|(t, w)| (t.to_vec(), w)).collect();
+                let slow_tuples: Vec<(Vec<Value>, u128)> =
+                    slow.iter().map(|(t, w)| (t.clone(), w)).collect();
+                assert_eq!(
+                    fast_tuples, slow_tuples,
+                    "tuple streams differ, seed {seed}"
+                );
+                // Group-by agrees on the boundary attributes.
+                let boundary = query.boundary(&rels).unwrap();
+                assert_eq!(
+                    fast.group_by(&boundary).unwrap(),
+                    slow.group_by(&boundary).unwrap(),
+                    "group-by differs, seed {seed}"
+                );
+                assert_eq!(
+                    fast.max_group_weight(&boundary).unwrap(),
+                    slow.max_group_weight(&boundary).unwrap(),
+                );
+            }
+        }
+    }
+}
+
+/// The shared sub-join cache returns the same boundary values as recomputing
+/// every subset from scratch with the naive engine.
+#[test]
+fn cached_boundary_values_match_naive_recomputation() {
+    for seed in 0..CASES {
+        let (query, inst) = random_star(4, 8, 25, 1.0, &mut seeded_rng(1000 + seed));
+        let cached = all_boundary_values(&query, &inst).unwrap();
+        let naive = all_boundary_values_naive(&query, &inst).unwrap();
+        assert_eq!(cached, naive, "boundary values differ, seed {seed}");
+    }
+}
+
+/// Cached multi-relation degree maps agree with the uncached definition.
+#[test]
+fn cached_degree_maps_match_uncached() {
+    for seed in 0..CASES {
+        let (query, inst) = random_star(3, 8, 30, 1.0, &mut seeded_rng(2000 + seed));
+        let mut cache = SubJoinCache::new(&query, &inst).unwrap();
+        let hub = vec![AttrId(0)];
+        for rels in non_empty_subsets(query.num_relations()) {
+            let plain = deg_multi(&query, &inst, &rels, &hub).unwrap();
+            let cached = deg_multi_cached(&mut cache, &rels, &hub).unwrap();
+            assert_eq!(plain, cached, "degree maps differ, seed {seed}");
+        }
+    }
+}
+
+/// Single-relation degree maps (used all over the release algorithms) match
+/// a direct fold over the relation's tuples.
+#[test]
+fn degree_map_matches_direct_fold() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(3000 + seed, 50);
+        let shared = vec![AttrId(1)];
+        for r in 0..query.num_relations() {
+            let rel = inst.relation(r);
+            let pos = dpsyn_relational::project_positions(rel.attrs(), &shared).unwrap();
+            let deg = rel.degree_map(&shared).unwrap();
+            let mut expect: std::collections::BTreeMap<Vec<Value>, u64> = Default::default();
+            for (t, f) in rel.iter() {
+                *expect.entry(vec![t[pos[0]]]).or_insert(0) += f;
+            }
+            assert_eq!(deg, expect, "degree map differs, seed {seed}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join algebra
+// ---------------------------------------------------------------------------
+
+/// The join size always equals Σ_b deg1(b)·deg2(b) for two tables.
+#[test]
+fn join_size_matches_degree_formula() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(seed, 40);
         let shared = vec![AttrId(1)];
         let d1 = inst.relation(0).degree_map(&shared).unwrap();
         let d2 = inst.relation(1).degree_map(&shared).unwrap();
@@ -44,97 +186,100 @@ proptest! {
             .iter()
             .map(|(b, &f1)| f1 as u128 * d2.get(b).copied().unwrap_or(0) as u128)
             .sum();
-        prop_assert_eq!(join_size(&query, &inst).unwrap(), expected);
+        assert_eq!(join_size(&query, &inst).unwrap(), expected, "seed {seed}");
     }
+}
 
-    /// Local sensitivity really bounds the join-size change of any single
-    /// removal edit.
-    #[test]
-    fn local_sensitivity_bounds_single_edits(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..30),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..30),
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
+// ---------------------------------------------------------------------------
+// Sensitivity invariants
+// ---------------------------------------------------------------------------
+
+/// Local sensitivity really bounds the join-size change of any single
+/// removal edit.
+#[test]
+fn local_sensitivity_bounds_single_edits() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(4000 + seed, 30);
         let ls = local_sensitivity(&query, &inst).unwrap();
         let base = join_size(&query, &inst).unwrap();
         for edit in inst.removal_edits() {
             let neighbor = inst.apply_edit(&edit).unwrap();
             let diff = join_size(&query, &neighbor).unwrap().abs_diff(base);
-            prop_assert!(diff <= ls);
+            assert!(diff <= ls, "seed {seed}: diff {diff} exceeds LS {ls}");
         }
     }
+}
 
-    /// Residual sensitivity dominates the local sensitivity of every instance
-    /// within distance 1 discounted by e^{-β} (the smoothness property, tested
-    /// through the L̂S^k characterisation).
-    #[test]
-    fn residual_sensitivity_dominates_discounted_neighborhoods(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        beta_pct in 5u32..100,
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
-        let beta = beta_pct as f64 / 100.0;
+/// Residual sensitivity dominates the local sensitivity of every instance
+/// within distance k discounted by e^{-βk} (the smoothness property, tested
+/// through the L̂S^k characterisation).
+#[test]
+fn residual_sensitivity_dominates_discounted_neighborhoods() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(5000 + seed, 20);
+        let beta = 0.05 + (seed as f64) / (CASES as f64);
         let rs = residual_sensitivity(&query, &inst, beta).unwrap().value;
         for k in 0..3u64 {
             let lsk = ls_hat_k(&query, &inst, k).unwrap();
-            prop_assert!(rs + 1e-9 >= (-beta * k as f64).exp() * lsk);
+            assert!(
+                rs + 1e-9 >= (-beta * k as f64).exp() * lsk,
+                "seed {seed}, k {k}"
+            );
         }
     }
+}
 
-    /// Residual sensitivity changes by at most e^{±β} across a neighbouring
-    /// edit (β-smoothness, checked on an explicit random edit).
-    #[test]
-    fn residual_sensitivity_is_beta_smooth_across_one_edit(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        add_a in 0u8..8,
-        add_b in 0u8..8,
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
+/// Residual sensitivity changes by at most e^{±β} across a neighbouring
+/// edit (β-smoothness, checked on an explicit random edit).
+#[test]
+fn residual_sensitivity_is_beta_smooth_across_one_edit() {
+    use rand::Rng;
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(6000 + seed, 20);
         let beta = 0.25;
+        let mut rng = seeded_rng(60_000 + seed);
         let rs_here = residual_sensitivity(&query, &inst, beta).unwrap().value;
         let neighbor = inst
             .apply_edit(&NeighborEdit::Add {
                 relation: 0,
-                tuple: vec![(add_a % 8) as u64, (add_b % 8) as u64],
+                tuple: vec![rng.random_range(0u64..8), rng.random_range(0u64..8)],
             })
             .unwrap();
         let rs_there = residual_sensitivity(&query, &neighbor, beta).unwrap().value;
-        prop_assert!(rs_there <= beta.exp() * rs_here + 1e-9);
-        prop_assert!(rs_here <= beta.exp() * rs_there + 1e-9);
+        assert!(rs_there <= beta.exp() * rs_here + 1e-9, "seed {seed}");
+        assert!(rs_here <= beta.exp() * rs_there + 1e-9, "seed {seed}");
     }
+}
 
-    /// Algorithm 5's partition always reassembles the original instance and
-    /// never splits a join value across buckets.
-    #[test]
-    fn two_table_partition_is_a_partition(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 0..30),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 0..30),
-        seed in 0u64..1000,
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
+// ---------------------------------------------------------------------------
+// Partition and release invariants
+// ---------------------------------------------------------------------------
+
+/// Algorithm 5's partition always reassembles the original instance and
+/// never splits a join value across buckets.
+#[test]
+fn two_table_partition_is_a_partition() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(7000 + seed, 30);
         let params = PrivacyParams::new(1.0, 1e-6).unwrap();
-        let mut rng = seeded_rng(seed);
+        let mut rng = seeded_rng(70_000 + seed);
         let buckets = partition_two_table(&query, &inst, params, &mut rng).unwrap();
-        prop_assert!(verify_two_table_partition(&inst, &buckets));
+        assert!(verify_two_table_partition(&inst, &buckets), "seed {seed}");
         let total: u128 = buckets
             .iter()
             .map(|b| join_size(&query, &b.sub_instance).unwrap())
             .sum();
-        prop_assert_eq!(total, join_size(&query, &inst).unwrap());
+        assert_eq!(total, join_size(&query, &inst).unwrap(), "seed {seed}");
     }
+}
 
-    /// Query answering is linear: answers over a histogram scale with the
-    /// histogram (post-processing consistency of the released object).
-    #[test]
-    fn released_answers_are_linear_in_the_histogram(
-        r1 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        r2 in prop::collection::vec((0u8..8, 0u8..8), 1..20),
-        seed in 0u64..1000,
-    ) {
-        let (query, inst) = instance_from_pairs(&r1, &r2);
-        let mut rng = seeded_rng(seed);
+/// Query answering is linear: answers over a histogram scale with the
+/// histogram (post-processing consistency of the released object).
+#[test]
+fn released_answers_are_linear_in_the_histogram() {
+    for seed in 0..CASES {
+        let (query, inst) = random_pairs(8000 + seed, 20);
+        let mut rng = seeded_rng(80_000 + seed);
         let family = QueryFamily::random_sign(&query, 4, &mut rng).unwrap();
         let join = dpsyn_relational::join(&query, &inst).unwrap();
         let hist = Histogram::from_join(&query, &join, 1 << 20).unwrap();
@@ -143,7 +288,7 @@ proptest! {
         doubled.scale(2.0);
         let answers2 = doubled.answer_all(&query, &family).unwrap();
         for (a, b) in answers.iter().zip(answers2.iter()) {
-            prop_assert!((2.0 * a - b).abs() < 1e-6);
+            assert!((2.0 * a - b).abs() < 1e-6, "seed {seed}");
         }
     }
 }

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — on top of a simple
+//! wall-clock measurement loop (warm-up, then `sample_size` timed samples,
+//! bounded by `measurement_time`).
+//!
+//! It reports median / mean / min per-iteration times to stdout in a stable
+//! single-line format that downstream tooling (`crates/bench`) can parse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Measurement settings shared by groups and the top-level entry points.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One benchmark's summary statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/name` or `group/name/param`).
+    pub id: String,
+    /// Median time per iteration.
+    pub median_ns: f64,
+    /// Mean time per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// Runs timed samples of `routine` and returns per-iteration statistics.
+fn measure(settings: Settings, mut routine: impl FnMut() -> Duration) -> (f64, f64, f64, usize) {
+    // Warm-up: run for ~1/5 of the measurement budget to stabilise caches.
+    let warmup_budget = settings.measurement_time / 5;
+    let warmup_start = Instant::now();
+    while warmup_start.elapsed() < warmup_budget {
+        black_box(routine());
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    let start = Instant::now();
+    while samples_ns.len() < settings.sample_size.max(1) {
+        samples_ns.push(routine().as_secs_f64() * 1e9);
+        if start.elapsed() > settings.measurement_time && samples_ns.len() >= 5 {
+            break;
+        }
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let n = samples_ns.len();
+    let median = if n % 2 == 1 {
+        samples_ns[n / 2]
+    } else {
+        (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+    };
+    let mean = samples_ns.iter().sum::<f64>() / n as f64;
+    (median, mean, samples_ns[0], n)
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    settings: Settings,
+    result: Option<(f64, f64, f64, usize)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches sized so that each sample lasts
+    /// long enough for the clock to resolve.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in ~1 ms?
+        let probe_start = Instant::now();
+        black_box(routine());
+        let once = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let settings = self.settings;
+        self.result = Some(measure(settings, || {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            t.elapsed() / batch as u32
+        }));
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the soft wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            settings: self.settings,
+            result: None,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some((median_ns, mean_ns, min_ns, samples)) = bencher.result {
+            println!(
+                "bench: {full_id:<48} median {:>12.1} ns  mean {:>12.1} ns  min {:>12.1} ns  ({samples} samples)",
+                median_ns, mean_ns, min_ns
+            );
+            self.criterion.summaries.push(Summary {
+                id: full_id,
+                median_ns,
+                mean_ns,
+                min_ns,
+                samples,
+            });
+        } else {
+            println!("bench: {full_id:<48} (no measurement taken)");
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry and entry point.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+    summaries: Vec<Summary>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Benchmarks `f` under `name` outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings;
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "criterion".to_string(),
+            settings,
+        };
+        group.run(name.to_string(), f);
+        self
+    }
+
+    /// All summaries recorded so far (used by reporting tooling).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records_summary() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5).measurement_time(Duration::from_millis(50));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.summaries().len(), 2);
+        assert!(c.summaries()[0].median_ns >= 0.0);
+        assert!(c.summaries()[1].id.contains("with_input/3"));
+    }
+}
