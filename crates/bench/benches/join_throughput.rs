@@ -6,17 +6,21 @@
 //! table to `BENCH_join.json` at the repository root (via the shared
 //! reporting module), so the performance trajectory is tracked in-tree and
 //! by CI.  The scenarios mirror `relational_ops` (two-table Zipf joins,
-//! star joins) and `sensitivity` (m-star residual subset enumeration).
+//! star joins) and `sensitivity` (m-star residual subset enumeration), plus
+//! parallel-scaling rows comparing the worker pool at N threads against the
+//! sequential path (`threads`/`available_cores` fields record the context —
+//! wall-clock scaling is bounded by the machine's core count, while outputs
+//! are asserted byte-identical before timing).
 
 use std::time::{Duration, Instant};
 
 use criterion::black_box;
 use dpsyn_bench::{print_table, rows_to_json_pretty, Row};
-use dpsyn_datagen::{random_star, zipf_two_table};
+use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive};
-use dpsyn_relational::{join_size, Instance, JoinQuery};
-use dpsyn_sensitivity::all_boundary_values;
+use dpsyn_relational::{join_size, join_size_with, join_with, Instance, JoinQuery, Parallelism};
+use dpsyn_sensitivity::{all_boundary_values, all_boundary_values_with};
 
 /// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
 /// in nanoseconds.
@@ -53,6 +57,28 @@ fn bench_pair(label: &str, mut fast: impl FnMut(), mut naive: impl FnMut()) -> R
         .with("hash_ns", fast_ns)
         .with("naive_ns", naive_ns)
         .with("speedup", speedup)
+}
+
+/// Threads used by the parallel-scaling scenarios.
+const SCALING_THREADS: usize = 4;
+
+fn bench_scaling(label: &str, mut par: impl FnMut(), mut seq: impl FnMut()) -> Row {
+    let probe = Instant::now();
+    seq();
+    let samples = sample_count(probe.elapsed());
+    let par_ns = median_ns(samples, &mut par);
+    let seq_ns = median_ns(samples, &mut seq);
+    let speedup = seq_ns / par_ns.max(1.0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench: {label:<32} par  {par_ns:>14.1} ns  seq   {seq_ns:>14.1} ns  speedup {speedup:>6.2}x ({SCALING_THREADS} threads, {cores} cores)"
+    );
+    Row::new(label)
+        .with("par_ns", par_ns)
+        .with("seq_ns", seq_ns)
+        .with("speedup", speedup)
+        .with("threads", SCALING_THREADS as f64)
+        .with("available_cores", cores as f64)
 }
 
 fn join_scenarios() -> Vec<(String, JoinQuery, Instance)> {
@@ -106,6 +132,54 @@ fn main() {
             },
             || {
                 black_box(all_boundary_values_naive(&query, &instance).unwrap());
+            },
+        ));
+    }
+
+    // --- Parallel scaling: worker pool (4 threads) vs sequential path -----
+    // Large probe sides so the partitioned probe loop actually engages; the
+    // byte-identity of parallel vs sequential output is asserted before any
+    // timing.  `available_cores` records the machine context: wall-clock
+    // scaling is capped by physical cores even though 4 workers run.
+    let par = Parallelism::threads(SCALING_THREADS);
+    let seq = Parallelism::SEQUENTIAL;
+    {
+        let n = if quick { 20_000 } else { 60_000 };
+        let mut rng = seeded_rng(11);
+        let (query, instance) = random_two_table(16_384, n, &mut rng);
+        let a = join_with(&query, &instance, par).expect("parallel join");
+        let b = join_with(&query, &instance, seq).expect("sequential join");
+        assert!(
+            a.iter_unordered().eq(b.iter_unordered()),
+            "parallel join output must be byte-identical to sequential"
+        );
+        rows.push(bench_scaling(
+            &format!("join/two_table/{n}/par{SCALING_THREADS}"),
+            || {
+                black_box(join_size_with(&query, &instance, par).unwrap());
+            },
+            || {
+                black_box(join_size_with(&query, &instance, seq).unwrap());
+            },
+        ));
+    }
+    {
+        let per_rel = if quick { 800 } else { 2_000 };
+        let mut rng = seeded_rng(12);
+        let (query, instance) = random_star(4, 256, per_rel, 0.4, &mut rng);
+        let a = all_boundary_values_with(&query, &instance, par).expect("parallel enumeration");
+        let b = all_boundary_values_with(&query, &instance, seq).expect("sequential enumeration");
+        assert_eq!(
+            a, b,
+            "parallel boundary values must be identical to sequential"
+        );
+        rows.push(bench_scaling(
+            &format!("residual/subsets/star4/par{SCALING_THREADS}"),
+            || {
+                black_box(all_boundary_values_with(&query, &instance, par).unwrap());
+            },
+            || {
+                black_box(all_boundary_values_with(&query, &instance, seq).unwrap());
             },
         ));
     }

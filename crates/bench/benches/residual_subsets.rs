@@ -1,13 +1,18 @@
 //! Residual-sensitivity subset-enumeration scaling: the shared
 //! [`SubJoinCache`]d boundary-value computation against the naive
 //! from-scratch recomputation, across star sizes `m`, plus the end-to-end
-//! `residual_sensitivity` call that dominates the multi-table release.
+//! `residual_sensitivity` call that dominates the multi-table release, plus
+//! worker-pool thread scaling (1 vs N threads over the same enumeration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpsyn_datagen::random_star;
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::all_boundary_values_naive;
-use dpsyn_sensitivity::{all_boundary_values, residual_sensitivity};
+use dpsyn_relational::Parallelism;
+use dpsyn_sensitivity::{
+    all_boundary_values, all_boundary_values_with, residual_sensitivity, residual_sensitivity_with,
+    SensitivityConfig,
+};
 use std::time::Duration;
 
 fn bench_boundary_enumeration(c: &mut Criterion) {
@@ -44,9 +49,47 @@ fn bench_residual_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residual/thread_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(60);
+    let (query, instance) = random_star(4, 256, 1500, 0.4, &mut rng);
+    // Outputs are identical at every level; only wall-clock differs.
+    let seq = all_boundary_values_with(&query, &instance, Parallelism::SEQUENTIAL).unwrap();
+    let beta = 1.0 / 13.8;
+    for &threads in &[1usize, 2, 4] {
+        let par = Parallelism::threads(threads);
+        assert_eq!(
+            all_boundary_values_with(&query, &instance, par).unwrap(),
+            seq
+        );
+        group.bench_with_input(
+            BenchmarkId::new("boundary_values", threads),
+            &threads,
+            |b, _| b.iter(|| all_boundary_values_with(&query, &instance, par).unwrap()),
+        );
+        let config = SensitivityConfig::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("residual_end_to_end", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    residual_sensitivity_with(&query, &instance, beta, &config)
+                        .unwrap()
+                        .value
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_boundary_enumeration,
-    bench_residual_end_to_end
+    bench_residual_end_to_end,
+    bench_thread_scaling
 );
 criterion_main!(benches);

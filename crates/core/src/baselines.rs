@@ -14,7 +14,7 @@
 use dpsyn_noise::{Laplace, PrivacyParams, TruncatedLaplace};
 use dpsyn_query::{AnswerSet, QueryFamily};
 use dpsyn_relational::{Instance, JoinQuery};
-use dpsyn_sensitivity::{global_sensitivity_bound, residual_sensitivity};
+use dpsyn_sensitivity::{global_sensitivity_bound, residual_sensitivity_with, SensitivityConfig};
 use rand::Rng;
 
 use crate::error::ReleaseError;
@@ -39,12 +39,14 @@ pub enum SensitivityChoice {
 #[derive(Debug, Clone)]
 pub struct IndependentLaplaceBaseline {
     sensitivity: SensitivityChoice,
+    config: SensitivityConfig,
 }
 
 impl Default for IndependentLaplaceBaseline {
     fn default() -> Self {
         IndependentLaplaceBaseline {
             sensitivity: SensitivityChoice::Residual,
+            config: SensitivityConfig::default(),
         }
     }
 }
@@ -52,7 +54,22 @@ impl Default for IndependentLaplaceBaseline {
 impl IndependentLaplaceBaseline {
     /// Creates the baseline with the given sensitivity calibration.
     pub fn new(sensitivity: SensitivityChoice) -> Self {
-        IndependentLaplaceBaseline { sensitivity }
+        IndependentLaplaceBaseline {
+            sensitivity,
+            config: SensitivityConfig::default(),
+        }
+    }
+
+    /// Sets the execution settings (parallelism) for the sensitivity
+    /// computation.  Results are byte-identical at every level.
+    pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The execution settings in use.
+    pub fn sensitivity_config(&self) -> SensitivityConfig {
+        self.config
     }
 
     /// Answers every query of the workload privately, splitting `(ε, δ)`
@@ -84,7 +101,7 @@ impl IndependentLaplaceBaseline {
             SensitivityChoice::Residual => {
                 let lambda = params.lambda();
                 let beta = 1.0 / lambda;
-                let rs = residual_sensitivity(query, instance, beta)?;
+                let rs = residual_sensitivity_with(query, instance, beta, &self.config)?;
                 let tlap = TruncatedLaplace::calibrated(half.epsilon(), half.delta(), beta)?;
                 rs.value.max(1.0) * tlap.sample(rng).exp()
             }

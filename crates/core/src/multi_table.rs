@@ -21,7 +21,7 @@ use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
 use dpsyn_pmw::{Pmw, PmwConfig};
 use dpsyn_query::QueryFamily;
 use dpsyn_relational::{Instance, JoinQuery};
-use dpsyn_sensitivity::residual_sensitivity;
+use dpsyn_sensitivity::{residual_sensitivity_with, SensitivityConfig};
 use rand::Rng;
 
 use crate::error::ReleaseError;
@@ -32,17 +32,34 @@ use crate::Result;
 #[derive(Debug, Clone, Default)]
 pub struct MultiTable {
     pmw: PmwConfig,
+    sensitivity: SensitivityConfig,
 }
 
 impl MultiTable {
     /// Creates the algorithm with a custom PMW configuration.
     pub fn new(pmw: PmwConfig) -> Self {
-        MultiTable { pmw }
+        MultiTable {
+            pmw,
+            sensitivity: SensitivityConfig::default(),
+        }
     }
 
     /// The PMW configuration in use.
     pub fn pmw_config(&self) -> &PmwConfig {
         &self.pmw
+    }
+
+    /// Sets the execution settings (parallelism) for the residual-sensitivity
+    /// computation that dominates this release.  The released output is
+    /// byte-identical at every parallelism level; only wall-clock changes.
+    pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
+        self.sensitivity = config;
+        self
+    }
+
+    /// The execution settings in use.
+    pub fn sensitivity_config(&self) -> SensitivityConfig {
+        self.sensitivity
     }
 
     /// The smoothing parameter `β = 1/λ` the algorithm will use for the given
@@ -73,7 +90,7 @@ impl MultiTable {
         // Line 2: multiplicative truncated-Laplace perturbation of RS^β.
         // ln(RS^β) has global sensitivity β, and the noise is non-negative, so
         // Δ̃ is a private over-estimate of RS^β (and hence of LS).
-        let rs = residual_sensitivity(query, instance, beta)?;
+        let rs = residual_sensitivity_with(query, instance, beta, &self.sensitivity)?;
         let tlap = TruncatedLaplace::calibrated(half.epsilon(), half.delta(), beta)?;
         // RS can be 0 only on an empty instance; clamp so ln/exp stay finite.
         let delta_tilde = rs.value.max(1.0) * tlap.sample(rng).exp();
@@ -137,6 +154,37 @@ mod tests {
                 .unwrap();
             assert!(release.delta_tilde() >= rs.max(1.0) - 1e-9);
             assert!(release.delta_tilde() >= ls - 1e-9);
+        }
+    }
+
+    #[test]
+    fn release_is_identical_at_every_parallelism_level() {
+        // Guards the config plumbing: a `SensitivityConfig` must never leak
+        // into the seeded RNG stream or the released values (same seed ⇒
+        // same bytes out).  This instance sits *below* the engine's
+        // small-instance parallelism threshold, so all levels take the
+        // sequential fallback here; the genuinely parallel sensitivity path
+        // is asserted equal to the sequential one on large instances in the
+        // sensitivity crate's unit tests and in `tests/properties.rs`
+        // (`parallel_sensitivity_matches_sequential_and_naive`).
+        let (q, inst) = star_instance();
+        let params = PrivacyParams::new(1.0, 1e-5).unwrap();
+        let family = QueryFamily::counting(&q);
+        let release_at = |threads: usize| {
+            let mut rng = seeded_rng(11);
+            MultiTable::default()
+                .with_sensitivity_config(SensitivityConfig::with_threads(threads))
+                .release(&q, &inst, &family, params, &mut rng)
+                .unwrap()
+        };
+        let seq = release_at(1);
+        for threads in [2usize, 4] {
+            let par = release_at(threads);
+            assert_eq!(par.delta_tilde(), seq.delta_tilde(), "threads {threads}");
+            assert_eq!(par.noisy_total(), seq.noisy_total(), "threads {threads}");
+            let a = seq.answer_all(&family).unwrap();
+            let b = par.answer_all(&family).unwrap();
+            assert_eq!(a.values(), b.values(), "threads {threads}");
         }
     }
 

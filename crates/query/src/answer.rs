@@ -1,7 +1,7 @@
 //! Evaluating linear queries on instances and join results, and comparing
 //! answer vectors.
 
-use dpsyn_relational::{join, Instance, JoinQuery, JoinResult};
+use dpsyn_relational::{join_with, Instance, JoinQuery, JoinResult, Parallelism};
 
 use crate::error::QueryError;
 use crate::family::QueryFamily;
@@ -102,7 +102,18 @@ pub fn answer_on_join(
 
 /// Evaluates one query on an instance (computing the join internally).
 pub fn answer_on_instance(query: &JoinQuery, instance: &Instance, q: &ProductQuery) -> Result<f64> {
-    let j = join(query, instance)?;
+    answer_on_instance_with(query, instance, q, Parallelism::default())
+}
+
+/// [`answer_on_instance`] at an explicit parallelism level (the internal
+/// join's probe loops partition across the workers).
+pub fn answer_on_instance_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    q: &ProductQuery,
+    par: Parallelism,
+) -> Result<f64> {
+    let j = join_with(query, instance, par)?;
     answer_on_join(query, &j, q)
 }
 
@@ -113,16 +124,35 @@ impl QueryFamily {
         query: &JoinQuery,
         join_result: &JoinResult,
     ) -> Result<AnswerSet> {
+        self.answer_all_on_join_with(query, join_result, Parallelism::default())
+    }
+
+    /// [`QueryFamily::answer_all_on_join`] at an explicit parallelism level:
+    /// queries are independent full passes over the join result, so they
+    /// sweep through the worker pool.  Each query's accumulation stays
+    /// sequential in construction order, so every answer is bit-identical
+    /// to the sequential evaluation at every worker count.
+    pub fn answer_all_on_join_with(
+        &self,
+        query: &JoinQuery,
+        join_result: &JoinResult,
+        par: Parallelism,
+    ) -> Result<AnswerSet> {
         let evaluator = JointEvaluator::new(query, join_result.attrs())?;
-        let mut answers = Vec::with_capacity(self.len());
-        for q in self.iter() {
+        // Validate up front (sequentially) so error reporting order is
+        // independent of the worker count.
+        let queries: Vec<&ProductQuery> = self.iter().collect();
+        for q in &queries {
             q.validate(query)?;
+        }
+        let answers = dpsyn_relational::exec::par_map(par, queries.len(), |i| {
+            let q = queries[i];
             let mut total = 0.0;
             for (tuple, weight) in join_result.iter_unordered() {
                 total += weight as f64 * evaluator.weight(q, tuple);
             }
-            answers.push(total);
-        }
+            total
+        });
         Ok(AnswerSet::new(answers))
     }
 
@@ -132,8 +162,19 @@ impl QueryFamily {
         query: &JoinQuery,
         instance: &Instance,
     ) -> Result<AnswerSet> {
-        let j = join(query, instance)?;
-        self.answer_all_on_join(query, &j)
+        self.answer_all_on_instance_with(query, instance, Parallelism::default())
+    }
+
+    /// [`QueryFamily::answer_all_on_instance`] at an explicit parallelism
+    /// level (join probe loops and the per-query sweep both use the pool).
+    pub fn answer_all_on_instance_with(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        par: Parallelism,
+    ) -> Result<AnswerSet> {
+        let j = join_with(query, instance, par)?;
+        self.answer_all_on_join_with(query, &j, par)
     }
 }
 

@@ -17,6 +17,17 @@
 //! The cache borrows the query and instance immutably; drop it before
 //! mutating the instance.  (Prefix decomposition is deliberately fixed —
 //! reuse across subsets outweighs per-subset join-order selection here.)
+//! `SubJoinCache` is **strictly sequential**: its join steps pin
+//! `Parallelism::SEQUENTIAL`, so callers that request the sequential path
+//! get it even on multicore machines where the engine's defaults resolve
+//! parallel.
+//!
+//! [`ShardedSubJoinCache`] is the concurrency-safe sibling used by the
+//! parallel execution layer ([`crate::exec`]): the memo table is split into
+//! mutex-guarded shards by the mask's low bits and values are `Arc`-shared,
+//! so the worker pool populates independent subsets concurrently (level by
+//! level over the subset lattice) while producing exactly the values the
+//! sequential cache would.
 //!
 //! **Memory trade-off:** every materialised sub-join stays resident until
 //! the cache is dropped, so a full `2^m` enumeration holds all `2^m - 1`
@@ -26,11 +37,14 @@
 //! the enumeration across several shorter-lived caches (an eviction policy
 //! is tracked as a ROADMAP follow-on).
 
+use std::sync::{Arc, Mutex};
+
 use crate::error::RelationalError;
+use crate::exec::{self, Parallelism};
 use crate::hash::FxHashMap;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
-use crate::join::{hash_join_step, JoinResult};
+use crate::join::{hash_join_step_with, JoinResult};
 use crate::Result;
 
 /// Memoised sub-join results over one `(query, instance)` pair, keyed by the
@@ -138,7 +152,10 @@ impl<'a> SubJoinCache<'a> {
             return Ok(JoinResult::from_relation(instance.relation(top)));
         }
         let sub = self.join_mask(rest)?;
-        hash_join_step(sub, instance.relation(top))
+        // Strictly sequential: this cache is the single-threaded path (the
+        // sharded cache is the parallel one), so it must not inherit the
+        // default parallelism of the plain `hash_join_step`.
+        hash_join_step_with(sub, instance.relation(top), Parallelism::SEQUENTIAL)
     }
 
     /// Materialises `mask` (and every missing prefix of its decomposition
@@ -159,9 +176,208 @@ impl<'a> SubJoinCache<'a> {
                 JoinResult::from_relation(self.instance.relation(top))
             } else {
                 let sub = self.memo.get(&rest).expect("prefix built first");
-                hash_join_step(sub, self.instance.relation(top))?
+                hash_join_step_with(sub, self.instance.relation(top), Parallelism::SEQUENTIAL)?
             };
             self.memo.insert(step, result);
+        }
+        Ok(())
+    }
+}
+
+/// Number of memo shards in a [`ShardedSubJoinCache`] (a power of two; masks
+/// map to shards by their low bits, so sibling subsets land apart).
+const SHARD_COUNT: usize = 16;
+
+/// One mutex-guarded memo shard of a [`ShardedSubJoinCache`].
+type MemoShard = Mutex<FxHashMap<u32, Arc<JoinResult>>>;
+
+/// A concurrency-safe variant of [`SubJoinCache`]: the memo table is split
+/// into [`SHARD_COUNT`] mutex-guarded shards keyed by the subset bitmask's
+/// low bits, and results are stored behind `Arc` so readers hold no lock
+/// while consuming a sub-join.
+///
+/// Independent subsets therefore populate **concurrently**: the parallel
+/// subset enumerations of residual sensitivity walk the lattice level by
+/// level ([`ShardedSubJoinCache::populate_proper_subsets`]), with every mask
+/// of a level computed by the worker pool from the already-complete previous
+/// level, and workers inserting into (mostly) distinct shards.  Values are
+/// identical to the sequential cache's — both use the same top-bit prefix
+/// decomposition — so parallel and sequential consumers observe the same
+/// results.
+///
+/// Locks are held only for map lookups/inserts, never across a join step.
+/// If two workers race to materialise the same prefix through
+/// [`ShardedSubJoinCache::join_mask`], both compute it and the insertions
+/// are idempotent (the results are equal); determinism is unaffected.
+#[derive(Debug)]
+pub struct ShardedSubJoinCache<'a> {
+    query: &'a JoinQuery,
+    instance: &'a Instance,
+    shards: Box<[MemoShard]>,
+}
+
+impl<'a> ShardedSubJoinCache<'a> {
+    /// Creates an empty sharded cache for the given query and instance.
+    pub fn new(query: &'a JoinQuery, instance: &'a Instance) -> Result<Self> {
+        if instance.num_relations() != query.num_relations() {
+            return Err(RelationalError::RelationCountMismatch {
+                expected: query.num_relations(),
+                got: instance.num_relations(),
+            });
+        }
+        if query.num_relations() >= 32 {
+            return Err(RelationalError::InvalidRelationSubset(format!(
+                "ShardedSubJoinCache supports at most 31 relations, got {}",
+                query.num_relations()
+            )));
+        }
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ok(ShardedSubJoinCache {
+            query,
+            instance,
+            shards,
+        })
+    }
+
+    /// The query this cache evaluates sub-joins of.
+    pub fn query(&self) -> &JoinQuery {
+        self.query
+    }
+
+    /// The instance this cache evaluates sub-joins over.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    fn shard(&self, mask: u32) -> &MemoShard {
+        &self.shards[(mask as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The memoised sub-join of `mask`, if already materialised.
+    pub fn get(&self, mask: u32) -> Option<Arc<JoinResult>> {
+        self.shard(mask)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&mask)
+            .cloned()
+    }
+
+    fn insert(&self, mask: u32, result: Arc<JoinResult>) {
+        self.shard(mask)
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(mask)
+            .or_insert(result);
+    }
+
+    /// Number of sub-join results currently memoised across all shards.
+    pub fn cached_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Converts a sorted relation-index subset to its bitmask.
+    pub fn mask_of(&self, rels: &[usize]) -> Result<u32> {
+        self.query.check_subset(rels)?;
+        Ok(rels.iter().fold(0u32, |m, &i| m | (1u32 << i)))
+    }
+
+    fn check_mask(&self, mask: u32) -> Result<()> {
+        let m = self.query.num_relations();
+        if mask == 0 || (mask >> m) != 0 {
+            return Err(RelationalError::InvalidRelationSubset(format!(
+                "invalid sub-join bitmask {mask:#b} for m = {m}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Computes `mask`'s sub-join with one hash-join step from the cached
+    /// result of `mask` minus its highest relation index (which must already
+    /// be materialised — the level-by-level populate guarantees it).
+    fn compute_from_prefix(&self, mask: u32, par: Parallelism) -> Result<JoinResult> {
+        let top = (31 - mask.leading_zeros()) as usize;
+        let rest = mask & !(1u32 << top);
+        if rest == 0 {
+            Ok(JoinResult::from_relation(self.instance.relation(top)))
+        } else {
+            let sub = self.get(rest).expect("prefix materialised before use");
+            hash_join_step_with(&sub, self.instance.relation(top), par)
+        }
+    }
+
+    /// The memoised sub-join of the subset given as a bitmask, materialising
+    /// any missing prefixes of its decomposition chain on the way.  Safe to
+    /// call from pool workers concurrently.
+    pub fn join_mask(&self, mask: u32, par: Parallelism) -> Result<Arc<JoinResult>> {
+        self.check_mask(mask)?;
+        let mut missing: Vec<u32> = Vec::new();
+        let mut cur = mask;
+        while cur != 0 && self.get(cur).is_none() {
+            missing.push(cur);
+            cur &= !(1u32 << (31 - cur.leading_zeros()));
+        }
+        for &step in missing.iter().rev() {
+            let result = self.compute_from_prefix(step, par)?;
+            self.insert(step, Arc::new(result));
+        }
+        Ok(self.get(mask).expect("ensured above"))
+    }
+
+    /// Computes the sub-join of `mask` reusing cached prefixes but without
+    /// memoising the final step (the sharded counterpart of
+    /// [`SubJoinCache::join_rels_transient`]).
+    pub fn join_mask_transient(&self, mask: u32, par: Parallelism) -> Result<JoinResult> {
+        self.check_mask(mask)?;
+        let top = (31 - mask.leading_zeros()) as usize;
+        let rest = mask & !(1u32 << top);
+        if rest == 0 {
+            return Ok(JoinResult::from_relation(self.instance.relation(top)));
+        }
+        let sub = self.join_mask(rest, par)?;
+        hash_join_step_with(&sub, self.instance.relation(top), par)
+    }
+
+    /// Materialises every non-empty **proper** subset of `[m]` (all masks
+    /// except the full one — exactly the sub-joins residual sensitivity's
+    /// boundary values need), walking the subset lattice level by level
+    /// through the worker pool.
+    ///
+    /// Level `k` masks depend only on level `k - 1` prefixes, so all masks
+    /// of a level are computed concurrently; when a level has a single mask
+    /// the parallelism is spent inside the join step's probe loop instead.
+    pub fn populate_proper_subsets(&self, par: Parallelism) -> Result<()> {
+        let m = self.query.num_relations() as u32;
+        let full = (1u32 << m) - 1;
+        for level in 1..m.max(1) {
+            let masks: Vec<u32> = (1..full)
+                .filter(|mask| mask.count_ones() == level)
+                .collect();
+            if masks.len() <= 1 {
+                for &mask in &masks {
+                    if self.get(mask).is_none() {
+                        let result = self.compute_from_prefix(mask, par)?;
+                        self.insert(mask, Arc::new(result));
+                    }
+                }
+            } else {
+                let outcomes = exec::par_map(par, masks.len(), |i| -> Result<()> {
+                    let mask = masks[i];
+                    if self.get(mask).is_none() {
+                        let result = self.compute_from_prefix(mask, Parallelism::SEQUENTIAL)?;
+                        self.insert(mask, Arc::new(result));
+                    }
+                    Ok(())
+                });
+                for outcome in outcomes {
+                    outcome?;
+                }
+            }
         }
         Ok(())
     }
@@ -237,5 +453,57 @@ mod tests {
         let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 1)]).unwrap();
         let inst = Instance::new(vec![r1]);
         assert!(SubJoinCache::new(&q, &inst).is_err());
+        assert!(ShardedSubJoinCache::new(&q, &inst).is_err());
+    }
+
+    #[test]
+    fn sharded_cache_matches_sequential_cache() {
+        let (q, inst) = star_instance(4);
+        let mut sequential = SubJoinCache::new(&q, &inst).unwrap();
+        for &threads in &[1usize, 2, 4] {
+            let sharded = ShardedSubJoinCache::new(&q, &inst).unwrap();
+            sharded
+                .populate_proper_subsets(Parallelism::threads(threads))
+                .unwrap();
+            // All proper non-empty subsets are materialised, nothing else.
+            assert_eq!(sharded.cached_count(), (1 << 4) - 2);
+            for mask in 1u32..((1 << 4) - 1) {
+                let a = sharded.get(mask).expect("populated");
+                let b = sequential.join_mask(mask).unwrap();
+                assert_eq!(a.as_ref(), b, "mask {mask:#b}, threads {threads}");
+            }
+            // The full mask is still reachable lazily.
+            let full = sharded
+                .join_mask((1 << 4) - 1, Parallelism::threads(threads))
+                .unwrap();
+            assert_eq!(
+                full.as_ref(),
+                sequential.join_mask((1 << 4) - 1).unwrap(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_transient_join_matches_memoised() {
+        let (q, inst) = star_instance(3);
+        let sharded = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        let mask = 0b111u32;
+        let transient = sharded
+            .join_mask_transient(mask, Parallelism::threads(2))
+            .unwrap();
+        // The top-level result is not memoised, only its prefixes are.
+        assert!(sharded.get(mask).is_none());
+        let memoised = sharded.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
+        assert_eq!(&transient, memoised.as_ref());
+    }
+
+    #[test]
+    fn sharded_cache_rejects_invalid_masks() {
+        let (q, inst) = star_instance(2);
+        let sharded = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        assert!(sharded.join_mask(0, Parallelism::SEQUENTIAL).is_err());
+        assert!(sharded.join_mask(1 << 3, Parallelism::SEQUENTIAL).is_err());
+        assert!(sharded.mask_of(&[5]).is_err());
     }
 }

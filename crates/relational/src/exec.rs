@@ -1,0 +1,293 @@
+//! A dependency-free parallel execution layer for the relational engine.
+//!
+//! The build environment is offline (no `rayon`), so this module hand-rolls
+//! the small amount of machinery the engine needs: a [`Parallelism`] knob and
+//! a scoped worker pool ([`par_map`] / [`par_map_ranges`]) built from
+//! `std::thread::scope` plus an mpsc channel.  Workers are *scoped*: every
+//! invocation spawns, runs and joins its threads before returning, so no
+//! thread ever outlives the borrowed query/instance data it operates on and
+//! no global pool state exists to configure or leak.
+//!
+//! ### Determinism contract
+//!
+//! Parallel execution must be **byte-identical** to sequential execution —
+//! the engine's downstream consumers are seeded randomized algorithms whose
+//! reproducibility contract (see the crate docs) would otherwise break.
+//! Two design rules guarantee it:
+//!
+//! 1. **Deterministic work splitting.**  Tasks are assigned to workers by a
+//!    fixed stride (worker `w` of `W` runs tasks `w, w + W, w + 2W, …`), and
+//!    [`chunk_ranges`] splits index ranges by a fixed balanced-block rule.
+//!    Neither depends on scheduling, load or timing.
+//! 2. **Index-ordered merge.**  Every result is delivered back tagged with
+//!    its task index and merged in task order.  For range-partitioned loops
+//!    ([`par_map_ranges`]) each chunk emits its outputs in input order, so
+//!    the concatenation in chunk order equals the sequential emission order
+//!    *regardless of the worker count or chunk boundaries*.
+//!
+//! Consequently `Parallelism::threads(1)`, `threads(4)` and `threads(64)`
+//! all produce identical bytes; only wall-clock time differs.
+//!
+//! ### Panic handling
+//!
+//! A panicking task poisons nothing: the worker's channel sender is dropped,
+//! the coordinating thread stops collecting, and `std::thread::scope`
+//! re-raises the worker's panic payload on the calling thread once all
+//! threads are joined.  Callers observe the original panic (message intact)
+//! exactly as they would under sequential execution — no deadlock, no
+//! swallowed error.
+//!
+//! ### Choosing a parallelism level
+//!
+//! [`Parallelism::default`] resolves to [`Parallelism::available`]: the
+//! `DPSYN_THREADS` environment variable when set (CI uses this to force the
+//! sequential path), otherwise [`std::thread::available_parallelism`].
+//! `Parallelism::SEQUENTIAL` (one thread) runs every loop inline on the
+//! calling thread — no threads are spawned, no buffers are re-copied, and
+//! the output is byte-identical to the pre-parallel engine's.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::{mpsc, OnceLock};
+
+/// How many worker threads the engine may use for one parallel operation.
+///
+/// `Parallelism(1)` is the sequential path: no threads are spawned and every
+/// loop runs inline.  Results are byte-identical at every level (see the
+/// module docs), so callers can default to [`Parallelism::available`] and
+/// drop to [`Parallelism::SEQUENTIAL`] only to shed thread overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// The sequential path: one worker, no spawned threads.
+    pub const SEQUENTIAL: Parallelism = Parallelism(NonZeroUsize::MIN);
+
+    /// Exactly `n` workers (`n = 0` is treated as 1).
+    pub fn threads(n: usize) -> Self {
+        Parallelism(NonZeroUsize::new(n.max(1)).expect("clamped to at least 1"))
+    }
+
+    /// The environment's parallelism: `DPSYN_THREADS` when set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`] (1 if even
+    /// that is unavailable).  The probe result is cached for the process.
+    pub fn available() -> Self {
+        static AVAILABLE: OnceLock<usize> = OnceLock::new();
+        let n = *AVAILABLE.get_or_init(|| {
+            if let Some(n) = std::env::var("DPSYN_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+            {
+                return n;
+            }
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Parallelism::threads(n)
+    }
+
+    /// The worker count.
+    #[inline]
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// Whether this is the sequential (single-worker) path.
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        self.0.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::available()
+    }
+}
+
+/// Runs `f(0), …, f(tasks - 1)` on up to `par` workers and returns the
+/// results **in task order**.
+///
+/// Work is split deterministically by stride (worker `w` runs tasks
+/// `w, w + W, …`); workers 1… send `(index, result)` pairs over a channel
+/// while worker 0 (the calling thread) fills its own slots directly.  With
+/// `par = 1` or `tasks ≤ 1` everything runs inline — no thread is spawned.
+///
+/// A panicking task propagates its payload to the caller after all workers
+/// have been joined (see the module docs).
+pub fn par_map<T, F>(par: Parallelism, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.get().min(tasks.max(1));
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let f = &f;
+        for w in 1..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for i in (w..tasks).step_by(workers) {
+                    // A closed receiver means the coordinator bailed out
+                    // (it panicked in its own stride); stop early.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Worker 0 runs its stride inline on the calling thread.
+        for i in (0..tasks).step_by(workers) {
+            slots[i] = Some(f(i));
+        }
+        // Collect until every sender is gone.  If a worker panicked, its
+        // sender is dropped early, the loop ends, and the scope re-raises
+        // the panic when joining below.
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all workers completed (scope propagates panics)"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `chunks` contiguous ranges of near-equal
+/// length (the first `len % chunks` ranges are one longer), in ascending
+/// order.  `len = 0` yields a single empty range so callers always receive
+/// at least one chunk.  The split depends only on `len` and `chunks`.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        // One empty chunk so callers always receive at least one range.
+        return vec![Range { start: 0, end: 0 }];
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Partitions `0..len` into contiguous chunks of at least `min_chunk`
+/// indices, maps `f` over the chunks on up to `par` workers, and returns the
+/// per-chunk results **in range order**.
+///
+/// This is the `par_chunks`-style entry point behind the partitioned probe
+/// loop: each chunk emits its outputs in input order, so concatenating the
+/// returned parts reproduces the sequential emission order byte for byte at
+/// every worker count.  Chunks are over-decomposed (4 per worker) so a
+/// skewed chunk cannot stall the whole loop.
+pub fn par_map_ranges<T, F>(par: Parallelism, len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let workers = par.get();
+    if workers <= 1 || len <= min_chunk.max(1) {
+        return vec![f(0..len)];
+    }
+    let chunks = (len / min_chunk.max(1)).clamp(1, workers * 4);
+    let ranges = chunk_ranges(len, chunks);
+    par_map(par, ranges.len(), |i| f(ranges[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_levels() {
+        assert_eq!(Parallelism::SEQUENTIAL.get(), 1);
+        assert!(Parallelism::SEQUENTIAL.is_sequential());
+        assert_eq!(Parallelism::threads(0).get(), 1);
+        assert_eq!(Parallelism::threads(6).get(), 6);
+        assert!(!Parallelism::threads(2).is_sequential());
+        assert!(Parallelism::available().get() >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map_at_every_width() {
+        let f = |i: usize| (i * i) as u64;
+        let expect: Vec<u64> = (0..257).map(f).collect();
+        for threads in [1, 2, 3, 4, 8, 300] {
+            assert_eq!(par_map(Parallelism::threads(threads), 257, f), expect);
+        }
+        assert!(par_map(Parallelism::threads(4), 0, f).is_empty());
+        assert_eq!(par_map(Parallelism::threads(4), 1, f), vec![0]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once_in_order() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 7, 2000] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start);
+                    expect_start = r.end;
+                }
+                assert_eq!(expect_start, len);
+                if len > 0 {
+                    assert!(ranges.len() <= chunks.min(len));
+                    // Balanced: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(hi - lo <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_concatenation_is_order_stable() {
+        let data: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
+        let f = |r: Range<usize>| data[r].to_vec();
+        let seq: Vec<u64> = f(0..data.len());
+        for threads in [1, 2, 4, 9] {
+            let parts = par_map_ranges(Parallelism::threads(threads), data.len(), 16, f);
+            let merged: Vec<u64> = parts.concat();
+            assert_eq!(merged, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(Parallelism::threads(4), 64, |i| {
+                if i == 37 {
+                    panic!("worker task failed deliberately");
+                }
+                i
+            })
+        }));
+        assert!(outcome.is_err(), "panic must cross the pool boundary");
+    }
+
+    #[test]
+    fn sequential_panics_propagate_too() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(Parallelism::SEQUENTIAL, 4, |i| {
+                if i == 2 {
+                    panic!("sequential task failed deliberately");
+                }
+                i
+            })
+        }));
+        assert!(outcome.is_err());
+    }
+}

@@ -20,12 +20,25 @@
 //! the merged tuple), so duplicates are structurally impossible.
 //!
 //! Hash maps enter only where they pay: each binary step indexes the
-//! *smaller* operand by its shared-attribute projection (an `FxHashMap`
-//! keyed by the inline [`TupleKey`]) and probes it with the larger operand
-//! through a reusable scratch buffer — O(1) probes, zero allocations, in
-//! place of the O(len·log n) comparisons the previous `BTreeMap` engine
-//! paid.  [`join_subset`] additionally folds the relations in ascending
-//! size order.
+//! *smaller* operand by its shared-attribute projection — keys live in a
+//! frozen [`KeyArena`] and the map is keyed by borrowed `&[Value]` rows, so
+//! the build pass allocates nothing per key at any arity — and probes it
+//! with the larger operand through a reusable scratch buffer: O(1) probes,
+//! zero allocations, in place of the O(len·log n) comparisons the previous
+//! `BTreeMap` engine paid.  [`join_subset`] additionally folds the relations
+//! in ascending size order.
+//!
+//! ### Parallel probe
+//!
+//! The probe loop of each binary step is partitioned into contiguous
+//! probe-row ranges and driven through the scoped worker pool of
+//! [`crate::exec`] (see [`hash_join_step_with`]).  Each worker probes the
+//! shared frozen index and emits into its own flat buffer; the per-range
+//! buffers are concatenated **in range order**, which reproduces the
+//! sequential emission order byte for byte at every worker count.  The
+//! plain entry points ([`join`], [`join_size`], …) use
+//! [`Parallelism::default`]; the `*_with` variants take an explicit knob,
+//! and `Parallelism::SEQUENTIAL` is exactly the pre-parallel code path.
 //!
 //! Determinism is preserved by sorting on emit: [`JoinResult::iter`],
 //! [`JoinResult::group_by`] and [`JoinResult::distinct_projections`] return
@@ -38,14 +51,20 @@ use std::collections::BTreeMap;
 
 use crate::attr::AttrId;
 use crate::error::RelationalError;
+use crate::exec::{self, Parallelism};
 use crate::hash::FxHashMap;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::relation::Relation;
 use crate::tuple::{
-    intersect_attrs, project_into, project_positions, union_attrs, TupleKey, Value,
+    intersect_attrs, project_into, project_positions, union_attrs, KeyArena, TupleKey, Value,
 };
 use crate::Result;
+
+/// Probe loops shorter than this stay sequential even when a multi-thread
+/// [`Parallelism`] is requested: below it, thread spawn/join overhead
+/// outweighs the probe work itself.
+const MIN_PAR_PROBE: usize = 1024;
 
 /// A sparse join result: tuples over `attrs` with positive integer weights.
 ///
@@ -257,71 +276,134 @@ fn merge_plan(left_attrs: &[AttrId], right_attrs: &[AttrId]) -> (Vec<AttrId>, Ve
     (attrs, plan)
 }
 
+/// Appends the merged tuple of `(left, right)` under `plan` to `out`.
+#[inline]
+fn merge_row(plan: &[Side], left: &[Value], right: &[Value], out: &mut Vec<Value>) {
+    out.extend(plan.iter().map(|side| match side {
+        Side::Left(p) => left[*p],
+        Side::Right(p) => right[*p],
+    }));
+}
+
+/// Concatenates per-range probe outputs in range order into one flat result
+/// buffer pair.  Range-ordered concatenation equals the sequential emission
+/// order (see the module docs), so the result is byte-identical at every
+/// worker count.
+fn merge_parts(mut parts: Vec<(Vec<Value>, Vec<u128>)>) -> (Vec<Value>, Vec<u128>) {
+    if parts.len() == 1 {
+        // Sequential (single-chunk) case: hand the buffers over as-is —
+        // re-copying the whole join output here would halve sequential
+        // throughput.
+        return parts.pop().expect("one part");
+    }
+    let mut values = Vec::with_capacity(parts.iter().map(|(v, _)| v.len()).sum());
+    let mut weights = Vec::with_capacity(parts.iter().map(|(_, w)| w.len()).sum());
+    for (v, w) in parts {
+        values.extend_from_slice(&v);
+        weights.extend_from_slice(&w);
+    }
+    (values, weights)
+}
+
 /// One binary hash-join step: joins an accumulated result with a relation.
-///
-/// The smaller operand (by distinct tuple count) becomes the hash-build side;
-/// the larger side probes it through a reusable scratch key.  Output tuples
-/// are appended to the flat result buffer — no dedup map is needed because
-/// distinct operand pairs always produce distinct merged tuples.  Weight
-/// multiplication saturates instead of wrapping, so adversarial worst-case
-/// instances degrade gracefully rather than overflow-panicking.
+/// Shorthand for [`hash_join_step_with`] at the default parallelism.
 pub fn hash_join_step(acc: &JoinResult, rel: &Relation) -> Result<JoinResult> {
+    hash_join_step_with(acc, rel, Parallelism::default())
+}
+
+/// One binary hash-join step at an explicit parallelism level.
+///
+/// The smaller operand (by distinct tuple count) becomes the hash-build side:
+/// its shared-attribute projections are materialised into a frozen
+/// [`KeyArena`] and indexed by borrowed `&[Value]` rows (no per-key
+/// allocation at any arity).  The larger side probes the index through a
+/// reusable scratch key; with `par` workers the probe rows are partitioned
+/// into contiguous ranges, each worker emits into its own flat buffer, and
+/// the buffers are concatenated in range order — byte-identical to the
+/// sequential emission at every worker count.  Output tuples need no dedup
+/// map: distinct operand pairs always produce distinct merged tuples.
+/// Weight multiplication saturates instead of wrapping, so adversarial
+/// worst-case instances degrade gracefully rather than overflow-panicking.
+pub fn hash_join_step_with(
+    acc: &JoinResult,
+    rel: &Relation,
+    par: Parallelism,
+) -> Result<JoinResult> {
     let shared = intersect_attrs(&acc.attrs, rel.attrs());
     let (new_attrs, plan) = merge_plan(&acc.attrs, rel.attrs());
     let acc_shared_pos = project_positions(&acc.attrs, &shared)?;
     let rel_shared_pos = project_positions(rel.attrs(), &shared)?;
+    let plan = &plan[..];
 
-    let mut out_values: Vec<Value> = Vec::new();
-    let mut out_weights: Vec<u128> = Vec::new();
-    let mut scratch: Vec<Value> = Vec::with_capacity(shared.len());
-
-    macro_rules! emit {
-        ($left:expr, $right:expr, $weight:expr) => {{
-            let left: &[Value] = $left;
-            let right: &[Value] = $right;
-            out_values.extend(plan.iter().map(|side| match side {
-                Side::Left(p) => left[*p],
-                Side::Right(p) => right[*p],
-            }));
-            out_weights.push($weight);
-        }};
-    }
-
-    if rel.distinct_count() <= acc.distinct_count() {
+    let (out_values, out_weights) = if rel.distinct_count() <= acc.distinct_count() {
         // Build on the relation, probe with the accumulated result.
-        let mut index: FxHashMap<TupleKey, Vec<(&[Value], u64)>> = FxHashMap::default();
-        for (t, f) in rel.iter() {
-            index
-                .entry(TupleKey::project(t, &rel_shared_pos))
-                .or_default()
-                .push((t.as_slice(), f));
+        let rel_rows: Vec<(&[Value], u64)> = rel.iter().map(|(t, f)| (t.as_slice(), f)).collect();
+        let mut arena = KeyArena::with_capacity(shared.len(), rel_rows.len());
+        for &(t, _) in &rel_rows {
+            arena.push_projected(t, &rel_shared_pos);
         }
-        for (t, w) in acc.iter_unordered() {
-            project_into(t, &acc_shared_pos, &mut scratch);
-            if let Some(matches) = index.get(scratch.as_slice()) {
-                for &(rt, rf) in matches {
-                    emit!(t, rt, w.saturating_mul(rf as u128));
+        let mut index: FxHashMap<&[Value], Vec<(&[Value], u64)>> = FxHashMap::default();
+        for (i, &row) in rel_rows.iter().enumerate() {
+            index.entry(arena.row(i)).or_default().push(row);
+        }
+        let probe = |range: std::ops::Range<usize>| {
+            let mut values: Vec<Value> = Vec::new();
+            let mut weights: Vec<u128> = Vec::new();
+            let mut scratch: Vec<Value> = Vec::with_capacity(shared.len());
+            for i in range {
+                let t = acc.row(i);
+                project_into(t, &acc_shared_pos, &mut scratch);
+                if let Some(matches) = index.get(scratch.as_slice()) {
+                    for &(rt, rf) in matches {
+                        merge_row(plan, t, rt, &mut values);
+                        weights.push(acc.weights[i].saturating_mul(rf as u128));
+                    }
                 }
             }
-        }
+            (values, weights)
+        };
+        merge_parts(exec::par_map_ranges(
+            par,
+            acc.distinct_count(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
     } else {
         // Build on the accumulated result, probe with the relation.
-        let mut index: FxHashMap<TupleKey, Vec<(&[Value], u128)>> = FxHashMap::default();
-        for (t, w) in acc.iter_unordered() {
-            index
-                .entry(TupleKey::project(t, &acc_shared_pos))
-                .or_default()
-                .push((t, w));
+        let mut arena = KeyArena::with_capacity(shared.len(), acc.distinct_count());
+        for i in 0..acc.distinct_count() {
+            arena.push_projected(acc.row(i), &acc_shared_pos);
         }
-        for (rt, rf) in rel.iter() {
-            project_into(rt, &rel_shared_pos, &mut scratch);
-            if let Some(matches) = index.get(scratch.as_slice()) {
-                for &(t, w) in matches {
-                    emit!(t, rt, w.saturating_mul(rf as u128));
+        let mut index: FxHashMap<&[Value], Vec<(&[Value], u128)>> = FxHashMap::default();
+        for i in 0..acc.distinct_count() {
+            index
+                .entry(arena.row(i))
+                .or_default()
+                .push((acc.row(i), acc.weights[i]));
+        }
+        let rel_rows: Vec<(&[Value], u64)> = rel.iter().map(|(t, f)| (t.as_slice(), f)).collect();
+        let probe = |range: std::ops::Range<usize>| {
+            let mut values: Vec<Value> = Vec::new();
+            let mut weights: Vec<u128> = Vec::new();
+            let mut scratch: Vec<Value> = Vec::with_capacity(shared.len());
+            for &(rt, rf) in &rel_rows[range] {
+                project_into(rt, &rel_shared_pos, &mut scratch);
+                if let Some(matches) = index.get(scratch.as_slice()) {
+                    for &(t, w) in matches {
+                        merge_row(plan, t, rt, &mut values);
+                        weights.push(w.saturating_mul(rf as u128));
+                    }
                 }
             }
-        }
-    }
+            (values, weights)
+        };
+        merge_parts(exec::par_map_ranges(
+            par,
+            rel_rows.len(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
+    };
 
     Ok(JoinResult {
         attrs: new_attrs,
@@ -345,6 +427,18 @@ pub fn hash_join_step(acc: &JoinResult, rel: &Relation) -> Result<JoinResult> {
 /// of the fold order (weights saturate identically only in astronomically
 /// large joins).
 pub fn join_subset(query: &JoinQuery, instance: &Instance, rels: &[usize]) -> Result<JoinResult> {
+    join_subset_with(query, instance, rels, Parallelism::default())
+}
+
+/// [`join_subset`] at an explicit parallelism level (every binary step's
+/// probe loop is partitioned across the workers; results are byte-identical
+/// at every level).
+pub fn join_subset_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    rels: &[usize],
+    par: Parallelism,
+) -> Result<JoinResult> {
     query.check_subset(rels)?;
     if rels.is_empty() {
         return Err(RelationalError::InvalidRelationSubset(
@@ -394,20 +488,30 @@ pub fn join_subset(query: &JoinQuery, instance: &Instance, rels: &[usize]) -> Re
         // in the remaining relations so that the result's attribute list
         // always covers the union of the requested relations' attributes
         // (downstream evaluators rely on it).
-        acc = hash_join_step(&acc, instance.relation(ri))?;
+        acc = hash_join_step_with(&acc, instance.relation(ri), par)?;
     }
     Ok(acc)
 }
 
 /// Joins all relations of the query (the paper's `Join_I`).
 pub fn join(query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
+    join_with(query, instance, Parallelism::default())
+}
+
+/// [`join`] at an explicit parallelism level.
+pub fn join_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<JoinResult> {
     let all: Vec<usize> = (0..query.num_relations()).collect();
-    join_subset(query, instance, &all)
+    join_subset_with(query, instance, &all, par)
 }
 
 /// The join size `count(I) = Σ_t Join_I(t)`.
 pub fn join_size(query: &JoinQuery, instance: &Instance) -> Result<u128> {
     Ok(join(query, instance)?.total())
+}
+
+/// [`join_size`] at an explicit parallelism level.
+pub fn join_size_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<u128> {
+    Ok(join_with(query, instance, par)?.total())
 }
 
 /// Joins the relation subset `rels` and groups the result by `group_by`,
@@ -420,12 +524,23 @@ pub fn grouped_join_size(
     rels: &[usize],
     group_by: &[AttrId],
 ) -> Result<BTreeMap<Vec<Value>, u128>> {
+    grouped_join_size_with(query, instance, rels, group_by, Parallelism::default())
+}
+
+/// [`grouped_join_size`] at an explicit parallelism level.
+pub fn grouped_join_size_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    rels: &[usize],
+    group_by: &[AttrId],
+    par: Parallelism,
+) -> Result<BTreeMap<Vec<Value>, u128>> {
     if rels.is_empty() {
         let mut out = BTreeMap::new();
         out.insert(Vec::new(), 1u128);
         return Ok(out);
     }
-    join_subset(query, instance, rels)?.group_by(group_by)
+    join_subset_with(query, instance, rels, par)?.group_by(group_by)
 }
 
 #[cfg(test)]
@@ -632,6 +747,29 @@ mod tests {
         let naive = crate::naive::join_naive(&q, &inst).unwrap();
         assert_eq!(fast.total(), naive.total());
         assert_eq!(fast.distinct_count(), naive.distinct_count());
+    }
+
+    #[test]
+    fn parallel_probe_is_byte_identical_to_sequential() {
+        // Large enough to clear MIN_PAR_PROBE so multi-thread runs actually
+        // partition the probe loop.
+        let q = JoinQuery::two_table(64, 4096, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..3000u64 {
+            inst.relation_mut(0).add(vec![i % 37, i % 4096], 1).unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i * 7) % 4096, i % 29], 1 + i % 3)
+                .unwrap();
+        }
+        let seq = join_with(&q, &inst, Parallelism::SEQUENTIAL).unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = join_with(&q, &inst, Parallelism::threads(threads)).unwrap();
+            assert_eq!(par.attrs(), seq.attrs());
+            // Construction order (not just set equality) must match exactly.
+            let seq_rows: Vec<(&[Value], u128)> = seq.iter_unordered().collect();
+            let par_rows: Vec<(&[Value], u128)> = par.iter_unordered().collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -50,6 +50,19 @@
 //! `2^m`-subset enumerations (residual sensitivity, multi-relation degree
 //! statistics) perform one hash-join step per distinct subset instead of
 //! re-joining from the base relations each time.
+//!
+//! # Parallel execution
+//!
+//! The [`exec`] module provides a dependency-free scoped worker pool with a
+//! [`Parallelism`] knob.  The join engine's probe loops partition across the
+//! pool ([`join::hash_join_step_with`]) and [`ShardedSubJoinCache`] lets
+//! subset enumerations populate concurrently — with outputs that are
+//! **byte-identical** to sequential execution at every worker count (work
+//! splitting is deterministic and per-partition buffers merge in partition
+//! order), so the determinism contract above is unchanged.  Defaults come
+//! from [`Parallelism::available`] (the `DPSYN_THREADS` environment variable
+//! or the machine's core count); `Parallelism::SEQUENTIAL` is the exact
+//! pre-parallel code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +72,7 @@ pub mod cache;
 pub mod cover;
 pub mod degree;
 pub mod error;
+pub mod exec;
 pub mod hash;
 pub mod hypergraph;
 pub mod instance;
@@ -69,17 +83,21 @@ pub mod tree;
 pub mod tuple;
 
 pub use attr::{AttrId, Attribute, Schema};
-pub use cache::SubJoinCache;
+pub use cache::{ShardedSubJoinCache, SubJoinCache};
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
 pub use degree::{deg_multi, deg_multi_cached, deg_single, max_degree, psi, psi_cached};
 pub use error::RelationalError;
+pub use exec::Parallelism;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hypergraph::JoinQuery;
 pub use instance::{Instance, NeighborEdit};
-pub use join::{grouped_join_size, hash_join_step, join, join_size, join_subset, JoinResult};
+pub use join::{
+    grouped_join_size, grouped_join_size_with, hash_join_step, hash_join_step_with, join,
+    join_size, join_size_with, join_subset, join_subset_with, join_with, JoinResult,
+};
 pub use relation::Relation;
 pub use tree::AttributeTree;
-pub use tuple::{project, project_positions, TupleKey, Value, INLINE_ARITY};
+pub use tuple::{project, project_positions, KeyArena, TupleKey, Value, INLINE_ARITY};
 
 /// Result alias used throughout the relational crate.
 pub type Result<T> = std::result::Result<T, RelationalError>;

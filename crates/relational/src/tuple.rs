@@ -184,6 +184,80 @@ impl From<Vec<Value>> for TupleKey {
     }
 }
 
+/// An arena for projected tuple keys: one flat `Vec<Value>` holding
+/// fixed-width rows, filled in a build pass and then frozen.
+///
+/// The hash-join index build used to construct one [`TupleKey`] per build-side
+/// row; for wide shared-attribute sets (arity > [`INLINE_ARITY`], e.g. the
+/// Figure-4 query's projections) every such key spilled to its own boxed
+/// slice.  `KeyArena` replaces that with a two-phase pattern that allocates
+/// **zero** per-key boxes at any arity:
+///
+/// 1. project every row into the arena with [`KeyArena::push_projected`]
+///    (one amortised `Vec` growth, no per-row allocation);
+/// 2. freeze the arena (stop pushing) and build a map keyed by the borrowed
+///    `&[Value]` rows via [`KeyArena::row`].
+///
+/// Borrowed rows stay valid because the map is built only after the fill
+/// pass — the borrow checker enforces the freeze.  Probing such a map with a
+/// scratch slice is already allocation-free (`&[Value]` keys, like
+/// `TupleKey`, hash and compare as plain value slices).
+#[derive(Debug, Clone)]
+pub struct KeyArena {
+    width: usize,
+    rows: usize,
+    data: Vec<Value>,
+}
+
+impl KeyArena {
+    /// Creates an arena for keys of exactly `width` values (`width = 0` is
+    /// allowed: every row is then the empty tuple, as in cross products).
+    pub fn new(width: usize) -> Self {
+        KeyArena {
+            width,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an arena with capacity reserved for `rows` keys up front.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        KeyArena {
+            width,
+            rows: 0,
+            data: Vec::with_capacity(width * rows),
+        }
+    }
+
+    /// Appends the projection of `tuple` onto pre-computed `positions`
+    /// (see [`project_positions`]) as the next row.  `positions` must have
+    /// the arena's width.
+    #[inline]
+    pub fn push_projected(&mut self, tuple: &[Value], positions: &[usize]) {
+        debug_assert_eq!(positions.len(), self.width, "projection width mismatch");
+        self.data.extend(positions.iter().map(|&p| tuple[p]));
+        self.rows += 1;
+    }
+
+    /// The `i`-th row as a borrowed slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.width..i * self.width + self.width]
+    }
+
+    /// Number of rows pushed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the arena holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+}
+
 /// Computes, for each attribute in `onto`, its position inside `attrs`.
 ///
 /// Both lists must be sorted; `onto` must be a subset of `attrs`.
@@ -406,6 +480,33 @@ mod tests {
         assert_eq!(wide.as_slice(), &[0, 1, 2, 3, 4, 5]);
         let projected = TupleKey::project(&[9, 8, 7, 6], &[3, 0]);
         assert_eq!(projected.as_slice(), &[6, 9]);
+    }
+
+    #[test]
+    fn key_arena_rows_round_trip() {
+        let mut arena = KeyArena::with_capacity(2, 3);
+        assert!(arena.is_empty());
+        arena.push_projected(&[9, 8, 7], &[2, 0]);
+        arena.push_projected(&[1, 2, 3], &[0, 1]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.row(0), &[7, 9]);
+        assert_eq!(arena.row(1), &[1, 2]);
+
+        // Frozen arena rows work as borrowed hash-map keys (the join engine's
+        // zero-allocation index-build pattern).
+        let mut map: crate::hash::FxHashMap<&[Value], u64> = crate::hash::FxHashMap::default();
+        for i in 0..arena.len() {
+            *map.entry(arena.row(i)).or_insert(0) += 1;
+        }
+        assert_eq!(map.get(&[7u64, 9][..]).copied(), Some(1));
+
+        // Width-0 arenas count rows (cross-product indexes group under the
+        // empty key).
+        let mut empty = KeyArena::new(0);
+        empty.push_projected(&[5], &[]);
+        empty.push_projected(&[6], &[]);
+        assert_eq!(empty.len(), 2);
+        assert_eq!(empty.row(1), &[] as &[Value]);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! hierarchical machinery of Section 4.2 upper-bounds them by products of
 //! maximum degrees.
 
-use dpsyn_relational::{grouped_join_size, AttrId, Instance, JoinQuery, SubJoinCache};
+use dpsyn_relational::{
+    grouped_join_size, AttrId, Instance, JoinQuery, Parallelism, ShardedSubJoinCache, SubJoinCache,
+};
 
 use crate::Result;
 
@@ -53,6 +55,35 @@ pub fn boundary_query_cached(cache: &mut SubJoinCache<'_>, e: &[usize]) -> Resul
     }
     let boundary = cache.query().boundary(e)?;
     aggregate_query_cached(cache, e, &boundary)
+}
+
+/// [`aggregate_query`] evaluated through a [`ShardedSubJoinCache`], the
+/// concurrency-safe variant pool workers call while enumerating many subsets
+/// of the same instance in parallel.
+pub fn aggregate_query_sharded(
+    cache: &ShardedSubJoinCache<'_>,
+    e: &[usize],
+    y: &[AttrId],
+    par: Parallelism,
+) -> Result<u128> {
+    if e.is_empty() {
+        return Ok(1);
+    }
+    let mask = cache.mask_of(e)?;
+    Ok(cache.join_mask(mask, par)?.max_group_weight(y)?)
+}
+
+/// [`boundary_query`] evaluated through a [`ShardedSubJoinCache`].
+pub fn boundary_query_sharded(
+    cache: &ShardedSubJoinCache<'_>,
+    e: &[usize],
+    par: Parallelism,
+) -> Result<u128> {
+    if e.is_empty() {
+        return Ok(1);
+    }
+    let boundary = cache.query().boundary(e)?;
+    aggregate_query_sharded(cache, e, &boundary, par)
 }
 
 /// The maximum boundary query `T_E(I) = T_{E, ∂E}(I)` of Equation (1).

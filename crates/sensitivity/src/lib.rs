@@ -16,6 +16,14 @@
 //!   (Section 4.2.1, Lemma 4.8) ([`mdeg_bound`]),
 //! * degree configurations (Definition 4.9) and the residual-sensitivity
 //!   upper bound they induce ([`config`]).
+//!
+//! Every expensive entry point has a `*_with` variant taking a
+//! [`SensitivityConfig`] whose [`Parallelism`](dpsyn_relational::Parallelism)
+//! knob drives the subset enumerations, probe loops and edit sweeps through
+//! the relational engine's worker pool ([`dpsyn_relational::exec`]).
+//! Results are byte-identical at every parallelism level; the plain variants
+//! use the default (available cores, or the `DPSYN_THREADS` environment
+//! variable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,18 +35,26 @@ pub mod global;
 pub mod local;
 pub mod mdeg_bound;
 pub mod residual;
+pub mod settings;
 pub mod smooth;
 
 pub use boundary::{
-    aggregate_query, aggregate_query_cached, boundary_query, boundary_query_cached,
+    aggregate_query, aggregate_query_cached, aggregate_query_sharded, boundary_query,
+    boundary_query_cached, boundary_query_sharded,
 };
 pub use config::{DegreeConfiguration, UniformPartitionSpec};
 pub use error::SensitivityError;
 pub use global::{global_sensitivity_bound, worst_case_error_exponent};
-pub use local::{local_sensitivity, two_table_local_sensitivity};
+pub use local::{local_sensitivity, local_sensitivity_with, two_table_local_sensitivity};
 pub use mdeg_bound::{lemma48_mdeg_terms, t_e_mdeg_upper_bound, MdegTerm};
-pub use residual::{all_boundary_values, ls_hat_k, residual_sensitivity, ResidualSensitivity};
-pub use smooth::{is_smooth_upper_bound, smooth_sensitivity_bruteforce};
+pub use residual::{
+    all_boundary_values, all_boundary_values_with, ls_hat_k, residual_sensitivity,
+    residual_sensitivity_with, ResidualSensitivity,
+};
+pub use settings::SensitivityConfig;
+pub use smooth::{
+    is_smooth_upper_bound, smooth_sensitivity_bruteforce, smooth_sensitivity_bruteforce_with,
+};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, SensitivityError>;

@@ -14,22 +14,64 @@
 //! `Δ = max_b max{deg_{1,B}(b), deg_{2,B}(b)}`.
 
 use dpsyn_relational::degree::two_table_max_shared_degree;
-use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
+use dpsyn_relational::{exec, Instance, JoinQuery, Parallelism, ShardedSubJoinCache, SubJoinCache};
 
 use crate::boundary::boundary_query;
+use crate::settings::SensitivityConfig;
 use crate::Result;
 
 /// Local sensitivity `LS_count(I) = max_i T_{[m]∖{i}}(I)` of the counting
-/// query.
+/// query, at the default execution settings.
 ///
 /// The `m` size-`(m-1)` sub-joins overlap heavily, so they are evaluated
 /// through one shared [`SubJoinCache`].
 pub fn local_sensitivity(query: &JoinQuery, instance: &Instance) -> Result<u128> {
+    local_sensitivity_with(query, instance, &SensitivityConfig::default())
+}
+
+/// [`local_sensitivity`] with explicit execution settings: the `m` edit
+/// directions (each a size-`(m-1)` sub-join plus its boundary grouping) are
+/// swept through the worker pool, sharing prefixes via a
+/// [`ShardedSubJoinCache`].  The maximum of the `m` boundary values is
+/// order-free, so the result is identical at every parallelism level.
+pub fn local_sensitivity_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    config: &SensitivityConfig,
+) -> Result<u128> {
+    let m = query.num_relations();
+    let par = config.parallelism;
+    if par.is_sequential() || m >= 32 || crate::settings::is_small_instance(instance) {
+        return local_sensitivity_sequential(query, instance);
+    }
+    let cache = ShardedSubJoinCache::new(query, instance)?;
+    let values = exec::par_map(par, m, |i| -> Result<u128> {
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        if others.is_empty() {
+            return Ok(1);
+        }
+        // Transient top-level join: the m size-(m-1) results are each
+        // consumed once and can dwarf the inputs, so only their shared
+        // prefixes are memoised (workers racing on a shared prefix both
+        // compute it; insertion is idempotent).
+        let boundary = query.boundary(&others)?;
+        let mask = cache.mask_of(&others)?;
+        Ok(cache
+            .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
+            .max_group_weight(&boundary)?)
+    });
+    let mut best = 0u128;
+    for value in values {
+        best = best.max(value?);
+    }
+    Ok(best)
+}
+
+/// The historical single-threaded path (also the m ≥ 32 fallback, which
+/// avoids the bitmask cache's representation limit).
+fn local_sensitivity_sequential(query: &JoinQuery, instance: &Instance) -> Result<u128> {
     let m = query.num_relations();
     let mut best = 0u128;
-    // The bitmask cache handles m < 32; beyond that (no enumeration is
-    // needed here, only m boundary queries) fall back to direct evaluation
-    // rather than inheriting the cache's representation limit.
     let mut cache = if m < 32 {
         Some(SubJoinCache::new(query, instance)?)
     } else {
@@ -118,6 +160,28 @@ mod tests {
         };
         let neighbor = inst.apply_edit(&add).unwrap();
         assert_eq!(join_size(&q, &neighbor).unwrap() - base, ls);
+    }
+
+    #[test]
+    fn parallel_local_sensitivity_matches_sequential() {
+        // Sized past MIN_PAR_INSTANCE so the pool path actually runs.
+        let q = JoinQuery::star(4, 64).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..4usize {
+            for hub in 0..52u64 {
+                for petal in 0..10u64 {
+                    inst.relation_mut(r)
+                        .add(vec![hub, (hub + petal + r as u64) % 64], 1 + r as u64)
+                        .unwrap();
+                }
+            }
+        }
+        let seq = local_sensitivity_with(&q, &inst, &SensitivityConfig::sequential()).unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = local_sensitivity_with(&q, &inst, &SensitivityConfig::with_threads(threads))
+                .unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 
     #[test]

@@ -24,10 +24,12 @@
 
 use std::collections::BTreeMap;
 
-use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
+use dpsyn_relational::exec;
+use dpsyn_relational::{Instance, JoinQuery, Parallelism, ShardedSubJoinCache, SubJoinCache};
 
-use crate::boundary::boundary_query_cached;
+use crate::boundary::{boundary_query_cached, boundary_query_sharded};
 use crate::error::SensitivityError;
+use crate::settings::SensitivityConfig;
 use crate::Result;
 
 /// The result of a residual-sensitivity computation, retaining the
@@ -91,6 +93,34 @@ pub fn all_boundary_values(
     Ok(out)
 }
 
+/// [`all_boundary_values`] at an explicit parallelism level.
+///
+/// With more than one worker the sub-join lattice is populated level by
+/// level through a [`ShardedSubJoinCache`] (independent subsets of a level
+/// materialise concurrently), then the per-subset boundary groupings run
+/// through the pool as well.  Both caches use the same prefix decomposition,
+/// so the returned map is identical to the sequential one.
+pub fn all_boundary_values_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    par: Parallelism,
+) -> Result<BTreeMap<Vec<usize>, u128>> {
+    if par.is_sequential() || crate::settings::is_small_instance(instance) {
+        return all_boundary_values(query, instance);
+    }
+    let m = query.num_relations();
+    let cache = ShardedSubJoinCache::new(query, instance)?;
+    cache.populate_proper_subsets(par)?;
+    let full = (1u32 << m) - 1;
+    let entries = exec::par_map(par, full as usize, |i| -> Result<(Vec<usize>, u128)> {
+        let mask = i as u32;
+        let f: Vec<usize> = (0..m).filter(|r| mask & (1 << r) != 0).collect();
+        let value = boundary_query_sharded(&cache, &f, Parallelism::SEQUENTIAL)?;
+        Ok((f, value))
+    });
+    entries.into_iter().collect()
+}
+
 /// Evaluates `Σ_{E ⊆ O} T_{O∖E} Π_{j∈E} s_j` for a fixed relation-exclusion
 /// set `O` (given as a sorted list) and assignment `s` (aligned with `O`).
 fn inner_sum(o: &[usize], s: &[u64], boundary_values: &BTreeMap<Vec<usize>, u128>) -> f64 {
@@ -120,53 +150,96 @@ fn inner_sum(o: &[usize], s: &[u64], boundary_values: &BTreeMap<Vec<usize>, u128
     total
 }
 
-/// Computes the residual sensitivity `RS^β_count(I)`.
+/// Maximises `e^{-βk}·Σ_E T_{O_i∖E}·Πs_j` over `s ∈ {0..=s_cap}^{m-1}` for a
+/// fixed excluded relation `i`, returning the best value and its distance
+/// `k`.  The odometer enumeration order and the strictly-greater update rule
+/// make the result (including tie-breaks) identical to the historical
+/// sequential sweep.
+fn maximize_over_assignments(
+    m: usize,
+    i: usize,
+    beta: f64,
+    s_cap: u64,
+    boundary_values: &BTreeMap<Vec<usize>, u128>,
+) -> (f64, u64) {
+    let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+    let mut s = vec![0u64; others.len()];
+    let mut best_value = 0.0f64;
+    let mut best_distance = 0u64;
+    loop {
+        let k: u64 = s.iter().sum();
+        let value = (-beta * k as f64).exp() * inner_sum(&others, &s, boundary_values);
+        if value > best_value {
+            best_value = value;
+            best_distance = k;
+        }
+        // Odometer increment over {0..=s_cap}^{m-1}.
+        let mut pos = 0;
+        loop {
+            if pos == s.len() {
+                break;
+            }
+            if s[pos] < s_cap {
+                s[pos] += 1;
+                break;
+            }
+            s[pos] = 0;
+            pos += 1;
+        }
+        if pos == s.len() {
+            break;
+        }
+        if s.is_empty() {
+            break;
+        }
+    }
+    (best_value, best_distance)
+}
+
+/// Computes the residual sensitivity `RS^β_count(I)` at the default
+/// execution settings ([`SensitivityConfig::default`]: available cores,
+/// byte-identical to the sequential path).
 pub fn residual_sensitivity(
     query: &JoinQuery,
     instance: &Instance,
     beta: f64,
 ) -> Result<ResidualSensitivity> {
+    residual_sensitivity_with(query, instance, beta, &SensitivityConfig::default())
+}
+
+/// [`residual_sensitivity`] with explicit execution settings.
+///
+/// The boundary-value enumeration and the per-relation `s`-vector sweeps run
+/// through the worker pool at `config.parallelism`; the result — value,
+/// maximiser and tie-breaks included — is identical at every level (the
+/// per-relation candidates are reduced in ascending relation order with the
+/// same strictly-greater rule the sequential sweep applies).
+pub fn residual_sensitivity_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+    config: &SensitivityConfig,
+) -> Result<ResidualSensitivity> {
     check_beta(beta)?;
     let m = query.num_relations();
-    let boundary_values = all_boundary_values(query, instance)?;
+    let par = config.parallelism;
+    let boundary_values = all_boundary_values_with(query, instance, par)?;
 
     // No coordinate of an optimal s exceeds ⌈1/β⌉ (see module docs).
     let s_cap: u64 = (1.0 / beta).ceil() as u64;
 
+    let per_relation = exec::par_map(par, m, |i| {
+        maximize_over_assignments(m, i, beta, s_cap, &boundary_values)
+    });
+
     let mut best_value = 0.0f64;
     let mut best_relation = 0usize;
     let mut best_distance = 0u64;
-
-    for i in 0..m {
-        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
-        let mut s = vec![0u64; others.len()];
-        loop {
-            let k: u64 = s.iter().sum();
-            let value = (-beta * k as f64).exp() * inner_sum(&others, &s, &boundary_values);
-            if value > best_value {
-                best_value = value;
-                best_relation = i;
-                best_distance = k;
-            }
-            // Odometer increment over {0..=s_cap}^{m-1}.
-            let mut pos = 0;
-            loop {
-                if pos == s.len() {
-                    break;
-                }
-                if s[pos] < s_cap {
-                    s[pos] += 1;
-                    break;
-                }
-                s[pos] = 0;
-                pos += 1;
-            }
-            if pos == s.len() {
-                break;
-            }
-            if s.is_empty() {
-                break;
-            }
+    for (i, &(value, distance)) in per_relation.iter().enumerate() {
+        if value > best_value {
+            best_value = value;
+            best_relation = i;
+            best_distance = distance;
         }
     }
 
@@ -365,6 +438,40 @@ mod tests {
         let naive = dpsyn_relational::naive::all_boundary_values_naive(&q, &inst).unwrap();
         assert_eq!(cached, naive);
         assert_eq!(cached.len(), (1 << 4) - 1);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // Large enough (≥ MIN_PAR_INSTANCE distinct tuples) that the
+        // multi-thread calls really take the sharded-cache path instead of
+        // the small-instance sequential fallback.
+        let q = JoinQuery::star(4, 64).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..4usize {
+            for hub in 0..52u64 {
+                for petal in 0..10u64 {
+                    inst.relation_mut(r)
+                        .add(vec![hub, (hub + petal + r as u64) % 64], 1 + hub % 2)
+                        .unwrap();
+                }
+            }
+        }
+        let beta = 0.3;
+        let seq =
+            residual_sensitivity_with(&q, &inst, beta, &SensitivityConfig::sequential()).unwrap();
+        for threads in [2usize, 4, 8] {
+            let bv = all_boundary_values_with(&q, &inst, Parallelism::threads(threads)).unwrap();
+            assert_eq!(bv, seq.boundary_values, "threads {threads}");
+            let par = residual_sensitivity_with(
+                &q,
+                &inst,
+                beta,
+                &SensitivityConfig::with_threads(threads),
+            )
+            .unwrap();
+            // Full struct equality: value, maximiser, distance, boundary map.
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Execution settings shared by the sensitivity computations.
+//!
+//! Every sensitivity entry point has a `*_with` variant accepting a
+//! [`SensitivityConfig`]; the plain variants use [`SensitivityConfig::default`].
+//! Results are **byte-identical** at every parallelism level (the engine's
+//! parallel loops merge in deterministic partition order — see
+//! `dpsyn_relational::exec`), so the knob trades only wall-clock time, never
+//! output.
+
+use dpsyn_relational::{Instance, Parallelism};
+
+/// Instances with fewer distinct tuples than this across all relations run
+/// the sequential code paths even when a multi-thread [`Parallelism`] is
+/// requested — pool and shard-lock overhead would dominate the tiny joins.
+/// Results are identical either way; only wall-clock differs.
+pub(crate) const MIN_PAR_INSTANCE: usize = 2048;
+
+/// Whether `instance` is below the [`MIN_PAR_INSTANCE`] parallelism
+/// threshold.
+pub(crate) fn is_small_instance(instance: &Instance) -> bool {
+    let mut total = 0usize;
+    for i in 0..instance.num_relations() {
+        total += instance.relation(i).distinct_count();
+        if total >= MIN_PAR_INSTANCE {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tunables for the sensitivity computations.
+///
+/// Currently a single knob: how many worker threads the subset enumerations,
+/// probe loops and edit sweeps may use.  The default resolves to the
+/// machine's available cores (or the `DPSYN_THREADS` environment variable);
+/// [`SensitivityConfig::sequential`] pins the exact single-threaded code
+/// path the crate used before the parallel execution layer existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SensitivityConfig {
+    /// Worker threads available to one sensitivity computation.
+    pub parallelism: Parallelism,
+}
+
+impl SensitivityConfig {
+    /// The sequential configuration (one worker, no spawned threads).
+    pub fn sequential() -> Self {
+        SensitivityConfig {
+            parallelism: Parallelism::SEQUENTIAL,
+        }
+    }
+
+    /// A configuration with exactly `n` worker threads.
+    pub fn with_threads(n: usize) -> Self {
+        SensitivityConfig {
+            parallelism: Parallelism::threads(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        assert!(SensitivityConfig::sequential().parallelism.is_sequential());
+        assert_eq!(SensitivityConfig::with_threads(4).parallelism.get(), 4);
+        assert!(SensitivityConfig::default().parallelism.get() >= 1);
+    }
+}

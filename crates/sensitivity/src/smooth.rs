@@ -14,10 +14,11 @@
 
 use std::collections::BTreeSet;
 
-use dpsyn_relational::{Instance, JoinQuery, NeighborEdit, Value};
+use dpsyn_relational::{exec, Instance, JoinQuery, NeighborEdit, Value};
 
 use crate::error::SensitivityError;
-use crate::local::local_sensitivity;
+use crate::local::{local_sensitivity, local_sensitivity_with};
+use crate::settings::SensitivityConfig;
 use crate::Result;
 
 /// Generates a set of neighbouring instances of `instance`: all single-copy
@@ -145,6 +146,28 @@ pub fn smooth_sensitivity_bruteforce(
     beta: f64,
     max_radius: usize,
 ) -> Result<f64> {
+    smooth_sensitivity_bruteforce_with(
+        query,
+        instance,
+        beta,
+        max_radius,
+        &SensitivityConfig::default(),
+    )
+}
+
+/// [`smooth_sensitivity_bruteforce`] with explicit execution settings: each
+/// radius level's edit sweep (one local-sensitivity evaluation per candidate
+/// neighbour) runs through the worker pool.  The frontier is ranked by the
+/// precomputed sensitivities with a stable sort, so the explored
+/// neighbourhood — and thus the result — is identical at every parallelism
+/// level.
+pub fn smooth_sensitivity_bruteforce_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+    max_radius: usize,
+    config: &SensitivityConfig,
+) -> Result<f64> {
     if beta.is_nan() || beta <= 0.0 || beta.is_infinite() {
         return Err(SensitivityError::InvalidParameter {
             name: "beta",
@@ -153,26 +176,32 @@ pub fn smooth_sensitivity_bruteforce(
         });
     }
     let mut frontier = vec![instance.clone()];
-    let mut best = local_sensitivity(query, instance)? as f64;
+    let mut best = local_sensitivity_with(query, instance, config)? as f64;
     let mut result = best;
     for k in 1..=max_radius {
-        let mut next = Vec::new();
+        // Generate this level's neighbours sequentially (cheap), then sweep
+        // their local sensitivities through the pool (the expensive part:
+        // one multi-way join per edit).
+        let mut neighbors: Vec<Instance> = Vec::new();
         for inst in &frontier {
-            for neighbor in candidate_neighbors(query, inst)? {
-                let ls = local_sensitivity(query, &neighbor)? as f64;
-                best = best.max(ls);
-                next.push(neighbor);
-            }
+            neighbors.extend(candidate_neighbors(query, inst)?);
+        }
+        let seq = SensitivityConfig::sequential();
+        let sensitivities = exec::par_map(config.parallelism, neighbors.len(), |i| {
+            local_sensitivity_with(query, &neighbors[i], &seq)
+        });
+        let mut next: Vec<(u128, Instance)> = Vec::with_capacity(neighbors.len());
+        for (neighbor, ls) in neighbors.into_iter().zip(sensitivities) {
+            let ls = ls?;
+            best = best.max(ls as f64);
+            next.push((ls, neighbor));
         }
         // Keep the frontier small: the highest-sensitivity instances are the
-        // ones whose further neighbourhoods matter.
-        next.sort_by(|a, b| {
-            local_sensitivity(query, b)
-                .unwrap_or(0)
-                .cmp(&local_sensitivity(query, a).unwrap_or(0))
-        });
+        // ones whose further neighbourhoods matter.  The sort is stable, so
+        // ties keep generation order regardless of the worker count.
+        next.sort_by_key(|(ls, _)| std::cmp::Reverse(*ls));
         next.truncate(16);
-        frontier = next;
+        frontier = next.into_iter().map(|(_, inst)| inst).collect();
         result = result.max((-beta * k as f64).exp() * best);
     }
     Ok(result)

@@ -13,9 +13,13 @@ use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_subset_naive};
 use dpsyn_relational::{
-    deg_multi, deg_multi_cached, join_subset, NeighborEdit, SubJoinCache, Value,
+    deg_multi, deg_multi_cached, join_subset, join_subset_with, join_with, NeighborEdit,
+    Parallelism, SubJoinCache, Value,
 };
-use dpsyn_sensitivity::{all_boundary_values, ls_hat_k};
+use dpsyn_sensitivity::{
+    all_boundary_values, all_boundary_values_with, local_sensitivity_with, ls_hat_k,
+    residual_sensitivity_with, SensitivityConfig,
+};
 
 const CASES: u64 = 24;
 
@@ -167,6 +171,86 @@ fn degree_map_matches_direct_fold() {
             }
             assert_eq!(deg, expect, "degree map differs, seed {seed}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution layer: N threads ≡ 1 thread ≡ naive reference
+// ---------------------------------------------------------------------------
+
+/// Parallel joins are **byte-identical** to the sequential path — same
+/// construction order, not merely the same weighted set — and both agree
+/// with the naive `BTreeMap` oracle.  Instances are sized past the engine's
+/// parallel-probe threshold so multi-thread runs really partition the loop.
+#[test]
+fn parallel_join_is_byte_identical_to_sequential_and_matches_naive() {
+    for seed in 0..6u64 {
+        let shapes: Vec<(JoinQuery, Instance)> = vec![
+            zipf_two_table(64, 2500, 1.1, &mut seeded_rng(9000 + seed)),
+            random_star(3, 16, 1400, 1.0, &mut seeded_rng(9100 + seed)),
+        ];
+        for (query, inst) in &shapes {
+            let all: Vec<usize> = (0..query.num_relations()).collect();
+            let seq = join_subset_with(query, inst, &all, Parallelism::SEQUENTIAL).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = join_with(query, inst, Parallelism::threads(threads)).unwrap();
+                assert_eq!(par.attrs(), seq.attrs(), "seed {seed}");
+                let seq_rows: Vec<(&[Value], u128)> = seq.iter_unordered().collect();
+                let par_rows: Vec<(&[Value], u128)> = par.iter_unordered().collect();
+                assert_eq!(par_rows, seq_rows, "seed {seed}, threads {threads}");
+            }
+            // The sequential path itself agrees with the naive oracle.
+            let naive = join_subset_naive(query, inst, &all).unwrap();
+            assert_eq!(seq.total(), naive.total(), "seed {seed}");
+            assert_eq!(seq.distinct_count(), naive.distinct_count(), "seed {seed}");
+        }
+    }
+}
+
+/// Residual sensitivity, its boundary values and local sensitivity agree
+/// across every parallelism level.  Small instances (the seq-vs-naive
+/// agreement is covered by `cached_boundary_values_match_naive_recomputation`)
+/// exercise the small-instance sequential fallback; the large instances here
+/// are sized past the engine's parallelism threshold so the sharded-cache
+/// path really runs.
+#[test]
+fn parallel_sensitivity_matches_sequential_and_naive() {
+    for seed in 0..3u64 {
+        let (query, inst) = random_star(4, 64, 800, 0.5, &mut seeded_rng(9500 + seed));
+        let beta = 0.1 + (seed as f64) / 10.0;
+        let seq_bv = all_boundary_values(&query, &inst).unwrap();
+        let seq_rs =
+            residual_sensitivity_with(&query, &inst, beta, &SensitivityConfig::sequential())
+                .unwrap();
+        let seq_ls =
+            local_sensitivity_with(&query, &inst, &SensitivityConfig::sequential()).unwrap();
+        for threads in [2usize, 4] {
+            let par_bv =
+                all_boundary_values_with(&query, &inst, Parallelism::threads(threads)).unwrap();
+            assert_eq!(par_bv, seq_bv, "seed {seed}, threads {threads}");
+            let par_rs = residual_sensitivity_with(
+                &query,
+                &inst,
+                beta,
+                &SensitivityConfig::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(par_rs, seq_rs, "seed {seed}, threads {threads}");
+            let par_ls =
+                local_sensitivity_with(&query, &inst, &SensitivityConfig::with_threads(threads))
+                    .unwrap();
+            assert_eq!(par_ls, seq_ls, "seed {seed}, threads {threads}");
+        }
+        // On a deliberately small instance the same calls fall back to the
+        // sequential path and still agree with the naive oracle.
+        let (small_q, small_inst) = random_star(4, 8, 40, 1.0, &mut seeded_rng(9700 + seed));
+        let small_bv =
+            all_boundary_values_with(&small_q, &small_inst, Parallelism::threads(4)).unwrap();
+        assert_eq!(
+            small_bv,
+            all_boundary_values_naive(&small_q, &small_inst).unwrap(),
+            "seed {seed}"
+        );
     }
 }
 
