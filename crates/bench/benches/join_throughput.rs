@@ -10,7 +10,9 @@
 //! parallel-scaling rows comparing the worker pool at N threads against the
 //! sequential path (`threads`/`available_cores` fields record the context —
 //! wall-clock scaling is bounded by the machine's core count, while outputs
-//! are asserted byte-identical before timing).
+//! are asserted byte-identical before timing), plus a `session/cache_reuse`
+//! row measuring a warm (one `ExecContext`, lattice persisted across calls)
+//! against a cold (fresh context per call) residual-sensitivity β sweep.
 
 use std::time::{Duration, Instant};
 
@@ -19,8 +21,8 @@ use dpsyn_bench::{print_table, rows_to_json_pretty, Row};
 use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive};
-use dpsyn_relational::{join_size, join_size_with, join_with, Instance, JoinQuery, Parallelism};
-use dpsyn_sensitivity::{all_boundary_values, all_boundary_values_with};
+use dpsyn_relational::{join_size, ExecContext, Instance, JoinQuery};
+use dpsyn_sensitivity::{all_boundary_values, SensitivityConfig, SensitivityOps};
 
 /// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
 /// in nanoseconds.
@@ -141,14 +143,14 @@ fn main() {
     // byte-identity of parallel vs sequential output is asserted before any
     // timing.  `available_cores` records the machine context: wall-clock
     // scaling is capped by physical cores even though 4 workers run.
-    let par = Parallelism::threads(SCALING_THREADS);
-    let seq = Parallelism::SEQUENTIAL;
+    let ctx_par = ExecContext::with_threads(SCALING_THREADS);
+    let ctx_seq = ExecContext::sequential();
     {
         let n = if quick { 20_000 } else { 60_000 };
         let mut rng = seeded_rng(11);
         let (query, instance) = random_two_table(16_384, n, &mut rng);
-        let a = join_with(&query, &instance, par).expect("parallel join");
-        let b = join_with(&query, &instance, seq).expect("sequential join");
+        let a = ctx_par.join(&query, &instance).expect("parallel join");
+        let b = ctx_seq.join(&query, &instance).expect("sequential join");
         assert!(
             a.iter_unordered().eq(b.iter_unordered()),
             "parallel join output must be byte-identical to sequential"
@@ -156,10 +158,10 @@ fn main() {
         rows.push(bench_scaling(
             &format!("join/two_table/{n}/par{SCALING_THREADS}"),
             || {
-                black_box(join_size_with(&query, &instance, par).unwrap());
+                black_box(ctx_par.join_size(&query, &instance).unwrap());
             },
             || {
-                black_box(join_size_with(&query, &instance, seq).unwrap());
+                black_box(ctx_seq.join_size(&query, &instance).unwrap());
             },
         ));
     }
@@ -167,21 +169,90 @@ fn main() {
         let per_rel = if quick { 800 } else { 2_000 };
         let mut rng = seeded_rng(12);
         let (query, instance) = random_star(4, 256, per_rel, 0.4, &mut rng);
-        let a = all_boundary_values_with(&query, &instance, par).expect("parallel enumeration");
-        let b = all_boundary_values_with(&query, &instance, seq).expect("sequential enumeration");
+        // Fresh contexts per call so each measurement rebuilds the lattice
+        // (the persistent-cache win is measured by the session scenario
+        // below, not here).
+        let cold_bv = |threads: usize| {
+            SensitivityConfig::with_threads(threads)
+                .to_context()
+                .all_boundary_values(&query, &instance)
+                .unwrap()
+        };
         assert_eq!(
-            a, b,
+            cold_bv(SCALING_THREADS),
+            cold_bv(1),
             "parallel boundary values must be identical to sequential"
         );
         rows.push(bench_scaling(
             &format!("residual/subsets/star4/par{SCALING_THREADS}"),
             || {
-                black_box(all_boundary_values_with(&query, &instance, par).unwrap());
+                black_box(cold_bv(SCALING_THREADS));
             },
             || {
-                black_box(all_boundary_values_with(&query, &instance, seq).unwrap());
+                black_box(cold_bv(1));
             },
         ));
+    }
+
+    // --- Session cache reuse: warm vs cold lattice across a β sweep -------
+    // The Session/ExecContext API persists the 2^m sub-join lattice across
+    // calls, so a residual-sensitivity sweep over several β values on one
+    // instance pays for the lattice once.  "Cold" runs each β on a fresh
+    // context (the pre-Session cost model); "warm" runs the sweep on one
+    // context.  Results are asserted identical before timing.
+    {
+        let per_rel = if quick { 500 } else { 1_200 };
+        let mut rng = seeded_rng(13);
+        let (query, instance) = random_star(4, 128, per_rel, 0.6, &mut rng);
+        let betas = [0.05f64, 0.1, 0.2, 0.5, 1.0, 2.0];
+        let cold_sweep = || {
+            let mut acc = 0.0f64;
+            for &beta in &betas {
+                let ctx = SensitivityConfig::sequential().to_context();
+                acc += ctx
+                    .residual_sensitivity(&query, &instance, beta)
+                    .unwrap()
+                    .value;
+            }
+            acc
+        };
+        let warm_sweep = || {
+            let ctx = SensitivityConfig::sequential().to_context();
+            let mut acc = 0.0f64;
+            for &beta in &betas {
+                acc += ctx
+                    .residual_sensitivity(&query, &instance, beta)
+                    .unwrap()
+                    .value;
+            }
+            acc
+        };
+        assert_eq!(
+            cold_sweep(),
+            warm_sweep(),
+            "warm sweep must produce identical values to cold"
+        );
+        let probe = Instant::now();
+        let _ = cold_sweep();
+        let samples = sample_count(probe.elapsed());
+        let warm_ns = median_ns(samples, || {
+            black_box(warm_sweep());
+        });
+        let cold_ns = median_ns(samples, || {
+            black_box(cold_sweep());
+        });
+        let speedup = cold_ns / warm_ns.max(1.0);
+        let label = format!("session/cache_reuse/star4/sweep{}", betas.len());
+        println!(
+            "bench: {label:<32} warm {warm_ns:>14.1} ns  cold  {cold_ns:>14.1} ns  speedup {speedup:>6.2}x"
+        );
+        rows.push(
+            Row::new(&label)
+                .with("warm_ns", warm_ns)
+                .with("cold_ns", cold_ns)
+                .with("speedup", speedup)
+                .with("sweep_len", betas.len() as f64),
+        );
     }
 
     print_table("join_throughput — hash engine vs naive reference", &rows);

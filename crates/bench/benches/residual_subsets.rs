@@ -8,10 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpsyn_datagen::random_star;
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::all_boundary_values_naive;
-use dpsyn_relational::Parallelism;
 use dpsyn_sensitivity::{
-    all_boundary_values, all_boundary_values_with, residual_sensitivity, residual_sensitivity_with,
-    SensitivityConfig,
+    all_boundary_values, residual_sensitivity, SensitivityConfig, SensitivityOps,
 };
 use std::time::Duration;
 
@@ -56,27 +54,31 @@ fn bench_thread_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let mut rng = seeded_rng(60);
     let (query, instance) = random_star(4, 256, 1500, 0.4, &mut rng);
-    // Outputs are identical at every level; only wall-clock differs.
-    let seq = all_boundary_values_with(&query, &instance, Parallelism::SEQUENTIAL).unwrap();
+    // Outputs are identical at every level; only wall-clock differs.  Fresh
+    // contexts per call keep every measurement cold (lattice rebuilt).
+    let cold_bv = |threads: usize| {
+        SensitivityConfig::with_threads(threads)
+            .to_context()
+            .all_boundary_values(&query, &instance)
+            .unwrap()
+    };
+    let seq = cold_bv(1);
     let beta = 1.0 / 13.8;
     for &threads in &[1usize, 2, 4] {
-        let par = Parallelism::threads(threads);
-        assert_eq!(
-            all_boundary_values_with(&query, &instance, par).unwrap(),
-            seq
-        );
+        assert_eq!(cold_bv(threads), seq);
         group.bench_with_input(
             BenchmarkId::new("boundary_values", threads),
             &threads,
-            |b, _| b.iter(|| all_boundary_values_with(&query, &instance, par).unwrap()),
+            |b, _| b.iter(|| cold_bv(threads)),
         );
-        let config = SensitivityConfig::with_threads(threads);
         group.bench_with_input(
             BenchmarkId::new("residual_end_to_end", threads),
             &threads,
             |b, _| {
                 b.iter(|| {
-                    residual_sensitivity_with(&query, &instance, beta, &config)
+                    SensitivityConfig::with_threads(threads)
+                        .to_context()
+                        .residual_sensitivity(&query, &instance, beta)
                         .unwrap()
                         .value
                 })
@@ -86,10 +88,51 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_session_cache_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residual/session_cache_reuse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(61);
+    let (query, instance) = random_star(4, 128, 1000, 0.5, &mut rng);
+    let betas = [0.05f64, 0.2, 1.0];
+    // Warm: one context, the β sweep reuses the persisted lattice.
+    group.bench_function("warm_sweep", |b| {
+        b.iter(|| {
+            let ctx = SensitivityConfig::sequential().to_context();
+            betas
+                .iter()
+                .map(|&beta| {
+                    ctx.residual_sensitivity(&query, &instance, beta)
+                        .unwrap()
+                        .value
+                })
+                .sum::<f64>()
+        })
+    });
+    // Cold: a fresh context per β rebuilds the lattice every time.
+    group.bench_function("cold_sweep", |b| {
+        b.iter(|| {
+            betas
+                .iter()
+                .map(|&beta| {
+                    SensitivityConfig::sequential()
+                        .to_context()
+                        .residual_sensitivity(&query, &instance, beta)
+                        .unwrap()
+                        .value
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_boundary_enumeration,
     bench_residual_end_to_end,
-    bench_thread_scaling
+    bench_thread_scaling,
+    bench_session_cache_reuse
 );
 criterion_main!(benches);

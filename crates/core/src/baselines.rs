@@ -12,9 +12,9 @@
 //!   sensitivity machinery buys.
 
 use dpsyn_noise::{Laplace, PrivacyParams, TruncatedLaplace};
-use dpsyn_query::{AnswerSet, QueryFamily};
-use dpsyn_relational::{Instance, JoinQuery};
-use dpsyn_sensitivity::{global_sensitivity_bound, residual_sensitivity_with, SensitivityConfig};
+use dpsyn_query::{AnswerOps, AnswerSet, QueryFamily};
+use dpsyn_relational::{ExecContext, Instance, JoinQuery};
+use dpsyn_sensitivity::{global_sensitivity_bound, SensitivityConfig, SensitivityOps};
 use rand::Rng;
 
 use crate::error::ReleaseError;
@@ -62,6 +62,12 @@ impl IndependentLaplaceBaseline {
 
     /// Sets the execution settings (parallelism) for the sensitivity
     /// computation.  Results are byte-identical at every level.
+    #[deprecated(
+        since = "0.1.0",
+        note = "run the baseline through an ExecContext \
+                (IndependentLaplaceBaseline::answer_all_in or \
+                dpsyn::Session::answer_baseline), which owns the execution settings"
+    )]
     pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
         self.config = config;
         self
@@ -87,6 +93,31 @@ impl IndependentLaplaceBaseline {
         params: PrivacyParams,
         rng: &mut R,
     ) -> Result<AnswerSet> {
+        self.answer_all_in(
+            &self.config.to_context(),
+            query,
+            instance,
+            family,
+            params,
+            rng,
+        )
+    }
+
+    /// [`IndependentLaplaceBaseline::answer_all`] through an explicit
+    /// execution context: the residual-sensitivity estimate and the true
+    /// workload answers both flow through `ctx`'s persistent caches, so
+    /// repeated baseline runs over one instance reuse the sub-join lattice
+    /// and the full join.  Answers are byte-identical to
+    /// [`IndependentLaplaceBaseline::answer_all`] at the same seed.
+    pub fn answer_all_in<R: Rng>(
+        &self,
+        ctx: &ExecContext,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<AnswerSet> {
         if params.delta() <= 0.0 {
             return Err(ReleaseError::UnsupportedPrivacyParams(
                 "the Laplace baseline uses a residual-sensitivity estimate that needs δ > 0"
@@ -101,7 +132,7 @@ impl IndependentLaplaceBaseline {
             SensitivityChoice::Residual => {
                 let lambda = params.lambda();
                 let beta = 1.0 / lambda;
-                let rs = residual_sensitivity_with(query, instance, beta, &self.config)?;
+                let rs = ctx.residual_sensitivity(query, instance, beta)?;
                 let tlap = TruncatedLaplace::calibrated(half.epsilon(), half.delta(), beta)?;
                 rs.value.max(1.0) * tlap.sample(rng).exp()
             }
@@ -110,7 +141,7 @@ impl IndependentLaplaceBaseline {
             }
         };
 
-        let truth = family.answer_all_on_instance(query, instance)?;
+        let truth = ctx.answer_all_on_instance(query, instance, family)?;
         let laplace = Laplace::calibrated(delta_tilde, per_query_epsilon)?;
         let answers: Vec<f64> = (0..family.len())
             .map(|i| truth.get(i) + laplace.sample(rng))

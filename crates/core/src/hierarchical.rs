@@ -31,8 +31,9 @@ use std::collections::BTreeMap;
 use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
 use dpsyn_pmw::{Histogram, PmwConfig};
 use dpsyn_query::QueryFamily;
-use dpsyn_relational::{deg_multi, AttrId, AttributeTree, Instance, JoinQuery, Value};
+use dpsyn_relational::{deg_multi, AttrId, AttributeTree, ExecContext, Instance, JoinQuery, Value};
 use dpsyn_sensitivity::config::{bucket_of, DegreeConfiguration};
+use dpsyn_sensitivity::SensitivityConfig;
 use rand::Rng;
 
 use crate::error::ReleaseError;
@@ -208,8 +209,38 @@ impl HierarchicalRelease {
     }
 
     /// Runs the hierarchical release with an overall target of `params`.
+    ///
+    /// Builds a throwaway execution context; use
+    /// [`HierarchicalRelease::release_in`] (or `dpsyn::Session::release`) to
+    /// share a long-lived context.
     pub fn release<R: Rng>(
         &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<SyntheticRelease> {
+        self.release_in(
+            &SensitivityConfig::default().to_context(),
+            query,
+            instance,
+            family,
+            params,
+            rng,
+        )
+    }
+
+    /// Runs the hierarchical release through an explicit execution context
+    /// (forwarded to the per-sub-instance `MultiTable` calls).  Output is
+    /// byte-identical to [`HierarchicalRelease::release`] at the same seed.
+    ///
+    /// Note on caching: the decomposition produces *distinct* sub-instances,
+    /// so their sensitivity computations cannot share lattice entries — each
+    /// inner release runs cold (the context simply re-keys its cache slot).
+    pub fn release_in<R: Rng>(
+        &self,
+        ctx: &ExecContext,
         query: &JoinQuery,
         instance: &Instance,
         family: &QueryFamily,
@@ -262,7 +293,8 @@ impl HierarchicalRelease {
             if part.sub_instance.input_size() == 0 {
                 continue;
             }
-            let release = inner.release(query, &part.sub_instance, family, per_release, rng)?;
+            let release =
+                inner.release_in(ctx, query, &part.sub_instance, family, per_release, rng)?;
             match &mut combined {
                 None => combined = Some(release),
                 Some(c) => c.absorb(&release)?,

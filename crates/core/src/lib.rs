@@ -19,6 +19,14 @@
 //! Every algorithm consumes an explicit RNG and a [`dpsyn_noise::PrivacyParams`]
 //! budget, and produces a [`SyntheticRelease`] from which arbitrary linear
 //! queries can be answered by post-processing.
+//!
+//! All six releasing algorithms additionally implement the object-safe
+//! [`Mechanism`] trait ([`mechanism`]), the single entry point behind
+//! `dpsyn::Session::release`: trait-object dispatch plus an
+//! [`dpsyn_relational::ExecContext`] whose persistent sub-join lattice makes
+//! repeated releases over one instance reuse the sensitivity machinery's
+//! `2^m` subset enumeration.  Outputs are byte-identical to the direct
+//! per-algorithm calls at the same seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +36,7 @@ pub mod bounds;
 pub mod error;
 pub mod flawed;
 pub mod hierarchical;
+pub mod mechanism;
 pub mod multi_table;
 pub mod release;
 pub mod two_table;
@@ -40,6 +49,7 @@ pub use hierarchical::{
     partition_hierarchical, verify_hierarchical_partition, HierarchicalConfig, HierarchicalPart,
     HierarchicalRelease,
 };
+pub use mechanism::Mechanism;
 pub use multi_table::MultiTable;
 pub use release::{ReleaseKind, SyntheticRelease};
 pub use two_table::TwoTable;

@@ -20,8 +20,8 @@
 use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
 use dpsyn_pmw::{Pmw, PmwConfig};
 use dpsyn_query::QueryFamily;
-use dpsyn_relational::{Instance, JoinQuery};
-use dpsyn_sensitivity::{residual_sensitivity_with, SensitivityConfig};
+use dpsyn_relational::{ExecContext, Instance, JoinQuery};
+use dpsyn_sensitivity::{SensitivityConfig, SensitivityOps};
 use rand::Rng;
 
 use crate::error::ReleaseError;
@@ -52,6 +52,11 @@ impl MultiTable {
     /// Sets the execution settings (parallelism) for the residual-sensitivity
     /// computation that dominates this release.  The released output is
     /// byte-identical at every parallelism level; only wall-clock changes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "run the release through an ExecContext (MultiTable::release_in or \
+                dpsyn::Session::release), which owns the execution settings"
+    )]
     pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
         self.sensitivity = config;
         self
@@ -76,8 +81,40 @@ impl MultiTable {
     }
 
     /// Runs `MultiTable_{ε,δ}(I)` and returns the synthetic release.
+    ///
+    /// Builds a throwaway execution context from this instance's
+    /// [`SensitivityConfig`]; use [`MultiTable::release_in`] (or
+    /// `dpsyn::Session::release`) to reuse a long-lived context's sub-join
+    /// lattice across repeated releases.
     pub fn release<R: Rng>(
         &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<SyntheticRelease> {
+        self.release_in(
+            &self.sensitivity.to_context(),
+            query,
+            instance,
+            family,
+            params,
+            rng,
+        )
+    }
+
+    /// Runs the release through an explicit execution context.
+    ///
+    /// The residual-sensitivity computation that dominates this algorithm
+    /// flows through `ctx`'s persistent sub-join lattice cache, so repeated
+    /// releases (or sensitivity sweeps) over the same instance skip the
+    /// `2^m` subset enumeration.  Output is byte-identical to
+    /// [`MultiTable::release`] at the same seed — warm or cold cache, at any
+    /// parallelism level.
+    pub fn release_in<R: Rng>(
+        &self,
+        ctx: &ExecContext,
         query: &JoinQuery,
         instance: &Instance,
         family: &QueryFamily,
@@ -90,7 +127,7 @@ impl MultiTable {
         // Line 2: multiplicative truncated-Laplace perturbation of RS^β.
         // ln(RS^β) has global sensitivity β, and the noise is non-negative, so
         // Δ̃ is a private over-estimate of RS^β (and hence of LS).
-        let rs = residual_sensitivity_with(query, instance, beta, &self.sensitivity)?;
+        let rs = ctx.residual_sensitivity(query, instance, beta)?;
         let tlap = TruncatedLaplace::calibrated(half.epsilon(), half.delta(), beta)?;
         // RS can be 0 only on an empty instance; clamp so ln/exp stay finite.
         let delta_tilde = rs.value.max(1.0) * tlap.sample(rng).exp();
@@ -159,9 +196,9 @@ mod tests {
 
     #[test]
     fn release_is_identical_at_every_parallelism_level() {
-        // Guards the config plumbing: a `SensitivityConfig` must never leak
-        // into the seeded RNG stream or the released values (same seed ⇒
-        // same bytes out).  This instance sits *below* the engine's
+        // Guards the context plumbing: the execution settings must never
+        // leak into the seeded RNG stream or the released values (same seed
+        // ⇒ same bytes out).  This instance sits *below* the engine's
         // small-instance parallelism threshold, so all levels take the
         // sequential fallback here; the genuinely parallel sensitivity path
         // is asserted equal to the sequential one on large instances in the
@@ -172,9 +209,9 @@ mod tests {
         let family = QueryFamily::counting(&q);
         let release_at = |threads: usize| {
             let mut rng = seeded_rng(11);
+            let ctx = SensitivityConfig::with_threads(threads).to_context();
             MultiTable::default()
-                .with_sensitivity_config(SensitivityConfig::with_threads(threads))
-                .release(&q, &inst, &family, params, &mut rng)
+                .release_in(&ctx, &q, &inst, &family, params, &mut rng)
                 .unwrap()
         };
         let seq = release_at(1);
@@ -186,6 +223,20 @@ mod tests {
             let b = par.answer_all(&family).unwrap();
             assert_eq!(a.values(), b.values(), "threads {threads}");
         }
+        // A warm context (lattice reused from a prior release over the same
+        // instance) must also change nothing.
+        let ctx = SensitivityConfig::sequential().to_context();
+        let mut rng = seeded_rng(11);
+        let cold = MultiTable::default()
+            .release_in(&ctx, &q, &inst, &family, params, &mut rng)
+            .unwrap();
+        assert!(ctx.cached_subjoins() > 0, "lattice must persist");
+        let mut rng = seeded_rng(11);
+        let warm = MultiTable::default()
+            .release_in(&ctx, &q, &inst, &family, params, &mut rng)
+            .unwrap();
+        assert_eq!(warm.delta_tilde(), cold.delta_tilde());
+        assert_eq!(warm.delta_tilde(), seq.delta_tilde());
     }
 
     #[test]

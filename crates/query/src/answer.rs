@@ -1,12 +1,108 @@
 //! Evaluating linear queries on instances and join results, and comparing
 //! answer vectors.
 
-use dpsyn_relational::{join_with, Instance, JoinQuery, JoinResult, Parallelism};
+use dpsyn_relational::{ExecContext, Instance, JoinQuery, JoinResult, Parallelism};
 
 use crate::error::QueryError;
 use crate::family::QueryFamily;
 use crate::product::{JointEvaluator, ProductQuery};
 use crate::Result;
+
+/// Query answering evaluated through an
+/// [`ExecContext`](dpsyn_relational::ExecContext): the context supplies the
+/// worker pool for per-query sweeps and — on a long-lived context
+/// (`dpsyn::Session`) — a cached full join, so *repeated* workload
+/// evaluations over the same instance join once and answer many times.
+///
+/// Determinism: the cached join is produced by the exact same size-ordered
+/// fold as [`dpsyn_relational::join`], and each query's accumulation stays
+/// sequential in construction order, so every answer is bit-identical to the
+/// free-function path at every worker count, warm or cold.
+pub trait AnswerOps {
+    /// Evaluates one query on an instance (joining through the context's
+    /// cached full join).
+    fn answer_on_instance(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        q: &ProductQuery,
+    ) -> Result<f64>;
+
+    /// Answers every query of `family` on a pre-computed join result,
+    /// sweeping the queries through the context's worker pool.
+    fn answer_all_on_join(
+        &self,
+        query: &JoinQuery,
+        join_result: &JoinResult,
+        family: &QueryFamily,
+    ) -> Result<AnswerSet>;
+
+    /// Answers every query of `family` on an instance (joining through the
+    /// context's cached full join).
+    fn answer_all_on_instance(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+    ) -> Result<AnswerSet>;
+}
+
+impl AnswerOps for ExecContext {
+    fn answer_on_instance(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        q: &ProductQuery,
+    ) -> Result<f64> {
+        let j = self.shared_join(query, instance)?;
+        answer_on_join(query, &j, q)
+    }
+
+    fn answer_all_on_join(
+        &self,
+        query: &JoinQuery,
+        join_result: &JoinResult,
+        family: &QueryFamily,
+    ) -> Result<AnswerSet> {
+        answer_all_on_join_impl(family, query, join_result, self.parallelism())
+    }
+
+    fn answer_all_on_instance(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        family: &QueryFamily,
+    ) -> Result<AnswerSet> {
+        let j = self.shared_join(query, instance)?;
+        answer_all_on_join_impl(family, query, &j, self.parallelism())
+    }
+}
+
+/// Shared implementation of the family-on-join sweep (see
+/// [`QueryFamily::answer_all_on_join`]).
+fn answer_all_on_join_impl(
+    family: &QueryFamily,
+    query: &JoinQuery,
+    join_result: &JoinResult,
+    par: Parallelism,
+) -> Result<AnswerSet> {
+    let evaluator = JointEvaluator::new(query, join_result.attrs())?;
+    // Validate up front (sequentially) so error reporting order is
+    // independent of the worker count.
+    let queries: Vec<&ProductQuery> = family.iter().collect();
+    for q in &queries {
+        q.validate(query)?;
+    }
+    let answers = dpsyn_relational::exec::par_map(par, queries.len(), |i| {
+        let q = queries[i];
+        let mut total = 0.0;
+        for (tuple, weight) in join_result.iter_unordered() {
+            total += weight as f64 * evaluator.weight(q, tuple);
+        }
+        total
+    });
+    Ok(AnswerSet::new(answers))
+}
 
 /// A vector of query answers, aligned with a [`QueryFamily`].
 #[derive(Debug, Clone, PartialEq)]
@@ -102,19 +198,24 @@ pub fn answer_on_join(
 
 /// Evaluates one query on an instance (computing the join internally).
 pub fn answer_on_instance(query: &JoinQuery, instance: &Instance, q: &ProductQuery) -> Result<f64> {
-    answer_on_instance_with(query, instance, q, Parallelism::default())
+    let j = dpsyn_relational::join(query, instance)?;
+    answer_on_join(query, &j, q)
 }
 
 /// [`answer_on_instance`] at an explicit parallelism level (the internal
 /// join's probe loops partition across the workers).
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::answer_on_instance via AnswerOps (or dpsyn::Session), \
+            which also caches the join across calls"
+)]
 pub fn answer_on_instance_with(
     query: &JoinQuery,
     instance: &Instance,
     q: &ProductQuery,
     par: Parallelism,
 ) -> Result<f64> {
-    let j = join_with(query, instance, par)?;
-    answer_on_join(query, &j, q)
+    ExecContext::new(par).answer_on_instance(query, instance, q)
 }
 
 impl QueryFamily {
@@ -124,7 +225,7 @@ impl QueryFamily {
         query: &JoinQuery,
         join_result: &JoinResult,
     ) -> Result<AnswerSet> {
-        self.answer_all_on_join_with(query, join_result, Parallelism::default())
+        answer_all_on_join_impl(self, query, join_result, Parallelism::default())
     }
 
     /// [`QueryFamily::answer_all_on_join`] at an explicit parallelism level:
@@ -132,28 +233,17 @@ impl QueryFamily {
     /// sweep through the worker pool.  Each query's accumulation stays
     /// sequential in construction order, so every answer is bit-identical
     /// to the sequential evaluation at every worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExecContext::answer_all_on_join via AnswerOps (or dpsyn::Session)"
+    )]
     pub fn answer_all_on_join_with(
         &self,
         query: &JoinQuery,
         join_result: &JoinResult,
         par: Parallelism,
     ) -> Result<AnswerSet> {
-        let evaluator = JointEvaluator::new(query, join_result.attrs())?;
-        // Validate up front (sequentially) so error reporting order is
-        // independent of the worker count.
-        let queries: Vec<&ProductQuery> = self.iter().collect();
-        for q in &queries {
-            q.validate(query)?;
-        }
-        let answers = dpsyn_relational::exec::par_map(par, queries.len(), |i| {
-            let q = queries[i];
-            let mut total = 0.0;
-            for (tuple, weight) in join_result.iter_unordered() {
-                total += weight as f64 * evaluator.weight(q, tuple);
-            }
-            total
-        });
-        Ok(AnswerSet::new(answers))
+        answer_all_on_join_impl(self, query, join_result, par)
     }
 
     /// Answers every query in the family directly on an instance.
@@ -162,19 +252,24 @@ impl QueryFamily {
         query: &JoinQuery,
         instance: &Instance,
     ) -> Result<AnswerSet> {
-        self.answer_all_on_instance_with(query, instance, Parallelism::default())
+        let j = dpsyn_relational::join(query, instance)?;
+        answer_all_on_join_impl(self, query, &j, Parallelism::default())
     }
 
     /// [`QueryFamily::answer_all_on_instance`] at an explicit parallelism
     /// level (join probe loops and the per-query sweep both use the pool).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExecContext::answer_all_on_instance via AnswerOps (or dpsyn::Session), \
+                which also caches the join across calls"
+    )]
     pub fn answer_all_on_instance_with(
         &self,
         query: &JoinQuery,
         instance: &Instance,
         par: Parallelism,
     ) -> Result<AnswerSet> {
-        let j = join_with(query, instance, par)?;
-        self.answer_all_on_join_with(query, &j, par)
+        ExecContext::new(par).answer_all_on_instance(query, instance, self)
     }
 }
 

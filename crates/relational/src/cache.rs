@@ -214,6 +214,10 @@ pub struct ShardedSubJoinCache<'a> {
     query: &'a JoinQuery,
     instance: &'a Instance,
     shards: Box<[MemoShard]>,
+    /// Fingerprint of the `(query, instance)` pair, filled in by
+    /// [`crate::ExecContext`] on checkout so check-in does not have to
+    /// re-hash the whole instance.
+    pub(crate) fingerprint: Option<u64>,
 }
 
 impl<'a> ShardedSubJoinCache<'a> {
@@ -239,7 +243,44 @@ impl<'a> ShardedSubJoinCache<'a> {
             query,
             instance,
             shards,
+            fingerprint: None,
         })
+    }
+
+    /// Creates a sharded cache pre-seeded with previously materialised
+    /// sub-join results (the counterpart of
+    /// [`ShardedSubJoinCache::into_memo`]).
+    ///
+    /// This is the warm-start path of the persistent per-context cache
+    /// ([`crate::ExecContext::subjoin_cache`]): a long-lived execution
+    /// context snapshots the memo between calls and re-seeds the next cache
+    /// with it, so repeated enumerations over the same `(query, instance)`
+    /// pair skip every already-computed sub-join.  Entries whose mask is out
+    /// of range for `query` are silently dropped (they cannot be reached by
+    /// any valid lookup).
+    pub fn with_memo(
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+        memo: FxHashMap<u32, Arc<JoinResult>>,
+    ) -> Result<Self> {
+        let cache = Self::new(query, instance)?;
+        let m = query.num_relations();
+        for (mask, result) in memo {
+            if mask != 0 && (mask >> m) == 0 {
+                cache.insert(mask, result);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Consumes the cache and returns its materialised sub-join results as
+    /// one flat memo map (see [`ShardedSubJoinCache::with_memo`]).
+    pub fn into_memo(self) -> FxHashMap<u32, Arc<JoinResult>> {
+        let mut out = FxHashMap::default();
+        for shard in self.shards.into_vec() {
+            out.extend(shard.into_inner().expect("cache shard poisoned"));
+        }
+        out
     }
 
     /// The query this cache evaluates sub-joins of.
@@ -496,6 +537,29 @@ mod tests {
         assert!(sharded.get(mask).is_none());
         let memoised = sharded.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
         assert_eq!(&transient, memoised.as_ref());
+    }
+
+    #[test]
+    fn memo_roundtrip_preserves_entries_and_drops_stale_masks() {
+        let (q, inst) = star_instance(3);
+        let sharded = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        sharded
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        let count = sharded.cached_count();
+        let mut memo = sharded.into_memo();
+        assert_eq!(memo.len(), count);
+        // An out-of-range mask (from a hypothetical wider query) is dropped
+        // on re-seed instead of poisoning lookups.
+        let stale = memo.values().next().unwrap().clone();
+        memo.insert(1 << 5, stale);
+        let reseeded = ShardedSubJoinCache::with_memo(&q, &inst, memo).unwrap();
+        assert_eq!(reseeded.cached_count(), count);
+        let mut reference = SubJoinCache::new(&q, &inst).unwrap();
+        for mask in 1u32..((1 << 3) - 1) {
+            let warm = reseeded.get(mask).expect("seeded entry");
+            assert_eq!(warm.as_ref(), reference.join_mask(mask).unwrap());
+        }
     }
 
     #[test]

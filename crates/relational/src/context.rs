@@ -1,0 +1,538 @@
+//! A long-lived execution context for the relational engine.
+//!
+//! [`ExecContext`] is the engine-level backing of the facade crate's
+//! `dpsyn::Session`: it owns the [`Parallelism`] knob, the small-instance
+//! sequential-fallback threshold, and — crucially — a **persistent,
+//! instance-fingerprinted sub-join cache** that survives across calls.
+//!
+//! The sensitivity computations of the paper enumerate the `2^m` relation
+//! subsets of one `(query, instance)` pair over and over: every residual
+//! sensitivity at a new smoothing parameter `β`, every local-sensitivity
+//! check and every repeated release over the same instance rebuilds the same
+//! subset lattice.  Free-function entry points rebuild their
+//! [`ShardedSubJoinCache`] from scratch each call, making cross-call reuse
+//! structurally impossible.  An `ExecContext` instead checks the lattice out
+//! of its persistent store ([`ExecContext::subjoin_cache`]), lets the
+//! computation extend it, and checks it back in
+//! ([`ExecContext::retain_subjoin_cache`]) — so a *warm* context answers
+//! repeat sensitivity queries without recomputing a single sub-join.
+//!
+//! ### Fingerprinting
+//!
+//! The cache is keyed by [`instance_fingerprint`], a 64-bit structural hash
+//! of the query (relation attribute lists, attribute domain sizes) and the
+//! full instance contents (every tuple and frequency, in the relations'
+//! deterministic iteration order).  A checkout whose fingerprint matches the
+//! stored one receives the warm lattice (Arc-shared, so concurrent
+//! checkouts all see it); any other fingerprint receives an empty cache,
+//! and checking it back in re-keys the slot and evicts the previous
+//! instance's entries.  A context therefore tracks **one** `(query,
+//! instance)` pair at a time — the long-lived-session pattern the facade
+//! exposes.  Mutating an instance changes its fingerprint, so ordinary
+//! edits can never be served stale results.
+//!
+//! **Trust model:** the fingerprint is a *non-cryptographic* Fx hash.  It
+//! guards against accidental staleness (edits, instance swaps), not against
+//! a caller who deliberately crafts a second instance colliding with the
+//! first — but in the DP setting the caller *is* the data curator holding
+//! the private instance, so an adversarial instance supplier is outside the
+//! threat model (an adversary with instance-supplying access needs no hash
+//! collision to learn the data).  Callers embedding this engine behind an
+//! untrusted instance-upload boundary should call
+//! [`ExecContext::clear_cache`] between principals.
+//!
+//! ### Determinism contract
+//!
+//! Reuse never changes bytes.  Cached sub-joins are exactly the values the
+//! cold path computes (the sharded cache's prefix decomposition is
+//! deterministic and parallelism-independent), and the cached full join is
+//! produced by the same size-ordered fold as [`crate::join::join`] — so a
+//! warm context's outputs are **byte-identical** to a cold context's, which
+//! are in turn byte-identical at every parallelism level.  The caches trade
+//! memory for wall-clock time, never output.
+
+use std::hash::Hasher;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use crate::attr::AttrId;
+use crate::cache::ShardedSubJoinCache;
+use crate::exec::{self, Parallelism};
+use crate::hash::{FxHashMap, FxHasher};
+use crate::hypergraph::JoinQuery;
+use crate::instance::Instance;
+use crate::join::{
+    grouped_join_size_impl, join_impl, join_size_impl, join_subset_impl, JoinResult,
+};
+use crate::tuple::Value;
+use crate::Result;
+
+/// Default threshold (total distinct tuples across relations) below which
+/// multi-threaded entry points take the sequential code paths — pool and
+/// shard-lock overhead would dominate such tiny joins.  Results are
+/// identical either way; only wall-clock differs.
+pub const DEFAULT_MIN_PAR_INSTANCE: usize = 2048;
+
+/// A 64-bit structural fingerprint of a `(query, instance)` pair: relation
+/// attribute lists, attribute domain sizes, and every tuple/frequency of the
+/// instance (hashed in the relations' deterministic iteration order).
+///
+/// Two equal pairs always produce the same fingerprint; the persistent
+/// caches of [`ExecContext`] use it to detect that a call refers to the same
+/// data as the previous one.
+pub fn instance_fingerprint(query: &JoinQuery, instance: &Instance) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(query.num_relations());
+    for attrs in query.relations() {
+        h.write_usize(attrs.len());
+        for a in attrs {
+            h.write_u64(a.index() as u64);
+        }
+    }
+    let schema = query.schema();
+    h.write_usize(schema.attr_count());
+    for id in schema.all_ids() {
+        h.write_u64(schema.domain_size(id).unwrap_or(0));
+    }
+    h.write_usize(instance.num_relations());
+    for r in instance.relations() {
+        h.write_usize(r.distinct_count());
+        for (t, f) in r.iter() {
+            for &v in t {
+                h.write_u64(v);
+            }
+            h.write_u64(f);
+        }
+    }
+    h.finish()
+}
+
+/// The persistent per-instance cache slot guarded by the context's mutex.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Fingerprint of the `(query, instance)` pair the slot belongs to.
+    fingerprint: Option<u64>,
+    /// Materialised sub-join lattice entries, keyed by subset bitmask.
+    lattice: FxHashMap<u32, Arc<JoinResult>>,
+    /// The full join produced by the standard size-ordered fold.
+    full_join: Option<Arc<JoinResult>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A long-lived execution context: parallelism knob, small-instance
+/// threshold, and persistent instance-fingerprinted caches (see the module
+/// docs).
+///
+/// All methods take `&self`; the cache slot lives behind a mutex, so a
+/// context can be shared by reference across the layers of one pipeline.
+/// Locks are held only for map bookkeeping, never across a join.
+#[derive(Debug)]
+pub struct ExecContext {
+    parallelism: Parallelism,
+    min_par_instance: usize,
+    state: Mutex<CacheState>,
+}
+
+impl Default for ExecContext {
+    /// The environment's parallelism ([`Parallelism::available`]) and the
+    /// default small-instance threshold.
+    fn default() -> Self {
+        ExecContext::new(Parallelism::default())
+    }
+}
+
+impl ExecContext {
+    /// Creates a context with the given parallelism and default thresholds.
+    pub fn new(parallelism: Parallelism) -> Self {
+        ExecContext {
+            parallelism,
+            min_par_instance: DEFAULT_MIN_PAR_INSTANCE,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// The strictly sequential context: one worker, no spawned threads —
+    /// the exact historical single-threaded code paths.
+    pub fn sequential() -> Self {
+        ExecContext::new(Parallelism::SEQUENTIAL)
+    }
+
+    /// A context with exactly `n` worker threads.
+    pub fn with_threads(n: usize) -> Self {
+        ExecContext::new(Parallelism::threads(n))
+    }
+
+    /// Sets the small-instance threshold: instances with fewer total
+    /// distinct tuples run the sequential code paths even under a
+    /// multi-thread [`Parallelism`] (results are identical; only wall-clock
+    /// differs).
+    pub fn with_min_par_instance(mut self, min_par_instance: usize) -> Self {
+        self.min_par_instance = min_par_instance;
+        self
+    }
+
+    /// The worker-thread knob.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The small-instance sequential-fallback threshold.
+    pub fn min_par_instance(&self) -> usize {
+        self.min_par_instance
+    }
+
+    /// Whether `instance` falls below the small-instance threshold.
+    pub fn is_small_instance(&self, instance: &Instance) -> bool {
+        let mut total = 0usize;
+        for i in 0..instance.num_relations() {
+            total += instance.relation(i).distinct_count();
+            if total >= self.min_par_instance {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The parallelism level to use for work over `instance`: sequential
+    /// below the small-instance threshold, the context's knob otherwise.
+    pub fn effective_parallelism(&self, instance: &Instance) -> Parallelism {
+        if self.is_small_instance(instance) {
+            Parallelism::SEQUENTIAL
+        } else {
+            self.parallelism
+        }
+    }
+
+    // --- join evaluation ---------------------------------------------------
+
+    /// Joins all relations of the query (the paper's `Join_I`) at this
+    /// context's parallelism.  Does not consult the persistent caches; use
+    /// [`ExecContext::shared_join`] for cross-call reuse.
+    pub fn join(&self, query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
+        join_impl(query, instance, self.parallelism)
+    }
+
+    /// Joins the subset `rels` of the instance's relations.
+    pub fn join_subset(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        rels: &[usize],
+    ) -> Result<JoinResult> {
+        join_subset_impl(query, instance, rels, self.parallelism)
+    }
+
+    /// The join size `count(I)`.
+    pub fn join_size(&self, query: &JoinQuery, instance: &Instance) -> Result<u128> {
+        join_size_impl(query, instance, self.parallelism)
+    }
+
+    /// Joins the relation subset `rels` and groups by `group_by` (the
+    /// `T_{E,y}` substrate).
+    pub fn grouped_join_size(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        rels: &[usize],
+        group_by: &[AttrId],
+    ) -> Result<std::collections::BTreeMap<Vec<Value>, u128>> {
+        grouped_join_size_impl(query, instance, rels, group_by, self.parallelism)
+    }
+
+    /// The full join of `(query, instance)`, cached across calls.
+    ///
+    /// The first call on a given fingerprint computes the join with the
+    /// standard size-ordered fold and stores it; later calls on the same
+    /// data return the **same** `Arc` — byte-identical by construction and
+    /// free of charge.  This is what makes repeated query answering over one
+    /// instance (truth computation, workload sweeps) near-free on a warm
+    /// context.
+    pub fn shared_join(&self, query: &JoinQuery, instance: &Instance) -> Result<Arc<JoinResult>> {
+        let fp = instance_fingerprint(query, instance);
+        {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            if state.fingerprint == Some(fp) {
+                if let Some(full) = state.full_join.as_ref().map(Arc::clone) {
+                    state.hits += 1;
+                    return Ok(full);
+                }
+            }
+        }
+        let full = Arc::new(join_impl(query, instance, self.parallelism)?);
+        let mut state = self.state.lock().expect("context cache poisoned");
+        if state.fingerprint != Some(fp) {
+            // A different instance owned the slot: evict its entries.
+            *state = CacheState {
+                fingerprint: Some(fp),
+                hits: state.hits,
+                misses: state.misses + 1,
+                ..CacheState::default()
+            };
+        } else {
+            state.misses += 1;
+        }
+        state.full_join = Some(Arc::clone(&full));
+        Ok(full)
+    }
+
+    // --- persistent sub-join lattice ---------------------------------------
+
+    /// Checks the persistent sub-join lattice out of the context for
+    /// `(query, instance)`.
+    ///
+    /// If the fingerprint matches the stored slot, the returned
+    /// [`ShardedSubJoinCache`] starts **warm** (seeded with every previously
+    /// materialised sub-join); otherwise it starts empty.  Pair with
+    /// [`ExecContext::retain_subjoin_cache`] to persist whatever the
+    /// computation materialised.  The memo entries are `Arc`-shared clones,
+    /// so concurrent checkouts of the same context all see the warm lattice
+    /// and check-ins merge rather than overwrite each other's work.
+    pub fn subjoin_cache<'a>(
+        &self,
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+    ) -> Result<ShardedSubJoinCache<'a>> {
+        let fp = instance_fingerprint(query, instance);
+        let memo = {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            if state.fingerprint == Some(fp) {
+                if state.lattice.is_empty() {
+                    state.misses += 1;
+                } else {
+                    state.hits += 1;
+                }
+                state.lattice.clone()
+            } else {
+                state.misses += 1;
+                FxHashMap::default()
+            }
+        };
+        let mut cache = ShardedSubJoinCache::with_memo(query, instance, memo)?;
+        cache.fingerprint = Some(fp);
+        Ok(cache)
+    }
+
+    /// Checks a sub-join cache back into the context, persisting its
+    /// materialised lattice for the next call over the same data.  On a
+    /// matching fingerprint the entries are merged into the slot (so
+    /// concurrent callers compound instead of clobbering each other); if
+    /// the cache belongs to a different `(query, instance)` than the stored
+    /// slot, the slot is evicted and re-keyed (a context tracks one pair at
+    /// a time).
+    pub fn retain_subjoin_cache(&self, cache: ShardedSubJoinCache<'_>) {
+        // Checkout stamped the fingerprint; hand-built caches pay one hash.
+        let fp = cache
+            .fingerprint
+            .unwrap_or_else(|| instance_fingerprint(cache.query(), cache.instance()));
+        let memo = cache.into_memo();
+        let mut state = self.state.lock().expect("context cache poisoned");
+        if state.fingerprint != Some(fp) {
+            *state = CacheState {
+                fingerprint: Some(fp),
+                hits: state.hits,
+                misses: state.misses,
+                ..CacheState::default()
+            };
+            state.lattice = memo;
+        } else {
+            // Values for equal masks are equal (deterministic prefix
+            // decomposition), so overwrite-on-merge is safe.
+            state.lattice.extend(memo);
+        }
+    }
+
+    /// Number of sub-join lattice entries currently persisted (excluding the
+    /// cached full join).
+    pub fn cached_subjoins(&self) -> usize {
+        self.state
+            .lock()
+            .expect("context cache poisoned")
+            .lattice
+            .len()
+    }
+
+    /// `(hits, misses)` of the persistent caches: a hit is a checkout or
+    /// shared-join call that found warm data for its fingerprint.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("context cache poisoned");
+        (state.hits, state.misses)
+    }
+
+    /// Drops every persisted cache entry (the full join and the lattice),
+    /// releasing their memory.  The context remains usable; the next call
+    /// simply starts cold.
+    pub fn clear_cache(&self) {
+        let mut state = self.state.lock().expect("context cache poisoned");
+        let (hits, misses) = (state.hits, state.misses);
+        *state = CacheState {
+            hits,
+            misses,
+            ..CacheState::default()
+        };
+    }
+
+    // --- worker-pool access -------------------------------------------------
+
+    /// Runs `f(0), …, f(tasks - 1)` on this context's worker pool, returning
+    /// results in task order (see [`exec::par_map`]).
+    pub fn par_map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        exec::par_map(self.parallelism, tasks, f)
+    }
+
+    /// Range-partitioned worker-pool map (see [`exec::par_map_ranges`]).
+    pub fn par_map_ranges<T, F>(&self, len: usize, min_chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        exec::par_map_ranges(self.parallelism, len, min_chunk, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{join, join_subset};
+
+    fn star_instance(m: usize) -> (JoinQuery, Instance) {
+        let q = JoinQuery::star(m, 16).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..m {
+            for hub in 0..4u64 {
+                for petal in 0..3u64 {
+                    inst.relation_mut(r)
+                        .add(vec![hub, (petal + r as u64) % 16], 1 + (hub % 2))
+                        .unwrap();
+                }
+            }
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn fingerprint_tracks_instance_content() {
+        let (q, inst) = star_instance(3);
+        let fp = instance_fingerprint(&q, &inst);
+        assert_eq!(fp, instance_fingerprint(&q, &inst));
+        let mut edited = inst.clone();
+        edited.relation_mut(0).add(vec![9, 9], 1).unwrap();
+        assert_ne!(fp, instance_fingerprint(&q, &edited));
+        // Frequency changes alone must also change the fingerprint.
+        let mut heavier = inst.clone();
+        heavier.relation_mut(0).add(vec![0, 0], 1).unwrap();
+        assert_ne!(fp, instance_fingerprint(&q, &heavier));
+    }
+
+    #[test]
+    fn context_joins_match_free_functions() {
+        let (q, inst) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        let a = ctx.join(&q, &inst).unwrap();
+        let b = join(&q, &inst).unwrap();
+        assert_eq!(a, b);
+        let sub_ctx = ctx.join_subset(&q, &inst, &[0, 2]).unwrap();
+        let sub_free = join_subset(&q, &inst, &[0, 2]).unwrap();
+        assert_eq!(sub_ctx, sub_free);
+        assert_eq!(ctx.join_size(&q, &inst).unwrap(), a.total());
+    }
+
+    #[test]
+    fn shared_join_is_cached_and_identical() {
+        let (q, inst) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        let cold = ctx.shared_join(&q, &inst).unwrap();
+        let warm = ctx.shared_join(&q, &inst).unwrap();
+        // Same Arc, not merely an equal value.
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(cold.as_ref(), &join(&q, &inst).unwrap());
+        let (hits, misses) = ctx.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn lattice_survives_checkin_checkout_roundtrip() {
+        let (q, inst) = star_instance(4);
+        let ctx = ExecContext::sequential();
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        let populated = cache.cached_count();
+        assert_eq!(populated, (1 << 4) - 2);
+        ctx.retain_subjoin_cache(cache);
+        assert_eq!(ctx.cached_subjoins(), populated);
+        // Warm checkout starts with everything materialised — and because
+        // checkout clones (Arc-shared) rather than moves, a second
+        // concurrent checkout is warm too.
+        let warm = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(warm.cached_count(), populated);
+        let concurrent = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(concurrent.cached_count(), populated);
+        for mask in 1u32..((1 << 4) - 1) {
+            assert!(
+                warm.get(mask).is_some(),
+                "mask {mask:#b} missing after reuse"
+            );
+        }
+        ctx.retain_subjoin_cache(warm);
+        ctx.retain_subjoin_cache(concurrent);
+        assert_eq!(ctx.cached_subjoins(), populated, "merge must not clobber");
+        let (hits, _) = ctx.cache_stats();
+        assert!(hits >= 2);
+    }
+
+    #[test]
+    fn switching_instances_evicts_the_previous_lattice() {
+        let (q, inst) = star_instance(3);
+        let (q2, inst2) = star_instance(4);
+        let ctx = ExecContext::sequential();
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        assert!(ctx.cached_subjoins() > 0);
+        // A different pair checks out cold and evicts on check-in.
+        let other = ctx.subjoin_cache(&q2, &inst2).unwrap();
+        assert_eq!(other.cached_count(), 0);
+        ctx.retain_subjoin_cache(other);
+        let back = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(back.cached_count(), 0, "old instance must re-start cold");
+    }
+
+    #[test]
+    fn clear_cache_releases_entries() {
+        let (q, inst) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        ctx.shared_join(&q, &inst).unwrap();
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        assert!(ctx.cached_subjoins() > 0);
+        ctx.clear_cache();
+        assert_eq!(ctx.cached_subjoins(), 0);
+        // Still usable afterwards.
+        assert_eq!(
+            ctx.shared_join(&q, &inst).unwrap().as_ref(),
+            &join(&q, &inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn small_instance_threshold_is_configurable() {
+        let (_, inst) = star_instance(3);
+        let big = ExecContext::with_threads(4).with_min_par_instance(usize::MAX);
+        assert!(big.is_small_instance(&inst));
+        assert!(big.effective_parallelism(&inst).is_sequential());
+        let tiny = ExecContext::with_threads(4).with_min_par_instance(1);
+        assert!(!tiny.is_small_instance(&inst));
+        assert_eq!(tiny.effective_parallelism(&inst).get(), 4);
+    }
+}

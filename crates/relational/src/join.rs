@@ -427,13 +427,28 @@ pub fn hash_join_step_with(
 /// of the fold order (weights saturate identically only in astronomically
 /// large joins).
 pub fn join_subset(query: &JoinQuery, instance: &Instance, rels: &[usize]) -> Result<JoinResult> {
-    join_subset_with(query, instance, rels, Parallelism::default())
+    join_subset_impl(query, instance, rels, Parallelism::default())
 }
 
 /// [`join_subset`] at an explicit parallelism level (every binary step's
 /// probe loop is partitioned across the workers; results are byte-identical
 /// at every level).
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::join_subset (or dpsyn::Session), which also enables cross-call caching"
+)]
 pub fn join_subset_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    rels: &[usize],
+    par: Parallelism,
+) -> Result<JoinResult> {
+    join_subset_impl(query, instance, rels, par)
+}
+
+/// Shared implementation behind [`join_subset`], [`join_subset_with`] and
+/// [`crate::ExecContext::join_subset`].
+pub(crate) fn join_subset_impl(
     query: &JoinQuery,
     instance: &Instance,
     rels: &[usize],
@@ -495,13 +510,27 @@ pub fn join_subset_with(
 
 /// Joins all relations of the query (the paper's `Join_I`).
 pub fn join(query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
-    join_with(query, instance, Parallelism::default())
+    join_impl(query, instance, Parallelism::default())
 }
 
 /// [`join`] at an explicit parallelism level.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::join (or dpsyn::Session), which also enables cross-call caching"
+)]
 pub fn join_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<JoinResult> {
+    join_impl(query, instance, par)
+}
+
+/// Shared implementation behind [`join`], [`join_with`] and
+/// [`crate::ExecContext::join`].
+pub(crate) fn join_impl(
+    query: &JoinQuery,
+    instance: &Instance,
+    par: Parallelism,
+) -> Result<JoinResult> {
     let all: Vec<usize> = (0..query.num_relations()).collect();
-    join_subset_with(query, instance, &all, par)
+    join_subset_impl(query, instance, &all, par)
 }
 
 /// The join size `count(I) = Σ_t Join_I(t)`.
@@ -510,8 +539,22 @@ pub fn join_size(query: &JoinQuery, instance: &Instance) -> Result<u128> {
 }
 
 /// [`join_size`] at an explicit parallelism level.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::join_size (or dpsyn::Session), which also enables cross-call caching"
+)]
 pub fn join_size_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<u128> {
-    Ok(join_with(query, instance, par)?.total())
+    join_size_impl(query, instance, par)
+}
+
+/// Shared implementation behind [`join_size`], [`join_size_with`] and
+/// [`crate::ExecContext::join_size`].
+pub(crate) fn join_size_impl(
+    query: &JoinQuery,
+    instance: &Instance,
+    par: Parallelism,
+) -> Result<u128> {
+    Ok(join_impl(query, instance, par)?.total())
 }
 
 /// Joins the relation subset `rels` and groups the result by `group_by`,
@@ -524,11 +567,27 @@ pub fn grouped_join_size(
     rels: &[usize],
     group_by: &[AttrId],
 ) -> Result<BTreeMap<Vec<Value>, u128>> {
-    grouped_join_size_with(query, instance, rels, group_by, Parallelism::default())
+    grouped_join_size_impl(query, instance, rels, group_by, Parallelism::default())
 }
 
 /// [`grouped_join_size`] at an explicit parallelism level.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::grouped_join_size (or dpsyn::Session), which also enables cross-call caching"
+)]
 pub fn grouped_join_size_with(
+    query: &JoinQuery,
+    instance: &Instance,
+    rels: &[usize],
+    group_by: &[AttrId],
+    par: Parallelism,
+) -> Result<BTreeMap<Vec<Value>, u128>> {
+    grouped_join_size_impl(query, instance, rels, group_by, par)
+}
+
+/// Shared implementation behind [`grouped_join_size`],
+/// [`grouped_join_size_with`] and [`crate::ExecContext::grouped_join_size`].
+pub(crate) fn grouped_join_size_impl(
     query: &JoinQuery,
     instance: &Instance,
     rels: &[usize],
@@ -540,7 +599,7 @@ pub fn grouped_join_size_with(
         out.insert(Vec::new(), 1u128);
         return Ok(out);
     }
-    join_subset_with(query, instance, rels, par)?.group_by(group_by)
+    join_subset_impl(query, instance, rels, par)?.group_by(group_by)
 }
 
 #[cfg(test)]
@@ -761,9 +820,9 @@ mod tests {
                 .add(vec![(i * 7) % 4096, i % 29], 1 + i % 3)
                 .unwrap();
         }
-        let seq = join_with(&q, &inst, Parallelism::SEQUENTIAL).unwrap();
+        let seq = join_impl(&q, &inst, Parallelism::SEQUENTIAL).unwrap();
         for threads in [2usize, 4, 7] {
-            let par = join_with(&q, &inst, Parallelism::threads(threads)).unwrap();
+            let par = join_impl(&q, &inst, Parallelism::threads(threads)).unwrap();
             assert_eq!(par.attrs(), seq.attrs());
             // Construction order (not just set equality) must match exactly.
             let seq_rows: Vec<(&[Value], u128)> = seq.iter_unordered().collect();

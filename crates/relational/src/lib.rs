@@ -63,12 +63,25 @@
 //! from [`Parallelism::available`] (the `DPSYN_THREADS` environment variable
 //! or the machine's core count); `Parallelism::SEQUENTIAL` is the exact
 //! pre-parallel code path.
+//!
+//! # Execution contexts
+//!
+//! [`ExecContext`] ([`context`]) bundles the parallelism knob with
+//! **persistent, instance-fingerprinted caches**: a sub-join lattice that
+//! survives across calls (so repeated sensitivity enumerations over the same
+//! `(query, instance)` pair reuse the `2^m` subset lattice instead of
+//! rebuilding it) and a cached full join for repeated query answering.  It
+//! backs the facade crate's `dpsyn::Session`; the old `*_with` free
+//! functions remain as deprecated shims that build a throwaway context per
+//! call.  Cache reuse never changes output bytes — see the [`context`]
+//! module docs for the contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attr;
 pub mod cache;
+pub mod context;
 pub mod cover;
 pub mod degree;
 pub mod error;
@@ -84,6 +97,7 @@ pub mod tuple;
 
 pub use attr::{AttrId, Attribute, Schema};
 pub use cache::{ShardedSubJoinCache, SubJoinCache};
+pub use context::{instance_fingerprint, ExecContext, DEFAULT_MIN_PAR_INSTANCE};
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
 pub use degree::{deg_multi, deg_multi_cached, deg_single, max_degree, psi, psi_cached};
 pub use error::RelationalError;
@@ -92,9 +106,11 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hypergraph::JoinQuery;
 pub use instance::{Instance, NeighborEdit};
 pub use join::{
-    grouped_join_size, grouped_join_size_with, hash_join_step, hash_join_step_with, join,
-    join_size, join_size_with, join_subset, join_subset_with, join_with, JoinResult,
+    grouped_join_size, hash_join_step, hash_join_step_with, join, join_size, join_subset,
+    JoinResult,
 };
+#[allow(deprecated)]
+pub use join::{grouped_join_size_with, join_size_with, join_subset_with, join_with};
 pub use relation::Relation;
 pub use tree::AttributeTree;
 pub use tuple::{project, project_positions, KeyArena, TupleKey, Value, INLINE_ARITY};

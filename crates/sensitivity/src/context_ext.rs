@@ -1,0 +1,359 @@
+//! Context-based sensitivity entry points: the [`SensitivityOps`] extension
+//! trait on [`ExecContext`].
+//!
+//! These methods are the primary API of the crate; the free `*_with`
+//! functions survive only as deprecated shims that build a throwaway context
+//! per call.  Running through a **long-lived** context changes the cost
+//! model, not the results: every sub-join the enumerations materialise is
+//! checked back into the context's instance-fingerprinted lattice cache, so
+//! a second call over the same `(query, instance)` pair — a residual
+//! sensitivity at a different `β`, a local-sensitivity probe, a boundary
+//! query — reuses the `2^m` subset lattice instead of recomputing it.
+//!
+//! ### Determinism
+//!
+//! Warm or cold, sequential or parallel, the returned values are identical:
+//! every cached sub-join equals what the cold path computes (deterministic
+//! prefix decomposition), and the aggregates consumed here (`max` over
+//! groups, boundary maps in `BTreeMap` order) are order-free.  The
+//! workspace's seeded release algorithms therefore produce byte-identical
+//! output whether they run on a fresh context, a warm session, or the legacy
+//! free functions.
+
+use std::collections::BTreeMap;
+
+use dpsyn_relational::exec;
+use dpsyn_relational::{AttrId, ExecContext, Instance, JoinQuery, Parallelism};
+
+use crate::boundary::boundary_query_sharded;
+use crate::local::local_sensitivity_seq;
+use crate::residual::{check_beta, maximize_over_assignments, ResidualSensitivity};
+use crate::smooth::candidate_neighbors;
+use crate::Result;
+
+/// Sensitivity computations evaluated through an [`ExecContext`] — the
+/// context supplies the parallelism level, the small-instance sequential
+/// fallback, and the persistent sub-join lattice cache.
+///
+/// Implemented for [`ExecContext`]; `dpsyn::Session` forwards to these
+/// methods.
+pub trait SensitivityOps {
+    /// `T_F(I)` for every proper subset `F ⊊ [m]`, keyed by the sorted
+    /// subset (the empty subset maps to 1).  All sub-joins flow through the
+    /// context's persistent lattice cache: a warm context skips every
+    /// already-materialised subset.
+    fn all_boundary_values(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> Result<BTreeMap<Vec<usize>, u128>>;
+
+    /// Residual sensitivity `RS^β_count(I)` (Definition 3.6).  The dominant
+    /// cost — the boundary-value enumeration — is shared across calls via
+    /// the context cache, so sweeping `β` over one instance pays for the
+    /// lattice once.
+    fn residual_sensitivity(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+    ) -> Result<ResidualSensitivity>;
+
+    /// Local sensitivity `LS_count(I) = max_i T_{[m]∖{i}}(I)`.
+    fn local_sensitivity(&self, query: &JoinQuery, instance: &Instance) -> Result<u128>;
+
+    /// Restricted brute-force smooth sensitivity (see
+    /// [`crate::smooth::smooth_sensitivity_bruteforce`]); the per-radius
+    /// edit sweeps run through the context's worker pool.
+    fn smooth_sensitivity_bruteforce(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+        max_radius: usize,
+    ) -> Result<f64>;
+
+    /// The maximum boundary query `T_E(I)` (Equation 1), cached through the
+    /// context lattice.
+    fn boundary_query(&self, query: &JoinQuery, instance: &Instance, e: &[usize]) -> Result<u128>;
+
+    /// The `q`-aggregate query `T_{E,y}(I)` (Definition 4.6), cached through
+    /// the context lattice.
+    fn aggregate_query(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        e: &[usize],
+        y: &[AttrId],
+    ) -> Result<u128>;
+}
+
+impl SensitivityOps for ExecContext {
+    fn all_boundary_values(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> Result<BTreeMap<Vec<usize>, u128>> {
+        let m = query.num_relations();
+        let cache = self.subjoin_cache(query, instance)?;
+        let par = self.effective_parallelism(instance);
+        if !par.is_sequential() {
+            cache.populate_proper_subsets(par)?;
+        }
+        let full = (1u32 << m) - 1;
+        let entries = exec::par_map(par, full as usize, |i| -> Result<(Vec<usize>, u128)> {
+            let mask = i as u32;
+            let f: Vec<usize> = (0..m).filter(|r| mask & (1 << r) != 0).collect();
+            let value = boundary_query_sharded(&cache, &f, Parallelism::SEQUENTIAL)?;
+            Ok((f, value))
+        });
+        self.retain_subjoin_cache(cache);
+        entries.into_iter().collect()
+    }
+
+    fn residual_sensitivity(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+    ) -> Result<ResidualSensitivity> {
+        check_beta(beta)?;
+        let m = query.num_relations();
+        let boundary_values = self.all_boundary_values(query, instance)?;
+
+        // No coordinate of an optimal s exceeds ⌈1/β⌉ (see the residual
+        // module docs).
+        let s_cap: u64 = (1.0 / beta).ceil() as u64;
+
+        let per_relation = exec::par_map(self.parallelism(), m, |i| {
+            maximize_over_assignments(m, i, beta, s_cap, &boundary_values)
+        });
+
+        let mut best_value = 0.0f64;
+        let mut best_relation = 0usize;
+        let mut best_distance = 0u64;
+        for (i, &(value, distance)) in per_relation.iter().enumerate() {
+            if value > best_value {
+                best_value = value;
+                best_relation = i;
+                best_distance = distance;
+            }
+        }
+
+        Ok(ResidualSensitivity {
+            beta,
+            value: best_value,
+            maximizing_relation: best_relation,
+            maximizing_distance: best_distance,
+            boundary_values,
+        })
+    }
+
+    fn local_sensitivity(&self, query: &JoinQuery, instance: &Instance) -> Result<u128> {
+        let m = query.num_relations();
+        if m >= 32 {
+            // Beyond the bitmask cache's representation limit; no lattice.
+            return local_sensitivity_seq(query, instance);
+        }
+        let cache = self.subjoin_cache(query, instance)?;
+        let par = self.effective_parallelism(instance);
+        let values = exec::par_map(par, m, |i| -> Result<u128> {
+            let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+            if others.is_empty() {
+                return Ok(1);
+            }
+            // Transient top-level join: the m size-(m-1) results are each
+            // consumed once and can dwarf the inputs, so only their shared
+            // prefixes are memoised (and persisted for the next call).
+            let boundary = query.boundary(&others)?;
+            let mask = cache.mask_of(&others)?;
+            Ok(cache
+                .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
+                .max_group_weight(&boundary)?)
+        });
+        self.retain_subjoin_cache(cache);
+        let mut best = 0u128;
+        for value in values {
+            best = best.max(value?);
+        }
+        Ok(best)
+    }
+
+    fn smooth_sensitivity_bruteforce(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+        max_radius: usize,
+    ) -> Result<f64> {
+        check_beta(beta)?;
+        let mut frontier = vec![instance.clone()];
+        let mut best = self.local_sensitivity(query, instance)? as f64;
+        let mut result = best;
+        for k in 1..=max_radius {
+            // Generate this level's neighbours sequentially (cheap), then
+            // sweep their local sensitivities through the pool (the
+            // expensive part: one multi-way join per edit).  Neighbour
+            // instances have fresh fingerprints, so they deliberately bypass
+            // the persistent cache instead of thrashing it.
+            let mut neighbors: Vec<Instance> = Vec::new();
+            for inst in &frontier {
+                neighbors.extend(candidate_neighbors(query, inst)?);
+            }
+            let sensitivities = exec::par_map(self.parallelism(), neighbors.len(), |i| {
+                local_sensitivity_seq(query, &neighbors[i])
+            });
+            let mut next: Vec<(u128, Instance)> = Vec::with_capacity(neighbors.len());
+            for (neighbor, ls) in neighbors.into_iter().zip(sensitivities) {
+                let ls = ls?;
+                best = best.max(ls as f64);
+                next.push((ls, neighbor));
+            }
+            // Keep the frontier small: the highest-sensitivity instances are
+            // the ones whose further neighbourhoods matter.  The sort is
+            // stable, so ties keep generation order regardless of the worker
+            // count.
+            next.sort_by_key(|(ls, _)| std::cmp::Reverse(*ls));
+            next.truncate(16);
+            frontier = next.into_iter().map(|(_, inst)| inst).collect();
+            result = result.max((-beta * k as f64).exp() * best);
+        }
+        Ok(result)
+    }
+
+    fn boundary_query(&self, query: &JoinQuery, instance: &Instance, e: &[usize]) -> Result<u128> {
+        if e.is_empty() {
+            return Ok(1);
+        }
+        let boundary = query.boundary(e)?;
+        self.aggregate_query(query, instance, e, &boundary)
+    }
+
+    fn aggregate_query(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        e: &[usize],
+        y: &[AttrId],
+    ) -> Result<u128> {
+        if e.is_empty() {
+            return Ok(1);
+        }
+        if query.num_relations() >= 32 {
+            // Beyond the bitmask cache's representation limit: evaluate
+            // directly without the lattice.
+            let groups = self.grouped_join_size(query, instance, e, y)?;
+            return Ok(groups.values().copied().max().unwrap_or(0));
+        }
+        let cache = self.subjoin_cache(query, instance)?;
+        let mask = cache.mask_of(e)?;
+        let value = cache
+            .join_mask(mask, self.effective_parallelism(instance))?
+            .max_group_weight(y)?;
+        self.retain_subjoin_cache(cache);
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_boundary_values, local_sensitivity, residual_sensitivity};
+    use dpsyn_relational::{AttrId, Relation};
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn two_table() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            vec![(vec![0, 0], 1), (vec![0, 1], 1), (vec![1, 3], 3)],
+        )
+        .unwrap();
+        (q, Instance::new(vec![r1, r2]))
+    }
+
+    #[test]
+    fn context_results_match_free_functions() {
+        let (q, inst) = two_table();
+        let ctx = ExecContext::sequential();
+        assert_eq!(
+            ctx.all_boundary_values(&q, &inst).unwrap(),
+            all_boundary_values(&q, &inst).unwrap()
+        );
+        assert_eq!(
+            ctx.local_sensitivity(&q, &inst).unwrap(),
+            local_sensitivity(&q, &inst).unwrap()
+        );
+        let beta = 0.3;
+        assert_eq!(
+            ctx.residual_sensitivity(&q, &inst, beta).unwrap(),
+            residual_sensitivity(&q, &inst, beta).unwrap()
+        );
+        assert_eq!(
+            ctx.boundary_query(&q, &inst, &[0]).unwrap(),
+            crate::boundary_query(&q, &inst, &[0]).unwrap()
+        );
+        assert_eq!(ctx.boundary_query(&q, &inst, &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn warm_context_reuses_the_lattice_and_matches_cold() {
+        let (q, inst) = two_table();
+        let ctx = ExecContext::sequential();
+        let cold = ctx.residual_sensitivity(&q, &inst, 0.2).unwrap();
+        let cached_after_first = ctx.cached_subjoins();
+        assert!(cached_after_first > 0, "lattice must persist across calls");
+        // A sweep over β reuses the lattice: the cached count stays put and
+        // every result matches a cold single-shot context.
+        for &beta in &[0.2, 0.5, 1.0] {
+            let warm = ctx.residual_sensitivity(&q, &inst, beta).unwrap();
+            let fresh = ExecContext::sequential()
+                .residual_sensitivity(&q, &inst, beta)
+                .unwrap();
+            assert_eq!(warm, fresh, "beta {beta}");
+            assert_eq!(ctx.cached_subjoins(), cached_after_first);
+        }
+        assert_eq!(cold, ctx.residual_sensitivity(&q, &inst, 0.2).unwrap());
+        let (hits, _) = ctx.cache_stats();
+        assert!(hits >= 3, "warm calls must hit the persistent cache");
+    }
+
+    #[test]
+    fn editing_the_instance_invalidates_the_cache() {
+        let (q, inst) = two_table();
+        let ctx = ExecContext::sequential();
+        let before = ctx.local_sensitivity(&q, &inst).unwrap();
+        let mut edited = inst.clone();
+        edited.relation_mut(0).add(vec![0, 0], 5).unwrap();
+        let after = ctx.local_sensitivity(&q, &edited).unwrap();
+        // The edited instance's sensitivity is computed fresh, not served
+        // from the stale lattice.
+        assert_eq!(after, local_sensitivity(&q, &edited).unwrap());
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn smooth_bruteforce_matches_free_function() {
+        let (q, inst) = two_table();
+        let ctx = ExecContext::sequential();
+        for &beta in &[0.2, 1.0] {
+            assert_eq!(
+                ctx.smooth_sensitivity_bruteforce(&q, &inst, beta, 2)
+                    .unwrap(),
+                crate::smooth_sensitivity_bruteforce(&q, &inst, beta, 2).unwrap(),
+                "beta {beta}"
+            );
+        }
+        assert!(ctx
+            .smooth_sensitivity_bruteforce(&q, &inst, 0.0, 1)
+            .is_err());
+    }
+}

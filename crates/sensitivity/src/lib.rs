@@ -17,19 +17,24 @@
 //! * degree configurations (Definition 4.9) and the residual-sensitivity
 //!   upper bound they induce ([`config`]).
 //!
-//! Every expensive entry point has a `*_with` variant taking a
-//! [`SensitivityConfig`] whose [`Parallelism`](dpsyn_relational::Parallelism)
-//! knob drives the subset enumerations, probe loops and edit sweeps through
-//! the relational engine's worker pool ([`dpsyn_relational::exec`]).
-//! Results are byte-identical at every parallelism level; the plain variants
-//! use the default (available cores, or the `DPSYN_THREADS` environment
-//! variable).
+//! Every expensive entry point is a method of the [`SensitivityOps`]
+//! extension trait on [`dpsyn_relational::ExecContext`]: the context supplies
+//! the [`Parallelism`](dpsyn_relational::Parallelism) knob driving the subset
+//! enumerations, probe loops and edit sweeps through the relational engine's
+//! worker pool ([`dpsyn_relational::exec`]), the small-instance sequential
+//! fallback ([`SensitivityConfig::min_par_instance`]), and — on a long-lived
+//! context (`dpsyn::Session`) — a **persistent sub-join lattice cache** that
+//! makes repeated sensitivity computations over the same instance near-free.
+//! Results are byte-identical at every parallelism level and on warm or cold
+//! caches; the plain free functions use a throwaway default context, and the
+//! legacy `*_with` variants survive as deprecated shims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod boundary;
 pub mod config;
+pub mod context_ext;
 pub mod error;
 pub mod global;
 pub mod local;
@@ -43,18 +48,20 @@ pub use boundary::{
     boundary_query_cached, boundary_query_sharded,
 };
 pub use config::{DegreeConfiguration, UniformPartitionSpec};
+pub use context_ext::SensitivityOps;
 pub use error::SensitivityError;
 pub use global::{global_sensitivity_bound, worst_case_error_exponent};
-pub use local::{local_sensitivity, local_sensitivity_with, two_table_local_sensitivity};
+#[allow(deprecated)]
+pub use local::local_sensitivity_with;
+pub use local::{local_sensitivity, two_table_local_sensitivity};
 pub use mdeg_bound::{lemma48_mdeg_terms, t_e_mdeg_upper_bound, MdegTerm};
-pub use residual::{
-    all_boundary_values, all_boundary_values_with, ls_hat_k, residual_sensitivity,
-    residual_sensitivity_with, ResidualSensitivity,
-};
+pub use residual::{all_boundary_values, ls_hat_k, residual_sensitivity, ResidualSensitivity};
+#[allow(deprecated)]
+pub use residual::{all_boundary_values_with, residual_sensitivity_with};
 pub use settings::SensitivityConfig;
-pub use smooth::{
-    is_smooth_upper_bound, smooth_sensitivity_bruteforce, smooth_sensitivity_bruteforce_with,
-};
+#[allow(deprecated)]
+pub use smooth::smooth_sensitivity_bruteforce_with;
+pub use smooth::{is_smooth_upper_bound, smooth_sensitivity_bruteforce};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, SensitivityError>;

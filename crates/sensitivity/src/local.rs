@@ -14,9 +14,10 @@
 //! `Δ = max_b max{deg_{1,B}(b), deg_{2,B}(b)}`.
 
 use dpsyn_relational::degree::two_table_max_shared_degree;
-use dpsyn_relational::{exec, Instance, JoinQuery, Parallelism, ShardedSubJoinCache, SubJoinCache};
+use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
 
 use crate::boundary::boundary_query;
+use crate::context_ext::SensitivityOps;
 use crate::settings::SensitivityConfig;
 use crate::Result;
 
@@ -24,52 +25,38 @@ use crate::Result;
 /// query, at the default execution settings.
 ///
 /// The `m` size-`(m-1)` sub-joins overlap heavily, so they are evaluated
-/// through one shared [`SubJoinCache`].
+/// through one shared [`SubJoinCache`].  Builds a throwaway context per
+/// call; hold an [`dpsyn_relational::ExecContext`] (or a `dpsyn::Session`)
+/// to reuse the sub-join lattice across calls.
 pub fn local_sensitivity(query: &JoinQuery, instance: &Instance) -> Result<u128> {
-    local_sensitivity_with(query, instance, &SensitivityConfig::default())
+    SensitivityConfig::default()
+        .to_context()
+        .local_sensitivity(query, instance)
 }
 
 /// [`local_sensitivity`] with explicit execution settings: the `m` edit
 /// directions (each a size-`(m-1)` sub-join plus its boundary grouping) are
-/// swept through the worker pool, sharing prefixes via a
-/// [`ShardedSubJoinCache`].  The maximum of the `m` boundary values is
-/// order-free, so the result is identical at every parallelism level.
+/// swept through the worker pool, sharing prefixes via a sharded sub-join
+/// cache.  The maximum of the `m` boundary values is order-free, so the
+/// result is identical at every parallelism level.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::local_sensitivity via SensitivityOps (or dpsyn::Session), \
+            which also reuses the sub-join lattice across calls"
+)]
 pub fn local_sensitivity_with(
     query: &JoinQuery,
     instance: &Instance,
     config: &SensitivityConfig,
 ) -> Result<u128> {
-    let m = query.num_relations();
-    let par = config.parallelism;
-    if par.is_sequential() || m >= 32 || crate::settings::is_small_instance(instance) {
-        return local_sensitivity_sequential(query, instance);
-    }
-    let cache = ShardedSubJoinCache::new(query, instance)?;
-    let values = exec::par_map(par, m, |i| -> Result<u128> {
-        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
-        if others.is_empty() {
-            return Ok(1);
-        }
-        // Transient top-level join: the m size-(m-1) results are each
-        // consumed once and can dwarf the inputs, so only their shared
-        // prefixes are memoised (workers racing on a shared prefix both
-        // compute it; insertion is idempotent).
-        let boundary = query.boundary(&others)?;
-        let mask = cache.mask_of(&others)?;
-        Ok(cache
-            .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
-            .max_group_weight(&boundary)?)
-    });
-    let mut best = 0u128;
-    for value in values {
-        best = best.max(value?);
-    }
-    Ok(best)
+    config.to_context().local_sensitivity(query, instance)
 }
 
 /// The historical single-threaded path (also the m ≥ 32 fallback, which
-/// avoids the bitmask cache's representation limit).
-fn local_sensitivity_sequential(query: &JoinQuery, instance: &Instance) -> Result<u128> {
+/// avoids the bitmask cache's representation limit).  Used by the smooth
+/// brute-force neighbour sweeps, whose per-neighbour instances deliberately
+/// bypass the persistent context cache.
+pub(crate) fn local_sensitivity_seq(query: &JoinQuery, instance: &Instance) -> Result<u128> {
     let m = query.num_relations();
     let mut best = 0u128;
     let mut cache = if m < 32 {
@@ -176,9 +163,14 @@ mod tests {
                 }
             }
         }
-        let seq = local_sensitivity_with(&q, &inst, &SensitivityConfig::sequential()).unwrap();
+        let seq = SensitivityConfig::sequential()
+            .to_context()
+            .local_sensitivity(&q, &inst)
+            .unwrap();
         for threads in [2usize, 4, 7] {
-            let par = local_sensitivity_with(&q, &inst, &SensitivityConfig::with_threads(threads))
+            let par = SensitivityConfig::with_threads(threads)
+                .to_context()
+                .local_sensitivity(&q, &inst)
                 .unwrap();
             assert_eq!(par, seq, "threads {threads}");
         }

@@ -24,10 +24,10 @@
 
 use std::collections::BTreeMap;
 
-use dpsyn_relational::exec;
-use dpsyn_relational::{Instance, JoinQuery, Parallelism, ShardedSubJoinCache, SubJoinCache};
+use dpsyn_relational::{Instance, JoinQuery, Parallelism, SubJoinCache};
 
-use crate::boundary::{boundary_query_cached, boundary_query_sharded};
+use crate::boundary::boundary_query_cached;
+use crate::context_ext::SensitivityOps;
 use crate::error::SensitivityError;
 use crate::settings::SensitivityConfig;
 use crate::Result;
@@ -61,7 +61,7 @@ impl ResidualSensitivity {
     }
 }
 
-fn check_beta(beta: f64) -> Result<()> {
+pub(crate) fn check_beta(beta: f64) -> Result<()> {
     if beta.is_nan() || beta <= 0.0 || beta.is_infinite() {
         return Err(SensitivityError::InvalidParameter {
             name: "beta",
@@ -96,29 +96,25 @@ pub fn all_boundary_values(
 /// [`all_boundary_values`] at an explicit parallelism level.
 ///
 /// With more than one worker the sub-join lattice is populated level by
-/// level through a [`ShardedSubJoinCache`] (independent subsets of a level
-/// materialise concurrently), then the per-subset boundary groupings run
-/// through the pool as well.  Both caches use the same prefix decomposition,
-/// so the returned map is identical to the sequential one.
+/// level through a sharded cache (independent subsets of a level materialise
+/// concurrently), then the per-subset boundary groupings run through the
+/// pool as well.  The returned map is identical to the sequential one.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::all_boundary_values via SensitivityOps (or dpsyn::Session), \
+            which also reuses the sub-join lattice across calls"
+)]
 pub fn all_boundary_values_with(
     query: &JoinQuery,
     instance: &Instance,
     par: Parallelism,
 ) -> Result<BTreeMap<Vec<usize>, u128>> {
-    if par.is_sequential() || crate::settings::is_small_instance(instance) {
-        return all_boundary_values(query, instance);
+    SensitivityConfig {
+        parallelism: par,
+        ..SensitivityConfig::default()
     }
-    let m = query.num_relations();
-    let cache = ShardedSubJoinCache::new(query, instance)?;
-    cache.populate_proper_subsets(par)?;
-    let full = (1u32 << m) - 1;
-    let entries = exec::par_map(par, full as usize, |i| -> Result<(Vec<usize>, u128)> {
-        let mask = i as u32;
-        let f: Vec<usize> = (0..m).filter(|r| mask & (1 << r) != 0).collect();
-        let value = boundary_query_sharded(&cache, &f, Parallelism::SEQUENTIAL)?;
-        Ok((f, value))
-    });
-    entries.into_iter().collect()
+    .to_context()
+    .all_boundary_values(query, instance)
 }
 
 /// Evaluates `Σ_{E ⊆ O} T_{O∖E} Π_{j∈E} s_j` for a fixed relation-exclusion
@@ -155,7 +151,7 @@ fn inner_sum(o: &[usize], s: &[u64], boundary_values: &BTreeMap<Vec<usize>, u128
 /// `k`.  The odometer enumeration order and the strictly-greater update rule
 /// make the result (including tie-breaks) identical to the historical
 /// sequential sweep.
-fn maximize_over_assignments(
+pub(crate) fn maximize_over_assignments(
     m: usize,
     i: usize,
     beta: f64,
@@ -198,13 +194,17 @@ fn maximize_over_assignments(
 
 /// Computes the residual sensitivity `RS^β_count(I)` at the default
 /// execution settings ([`SensitivityConfig::default`]: available cores,
-/// byte-identical to the sequential path).
+/// byte-identical to the sequential path).  Builds a throwaway context per
+/// call; hold an [`dpsyn_relational::ExecContext`] (or a `dpsyn::Session`)
+/// to reuse the sub-join lattice across calls.
 pub fn residual_sensitivity(
     query: &JoinQuery,
     instance: &Instance,
     beta: f64,
 ) -> Result<ResidualSensitivity> {
-    residual_sensitivity_with(query, instance, beta, &SensitivityConfig::default())
+    SensitivityConfig::default()
+        .to_context()
+        .residual_sensitivity(query, instance, beta)
 }
 
 /// [`residual_sensitivity`] with explicit execution settings.
@@ -214,42 +214,20 @@ pub fn residual_sensitivity(
 /// maximiser and tie-breaks included — is identical at every level (the
 /// per-relation candidates are reduced in ascending relation order with the
 /// same strictly-greater rule the sequential sweep applies).
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::residual_sensitivity via SensitivityOps (or dpsyn::Session), \
+            which also reuses the sub-join lattice across calls"
+)]
 pub fn residual_sensitivity_with(
     query: &JoinQuery,
     instance: &Instance,
     beta: f64,
     config: &SensitivityConfig,
 ) -> Result<ResidualSensitivity> {
-    check_beta(beta)?;
-    let m = query.num_relations();
-    let par = config.parallelism;
-    let boundary_values = all_boundary_values_with(query, instance, par)?;
-
-    // No coordinate of an optimal s exceeds ⌈1/β⌉ (see module docs).
-    let s_cap: u64 = (1.0 / beta).ceil() as u64;
-
-    let per_relation = exec::par_map(par, m, |i| {
-        maximize_over_assignments(m, i, beta, s_cap, &boundary_values)
-    });
-
-    let mut best_value = 0.0f64;
-    let mut best_relation = 0usize;
-    let mut best_distance = 0u64;
-    for (i, &(value, distance)) in per_relation.iter().enumerate() {
-        if value > best_value {
-            best_value = value;
-            best_relation = i;
-            best_distance = distance;
-        }
-    }
-
-    Ok(ResidualSensitivity {
-        beta,
-        value: best_value,
-        maximizing_relation: best_relation,
-        maximizing_distance: best_distance,
-        boundary_values,
-    })
+    config
+        .to_context()
+        .residual_sensitivity(query, instance, beta)
 }
 
 /// The quantity `L̂S^k(I)` of Definition 3.6: the maximum local sensitivity
@@ -457,18 +435,15 @@ mod tests {
             }
         }
         let beta = 0.3;
-        let seq =
-            residual_sensitivity_with(&q, &inst, beta, &SensitivityConfig::sequential()).unwrap();
-        for threads in [2usize, 4, 8] {
-            let bv = all_boundary_values_with(&q, &inst, Parallelism::threads(threads)).unwrap();
-            assert_eq!(bv, seq.boundary_values, "threads {threads}");
-            let par = residual_sensitivity_with(
-                &q,
-                &inst,
-                beta,
-                &SensitivityConfig::with_threads(threads),
-            )
+        let seq = SensitivityConfig::sequential()
+            .to_context()
+            .residual_sensitivity(&q, &inst, beta)
             .unwrap();
+        for threads in [2usize, 4, 8] {
+            let ctx = SensitivityConfig::with_threads(threads).to_context();
+            let bv = ctx.all_boundary_values(&q, &inst).unwrap();
+            assert_eq!(bv, seq.boundary_values, "threads {threads}");
+            let par = ctx.residual_sensitivity(&q, &inst, beta).unwrap();
             // Full struct equality: value, maximiser, distance, boundary map.
             assert_eq!(par, seq, "threads {threads}");
         }

@@ -1,44 +1,54 @@
 //! Execution settings shared by the sensitivity computations.
 //!
-//! Every sensitivity entry point has a `*_with` variant accepting a
-//! [`SensitivityConfig`]; the plain variants use [`SensitivityConfig::default`].
-//! Results are **byte-identical** at every parallelism level (the engine's
-//! parallel loops merge in deterministic partition order — see
-//! `dpsyn_relational::exec`), so the knob trades only wall-clock time, never
-//! output.
+//! Every sensitivity entry point has a context-based form (the
+//! [`SensitivityOps`](crate::SensitivityOps) methods on
+//! [`ExecContext`](dpsyn_relational::ExecContext)) plus legacy `*_with`
+//! shims accepting a [`SensitivityConfig`]; the plain free functions use
+//! [`SensitivityConfig::default`].  Results are **byte-identical** at every
+//! parallelism level (the engine's parallel loops merge in deterministic
+//! partition order — see `dpsyn_relational::exec`), so the knobs trade only
+//! wall-clock time, never output.
 
-use dpsyn_relational::{Instance, Parallelism};
+use dpsyn_relational::{ExecContext, Parallelism, DEFAULT_MIN_PAR_INSTANCE};
 
-/// Instances with fewer distinct tuples than this across all relations run
-/// the sequential code paths even when a multi-thread [`Parallelism`] is
-/// requested — pool and shard-lock overhead would dominate the tiny joins.
-/// Results are identical either way; only wall-clock differs.
-pub(crate) const MIN_PAR_INSTANCE: usize = 2048;
-
-/// Whether `instance` is below the [`MIN_PAR_INSTANCE`] parallelism
-/// threshold.
-pub(crate) fn is_small_instance(instance: &Instance) -> bool {
-    let mut total = 0usize;
-    for i in 0..instance.num_relations() {
-        total += instance.relation(i).distinct_count();
-        if total >= MIN_PAR_INSTANCE {
-            return false;
-        }
-    }
-    true
-}
+/// Default threshold below which sensitivity computations take the
+/// sequential code paths (re-exported engine default; see
+/// [`SensitivityConfig::min_par_instance`]).
+pub(crate) const MIN_PAR_INSTANCE: usize = DEFAULT_MIN_PAR_INSTANCE;
 
 /// Tunables for the sensitivity computations.
 ///
-/// Currently a single knob: how many worker threads the subset enumerations,
-/// probe loops and edit sweeps may use.  The default resolves to the
-/// machine's available cores (or the `DPSYN_THREADS` environment variable);
+/// Two knobs: how many worker threads the subset enumerations, probe loops
+/// and edit sweeps may use, and the instance size below which the sequential
+/// code paths run regardless (pool and shard-lock overhead would dominate
+/// tiny joins).  The parallelism default resolves to the machine's available
+/// cores (or the `DPSYN_THREADS` environment variable);
 /// [`SensitivityConfig::sequential`] pins the exact single-threaded code
 /// path the crate used before the parallel execution layer existed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// A config converts into a throwaway
+/// [`ExecContext`](dpsyn_relational::ExecContext) via
+/// [`SensitivityConfig::to_context`]; for cross-call sub-join cache reuse,
+/// hold a long-lived context (or a `dpsyn::Session`) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SensitivityConfig {
     /// Worker threads available to one sensitivity computation.
     pub parallelism: Parallelism,
+    /// Instances with fewer distinct tuples than this (summed across
+    /// relations) run the sequential code paths even when a multi-thread
+    /// [`Parallelism`] is requested.  Results are identical either way;
+    /// only wall-clock differs.  Defaults to the engine's
+    /// [`DEFAULT_MIN_PAR_INSTANCE`].
+    pub min_par_instance: usize,
+}
+
+impl Default for SensitivityConfig {
+    fn default() -> Self {
+        SensitivityConfig {
+            parallelism: Parallelism::default(),
+            min_par_instance: MIN_PAR_INSTANCE,
+        }
+    }
 }
 
 impl SensitivityConfig {
@@ -46,6 +56,7 @@ impl SensitivityConfig {
     pub fn sequential() -> Self {
         SensitivityConfig {
             parallelism: Parallelism::SEQUENTIAL,
+            ..SensitivityConfig::default()
         }
     }
 
@@ -53,7 +64,28 @@ impl SensitivityConfig {
     pub fn with_threads(n: usize) -> Self {
         SensitivityConfig {
             parallelism: Parallelism::threads(n),
+            ..SensitivityConfig::default()
         }
+    }
+
+    /// Sets the small-instance sequential-fallback threshold.
+    pub fn with_min_par_instance(mut self, min_par_instance: usize) -> Self {
+        self.min_par_instance = min_par_instance;
+        self
+    }
+
+    /// Builds a fresh (cold-cache) execution context carrying these
+    /// settings.  The legacy `*_with` entry points call this once per
+    /// invocation; a long-lived context additionally reuses its sub-join
+    /// lattice across calls.
+    pub fn to_context(&self) -> ExecContext {
+        ExecContext::new(self.parallelism).with_min_par_instance(self.min_par_instance)
+    }
+}
+
+impl From<SensitivityConfig> for ExecContext {
+    fn from(config: SensitivityConfig) -> Self {
+        config.to_context()
     }
 }
 
@@ -66,5 +98,21 @@ mod tests {
         assert!(SensitivityConfig::sequential().parallelism.is_sequential());
         assert_eq!(SensitivityConfig::with_threads(4).parallelism.get(), 4);
         assert!(SensitivityConfig::default().parallelism.get() >= 1);
+        assert_eq!(
+            SensitivityConfig::default().min_par_instance,
+            MIN_PAR_INSTANCE
+        );
+    }
+
+    #[test]
+    fn threshold_is_configurable_and_flows_into_the_context() {
+        let config = SensitivityConfig::sequential().with_min_par_instance(7);
+        assert_eq!(config.min_par_instance, 7);
+        let ctx = config.to_context();
+        assert_eq!(ctx.min_par_instance(), 7);
+        assert!(ctx.parallelism().is_sequential());
+        let ctx2: ExecContext = SensitivityConfig::with_threads(3).into();
+        assert_eq!(ctx2.parallelism().get(), 3);
+        assert_eq!(ctx2.min_par_instance(), MIN_PAR_INSTANCE);
     }
 }

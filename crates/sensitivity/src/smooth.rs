@@ -14,10 +14,11 @@
 
 use std::collections::BTreeSet;
 
-use dpsyn_relational::{exec, Instance, JoinQuery, NeighborEdit, Value};
+use dpsyn_relational::{Instance, JoinQuery, NeighborEdit, Value};
 
+use crate::context_ext::SensitivityOps;
 use crate::error::SensitivityError;
-use crate::local::{local_sensitivity, local_sensitivity_with};
+use crate::local::local_sensitivity;
 use crate::settings::SensitivityConfig;
 use crate::Result;
 
@@ -25,7 +26,7 @@ use crate::Result;
 /// removals plus additions of candidate tuples drawn from the cross product of
 /// per-attribute active values (plus one fresh value per attribute when the
 /// domain allows it).  This covers the edits that can change degree structure.
-fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Instance>> {
+pub(crate) fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Instance>> {
     let mut out = Vec::new();
     for edit in instance.removal_edits() {
         out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
@@ -146,13 +147,9 @@ pub fn smooth_sensitivity_bruteforce(
     beta: f64,
     max_radius: usize,
 ) -> Result<f64> {
-    smooth_sensitivity_bruteforce_with(
-        query,
-        instance,
-        beta,
-        max_radius,
-        &SensitivityConfig::default(),
-    )
+    SensitivityConfig::default()
+        .to_context()
+        .smooth_sensitivity_bruteforce(query, instance, beta, max_radius)
 }
 
 /// [`smooth_sensitivity_bruteforce`] with explicit execution settings: each
@@ -161,6 +158,10 @@ pub fn smooth_sensitivity_bruteforce(
 /// precomputed sensitivities with a stable sort, so the explored
 /// neighbourhood — and thus the result — is identical at every parallelism
 /// level.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ExecContext::smooth_sensitivity_bruteforce via SensitivityOps (or dpsyn::Session)"
+)]
 pub fn smooth_sensitivity_bruteforce_with(
     query: &JoinQuery,
     instance: &Instance,
@@ -168,43 +169,9 @@ pub fn smooth_sensitivity_bruteforce_with(
     max_radius: usize,
     config: &SensitivityConfig,
 ) -> Result<f64> {
-    if beta.is_nan() || beta <= 0.0 || beta.is_infinite() {
-        return Err(SensitivityError::InvalidParameter {
-            name: "beta",
-            value: beta,
-            constraint: "0 < beta < ∞",
-        });
-    }
-    let mut frontier = vec![instance.clone()];
-    let mut best = local_sensitivity_with(query, instance, config)? as f64;
-    let mut result = best;
-    for k in 1..=max_radius {
-        // Generate this level's neighbours sequentially (cheap), then sweep
-        // their local sensitivities through the pool (the expensive part:
-        // one multi-way join per edit).
-        let mut neighbors: Vec<Instance> = Vec::new();
-        for inst in &frontier {
-            neighbors.extend(candidate_neighbors(query, inst)?);
-        }
-        let seq = SensitivityConfig::sequential();
-        let sensitivities = exec::par_map(config.parallelism, neighbors.len(), |i| {
-            local_sensitivity_with(query, &neighbors[i], &seq)
-        });
-        let mut next: Vec<(u128, Instance)> = Vec::with_capacity(neighbors.len());
-        for (neighbor, ls) in neighbors.into_iter().zip(sensitivities) {
-            let ls = ls?;
-            best = best.max(ls as f64);
-            next.push((ls, neighbor));
-        }
-        // Keep the frontier small: the highest-sensitivity instances are the
-        // ones whose further neighbourhoods matter.  The sort is stable, so
-        // ties keep generation order regardless of the worker count.
-        next.sort_by_key(|(ls, _)| std::cmp::Reverse(*ls));
-        next.truncate(16);
-        frontier = next.into_iter().map(|(_, inst)| inst).collect();
-        result = result.max((-beta * k as f64).exp() * best);
-    }
-    Ok(result)
+    config
+        .to_context()
+        .smooth_sensitivity_bruteforce(query, instance, beta, max_radius)
 }
 
 #[cfg(test)]

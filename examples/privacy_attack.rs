@@ -1,50 +1,66 @@
 //! The Figure 1 / Example 3.1 story: why the "obvious" join-then-release
 //! pipelines are not differentially private, and how Algorithm 1 fixes them.
 //!
+//! All three pipelines — the two flawed strawmen and the fixed Algorithm 1 —
+//! implement the same [`Mechanism`] trait, so the attack loop below drives
+//! them through one [`Session`] with identical requests.
+//!
 //! Run with `cargo run --release --example privacy_attack`.
 
 use dpsyn::prelude::*;
-use dpsyn_core::{FlawedJoinAsOne, FlawedPadAfter};
-use dpsyn_noise::seeded_rng;
 
 fn main() {
     // Two instances with identical per-relation sizes whose join sizes are n²
     // and 0 (Figure 1).
     let n = 16;
     let (query, heavy, empty) = dpsyn::datagen::fig1_pair(n);
+    let session = Session::new();
     println!(
         "join sizes: I = {}, I' = {}",
-        join_size(&query, &heavy).unwrap(),
-        join_size(&query, &empty).unwrap()
+        session.join_size(&query, &heavy).unwrap(),
+        session.join_size(&query, &empty).unwrap()
     );
 
     let params = PrivacyParams::new(1.0, 1e-6).unwrap();
     let family = QueryFamily::counting(&query);
-    let mut rng = seeded_rng(3);
 
-    let total = |r: &dpsyn_core::SyntheticRelease| r.histogram().total();
+    let cases: [(&str, &dyn Mechanism, &str); 3] = [
+        (
+            "strawman 1: join, then single-table PMW",
+            &FlawedJoinAsOne::default(),
+            "exactly the join sizes: a perfect distinguisher",
+        ),
+        (
+            "strawman 2: release, then pad with dummy tuples",
+            &FlawedPadAfter::default(),
+            "totals masked, but the padding is spread uniformly, so the data-carrying region still leaks at scale",
+        ),
+        (
+            "Algorithm 1: pad the join size *before* releasing",
+            &TwoTable::default(),
+            "both over-estimates with calibrated noise; the (ε, δ) guarantee holds",
+        ),
+    ];
 
-    let strawman1 = FlawedJoinAsOne::default();
-    println!("\n-- strawman 1: join, then single-table PMW --");
-    println!(
-        "released totals: I -> {:.1}, I' -> {:.1}  (exactly the join sizes: a perfect distinguisher)",
-        total(&strawman1.release(&query, &heavy, &family, params, &mut rng).unwrap()),
-        total(&strawman1.release(&query, &empty, &family, params, &mut rng).unwrap()),
-    );
-
-    let strawman2 = FlawedPadAfter::default();
-    println!("\n-- strawman 2: release, then pad with dummy tuples --");
-    println!(
-        "released totals: I -> {:.1}, I' -> {:.1}  (totals masked, but the padding is spread uniformly, so the data-carrying region still leaks at scale)",
-        total(&strawman2.release(&query, &heavy, &family, params, &mut rng).unwrap()),
-        total(&strawman2.release(&query, &empty, &family, params, &mut rng).unwrap()),
-    );
-
-    let fixed = TwoTable::default();
-    println!("\n-- Algorithm 1: pad the join size *before* releasing --");
-    println!(
-        "released totals: I -> {:.1}, I' -> {:.1}  (both over-estimates with calibrated noise; the (ε, δ) guarantee holds)",
-        total(&fixed.release(&query, &heavy, &family, params, &mut rng).unwrap()),
-        total(&fixed.release(&query, &empty, &family, params, &mut rng).unwrap()),
-    );
+    for (seed, (title, mechanism, verdict)) in cases.into_iter().enumerate() {
+        let seed = seed as u64 + 3;
+        let on_heavy = session
+            .release(
+                mechanism,
+                &ReleaseRequest::new(&query, &heavy, &family, params).with_seed(seed),
+            )
+            .unwrap();
+        let on_empty = session
+            .release(
+                mechanism,
+                &ReleaseRequest::new(&query, &empty, &family, params).with_seed(seed),
+            )
+            .unwrap();
+        println!("\n-- {title} --");
+        println!(
+            "released totals: I -> {:.1}, I' -> {:.1}  ({verdict})",
+            on_heavy.histogram().total(),
+            on_empty.histogram().total(),
+        );
+    }
 }

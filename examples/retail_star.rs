@@ -4,7 +4,8 @@
 //! Promotions(product, campaign)` — a three-relation hierarchical join.  The
 //! example runs the residual-sensitivity-based `MultiTable` release
 //! (Algorithm 3) and the hierarchical uniformized release (Algorithms 4+6+7)
-//! and reports their errors on a marginal-style workload.
+//! through one [`Session`], whose persistent sub-join lattice is shared by
+//! the sensitivity diagnostics and the releases.
 //!
 //! Run with `cargo run --release --example retail_star`.
 
@@ -18,30 +19,37 @@ fn main() {
     let (query, instance) = dpsyn::datagen::retail_star(24, 150, &mut rng);
     println!("products=24, rows per table=150");
     println!("hierarchical query : {}", query.is_hierarchical());
+
+    let session = Session::new();
     println!(
         "join size          : {}",
-        join_size(&query, &instance).unwrap()
+        session.join_size(&query, &instance).unwrap()
     );
 
     let budget = PrivacyParams::new(2.0, 1e-4).unwrap();
     let beta = 1.0 / budget.lambda();
-    let rs = residual_sensitivity(&query, &instance, beta).unwrap();
+    // The residual-sensitivity diagnostic populates the session's sub-join
+    // lattice; the MultiTable release below reuses it instead of
+    // re-enumerating the 2^m subsets.
+    let rs = session
+        .residual_sensitivity(&query, &instance, beta)
+        .unwrap();
     println!(
-        "residual sensitivity RS^β = {:.1} (local sensitivity {})",
+        "residual sensitivity RS^β = {:.1} (local sensitivity {}, {} cached sub-joins)",
         rs.value,
-        local_sensitivity(&query, &instance).unwrap()
+        session.local_sensitivity(&query, &instance).unwrap(),
+        session.cached_subjoins()
     );
 
     let workload = QueryFamily::random_predicate(&query, 24, 0.5, &mut rng).unwrap();
-    let truth = workload.answer_all_on_instance(&query, &instance).unwrap();
+    let truth = session.answer_truth(&query, &instance, &workload).unwrap();
+    let request = ReleaseRequest::new(&query, &instance, &workload, budget).with_seed(11);
 
     let pmw = PmwConfig {
         max_iterations: 60,
         ..PmwConfig::default()
     };
-    let multi = MultiTable::new(pmw)
-        .release(&query, &instance, &workload, budget, &mut rng)
-        .unwrap();
+    let multi = session.release(&MultiTable::new(pmw), &request).unwrap();
     let err_multi = multi
         .answer_all(&workload)
         .unwrap()
@@ -52,12 +60,15 @@ fn main() {
         multi.delta_tilde()
     );
 
-    let hierarchical = HierarchicalRelease::new(HierarchicalConfig {
-        pmw,
-        ..Default::default()
-    })
-    .release(&query, &instance, &workload, budget, &mut rng)
-    .unwrap();
+    let hierarchical = session
+        .release(
+            &HierarchicalRelease::new(HierarchicalConfig {
+                pmw,
+                ..Default::default()
+            }),
+            &request,
+        )
+        .unwrap();
     let err_hier = hierarchical
         .answer_all(&workload)
         .unwrap()
@@ -67,4 +78,6 @@ fn main() {
         "Hierarchical   error: {err_hier:.2} across {} sub-instances",
         hierarchical.parts()
     );
+    let (hits, misses) = session.cache_stats();
+    println!("session cache      : {hits} hits / {misses} misses");
 }

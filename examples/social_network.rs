@@ -3,7 +3,9 @@
 //! `Follows(follower, user) ⋈ Posts(user, topic)` — the analyst wants many
 //! weighted queries over (follower, post) exposure pairs.  Popular users make
 //! the degree distribution heavily skewed, so the uniformized release
-//! (Algorithm 4/5) is compared against plain join-as-one (Algorithm 1).
+//! (Algorithm 4/5) is compared against plain join-as-one (Algorithm 1) —
+//! both driven through one [`Session`] as interchangeable `&dyn Mechanism`
+//! values.
 //!
 //! Run with `cargo run --release --example social_network`.
 
@@ -14,52 +16,48 @@ fn main() {
     let mut rng = seeded_rng(2024);
     let (query, instance) = dpsyn::datagen::social_network(48, 500, 400, &mut rng);
     println!("users=48, follows=500, posts=400");
+
+    let session = Session::new();
     println!(
         "join size          : {}",
-        join_size(&query, &instance).unwrap()
+        session.join_size(&query, &instance).unwrap()
     );
     println!(
         "local sensitivity  : {}",
-        local_sensitivity(&query, &instance).unwrap()
+        session.local_sensitivity(&query, &instance).unwrap()
     );
 
     let workload = QueryFamily::random_predicate(&query, 48, 0.6, &mut rng).unwrap();
-    let truth = workload.answer_all_on_instance(&query, &instance).unwrap();
+    let truth = session.answer_truth(&query, &instance, &workload).unwrap();
     let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+    let request = ReleaseRequest::new(&query, &instance, &workload, budget).with_seed(2024);
 
-    let join_as_one = TwoTable::default()
-        .release(&query, &instance, &workload, budget, &mut rng)
-        .unwrap();
-    let err_join = join_as_one
-        .answer_all(&workload)
-        .unwrap()
-        .linf_distance(&truth)
-        .unwrap();
-
-    let uniformized = UniformizedTwoTable::default()
-        .release(&query, &instance, &workload, budget, &mut rng)
-        .unwrap();
-    let err_uni = uniformized
-        .answer_all(&workload)
-        .unwrap()
-        .linf_distance(&truth)
-        .unwrap();
-
-    println!(
-        "join-as-one   error: {err_join:.2} (Δ̃ = {:.1})",
-        join_as_one.delta_tilde()
-    );
-    println!(
-        "uniformized   error: {err_uni:.2} across {} degree buckets (Δ̃ = {:.1})",
-        uniformized.parts(),
-        uniformized.delta_tilde()
-    );
-    println!(
-        "per-query Laplace for comparison: error {:.2}",
-        IndependentLaplaceBaseline::default()
-            .answer_all(&query, &instance, &workload, budget, &mut rng)
+    // The two synthetic-data mechanisms run through the same entry point.
+    let mechanisms: [(&str, &dyn Mechanism); 2] = [
+        ("join-as-one", &TwoTable::default()),
+        ("uniformized", &UniformizedTwoTable::default()),
+    ];
+    for (name, mechanism) in mechanisms {
+        let release = session.release(mechanism, &request).unwrap();
+        let err = release
+            .answer_all(&workload)
             .unwrap()
             .linf_distance(&truth)
-            .unwrap()
+            .unwrap();
+        println!(
+            "{name:<12} error: {err:.2} across {} parts (Δ̃ = {:.1})",
+            release.parts(),
+            release.delta_tilde()
+        );
+    }
+
+    // The per-query Laplace baseline answers the workload directly (it
+    // produces no synthetic data, so it has its own session entry point).
+    let baseline = session
+        .answer_baseline(&IndependentLaplaceBaseline::default(), &request)
+        .unwrap();
+    println!(
+        "per-query Laplace for comparison: error {:.2}",
+        baseline.linf_distance(&truth).unwrap()
     );
 }

@@ -8,17 +8,68 @@
 //! sensitivity), the single-table Private Multiplicative Weights release
 //! algorithm, workload generators, and an experiment harness.
 //!
-//! This crate is a thin facade that re-exports the workspace crates:
+//! This crate is a thin facade that re-exports the workspace crates and adds
+//! the [`Session`] API on top:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`relational`] | `dpsyn-relational` | schemas, annotated relations, join hypergraphs, the hash-join engine (columnar `JoinResult`, inline `TupleKey`), the `SubJoinCache` for subset enumerations, degrees, attribute trees, plus the retained `naive` reference engine |
+//! | [`session`] | (this crate) | [`Session`] + [`ReleaseRequest`]: the long-lived entry point owning parallelism, sensitivity settings and the persistent sub-join caches |
+//! | [`relational`] | `dpsyn-relational` | schemas, annotated relations, join hypergraphs, the hash-join engine (columnar `JoinResult`, inline `TupleKey`), the `ExecContext` execution layer, the `SubJoinCache` for subset enumerations, degrees, attribute trees, plus the retained `naive` reference engine |
 //! | [`noise`] | `dpsyn-noise` | Laplace / truncated Laplace, exponential mechanism, privacy budgets & composition |
 //! | [`sensitivity`] | `dpsyn-sensitivity` | local, global, and residual sensitivity; maximum degrees; degree configurations |
 //! | [`query`] | `dpsyn-query` | linear query families over joins and their evaluation |
 //! | [`pmw`] | `dpsyn-pmw` | single-table Private Multiplicative Weights (Algorithm 2) |
-//! | [`core`] | `dpsyn-core` | the paper's release algorithms (Algorithms 1, 3–7), flawed strawmen, baselines |
+//! | [`core`] | `dpsyn-core` | the paper's release algorithms (Algorithms 1, 3–7) behind the [`Mechanism`](dpsyn_core::Mechanism) trait, flawed strawmen, baselines |
 //! | [`datagen`] | `dpsyn-datagen` | paper figure instances, random / Zipf generators, realistic scenarios |
+//!
+//! ## Quickstart
+//!
+//! Hold one [`Session`] for as long as you work with an instance; bundle each
+//! release's inputs into a [`ReleaseRequest`]; run any of the paper's
+//! algorithms through [`Session::release`]:
+//!
+//! ```no_run
+//! use dpsyn::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A two-table join query R1(A, B) ⋈ R2(B, C).
+//! let query = JoinQuery::two_table(16, 16, 16);
+//!
+//! // 2. Some private data.
+//! let mut instance = Instance::empty_for(&query)?;
+//! instance.relation_mut(0).add_one(vec![1, 2])?;
+//! instance.relation_mut(1).add_one(vec![2, 3])?;
+//!
+//! // 3. A long-lived session (owns parallelism + caches), a workload of
+//! //    linear queries, and a privacy budget.
+//! let session = Session::new();
+//! let workload = session.random_sign_workload(&query, 64, 7)?;
+//! let request = ReleaseRequest::new(
+//!     &query,
+//!     &instance,
+//!     &workload,
+//!     PrivacyParams::new(1.0, 1e-6)?,
+//! )
+//! .with_seed(7);
+//!
+//! // 4. Release a DP synthetic dataset (Algorithm 1) and answer every
+//! //    query from it.  Any mechanism — TwoTable, MultiTable,
+//! //    UniformizedTwoTable, HierarchicalRelease, the flawed strawmen —
+//! //    runs through the same call.
+//! let release = session.release(&TwoTable::default(), &request)?;
+//! let answers = release.answer_all(&workload)?;
+//! println!("answered {} queries privately", answers.len());
+//!
+//! // 5. Repeat calls on the same instance reuse the session's cached
+//! //    sub-join lattice and full join — same bytes, less work.
+//! let rs = session.residual_sensitivity(&query, &instance, 0.5)?;
+//! println!("RS^0.5 = {:.2} ({} cached sub-joins)", rs.value, session.cached_subjoins());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run, and the
+//! [`session`] module docs for the cache-reuse and determinism contract.
 //!
 //! ## Performance and determinism
 //!
@@ -28,44 +79,19 @@
 //! [`relational::TupleKey`], multi-way joins pick their fold order by
 //! relation size, and the `2^m` relation-subset enumerations behind residual
 //! sensitivity share sub-join work through a
-//! [`relational::SubJoinCache`].  Hash order is never observable: every
-//! tuple-exposing API sorts on emit, so runs are byte-reproducible from an
-//! RNG seed — see the determinism contract in [`relational`]'s crate docs.
-//! The previous `BTreeMap` engine survives as `relational::naive`, the
-//! cross-check oracle for `tests/properties.rs` and the `join_throughput` /
-//! `residual_subsets` benchmarks (speedups tracked in `BENCH_join.json`).
-//!
-//! ## Quickstart
-//!
-//! See `examples/quickstart.rs` for a complete end-to-end run; the short
-//! version is:
-//!
-//! ```no_run
-//! use dpsyn::prelude::*;
-//! use rand::SeedableRng;
-//!
-//! // 1. A two-table join query R1(A, B) ⋈ R2(B, C).
-//! let query = JoinQuery::two_table(16, 16, 16);
-//!
-//! // 2. Some private data.
-//! let mut instance = Instance::empty_for(&query).unwrap();
-//! instance.relation_mut(0).add_one(vec![1, 2]).unwrap();
-//! instance.relation_mut(1).add_one(vec![2, 3]).unwrap();
-//!
-//! // 3. A workload of linear queries and a privacy budget.
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let workload = QueryFamily::random_sign(&query, 64, &mut rng).unwrap();
-//! let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
-//!
-//! // 4. Release a DP synthetic dataset and answer every query from it.
-//! let release = TwoTable::default()
-//!     .release(&query, &instance, &workload, budget, &mut rng)
-//!     .unwrap();
-//! let answers = release.answer_all(&workload).unwrap();
-//! println!("answered {} queries privately", answers.len());
-//! ```
+//! [`relational::SubJoinCache`] — persisted **across calls** by [`Session`] /
+//! [`relational::ExecContext`], so repeated releases and sensitivity sweeps
+//! over one instance pay for the lattice once.  Hash order is never
+//! observable: every tuple-exposing API sorts on emit, so runs are
+//! byte-reproducible from an RNG seed — see the determinism contract in
+//! [`relational`]'s crate docs.  The previous `BTreeMap` engine survives as
+//! `relational::naive`, the cross-check oracle for `tests/properties.rs` and
+//! the `join_throughput` / `residual_subsets` benchmarks (speedups tracked
+//! in `BENCH_join.json`).
 
 #![forbid(unsafe_code)]
+
+pub mod session;
 
 pub use dpsyn_core as core;
 pub use dpsyn_datagen as datagen;
@@ -75,18 +101,25 @@ pub use dpsyn_query as query;
 pub use dpsyn_relational as relational;
 pub use dpsyn_sensitivity as sensitivity;
 
+pub use session::{ReleaseRequest, Session};
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::session::{ReleaseRequest, Session};
     pub use dpsyn_core::{
         FlawedJoinAsOne, FlawedPadAfter, HierarchicalRelease, IndependentLaplaceBaseline,
-        MultiTable, SyntheticRelease, TwoTable, UniformizedTwoTable,
+        Mechanism, MultiTable, SyntheticRelease, TwoTable, UniformizedTwoTable,
     };
     pub use dpsyn_datagen::{self as datagen};
     pub use dpsyn_noise::{PrivacyParams, TruncatedLaplace};
     pub use dpsyn_pmw::{Histogram, Pmw, PmwConfig};
-    pub use dpsyn_query::{LinearQuery, ProductQuery, QueryFamily};
+    pub use dpsyn_query::{AnswerOps, LinearQuery, ProductQuery, QueryFamily};
     pub use dpsyn_relational::{
-        join, join_size, AttrId, Attribute, Instance, JoinQuery, Relation, Schema,
+        join, join_size, AttrId, Attribute, ExecContext, Instance, JoinQuery, Parallelism,
+        Relation, Schema,
     };
-    pub use dpsyn_sensitivity::{local_sensitivity, residual_sensitivity, ResidualSensitivity};
+    pub use dpsyn_sensitivity::{
+        local_sensitivity, residual_sensitivity, ResidualSensitivity, SensitivityConfig,
+        SensitivityOps,
+    };
 }

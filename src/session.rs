@@ -1,0 +1,413 @@
+//! The [`Session`] API: one long-lived entry point for the whole pipeline.
+//!
+//! A session owns everything that used to travel through ad-hoc knobs —
+//! the [`Parallelism`] level, the [`SensitivityConfig`], and a persistent,
+//! instance-fingerprinted sub-join cache (an
+//! [`ExecContext`](dpsyn_relational::ExecContext) under the hood) — and
+//! exposes the paper's six release algorithms behind the object-safe
+//! [`Mechanism`] trait:
+//!
+//! ```no_run
+//! use dpsyn::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let query = JoinQuery::two_table(16, 16, 16);
+//! let mut instance = Instance::empty_for(&query)?;
+//! instance.relation_mut(0).add_one(vec![1, 2])?;
+//! instance.relation_mut(1).add_one(vec![2, 3])?;
+//!
+//! let session = Session::new();
+//! let workload = session.random_sign_workload(&query, 64, 7)?;
+//! let request = ReleaseRequest::new(
+//!     &query,
+//!     &instance,
+//!     &workload,
+//!     PrivacyParams::new(1.0, 1e-6)?,
+//! )
+//! .with_seed(7);
+//!
+//! // Any mechanism runs through the same entry point.
+//! let release = session.release(&TwoTable::default(), &request)?;
+//! let answers = release.answer_all(&workload)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ### Cache reuse
+//!
+//! The expensive substrate of the releases is shared **across calls**: the
+//! `2^m` sub-join lattice that residual/local sensitivity enumerate is
+//! checked into the session after every call and checked back out by the
+//! next one, and the full join used for truth evaluation is kept alongside.
+//! A session therefore tracks one `(query, instance)` pair at a time, keyed
+//! by a structural fingerprint of the data
+//! ([`dpsyn_relational::instance_fingerprint`]): repeat releases,
+//! sensitivity sweeps over `β`, and workload evaluations over the same
+//! instance skip the join work entirely, while *any* change to the instance
+//! changes its fingerprint and starts cold — stale answers are structurally
+//! impossible.  [`Session::clear_cache`] drops the cached results (they are
+//! held until then; see the memory note in
+//! [`dpsyn_relational::cache`]).
+//!
+//! ### Determinism contract
+//!
+//! Sessions never trade correctness for speed:
+//!
+//! 1. **Seeded releases are byte-reproducible.** [`Session::release`] draws
+//!    its RNG from [`ReleaseRequest::seed`], and each mechanism consumes the
+//!    identical stream as its direct `release(...)` method — the released
+//!    histogram, noisy total and `Δ̃` match the legacy path bit for bit.
+//! 2. **Warm equals cold.** Every cached sub-join equals what a fresh
+//!    computation produces (deterministic prefix decomposition; the cached
+//!    full join comes from the same size-ordered fold as
+//!    [`dpsyn_relational::join`]), so a warm session's outputs are
+//!    byte-identical to a cold session's.
+//! 3. **Parallelism is invisible.** All worker-pool loops merge in
+//!    deterministic partition order ([`dpsyn_relational::exec`]);
+//!    `Session::sequential()` and a 64-thread session produce the same
+//!    bytes, differing only in wall-clock time.
+
+use dpsyn_core::{IndependentLaplaceBaseline, Mechanism, SyntheticRelease};
+use dpsyn_noise::{seeded_rng, PrivacyParams};
+use dpsyn_query::{AnswerOps, AnswerSet, ProductQuery, QueryFamily};
+use dpsyn_relational::{ExecContext, Instance, JoinQuery, Parallelism};
+use dpsyn_sensitivity::{ResidualSensitivity, SensitivityConfig, SensitivityOps};
+
+/// Everything one release needs, bundled: the join query, the private
+/// instance, the query workload, the privacy budget, and the RNG seed that
+/// makes the run reproducible.
+///
+/// Construct with [`ReleaseRequest::new`] and chain
+/// [`ReleaseRequest::with_seed`]; the references borrow from the caller, so
+/// a request is cheap to build per call while the session persists.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseRequest<'a> {
+    query: &'a JoinQuery,
+    instance: &'a Instance,
+    workload: &'a QueryFamily,
+    params: PrivacyParams,
+    seed: u64,
+}
+
+impl<'a> ReleaseRequest<'a> {
+    /// Bundles a release's inputs with the default seed 0.
+    pub fn new(
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+        workload: &'a QueryFamily,
+        params: PrivacyParams,
+    ) -> Self {
+        ReleaseRequest {
+            query,
+            instance,
+            workload,
+            params,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed the release will be run with (identical seeds give
+    /// byte-identical releases).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The join query.
+    pub fn query(&self) -> &'a JoinQuery {
+        self.query
+    }
+
+    /// The private instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The query workload.
+    pub fn workload(&self) -> &'a QueryFamily {
+        self.workload
+    }
+
+    /// The privacy budget.
+    pub fn params(&self) -> PrivacyParams {
+        self.params
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// A long-lived execution session: owns the parallelism knob, the
+/// sensitivity settings and the persistent sub-join caches, and runs every
+/// release algorithm through [`Session::release`].  See the module docs for
+/// the cache-reuse and determinism contract.
+#[derive(Debug)]
+pub struct Session {
+    config: SensitivityConfig,
+    ctx: ExecContext,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session at the environment's default parallelism (available cores,
+    /// or the `DPSYN_THREADS` environment variable).
+    pub fn new() -> Self {
+        Session::with_config(SensitivityConfig::default())
+    }
+
+    /// A strictly sequential session (one worker, no spawned threads) —
+    /// the exact historical single-threaded code paths.
+    pub fn sequential() -> Self {
+        Session::with_config(SensitivityConfig::sequential())
+    }
+
+    /// A session with exactly `n` worker threads.
+    pub fn with_threads(n: usize) -> Self {
+        Session::with_config(SensitivityConfig::with_threads(n))
+    }
+
+    /// A session with explicit execution settings (parallelism and the
+    /// small-instance sequential-fallback threshold).
+    pub fn with_config(config: SensitivityConfig) -> Self {
+        Session {
+            config,
+            ctx: config.to_context(),
+        }
+    }
+
+    /// The session's execution settings.
+    pub fn config(&self) -> SensitivityConfig {
+        self.config
+    }
+
+    /// The session's parallelism level.
+    pub fn parallelism(&self) -> Parallelism {
+        self.ctx.parallelism()
+    }
+
+    /// The backing execution context, for APIs that take one directly.
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    // --- releasing ---------------------------------------------------------
+
+    /// Runs any release [`Mechanism`] on the bundled request, seeding the
+    /// RNG from [`ReleaseRequest::seed`].
+    ///
+    /// Output is byte-identical to calling the mechanism's own
+    /// `release(...)` with `seeded_rng(request.seed())` — and to re-running
+    /// the same request on this (now warm) session.
+    pub fn release(
+        &self,
+        mechanism: &dyn Mechanism,
+        request: &ReleaseRequest<'_>,
+    ) -> dpsyn_core::Result<SyntheticRelease> {
+        let mut rng = seeded_rng(request.seed);
+        mechanism.release_ctx(
+            &self.ctx,
+            request.query,
+            request.instance,
+            request.workload,
+            request.params,
+            &mut rng,
+        )
+    }
+
+    /// Runs the per-query Laplace baseline (which answers the workload
+    /// directly instead of producing synthetic data — see the
+    /// [`dpsyn_core::mechanism`] docs for why it is not a [`Mechanism`]).
+    pub fn answer_baseline(
+        &self,
+        baseline: &IndependentLaplaceBaseline,
+        request: &ReleaseRequest<'_>,
+    ) -> dpsyn_core::Result<AnswerSet> {
+        let mut rng = seeded_rng(request.seed);
+        baseline.answer_all_in(
+            &self.ctx,
+            request.query,
+            request.instance,
+            request.workload,
+            request.params,
+            &mut rng,
+        )
+    }
+
+    // --- non-private evaluation (truth values, diagnostics) ----------------
+
+    /// The exact (non-private) answers of a workload on an instance, through
+    /// the session's cached full join — repeated truth evaluations over one
+    /// instance join once.
+    pub fn answer_truth(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        workload: &QueryFamily,
+    ) -> dpsyn_query::Result<AnswerSet> {
+        self.ctx.answer_all_on_instance(query, instance, workload)
+    }
+
+    /// The exact (non-private) answer of one query on an instance.
+    pub fn answer_one(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        q: &ProductQuery,
+    ) -> dpsyn_query::Result<f64> {
+        self.ctx.answer_on_instance(query, instance, q)
+    }
+
+    /// The join size `count(I)` at the session's parallelism.
+    pub fn join_size(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> dpsyn_relational::Result<u128> {
+        self.ctx.join_size(query, instance)
+    }
+
+    /// A seeded random-sign workload (convenience wrapper so callers don't
+    /// have to manage an RNG for workload generation).
+    pub fn random_sign_workload(
+        &self,
+        query: &JoinQuery,
+        size: usize,
+        seed: u64,
+    ) -> dpsyn_query::Result<QueryFamily> {
+        let mut rng = seeded_rng(seed);
+        QueryFamily::random_sign(query, size, &mut rng)
+    }
+
+    // --- sensitivity -------------------------------------------------------
+
+    /// Local sensitivity `LS_count(I)`, through the session cache.
+    pub fn local_sensitivity(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> dpsyn_sensitivity::Result<u128> {
+        self.ctx.local_sensitivity(query, instance)
+    }
+
+    /// Residual sensitivity `RS^β_count(I)`, through the session cache —
+    /// sweeping `β` over one instance pays for the subset lattice once.
+    pub fn residual_sensitivity(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+    ) -> dpsyn_sensitivity::Result<ResidualSensitivity> {
+        self.ctx.residual_sensitivity(query, instance, beta)
+    }
+
+    // --- cache introspection ------------------------------------------------
+
+    /// Number of sub-join lattice entries currently persisted.
+    pub fn cached_subjoins(&self) -> usize {
+        self.ctx.cached_subjoins()
+    }
+
+    /// `(hits, misses)` of the persistent caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.ctx.cache_stats()
+    }
+
+    /// Drops every persisted cache entry; the next call starts cold.
+    pub fn clear_cache(&self) {
+        self.ctx.clear_cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_core::{MultiTable, TwoTable};
+
+    fn fixture() -> (JoinQuery, Instance) {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for a in 0..6u64 {
+            inst.relation_mut(0).add(vec![a, a % 3], 1).unwrap();
+            inst.relation_mut(1).add(vec![a % 3, a], 1).unwrap();
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn session_release_matches_legacy_and_is_seed_stable() {
+        let (q, inst) = fixture();
+        let session = Session::sequential();
+        let workload = session.random_sign_workload(&q, 8, 5).unwrap();
+        let params = PrivacyParams::new(1.0, 1e-5).unwrap();
+        let request = ReleaseRequest::new(&q, &inst, &workload, params).with_seed(9);
+
+        let via_session = session.release(&TwoTable::default(), &request).unwrap();
+        let legacy = {
+            let mut rng = seeded_rng(9);
+            TwoTable::default()
+                .release(&q, &inst, &workload, params, &mut rng)
+                .unwrap()
+        };
+        assert_eq!(via_session.delta_tilde(), legacy.delta_tilde());
+        assert_eq!(
+            via_session.answer_all(&workload).unwrap().values(),
+            legacy.answer_all(&workload).unwrap().values()
+        );
+        // Re-running the same request on the warm session changes nothing.
+        let again = session.release(&TwoTable::default(), &request).unwrap();
+        assert_eq!(
+            again.answer_all(&workload).unwrap().values(),
+            via_session.answer_all(&workload).unwrap().values()
+        );
+    }
+
+    #[test]
+    fn session_caches_across_calls_and_invalidates_on_edit() {
+        let (q, inst) = fixture();
+        let session = Session::sequential();
+        let workload = session.random_sign_workload(&q, 4, 1).unwrap();
+        let params = PrivacyParams::new(1.0, 1e-5).unwrap();
+        let request = ReleaseRequest::new(&q, &inst, &workload, params).with_seed(2);
+
+        session.release(&MultiTable::default(), &request).unwrap();
+        assert!(session.cached_subjoins() > 0);
+        let (hits_before, _) = session.cache_stats();
+        session.release(&MultiTable::default(), &request).unwrap();
+        let (hits_after, _) = session.cache_stats();
+        assert!(
+            hits_after > hits_before,
+            "second release must hit the cache"
+        );
+
+        // Sensitivity through the same session reuses the lattice too, and
+        // truth answering reuses the shared join.
+        let rs = session.residual_sensitivity(&q, &inst, 0.5).unwrap();
+        assert_eq!(
+            rs,
+            dpsyn_sensitivity::residual_sensitivity(&q, &inst, 0.5).unwrap()
+        );
+        let truth = session.answer_truth(&q, &inst, &workload).unwrap();
+        assert_eq!(
+            truth.values(),
+            workload.answer_all_on_instance(&q, &inst).unwrap().values()
+        );
+
+        // Editing the instance starts cold (fingerprint change), never stale.
+        let mut edited = inst.clone();
+        edited.relation_mut(0).add(vec![7, 7], 3).unwrap();
+        assert_eq!(
+            session.local_sensitivity(&q, &edited).unwrap(),
+            dpsyn_sensitivity::local_sensitivity(&q, &edited).unwrap()
+        );
+
+        session.clear_cache();
+        assert_eq!(session.cached_subjoins(), 0);
+    }
+}

@@ -19,11 +19,15 @@ fn two_table_pipeline_end_to_end() {
     let mut rng = seeded_rng(1);
     let (query, instance) = dpsyn::datagen::zipf_two_table(16, 200, 1.0, &mut rng);
     let workload = QueryFamily::random_sign(&query, 24, &mut rng).unwrap();
-    let truth = workload.answer_all_on_instance(&query, &instance).unwrap();
     let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
 
-    let release = dpsyn_core::TwoTable::new(fast_pmw())
-        .release(&query, &instance, &workload, budget, &mut rng)
+    // The whole pipeline runs through one session: truth evaluation uses
+    // the cached full join, the release runs via the Mechanism trait.
+    let session = Session::new();
+    let truth = session.answer_truth(&query, &instance, &workload).unwrap();
+    let request = ReleaseRequest::new(&query, &instance, &workload, budget).with_seed(1);
+    let release = session
+        .release(&dpsyn_core::TwoTable::new(fast_pmw()), &request)
         .unwrap();
     assert_eq!(release.kind(), ReleaseKind::TwoTable);
 
@@ -102,16 +106,33 @@ fn multi_table_release_on_star_join_respects_sensitivity_ordering() {
     let (query, instance) = dpsyn::datagen::random_star(3, 12, 60, 1.0, &mut rng);
     let budget = PrivacyParams::new(1.0, 1e-5).unwrap();
     let workload = QueryFamily::random_sign(&query, 8, &mut rng).unwrap();
-    let release = MultiTable::new(fast_pmw())
-        .release(&query, &instance, &workload, budget, &mut rng)
+    let session = Session::new();
+    let request = ReleaseRequest::new(&query, &instance, &workload, budget).with_seed(5);
+    let release = session
+        .release(&MultiTable::new(fast_pmw()), &request)
         .unwrap();
-    // Δ̃ ≥ RS^β ≥ LS ≥ 0 must hold along the whole chain.
+    // Δ̃ ≥ RS^β ≥ LS ≥ 0 must hold along the whole chain; the sensitivity
+    // probes reuse the lattice the release just populated.
     let beta = 1.0 / budget.lambda();
-    let rs = residual_sensitivity(&query, &instance, beta).unwrap().value;
-    let ls = local_sensitivity(&query, &instance).unwrap() as f64;
+    assert!(session.cached_subjoins() > 0);
+    let rs = session
+        .residual_sensitivity(&query, &instance, beta)
+        .unwrap()
+        .value;
+    let ls = session.local_sensitivity(&query, &instance).unwrap() as f64;
     assert!(release.delta_tilde() + 1e-9 >= rs.max(1.0));
     assert!(rs >= ls - 1e-9);
-    assert!(release.noisy_total() >= join_size(&query, &instance).unwrap() as f64);
+    assert!(release.noisy_total() >= session.join_size(&query, &instance).unwrap() as f64);
+    // The session results equal the free-function ones.
+    assert_eq!(
+        rs,
+        residual_sensitivity(&query, &instance, beta).unwrap().value
+    );
+    assert_eq!(ls, local_sensitivity(&query, &instance).unwrap() as f64);
+    assert_eq!(
+        session.join_size(&query, &instance).unwrap(),
+        join_size(&query, &instance).unwrap()
+    );
 }
 
 #[test]
@@ -136,8 +157,10 @@ fn releases_are_reproducible_across_the_whole_stack() {
         let (query, instance) = dpsyn::datagen::social_network(32, 150, 100, &mut rng);
         let workload = QueryFamily::random_sign(&query, 10, &mut rng).unwrap();
         let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
-        let release = dpsyn_core::TwoTable::new(fast_pmw())
-            .release(&query, &instance, &workload, budget, &mut rng)
+        let session = Session::new();
+        let request = ReleaseRequest::new(&query, &instance, &workload, budget).with_seed(seed);
+        let release = session
+            .release(&dpsyn_core::TwoTable::new(fast_pmw()), &request)
             .unwrap();
         release.answer_all(&workload).unwrap().values().to_vec()
     };

@@ -13,13 +13,9 @@ use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_subset_naive};
 use dpsyn_relational::{
-    deg_multi, deg_multi_cached, join_subset, join_subset_with, join_with, NeighborEdit,
-    Parallelism, SubJoinCache, Value,
+    deg_multi, deg_multi_cached, join_subset, NeighborEdit, SubJoinCache, Value,
 };
-use dpsyn_sensitivity::{
-    all_boundary_values, all_boundary_values_with, local_sensitivity_with, ls_hat_k,
-    residual_sensitivity_with, SensitivityConfig,
-};
+use dpsyn_sensitivity::{all_boundary_values, ls_hat_k, SensitivityConfig, SensitivityOps};
 
 const CASES: u64 = 24;
 
@@ -191,9 +187,13 @@ fn parallel_join_is_byte_identical_to_sequential_and_matches_naive() {
         ];
         for (query, inst) in &shapes {
             let all: Vec<usize> = (0..query.num_relations()).collect();
-            let seq = join_subset_with(query, inst, &all, Parallelism::SEQUENTIAL).unwrap();
+            let seq = ExecContext::sequential()
+                .join_subset(query, inst, &all)
+                .unwrap();
             for threads in [2usize, 4, 8] {
-                let par = join_with(query, inst, Parallelism::threads(threads)).unwrap();
+                let par = ExecContext::with_threads(threads)
+                    .join(query, inst)
+                    .unwrap();
                 assert_eq!(par.attrs(), seq.attrs(), "seed {seed}");
                 let seq_rows: Vec<(&[Value], u128)> = seq.iter_unordered().collect();
                 let par_rows: Vec<(&[Value], u128)> = par.iter_unordered().collect();
@@ -218,34 +218,25 @@ fn parallel_sensitivity_matches_sequential_and_naive() {
     for seed in 0..3u64 {
         let (query, inst) = random_star(4, 64, 800, 0.5, &mut seeded_rng(9500 + seed));
         let beta = 0.1 + (seed as f64) / 10.0;
+        let seq_ctx = SensitivityConfig::sequential().to_context();
         let seq_bv = all_boundary_values(&query, &inst).unwrap();
-        let seq_rs =
-            residual_sensitivity_with(&query, &inst, beta, &SensitivityConfig::sequential())
-                .unwrap();
-        let seq_ls =
-            local_sensitivity_with(&query, &inst, &SensitivityConfig::sequential()).unwrap();
+        let seq_rs = seq_ctx.residual_sensitivity(&query, &inst, beta).unwrap();
+        let seq_ls = seq_ctx.local_sensitivity(&query, &inst).unwrap();
         for threads in [2usize, 4] {
-            let par_bv =
-                all_boundary_values_with(&query, &inst, Parallelism::threads(threads)).unwrap();
+            let ctx = SensitivityConfig::with_threads(threads).to_context();
+            let par_bv = ctx.all_boundary_values(&query, &inst).unwrap();
             assert_eq!(par_bv, seq_bv, "seed {seed}, threads {threads}");
-            let par_rs = residual_sensitivity_with(
-                &query,
-                &inst,
-                beta,
-                &SensitivityConfig::with_threads(threads),
-            )
-            .unwrap();
+            let par_rs = ctx.residual_sensitivity(&query, &inst, beta).unwrap();
             assert_eq!(par_rs, seq_rs, "seed {seed}, threads {threads}");
-            let par_ls =
-                local_sensitivity_with(&query, &inst, &SensitivityConfig::with_threads(threads))
-                    .unwrap();
+            let par_ls = ctx.local_sensitivity(&query, &inst).unwrap();
             assert_eq!(par_ls, seq_ls, "seed {seed}, threads {threads}");
         }
         // On a deliberately small instance the same calls fall back to the
         // sequential path and still agree with the naive oracle.
         let (small_q, small_inst) = random_star(4, 8, 40, 1.0, &mut seeded_rng(9700 + seed));
-        let small_bv =
-            all_boundary_values_with(&small_q, &small_inst, Parallelism::threads(4)).unwrap();
+        let small_bv = ExecContext::with_threads(4)
+            .all_boundary_values(&small_q, &small_inst)
+            .unwrap();
         assert_eq!(
             small_bv,
             all_boundary_values_naive(&small_q, &small_inst).unwrap(),
