@@ -1,0 +1,81 @@
+//! Edit-sweep benchmarks: delta-join maintenance against the full-rejoin
+//! baseline on neighbour-edit sensitivity sweeps.
+//!
+//! `local_removal` sweeps the local sensitivity of every single-tuple
+//! removal of a star instance — the inner loop of local-sensitivity
+//! verification and of the smooth-sensitivity checker.  The `delta` rows
+//! run through a cached `DeltaJoinPlan` (one lattice pass, then a hash
+//! probe per edit); the `rejoin` rows materialise every neighbour instance
+//! and recompute from scratch.  `smooth` benchmarks the radius-2
+//! brute-force smooth sensitivity both ways.  Outputs are asserted equal
+//! before timing — the speedup is free of any accuracy trade.
+//!
+//! The headline delta-vs-rejoin numbers are also recorded into
+//! `BENCH_join.json` by the `join_throughput` bench's `edit_sweep/*` rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsyn_datagen::random_star;
+use dpsyn_noise::seeded_rng;
+use dpsyn_sensitivity::{SensitivityConfig, SensitivityOps};
+use std::time::Duration;
+
+fn bench_local_removal_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_sweep/local_removal");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &(m, per_rel) in &[(3usize, 60usize), (4, 40)] {
+        let mut rng = seeded_rng(70 + m as u64);
+        let (query, instance) = random_star(m, 16, per_rel, 1.0, &mut rng);
+        let edits = instance.removal_edits();
+        let delta = || {
+            SensitivityConfig::sequential()
+                .to_context()
+                .local_sensitivity_sweep(&query, &instance, &edits)
+                .unwrap()
+        };
+        let rejoin = || {
+            SensitivityConfig::sequential()
+                .to_context()
+                .local_sensitivity_sweep_materializing(&query, &instance, &edits)
+                .unwrap()
+        };
+        assert_eq!(delta(), rejoin(), "delta sweep must equal full re-join");
+        group.bench_with_input(BenchmarkId::new("delta", m), &m, |b, _| b.iter(delta));
+        group.bench_with_input(BenchmarkId::new("rejoin", m), &m, |b, _| b.iter(rejoin));
+    }
+    group.finish();
+}
+
+fn bench_smooth_bruteforce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_sweep/smooth");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(80);
+    let (query, instance) = random_star(3, 8, 12, 1.0, &mut rng);
+    let beta = 0.2;
+    let delta = || {
+        SensitivityConfig::sequential()
+            .to_context()
+            .smooth_sensitivity_bruteforce(&query, &instance, beta, 2)
+            .unwrap()
+    };
+    let materializing = || {
+        SensitivityConfig::sequential()
+            .to_context()
+            .smooth_sensitivity_bruteforce_materializing(&query, &instance, beta, 2)
+            .unwrap()
+    };
+    assert_eq!(
+        delta().to_bits(),
+        materializing().to_bits(),
+        "delta smooth sensitivity must equal the materializing oracle"
+    );
+    group.bench_function("delta", |b| b.iter(delta));
+    group.bench_function("materializing", |b| b.iter(materializing));
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_removal_sweep, bench_smooth_bruteforce);
+criterion_main!(benches);

@@ -236,8 +236,13 @@ impl HierarchicalRelease {
     /// byte-identical to [`HierarchicalRelease::release`] at the same seed.
     ///
     /// Note on caching: the decomposition produces *distinct* sub-instances,
-    /// so their sensitivity computations cannot share lattice entries — each
-    /// inner release runs cold (the context simply re-keys its cache slot).
+    /// so their sensitivity computations cannot share lattice entries within
+    /// one release — but each part claims its own slot in the context's
+    /// cache LRU, so **repeated** releases over the same instance and seed
+    /// (which re-derive the same parts) find up to
+    /// [`dpsyn_relational::DEFAULT_CACHE_SLOTS`] of them warm.  Raise the
+    /// slot capacity (`SensitivityConfig::with_cache_slots`) to cover larger
+    /// partitions.
     pub fn release_in<R: Rng>(
         &self,
         ctx: &ExecContext,

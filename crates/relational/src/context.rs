@@ -17,19 +17,28 @@
 //! ([`ExecContext::retain_subjoin_cache`]) — so a *warm* context answers
 //! repeat sensitivity queries without recomputing a single sub-join.
 //!
-//! ### Fingerprinting
+//! ### Fingerprinting and the slot LRU
 //!
 //! The cache is keyed by [`instance_fingerprint`], a 64-bit structural hash
 //! of the query (relation attribute lists, attribute domain sizes) and the
 //! full instance contents (every tuple and frequency, in the relations'
-//! deterministic iteration order).  A checkout whose fingerprint matches the
-//! stored one receives the warm lattice (Arc-shared, so concurrent
-//! checkouts all see it); any other fingerprint receives an empty cache,
-//! and checking it back in re-keys the slot and evicts the previous
-//! instance's entries.  A context therefore tracks **one** `(query,
-//! instance)` pair at a time — the long-lived-session pattern the facade
-//! exposes.  Mutating an instance changes its fingerprint, so ordinary
-//! edits can never be served stale results.
+//! deterministic iteration order).  A checkout whose fingerprint matches a
+//! stored slot receives that slot's warm lattice (Arc-shared, so concurrent
+//! checkouts all see it); an unknown fingerprint receives an empty cache,
+//! and checking it back in claims a slot of its own.  The context keeps a
+//! small **LRU of slots** ([`DEFAULT_CACHE_SLOTS`], configurable via
+//! [`ExecContext::with_cache_slots`]) rather than a single one, so
+//! multi-instance pipelines — `HierarchicalRelease`'s per-part `MultiTable`
+//! calls, servers answering over several instances, sensitivity sweeps that
+//! revisit a handful of neighbours — stay warm too; only the
+//! least-recently-used slot is evicted when the capacity is exceeded.
+//! Mutating an instance changes its fingerprint, so ordinary edits can
+//! never be served stale results.
+//!
+//! Each slot also retains the instance's [`DeltaJoinPlan`]
+//! ([`ExecContext::delta_plan`]): the precomputed probe state that prices a
+//! single-tuple neighbour edit at a hash lookup instead of a full re-join
+//! (see [`crate::delta`]).
 //!
 //! **Trust model:** the fingerprint is a *non-cryptographic* Fx hash.  It
 //! guards against accidental staleness (edits, instance swaps), not against
@@ -57,10 +66,11 @@ use std::sync::{Arc, Mutex};
 
 use crate::attr::AttrId;
 use crate::cache::ShardedSubJoinCache;
+use crate::delta::{DeltaJoinPlan, JoinSizeDelta};
 use crate::exec::{self, Parallelism};
 use crate::hash::{FxHashMap, FxHasher};
 use crate::hypergraph::JoinQuery;
-use crate::instance::Instance;
+use crate::instance::{Instance, NeighborEdit};
 use crate::join::{
     grouped_join_size_impl, join_impl, join_size_impl, join_subset_impl, JoinResult,
 };
@@ -72,6 +82,12 @@ use crate::Result;
 /// shard-lock overhead would dominate such tiny joins.  Results are
 /// identical either way; only wall-clock differs.
 pub const DEFAULT_MIN_PAR_INSTANCE: usize = 2048;
+
+/// Default number of `(query, instance)` slots the persistent cache LRU
+/// keeps warm at once.  Sized for the common multi-instance pipelines
+/// (hierarchical per-part releases, small server working sets) while
+/// bounding the resident sub-join memory to a handful of instances.
+pub const DEFAULT_CACHE_SLOTS: usize = 8;
 
 /// A 64-bit structural fingerprint of a `(query, instance)` pair: relation
 /// attribute lists, attribute domain sizes, and every tuple/frequency of the
@@ -107,30 +123,87 @@ pub fn instance_fingerprint(query: &JoinQuery, instance: &Instance) -> u64 {
     h.finish()
 }
 
-/// The persistent per-instance cache slot guarded by the context's mutex.
-#[derive(Debug, Default)]
-struct CacheState {
+/// One `(query, instance)` entry of the persistent cache LRU.
+#[derive(Debug)]
+struct CacheSlot {
     /// Fingerprint of the `(query, instance)` pair the slot belongs to.
-    fingerprint: Option<u64>,
+    fingerprint: u64,
     /// Materialised sub-join lattice entries, keyed by subset bitmask.
     lattice: FxHashMap<u32, Arc<JoinResult>>,
     /// The full join produced by the standard size-ordered fold.
     full_join: Option<Arc<JoinResult>>,
+    /// The instance's precomputed delta-join plan (see [`crate::delta`]).
+    delta_plan: Option<Arc<DeltaJoinPlan>>,
+    /// Logical access time (monotonic per context) driving LRU eviction.
+    last_used: u64,
+}
+
+/// The persistent cache state guarded by the context's mutex: a small LRU of
+/// per-instance slots plus hit/miss counters.
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: Vec<CacheSlot>,
+    clock: u64,
     hits: u64,
     misses: u64,
+}
+
+impl CacheState {
+    /// The slot for `fingerprint`, touched as most-recently-used.
+    fn slot_mut(&mut self, fingerprint: u64) -> Option<&mut CacheSlot> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.fingerprint == fingerprint)?;
+        slot.last_used = clock;
+        Some(slot)
+    }
+
+    /// The slot for `fingerprint`, created (and the LRU slot evicted when
+    /// over `capacity`) if absent.  Touched as most-recently-used.
+    fn slot_mut_or_insert(&mut self, fingerprint: u64, capacity: usize) -> &mut CacheSlot {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(pos) = self.slots.iter().position(|s| s.fingerprint == fingerprint) {
+            let slot = &mut self.slots[pos];
+            slot.last_used = clock;
+            return slot;
+        }
+        if self.slots.len() >= capacity.max(1) {
+            let evict = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(pos, _)| pos)
+                .expect("non-empty slot list");
+            self.slots.swap_remove(evict);
+        }
+        self.slots.push(CacheSlot {
+            fingerprint,
+            lattice: FxHashMap::default(),
+            full_join: None,
+            delta_plan: None,
+            last_used: clock,
+        });
+        self.slots.last_mut().expect("just pushed")
+    }
 }
 
 /// A long-lived execution context: parallelism knob, small-instance
 /// threshold, and persistent instance-fingerprinted caches (see the module
 /// docs).
 ///
-/// All methods take `&self`; the cache slot lives behind a mutex, so a
+/// All methods take `&self`; the cache slots live behind a mutex, so a
 /// context can be shared by reference across the layers of one pipeline.
 /// Locks are held only for map bookkeeping, never across a join.
 #[derive(Debug)]
 pub struct ExecContext {
     parallelism: Parallelism,
     min_par_instance: usize,
+    cache_slots: usize,
     state: Mutex<CacheState>,
 }
 
@@ -148,6 +221,7 @@ impl ExecContext {
         ExecContext {
             parallelism,
             min_par_instance: DEFAULT_MIN_PAR_INSTANCE,
+            cache_slots: DEFAULT_CACHE_SLOTS,
             state: Mutex::new(CacheState::default()),
         }
     }
@@ -170,6 +244,21 @@ impl ExecContext {
     pub fn with_min_par_instance(mut self, min_par_instance: usize) -> Self {
         self.min_par_instance = min_par_instance;
         self
+    }
+
+    /// Sets the number of `(query, instance)` slots the persistent cache LRU
+    /// keeps warm at once (clamped to at least 1; default
+    /// [`DEFAULT_CACHE_SLOTS`]).  One slot reproduces the historical
+    /// single-instance behaviour: any other instance evicts the previous
+    /// one's entries.
+    pub fn with_cache_slots(mut self, cache_slots: usize) -> Self {
+        self.cache_slots = cache_slots.max(1);
+        self
+    }
+
+    /// The cache LRU's slot capacity.
+    pub fn cache_slots(&self) -> usize {
+        self.cache_slots
     }
 
     /// The worker-thread knob.
@@ -252,27 +341,18 @@ impl ExecContext {
         let fp = instance_fingerprint(query, instance);
         {
             let mut state = self.state.lock().expect("context cache poisoned");
-            if state.fingerprint == Some(fp) {
-                if let Some(full) = state.full_join.as_ref().map(Arc::clone) {
-                    state.hits += 1;
-                    return Ok(full);
-                }
+            if let Some(full) = state
+                .slot_mut(fp)
+                .and_then(|slot| slot.full_join.as_ref().map(Arc::clone))
+            {
+                state.hits += 1;
+                return Ok(full);
             }
         }
         let full = Arc::new(join_impl(query, instance, self.parallelism)?);
         let mut state = self.state.lock().expect("context cache poisoned");
-        if state.fingerprint != Some(fp) {
-            // A different instance owned the slot: evict its entries.
-            *state = CacheState {
-                fingerprint: Some(fp),
-                hits: state.hits,
-                misses: state.misses + 1,
-                ..CacheState::default()
-            };
-        } else {
-            state.misses += 1;
-        }
-        state.full_join = Some(Arc::clone(&full));
+        state.misses += 1;
+        state.slot_mut_or_insert(fp, self.cache_slots).full_join = Some(Arc::clone(&full));
         Ok(full)
     }
 
@@ -296,16 +376,16 @@ impl ExecContext {
         let fp = instance_fingerprint(query, instance);
         let memo = {
             let mut state = self.state.lock().expect("context cache poisoned");
-            if state.fingerprint == Some(fp) {
-                if state.lattice.is_empty() {
-                    state.misses += 1;
-                } else {
+            match state.slot_mut(fp) {
+                Some(slot) if !slot.lattice.is_empty() => {
+                    let memo = slot.lattice.clone();
                     state.hits += 1;
+                    memo
                 }
-                state.lattice.clone()
-            } else {
-                state.misses += 1;
-                FxHashMap::default()
+                _ => {
+                    state.misses += 1;
+                    FxHashMap::default()
+                }
             }
         };
         let mut cache = ShardedSubJoinCache::with_memo(query, instance, memo)?;
@@ -314,12 +394,11 @@ impl ExecContext {
     }
 
     /// Checks a sub-join cache back into the context, persisting its
-    /// materialised lattice for the next call over the same data.  On a
-    /// matching fingerprint the entries are merged into the slot (so
-    /// concurrent callers compound instead of clobbering each other); if
-    /// the cache belongs to a different `(query, instance)` than the stored
-    /// slot, the slot is evicted and re-keyed (a context tracks one pair at
-    /// a time).
+    /// materialised lattice for the next call over the same data.  The
+    /// entries are merged into the pair's LRU slot (so concurrent callers
+    /// compound instead of clobbering each other); an unknown pair claims a
+    /// fresh slot, evicting the least-recently-used one when the context is
+    /// at capacity.
     pub fn retain_subjoin_cache(&self, cache: ShardedSubJoinCache<'_>) {
         // Checkout stamped the fingerprint; hand-built caches pay one hash.
         let fp = cache
@@ -327,49 +406,115 @@ impl ExecContext {
             .unwrap_or_else(|| instance_fingerprint(cache.query(), cache.instance()));
         let memo = cache.into_memo();
         let mut state = self.state.lock().expect("context cache poisoned");
-        if state.fingerprint != Some(fp) {
-            *state = CacheState {
-                fingerprint: Some(fp),
-                hits: state.hits,
-                misses: state.misses,
-                ..CacheState::default()
-            };
-            state.lattice = memo;
-        } else {
-            // Values for equal masks are equal (deterministic prefix
-            // decomposition), so overwrite-on-merge is safe.
-            state.lattice.extend(memo);
-        }
+        // Values for equal masks are equal (deterministic prefix
+        // decomposition), so overwrite-on-merge is safe.
+        state
+            .slot_mut_or_insert(fp, self.cache_slots)
+            .lattice
+            .extend(memo);
     }
 
-    /// Number of sub-join lattice entries currently persisted (excluding the
-    /// cached full join).
+    // --- delta-join maintenance ---------------------------------------------
+
+    /// The instance's precomputed [`DeltaJoinPlan`], cached in the pair's
+    /// LRU slot: the first call builds it from the (possibly warm) sub-join
+    /// lattice; later calls on the same data return the same `Arc`.  Edit
+    /// sweeps over one instance therefore pay the plan precomputation once
+    /// and price every subsequent edit at a hash probe (see [`crate::delta`]).
+    pub fn delta_plan(&self, query: &JoinQuery, instance: &Instance) -> Result<Arc<DeltaJoinPlan>> {
+        let fp = instance_fingerprint(query, instance);
+        {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            if let Some(plan) = state
+                .slot_mut(fp)
+                .and_then(|slot| slot.delta_plan.as_ref().map(Arc::clone))
+            {
+                state.hits += 1;
+                return Ok(plan);
+            }
+        }
+        let cache = self.subjoin_cache(query, instance)?;
+        let par = self.effective_parallelism(instance);
+        let plan = Arc::new(DeltaJoinPlan::build(query, instance, &cache, par)?);
+        self.retain_subjoin_cache(cache);
+        let mut state = self.state.lock().expect("context cache poisoned");
+        state
+            .slot_mut_or_insert(fp, self.cache_slots)
+            .delta_plan
+            .get_or_insert_with(|| Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The signed join-size change of applying one neighbouring `edit` to
+    /// `instance`, via the cached delta plan — no join over the edited
+    /// instance is ever built.
+    ///
+    /// Each call pays one structural fingerprint of `instance` to find the
+    /// cached plan; for per-edit loops use [`ExecContext::join_size_deltas`]
+    /// (or hold the [`ExecContext::delta_plan`] and probe it directly),
+    /// which fingerprints once for the whole sweep.
+    pub fn join_size_delta(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        edit: &NeighborEdit,
+    ) -> Result<JoinSizeDelta> {
+        self.delta_plan(query, instance)?.join_size_delta(edit)
+    }
+
+    /// The signed join-size changes of a batch of neighbouring edits, in
+    /// edit order: one plan lookup (a single instance fingerprint) plus a
+    /// hash probe per edit, swept through the worker pool.
+    pub fn join_size_deltas(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        edits: &[NeighborEdit],
+    ) -> Result<Vec<JoinSizeDelta>> {
+        let plan = self.delta_plan(query, instance)?;
+        // Probes are cheap: honour the small-instance sequential fallback.
+        exec::par_map(self.effective_parallelism(instance), edits.len(), |i| {
+            plan.join_size_delta(&edits[i])
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Number of sub-join lattice entries currently persisted across all LRU
+    /// slots (excluding cached full joins and delta plans).
     pub fn cached_subjoins(&self) -> usize {
         self.state
             .lock()
             .expect("context cache poisoned")
-            .lattice
+            .slots
+            .iter()
+            .map(|s| s.lattice.len())
+            .sum()
+    }
+
+    /// Number of `(query, instance)` pairs currently holding an LRU slot.
+    pub fn cached_instances(&self) -> usize {
+        self.state
+            .lock()
+            .expect("context cache poisoned")
+            .slots
             .len()
     }
 
-    /// `(hits, misses)` of the persistent caches: a hit is a checkout or
-    /// shared-join call that found warm data for its fingerprint.
+    /// `(hits, misses)` of the persistent caches: a hit is a checkout,
+    /// shared-join or delta-plan call that found warm data for its
+    /// fingerprint.
     pub fn cache_stats(&self) -> (u64, u64) {
         let state = self.state.lock().expect("context cache poisoned");
         (state.hits, state.misses)
     }
 
-    /// Drops every persisted cache entry (the full join and the lattice),
-    /// releasing their memory.  The context remains usable; the next call
-    /// simply starts cold.
+    /// Drops every persisted cache slot (full joins, lattices and delta
+    /// plans), releasing their memory.  The context remains usable; the next
+    /// call simply starts cold.
     pub fn clear_cache(&self) {
         let mut state = self.state.lock().expect("context cache poisoned");
-        let (hits, misses) = (state.hits, state.misses);
-        *state = CacheState {
-            hits,
-            misses,
-            ..CacheState::default()
-        };
+        state.slots.clear();
     }
 
     // --- worker-pool access -------------------------------------------------
@@ -487,10 +632,32 @@ mod tests {
     }
 
     #[test]
-    fn switching_instances_evicts_the_previous_lattice() {
+    fn multiple_instances_share_the_lru_without_clobbering() {
         let (q, inst) = star_instance(3);
         let (q2, inst2) = star_instance(4);
         let ctx = ExecContext::sequential();
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        let first = cache.cached_count();
+        ctx.retain_subjoin_cache(cache);
+        // A different pair checks out cold, claims its own slot, and does
+        // NOT evict the first instance while capacity remains.
+        let other = ctx.subjoin_cache(&q2, &inst2).unwrap();
+        assert_eq!(other.cached_count(), 0);
+        ctx.retain_subjoin_cache(other);
+        assert_eq!(ctx.cached_instances(), 2);
+        let back = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(back.cached_count(), first, "first instance stays warm");
+    }
+
+    #[test]
+    fn single_slot_context_reproduces_the_historical_eviction() {
+        let (q, inst) = star_instance(3);
+        let (q2, inst2) = star_instance(4);
+        let ctx = ExecContext::sequential().with_cache_slots(1);
+        assert_eq!(ctx.cache_slots(), 1);
         let cache = ctx.subjoin_cache(&q, &inst).unwrap();
         cache
             .populate_proper_subsets(Parallelism::SEQUENTIAL)
@@ -501,8 +668,80 @@ mod tests {
         let other = ctx.subjoin_cache(&q2, &inst2).unwrap();
         assert_eq!(other.cached_count(), 0);
         ctx.retain_subjoin_cache(other);
+        assert_eq!(ctx.cached_instances(), 1);
         let back = ctx.subjoin_cache(&q, &inst).unwrap();
         assert_eq!(back.cached_count(), 0, "old instance must re-start cold");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_slot_past_capacity() {
+        let (q, base) = star_instance(3);
+        // Four distinct instances (distinct fingerprints) on a 3-slot LRU.
+        let variants: Vec<Instance> = (0..4u64)
+            .map(|v| {
+                let mut inst = base.clone();
+                inst.relation_mut(0).add(vec![9, v % 8], 1).unwrap();
+                inst
+            })
+            .collect();
+        let ctx = ExecContext::sequential().with_cache_slots(3);
+        for inst in &variants[..3] {
+            let cache = ctx.subjoin_cache(&q, inst).unwrap();
+            cache
+                .populate_proper_subsets(Parallelism::SEQUENTIAL)
+                .unwrap();
+            ctx.retain_subjoin_cache(cache);
+        }
+        assert_eq!(ctx.cached_instances(), 3);
+        // Touch instance 0 so instance 1 becomes the LRU victim.
+        assert!(ctx.subjoin_cache(&q, &variants[0]).unwrap().cached_count() > 0);
+        let cache = ctx.subjoin_cache(&q, &variants[3]).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        assert_eq!(ctx.cached_instances(), 3, "capacity bound holds");
+        // Instance 1 (least recently used) was evicted; 0, 2 and 3 are warm.
+        assert_eq!(
+            ctx.subjoin_cache(&q, &variants[1]).unwrap().cached_count(),
+            0
+        );
+        for &warm in &[0usize, 2, 3] {
+            assert!(
+                ctx.subjoin_cache(&q, &variants[warm])
+                    .unwrap()
+                    .cached_count()
+                    > 0,
+                "instance {warm} must stay warm"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_plan_is_cached_per_slot_and_invalidated_by_edits() {
+        let (q, inst) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        let plan = ctx.delta_plan(&q, &inst).unwrap();
+        let again = ctx.delta_plan(&q, &inst).unwrap();
+        assert!(Arc::ptr_eq(&plan, &again), "same Arc on a warm slot");
+        // Plan building populated (and persisted) lattice prefixes.
+        assert!(ctx.cached_subjoins() > 0);
+        // An edited instance gets a fresh plan under its own fingerprint.
+        let mut edited = inst.clone();
+        edited.relation_mut(0).add(vec![5, 5], 1).unwrap();
+        let other = ctx.delta_plan(&q, &edited).unwrap();
+        assert!(!Arc::ptr_eq(&plan, &other));
+        // And the context-level join-size delta agrees with re-joining.
+        let edit = crate::instance::NeighborEdit::Remove {
+            relation: 0,
+            tuple: vec![0, 0],
+        };
+        let base = join(&q, &inst).unwrap().total();
+        let delta = ctx.join_size_delta(&q, &inst, &edit).unwrap();
+        assert_eq!(
+            delta.apply(base),
+            join(&q, &inst.apply_edit(&edit).unwrap()).unwrap().total()
+        );
     }
 
     #[test]

@@ -67,14 +67,24 @@
 //! # Execution contexts
 //!
 //! [`ExecContext`] ([`context`]) bundles the parallelism knob with
-//! **persistent, instance-fingerprinted caches**: a sub-join lattice that
-//! survives across calls (so repeated sensitivity enumerations over the same
-//! `(query, instance)` pair reuse the `2^m` subset lattice instead of
-//! rebuilding it) and a cached full join for repeated query answering.  It
-//! backs the facade crate's `dpsyn::Session`; the old `*_with` free
+//! **persistent, instance-fingerprinted caches**: a small LRU of per-instance
+//! slots, each holding the sub-join lattice that survives across calls (so
+//! repeated sensitivity enumerations over the same `(query, instance)` pair
+//! reuse the `2^m` subset lattice instead of rebuilding it), a cached full
+//! join for repeated query answering, and the instance's [`DeltaJoinPlan`].
+//! It backs the facade crate's `dpsyn::Session`; the old `*_with` free
 //! functions remain as deprecated shims that build a throwaway context per
 //! call.  Cache reuse never changes output bytes — see the [`context`]
 //! module docs for the contract.
+//!
+//! # Delta-join maintenance
+//!
+//! The [`delta`] module prices **single-tuple neighbour edits** (the
+//! sensitivity sweeps of the paper) incrementally: a [`DeltaJoinPlan`]
+//! precomputes grouped probe indexes from the sub-join lattice, after which
+//! the join-size change and the post-edit boundary maxima of any edit cost a
+//! hash probe instead of a full re-join — exactly equal to re-joining, at
+//! every worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,6 +94,7 @@ pub mod cache;
 pub mod context;
 pub mod cover;
 pub mod degree;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod hash;
@@ -97,9 +108,12 @@ pub mod tuple;
 
 pub use attr::{AttrId, Attribute, Schema};
 pub use cache::{ShardedSubJoinCache, SubJoinCache};
-pub use context::{instance_fingerprint, ExecContext, DEFAULT_MIN_PAR_INSTANCE};
+pub use context::{
+    instance_fingerprint, ExecContext, DEFAULT_CACHE_SLOTS, DEFAULT_MIN_PAR_INSTANCE,
+};
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
 pub use degree::{deg_multi, deg_multi_cached, deg_single, max_degree, psi, psi_cached};
+pub use delta::{DeltaJoinPlan, JoinSizeDelta};
 pub use error::RelationalError;
 pub use exec::Parallelism;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -28,6 +28,14 @@
 //! Results are byte-identical at every parallelism level and on warm or cold
 //! caches; the plain free functions use a throwaway default context, and the
 //! legacy `*_with` variants survive as deprecated shims.
+//!
+//! Neighbour-edit sweeps are **delta-maintained**: the local sensitivities of
+//! all single-tuple edits of an instance
+//! ([`SensitivityOps::local_sensitivity_sweep`]) and the brute-force
+//! smooth-sensitivity exploration are priced per edit at a hash probe through
+//! a precomputed [`dpsyn_relational::DeltaJoinPlan`] instead of a full
+//! re-join, with the historical materializing implementations retained as
+//! cross-check oracles (`*_materializing`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,7 +69,10 @@ pub use residual::{all_boundary_values_with, residual_sensitivity_with};
 pub use settings::SensitivityConfig;
 #[allow(deprecated)]
 pub use smooth::smooth_sensitivity_bruteforce_with;
-pub use smooth::{is_smooth_upper_bound, smooth_sensitivity_bruteforce};
+pub use smooth::{
+    candidate_edits, is_smooth_upper_bound, smooth_sensitivity_bruteforce,
+    smooth_sensitivity_bruteforce_materializing,
+};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, SensitivityError>;

@@ -9,7 +9,7 @@
 //! partition order — see `dpsyn_relational::exec`), so the knobs trade only
 //! wall-clock time, never output.
 
-use dpsyn_relational::{ExecContext, Parallelism, DEFAULT_MIN_PAR_INSTANCE};
+use dpsyn_relational::{ExecContext, Parallelism, DEFAULT_CACHE_SLOTS, DEFAULT_MIN_PAR_INSTANCE};
 
 /// Default threshold below which sensitivity computations take the
 /// sequential code paths (re-exported engine default; see
@@ -40,6 +40,11 @@ pub struct SensitivityConfig {
     /// only wall-clock differs.  Defaults to the engine's
     /// [`DEFAULT_MIN_PAR_INSTANCE`].
     pub min_par_instance: usize,
+    /// Number of `(query, instance)` slots the context's persistent cache
+    /// LRU keeps warm at once (lattices, full joins and delta plans).
+    /// Defaults to the engine's [`DEFAULT_CACHE_SLOTS`]; one slot reproduces
+    /// the historical single-instance behaviour.
+    pub cache_slots: usize,
 }
 
 impl Default for SensitivityConfig {
@@ -47,6 +52,7 @@ impl Default for SensitivityConfig {
         SensitivityConfig {
             parallelism: Parallelism::default(),
             min_par_instance: MIN_PAR_INSTANCE,
+            cache_slots: DEFAULT_CACHE_SLOTS,
         }
     }
 }
@@ -74,12 +80,20 @@ impl SensitivityConfig {
         self
     }
 
+    /// Sets the context cache LRU's slot capacity (clamped to at least 1).
+    pub fn with_cache_slots(mut self, cache_slots: usize) -> Self {
+        self.cache_slots = cache_slots.max(1);
+        self
+    }
+
     /// Builds a fresh (cold-cache) execution context carrying these
     /// settings.  The legacy `*_with` entry points call this once per
     /// invocation; a long-lived context additionally reuses its sub-join
     /// lattice across calls.
     pub fn to_context(&self) -> ExecContext {
-        ExecContext::new(self.parallelism).with_min_par_instance(self.min_par_instance)
+        ExecContext::new(self.parallelism)
+            .with_min_par_instance(self.min_par_instance)
+            .with_cache_slots(self.cache_slots)
     }
 }
 
@@ -114,5 +128,23 @@ mod tests {
         let ctx2: ExecContext = SensitivityConfig::with_threads(3).into();
         assert_eq!(ctx2.parallelism().get(), 3);
         assert_eq!(ctx2.min_par_instance(), MIN_PAR_INSTANCE);
+    }
+
+    #[test]
+    fn cache_slots_are_configurable_and_flow_into_the_context() {
+        assert_eq!(
+            SensitivityConfig::default().cache_slots,
+            DEFAULT_CACHE_SLOTS
+        );
+        let config = SensitivityConfig::sequential().with_cache_slots(2);
+        assert_eq!(config.to_context().cache_slots(), 2);
+        // Clamped to at least one slot.
+        assert_eq!(
+            SensitivityConfig::sequential()
+                .with_cache_slots(0)
+                .to_context()
+                .cache_slots(),
+            1
+        );
     }
 }

@@ -22,15 +22,20 @@ use crate::local::local_sensitivity;
 use crate::settings::SensitivityConfig;
 use crate::Result;
 
-/// Generates a set of neighbouring instances of `instance`: all single-copy
-/// removals plus additions of candidate tuples drawn from the cross product of
-/// per-attribute active values (plus one fresh value per attribute when the
-/// domain allows it).  This covers the edits that can change degree structure.
-pub(crate) fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Instance>> {
+/// Enumerates the candidate neighbouring **edits** of `instance`: all
+/// single-copy removals plus additions of candidate tuples drawn from the
+/// cross product of per-attribute active values (plus one fresh value per
+/// attribute when the domain allows it).  This covers the edits that can
+/// change degree structure.
+///
+/// This is the edit-level form of [`candidate_neighbors`]: the delta-join
+/// sweeps evaluate these edits through a
+/// [`DeltaJoinPlan`](dpsyn_relational::DeltaJoinPlan) without materialising
+/// the edited instances, in exactly this order (so the delta and
+/// materializing explorations coincide).
+pub fn candidate_edits(query: &JoinQuery, instance: &Instance) -> Result<Vec<NeighborEdit>> {
     let mut out = Vec::new();
-    for edit in instance.removal_edits() {
-        out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
-    }
+    out.extend(instance.removal_edits());
     // Additions: for each relation, build candidate values per attribute.
     for i in 0..query.num_relations() {
         let attrs = query.relation_attrs(i);
@@ -90,11 +95,21 @@ pub(crate) fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Res
             if tuple.len() != attrs.len() {
                 continue;
             }
-            let edit = NeighborEdit::Add { relation: i, tuple };
-            out.push(instance.apply_edit(&edit).map_err(SensitivityError::from)?);
+            out.push(NeighborEdit::Add { relation: i, tuple });
         }
     }
     Ok(out)
+}
+
+/// Generates the set of candidate neighbouring **instances** of `instance`
+/// (the materialised form of [`candidate_edits`], applied in the same
+/// order).  Retained for the materializing cross-check paths and the
+/// smoothness checker; the production sweeps consume the edits directly.
+pub(crate) fn candidate_neighbors(query: &JoinQuery, instance: &Instance) -> Result<Vec<Instance>> {
+    candidate_edits(query, instance)?
+        .iter()
+        .map(|edit| instance.apply_edit(edit).map_err(SensitivityError::from))
+        .collect()
 }
 
 /// Empirically checks that `bound` behaves as a β-smooth upper bound *around*
@@ -141,6 +156,12 @@ pub fn is_smooth_upper_bound(
 /// *lower bound* on the true smooth sensitivity; since residual sensitivity
 /// upper-bounds smooth sensitivity, tests check
 /// `smooth_sensitivity_bruteforce ≤ RS^β`.
+///
+/// Each frontier level's edit sweep runs **incrementally**: one delta-join
+/// plan per frontier instance prices every candidate edit at a hash probe
+/// instead of a full re-join (see `dpsyn_relational::delta`), with results
+/// byte-identical to the materializing oracle
+/// ([`smooth_sensitivity_bruteforce_materializing`]).
 pub fn smooth_sensitivity_bruteforce(
     query: &JoinQuery,
     instance: &Instance,
@@ -150,6 +171,23 @@ pub fn smooth_sensitivity_bruteforce(
     SensitivityConfig::default()
         .to_context()
         .smooth_sensitivity_bruteforce(query, instance, beta, max_radius)
+}
+
+/// The materializing cross-check oracle for [`smooth_sensitivity_bruteforce`]:
+/// same exploration, but every candidate neighbour is materialised as an
+/// [`Instance`] and its local sensitivity recomputed from scratch.  Kept (and
+/// exercised by the randomized property tests) so the delta path always has
+/// an independent reference; prefer the delta-maintained entry point
+/// everywhere else — it is the same value at a fraction of the cost.
+pub fn smooth_sensitivity_bruteforce_materializing(
+    query: &JoinQuery,
+    instance: &Instance,
+    beta: f64,
+    max_radius: usize,
+) -> Result<f64> {
+    SensitivityConfig::default()
+        .to_context()
+        .smooth_sensitivity_bruteforce_materializing(query, instance, beta, max_radius)
 }
 
 /// [`smooth_sensitivity_bruteforce`] with explicit execution settings: each
@@ -247,5 +285,37 @@ mod tests {
     fn bruteforce_rejects_bad_beta() {
         let (q, inst) = small_two_table();
         assert!(smooth_sensitivity_bruteforce(&q, &inst, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn delta_bruteforce_equals_materializing_oracle() {
+        let (q, inst) = small_two_table();
+        for &beta in &[0.2, 0.5, 1.0] {
+            for radius in 1..=3usize {
+                let delta = smooth_sensitivity_bruteforce(&q, &inst, beta, radius).unwrap();
+                let oracle =
+                    smooth_sensitivity_bruteforce_materializing(&q, &inst, beta, radius).unwrap();
+                assert_eq!(
+                    delta.to_bits(),
+                    oracle.to_bits(),
+                    "beta {beta}, radius {radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_edits_and_neighbors_align() {
+        let (q, inst) = small_two_table();
+        let edits = candidate_edits(&q, &inst).unwrap();
+        let neighbors = candidate_neighbors(&q, &inst).unwrap();
+        assert_eq!(edits.len(), neighbors.len());
+        for (edit, neighbor) in edits.iter().zip(&neighbors) {
+            assert_eq!(&inst.apply_edit(edit).unwrap(), neighbor);
+            assert!(inst.is_neighbor_of(neighbor));
+        }
+        // Removals come first, in removal_edits order.
+        let removals = inst.removal_edits();
+        assert_eq!(&edits[..removals.len()], removals.as_slice());
     }
 }

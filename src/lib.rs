@@ -64,6 +64,13 @@
 //! //    sub-join lattice and full join — same bytes, less work.
 //! let rs = session.residual_sensitivity(&query, &instance, 0.5)?;
 //! println!("RS^0.5 = {:.2} ({} cached sub-joins)", rs.value, session.cached_subjoins());
+//!
+//! // 6. Neighbour-edit sweeps are delta-maintained: the local sensitivity
+//! //    of every single-tuple removal is priced at a hash probe through the
+//! //    session's cached delta-join plan — no re-join per edit.
+//! let edits = instance.removal_edits();
+//! let swept = session.local_sensitivity_sweep(&query, &instance, &edits)?;
+//! println!("swept {} edits incrementally", swept.len());
 //! # Ok(())
 //! # }
 //! ```
@@ -80,8 +87,11 @@
 //! relation size, and the `2^m` relation-subset enumerations behind residual
 //! sensitivity share sub-join work through a
 //! [`relational::SubJoinCache`] — persisted **across calls** by [`Session`] /
-//! [`relational::ExecContext`], so repeated releases and sensitivity sweeps
-//! over one instance pay for the lattice once.  Hash order is never
+//! [`relational::ExecContext`] (a small per-instance LRU of lattices, full
+//! joins and [`relational::DeltaJoinPlan`]s), so repeated releases and
+//! sensitivity sweeps over a working set of instances pay for the lattice
+//! once, and neighbour-edit sweeps probe instead of re-joining (tracked by
+//! the `edit_sweep/*` rows of `BENCH_join.json`).  Hash order is never
 //! observable: every tuple-exposing API sorts on emit, so runs are
 //! byte-reproducible from an RNG seed — see the determinism contract in
 //! [`relational`]'s crate docs.  The previous `BTreeMap` engine survives as
@@ -115,8 +125,8 @@ pub mod prelude {
     pub use dpsyn_pmw::{Histogram, Pmw, PmwConfig};
     pub use dpsyn_query::{AnswerOps, LinearQuery, ProductQuery, QueryFamily};
     pub use dpsyn_relational::{
-        join, join_size, AttrId, Attribute, ExecContext, Instance, JoinQuery, Parallelism,
-        Relation, Schema,
+        join, join_size, AttrId, Attribute, DeltaJoinPlan, ExecContext, Instance, JoinQuery,
+        JoinSizeDelta, NeighborEdit, Parallelism, Relation, Schema,
     };
     pub use dpsyn_sensitivity::{
         local_sensitivity, residual_sensitivity, ResidualSensitivity, SensitivityConfig,

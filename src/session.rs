@@ -38,16 +38,31 @@
 //! The expensive substrate of the releases is shared **across calls**: the
 //! `2^m` sub-join lattice that residual/local sensitivity enumerate is
 //! checked into the session after every call and checked back out by the
-//! next one, and the full join used for truth evaluation is kept alongside.
-//! A session therefore tracks one `(query, instance)` pair at a time, keyed
-//! by a structural fingerprint of the data
+//! next one, and the full join used for truth evaluation — plus the
+//! instance's delta-join plan — is kept alongside.  A session keeps a small
+//! **LRU of per-instance slots** (default
+//! [`dpsyn_relational::DEFAULT_CACHE_SLOTS`], configurable via
+//! [`SensitivityConfig::with_cache_slots`]), each keyed by a structural
+//! fingerprint of the data
 //! ([`dpsyn_relational::instance_fingerprint`]): repeat releases,
-//! sensitivity sweeps over `β`, and workload evaluations over the same
-//! instance skip the join work entirely, while *any* change to the instance
-//! changes its fingerprint and starts cold — stale answers are structurally
-//! impossible.  [`Session::clear_cache`] drops the cached results (they are
-//! held until then; see the memory note in
+//! sensitivity sweeps over `β`, workload evaluations, and interleaved calls
+//! over a small working set of instances (hierarchical per-part releases,
+//! multi-tenant serving) skip the join work entirely, while *any* change to
+//! an instance changes its fingerprint and starts cold — stale answers are
+//! structurally impossible.  [`Session::clear_cache`] drops the cached
+//! results (they are held until then; see the memory note in
 //! [`dpsyn_relational::cache`]).
+//!
+//! ### Neighbour-edit sweeps
+//!
+//! Sensitivity sweeps over single-tuple edits are **delta-maintained**:
+//! [`Session::local_sensitivity_sweep`] and
+//! [`Session::smooth_sensitivity_bruteforce`] price each edit at a hash
+//! probe through the cached
+//! [`DeltaJoinPlan`](dpsyn_relational::DeltaJoinPlan) instead of
+//! materialising and re-joining every neighbour instance, with byte-identical
+//! results (the materializing paths survive as `*_materializing` oracles on
+//! [`SensitivityOps`]).
 //!
 //! ### Determinism contract
 //!
@@ -70,7 +85,9 @@
 use dpsyn_core::{IndependentLaplaceBaseline, Mechanism, SyntheticRelease};
 use dpsyn_noise::{seeded_rng, PrivacyParams};
 use dpsyn_query::{AnswerOps, AnswerSet, ProductQuery, QueryFamily};
-use dpsyn_relational::{ExecContext, Instance, JoinQuery, Parallelism};
+use dpsyn_relational::{
+    ExecContext, Instance, JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism,
+};
 use dpsyn_sensitivity::{ResidualSensitivity, SensitivityConfig, SensitivityOps};
 
 /// Everything one release needs, bundled: the join query, the private
@@ -307,6 +324,61 @@ impl Session {
         self.ctx.residual_sensitivity(query, instance, beta)
     }
 
+    // --- neighbour-edit deltas ---------------------------------------------
+
+    /// The local sensitivities of every neighbour `I ± edit`, swept
+    /// incrementally: the session's cached
+    /// [`DeltaJoinPlan`](dpsyn_relational::DeltaJoinPlan) prices each edit
+    /// at a hash probe instead of a full re-join.  Results are in edit order
+    /// and byte-identical to materialising every neighbour.
+    pub fn local_sensitivity_sweep(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        edits: &[NeighborEdit],
+    ) -> dpsyn_sensitivity::Result<Vec<u128>> {
+        self.ctx.local_sensitivity_sweep(query, instance, edits)
+    }
+
+    /// Restricted brute-force smooth sensitivity (delta-maintained edit
+    /// sweeps; see
+    /// [`dpsyn_sensitivity::smooth_sensitivity_bruteforce`]).
+    pub fn smooth_sensitivity_bruteforce(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        beta: f64,
+        max_radius: usize,
+    ) -> dpsyn_sensitivity::Result<f64> {
+        self.ctx
+            .smooth_sensitivity_bruteforce(query, instance, beta, max_radius)
+    }
+
+    /// The signed join-size change `count(I ± edit) - count(I)` of one
+    /// neighbouring edit, via the cached delta plan — no join over the
+    /// edited instance is built.  For per-edit loops prefer
+    /// [`Session::join_size_deltas`], which resolves the plan once for the
+    /// whole sweep.
+    pub fn join_size_delta(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        edit: &NeighborEdit,
+    ) -> dpsyn_relational::Result<JoinSizeDelta> {
+        self.ctx.join_size_delta(query, instance, edit)
+    }
+
+    /// The signed join-size changes of a batch of neighbouring edits, in
+    /// edit order (one plan lookup, a hash probe per edit).
+    pub fn join_size_deltas(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+        edits: &[NeighborEdit],
+    ) -> dpsyn_relational::Result<Vec<JoinSizeDelta>> {
+        self.ctx.join_size_deltas(query, instance, edits)
+    }
+
     // --- cache introspection ------------------------------------------------
 
     /// Number of sub-join lattice entries currently persisted.
@@ -409,5 +481,58 @@ mod tests {
 
         session.clear_cache();
         assert_eq!(session.cached_subjoins(), 0);
+    }
+
+    #[test]
+    fn session_edit_sweeps_match_materializing_and_lru_keeps_instances_warm() {
+        let (q, inst) = fixture();
+        let session = Session::sequential();
+        // Delta sweep over every removal edit equals materialising each
+        // neighbour and recomputing from scratch.
+        let edits = inst.removal_edits();
+        let swept = session.local_sensitivity_sweep(&q, &inst, &edits).unwrap();
+        for (edit, ls) in edits.iter().zip(&swept) {
+            let neighbor = inst.apply_edit(edit).unwrap();
+            assert_eq!(
+                *ls,
+                dpsyn_sensitivity::local_sensitivity(&q, &neighbor).unwrap()
+            );
+        }
+        // Join-size deltas agree with re-joining (batch API: one plan
+        // lookup for the whole sweep).
+        let base = session.join_size(&q, &inst).unwrap();
+        let deltas = session.join_size_deltas(&q, &inst, &edits).unwrap();
+        for (edit, delta) in edits.iter().zip(&deltas) {
+            let neighbor = inst.apply_edit(edit).unwrap();
+            assert_eq!(delta.apply(base), session.join_size(&q, &neighbor).unwrap());
+        }
+        assert_eq!(
+            session.join_size_delta(&q, &inst, &edits[0]).unwrap(),
+            deltas[0]
+        );
+        // Smooth sensitivity through the session equals the free function.
+        assert_eq!(
+            session
+                .smooth_sensitivity_bruteforce(&q, &inst, 0.4, 2)
+                .unwrap(),
+            dpsyn_sensitivity::smooth_sensitivity_bruteforce(&q, &inst, 0.4, 2).unwrap()
+        );
+        // The LRU keeps several instances warm at once: touching a second
+        // instance must not evict the first one's lattice or plan.
+        let mut other = inst.clone();
+        other.relation_mut(0).add(vec![7, 7], 2).unwrap();
+        session
+            .local_sensitivity_sweep(&q, &other, &other.removal_edits())
+            .unwrap();
+        let (hits_before, _) = session.cache_stats();
+        session.local_sensitivity_sweep(&q, &inst, &edits).unwrap();
+        session
+            .local_sensitivity_sweep(&q, &other, &other.removal_edits())
+            .unwrap();
+        let (hits_after, _) = session.cache_stats();
+        assert!(
+            hits_after >= hits_before + 2,
+            "both instances must stay warm across interleaved sweeps"
+        );
     }
 }
