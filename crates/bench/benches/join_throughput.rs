@@ -15,16 +15,24 @@
 //! against a cold (fresh context per call) residual-sensitivity β sweep,
 //! plus `edit_sweep/*` rows measuring delta-join maintenance (probe one
 //! edited tuple through the cached sub-join lattice) against the full
-//! re-join baseline on removal and smooth-sensitivity sweeps.
+//! re-join baseline on removal and smooth-sensitivity sweeps, plus
+//! `planner/*` rows comparing the cost-based lattice decomposition against
+//! the historical fixed-prefix chain on chain / star / skewed scenarios —
+//! recording the chosen decomposition (`spine`, `top_order`) and the total
+//! cached-intermediate tuple counts alongside wall-clock (`--planner-smoke`
+//! runs only this group, for CI).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::black_box;
 use dpsyn_bench::{print_table, rows_to_json_pretty, Row};
-use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
+use dpsyn_datagen::{random_path, random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive};
-use dpsyn_relational::{join_size, ExecContext, Instance, JoinQuery};
+use dpsyn_relational::{
+    join_size, ExecContext, Instance, JoinPlan, JoinQuery, Parallelism, ShardedSubJoinCache,
+};
 use dpsyn_sensitivity::{all_boundary_values, SensitivityConfig, SensitivityOps};
 
 /// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
@@ -86,6 +94,146 @@ fn bench_scaling(label: &str, mut par: impl FnMut(), mut seq: impl FnMut()) -> R
         .with("available_cores", cores as f64)
 }
 
+/// A local-sensitivity-style lattice pass over one cache: the `m`
+/// size-`(m-1)` directions evaluated as transient tops, memoising (and thus
+/// keeping resident) exactly the decomposition chains the cache's plan
+/// chooses.  Returns the local sensitivity, so identity across plans is
+/// checked by the caller.
+fn lattice_pass(query: &JoinQuery, cache: &ShardedSubJoinCache<'_>) -> u128 {
+    let m = query.num_relations();
+    let full = (1u32 << m) - 1;
+    let mut best = 0u128;
+    for i in 0..m {
+        let others_mask = full & !(1u32 << i);
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let boundary = query.boundary(&others).expect("valid subset");
+        let value = cache
+            .join_mask_transient(others_mask, Parallelism::SEQUENTIAL)
+            .expect("sub-join")
+            .max_group_weight(&boundary)
+            .expect("grouping");
+        best = best.max(value);
+    }
+    best
+}
+
+/// A skewed-degree star: heterogeneous relation sizes plus Zipf hubs, so
+/// pair sub-joins differ wildly in size and the planner's parent choice
+/// matters.
+fn skewed_star(per_rel: usize, seed: u64) -> (JoinQuery, Instance) {
+    use rand::Rng;
+    let query = JoinQuery::star(4, 64).expect("m >= 1");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    let mut rng = seeded_rng(seed);
+    for rel in 0..4usize {
+        // Sizes 27×, 9×, 3×, 1× the base: the heavy relations sit at the LOW
+        // indices, so the fixed rule (peel the highest index) keeps them in
+        // every parent while the planner peels them off first.
+        let n = per_rel * 3usize.pow(3 - rel as u32);
+        for _ in 0..n {
+            let hub = (rng.random::<f64>().powi(3) * 64.0) as u64 % 64;
+            let petal = rng.random_range(0u64..64);
+            inst.relation_mut(rel)
+                .add(vec![hub, petal], 1)
+                .expect("valid tuple");
+        }
+    }
+    (query, inst)
+}
+
+/// The planner-vs-fixed-prefix scenario group: chain, uniform star and
+/// skewed star instances, measuring the wall-clock and the total
+/// cached-intermediate tuples of a cold local-sensitivity lattice pass
+/// under each decomposition.  Identity of the computed sensitivities is
+/// asserted before timing; the planner rows record the chosen top-level
+/// order and decomposition spine.
+fn planner_rows(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let scenarios: Vec<(String, JoinQuery, Instance)> = vec![
+        {
+            let per_rel = if quick { 70 } else { 200 };
+            let (q, i) = random_path(5, 64, per_rel, 0.7, &mut seeded_rng(21));
+            (format!("planner/chain/path5/{per_rel}"), q, i)
+        },
+        {
+            let per_rel = if quick { 80 } else { 240 };
+            let (q, i) = random_star(4, 32, per_rel, 0.0, &mut seeded_rng(22));
+            (format!("planner/star/star4/{per_rel}"), q, i)
+        },
+        {
+            let per_rel = if quick { 20 } else { 50 };
+            let (q, i) = skewed_star(per_rel, 23);
+            (format!("planner/skew/star4/{per_rel}"), q, i)
+        },
+    ];
+    for (label, query, instance) in &scenarios {
+        let plan = Arc::new(JoinPlan::cost_based(query, instance).expect("plan"));
+        // Identity before timing: the planner pass computes exactly the
+        // fixed-prefix pass's local sensitivity.
+        let (fixed_value, prefix_tuples) = {
+            let cache = ShardedSubJoinCache::new(query, instance).expect("cache");
+            (lattice_pass(query, &cache), cache.cached_tuples())
+        };
+        let (planned_value, planner_tuples) = {
+            let cache =
+                ShardedSubJoinCache::with_plan(query, instance, Arc::clone(&plan)).expect("cache");
+            (lattice_pass(query, &cache), cache.cached_tuples())
+        };
+        assert_eq!(
+            planned_value, fixed_value,
+            "planner pass must equal fixed-prefix pass"
+        );
+
+        let planner_run = || {
+            // The plan build (statistics + pivot table) is part of the
+            // measured cost: this is what a cold context checkout pays.
+            let plan = Arc::new(JoinPlan::cost_based(query, instance).expect("plan"));
+            let cache = ShardedSubJoinCache::with_plan(query, instance, plan).expect("cache");
+            black_box(lattice_pass(query, &cache));
+        };
+        let prefix_run = || {
+            let cache = ShardedSubJoinCache::new(query, instance).expect("cache");
+            black_box(lattice_pass(query, &cache));
+        };
+        let probe = Instant::now();
+        prefix_run();
+        let samples = sample_count(probe.elapsed());
+        let planner_ns = median_ns(samples, planner_run);
+        let prefix_ns = median_ns(samples, prefix_run);
+        let speedup = prefix_ns / planner_ns.max(1.0);
+        let tuple_ratio = prefix_tuples as f64 / (planner_tuples as f64).max(1.0);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let spine = plan
+            .spine()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(">");
+        let top_order = plan
+            .top_order()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(">");
+        println!(
+            "bench: {label:<32} planner {planner_ns:>12.1} ns  prefix {prefix_ns:>12.1} ns  speedup {speedup:>6.2}x  tuples {planner_tuples} vs {prefix_tuples} ({tuple_ratio:.2}x, spine {spine})"
+        );
+        rows.push(
+            Row::new(label)
+                .with("planner_ns", planner_ns)
+                .with("prefix_ns", prefix_ns)
+                .with("speedup", speedup)
+                .with("planner_tuples", planner_tuples as f64)
+                .with("prefix_tuples", prefix_tuples as f64)
+                .with("tuple_ratio", tuple_ratio)
+                .with("available_cores", cores as f64)
+                .with_text("spine", spine)
+                .with_text("top_order", top_order),
+        );
+    }
+    rows
+}
+
 fn join_scenarios() -> Vec<(String, JoinQuery, Instance)> {
     let mut out = Vec::new();
     for &n in &[200usize, 800] {
@@ -103,6 +251,17 @@ fn join_scenarios() -> Vec<(String, JoinQuery, Instance)> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // CI's dedicated planner smoke: run only the planner-vs-prefix group
+    // (small sizes, identity asserts included) and skip the JSON write so
+    // the committed BENCH_join.json is never truncated.
+    if std::env::args().any(|a| a == "--planner-smoke") {
+        let rows = planner_rows(true);
+        print_table(
+            "planner smoke — cost-based vs fixed-prefix decomposition",
+            &rows,
+        );
+        return;
+    }
     let mut rows = Vec::new();
 
     // --- Join throughput: hash engine vs. naive engine --------------------
@@ -354,6 +513,9 @@ fn main() {
                 .with("available_cores", cores as f64),
         );
     }
+
+    // --- Cost-based planner vs fixed-prefix decomposition -------------------
+    rows.extend(planner_rows(quick));
 
     print_table("join_throughput — hash engine vs naive reference", &rows);
 

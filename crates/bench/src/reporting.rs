@@ -7,13 +7,17 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// One row of an experiment's output: a label plus named numeric columns.
+/// One row of an experiment's output: a label plus named numeric columns
+/// (and optional named text columns, e.g. a planner's chosen join order).
 #[derive(Debug, Clone, Default)]
 pub struct Row {
     /// Row label (e.g. the swept parameter value).
     pub label: String,
     /// Named numeric columns, in insertion order of the experiment.
     pub values: BTreeMap<String, f64>,
+    /// Named text columns (serialized into the same JSON `values` object as
+    /// strings; omitted from the plain-text table).
+    pub texts: BTreeMap<String, String>,
 }
 
 impl Row {
@@ -22,6 +26,7 @@ impl Row {
         Row {
             label: label.into(),
             values: BTreeMap::new(),
+            texts: BTreeMap::new(),
         }
     }
 
@@ -31,19 +36,36 @@ impl Row {
         self
     }
 
+    /// Adds a named text column (builder style).
+    pub fn with_text(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.texts.insert(key.to_string(), value.into());
+        self
+    }
+
     /// Serializes the row as a JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"label\":");
         json_escape_into(&mut out, &self.label);
         out.push_str(",\"values\":{");
-        for (i, (k, v)) in self.values.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for (k, v) in &self.values {
+            if !first {
                 out.push(',');
             }
+            first = false;
             json_escape_into(&mut out, k);
             out.push(':');
             write_json_number(&mut out, *v);
+        }
+        for (k, v) in &self.texts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json_escape_into(&mut out, k);
+            out.push(':');
+            json_escape_into(&mut out, v);
         }
         out.push_str("}}");
         out
@@ -166,6 +188,19 @@ mod tests {
         assert!(pretty.starts_with("[\n"));
         assert!(pretty.ends_with(']'));
         assert_eq!(rows_to_json_pretty(&[]), "[]");
+    }
+
+    #[test]
+    fn text_columns_serialize_as_json_strings() {
+        let row = Row::new("planner")
+            .with("speedup", 2.5)
+            .with_text("order", "3>1>0>2");
+        let s = row.to_json();
+        assert!(s.contains("\"speedup\":2.5"));
+        assert!(s.contains("\"order\":\"3>1>0>2\""));
+        // Text-only rows still produce a well-formed values object.
+        let only_text = Row::new("x").with_text("note", "n").to_json();
+        assert!(only_text.contains("{\"note\":\"n\"}"));
     }
 
     #[test]

@@ -60,19 +60,6 @@ impl IndependentLaplaceBaseline {
         }
     }
 
-    /// Sets the execution settings (parallelism) for the sensitivity
-    /// computation.  Results are byte-identical at every level.
-    #[deprecated(
-        since = "0.1.0",
-        note = "run the baseline through an ExecContext \
-                (IndependentLaplaceBaseline::answer_all_in or \
-                dpsyn::Session::answer_baseline), which owns the execution settings"
-    )]
-    pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
-        self.config = config;
-        self
-    }
-
     /// The execution settings in use.
     pub fn sensitivity_config(&self) -> SensitivityConfig {
         self.config

@@ -238,8 +238,10 @@ impl HierarchicalRelease {
     /// Note on caching: the decomposition produces *distinct* sub-instances,
     /// so their sensitivity computations cannot share lattice entries within
     /// one release — but each part claims its own slot in the context's
-    /// cache LRU, so **repeated** releases over the same instance and seed
-    /// (which re-derive the same parts) find up to
+    /// cache LRU (with its own cost-based join plan, so every per-part
+    /// lattice decomposes along the planner's smallest intermediates), and
+    /// **repeated** releases over the same instance and seed (which
+    /// re-derive the same parts) find up to
     /// [`dpsyn_relational::DEFAULT_CACHE_SLOTS`] of them warm.  Raise the
     /// slot capacity (`SensitivityConfig::with_cache_slots`) to cover larger
     /// partitions.

@@ -20,8 +20,8 @@
 //!
 //! Context use: the mechanisms whose cost is dominated by sensitivity
 //! machinery ([`MultiTable`], [`HierarchicalRelease`]) route their residual
-//! sensitivity computation through the supplied
-//! [`ExecContext`](dpsyn_relational::ExecContext), so a warm long-lived
+//! sensitivity computation through the supplied [`ExecContext`], so a warm
+//! long-lived
 //! context (a `dpsyn::Session`) reuses the `2^m` sub-join lattice across
 //! repeated releases over the same instance.  The two-table mechanisms'
 //! sensitivity is a cheap degree scan with nothing worth caching; they

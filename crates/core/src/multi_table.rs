@@ -49,19 +49,6 @@ impl MultiTable {
         &self.pmw
     }
 
-    /// Sets the execution settings (parallelism) for the residual-sensitivity
-    /// computation that dominates this release.  The released output is
-    /// byte-identical at every parallelism level; only wall-clock changes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "run the release through an ExecContext (MultiTable::release_in or \
-                dpsyn::Session::release), which owns the execution settings"
-    )]
-    pub fn with_sensitivity_config(mut self, config: SensitivityConfig) -> Self {
-        self.sensitivity = config;
-        self
-    }
-
     /// The execution settings in use.
     pub fn sensitivity_config(&self) -> SensitivityConfig {
         self.sensitivity
@@ -107,13 +94,14 @@ impl MultiTable {
     /// Runs the release through an explicit execution context.
     ///
     /// The residual-sensitivity computation that dominates this algorithm
-    /// flows through `ctx`'s persistent sub-join lattice cache, so repeated
-    /// releases (or sensitivity sweeps) over the same instance skip the
-    /// `2^m` subset enumeration — and because the context keeps an **LRU of
-    /// per-instance slots**, interleaved releases over a small working set
-    /// of instances (e.g. `HierarchicalRelease`'s parts) stay warm too.
-    /// Output is byte-identical to [`MultiTable::release`] at the same seed
-    /// — warm or cold cache, at any parallelism level.
+    /// flows through `ctx`'s persistent sub-join lattice cache — decomposed
+    /// along the pair's cost-based join plan — so repeated releases (or
+    /// sensitivity sweeps) over the same instance skip the `2^m` subset
+    /// enumeration — and because the context keeps an **LRU of per-instance
+    /// slots**, interleaved releases over a small working set of instances
+    /// (e.g. `HierarchicalRelease`'s parts) stay warm too.  Output is
+    /// byte-identical to [`MultiTable::release`] at the same seed — warm or
+    /// cold cache, at any parallelism level, under any decomposition.
     pub fn release_in<R: Rng>(
         &self,
         ctx: &ExecContext,

@@ -15,5 +15,5 @@ pub mod random;
 pub mod scenarios;
 
 pub use figures::{example42_instance, fig1_pair, fig2_hard_instance, fig3_nonuniform, fig4_query};
-pub use random::{random_star, random_two_table, zipf_two_table};
+pub use random::{random_path, random_star, random_two_table, zipf_two_table};
 pub use scenarios::{org_hierarchy, retail_star, social_network};

@@ -62,6 +62,40 @@ pub fn zipf_two_table<R: Rng>(
     (query, inst)
 }
 
+/// A random path (chain) join `R_1(A_0, A_1) ⋈ … ⋈ R_m(A_{m-1}, A_m)`:
+/// every shared attribute drawn Zipf(θ), end attributes uniform.  The chain
+/// shape is the planner's stress case — non-adjacent relation subsets are
+/// attribute-disjoint, so a data-oblivious decomposition routes lazy lattice
+/// walks through cross products the cost-based plan avoids.
+pub fn random_path<R: Rng>(
+    m: usize,
+    domain_size: u64,
+    tuples_per_relation: usize,
+    theta: f64,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let query = JoinQuery::path(m, domain_size).expect("m >= 1");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for rel in 0..m {
+        for _ in 0..tuples_per_relation {
+            let left = if rel == 0 {
+                rng.random_range(0..domain_size)
+            } else {
+                zipf_value(domain_size, theta, rng)
+            };
+            let right = if rel + 1 == m {
+                rng.random_range(0..domain_size)
+            } else {
+                zipf_value(domain_size, theta, rng)
+            };
+            inst.relation_mut(rel)
+                .add(vec![left, right], 1)
+                .expect("valid tuple");
+        }
+    }
+    (query, inst)
+}
+
 /// A random star join with `m` petal relations sharing a hub attribute, hub
 /// values drawn Zipf(θ).
 pub fn random_star<R: Rng>(
@@ -115,6 +149,17 @@ mod tests {
             max_deg(&skewed),
             max_deg(&uniform)
         );
+    }
+
+    #[test]
+    fn path_generator_matches_query_shape() {
+        let (q, inst) = random_path(4, 16, 30, 1.0, &mut rng());
+        assert_eq!(q.num_relations(), 4);
+        assert!(inst.validate(&q).is_ok());
+        assert_eq!(inst.input_size(), 120);
+        // Reproducible from the seed.
+        let (_, again) = random_path(4, 16, 30, 1.0, &mut rng());
+        assert_eq!(inst, again);
     }
 
     #[test]

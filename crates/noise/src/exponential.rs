@@ -6,7 +6,7 @@
 //! `(ε, 0)`-DP.  Algorithm 2 uses it in every iteration to select a query
 //! whose current answer is far from the truth (a *maximising* selection, so
 //! the exponent carries a positive sign — the `−0.5` in the paper's line 5 is
-//! a typographical slip of the standard mechanism from [36]).
+//! a typographical slip of the standard mechanism from \[36\]).
 
 use crate::error::NoiseError;
 use crate::Result;

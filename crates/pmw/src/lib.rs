@@ -1,5 +1,5 @@
 //! Single-table Private Multiplicative Weights (PMW) synthetic-data release —
-//! Algorithm 2 of the paper (after Hardt–Ligett–McSherry [25]).
+//! Algorithm 2 of the paper (after Hardt–Ligett–McSherry \[25\]).
 //!
 //! The multi-table algorithms of the paper reduce to this primitive: they
 //! compute the join, derive a private upper bound `Δ̃` on the relevant

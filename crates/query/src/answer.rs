@@ -8,14 +8,13 @@ use crate::family::QueryFamily;
 use crate::product::{JointEvaluator, ProductQuery};
 use crate::Result;
 
-/// Query answering evaluated through an
-/// [`ExecContext`](dpsyn_relational::ExecContext): the context supplies the
-/// worker pool for per-query sweeps and — on a long-lived context
-/// (`dpsyn::Session`) — a cached full join, so *repeated* workload
+/// Query answering evaluated through an [`ExecContext`]: the context
+/// supplies the worker pool for per-query sweeps and — on a long-lived
+/// context (`dpsyn::Session`) — a cached full join, so *repeated* workload
 /// evaluations over the same instance join once and answer many times.
 ///
 /// Determinism: the cached join is produced by the exact same size-ordered
-/// fold as [`dpsyn_relational::join`], and each query's accumulation stays
+/// fold as [`dpsyn_relational::join()`], and each query's accumulation stays
 /// sequential in construction order, so every answer is bit-identical to the
 /// free-function path at every worker count, warm or cold.
 pub trait AnswerOps {
@@ -202,22 +201,6 @@ pub fn answer_on_instance(query: &JoinQuery, instance: &Instance, q: &ProductQue
     answer_on_join(query, &j, q)
 }
 
-/// [`answer_on_instance`] at an explicit parallelism level (the internal
-/// join's probe loops partition across the workers).
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::answer_on_instance via AnswerOps (or dpsyn::Session), \
-            which also caches the join across calls"
-)]
-pub fn answer_on_instance_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    q: &ProductQuery,
-    par: Parallelism,
-) -> Result<f64> {
-    ExecContext::new(par).answer_on_instance(query, instance, q)
-}
-
 impl QueryFamily {
     /// Answers every query in the family on a pre-computed join result.
     pub fn answer_all_on_join(
@@ -228,24 +211,6 @@ impl QueryFamily {
         answer_all_on_join_impl(self, query, join_result, Parallelism::default())
     }
 
-    /// [`QueryFamily::answer_all_on_join`] at an explicit parallelism level:
-    /// queries are independent full passes over the join result, so they
-    /// sweep through the worker pool.  Each query's accumulation stays
-    /// sequential in construction order, so every answer is bit-identical
-    /// to the sequential evaluation at every worker count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExecContext::answer_all_on_join via AnswerOps (or dpsyn::Session)"
-    )]
-    pub fn answer_all_on_join_with(
-        &self,
-        query: &JoinQuery,
-        join_result: &JoinResult,
-        par: Parallelism,
-    ) -> Result<AnswerSet> {
-        answer_all_on_join_impl(self, query, join_result, par)
-    }
-
     /// Answers every query in the family directly on an instance.
     pub fn answer_all_on_instance(
         &self,
@@ -254,22 +219,6 @@ impl QueryFamily {
     ) -> Result<AnswerSet> {
         let j = dpsyn_relational::join(query, instance)?;
         answer_all_on_join_impl(self, query, &j, Parallelism::default())
-    }
-
-    /// [`QueryFamily::answer_all_on_instance`] at an explicit parallelism
-    /// level (join probe loops and the per-query sweep both use the pool).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExecContext::answer_all_on_instance via AnswerOps (or dpsyn::Session), \
-                which also caches the join across calls"
-    )]
-    pub fn answer_all_on_instance_with(
-        &self,
-        query: &JoinQuery,
-        instance: &Instance,
-        par: Parallelism,
-    ) -> Result<AnswerSet> {
-        ExecContext::new(par).answer_all_on_instance(query, instance, self)
     }
 }
 

@@ -30,8 +30,6 @@ pub mod family;
 pub mod linear;
 pub mod product;
 
-#[allow(deprecated)]
-pub use answer::answer_on_instance_with;
 pub use answer::{answer_on_instance, answer_on_join, linf_error, AnswerOps, AnswerSet};
 pub use error::QueryError;
 pub use family::QueryFamily;

@@ -9,18 +9,32 @@
 //!
 //! [`SubJoinCache`] memoises sub-join results keyed by the subset's bitmask.
 //! A subset's result is computed with **one** binary hash-join step from the
-//! cached result of the subset minus its highest relation index, so the
-//! whole `2^m` enumeration performs exactly one join step per *distinct*
-//! non-singleton subset instead of up to `m - 1` steps per subset — and each
-//! shared prefix is computed once, ever.
+//! cached result of the subset minus one relation, so the whole `2^m`
+//! enumeration performs exactly one join step per *distinct* non-singleton
+//! subset instead of up to `m - 1` steps per subset — and each shared
+//! parent is computed once, ever.
+//!
+//! **Which** relation a subset peels off is governed by a
+//! [`JoinPlan`]: bare caches ([`SubJoinCache::new`],
+//! [`ShardedSubJoinCache::new`]) default to the historical fixed-prefix
+//! chain (always drop the highest relation index), while the `with_plan`
+//! constructors accept the cost-based decomposition DAG the planner builds
+//! from per-relation statistics — dropping the relation whose removal
+//! leaves the smallest estimated intermediate, so lazy walks route around
+//! cross-product parents and the resident intermediates shrink (see
+//! [`crate::plan`]).  [`crate::ExecContext`] builds the plan once per
+//! instance fingerprint and hands the same `Arc` to every checkout, so all
+//! consumers — warm or cold, sequential or parallel — decompose
+//! identically.  Decomposition never changes values: a sub-join is the same
+//! weighted tuple set under every plan, and the lattice is only ever read
+//! through order-free aggregates or sorted emits, so outputs stay
+//! byte-identical to the fixed-prefix path.
 //!
 //! The cache borrows the query and instance immutably; drop it before
-//! mutating the instance.  (Prefix decomposition is deliberately fixed —
-//! reuse across subsets outweighs per-subset join-order selection here.)
-//! `SubJoinCache` is **strictly sequential**: its join steps pin
-//! `Parallelism::SEQUENTIAL`, so callers that request the sequential path
-//! get it even on multicore machines where the engine's defaults resolve
-//! parallel.
+//! mutating the instance.  `SubJoinCache` is **strictly sequential**: its
+//! join steps pin `Parallelism::SEQUENTIAL`, so callers that request the
+//! sequential path get it even on multicore machines where the engine's
+//! defaults resolve parallel.
 //!
 //! [`ShardedSubJoinCache`] is the concurrency-safe sibling used by the
 //! parallel execution layer ([`crate::exec`]): the memo table is split into
@@ -45,6 +59,7 @@ use crate::hash::FxHashMap;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::join::{hash_join_step_with, JoinResult};
+use crate::plan::{JoinPlan, SharedJoinPlan};
 use crate::Result;
 
 /// Memoised sub-join results over one `(query, instance)` pair, keyed by the
@@ -53,12 +68,26 @@ use crate::Result;
 pub struct SubJoinCache<'a> {
     query: &'a JoinQuery,
     instance: &'a Instance,
+    plan: SharedJoinPlan,
     memo: FxHashMap<u32, JoinResult>,
 }
 
 impl<'a> SubJoinCache<'a> {
-    /// Creates an empty cache for the given query and instance.
+    /// Creates an empty cache for the given query and instance, decomposing
+    /// subsets along the historical fixed-prefix chain.
     pub fn new(query: &'a JoinQuery, instance: &'a Instance) -> Result<Self> {
+        let plan = Arc::new(JoinPlan::fixed_prefix(query.num_relations()));
+        Self::with_plan(query, instance, plan)
+    }
+
+    /// Creates an empty cache decomposing subsets along an explicit
+    /// [`JoinPlan`] (usually the cost-based plan of
+    /// [`crate::plan::JoinPlan::cost_based`]).
+    pub fn with_plan(
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+        plan: SharedJoinPlan,
+    ) -> Result<Self> {
         if instance.num_relations() != query.num_relations() {
             return Err(RelationalError::RelationCountMismatch {
                 expected: query.num_relations(),
@@ -73,9 +102,11 @@ impl<'a> SubJoinCache<'a> {
                 query.num_relations()
             )));
         }
+        plan.check_relations(query.num_relations())?;
         Ok(SubJoinCache {
             query,
             instance,
+            plan,
             memo: FxHashMap::default(),
         })
     }
@@ -90,9 +121,20 @@ impl<'a> SubJoinCache<'a> {
         self.instance
     }
 
+    /// The decomposition plan driving this cache.
+    pub fn plan(&self) -> &SharedJoinPlan {
+        &self.plan
+    }
+
     /// Number of sub-join results currently memoised.
     pub fn cached_count(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Total distinct tuples across all memoised sub-join results — the
+    /// resident intermediate footprint the planner works to shrink.
+    pub fn cached_tuples(&self) -> usize {
+        self.memo.values().map(|r| r.distinct_count()).sum()
     }
 
     /// Converts a sorted relation-index subset to its bitmask.
@@ -128,12 +170,12 @@ impl<'a> SubJoinCache<'a> {
     }
 
     /// Computes the sub-join of `rels` reusing (and extending) cached
-    /// prefixes, but **without memoising the final step**: the returned
+    /// parents, but **without memoising the final step**: the returned
     /// result is owned by the caller and freed when dropped.
     ///
     /// Use this when the top-level results are large and consumed once —
     /// e.g. local sensitivity's `m` size-`(m-1)` sub-joins, which share only
-    /// their smaller prefixes.  Memoising them would pin `m` full-size join
+    /// their smaller parents.  Memoising them would pin `m` full-size join
     /// results in memory for no reuse.
     pub fn join_rels_transient(&mut self, rels: &[usize]) -> Result<JoinResult> {
         let mask = self.mask_of(rels)?;
@@ -143,40 +185,40 @@ impl<'a> SubJoinCache<'a> {
                     .to_string(),
             ));
         }
-        let top = (31 - mask.leading_zeros()) as usize;
-        let rest = mask & !(1u32 << top);
+        let pivot = self.plan.pivot(mask);
+        let rest = mask & !(1u32 << pivot);
         // Copy the instance reference out so the shared borrow of the memo
         // entry below doesn't conflict with it.
         let instance = self.instance;
         if rest == 0 {
-            return Ok(JoinResult::from_relation(instance.relation(top)));
+            return Ok(JoinResult::from_relation(instance.relation(pivot)));
         }
         let sub = self.join_mask(rest)?;
         // Strictly sequential: this cache is the single-threaded path (the
         // sharded cache is the parallel one), so it must not inherit the
         // default parallelism of the plain `hash_join_step`.
-        hash_join_step_with(sub, instance.relation(top), Parallelism::SEQUENTIAL)
+        hash_join_step_with(sub, instance.relation(pivot), Parallelism::SEQUENTIAL)
     }
 
-    /// Materialises `mask` (and every missing prefix of its decomposition
+    /// Materialises `mask` (and every missing parent of its decomposition
     /// chain) in the memo table.
     fn ensure(&mut self, mask: u32) -> Result<()> {
-        // Walk down the chain mask → mask \ {top bit} → … until we hit a
-        // cached prefix (or a singleton), then build back up.
+        // Walk down the plan's chain mask → parent(mask) → … until we hit a
+        // cached parent (or a singleton), then build back up.
         let mut missing: Vec<u32> = Vec::new();
         let mut cur = mask;
         while cur != 0 && !self.memo.contains_key(&cur) {
             missing.push(cur);
-            cur &= !(1u32 << (31 - cur.leading_zeros()));
+            cur = self.plan.parent(cur);
         }
         for &step in missing.iter().rev() {
-            let top = (31 - step.leading_zeros()) as usize;
-            let rest = step & !(1u32 << top);
+            let pivot = self.plan.pivot(step);
+            let rest = step & !(1u32 << pivot);
             let result = if rest == 0 {
-                JoinResult::from_relation(self.instance.relation(top))
+                JoinResult::from_relation(self.instance.relation(pivot))
             } else {
-                let sub = self.memo.get(&rest).expect("prefix built first");
-                hash_join_step_with(sub, self.instance.relation(top), Parallelism::SEQUENTIAL)?
+                let sub = self.memo.get(&rest).expect("parent built first");
+                hash_join_step_with(sub, self.instance.relation(pivot), Parallelism::SEQUENTIAL)?
             };
             self.memo.insert(step, result);
         }
@@ -192,7 +234,7 @@ const SHARD_COUNT: usize = 16;
 type MemoShard = Mutex<FxHashMap<u32, Arc<JoinResult>>>;
 
 /// A concurrency-safe variant of [`SubJoinCache`]: the memo table is split
-/// into [`SHARD_COUNT`] mutex-guarded shards keyed by the subset bitmask's
+/// into `SHARD_COUNT` mutex-guarded shards keyed by the subset bitmask's
 /// low bits, and results are stored behind `Arc` so readers hold no lock
 /// while consuming a sub-join.
 ///
@@ -201,18 +243,19 @@ type MemoShard = Mutex<FxHashMap<u32, Arc<JoinResult>>>;
 /// level ([`ShardedSubJoinCache::populate_proper_subsets`]), with every mask
 /// of a level computed by the worker pool from the already-complete previous
 /// level, and workers inserting into (mostly) distinct shards.  Values are
-/// identical to the sequential cache's — both use the same top-bit prefix
-/// decomposition — so parallel and sequential consumers observe the same
-/// results.
+/// identical to the sequential cache's — a sub-join is the same weighted
+/// tuple set under every decomposition — so parallel and sequential
+/// consumers observe the same results.
 ///
 /// Locks are held only for map lookups/inserts, never across a join step.
-/// If two workers race to materialise the same prefix through
+/// If two workers race to materialise the same parent through
 /// [`ShardedSubJoinCache::join_mask`], both compute it and the insertions
 /// are idempotent (the results are equal); determinism is unaffected.
 #[derive(Debug)]
 pub struct ShardedSubJoinCache<'a> {
     query: &'a JoinQuery,
     instance: &'a Instance,
+    plan: SharedJoinPlan,
     shards: Box<[MemoShard]>,
     /// Fingerprint of the `(query, instance)` pair, filled in by
     /// [`crate::ExecContext`] on checkout so check-in does not have to
@@ -221,8 +264,20 @@ pub struct ShardedSubJoinCache<'a> {
 }
 
 impl<'a> ShardedSubJoinCache<'a> {
-    /// Creates an empty sharded cache for the given query and instance.
+    /// Creates an empty sharded cache for the given query and instance,
+    /// decomposing subsets along the historical fixed-prefix chain.
     pub fn new(query: &'a JoinQuery, instance: &'a Instance) -> Result<Self> {
+        let plan = Arc::new(JoinPlan::fixed_prefix(query.num_relations()));
+        Self::with_plan(query, instance, plan)
+    }
+
+    /// Creates an empty sharded cache decomposing subsets along an explicit
+    /// [`JoinPlan`].
+    pub fn with_plan(
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+        plan: SharedJoinPlan,
+    ) -> Result<Self> {
         if instance.num_relations() != query.num_relations() {
             return Err(RelationalError::RelationCountMismatch {
                 expected: query.num_relations(),
@@ -235,6 +290,7 @@ impl<'a> ShardedSubJoinCache<'a> {
                 query.num_relations()
             )));
         }
+        plan.check_relations(query.num_relations())?;
         let shards = (0..SHARD_COUNT)
             .map(|_| Mutex::new(FxHashMap::default()))
             .collect::<Vec<_>>()
@@ -242,6 +298,7 @@ impl<'a> ShardedSubJoinCache<'a> {
         Ok(ShardedSubJoinCache {
             query,
             instance,
+            plan,
             shards,
             fingerprint: None,
         })
@@ -249,21 +306,23 @@ impl<'a> ShardedSubJoinCache<'a> {
 
     /// Creates a sharded cache pre-seeded with previously materialised
     /// sub-join results (the counterpart of
-    /// [`ShardedSubJoinCache::into_memo`]).
+    /// [`ShardedSubJoinCache::into_memo`]), decomposing along `plan`.
     ///
     /// This is the warm-start path of the persistent per-context cache
     /// ([`crate::ExecContext::subjoin_cache`]): a long-lived execution
     /// context snapshots the memo between calls and re-seeds the next cache
-    /// with it, so repeated enumerations over the same `(query, instance)`
-    /// pair skip every already-computed sub-join.  Entries whose mask is out
-    /// of range for `query` are silently dropped (they cannot be reached by
-    /// any valid lookup).
-    pub fn with_memo(
+    /// with it — together with the slot's shared plan, so every checkout
+    /// decomposes identically — and repeated enumerations over the same
+    /// `(query, instance)` pair skip every already-computed sub-join.
+    /// Entries whose mask is out of range for `query` are silently dropped
+    /// (they cannot be reached by any valid lookup).
+    pub fn with_memo_and_plan(
         query: &'a JoinQuery,
         instance: &'a Instance,
         memo: FxHashMap<u32, Arc<JoinResult>>,
+        plan: SharedJoinPlan,
     ) -> Result<Self> {
-        let cache = Self::new(query, instance)?;
+        let cache = Self::with_plan(query, instance, plan)?;
         let m = query.num_relations();
         for (mask, result) in memo {
             if mask != 0 && (mask >> m) == 0 {
@@ -271,6 +330,17 @@ impl<'a> ShardedSubJoinCache<'a> {
             }
         }
         Ok(cache)
+    }
+
+    /// [`ShardedSubJoinCache::with_memo_and_plan`] with the fixed-prefix
+    /// decomposition.
+    pub fn with_memo(
+        query: &'a JoinQuery,
+        instance: &'a Instance,
+        memo: FxHashMap<u32, Arc<JoinResult>>,
+    ) -> Result<Self> {
+        let plan = Arc::new(JoinPlan::fixed_prefix(query.num_relations()));
+        Self::with_memo_and_plan(query, instance, memo, plan)
     }
 
     /// Consumes the cache and returns its materialised sub-join results as
@@ -314,11 +384,31 @@ impl<'a> ShardedSubJoinCache<'a> {
             .or_insert(result);
     }
 
+    /// The decomposition plan driving this cache.
+    pub fn plan(&self) -> &SharedJoinPlan {
+        &self.plan
+    }
+
     /// Number of sub-join results currently memoised across all shards.
     pub fn cached_count(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Total distinct tuples across all memoised sub-join results — the
+    /// resident intermediate footprint the planner works to shrink.
+    pub fn cached_tuples(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(|r| r.distinct_count())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -339,21 +429,21 @@ impl<'a> ShardedSubJoinCache<'a> {
     }
 
     /// Computes `mask`'s sub-join with one hash-join step from the cached
-    /// result of `mask` minus its highest relation index (which must already
-    /// be materialised — the level-by-level populate guarantees it).
-    fn compute_from_prefix(&self, mask: u32, par: Parallelism) -> Result<JoinResult> {
-        let top = (31 - mask.leading_zeros()) as usize;
-        let rest = mask & !(1u32 << top);
+    /// result of `mask` minus its plan pivot (which must already be
+    /// materialised — the level-by-level populate guarantees it).
+    fn compute_from_parent(&self, mask: u32, par: Parallelism) -> Result<JoinResult> {
+        let pivot = self.plan.pivot(mask);
+        let rest = mask & !(1u32 << pivot);
         if rest == 0 {
-            Ok(JoinResult::from_relation(self.instance.relation(top)))
+            Ok(JoinResult::from_relation(self.instance.relation(pivot)))
         } else {
-            let sub = self.get(rest).expect("prefix materialised before use");
-            hash_join_step_with(&sub, self.instance.relation(top), par)
+            let sub = self.get(rest).expect("parent materialised before use");
+            hash_join_step_with(&sub, self.instance.relation(pivot), par)
         }
     }
 
     /// The memoised sub-join of the subset given as a bitmask, materialising
-    /// any missing prefixes of its decomposition chain on the way.  Safe to
+    /// any missing parents of its decomposition chain on the way.  Safe to
     /// call from pool workers concurrently.
     pub fn join_mask(&self, mask: u32, par: Parallelism) -> Result<Arc<JoinResult>> {
         self.check_mask(mask)?;
@@ -361,27 +451,27 @@ impl<'a> ShardedSubJoinCache<'a> {
         let mut cur = mask;
         while cur != 0 && self.get(cur).is_none() {
             missing.push(cur);
-            cur &= !(1u32 << (31 - cur.leading_zeros()));
+            cur = self.plan.parent(cur);
         }
         for &step in missing.iter().rev() {
-            let result = self.compute_from_prefix(step, par)?;
+            let result = self.compute_from_parent(step, par)?;
             self.insert(step, Arc::new(result));
         }
         Ok(self.get(mask).expect("ensured above"))
     }
 
-    /// Computes the sub-join of `mask` reusing cached prefixes but without
+    /// Computes the sub-join of `mask` reusing cached parents but without
     /// memoising the final step (the sharded counterpart of
     /// [`SubJoinCache::join_rels_transient`]).
     pub fn join_mask_transient(&self, mask: u32, par: Parallelism) -> Result<JoinResult> {
         self.check_mask(mask)?;
-        let top = (31 - mask.leading_zeros()) as usize;
-        let rest = mask & !(1u32 << top);
+        let pivot = self.plan.pivot(mask);
+        let rest = mask & !(1u32 << pivot);
         if rest == 0 {
-            return Ok(JoinResult::from_relation(self.instance.relation(top)));
+            return Ok(JoinResult::from_relation(self.instance.relation(pivot)));
         }
         let sub = self.join_mask(rest, par)?;
-        hash_join_step_with(&sub, self.instance.relation(top), par)
+        hash_join_step_with(&sub, self.instance.relation(pivot), par)
     }
 
     /// Materialises every non-empty **proper** subset of `[m]` (all masks
@@ -389,9 +479,10 @@ impl<'a> ShardedSubJoinCache<'a> {
     /// boundary values need), walking the subset lattice level by level
     /// through the worker pool.
     ///
-    /// Level `k` masks depend only on level `k - 1` prefixes, so all masks
-    /// of a level are computed concurrently; when a level has a single mask
-    /// the parallelism is spent inside the join step's probe loop instead.
+    /// Level `k` masks depend only on level `k - 1` parents (every plan
+    /// peels exactly one relation per step), so all masks of a level are
+    /// computed concurrently; when a level has a single mask the parallelism
+    /// is spent inside the join step's probe loop instead.
     pub fn populate_proper_subsets(&self, par: Parallelism) -> Result<()> {
         let m = self.query.num_relations() as u32;
         let full = (1u32 << m) - 1;
@@ -402,7 +493,7 @@ impl<'a> ShardedSubJoinCache<'a> {
             if masks.len() <= 1 {
                 for &mask in &masks {
                     if self.get(mask).is_none() {
-                        let result = self.compute_from_prefix(mask, par)?;
+                        let result = self.compute_from_parent(mask, par)?;
                         self.insert(mask, Arc::new(result));
                     }
                 }
@@ -410,7 +501,7 @@ impl<'a> ShardedSubJoinCache<'a> {
                 let outcomes = exec::par_map(par, masks.len(), |i| -> Result<()> {
                     let mask = masks[i];
                     if self.get(mask).is_none() {
-                        let result = self.compute_from_prefix(mask, Parallelism::SEQUENTIAL)?;
+                        let result = self.compute_from_parent(mask, Parallelism::SEQUENTIAL)?;
                         self.insert(mask, Arc::new(result));
                     }
                     Ok(())
@@ -560,6 +651,73 @@ mod tests {
             let warm = reseeded.get(mask).expect("seeded entry");
             assert_eq!(warm.as_ref(), reference.join_mask(mask).unwrap());
         }
+    }
+
+    fn path_instance(m: usize, per_rel: u64) -> (JoinQuery, Instance) {
+        let q = JoinQuery::path(m, 64).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..m {
+            for v in 0..per_rel {
+                inst.relation_mut(r)
+                    .add(vec![v % 64, (v * 3 + 1) % 64], 1 + v % 2)
+                    .unwrap();
+            }
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn planner_cache_matches_fixed_prefix_and_direct_on_every_mask() {
+        let (q, inst) = path_instance(4, 24);
+        let plan = Arc::new(crate::plan::JoinPlan::cost_based(&q, &inst).unwrap());
+        let mut planned = SubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        let mut fixed = SubJoinCache::new(&q, &inst).unwrap();
+        let sharded = ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        assert!(sharded.plan().is_cost_based());
+        for mask in 1u32..(1 << 4) {
+            let rels: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let direct = join_subset(&q, &inst, &rels).unwrap();
+            // Order-insensitive equality: decompositions may emit rows in
+            // different construction orders, but the weighted tuple sets —
+            // and every aggregate downstream consumers read — must match.
+            assert_eq!(planned.join_mask(mask).unwrap(), &direct, "mask {mask:#b}");
+            assert_eq!(fixed.join_mask(mask).unwrap(), &direct, "mask {mask:#b}");
+            let concurrent = sharded.join_mask(mask, Parallelism::threads(2)).unwrap();
+            assert_eq!(concurrent.as_ref(), &direct, "sharded mask {mask:#b}");
+            assert_eq!(
+                planned.join_rels_transient(&rels).unwrap(),
+                direct,
+                "transient mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_lazy_chains_keep_fewer_intermediate_tuples_on_paths() {
+        // {0, 2, 3} under the fixed chain routes through the cross product
+        // {0, 2}; the planner peels 0 and keeps the linear {2, 3} instead.
+        let (q, inst) = path_instance(4, 32);
+        let plan = Arc::new(crate::plan::JoinPlan::cost_based(&q, &inst).unwrap());
+        let planned = ShardedSubJoinCache::with_plan(&q, &inst, plan).unwrap();
+        let fixed = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        let mask = 0b1101u32;
+        let a = planned.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
+        let b = fixed.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
+        assert_eq!(a.as_ref(), b.as_ref());
+        assert!(
+            planned.cached_tuples() < fixed.cached_tuples(),
+            "planner {} vs fixed {}",
+            planned.cached_tuples(),
+            fixed.cached_tuples()
+        );
+    }
+
+    #[test]
+    fn plan_for_mismatched_arity_is_rejected() {
+        let (q, inst) = star_instance(3);
+        let wrong = Arc::new(crate::plan::JoinPlan::fixed_prefix(5));
+        assert!(SubJoinCache::with_plan(&q, &inst, Arc::clone(&wrong)).is_err());
+        assert!(ShardedSubJoinCache::with_plan(&q, &inst, wrong).is_err());
     }
 
     #[test]

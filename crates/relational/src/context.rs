@@ -38,7 +38,12 @@
 //! Each slot also retains the instance's [`DeltaJoinPlan`]
 //! ([`ExecContext::delta_plan`]): the precomputed probe state that prices a
 //! single-tuple neighbour edit at a hash lookup instead of a full re-join
-//! (see [`crate::delta`]).
+//! (see [`crate::delta`]) — and the pair's cost-based [`JoinPlan`]
+//! ([`ExecContext::join_plan`]): the boundary-aware decomposition DAG built
+//! once from per-relation statistics and handed to **every** sub-join cache
+//! checkout, so parallel and sequential consumers decompose the lattice
+//! identically (see [`crate::plan`]).  [`ExecContext::plan_stats`] exposes
+//! the chosen orders with estimated and actual intermediate sizes.
 //!
 //! **Trust model:** the fingerprint is a *non-cryptographic* Fx hash.  It
 //! guards against accidental staleness (edits, instance swaps), not against
@@ -53,12 +58,15 @@
 //! ### Determinism contract
 //!
 //! Reuse never changes bytes.  Cached sub-joins are exactly the values the
-//! cold path computes (the sharded cache's prefix decomposition is
-//! deterministic and parallelism-independent), and the cached full join is
-//! produced by the same size-ordered fold as [`crate::join::join`] — so a
-//! warm context's outputs are **byte-identical** to a cold context's, which
-//! are in turn byte-identical at every parallelism level.  The caches trade
-//! memory for wall-clock time, never output.
+//! cold path computes (the planner's decomposition is a pure function of
+//! the query and instance statistics — deterministic and
+//! parallelism-independent — and a sub-join is the same weighted tuple set
+//! under every decomposition), and the cached full join is produced by the
+//! same size-ordered fold as [`crate::join::join`] — so a warm context's
+//! outputs are **byte-identical** to a cold context's, which are in turn
+//! byte-identical at every parallelism level and to the fixed-prefix
+//! decomposition.  The caches trade memory for wall-clock time, never
+//! output.
 
 use std::hash::Hasher;
 use std::ops::Range;
@@ -74,6 +82,7 @@ use crate::instance::{Instance, NeighborEdit};
 use crate::join::{
     grouped_join_size_impl, join_impl, join_size_impl, join_subset_impl, JoinResult,
 };
+use crate::plan::{JoinPlan, PlanNodeStats, PlanStats, SharedJoinPlan, PLAN_MAX_RELATIONS};
 use crate::tuple::Value;
 use crate::Result;
 
@@ -134,6 +143,9 @@ struct CacheSlot {
     full_join: Option<Arc<JoinResult>>,
     /// The instance's precomputed delta-join plan (see [`crate::delta`]).
     delta_plan: Option<Arc<DeltaJoinPlan>>,
+    /// The pair's cost-based decomposition plan (see [`crate::plan`]),
+    /// shared by every sub-join cache checkout.
+    join_plan: Option<SharedJoinPlan>,
     /// Logical access time (monotonic per context) driving LRU eviction.
     last_used: u64,
 }
@@ -186,6 +198,7 @@ impl CacheState {
             lattice: FxHashMap::default(),
             full_join: None,
             delta_plan: None,
+            join_plan: None,
             last_used: clock,
         });
         self.slots.last_mut().expect("just pushed")
@@ -356,6 +369,51 @@ impl ExecContext {
         Ok(full)
     }
 
+    // --- join planning ------------------------------------------------------
+
+    /// The pair's cost-based [`JoinPlan`], computed once per instance
+    /// fingerprint and cached in the LRU slot: per-relation statistics are
+    /// gathered in one pass, every subset's decomposition pivot is chosen to
+    /// minimise the estimated intermediate it depends on, and the same
+    /// `Arc` is handed to every subsequent sub-join cache checkout — so all
+    /// consumers (sequential, parallel, warm, cold) decompose identically.
+    ///
+    /// A bare plan lookup never claims (or evicts) an LRU slot — reads stay
+    /// eviction-free, like lattice checkouts.  The plan persists once the
+    /// pair holds a slot: [`ExecContext::retain_subjoin_cache`] stores the
+    /// checked-in cache's cost-based plan alongside its lattice.
+    pub fn join_plan(&self, query: &JoinQuery, instance: &Instance) -> Result<SharedJoinPlan> {
+        let fp = instance_fingerprint(query, instance);
+        self.join_plan_at(fp, query, instance)
+    }
+
+    /// [`ExecContext::join_plan`] for a pre-computed fingerprint (so
+    /// checkouts fingerprint the instance once, not twice).
+    fn join_plan_at(
+        &self,
+        fp: u64,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> Result<SharedJoinPlan> {
+        {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            if let Some(plan) = state
+                .slot_mut(fp)
+                .and_then(|slot| slot.join_plan.as_ref().map(Arc::clone))
+            {
+                return Ok(plan);
+            }
+        }
+        let plan = Arc::new(JoinPlan::cost_based(query, instance)?);
+        let mut state = self.state.lock().expect("context cache poisoned");
+        // Store only into an existing slot: a plan lookup is a read and must
+        // not evict anyone; check-in claims the slot and persists the plan.
+        match state.slot_mut(fp) {
+            Some(slot) => Ok(Arc::clone(slot.join_plan.get_or_insert(plan))),
+            None => Ok(plan),
+        }
+    }
+
     // --- persistent sub-join lattice ---------------------------------------
 
     /// Checks the persistent sub-join lattice out of the context for
@@ -363,7 +421,9 @@ impl ExecContext {
     ///
     /// If the fingerprint matches the stored slot, the returned
     /// [`ShardedSubJoinCache`] starts **warm** (seeded with every previously
-    /// materialised sub-join); otherwise it starts empty.  Pair with
+    /// materialised sub-join); otherwise it starts empty.  Either way it
+    /// decomposes subsets along the slot's shared cost-based [`JoinPlan`]
+    /// (built on first checkout).  Pair with
     /// [`ExecContext::retain_subjoin_cache`] to persist whatever the
     /// computation materialised.  The memo entries are `Arc`-shared clones,
     /// so concurrent checkouts of the same context all see the warm lattice
@@ -374,6 +434,7 @@ impl ExecContext {
         instance: &'a Instance,
     ) -> Result<ShardedSubJoinCache<'a>> {
         let fp = instance_fingerprint(query, instance);
+        let plan = self.join_plan_at(fp, query, instance)?;
         let memo = {
             let mut state = self.state.lock().expect("context cache poisoned");
             match state.slot_mut(fp) {
@@ -388,7 +449,7 @@ impl ExecContext {
                 }
             }
         };
-        let mut cache = ShardedSubJoinCache::with_memo(query, instance, memo)?;
+        let mut cache = ShardedSubJoinCache::with_memo_and_plan(query, instance, memo, plan)?;
         cache.fingerprint = Some(fp);
         Ok(cache)
     }
@@ -404,14 +465,21 @@ impl ExecContext {
         let fp = cache
             .fingerprint
             .unwrap_or_else(|| instance_fingerprint(cache.query(), cache.instance()));
+        let plan = Arc::clone(cache.plan());
         let memo = cache.into_memo();
         let mut state = self.state.lock().expect("context cache poisoned");
-        // Values for equal masks are equal (deterministic prefix
-        // decomposition), so overwrite-on-merge is safe.
-        state
-            .slot_mut_or_insert(fp, self.cache_slots)
-            .lattice
-            .extend(memo);
+        // Values for equal masks are equal under every decomposition (a
+        // sub-join is the same weighted tuple set regardless of the plan
+        // that built it), so overwrite-on-merge is safe even when a
+        // hand-built fixed-prefix cache checks into a planner slot.
+        let slot = state.slot_mut_or_insert(fp, self.cache_slots);
+        slot.lattice.extend(memo);
+        // Persist the checkout's cost-based plan so the next checkout
+        // decomposes identically without rebuilding it.  Hand-built
+        // fixed-prefix caches never displace a planner plan.
+        if plan.is_cost_based() {
+            slot.join_plan.get_or_insert(plan);
+        }
     }
 
     // --- delta-join maintenance ---------------------------------------------
@@ -492,6 +560,61 @@ impl ExecContext {
             .sum()
     }
 
+    /// Total distinct tuples across all persisted lattice entries — the
+    /// resident intermediate footprint the cost-based planner works to
+    /// shrink (tracked by the `planner/*` rows of `BENCH_join.json`).
+    pub fn cached_subjoin_tuples(&self) -> usize {
+        self.state
+            .lock()
+            .expect("context cache poisoned")
+            .slots
+            .iter()
+            .flat_map(|s| s.lattice.values())
+            .map(|r| r.distinct_count())
+            .sum()
+    }
+
+    /// Planner diagnostics for `(query, instance)`: the decomposition pivots
+    /// with estimated cardinalities (building and caching the pair's
+    /// [`JoinPlan`] if absent), the recorded top-level join order, and the
+    /// actual sizes of every lattice entry currently materialised for the
+    /// pair.
+    pub fn plan_stats(&self, query: &JoinQuery, instance: &Instance) -> Result<PlanStats> {
+        let fp = instance_fingerprint(query, instance);
+        let plan = self.join_plan_at(fp, query, instance)?;
+        let actuals: FxHashMap<u32, usize> = {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            match state.slot_mut(fp) {
+                Some(slot) => slot
+                    .lattice
+                    .iter()
+                    .map(|(&mask, result)| (mask, result.distinct_count()))
+                    .collect(),
+                None => FxHashMap::default(),
+            }
+        };
+        let m = query.num_relations();
+        let mut nodes = Vec::new();
+        if m <= PLAN_MAX_RELATIONS {
+            for mask in 1u32..(1u32 << m) {
+                nodes.push(PlanNodeStats {
+                    mask,
+                    pivot: plan.pivot(mask),
+                    estimated_rows: plan.estimated_rows(mask),
+                    actual_rows: actuals.get(&mask).copied(),
+                });
+            }
+        }
+        Ok(PlanStats {
+            cost_based: plan.is_cost_based(),
+            top_order: plan.top_order().to_vec(),
+            spine: plan.spine(),
+            nodes,
+            cached_masks: actuals.len(),
+            cached_tuples: actuals.values().sum(),
+        })
+    }
+
     /// Number of `(query, instance)` pairs currently holding an LRU slot.
     pub fn cached_instances(&self) -> usize {
         self.state
@@ -509,9 +632,9 @@ impl ExecContext {
         (state.hits, state.misses)
     }
 
-    /// Drops every persisted cache slot (full joins, lattices and delta
-    /// plans), releasing their memory.  The context remains usable; the next
-    /// call simply starts cold.
+    /// Drops every persisted cache slot (full joins, lattices, delta plans
+    /// and join plans), releasing their memory.  The context remains usable;
+    /// the next call simply starts cold.
     pub fn clear_cache(&self) {
         let mut state = self.state.lock().expect("context cache poisoned");
         state.slots.clear();
@@ -742,6 +865,61 @@ mod tests {
             delta.apply(base),
             join(&q, &inst.apply_edit(&edit).unwrap()).unwrap().total()
         );
+    }
+
+    #[test]
+    fn join_plan_is_shared_per_slot_and_survives_checkin() {
+        let (q, inst) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        // Checkout builds the cost-based plan and hands it to the cache.
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert!(cache.plan().is_cost_based());
+        let plan_in_cache = Arc::clone(cache.plan());
+        ctx.retain_subjoin_cache(cache);
+        // The plan persisted with the slot: later lookups return the same Arc.
+        let again = ctx.join_plan(&q, &inst).unwrap();
+        assert!(Arc::ptr_eq(&plan_in_cache, &again));
+        let warm = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert!(Arc::ptr_eq(&plan_in_cache, warm.plan()));
+        // A plan lookup on an unknown pair never claims an LRU slot.
+        let mut other = inst.clone();
+        other.relation_mut(0).add(vec![9, 9], 1).unwrap();
+        let before = ctx.cached_instances();
+        let _ = ctx.join_plan(&q, &other).unwrap();
+        assert_eq!(ctx.cached_instances(), before);
+    }
+
+    #[test]
+    fn plan_stats_report_orders_and_materialised_sizes() {
+        let (q, inst) = star_instance(4);
+        let ctx = ExecContext::sequential();
+        let cold = ctx.plan_stats(&q, &inst).unwrap();
+        assert!(cold.cost_based);
+        assert_eq!(cold.top_order.len(), 4);
+        assert_eq!(cold.spine.len(), 4);
+        assert_eq!(cold.nodes.len(), (1 << 4) - 1);
+        assert_eq!(cold.cached_masks, 0);
+        assert_eq!(cold.cached_tuples, 0);
+        // Populate the lattice; the stats now carry actual sizes.
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        let warm = ctx.plan_stats(&q, &inst).unwrap();
+        assert_eq!(warm.cached_masks, (1 << 4) - 2);
+        assert_eq!(warm.cached_tuples, ctx.cached_subjoin_tuples());
+        assert!(warm.cached_tuples > 0);
+        let materialised = warm
+            .nodes
+            .iter()
+            .filter(|n| n.actual_rows.is_some())
+            .count();
+        assert_eq!(materialised, warm.cached_masks);
+        for node in &warm.nodes {
+            assert!(node.estimated_rows.is_some());
+            assert!(node.mask & (1 << node.pivot) != 0, "pivot inside mask");
+        }
     }
 
     #[test]

@@ -37,8 +37,9 @@
 //! buffers are concatenated **in range order**, which reproduces the
 //! sequential emission order byte for byte at every worker count.  The
 //! plain entry points ([`join`], [`join_size`], …) use
-//! [`Parallelism::default`]; the `*_with` variants take an explicit knob,
-//! and `Parallelism::SEQUENTIAL` is exactly the pre-parallel code path.
+//! [`Parallelism::default`]; [`crate::ExecContext`] methods take the knob
+//! from the context, and `Parallelism::SEQUENTIAL` is exactly the
+//! pre-parallel code path.
 //!
 //! Determinism is preserved by sorting on emit: [`JoinResult::iter`],
 //! [`JoinResult::group_by`] and [`JoinResult::distinct_projections`] return
@@ -412,17 +413,66 @@ pub fn hash_join_step_with(
     })
 }
 
+/// The engine's greedy fold order for joining the relation subset `rels`:
+/// start from the smallest relation, then repeatedly pick, among the
+/// remaining relations that **share an attribute** with the accumulated
+/// attribute set, the one with the fewest distinct tuples — falling back to
+/// the smallest remaining relation only when the subset's join graph is
+/// genuinely disconnected (where a cross product is unavoidable).  Ties
+/// break on the lower relation index, so the order is deterministic.
+///
+/// This is exactly the order [`join_subset`] folds in; it is exposed so the
+/// cost-based planner ([`crate::plan::JoinPlan`]) can record the top-level
+/// join order it shares with the engine.  `rels` is assumed valid (checked
+/// by the callers).
+pub fn fold_order(instance: &Instance, rels: &[usize]) -> Vec<usize> {
+    let size_of = |ri: usize| instance.relation(ri).distinct_count();
+    let mut remaining: Vec<usize> = rels.to_vec();
+    let mut order = Vec::with_capacity(rels.len());
+    let Some(start) = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &ri)| (size_of(ri), ri))
+        .map(|(pos, _)| pos)
+    else {
+        return order;
+    };
+    let first = remaining.remove(start);
+    order.push(first);
+    let mut acc_attrs: Vec<AttrId> = instance.relation(first).attrs().to_vec();
+    while !remaining.is_empty() {
+        // Prefer the smallest relation connected to the accumulator; the
+        // (ri) tie-break keeps the order — and thus saturation behaviour —
+        // deterministic.
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ri)| {
+                !intersect_attrs(&acc_attrs, instance.relation(ri).attrs()).is_empty()
+            })
+            .min_by_key(|&(_, &ri)| (size_of(ri), ri))
+            .or_else(|| {
+                remaining
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &ri)| (size_of(ri), ri))
+            })
+            .map(|(pos, _)| pos)
+            .expect("non-empty remaining set");
+        let ri = remaining.remove(pick);
+        acc_attrs = union_attrs(&acc_attrs, instance.relation(ri).attrs());
+        order.push(ri);
+    }
+    order
+}
+
 /// Joins the subset `rels` of the instance's relations (a sub-join of the
 /// query).  `rels` must be non-empty, sorted and in range.
 ///
-/// Join-order selection: the fold starts from the smallest relation and
-/// greedily picks, among the remaining relations that **share an attribute**
-/// with the accumulated result, the one with the fewest distinct tuples —
-/// falling back to the smallest remaining relation only when the subset's
-/// join graph is genuinely disconnected (where a cross product is
-/// unavoidable).  Connectivity-awareness matters: size alone could join two
+/// Join-order selection follows [`fold_order`]: smallest-first, preferring
+/// relations connected to the accumulated result (size alone could join two
 /// small but attribute-disjoint relations first and materialise a cross
-/// product a connected order never builds.  Each binary step additionally
+/// product a connected order never builds).  Each binary step additionally
 /// builds its hash index on the smaller operand.  The result is independent
 /// of the fold order (weights saturate identically only in astronomically
 /// large joins).
@@ -430,23 +480,7 @@ pub fn join_subset(query: &JoinQuery, instance: &Instance, rels: &[usize]) -> Re
     join_subset_impl(query, instance, rels, Parallelism::default())
 }
 
-/// [`join_subset`] at an explicit parallelism level (every binary step's
-/// probe loop is partitioned across the workers; results are byte-identical
-/// at every level).
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::join_subset (or dpsyn::Session), which also enables cross-call caching"
-)]
-pub fn join_subset_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    rels: &[usize],
-    par: Parallelism,
-) -> Result<JoinResult> {
-    join_subset_impl(query, instance, rels, par)
-}
-
-/// Shared implementation behind [`join_subset`], [`join_subset_with`] and
+/// Shared implementation behind [`join_subset`] and
 /// [`crate::ExecContext::join_subset`].
 pub(crate) fn join_subset_impl(
     query: &JoinQuery,
@@ -468,37 +502,9 @@ pub(crate) fn join_subset_impl(
         });
     }
 
-    let size_of = |ri: usize| instance.relation(ri).distinct_count();
-    let mut remaining: Vec<usize> = rels.to_vec();
-    let start = remaining
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, &ri)| (size_of(ri), ri))
-        .map(|(pos, _)| pos)
-        .expect("non-empty subset");
-    let first = remaining.remove(start);
-    let mut acc = JoinResult::from_relation(instance.relation(first));
-
-    while !remaining.is_empty() {
-        // Prefer the smallest relation connected to the accumulator; the
-        // (ri) tie-break keeps the order — and thus saturation behaviour —
-        // deterministic.
-        let pick = remaining
-            .iter()
-            .enumerate()
-            .filter(|&(_, &ri)| {
-                !intersect_attrs(acc.attrs(), instance.relation(ri).attrs()).is_empty()
-            })
-            .min_by_key(|&(_, &ri)| (size_of(ri), ri))
-            .or_else(|| {
-                remaining
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &ri)| (size_of(ri), ri))
-            })
-            .map(|(pos, _)| pos)
-            .expect("non-empty remaining set");
-        let ri = remaining.remove(pick);
+    let order = fold_order(instance, rels);
+    let mut acc = JoinResult::from_relation(instance.relation(order[0]));
+    for &ri in &order[1..] {
         // Even when the accumulated result is already empty we keep folding
         // in the remaining relations so that the result's attribute list
         // always covers the union of the requested relations' attributes
@@ -513,17 +519,7 @@ pub fn join(query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
     join_impl(query, instance, Parallelism::default())
 }
 
-/// [`join`] at an explicit parallelism level.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::join (or dpsyn::Session), which also enables cross-call caching"
-)]
-pub fn join_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<JoinResult> {
-    join_impl(query, instance, par)
-}
-
-/// Shared implementation behind [`join`], [`join_with`] and
-/// [`crate::ExecContext::join`].
+/// Shared implementation behind [`join`] and [`crate::ExecContext::join`].
 pub(crate) fn join_impl(
     query: &JoinQuery,
     instance: &Instance,
@@ -538,16 +534,7 @@ pub fn join_size(query: &JoinQuery, instance: &Instance) -> Result<u128> {
     Ok(join(query, instance)?.total())
 }
 
-/// [`join_size`] at an explicit parallelism level.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::join_size (or dpsyn::Session), which also enables cross-call caching"
-)]
-pub fn join_size_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<u128> {
-    join_size_impl(query, instance, par)
-}
-
-/// Shared implementation behind [`join_size`], [`join_size_with`] and
+/// Shared implementation behind [`join_size`] and
 /// [`crate::ExecContext::join_size`].
 pub(crate) fn join_size_impl(
     query: &JoinQuery,
@@ -570,23 +557,8 @@ pub fn grouped_join_size(
     grouped_join_size_impl(query, instance, rels, group_by, Parallelism::default())
 }
 
-/// [`grouped_join_size`] at an explicit parallelism level.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::grouped_join_size (or dpsyn::Session), which also enables cross-call caching"
-)]
-pub fn grouped_join_size_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    rels: &[usize],
-    group_by: &[AttrId],
-    par: Parallelism,
-) -> Result<BTreeMap<Vec<Value>, u128>> {
-    grouped_join_size_impl(query, instance, rels, group_by, par)
-}
-
-/// Shared implementation behind [`grouped_join_size`],
-/// [`grouped_join_size_with`] and [`crate::ExecContext::grouped_join_size`].
+/// Shared implementation behind [`grouped_join_size`] and
+/// [`crate::ExecContext::grouped_join_size`].
 pub(crate) fn grouped_join_size_impl(
     query: &JoinQuery,
     instance: &Instance,

@@ -10,14 +10,14 @@
 //!   connectivity and the hierarchical-query test ([`hypergraph`]),
 //! * multi-table instances and neighbouring-instance edits ([`instance`]),
 //! * multi-way natural **hash-join** evaluation and grouped join sizes
-//!   ([`join`]), with the original `BTreeMap` engine retained as a
-//!   cross-check oracle ([`naive`]),
+//!   ([`join`](mod@join)), with the original `BTreeMap` engine retained as
+//!   a cross-check oracle ([`naive`]),
 //! * shared sub-join caching for relation-subset enumerations ([`cache`]),
 //! * degree statistics `deg`, `Ψ_E` and maximum degrees `mdeg` ([`degree`]),
 //! * attribute trees for hierarchical joins ([`tree`]),
 //! * fractional edge covers and the AGM bound ([`cover`]),
 //! * the compact tuple representation and fast hashing underneath it all
-//!   ([`tuple`], [`hash`]).
+//!   ([`tuple`](mod@tuple), [`hash`]).
 //!
 //! Everything downstream (sensitivity computation, the PMW release algorithm
 //! and the paper's join-as-one / uniformization algorithms) is built on these
@@ -49,7 +49,13 @@
 //! [`SubJoinCache`] memoises sub-join results per subset bitmask so that
 //! `2^m`-subset enumerations (residual sensitivity, multi-relation degree
 //! statistics) perform one hash-join step per distinct subset instead of
-//! re-joining from the base relations each time.
+//! re-joining from the base relations each time.  *How* each subset
+//! decomposes into parent-plus-relation is owned by the cost-based join
+//! planner ([`plan`]): a [`JoinPlan`] built from cheap per-relation
+//! statistics picks, per subset, the pivot whose removal leaves the
+//! smallest estimated intermediate — shrinking every cached intermediate
+//! relative to the historical fixed highest-index chain, with values (and
+//! all downstream output bytes) unchanged.
 //!
 //! # Parallel execution
 //!
@@ -71,11 +77,10 @@
 //! slots, each holding the sub-join lattice that survives across calls (so
 //! repeated sensitivity enumerations over the same `(query, instance)` pair
 //! reuse the `2^m` subset lattice instead of rebuilding it), a cached full
-//! join for repeated query answering, and the instance's [`DeltaJoinPlan`].
-//! It backs the facade crate's `dpsyn::Session`; the old `*_with` free
-//! functions remain as deprecated shims that build a throwaway context per
-//! call.  Cache reuse never changes output bytes — see the [`context`]
-//! module docs for the contract.
+//! join for repeated query answering, the instance's [`DeltaJoinPlan`], and
+//! the pair's cost-based [`JoinPlan`] shared by every checkout.  It backs
+//! the facade crate's `dpsyn::Session`.  Cache reuse never changes output
+//! bytes — see the [`context`] module docs for the contract.
 //!
 //! # Delta-join maintenance
 //!
@@ -102,6 +107,7 @@ pub mod hypergraph;
 pub mod instance;
 pub mod join;
 pub mod naive;
+pub mod plan;
 pub mod relation;
 pub mod tree;
 pub mod tuple;
@@ -120,11 +126,12 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hypergraph::JoinQuery;
 pub use instance::{Instance, NeighborEdit};
 pub use join::{
-    grouped_join_size, hash_join_step, hash_join_step_with, join, join_size, join_subset,
-    JoinResult,
+    fold_order, grouped_join_size, hash_join_step, hash_join_step_with, join, join_size,
+    join_subset, JoinResult,
 };
-#[allow(deprecated)]
-pub use join::{grouped_join_size_with, join_size_with, join_subset_with, join_with};
+pub use plan::{
+    JoinPlan, PlanNodeStats, PlanStats, RelationStats, SharedJoinPlan, PLAN_MAX_RELATIONS,
+};
 pub use relation::Relation;
 pub use tree::AttributeTree;
 pub use tuple::{project, project_positions, KeyArena, TupleKey, Value, INLINE_ARITY};

@@ -6,7 +6,8 @@
 //! folded strictly left-to-right, and every projection allocates.  It is
 //! deliberately simple and obviously correct; the property tests
 //! (`tests/properties.rs`) and the `join_throughput` / `residual_subsets`
-//! benchmarks compare the optimised engine in [`crate::join`] against it.
+//! benchmarks compare the optimised engine in [`crate::join`](mod@crate::join)
+//! against it.
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,497 @@
+//! Cost-based join planning: boundary-aware decomposition of the sub-join
+//! lattice.
+//!
+//! Every sub-join the engine materialises — the `2^m` subset lattice behind
+//! residual sensitivity, the size-`(m-1)` joins of local sensitivity, the
+//! size-`(m-2)` probe indexes of [`crate::delta`] — is computed by peeling
+//! one relation off a subset and joining it against the memoised rest (see
+//! [`crate::cache`]).  *Which* relation gets peeled fixes the decomposition
+//! chain, and with it the set (and size) of intermediate results the cache
+//! keeps resident.  The historical choice — always drop the highest relation
+//! index — is oblivious to the data: on a path query it happily routes the
+//! chain of `{0, 1, 3}` through the cross product `{0, 3}` when the linear
+//! `{0, 1}` was one bit away.
+//!
+//! A [`JoinPlan`] replaces that fixed rule with a **cost-based decomposition
+//! DAG** in the spirit of Selinger-style optimizers, shrunk to the lattice
+//! setting: cheap per-relation statistics ([`RelationStats`]: tuple counts
+//! and per-attribute distinct counts, gathered in one pass over the
+//! instance) feed textbook independence estimates of every subset's join
+//! cardinality, and each subset's parent is chosen to minimise the estimated
+//! intermediate it must materialise.  The plan also records the engine's
+//! greedy [`fold_order`] for the top-level join, so callers can inspect the
+//! complete evaluation strategy through [`PlanStats`].
+//!
+//! ### Where the plan lives
+//!
+//! Plans are built **once per instance fingerprint** by
+//! [`crate::ExecContext::join_plan`] and stored in the context's LRU slot
+//! alongside the lattice, the shared full join and the delta plan; every
+//! checkout of the sub-join cache carries the same `Arc`, so parallel and
+//! sequential consumers observe the identical decomposition.  Bare caches
+//! ([`crate::SubJoinCache::new`], [`crate::ShardedSubJoinCache::new`])
+//! default to [`JoinPlan::fixed_prefix`] — the exact historical chain — and
+//! accept a planner-built plan through their `with_plan` constructors.
+//!
+//! ### Determinism contract
+//!
+//! The decomposition never changes values, only the order in which binary
+//! join steps combine relations: a sub-join result is the same weighted
+//! tuple set under every decomposition (joins are commutative and
+//! associative; the engine's weights saturate identically outside
+//! astronomically large joins), and every consumer of the lattice reads it
+//! through order-free aggregates or sorted emits.  The plan itself is a
+//! pure function of the query and the instance statistics — no randomness,
+//! no thread-count dependence — so warm, cold, sequential and parallel
+//! callers all decompose identically, and outputs stay byte-identical to
+//! the fixed-prefix path and to [`crate::naive`].
+
+use std::sync::Arc;
+
+use crate::attr::AttrId;
+use crate::error::RelationalError;
+use crate::hypergraph::JoinQuery;
+use crate::instance::Instance;
+use crate::join::fold_order;
+use crate::Result;
+
+/// Largest relation count for which the planner enumerates the full `2^m`
+/// decomposition table (beyond it, [`JoinPlan::cost_based`] falls back to
+/// the fixed-prefix chain — the table alone would dwarf the joins).
+pub const PLAN_MAX_RELATIONS: usize = 16;
+
+/// Cheap per-relation statistics feeding the planner's cost model: gathered
+/// in one pass over the instance, cached per fingerprint by
+/// [`crate::ExecContext`] (inside the plan they produce).
+#[derive(Debug, Clone)]
+pub struct RelationStats {
+    /// Distinct tuple count per relation.
+    rows: Vec<usize>,
+    /// Per relation: distinct value count per attribute, aligned with the
+    /// relation's (sorted) attribute list.
+    distinct: Vec<Vec<(AttrId, u64)>>,
+}
+
+impl RelationStats {
+    /// Gathers the statistics in one pass over every relation.
+    pub fn gather(query: &JoinQuery, instance: &Instance) -> Result<Self> {
+        if instance.num_relations() != query.num_relations() {
+            return Err(RelationalError::RelationCountMismatch {
+                expected: query.num_relations(),
+                got: instance.num_relations(),
+            });
+        }
+        let mut rows = Vec::with_capacity(instance.num_relations());
+        let mut distinct = Vec::with_capacity(instance.num_relations());
+        for i in 0..instance.num_relations() {
+            let rel = instance.relation(i);
+            rows.push(rel.distinct_count());
+            let attrs = rel.attrs();
+            let mut seen: Vec<crate::hash::FxHashSet<u64>> = attrs
+                .iter()
+                .map(|_| crate::hash::FxHashSet::default())
+                .collect();
+            for (t, _) in rel.iter() {
+                for (pos, &v) in t.iter().enumerate() {
+                    seen[pos].insert(v);
+                }
+            }
+            distinct.push(
+                attrs
+                    .iter()
+                    .zip(&seen)
+                    .map(|(&a, s)| (a, s.len() as u64))
+                    .collect(),
+            );
+        }
+        Ok(RelationStats { rows, distinct })
+    }
+
+    /// Distinct tuple count of relation `r`.
+    pub fn rows(&self, r: usize) -> usize {
+        self.rows[r]
+    }
+
+    /// Distinct value count of attribute `attr` within relation `r` (zero if
+    /// the relation does not carry the attribute).
+    pub fn distinct(&self, r: usize, attr: AttrId) -> u64 {
+        self.distinct[r]
+            .iter()
+            .find(|&&(a, _)| a == attr)
+            .map(|&(_, d)| d)
+            .unwrap_or(0)
+    }
+}
+
+/// One subset's entry in a cost-based decomposition: the relation peeled off
+/// (joined last) and the estimated cardinality of the subset's sub-join.
+#[derive(Debug, Clone, Copy)]
+struct PlanNode {
+    /// Relation index joined last; the subset's parent in the DAG is the
+    /// subset minus this relation.
+    pivot: u8,
+    /// Estimated distinct-tuple cardinality of the subset's sub-join.
+    est_rows: f64,
+}
+
+/// How a plan maps subsets to parents.
+#[derive(Debug)]
+enum Decomposition {
+    /// The historical chain: always peel the highest relation index.
+    FixedPrefix,
+    /// Planner-chosen pivots, indexed densely by subset bitmask.
+    CostBased(Vec<PlanNode>),
+}
+
+/// A join plan: per-subset decomposition choice (which relation each subset
+/// peels off, with the estimated intermediate cardinalities that justified
+/// it) plus the greedy fold order of the top-level join.  See the module
+/// docs for where plans are built and shared.
+#[derive(Debug)]
+pub struct JoinPlan {
+    num_relations: usize,
+    decomp: Decomposition,
+    /// Relation order of the top-level full join (the engine's greedy
+    /// connectivity-aware order, recorded for inspection).  Empty when the
+    /// plan was built without instance statistics.
+    top_order: Vec<usize>,
+}
+
+impl JoinPlan {
+    /// The historical fixed decomposition for an `m`-relation query: every
+    /// subset peels its highest relation index.  No statistics, no
+    /// estimates; byte-for-byte the pre-planner behaviour.
+    pub fn fixed_prefix(num_relations: usize) -> Self {
+        JoinPlan {
+            num_relations,
+            decomp: Decomposition::FixedPrefix,
+            top_order: Vec::new(),
+        }
+    }
+
+    /// Builds the boundary-aware cost-based plan for `(query, instance)`:
+    /// gathers [`RelationStats`], estimates every subset's cardinality
+    /// bottom-up over the lattice, and picks each subset's pivot so the
+    /// parent intermediate it depends on is the smallest available
+    /// (estimated parent size, then estimated own size, then lowest pivot
+    /// index — a total, deterministic order).  Queries wider than
+    /// [`PLAN_MAX_RELATIONS`] fall back to the fixed-prefix chain.
+    pub fn cost_based(query: &JoinQuery, instance: &Instance) -> Result<Self> {
+        let m = query.num_relations();
+        let stats = RelationStats::gather(query, instance)?;
+        let all: Vec<usize> = (0..m).collect();
+        let top_order = fold_order(instance, &all);
+        if m > PLAN_MAX_RELATIONS {
+            return Ok(JoinPlan {
+                num_relations: m,
+                decomp: Decomposition::FixedPrefix,
+                top_order,
+            });
+        }
+
+        // For each attribute, the bitmask of relations carrying it.
+        let mut attr_rels: crate::hash::FxHashMap<AttrId, u32> = crate::hash::FxHashMap::default();
+        for (r, attrs) in query.relations().iter().enumerate() {
+            for &a in attrs {
+                *attr_rels.entry(a).or_insert(0) |= 1u32 << r;
+            }
+        }
+        // Distinct-count estimate of attribute `a` within the sub-join of
+        // `mask`: joins only ever filter values, so the tightest per-relation
+        // count is an upper bound (the standard independence estimate).
+        let v_of = |mask: u32, a: AttrId| -> f64 {
+            let carriers = attr_rels.get(&a).copied().unwrap_or(0) & mask;
+            let mut best = f64::INFINITY;
+            let mut bits = carriers;
+            while bits != 0 {
+                let r = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                best = best.min(stats.distinct(r, a) as f64);
+            }
+            best
+        };
+
+        let full_count = 1usize << m;
+        let mut nodes = vec![
+            PlanNode {
+                pivot: 0,
+                est_rows: 0.0
+            };
+            full_count
+        ];
+        // Bottom-up over popcount: every proper sub-mask of `mask` is
+        // already planned when `mask` is visited.
+        for count in 1..=m as u32 {
+            for mask in 1u32..full_count as u32 {
+                if mask.count_ones() != count {
+                    continue;
+                }
+                if count == 1 {
+                    let r = mask.trailing_zeros() as usize;
+                    nodes[mask as usize] = PlanNode {
+                        pivot: r as u8,
+                        est_rows: stats.rows(r) as f64,
+                    };
+                    continue;
+                }
+                let mut best: Option<(f64, f64, usize)> = None;
+                let mut bits = mask;
+                while bits != 0 {
+                    let p = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let parent = mask & !(1u32 << p);
+                    let parent_est = nodes[parent as usize].est_rows;
+                    // |parent ⋈ R_p| ≈ |parent|·|R_p| / Π_a max(V(parent, a), V(p, a))
+                    // over the shared attributes a — the classic independence
+                    // estimate; disconnected pivots divide by nothing and
+                    // price the cross product honestly.
+                    let mut denom = 1.0f64;
+                    for &a in query.relation_attrs(p) {
+                        let others = attr_rels.get(&a).copied().unwrap_or(0) & parent;
+                        if others != 0 {
+                            denom *= v_of(parent, a).max(stats.distinct(p, a) as f64).max(1.0);
+                        }
+                    }
+                    let step_est = parent_est * stats.rows(p) as f64 / denom;
+                    let candidate = (parent_est, step_est, p);
+                    let better = match best {
+                        None => true,
+                        Some(b) => candidate < b,
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                let (_, est_rows, pivot) = best.expect("non-empty mask has a pivot");
+                nodes[mask as usize] = PlanNode {
+                    pivot: pivot as u8,
+                    est_rows,
+                };
+            }
+        }
+        Ok(JoinPlan {
+            num_relations: m,
+            decomp: Decomposition::CostBased(nodes),
+            top_order,
+        })
+    }
+
+    /// Number of relations the plan covers.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Whether the plan carries cost-based pivots (false for the
+    /// fixed-prefix chain, including the wide-query fallback).
+    pub fn is_cost_based(&self) -> bool {
+        matches!(self.decomp, Decomposition::CostBased(_))
+    }
+
+    /// The relation peeled off (joined last) when materialising `mask`'s
+    /// sub-join.  `mask` must be non-zero and within range.
+    pub fn pivot(&self, mask: u32) -> usize {
+        debug_assert!(mask != 0 && (mask >> self.num_relations) == 0);
+        match &self.decomp {
+            Decomposition::FixedPrefix => (31 - mask.leading_zeros()) as usize,
+            Decomposition::CostBased(nodes) => nodes[mask as usize].pivot as usize,
+        }
+    }
+
+    /// The parent subset `mask`'s sub-join is built from: `mask` minus its
+    /// pivot (zero for singletons).
+    pub fn parent(&self, mask: u32) -> u32 {
+        mask & !(1u32 << self.pivot(mask))
+    }
+
+    /// The planner's estimated distinct-tuple cardinality of `mask`'s
+    /// sub-join (`None` on fixed-prefix plans, which carry no estimates).
+    pub fn estimated_rows(&self, mask: u32) -> Option<f64> {
+        match &self.decomp {
+            Decomposition::FixedPrefix => None,
+            Decomposition::CostBased(nodes) => Some(nodes[mask as usize].est_rows),
+        }
+    }
+
+    /// The recorded relation order of the top-level full join (empty on
+    /// plans built without instance statistics).
+    pub fn top_order(&self) -> &[usize] {
+        &self.top_order
+    }
+
+    /// The pivot chain from the full mask down to a singleton — the spine of
+    /// intermediates a lazy full-lattice walk materialises.
+    pub fn spine(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.num_relations);
+        if self.num_relations == 0 || self.num_relations >= 32 {
+            return out;
+        }
+        let mut mask = (1u32 << self.num_relations) - 1;
+        while mask != 0 {
+            let p = self.pivot(mask);
+            out.push(p);
+            mask &= !(1u32 << p);
+        }
+        out
+    }
+
+    /// Validates that the plan was built for an `m`-relation query.
+    pub(crate) fn check_relations(&self, m: usize) -> Result<()> {
+        if self.num_relations != m {
+            return Err(RelationalError::InvalidRelationSubset(format!(
+                "join plan covers {} relations but the query has {m}",
+                self.num_relations
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A shared, immutable plan handle (what caches and context slots carry).
+pub type SharedJoinPlan = Arc<JoinPlan>;
+
+/// Planner diagnostics for one `(query, instance)` pair: the decomposition
+/// choices with estimated and (where materialised) actual intermediate
+/// cardinalities.  Produced by [`crate::ExecContext::plan_stats`] /
+/// `dpsyn::Session::plan_stats`.
+#[derive(Debug, Clone)]
+pub struct PlanStats {
+    /// Whether the stored plan is cost-based (vs the fixed-prefix fallback).
+    pub cost_based: bool,
+    /// Relation order of the top-level full join.
+    pub top_order: Vec<usize>,
+    /// The pivot chain from the full mask down (see [`JoinPlan::spine`]).
+    pub spine: Vec<usize>,
+    /// Per-subset decomposition entries (empty beyond
+    /// [`PLAN_MAX_RELATIONS`] relations).
+    pub nodes: Vec<PlanNodeStats>,
+    /// Number of lattice entries currently materialised for the pair.
+    pub cached_masks: usize,
+    /// Total distinct tuples across those materialised entries — the
+    /// resident intermediate footprint the planner works to shrink.
+    pub cached_tuples: usize,
+}
+
+/// One subset's row in [`PlanStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanNodeStats {
+    /// Subset bitmask (bit `i` set ⇔ relation `i` participates).
+    pub mask: u32,
+    /// Relation the subset peels off (joined last).
+    pub pivot: usize,
+    /// Planner-estimated cardinality (`None` on fixed-prefix plans).
+    pub estimated_rows: Option<f64>,
+    /// Actual distinct-tuple count, when the subset is materialised in the
+    /// context's lattice.
+    pub actual_rows: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn ids(v: &[u16]) -> Vec<AttrId> {
+        v.iter().map(|&x| AttrId(x)).collect()
+    }
+
+    fn path_instance(m: usize, per_rel: u64) -> (JoinQuery, Instance) {
+        let q = JoinQuery::path(m, 64).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for r in 0..m {
+            for v in 0..per_rel {
+                inst.relation_mut(r)
+                    .add(vec![v % 64, (v + 1) % 64], 1)
+                    .unwrap();
+            }
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn stats_count_rows_and_distinct_values() {
+        let q = JoinQuery::two_table(8, 8, 8);
+        let r1 = Relation::from_tuples(
+            ids(&[0, 1]),
+            vec![(vec![0, 0], 1), (vec![1, 0], 2), (vec![2, 1], 1)],
+        )
+        .unwrap();
+        let r2 =
+            Relation::from_tuples(ids(&[1, 2]), vec![(vec![0, 0], 1), (vec![0, 1], 1)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let stats = RelationStats::gather(&q, &inst).unwrap();
+        assert_eq!(stats.rows(0), 3);
+        assert_eq!(stats.rows(1), 2);
+        assert_eq!(stats.distinct(0, AttrId(0)), 3);
+        assert_eq!(stats.distinct(0, AttrId(1)), 2);
+        assert_eq!(stats.distinct(1, AttrId(1)), 1);
+        // Attribute not carried by the relation.
+        assert_eq!(stats.distinct(1, AttrId(0)), 0);
+    }
+
+    #[test]
+    fn fixed_prefix_plan_peels_the_highest_index() {
+        let plan = JoinPlan::fixed_prefix(4);
+        assert!(!plan.is_cost_based());
+        assert_eq!(plan.pivot(0b1011), 3);
+        assert_eq!(plan.parent(0b1011), 0b0011);
+        assert_eq!(plan.pivot(0b0001), 0);
+        assert_eq!(plan.estimated_rows(0b1011), None);
+        assert_eq!(plan.spine(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn cost_based_plan_avoids_cross_product_parents_on_paths() {
+        let (q, inst) = path_instance(4, 40);
+        let plan = JoinPlan::cost_based(&q, &inst).unwrap();
+        assert!(plan.is_cost_based());
+        // {0, 1, 3}: the fixed chain peels 3 and routes through {0, 1}; any
+        // choice is fine there.  {0, 2, 3} however must NOT peel 3 onto the
+        // cross product {0, 2} — the planner peels 0, keeping the linear
+        // {2, 3} as the parent.
+        let mask = 0b1101u32;
+        assert_eq!(plan.pivot(mask), 0, "parent {:#b}", plan.parent(mask));
+        assert_eq!(plan.parent(mask), 0b1100);
+        // Estimates price the cross product above the linear chains.
+        let cross = plan.estimated_rows(0b0101).unwrap();
+        let linear = plan.estimated_rows(0b0011).unwrap();
+        assert!(cross > linear * 4.0, "cross {cross} vs linear {linear}");
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_matches_query_arity() {
+        let (q, inst) = path_instance(3, 20);
+        let a = JoinPlan::cost_based(&q, &inst).unwrap();
+        let b = JoinPlan::cost_based(&q, &inst).unwrap();
+        for mask in 1u32..(1 << 3) {
+            assert_eq!(a.pivot(mask), b.pivot(mask));
+            assert_eq!(a.estimated_rows(mask), b.estimated_rows(mask));
+        }
+        assert_eq!(a.top_order(), b.top_order());
+        assert_eq!(a.top_order().len(), 3);
+        assert!(a.check_relations(3).is_ok());
+        assert!(a.check_relations(4).is_err());
+    }
+
+    #[test]
+    fn singleton_estimates_are_exact_row_counts() {
+        let (q, inst) = path_instance(3, 17);
+        let plan = JoinPlan::cost_based(&q, &inst).unwrap();
+        for r in 0..3 {
+            assert_eq!(
+                plan.estimated_rows(1 << r).unwrap(),
+                inst.relation(r).distinct_count() as f64
+            );
+            assert_eq!(plan.pivot(1 << r), r);
+            assert_eq!(plan.parent(1 << r), 0);
+        }
+    }
+
+    #[test]
+    fn mismatched_instance_is_rejected() {
+        let q = JoinQuery::two_table(4, 4, 4);
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 1)]).unwrap();
+        let inst = Instance::new(vec![r1]);
+        assert!(RelationStats::gather(&q, &inst).is_err());
+        assert!(JoinPlan::cost_based(&q, &inst).is_err());
+    }
+}

@@ -1,30 +1,35 @@
 //! Context-based sensitivity entry points: the [`SensitivityOps`] extension
 //! trait on [`ExecContext`].
 //!
-//! These methods are the primary API of the crate; the free `*_with`
-//! functions survive only as deprecated shims that build a throwaway context
-//! per call.  Running through a **long-lived** context changes the cost
-//! model, not the results: every sub-join the enumerations materialise is
-//! checked back into the context's instance-fingerprinted lattice cache, so
-//! a second call over the same `(query, instance)` pair — a residual
-//! sensitivity at a different `β`, a local-sensitivity probe, a boundary
-//! query — reuses the `2^m` subset lattice instead of recomputing it.
+//! These methods are the primary API of the crate (the plain free functions
+//! build a throwaway context per call).  Running through a **long-lived**
+//! context changes the cost model, not the results: every sub-join the
+//! enumerations materialise decomposes along the context's cost-based join
+//! plan ([`dpsyn_relational::plan`]) and is checked back into the context's
+//! instance-fingerprinted lattice cache, so a second call over the same
+//! `(query, instance)` pair — a residual sensitivity at a different `β`, a
+//! local-sensitivity probe, a boundary query — reuses the `2^m` subset
+//! lattice instead of recomputing it, and every lazy walk (local
+//! sensitivity's transient joins, delta-plan builds, single boundary
+//! queries) materialises the planner's smallest intermediates.
 //!
 //! ### Determinism
 //!
-//! Warm or cold, sequential or parallel, the returned values are identical:
-//! every cached sub-join equals what the cold path computes (deterministic
-//! prefix decomposition), and the aggregates consumed here (`max` over
+//! Warm or cold, sequential or parallel, planner or fixed-prefix, the
+//! returned values are identical: every cached sub-join equals what the
+//! cold path computes (a sub-join is the same weighted tuple set under
+//! every decomposition, and the plan is a pure function of the query and
+//! instance statistics), and the aggregates consumed here (`max` over
 //! groups, boundary maps in `BTreeMap` order) are order-free.  The
 //! workspace's seeded release algorithms therefore produce byte-identical
-//! output whether they run on a fresh context, a warm session, or the legacy
+//! output whether they run on a fresh context, a warm session, or the
 //! free functions.
 
 use std::collections::BTreeMap;
 
 use dpsyn_relational::exec;
 use dpsyn_relational::{
-    AttrId, DeltaJoinPlan, ExecContext, Instance, JoinQuery, NeighborEdit, Parallelism,
+    AttrId, DeltaJoinPlan, ExecContext, Instance, JoinPlan, JoinQuery, NeighborEdit, Parallelism,
     ShardedSubJoinCache,
 };
 
@@ -292,7 +297,12 @@ impl SensitivityOps for ExecContext {
                     local_plan = self.delta_plan(query, inst)?;
                     &local_plan
                 } else {
-                    let cache = ShardedSubJoinCache::new(query, inst)?;
+                    // Short-lived frontier instances bypass the context's
+                    // LRU, but still decompose along a cost-based join plan
+                    // of their own, so each per-node lattice pass
+                    // materialises the planner's smallest intermediates.
+                    let join_plan = std::sync::Arc::new(JoinPlan::cost_based(query, inst)?);
+                    let cache = ShardedSubJoinCache::with_plan(query, inst, join_plan)?;
                     local_plan = std::sync::Arc::new(DeltaJoinPlan::build(
                         query,
                         inst,

@@ -22,12 +22,14 @@
 //! the [`Parallelism`](dpsyn_relational::Parallelism) knob driving the subset
 //! enumerations, probe loops and edit sweeps through the relational engine's
 //! worker pool ([`dpsyn_relational::exec`]), the small-instance sequential
-//! fallback ([`SensitivityConfig::min_par_instance`]), and — on a long-lived
-//! context (`dpsyn::Session`) — a **persistent sub-join lattice cache** that
-//! makes repeated sensitivity computations over the same instance near-free.
-//! Results are byte-identical at every parallelism level and on warm or cold
-//! caches; the plain free functions use a throwaway default context, and the
-//! legacy `*_with` variants survive as deprecated shims.
+//! fallback ([`SensitivityConfig::min_par_instance`]), the cost-based
+//! **join plan** that decomposes every sub-join the enumerations
+//! materialise ([`dpsyn_relational::plan`]), and — on a long-lived context
+//! (`dpsyn::Session`) — a **persistent sub-join lattice cache** that makes
+//! repeated sensitivity computations over the same instance near-free.
+//! Results are byte-identical at every parallelism level, on warm or cold
+//! caches, and under every decomposition; the plain free functions use a
+//! throwaway default context.
 //!
 //! Neighbour-edit sweeps are **delta-maintained**: the local sensitivities of
 //! all single-tuple edits of an instance
@@ -59,16 +61,10 @@ pub use config::{DegreeConfiguration, UniformPartitionSpec};
 pub use context_ext::SensitivityOps;
 pub use error::SensitivityError;
 pub use global::{global_sensitivity_bound, worst_case_error_exponent};
-#[allow(deprecated)]
-pub use local::local_sensitivity_with;
 pub use local::{local_sensitivity, two_table_local_sensitivity};
 pub use mdeg_bound::{lemma48_mdeg_terms, t_e_mdeg_upper_bound, MdegTerm};
 pub use residual::{all_boundary_values, ls_hat_k, residual_sensitivity, ResidualSensitivity};
-#[allow(deprecated)]
-pub use residual::{all_boundary_values_with, residual_sensitivity_with};
 pub use settings::SensitivityConfig;
-#[allow(deprecated)]
-pub use smooth::smooth_sensitivity_bruteforce_with;
 pub use smooth::{
     candidate_edits, is_smooth_upper_bound, smooth_sensitivity_bruteforce,
     smooth_sensitivity_bruteforce_materializing,

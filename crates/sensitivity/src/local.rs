@@ -34,24 +34,6 @@ pub fn local_sensitivity(query: &JoinQuery, instance: &Instance) -> Result<u128>
         .local_sensitivity(query, instance)
 }
 
-/// [`local_sensitivity`] with explicit execution settings: the `m` edit
-/// directions (each a size-`(m-1)` sub-join plus its boundary grouping) are
-/// swept through the worker pool, sharing prefixes via a sharded sub-join
-/// cache.  The maximum of the `m` boundary values is order-free, so the
-/// result is identical at every parallelism level.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::local_sensitivity via SensitivityOps (or dpsyn::Session), \
-            which also reuses the sub-join lattice across calls"
-)]
-pub fn local_sensitivity_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    config: &SensitivityConfig,
-) -> Result<u128> {
-    config.to_context().local_sensitivity(query, instance)
-}
-
 /// The historical single-threaded path (also the m ≥ 32 fallback, which
 /// avoids the bitmask cache's representation limit).  Used by the smooth
 /// brute-force neighbour sweeps, whose per-neighbour instances deliberately

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use dpsyn_relational::{Instance, JoinQuery, Parallelism, SubJoinCache};
+use dpsyn_relational::{Instance, JoinQuery, SubJoinCache};
 
 use crate::boundary::boundary_query_cached;
 use crate::context_ext::SensitivityOps;
@@ -75,9 +75,13 @@ pub(crate) fn check_beta(beta: f64) -> Result<()> {
 /// Precomputes `T_F(I)` for every proper subset `F ⊊ [m]`, keyed by the sorted
 /// subset (the empty subset maps to 1).
 ///
-/// All `2^m - 1` sub-joins are evaluated through one shared [`SubJoinCache`],
-/// so each subset costs a single incremental hash-join step over its cached
-/// prefix instead of a full re-join from the base relations.
+/// All `2^m - 1` sub-joins are evaluated through one shared [`SubJoinCache`]
+/// (on its historical fixed-prefix decomposition — this free function
+/// doubles as the planner's cross-check path), so each subset costs a single
+/// incremental hash-join step over its cached parent instead of a full
+/// re-join from the base relations.  The context method
+/// ([`SensitivityOps::all_boundary_values`]) additionally decomposes along
+/// the cost-based join plan and persists the lattice across calls.
 pub fn all_boundary_values(
     query: &JoinQuery,
     instance: &Instance,
@@ -91,30 +95,6 @@ pub fn all_boundary_values(
         out.insert(f, value);
     }
     Ok(out)
-}
-
-/// [`all_boundary_values`] at an explicit parallelism level.
-///
-/// With more than one worker the sub-join lattice is populated level by
-/// level through a sharded cache (independent subsets of a level materialise
-/// concurrently), then the per-subset boundary groupings run through the
-/// pool as well.  The returned map is identical to the sequential one.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::all_boundary_values via SensitivityOps (or dpsyn::Session), \
-            which also reuses the sub-join lattice across calls"
-)]
-pub fn all_boundary_values_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    par: Parallelism,
-) -> Result<BTreeMap<Vec<usize>, u128>> {
-    SensitivityConfig {
-        parallelism: par,
-        ..SensitivityConfig::default()
-    }
-    .to_context()
-    .all_boundary_values(query, instance)
 }
 
 /// Evaluates `Σ_{E ⊆ O} T_{O∖E} Π_{j∈E} s_j` for a fixed relation-exclusion
@@ -203,29 +183,6 @@ pub fn residual_sensitivity(
     beta: f64,
 ) -> Result<ResidualSensitivity> {
     SensitivityConfig::default()
-        .to_context()
-        .residual_sensitivity(query, instance, beta)
-}
-
-/// [`residual_sensitivity`] with explicit execution settings.
-///
-/// The boundary-value enumeration and the per-relation `s`-vector sweeps run
-/// through the worker pool at `config.parallelism`; the result — value,
-/// maximiser and tie-breaks included — is identical at every level (the
-/// per-relation candidates are reduced in ascending relation order with the
-/// same strictly-greater rule the sequential sweep applies).
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::residual_sensitivity via SensitivityOps (or dpsyn::Session), \
-            which also reuses the sub-join lattice across calls"
-)]
-pub fn residual_sensitivity_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    beta: f64,
-    config: &SensitivityConfig,
-) -> Result<ResidualSensitivity> {
-    config
         .to_context()
         .residual_sensitivity(query, instance, beta)
 }

@@ -1,9 +1,8 @@
 //! Execution settings shared by the sensitivity computations.
 //!
-//! Every sensitivity entry point has a context-based form (the
-//! [`SensitivityOps`](crate::SensitivityOps) methods on
-//! [`ExecContext`](dpsyn_relational::ExecContext)) plus legacy `*_with`
-//! shims accepting a [`SensitivityConfig`]; the plain free functions use
+//! Every sensitivity entry point is a method of
+//! [`SensitivityOps`](crate::SensitivityOps) on [`ExecContext`]; the plain
+//! free functions build a throwaway context from
 //! [`SensitivityConfig::default`].  Results are **byte-identical** at every
 //! parallelism level (the engine's parallel loops merge in deterministic
 //! partition order — see `dpsyn_relational::exec`), so the knobs trade only
@@ -26,8 +25,7 @@ pub(crate) const MIN_PAR_INSTANCE: usize = DEFAULT_MIN_PAR_INSTANCE;
 /// [`SensitivityConfig::sequential`] pins the exact single-threaded code
 /// path the crate used before the parallel execution layer existed.
 ///
-/// A config converts into a throwaway
-/// [`ExecContext`](dpsyn_relational::ExecContext) via
+/// A config converts into a throwaway [`ExecContext`] via
 /// [`SensitivityConfig::to_context`]; for cross-call sub-join cache reuse,
 /// hold a long-lived context (or a `dpsyn::Session`) instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

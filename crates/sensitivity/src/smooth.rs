@@ -1,4 +1,4 @@
-//! Smooth upper bounds on local sensitivity (Nissim–Raskhodnikova–Smith [40])
+//! Smooth upper bounds on local sensitivity (Nissim–Raskhodnikova–Smith \[40\])
 //! and brute-force checkers used by the test-suite.
 //!
 //! A function `S^β` is a β-smooth upper bound on `LS_count` when
@@ -28,7 +28,8 @@ use crate::Result;
 /// attribute when the domain allows it).  This covers the edits that can
 /// change degree structure.
 ///
-/// This is the edit-level form of [`candidate_neighbors`]: the delta-join
+/// This is the edit-level form of the crate-private `candidate_neighbors`
+/// generator: the delta-join
 /// sweeps evaluate these edits through a
 /// [`DeltaJoinPlan`](dpsyn_relational::DeltaJoinPlan) without materialising
 /// the edited instances, in exactly this order (so the delta and
@@ -188,28 +189,6 @@ pub fn smooth_sensitivity_bruteforce_materializing(
     SensitivityConfig::default()
         .to_context()
         .smooth_sensitivity_bruteforce_materializing(query, instance, beta, max_radius)
-}
-
-/// [`smooth_sensitivity_bruteforce`] with explicit execution settings: each
-/// radius level's edit sweep (one local-sensitivity evaluation per candidate
-/// neighbour) runs through the worker pool.  The frontier is ranked by the
-/// precomputed sensitivities with a stable sort, so the explored
-/// neighbourhood — and thus the result — is identical at every parallelism
-/// level.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ExecContext::smooth_sensitivity_bruteforce via SensitivityOps (or dpsyn::Session)"
-)]
-pub fn smooth_sensitivity_bruteforce_with(
-    query: &JoinQuery,
-    instance: &Instance,
-    beta: f64,
-    max_radius: usize,
-    config: &SensitivityConfig,
-) -> Result<f64> {
-    config
-        .to_context()
-        .smooth_sensitivity_bruteforce(query, instance, beta, max_radius)
 }
 
 #[cfg(test)]

@@ -71,6 +71,14 @@
 //! let edits = instance.removal_edits();
 //! let swept = session.local_sensitivity_sweep(&query, &instance, &edits)?;
 //! println!("swept {} edits incrementally", swept.len());
+//!
+//! // 7. Every sub-join above decomposed along the session's cost-based
+//! //    join plan; inspect the chosen orders and intermediate sizes.
+//! let plan = session.plan_stats(&query, &instance)?;
+//! println!(
+//!     "join order {:?}; {} cached intermediate tuples",
+//!     plan.top_order, plan.cached_tuples
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -86,12 +94,16 @@
 //! [`relational::TupleKey`], multi-way joins pick their fold order by
 //! relation size, and the `2^m` relation-subset enumerations behind residual
 //! sensitivity share sub-join work through a
-//! [`relational::SubJoinCache`] — persisted **across calls** by [`Session`] /
-//! [`relational::ExecContext`] (a small per-instance LRU of lattices, full
-//! joins and [`relational::DeltaJoinPlan`]s), so repeated releases and
-//! sensitivity sweeps over a working set of instances pay for the lattice
-//! once, and neighbour-edit sweeps probe instead of re-joining (tracked by
-//! the `edit_sweep/*` rows of `BENCH_join.json`).  Hash order is never
+//! [`relational::SubJoinCache`] — decomposed by the cost-based join planner
+//! ([`relational::plan`]: per-subset pivots chosen from per-relation
+//! statistics, so cached intermediates are the smallest available; tracked
+//! by the `planner/*` rows of `BENCH_join.json`) and persisted **across
+//! calls** by [`Session`] / [`relational::ExecContext`] (a small
+//! per-instance LRU of join plans, lattices, full joins and
+//! [`relational::DeltaJoinPlan`]s), so repeated releases and sensitivity
+//! sweeps over a working set of instances pay for the lattice once, and
+//! neighbour-edit sweeps probe instead of re-joining (tracked by the
+//! `edit_sweep/*` rows of `BENCH_join.json`).  Hash order is never
 //! observable: every tuple-exposing API sorts on emit, so runs are
 //! byte-reproducible from an RNG seed — see the determinism contract in
 //! [`relational`]'s crate docs.  The previous `BTreeMap` engine survives as
@@ -125,8 +137,8 @@ pub mod prelude {
     pub use dpsyn_pmw::{Histogram, Pmw, PmwConfig};
     pub use dpsyn_query::{AnswerOps, LinearQuery, ProductQuery, QueryFamily};
     pub use dpsyn_relational::{
-        join, join_size, AttrId, Attribute, DeltaJoinPlan, ExecContext, Instance, JoinQuery,
-        JoinSizeDelta, NeighborEdit, Parallelism, Relation, Schema,
+        join, join_size, AttrId, Attribute, DeltaJoinPlan, ExecContext, Instance, JoinPlan,
+        JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanStats, Relation, Schema,
     };
     pub use dpsyn_sensitivity::{
         local_sensitivity, residual_sensitivity, ResidualSensitivity, SensitivityConfig,

@@ -2,8 +2,8 @@
 //!
 //! A session owns everything that used to travel through ad-hoc knobs —
 //! the [`Parallelism`] level, the [`SensitivityConfig`], and a persistent,
-//! instance-fingerprinted sub-join cache (an
-//! [`ExecContext`](dpsyn_relational::ExecContext) under the hood) — and
+//! instance-fingerprinted sub-join cache (an [`ExecContext`] under the
+//! hood) — and
 //! exposes the paper's six release algorithms behind the object-safe
 //! [`Mechanism`] trait:
 //!
@@ -53,6 +53,16 @@
 //! results (they are held until then; see the memory note in
 //! [`dpsyn_relational::cache`]).
 //!
+//! ### Join planning
+//!
+//! Every sub-join a session materialises decomposes along a **cost-based
+//! join plan** ([`dpsyn_relational::plan`]): built once per instance
+//! fingerprint from cheap per-relation statistics, stored in the same LRU
+//! slot as the lattice, and shared by every consumer — so the lattice's
+//! intermediates are the planner's smallest, identically for sequential and
+//! parallel callers.  [`Session::plan_stats`] exposes the chosen orders and
+//! the estimated/actual intermediate sizes.
+//!
 //! ### Neighbour-edit sweeps
 //!
 //! Sensitivity sweeps over single-tuple edits are **delta-maintained**:
@@ -73,10 +83,10 @@
 //!    identical stream as its direct `release(...)` method — the released
 //!    histogram, noisy total and `Δ̃` match the legacy path bit for bit.
 //! 2. **Warm equals cold.** Every cached sub-join equals what a fresh
-//!    computation produces (deterministic prefix decomposition; the cached
-//!    full join comes from the same size-ordered fold as
-//!    [`dpsyn_relational::join`]), so a warm session's outputs are
-//!    byte-identical to a cold session's.
+//!    computation produces (the planner's decomposition is a deterministic
+//!    function of the data; the cached full join comes from the same
+//!    size-ordered fold as [`dpsyn_relational::join()`]), so a warm
+//!    session's outputs are byte-identical to a cold session's.
 //! 3. **Parallelism is invisible.** All worker-pool loops merge in
 //!    deterministic partition order ([`dpsyn_relational::exec`]);
 //!    `Session::sequential()` and a 64-thread session produce the same
@@ -86,7 +96,7 @@ use dpsyn_core::{IndependentLaplaceBaseline, Mechanism, SyntheticRelease};
 use dpsyn_noise::{seeded_rng, PrivacyParams};
 use dpsyn_query::{AnswerOps, AnswerSet, ProductQuery, QueryFamily};
 use dpsyn_relational::{
-    ExecContext, Instance, JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism,
+    ExecContext, Instance, JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanStats,
 };
 use dpsyn_sensitivity::{ResidualSensitivity, SensitivityConfig, SensitivityOps};
 
@@ -381,6 +391,20 @@ impl Session {
 
     // --- cache introspection ------------------------------------------------
 
+    /// Planner diagnostics for `(query, instance)`: the cost-based
+    /// decomposition the session's every sub-join flows through — per-subset
+    /// pivots with estimated cardinalities, the top-level join order, and
+    /// the actual sizes of the lattice entries currently materialised (see
+    /// [`dpsyn_relational::plan`]).  Benches use this to track the
+    /// cached-intermediate footprint next to wall-clock.
+    pub fn plan_stats(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> dpsyn_relational::Result<PlanStats> {
+        self.ctx.plan_stats(query, instance)
+    }
+
     /// Number of sub-join lattice entries currently persisted.
     pub fn cached_subjoins(&self) -> usize {
         self.ctx.cached_subjoins()
@@ -481,6 +505,22 @@ mod tests {
 
         session.clear_cache();
         assert_eq!(session.cached_subjoins(), 0);
+    }
+
+    #[test]
+    fn session_plan_stats_track_the_lattice_footprint() {
+        let (q, inst) = fixture();
+        let session = Session::sequential();
+        let cold = session.plan_stats(&q, &inst).unwrap();
+        assert!(cold.cost_based);
+        assert_eq!(cold.top_order.len(), 2);
+        assert_eq!(cold.cached_masks, 0);
+        // A residual-sensitivity call populates the lattice through the
+        // planner; the stats now expose the materialised intermediates.
+        session.residual_sensitivity(&q, &inst, 0.5).unwrap();
+        let warm = session.plan_stats(&q, &inst).unwrap();
+        assert!(warm.cached_masks > 0);
+        assert!(warm.nodes.iter().any(|n| n.actual_rows.is_some()));
     }
 
     #[test]

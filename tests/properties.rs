@@ -9,15 +9,17 @@
 
 use dpsyn::prelude::*;
 use dpsyn_core::{partition_two_table, verify_two_table_partition};
-use dpsyn_datagen::{random_star, random_two_table, zipf_two_table};
+use dpsyn_datagen::{random_path, random_star, random_two_table, zipf_two_table};
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive, join_subset_naive};
 use dpsyn_relational::{
-    deg_multi, deg_multi_cached, join_subset, NeighborEdit, SubJoinCache, Value,
+    deg_multi, deg_multi_cached, join_subset, NeighborEdit, ShardedSubJoinCache, SubJoinCache,
+    Value,
 };
 use dpsyn_sensitivity::{
     all_boundary_values, candidate_edits, ls_hat_k, SensitivityConfig, SensitivityOps,
 };
+use std::sync::Arc;
 
 const CASES: u64 = 24;
 
@@ -361,6 +363,102 @@ fn delta_smooth_sensitivity_matches_materializing_oracle() {
                 oracle.to_bits(),
                 "seed {seed}, threads {threads}"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based join planner: planner ≡ fixed-prefix ≡ naive
+// ---------------------------------------------------------------------------
+
+/// The planner-chosen decomposition produces exactly the same sub-join
+/// values as the historical fixed-prefix chain and the naive `BTreeMap`
+/// oracle — per subset, per boundary grouping — on chain, star and
+/// skewed-degree instances; and the context entry points (which decompose
+/// along the planner) return identical sensitivities warm and cold, at the
+/// sequential and the environment-default parallelism (CI runs this suite
+/// at `DPSYN_THREADS=1` and at the default count).
+#[test]
+fn planner_decomposition_matches_fixed_prefix_and_naive() {
+    for seed in 0..5u64 {
+        let shapes: Vec<(&str, (JoinQuery, Instance))> = vec![
+            (
+                "chain",
+                random_path(4, 12, 36, 1.0, &mut seeded_rng(14_000 + seed)),
+            ),
+            (
+                "star",
+                random_star(4, 8, 24, 0.0, &mut seeded_rng(14_100 + seed)),
+            ),
+            (
+                "skew",
+                random_star(4, 8, 24, 1.8, &mut seeded_rng(14_200 + seed)),
+            ),
+        ];
+        for (shape, (query, inst)) in shapes {
+            let m = query.num_relations();
+            let plan = Arc::new(JoinPlan::cost_based(&query, &inst).unwrap());
+            let planned = ShardedSubJoinCache::with_plan(&query, &inst, Arc::clone(&plan)).unwrap();
+            let fixed = ShardedSubJoinCache::new(&query, &inst).unwrap();
+            for rels in non_empty_subsets(m) {
+                let mask = planned.mask_of(&rels).unwrap();
+                let a = planned.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
+                let b = fixed.join_mask(mask, Parallelism::SEQUENTIAL).unwrap();
+                let naive = join_subset_naive(&query, &inst, &rels).unwrap();
+                assert_eq!(a.total(), naive.total(), "{shape}, seed {seed}");
+                assert_eq!(
+                    a.distinct_count(),
+                    naive.distinct_count(),
+                    "{shape}, seed {seed}"
+                );
+                // Planner and fixed-prefix agree as weighted tuple sets
+                // (order-insensitive equality), and on every aggregate the
+                // lattice consumers read.
+                assert_eq!(a.as_ref(), b.as_ref(), "{shape}, seed {seed}");
+                let boundary = query.boundary(&rels).unwrap();
+                assert_eq!(
+                    a.group_by(&boundary).unwrap(),
+                    naive.group_by(&boundary).unwrap(),
+                    "{shape}, seed {seed}"
+                );
+            }
+
+            // Context entry points decompose along the planner; warm calls
+            // must match cold calls, the fixed-prefix free functions, and
+            // the naive oracle — at the sequential and the default
+            // parallelism.
+            let naive_bv = all_boundary_values_naive(&query, &inst).unwrap();
+            let fixed_bv = all_boundary_values(&query, &inst).unwrap();
+            assert_eq!(fixed_bv, naive_bv, "{shape}, seed {seed}");
+            let beta = 0.15 + (seed as f64) / 10.0;
+            for ctx in [ExecContext::sequential(), ExecContext::default()] {
+                let cold_bv = ctx.all_boundary_values(&query, &inst).unwrap();
+                assert_eq!(cold_bv, naive_bv, "{shape}, seed {seed} (cold)");
+                let warm_bv = ctx.all_boundary_values(&query, &inst).unwrap();
+                assert_eq!(warm_bv, cold_bv, "{shape}, seed {seed} (warm)");
+                let cold_ls = ctx.local_sensitivity(&query, &inst).unwrap();
+                assert_eq!(
+                    cold_ls,
+                    local_sensitivity(&query, &inst).unwrap(),
+                    "{shape}, seed {seed}"
+                );
+                assert_eq!(
+                    ctx.local_sensitivity(&query, &inst).unwrap(),
+                    cold_ls,
+                    "{shape}, seed {seed} (warm)"
+                );
+                let cold_rs = ctx.residual_sensitivity(&query, &inst, beta).unwrap();
+                assert_eq!(
+                    cold_rs,
+                    residual_sensitivity(&query, &inst, beta).unwrap(),
+                    "{shape}, seed {seed}"
+                );
+                assert_eq!(
+                    ctx.residual_sensitivity(&query, &inst, beta).unwrap(),
+                    cold_rs,
+                    "{shape}, seed {seed} (warm)"
+                );
+            }
         }
     }
 }
