@@ -12,6 +12,67 @@
 use crate::error::NoiseError;
 use crate::Result;
 
+/// Relative slack used when comparing accumulated spend against a budget
+/// total: a charge is admitted iff `spent + cost ≤ total · (1 + SLACK)`.
+///
+/// The slack is *relative* (scaled by the total), so a tenant with a tiny
+/// budget cannot be overdrawn by an absolute tolerance — the failure mode of
+/// the previous fixed `1e-9` comparison, under which a clamped-to-zero
+/// remainder admitted arbitrarily many sub-tolerance charges.  `1e-12`
+/// covers thousands of ULPs of honest floating-point drift at any magnitude
+/// while bounding the lifetime overspend at one part in 10¹².
+pub const BUDGET_REL_SLACK: f64 = 1e-12;
+
+/// Whether a charge of `cost` fits a budget of `total` with `spent` already
+/// consumed, under the [`BUDGET_REL_SLACK`] relative tolerance.
+///
+/// This is the single admission rule shared by [`BudgetAccountant`] and the
+/// durable ledger ([`crate::ledger`]), so in-memory and replayed accounting
+/// agree on every boundary case.
+pub fn budget_fits(total: f64, spent: f64, cost: f64) -> bool {
+    spent + cost <= total * (1.0 + BUDGET_REL_SLACK)
+}
+
+/// A Neumaier compensated floating-point sum.
+///
+/// Repeated small charges against a budget must not drift: a naive `+=`
+/// accumulates one rounding error per charge, and over thousands of charges
+/// the comparison against the total becomes wrong in both directions
+/// (refusing affordable charges, or — combined with an absolute tolerance —
+/// admitting an unbounded drip).  The compensated sum keeps a running
+/// correction term so [`CompensatedSum::value`] is exact to the last ULP for
+/// any realistic charge sequence.  Both [`BudgetAccountant`] and the durable
+/// ledger replay ([`crate::ledger`]) accumulate through this type, in record
+/// order, so recovered state is bit-identical to live state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// A sum starting at zero.
+    pub fn new() -> Self {
+        CompensatedSum::default()
+    }
+
+    /// Adds one term (Neumaier's variant of Kahan summation).
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated value of the sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
 /// An `(ε, δ)` differential-privacy parameter pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyParams {
@@ -90,11 +151,11 @@ impl PrivacyParams {
     /// `(gε, g e^{gε} δ)`-DP; the paper's Lemma 4.11 uses the looser
     /// `(gε, gδ)` bookkeeping for its `O(log^c n)` factor, which we follow).
     pub fn scale(&self, factor: f64) -> Result<Self> {
-        if factor.is_nan() || factor <= 0.0 {
+        if !factor.is_finite() || factor <= 0.0 {
             return Err(NoiseError::InvalidParameter {
                 name: "factor",
                 value: factor,
-                constraint: "factor > 0",
+                constraint: "0 < factor < ∞",
             });
         }
         PrivacyParams::new(self.epsilon * factor, (self.delta * factor).min(0.999_999))
@@ -153,8 +214,8 @@ pub fn advanced_composition_per_step_epsilon(params: PrivacyParams, k: usize) ->
 #[derive(Debug, Clone)]
 pub struct BudgetAccountant {
     total: PrivacyParams,
-    spent_epsilon: f64,
-    spent_delta: f64,
+    spent_epsilon: CompensatedSum,
+    spent_delta: CompensatedSum,
     charges: Vec<(String, PrivacyParams)>,
 }
 
@@ -163,8 +224,8 @@ impl BudgetAccountant {
     pub fn new(total: PrivacyParams) -> Self {
         BudgetAccountant {
             total,
-            spent_epsilon: 0.0,
-            spent_delta: 0.0,
+            spent_epsilon: CompensatedSum::new(),
+            spent_delta: CompensatedSum::new(),
             charges: Vec::new(),
         }
     }
@@ -177,17 +238,28 @@ impl BudgetAccountant {
     /// Remaining budget under basic composition.
     pub fn remaining(&self) -> PrivacyParams {
         PrivacyParams {
-            epsilon: (self.total.epsilon() - self.spent_epsilon).max(0.0),
-            delta: (self.total.delta() - self.spent_delta).max(0.0),
+            epsilon: (self.total.epsilon() - self.spent_epsilon.value()).max(0.0),
+            delta: (self.total.delta() - self.spent_delta.value()).max(0.0),
         }
     }
 
     /// Charges a mechanism's cost against the budget; errors when the budget
-    /// would be exceeded (with a small tolerance for floating-point error).
+    /// would be exceeded.
+    ///
+    /// Spend accumulates through a [`CompensatedSum`], and admission uses the
+    /// relative-slack rule [`budget_fits`]: repeated tiny charges neither
+    /// drift into refusing an affordable charge nor — the dangerous
+    /// direction — drip past the total through an absolute tolerance on a
+    /// zero-clamped remainder.
     pub fn charge(&mut self, label: impl Into<String>, cost: PrivacyParams) -> Result<()> {
-        const TOL: f64 = 1e-9;
-        let rem = self.remaining();
-        if cost.epsilon() > rem.epsilon() + TOL || cost.delta() > rem.delta() + TOL {
+        let fits_eps = budget_fits(
+            self.total.epsilon(),
+            self.spent_epsilon.value(),
+            cost.epsilon(),
+        );
+        let fits_delta = budget_fits(self.total.delta(), self.spent_delta.value(), cost.delta());
+        if !fits_eps || !fits_delta {
+            let rem = self.remaining();
             return Err(NoiseError::BudgetExhausted {
                 requested_epsilon: cost.epsilon(),
                 remaining_epsilon: rem.epsilon(),
@@ -195,8 +267,8 @@ impl BudgetAccountant {
                 remaining_delta: rem.delta(),
             });
         }
-        self.spent_epsilon += cost.epsilon();
-        self.spent_delta += cost.delta();
+        self.spent_epsilon.add(cost.epsilon());
+        self.spent_delta.add(cost.delta());
         self.charges.push((label.into(), cost));
         Ok(())
     }
@@ -209,8 +281,8 @@ impl BudgetAccountant {
     /// Total spent so far under basic composition.
     pub fn spent(&self) -> PrivacyParams {
         PrivacyParams {
-            epsilon: self.spent_epsilon,
-            delta: self.spent_delta,
+            epsilon: self.spent_epsilon.value(),
+            delta: self.spent_delta.value(),
         }
     }
 }
@@ -290,6 +362,85 @@ mod tests {
             .unwrap();
         assert_eq!(acc.charges().len(), 2);
         assert!((acc.spent().epsilon() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thousand_small_charges_neither_drift_nor_overdraw() {
+        // Regression for the f64-drift bug: naive `+=` accumulation plus an
+        // absolute tolerance mis-compares repeated small charges against the
+        // total.  ε/1000 charged a thousand times must exactly exhaust the
+        // budget: every charge admitted, and nothing meaningful left over.
+        let total = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let slice = total.split(1000).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        for i in 0..1000 {
+            acc.charge(format!("c{i}"), slice)
+                .unwrap_or_else(|e| panic!("charge {i} must fit: {e}"));
+        }
+        // Spend is compensated: within one relative slack of the total,
+        // never beyond it.
+        assert!(acc.spent().epsilon() <= 1.0 * (1.0 + BUDGET_REL_SLACK));
+        assert!((acc.spent().epsilon() - 1.0).abs() < 1e-12);
+        // The budget is exhausted: even a charge far below the old absolute
+        // tolerance must now be refused.
+        let drip = PrivacyParams::pure(1e-10).unwrap();
+        assert!(matches!(
+            acc.charge("drip", drip).unwrap_err(),
+            NoiseError::BudgetExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn tiny_budgets_cannot_be_dripped_past_with_sub_tolerance_charges() {
+        // The old comparison admitted any charge ≤ remaining + 1e-9 with the
+        // remainder clamped at zero — an unbounded leak for budgets near or
+        // below the tolerance.  The relative-slack rule refuses the second
+        // charge here.
+        let total = PrivacyParams::new(1e-9, 0.0).unwrap();
+        let mut acc = BudgetAccountant::new(total);
+        let cost = PrivacyParams::pure(6e-10).unwrap();
+        acc.charge("first", cost).unwrap();
+        assert!(matches!(
+            acc.charge("second", cost).unwrap_err(),
+            NoiseError::BudgetExhausted { .. }
+        ));
+        assert!(acc.spent().epsilon() <= total.epsilon() * (1.0 + BUDGET_REL_SLACK));
+    }
+
+    #[test]
+    fn compensated_sum_is_exact_on_adversarial_sequences() {
+        let mut s = CompensatedSum::new();
+        // 1 + 1e-16 repeated: naive summation loses every small term.
+        s.add(1.0);
+        for _ in 0..1000 {
+            s.add(1e-16);
+        }
+        assert!((s.value() - (1.0 + 1000.0 * 1e-16)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn split_and_scale_reject_degenerate_inputs() {
+        let p = PrivacyParams::new(1.0, 1e-6).unwrap();
+        // Zero parts and zero/negative/non-finite factors must all be Err,
+        // never NaN or a panic.
+        assert!(p.split(0).is_err());
+        assert!(p.scale(0.0).is_err());
+        assert!(p.scale(-3.0).is_err());
+        assert!(p.scale(f64::NAN).is_err());
+        assert!(p.scale(f64::INFINITY).is_err());
+        assert!(p.scale(f64::NEG_INFINITY).is_err());
+        // Overflow to ε = ∞ surfaces as Err from the constructor.
+        assert!(PrivacyParams::new(2.0, 1e-6)
+            .unwrap()
+            .scale(f64::MAX)
+            .is_err());
+        // Splitting a subnormal budget to underflow (ε = 0) is Err, not a
+        // silently-free mechanism.
+        let tiny = PrivacyParams::new(f64::MIN_POSITIVE, 0.0).unwrap();
+        assert!(tiny.split(usize::MAX).is_err());
+        // Ordinary huge splits stay valid.
+        let s = p.split(1_000_000_000).unwrap();
+        assert!(s.epsilon() > 0.0);
     }
 
     #[test]

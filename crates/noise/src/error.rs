@@ -34,6 +34,20 @@ pub enum NoiseError {
         /// Number of scores supplied.
         scores: usize,
     },
+    /// A durable budget-ledger record failed to decode during replay at a
+    /// position that cannot be a torn tail (mid-file corruption).
+    LedgerCorrupt {
+        /// 1-based record (line) number of the offending record.
+        record: usize,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A ledger operation violated the charge protocol (unknown tenant or
+    /// sequence number, duplicate grant, non-monotonic intent, …).
+    LedgerInvalid {
+        /// What was violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NoiseError {
@@ -61,6 +75,12 @@ impl fmt::Display for NoiseError {
                 f,
                 "exponential mechanism received {candidates} candidates but {scores} scores"
             ),
+            NoiseError::LedgerCorrupt { record, detail } => {
+                write!(f, "budget ledger corrupt at record {record}: {detail}")
+            }
+            NoiseError::LedgerInvalid { detail } => {
+                write!(f, "budget ledger protocol violation: {detail}")
+            }
         }
     }
 }

@@ -1,0 +1,697 @@
+//! A durable, crash-safe privacy-budget ledger.
+//!
+//! The [`BudgetAccountant`](crate::BudgetAccountant) keeps spend in memory;
+//! a release server that loses a charge in a crash has *under-counted* a
+//! tenant's spend, which is a privacy violation, not an availability blip.
+//! This module provides the storage-format half of a crash-safe accountant:
+//!
+//! * **Append-only checksummed records** ([`LedgerRecord`]): one line per
+//!   record, a CRC-32 over the payload in front, and every `(ε, δ)` stored
+//!   as exact IEEE-754 bit patterns — replay reproduces spend *bit for
+//!   bit*, not merely approximately.
+//! * **A two-phase charge protocol**: a charge is first recorded as an
+//!   [`LedgerRecord::Intent`] (fsync'd *before* the mechanism touches data)
+//!   and later resolved by a [`LedgerRecord::Commit`] or
+//!   [`LedgerRecord::Abort`].  A crash between the two leaves a *pending*
+//!   intent, which replay counts as **spent** (the conservative resolution:
+//!   the mechanism may have consumed its randomness, so the budget must be
+//!   treated as gone).
+//! * **Torn-tail recovery** ([`LedgerReplay::replay`]): a crash mid-append
+//!   leaves a final record that is incomplete or fails its checksum.  Replay
+//!   truncates exactly that torn tail ([`LedgerReplay::valid_len`]) and
+//!   refuses to start on a checksum failure anywhere *else* (real
+//!   corruption must not be silently dropped).
+//!
+//! Accumulation uses [`CompensatedSum`] in record order, and admission uses
+//! the same relative-slack rule [`budget_fits`] as the in-memory
+//! accountant, so live state, recovered state, and an independent oracle
+//! replay of the same bytes agree exactly.
+//!
+//! The module is storage-agnostic: it defines record encoding, replay, and
+//! per-tenant state ([`TenantLedgerState`]); the file handling (append,
+//! fsync, truncate, failpoints) lives with the caller — see the
+//! `dpsyn-server` crate's store.
+
+use std::collections::BTreeMap;
+
+use crate::budget::{budget_fits, CompensatedSum, PrivacyParams};
+use crate::error::NoiseError;
+use crate::Result;
+
+/// Maximum length of a tenant name.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Maximum length of a charge label.
+pub const MAX_LABEL_LEN: usize = 128;
+
+/// Whether `name` is a valid tenant identifier: 1–[`MAX_TENANT_LEN`]
+/// characters from `[A-Za-z0-9_-]` (no whitespace, so names embed safely in
+/// the space-separated record payloads and in URL paths).
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Whether `label` is a valid charge label: 1–[`MAX_LABEL_LEN`] characters
+/// from `[A-Za-z0-9_:./-]`.
+pub fn valid_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.len() <= MAX_LABEL_LEN
+        && label
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'.' | b'/' | b'-'))
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) over `bytes`.
+///
+/// Hand-rolled and table-free: the ledger appends are fsync-bound, so the
+/// eight-iteration inner loop is never on a hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One record of the append-only budget ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    /// A tenant was created with a total `(ε, δ)` grant.
+    Grant {
+        /// Tenant name (see [`valid_tenant`]).
+        tenant: String,
+        /// The tenant's total budget.
+        grant: PrivacyParams,
+    },
+    /// Phase one of a charge: the cost is reserved *before* the mechanism
+    /// runs.  A crash after this record (and before its resolution) counts
+    /// the cost as spent.
+    Intent {
+        /// Tenant name.
+        tenant: String,
+        /// Per-tenant monotonically increasing charge sequence number.
+        seq: u64,
+        /// The `(ε, δ)` cost being reserved.
+        cost: PrivacyParams,
+        /// What the charge is for (see [`valid_label`]).
+        label: String,
+    },
+    /// Phase two, success: the reserved cost is spent for good.
+    Commit {
+        /// Tenant name.
+        tenant: String,
+        /// Sequence number of the intent being committed.
+        seq: u64,
+    },
+    /// Phase two, safe failure: the reserved cost is released.  Only
+    /// recorded when the mechanism is known not to have touched data or
+    /// randomness (e.g. request validation failed after admission).
+    Abort {
+        /// Tenant name.
+        tenant: String,
+        /// Sequence number of the intent being aborted.
+        seq: u64,
+    },
+}
+
+impl LedgerRecord {
+    /// Encodes the record as one checksummed, newline-terminated line:
+    /// `<crc32 of payload, 8 lowercase hex digits> <payload>\n`.
+    ///
+    /// Privacy parameters are encoded as `f64::to_bits` hex so that decoding
+    /// reproduces the exact value.
+    pub fn encode(&self) -> String {
+        let payload = match self {
+            LedgerRecord::Grant { tenant, grant } => format!(
+                "G {tenant} {:016x} {:016x}",
+                grant.epsilon().to_bits(),
+                grant.delta().to_bits()
+            ),
+            LedgerRecord::Intent {
+                tenant,
+                seq,
+                cost,
+                label,
+            } => format!(
+                "I {tenant} {seq} {:016x} {:016x} {label}",
+                cost.epsilon().to_bits(),
+                cost.delta().to_bits()
+            ),
+            LedgerRecord::Commit { tenant, seq } => format!("C {tenant} {seq}"),
+            LedgerRecord::Abort { tenant, seq } => format!("A {tenant} {seq}"),
+        };
+        format!("{:08x} {payload}\n", crc32(payload.as_bytes()))
+    }
+
+    /// Decodes one line (without its trailing newline).  `record` is the
+    /// 1-based position used in error reports.
+    pub fn decode(line: &str, record: usize) -> Result<LedgerRecord> {
+        let corrupt = |detail: &str| NoiseError::LedgerCorrupt {
+            record,
+            detail: detail.to_string(),
+        };
+        let (crc_hex, payload) = line
+            .split_once(' ')
+            .ok_or_else(|| corrupt("missing checksum field"))?;
+        let stored =
+            u32::from_str_radix(crc_hex, 16).map_err(|_| corrupt("unparseable checksum"))?;
+        if crc_hex.len() != 8 || stored != crc32(payload.as_bytes()) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let fields: Vec<&str> = payload.split(' ').collect();
+        let parse_seq = |s: &str| s.parse::<u64>().map_err(|_| corrupt("bad sequence number"));
+        let parse_params = |eps_hex: &str, delta_hex: &str| -> Result<PrivacyParams> {
+            let eps = u64::from_str_radix(eps_hex, 16).map_err(|_| corrupt("bad epsilon bits"))?;
+            let delta =
+                u64::from_str_radix(delta_hex, 16).map_err(|_| corrupt("bad delta bits"))?;
+            PrivacyParams::new(f64::from_bits(eps), f64::from_bits(delta))
+                .map_err(|_| corrupt("out-of-range privacy parameters"))
+        };
+        let check_tenant = |t: &str| -> Result<String> {
+            if valid_tenant(t) {
+                Ok(t.to_string())
+            } else {
+                Err(corrupt("invalid tenant name"))
+            }
+        };
+        match fields.as_slice() {
+            ["G", tenant, eps, delta] => Ok(LedgerRecord::Grant {
+                tenant: check_tenant(tenant)?,
+                grant: parse_params(eps, delta)?,
+            }),
+            ["I", tenant, seq, eps, delta, label] => {
+                if !valid_label(label) {
+                    return Err(corrupt("invalid charge label"));
+                }
+                Ok(LedgerRecord::Intent {
+                    tenant: check_tenant(tenant)?,
+                    seq: parse_seq(seq)?,
+                    cost: parse_params(eps, delta)?,
+                    label: (*label).to_string(),
+                })
+            }
+            ["C", tenant, seq] => Ok(LedgerRecord::Commit {
+                tenant: check_tenant(tenant)?,
+                seq: parse_seq(seq)?,
+            }),
+            ["A", tenant, seq] => Ok(LedgerRecord::Abort {
+                tenant: check_tenant(tenant)?,
+                seq: parse_seq(seq)?,
+            }),
+            _ => Err(corrupt("unknown record shape")),
+        }
+    }
+}
+
+/// Per-tenant ledger state: the grant, bit-exact committed spend, and the
+/// pending (intended but unresolved) charges — which count as spent under
+/// the conservative resolution.
+#[derive(Debug, Clone)]
+pub struct TenantLedgerState {
+    grant: PrivacyParams,
+    committed_epsilon: CompensatedSum,
+    committed_delta: CompensatedSum,
+    pending: BTreeMap<u64, PrivacyParams>,
+    next_seq: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+impl TenantLedgerState {
+    /// A fresh tenant with nothing spent.
+    pub fn new(grant: PrivacyParams) -> Self {
+        TenantLedgerState {
+            grant,
+            committed_epsilon: CompensatedSum::new(),
+            committed_delta: CompensatedSum::new(),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The tenant's total grant.
+    pub fn grant(&self) -> PrivacyParams {
+        self.grant
+    }
+
+    /// The next unused charge sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of committed charges.
+    pub fn committed_count(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of aborted charges.
+    pub fn aborted_count(&self) -> u64 {
+        self.aborted
+    }
+
+    /// The currently pending (unresolved) intents, by sequence number.
+    pub fn pending(&self) -> &BTreeMap<u64, PrivacyParams> {
+        &self.pending
+    }
+
+    /// Conservative spend: committed charges plus every pending intent
+    /// (added in sequence order on top of the committed compensated sum, so
+    /// the value is a deterministic function of the record sequence).
+    pub fn spent(&self) -> (f64, f64) {
+        let mut eps = self.committed_epsilon;
+        let mut delta = self.committed_delta;
+        for cost in self.pending.values() {
+            eps.add(cost.epsilon());
+            delta.add(cost.delta());
+        }
+        (eps.value(), delta.value())
+    }
+
+    /// Conservative remaining budget, clamped at zero.
+    pub fn remaining(&self) -> (f64, f64) {
+        let (spent_eps, spent_delta) = self.spent();
+        (
+            (self.grant.epsilon() - spent_eps).max(0.0),
+            (self.grant.delta() - spent_delta).max(0.0),
+        )
+    }
+
+    /// Whether a charge of `cost` is admissible right now, under the shared
+    /// [`budget_fits`] relative-slack rule against the conservative spend.
+    pub fn admits(&self, cost: PrivacyParams) -> bool {
+        let (spent_eps, spent_delta) = self.spent();
+        budget_fits(self.grant.epsilon(), spent_eps, cost.epsilon())
+            && budget_fits(self.grant.delta(), spent_delta, cost.delta())
+    }
+
+    /// Records an intent.  `seq` must be the tenant's next sequence number
+    /// or later (append-only monotonicity).
+    pub fn begin_intent(&mut self, seq: u64, cost: PrivacyParams) -> Result<()> {
+        if seq < self.next_seq {
+            return Err(NoiseError::LedgerInvalid {
+                detail: format!("non-monotonic intent seq {seq} (next is {})", self.next_seq),
+            });
+        }
+        self.pending.insert(seq, cost);
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    /// Resolves a pending intent as committed, folding its cost into the
+    /// spent sums.
+    pub fn commit(&mut self, seq: u64) -> Result<()> {
+        let cost = self.pending.remove(&seq).ok_or(NoiseError::LedgerInvalid {
+            detail: format!("commit for unknown intent seq {seq}"),
+        })?;
+        self.committed_epsilon.add(cost.epsilon());
+        self.committed_delta.add(cost.delta());
+        self.committed += 1;
+        Ok(())
+    }
+
+    /// Resolves a pending intent as aborted, releasing its cost.
+    pub fn abort(&mut self, seq: u64) -> Result<()> {
+        self.pending.remove(&seq).ok_or(NoiseError::LedgerInvalid {
+            detail: format!("abort for unknown intent seq {seq}"),
+        })?;
+        self.aborted += 1;
+        Ok(())
+    }
+}
+
+/// The result of replaying a ledger byte stream: per-tenant state, plus what
+/// (if anything) must be truncated as a torn tail.
+#[derive(Debug)]
+pub struct LedgerReplay {
+    /// Recovered per-tenant state, with pending intents counted as spent.
+    pub tenants: BTreeMap<String, TenantLedgerState>,
+    /// Number of valid records replayed.
+    pub records: usize,
+    /// Byte length of the valid prefix.  When [`LedgerReplay::torn_tail`] is
+    /// set, the file must be truncated to this length before appending.
+    pub valid_len: usize,
+    /// Whether the stream ended in a torn (incomplete or checksum-failing)
+    /// final record.
+    pub torn_tail: bool,
+}
+
+impl LedgerReplay {
+    /// Replays a ledger byte stream.
+    ///
+    /// A syntactically invalid **final** record — no terminating newline, a
+    /// checksum mismatch, or an unparseable payload — is a torn tail: it is
+    /// dropped, [`LedgerReplay::valid_len`] points at its start, and
+    /// [`LedgerReplay::torn_tail`] is set.  The same failure on any earlier
+    /// record, or a *semantic* protocol violation anywhere (duplicate grant,
+    /// commit without intent, …), is an error: real corruption must stop the
+    /// server rather than be silently dropped.
+    pub fn replay(bytes: &[u8]) -> Result<LedgerReplay> {
+        // Split into complete lines; remember whether trailing bytes exist
+        // after the final newline (always a torn tail).
+        let mut lines: Vec<(usize, &[u8])> = Vec::new(); // (start offset, line without \n)
+        let mut start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                lines.push((start, &bytes[start..i]));
+                start = i + 1;
+            }
+        }
+        let trailing = start < bytes.len();
+
+        let mut replay = LedgerReplay {
+            tenants: BTreeMap::new(),
+            records: 0,
+            valid_len: start,
+            torn_tail: trailing,
+        };
+        let last = lines.len();
+        for (idx, (offset, raw)) in lines.iter().enumerate() {
+            let record_no = idx + 1;
+            let is_final_line = idx + 1 == last && !trailing;
+            let line = match std::str::from_utf8(raw) {
+                Ok(s) => s,
+                Err(_) if is_final_line => {
+                    replay.valid_len = *offset;
+                    replay.torn_tail = true;
+                    return Ok(replay);
+                }
+                Err(_) => {
+                    return Err(NoiseError::LedgerCorrupt {
+                        record: record_no,
+                        detail: "non-UTF-8 record".to_string(),
+                    })
+                }
+            };
+            let record = match LedgerRecord::decode(line, record_no) {
+                Ok(r) => r,
+                // A decode failure on the final complete line is a torn
+                // write (the newline of the previous record survived, the
+                // new record did not finish): truncate it.
+                Err(_) if is_final_line => {
+                    replay.valid_len = *offset;
+                    replay.torn_tail = true;
+                    return Ok(replay);
+                }
+                Err(e) => return Err(e),
+            };
+            replay.apply(record, record_no)?;
+            replay.records += 1;
+        }
+        Ok(replay)
+    }
+
+    /// Applies one decoded record to the per-tenant state.  Semantic
+    /// violations are [`NoiseError::LedgerInvalid`] wrapped with the record
+    /// position.
+    fn apply(&mut self, record: LedgerRecord, record_no: usize) -> Result<()> {
+        let invalid = |detail: String| NoiseError::LedgerCorrupt {
+            record: record_no,
+            detail,
+        };
+        match record {
+            LedgerRecord::Grant { tenant, grant } => {
+                if self.tenants.contains_key(&tenant) {
+                    return Err(invalid(format!("duplicate grant for tenant {tenant}")));
+                }
+                self.tenants.insert(tenant, TenantLedgerState::new(grant));
+            }
+            LedgerRecord::Intent {
+                tenant, seq, cost, ..
+            } => {
+                let state = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| invalid(format!("intent for unknown tenant {tenant}")))?;
+                state
+                    .begin_intent(seq, cost)
+                    .map_err(|e| invalid(e.to_string()))?;
+            }
+            LedgerRecord::Commit { tenant, seq } => {
+                let state = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| invalid(format!("commit for unknown tenant {tenant}")))?;
+                state.commit(seq).map_err(|e| invalid(e.to_string()))?;
+            }
+            LedgerRecord::Abort { tenant, seq } => {
+                let state = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| invalid(format!("abort for unknown tenant {tenant}")))?;
+                state.abort(seq).map_err(|e| invalid(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64, delta: f64) -> PrivacyParams {
+        PrivacyParams::new(eps, delta).unwrap()
+    }
+
+    fn sample_records() -> Vec<LedgerRecord> {
+        vec![
+            LedgerRecord::Grant {
+                tenant: "acme".into(),
+                grant: params(1.0, 1e-6),
+            },
+            LedgerRecord::Intent {
+                tenant: "acme".into(),
+                seq: 0,
+                cost: params(0.25, 1e-7),
+                label: "release:two_table/demo".into(),
+            },
+            LedgerRecord::Commit {
+                tenant: "acme".into(),
+                seq: 0,
+            },
+            LedgerRecord::Intent {
+                tenant: "acme".into(),
+                seq: 1,
+                cost: params(0.5, 2e-7),
+                label: "release:multi_table/demo".into(),
+            },
+        ]
+    }
+
+    fn encode_all(records: &[LedgerRecord]) -> Vec<u8> {
+        records
+            .iter()
+            .flat_map(|r| r.encode().into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exactly() {
+        for (i, rec) in sample_records().iter().enumerate() {
+            let line = rec.encode();
+            assert!(line.ends_with('\n'));
+            let back = LedgerRecord::decode(line.trim_end_matches('\n'), i + 1).unwrap();
+            assert_eq!(&back, rec);
+        }
+        // Bit-exactness: a value with no short decimal representation.
+        let odd = params(0.1 + 0.2, 1e-9);
+        let rec = LedgerRecord::Grant {
+            tenant: "t".into(),
+            grant: odd,
+        };
+        let back = LedgerRecord::decode(rec.encode().trim_end_matches('\n'), 1).unwrap();
+        match back {
+            LedgerRecord::Grant { grant, .. } => {
+                assert_eq!(grant.epsilon().to_bits(), odd.epsilon().to_bits());
+                assert_eq!(grant.delta().to_bits(), odd.delta().to_bits());
+            }
+            _ => panic!("wrong record kind"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_tampering() {
+        let line = sample_records()[0].encode();
+        let trimmed = line.trim_end_matches('\n');
+        // Flip one payload byte: checksum must catch it.
+        let mut tampered = trimmed.to_string().into_bytes();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        let tampered = String::from_utf8(tampered).unwrap();
+        assert!(LedgerRecord::decode(&tampered, 1).is_err());
+        assert!(LedgerRecord::decode("zz not-a-record", 1).is_err());
+        assert!(LedgerRecord::decode("", 1).is_err());
+    }
+
+    #[test]
+    fn replay_reconstructs_conservative_state() {
+        let bytes = encode_all(&sample_records());
+        let replay = LedgerReplay::replay(&bytes).unwrap();
+        assert_eq!(replay.records, 4);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.valid_len, bytes.len());
+        let acme = &replay.tenants["acme"];
+        // Committed 0.25 plus the *pending* 0.5 counts as spent.
+        let (eps, _) = acme.spent();
+        assert_eq!(eps.to_bits(), (0.25f64 + 0.5).to_bits());
+        assert_eq!(acme.pending().len(), 1);
+        assert_eq!(acme.next_seq(), 2);
+        // Remaining admits at most what is genuinely left.
+        assert!(acme.admits(params(0.25, 1e-7)));
+        assert!(!acme.admits(params(0.3, 1e-7)));
+    }
+
+    #[test]
+    fn abort_releases_the_reservation() {
+        let mut records = sample_records();
+        records.push(LedgerRecord::Abort {
+            tenant: "acme".into(),
+            seq: 1,
+        });
+        let replay = LedgerReplay::replay(&encode_all(&records)).unwrap();
+        let acme = &replay.tenants["acme"];
+        let (eps, _) = acme.spent();
+        assert_eq!(eps.to_bits(), 0.25f64.to_bits());
+        assert_eq!(acme.aborted_count(), 1);
+        assert!(acme.pending().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let records = sample_records();
+        let full = encode_all(&records);
+        let clean_len = records[..3].iter().map(|r| r.encode().len()).sum::<usize>();
+        // Cut the final record anywhere inside it (including losing the
+        // newline): replay must drop exactly the torn record.
+        for cut in clean_len + 1..full.len() {
+            let replay = LedgerReplay::replay(&full[..cut]).unwrap();
+            assert!(replay.torn_tail, "cut at {cut}");
+            assert_eq!(replay.valid_len, clean_len, "cut at {cut}");
+            assert_eq!(replay.records, 3, "cut at {cut}");
+            let (eps, _) = replay.tenants["acme"].spent();
+            assert_eq!(eps.to_bits(), 0.25f64.to_bits());
+        }
+        // Garbage after the final newline is likewise a torn tail.
+        let mut garbage = full.clone();
+        garbage.extend_from_slice(b"deadbeef partial");
+        let replay = LedgerReplay::replay(&garbage).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.valid_len, full.len());
+        assert_eq!(replay.records, 4);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let records = sample_records();
+        let mut bytes = encode_all(&records);
+        // Flip a byte inside the *second* record's payload.
+        let first_len = records[0].encode().len();
+        bytes[first_len + 12] ^= 0x40;
+        assert!(matches!(
+            LedgerReplay::replay(&bytes),
+            Err(NoiseError::LedgerCorrupt { record: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn protocol_violations_are_fatal_anywhere() {
+        // Commit without an intent.
+        let bad = encode_all(&[
+            LedgerRecord::Grant {
+                tenant: "t".into(),
+                grant: params(1.0, 0.0),
+            },
+            LedgerRecord::Commit {
+                tenant: "t".into(),
+                seq: 7,
+            },
+            LedgerRecord::Grant {
+                tenant: "u".into(),
+                grant: params(1.0, 0.0),
+            },
+        ]);
+        assert!(LedgerReplay::replay(&bad).is_err());
+        // Duplicate grant.
+        let dup = encode_all(&[
+            LedgerRecord::Grant {
+                tenant: "t".into(),
+                grant: params(1.0, 0.0),
+            },
+            LedgerRecord::Grant {
+                tenant: "t".into(),
+                grant: params(2.0, 0.0),
+            },
+            LedgerRecord::Commit {
+                tenant: "t".into(),
+                seq: 0,
+            },
+        ]);
+        assert!(LedgerReplay::replay(&dup).is_err());
+        // Non-monotonic intent seq.
+        let mut state = TenantLedgerState::new(params(1.0, 0.0));
+        state.begin_intent(3, params(0.1, 0.0)).unwrap();
+        assert!(state.begin_intent(2, params(0.1, 0.0)).is_err());
+    }
+
+    #[test]
+    fn replayed_spend_is_bit_identical_to_live_accumulation() {
+        // A thousand small commits: the replayed compensated sum must equal
+        // live accumulation bit for bit (same ops in the same order).
+        let grant = params(1.0, 1e-6);
+        let cost = grant.split(1000).unwrap();
+        let mut records = vec![LedgerRecord::Grant {
+            tenant: "t".into(),
+            grant,
+        }];
+        let mut live = TenantLedgerState::new(grant);
+        for seq in 0..1000u64 {
+            records.push(LedgerRecord::Intent {
+                tenant: "t".into(),
+                seq,
+                cost,
+                label: "drip".into(),
+            });
+            records.push(LedgerRecord::Commit {
+                tenant: "t".into(),
+                seq,
+            });
+            live.begin_intent(seq, cost).unwrap();
+            live.commit(seq).unwrap();
+        }
+        let replay = LedgerReplay::replay(&encode_all(&records)).unwrap();
+        let replayed = &replay.tenants["t"];
+        assert_eq!(replayed.spent().0.to_bits(), live.spent().0.to_bits());
+        assert_eq!(replayed.spent().1.to_bits(), live.spent().1.to_bits());
+        // And the compensated total neither under- nor over-shoots.
+        assert!((replayed.spent().0 - 1.0).abs() < 1e-12);
+        assert!(!replayed.admits(params(1e-9, 0.0)));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_tenant("acme-corp_01"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+        assert!(valid_label("release:two_table/demo.v1"));
+        assert!(!valid_label("bad label"));
+        assert!(!valid_label(""));
+    }
+}

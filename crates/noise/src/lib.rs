@@ -9,6 +9,9 @@
 //! * privacy parameters `(ε, δ)`, the paper's `λ = (1/ε)·ln(1/δ)`, and
 //!   basic / advanced / parallel composition with a budget accountant
 //!   ([`budget`]),
+//! * a durable, crash-safe budget-ledger format — checksummed append-only
+//!   records, a two-phase charge protocol, and torn-tail-tolerant replay
+//!   ([`ledger`]),
 //! * deterministic RNG plumbing ([`rng`]).
 //!
 //! All sampling takes an explicit `&mut impl Rng` so that every experiment in
@@ -21,13 +24,15 @@ pub mod budget;
 pub mod error;
 pub mod exponential;
 pub mod laplace;
+pub mod ledger;
 pub mod rng;
 pub mod tlap;
 
-pub use budget::{BudgetAccountant, Composition, PrivacyParams};
+pub use budget::{budget_fits, BudgetAccountant, CompensatedSum, Composition, PrivacyParams};
 pub use error::NoiseError;
 pub use exponential::{exponential_mechanism, exponential_mechanism_weights};
 pub use laplace::Laplace;
+pub use ledger::{LedgerRecord, LedgerReplay, TenantLedgerState};
 pub use rng::seeded_rng;
 pub use tlap::{truncation_radius, TruncatedLaplace};
 

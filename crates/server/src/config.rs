@@ -1,0 +1,72 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration for a [`crate::server::start`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port, and
+    /// the bound address is written to `<data_dir>/endpoint`).
+    pub addr: String,
+    /// Directory holding the budget ledger (`ledger.log`) and the
+    /// `endpoint` file.  Created if absent.
+    pub data_dir: PathBuf,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum accepted request-head (request line + headers) size.
+    pub max_head_bytes: usize,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Deadline for one mechanism execution; a release still running at the
+    /// deadline is abandoned (its thread is detached) and its budget burns.
+    pub exec_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A config serving from `data_dir` on an ephemeral localhost port,
+    /// with the default limits.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: data_dir.into(),
+            max_body_bytes: 1 << 20,
+            max_head_bytes: 8 << 10,
+            io_timeout: Duration::from_secs(10),
+            exec_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Builds a config from the environment:
+    ///
+    /// * `DPSYN_DATA_DIR` — required: the ledger directory.
+    /// * `DPSYN_ADDR` — bind address (default `127.0.0.1:0`).
+    /// * `DPSYN_EXEC_TIMEOUT_MS`, `DPSYN_IO_TIMEOUT_MS`,
+    ///   `DPSYN_MAX_BODY_BYTES` — limit overrides.
+    pub fn from_env() -> Result<Self, String> {
+        let data_dir = std::env::var("DPSYN_DATA_DIR")
+            .map_err(|_| "DPSYN_DATA_DIR must be set (ledger directory)".to_string())?;
+        let mut config = ServerConfig::new(data_dir);
+        if let Ok(addr) = std::env::var("DPSYN_ADDR") {
+            config.addr = addr;
+        }
+        if let Ok(ms) = std::env::var("DPSYN_EXEC_TIMEOUT_MS") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| "DPSYN_EXEC_TIMEOUT_MS must be an integer".to_string())?;
+            config.exec_timeout = Duration::from_millis(ms);
+        }
+        if let Ok(ms) = std::env::var("DPSYN_IO_TIMEOUT_MS") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| "DPSYN_IO_TIMEOUT_MS must be an integer".to_string())?;
+            config.io_timeout = Duration::from_millis(ms);
+        }
+        if let Ok(bytes) = std::env::var("DPSYN_MAX_BODY_BYTES") {
+            config.max_body_bytes = bytes
+                .parse()
+                .map_err(|_| "DPSYN_MAX_BODY_BYTES must be an integer".to_string())?;
+        }
+        Ok(config)
+    }
+}

@@ -1,0 +1,73 @@
+//! Env-driven failpoints for crash-safety testing.
+//!
+//! `DPSYN_FAILPOINT` holds a comma-separated list of site names; when a
+//! ledger write reaches an armed site the process **aborts** (no unwinding,
+//! no destructors — the closest portable approximation of a power cut).
+//! The integration suite arms one site, drives a request, watches the
+//! server die, restarts it, and asserts the recovered ledger state.
+//!
+//! Sites (see `store`):
+//!
+//! | site                | crash instant                                        |
+//! |---------------------|------------------------------------------------------|
+//! | `ledger_pre_intent` | before the intent record is written                  |
+//! | `ledger_mid_intent` | half the intent record written **and fsync'd**       |
+//! | `ledger_post_intent`| intent durable, before the mechanism runs            |
+//! | `ledger_pre_commit` | mechanism done, before the commit record is written  |
+//! | `ledger_mid_commit` | half the commit record written **and fsync'd**       |
+//! | `ledger_post_commit`| commit durable, before the response is sent          |
+//!
+//! The list is read once per process (the server is killed and restarted
+//! between arms, so per-process is exactly the granularity needed).
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The environment variable holding the armed failpoint list.
+pub const FAILPOINT_ENV: &str = "DPSYN_FAILPOINT";
+
+fn armed() -> &'static HashSet<String> {
+    static ARMED: OnceLock<HashSet<String>> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        std::env::var(FAILPOINT_ENV)
+            .unwrap_or_default()
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    })
+}
+
+/// Whether the named failpoint site is armed in this process.
+pub fn should_fail(site: &str) -> bool {
+    armed().contains(site)
+}
+
+/// Crashes the process at an armed failpoint site: abort, not panic, so no
+/// destructor (and in particular no buffered flush or tidy shutdown) runs.
+pub fn crash(site: &str) -> ! {
+    eprintln!("dpsyn-serve: failpoint {site:?} armed — aborting");
+    std::process::abort()
+}
+
+/// If `site` is armed, crash the process.
+pub fn maybe_crash(site: &str) {
+    if should_fail(site) {
+        crash(site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_by_default() {
+        // The test process does not set DPSYN_FAILPOINT; every site must be
+        // inert (otherwise the suite itself would die).
+        assert!(!should_fail("ledger_pre_commit"));
+        assert!(!should_fail(""));
+        maybe_crash("ledger_mid_intent"); // must return
+    }
+}

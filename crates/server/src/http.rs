@@ -1,0 +1,221 @@
+//! A minimal hand-rolled HTTP/1.1 layer over blocking TCP streams.
+//!
+//! One request per connection (`Connection: close` on every response), a
+//! bounded head, a `Content-Length`-bounded body, and nothing else: no
+//! keep-alive, no chunked encoding, no TLS.  The request parser is strict —
+//! anything it does not understand maps to a 4xx before a single byte of
+//! the application runs.
+
+use std::io::{Read, Write};
+
+/// A parsed request: method, path, and raw body bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not supported and rejected).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A request-reading failure, carrying the status the connection should be
+/// answered with before closing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpError {
+    /// Status code for the error response.
+    pub status: u16,
+    /// Short human-readable detail.
+    pub detail: String,
+}
+
+impl HttpError {
+    fn new(status: u16, detail: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`, enforcing the head and body bounds.
+pub fn read_request(
+    stream: &mut impl Read,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_head_bytes {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    if path.contains('?') {
+        return Err(HttpError::new(400, "query strings are not supported"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::new(501, "transfer encodings are not supported"));
+            }
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+
+    // The body: whatever followed the head in the buffer, then the rest
+    // from the stream.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::new(400, "body longer than Content-Length"));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response and flushes.  Errors are swallowed — the peer may
+/// have hung up, and there is nobody left to tell.
+pub fn respond(stream: &mut impl Write, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 8192, 65536)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /v1/tenant HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/tenant");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert_eq!(parse("garbage\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET /a?q=1 HTTP/1.1\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+        // Truncated body.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Head never terminates within the bound.
+        let huge = format!("GET / HTTP/1.1\r\nX: {}\r\n\r\n", "y".repeat(20_000));
+        let err = read_request(&mut Cursor::new(huge.into_bytes()), 8192, 65536).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "{\"ok\":true}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Path → handler dispatch.
+
+use std::time::Duration;
+
+use crate::handlers::{self, Reply};
+use crate::store::Store;
+use crate::wire::ApiError;
+
+/// Routes one request to its handler.
+pub fn dispatch(
+    store: &Store,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    exec_timeout: Duration,
+) -> Reply {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => handlers::health(store),
+        ("POST", ["v1", "tenant"]) => handlers::create_tenant(store, body),
+        ("GET", ["v1", "tenant", name]) => handlers::get_tenant(store, name),
+        ("POST", ["v1", "dataset"]) => handlers::create_dataset(store, body),
+        ("GET", ["v1", "dataset", name]) => handlers::get_dataset(store, name),
+        ("POST", ["v1", "release"]) => handlers::release(store, body, exec_timeout),
+        ("POST", ["v1", "debug", "sleep"]) => handlers::debug_sleep(body),
+        // Right path, wrong method → 405; anything else → 404.
+        (_, ["healthz"])
+        | (_, ["v1", "tenant"])
+        | (_, ["v1", "tenant", _])
+        | (_, ["v1", "dataset"])
+        | (_, ["v1", "dataset", _])
+        | (_, ["v1", "release"])
+        | (_, ["v1", "debug", "sleep"]) => {
+            let e = ApiError::new(405, "method_not_allowed", format!("{method} not allowed"));
+            (e.status, e.body())
+        }
+        _ => {
+            let e = ApiError::new(404, "not_found", format!("no route for {path}"));
+            (e.status, e.body())
+        }
+    }
+}

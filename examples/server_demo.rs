@@ -1,0 +1,130 @@
+//! End-to-end demo of the `dpsyn-serve` wire format.
+//!
+//! Starts the release server in-process on an ephemeral port, then acts as
+//! a client over raw TCP: creates a tenant with an `(ε, δ)` grant, uploads
+//! a two-table dataset, runs releases until admission control refuses the
+//! next one, and shows the durable budget view after each step.
+//!
+//! ```sh
+//! cargo run --example server_demo
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use dpsyn::server::{start, Json, ServerConfig};
+
+/// One HTTP/1.1 request over a fresh connection (the server closes after
+/// each response), returning `(status, body)`.
+fn call(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let json = raw
+        .split("\r\n\r\n")
+        .nth(1)
+        .map(|b| Json::parse(b).expect("response is JSON"))
+        .expect("response has a body");
+    (status, json)
+}
+
+fn remaining_epsilon(body: &Json) -> f64 {
+    body.get("budget")
+        .and_then(|b| b.get("remaining"))
+        .and_then(|r| r.get("epsilon"))
+        .and_then(Json::as_f64)
+        .expect("budget view")
+}
+
+fn main() {
+    // A scratch data dir for the demo ledger.
+    let data_dir = std::env::temp_dir().join(format!("dpsyn-demo-{}", std::process::id()));
+    let handle = start(ServerConfig::new(&data_dir)).expect("server start");
+    let addr = handle.addr.to_string();
+    println!("server on {addr} (ledger in {})", data_dir.display());
+
+    // 1. A tenant granted ε = 1.0, δ = 1e-6 in total.
+    let (status, body) = call(
+        &addr,
+        "POST",
+        "/v1/tenant",
+        r#"{"v":1,"tenant":"acme","epsilon":1.0,"delta":1e-6}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    println!("tenant acme: remaining ε = {}", remaining_epsilon(&body));
+
+    // 2. A two-table dataset R1(a0, a1) ⋈ R2(a1, a2) over domains of 8.
+    let (status, body) = call(
+        &addr,
+        "POST",
+        "/v1/dataset",
+        r#"{"v":1,"name":"demo","domains":[8,8,8],
+            "relations":[{"attrs":[0,1],"tuples":[[[1,2],3],[[4,2],1],[[5,6],2]]},
+                         {"attrs":[1,2],"tuples":[[[2,7],2],[[6,0],1]]}]}"#,
+    );
+    assert_eq!(status, 200, "{body:?}");
+    println!(
+        "dataset demo: fingerprint {}",
+        body.get("fingerprint").and_then(Json::as_str).unwrap()
+    );
+
+    // 3. Releases at ε = 0.4 each: two fit the grant, the third must be
+    //    refused by admission control *before* touching data.
+    for round in 1..=3 {
+        let (status, body) = call(
+            &addr,
+            "POST",
+            "/v1/release",
+            r#"{"v":1,"tenant":"acme","dataset":"demo","mechanism":"two_table",
+                "epsilon":0.4,"delta":4e-7,"seed":7,"workload_size":32,"workload_seed":7}"#,
+        );
+        if status == 200 {
+            let answers = body
+                .get("result")
+                .and_then(|r| r.get("answers"))
+                .and_then(Json::as_arr)
+                .unwrap();
+            println!(
+                "release {round}: {} answers, remaining ε = {}",
+                answers.len(),
+                remaining_epsilon(&body)
+            );
+        } else {
+            let code = body
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("?");
+            println!("release {round}: refused ({status} {code})");
+            assert_eq!(status, 429, "third release must hit admission control");
+        }
+    }
+
+    // 4. The budget view survives in the ledger: every number above is
+    //    durable and will be identical after a crash + restart.
+    let (status, body) = call(&addr, "GET", "/v1/tenant/acme", "");
+    assert_eq!(status, 200);
+    let bits = body
+        .get("budget")
+        .and_then(|b| b.get("remaining"))
+        .and_then(|r| r.get("epsilon_bits"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    println!("durable remaining ε bits: {bits}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!("server drained and stopped");
+}

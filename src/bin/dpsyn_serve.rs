@@ -1,0 +1,42 @@
+//! `dpsyn-serve`: the crash-safe multi-tenant DP release server.
+//!
+//! ```sh
+//! DPSYN_DATA_DIR=/var/lib/dpsyn DPSYN_ADDR=127.0.0.1:8787 dpsyn_serve
+//! ```
+//!
+//! Environment:
+//!
+//! * `DPSYN_DATA_DIR` (required) — ledger directory; the bound address is
+//!   written to `<dir>/endpoint`.
+//! * `DPSYN_ADDR` — bind address (default `127.0.0.1:0`).
+//! * `DPSYN_EXEC_TIMEOUT_MS`, `DPSYN_IO_TIMEOUT_MS`,
+//!   `DPSYN_MAX_BODY_BYTES` — limit overrides.
+//! * `DPSYN_FAILPOINT` — comma-separated crash sites for fault-injection
+//!   testing (see `dpsyn::server::failpoint`).
+//! * `DPSYN_THREADS` — worker threads per execution context.
+//!
+//! SIGTERM stops accepting, drains in-flight requests, and exits 0.
+
+use dpsyn::server::{self, ServerConfig};
+
+fn main() {
+    let config = match ServerConfig::from_env() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("dpsyn-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    server::server::signal::install_sigterm_handler();
+    let handle = match server::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("dpsyn-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("dpsyn-serve: listening on {}", handle.addr);
+    // The accept loop exits when SIGTERM is received (after draining).
+    handle.wait();
+    eprintln!("dpsyn-serve: drained and stopped");
+}

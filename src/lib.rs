@@ -21,6 +21,7 @@
 //! | [`pmw`] | `dpsyn-pmw` | single-table Private Multiplicative Weights (Algorithm 2) |
 //! | [`core`] | `dpsyn-core` | the paper's release algorithms (Algorithms 1, 3–7) behind the [`Mechanism`](dpsyn_core::Mechanism) trait, flawed strawmen, baselines |
 //! | [`datagen`] | `dpsyn-datagen` | paper figure instances, random / Zipf generators, realistic scenarios |
+//! | [`server`] | `dpsyn-server` | the `dpsyn-serve` release server: durable budget ledger, admission control, fault isolation, failpoints |
 //!
 //! ## Quickstart
 //!
@@ -86,6 +87,41 @@
 //! See `examples/quickstart.rs` for a complete end-to-end run, and the
 //! [`session`] module docs for the cache-reuse and determinism contract.
 //!
+//! ## Serving releases (`dpsyn-serve`)
+//!
+//! The workspace also ships a crash-safe multi-tenant release **server**:
+//! the `dpsyn-serve` binary (backed by the [`server`] module /
+//! `dpsyn-server` crate).  It fronts the same mechanisms behind a small
+//! hand-rolled HTTP/1.1 API with four operational guarantees the library
+//! alone cannot give:
+//!
+//! * **Durable budgets** — every tenant's `(ε, δ)` spend is an append-only,
+//!   checksummed, fsync'd ledger (`ledger.log`); charges are two-phase
+//!   (intent → commit/abort) and replayed on startup, so *no crash at any
+//!   instant lets a tenant exceed its grant*.  Unresolved charges are
+//!   counted as spent (conservative), torn final records are truncated, and
+//!   real corruption refuses to start.
+//! * **Admission control** — a release is checked against the tenant's
+//!   remaining budget *before* any private data is touched; over-budget
+//!   requests cost nothing and answer `429`.
+//! * **Fault isolation** — each mechanism runs on its own thread under
+//!   `catch_unwind` with a deadline; panics and hangs burn the charged
+//!   budget but never take the server down.  `SIGTERM` drains in-flight
+//!   requests before exit.
+//! * **Failpoints** — `DPSYN_FAILPOINT=ledger_pre_commit` (and five
+//!   siblings) crash the process at exact ledger-write instants; the
+//!   integration suite kills and restarts the server at every one and
+//!   asserts recovered budgets match an independent oracle replay bit for
+//!   bit.
+//!
+//! ```sh
+//! DPSYN_DATA_DIR=/var/lib/dpsyn cargo run --release --bin dpsyn_serve
+//! ```
+//!
+//! then `POST /v1/tenant`, `POST /v1/dataset`, `POST /v1/release` with
+//! versioned JSON bodies (`"v":1`) — see `examples/server_demo.rs` for a
+//! complete client round-trip over raw TCP.
+//!
 //! ## Performance and determinism
 //!
 //! The relational data plane is built for throughput: join results are
@@ -122,6 +158,7 @@ pub use dpsyn_pmw as pmw;
 pub use dpsyn_query as query;
 pub use dpsyn_relational as relational;
 pub use dpsyn_sensitivity as sensitivity;
+pub use dpsyn_server as server;
 
 pub use session::{ReleaseRequest, Session};
 

@@ -241,3 +241,97 @@ fn request_builder_and_mechanism_names() {
     let m: &dyn Mechanism = &UniformizedTwoTable::default();
     assert_eq!(m.name(), "uniformized_two_table");
 }
+
+/// The context's slot LRU under concurrent multi-instance pressure:
+/// more live instances than slots, checked out and checked back in from
+/// several threads at once, so evictions constantly race in-flight
+/// checkouts.  Nothing may panic, every checkout must count as exactly one
+/// hit or miss, the slot count must respect capacity, and a post-storm
+/// checkout must still produce the exact cold-path lattice.
+#[test]
+fn concurrent_checkouts_race_lru_eviction_safely() {
+    use dpsyn::relational::join_subset;
+    use std::sync::Arc;
+
+    // Four distinct star instances but only two cache slots: every round
+    // of the working set forces evictions.
+    let query = Arc::new(JoinQuery::star(3, 8).unwrap());
+    let instances: Vec<Arc<Instance>> = (0..4u64)
+        .map(|variant| {
+            let mut inst = Instance::empty_for(&query).unwrap();
+            for hub in 0..3u64 {
+                for a in 0..3u64 {
+                    inst.relation_mut(0).add(vec![hub, a], 1 + variant).unwrap();
+                    inst.relation_mut(1)
+                        .add(vec![hub, (a + variant) % 8], 1)
+                        .unwrap();
+                    inst.relation_mut(2).add(vec![hub, a], 1 + hub % 2).unwrap();
+                }
+            }
+            Arc::new(inst)
+        })
+        .collect();
+    let ctx = Arc::new(ExecContext::sequential().with_cache_slots(2));
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 6;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ctx = Arc::clone(&ctx);
+            let query = Arc::clone(&query);
+            let instances = instances.clone();
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    // Offset per thread so threads hit different slots at
+                    // the same instant (maximising eviction races).
+                    for i in 0..instances.len() {
+                        let inst = &instances[(i + t + round) % instances.len()];
+                        let cache = ctx.subjoin_cache(&query, inst).unwrap();
+                        cache
+                            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+                            .unwrap();
+                        // The checked-out lattice stays valid even if the
+                        // slot it came from is evicted concurrently.
+                        assert!(cache.cached_count() > 0);
+                        assert!(cache.get(0b011).is_some());
+                        ctx.retain_subjoin_cache(cache);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no worker may panic");
+    }
+
+    // Consistency: every checkout counted exactly once, capacity held.
+    let (hits, misses) = ctx.cache_stats();
+    assert_eq!(
+        (hits + misses) as usize,
+        THREADS * ROUNDS * instances.len(),
+        "each checkout increments exactly one of hits/misses"
+    );
+    assert!(misses >= 1, "cold start must miss");
+    assert!(
+        ctx.cached_instances() <= 2,
+        "slot LRU exceeded its capacity"
+    );
+
+    // Correctness after the storm: a warm checkout's sub-joins are exactly
+    // the cold path's.
+    let cache = ctx.subjoin_cache(&query, &instances[0]).unwrap();
+    cache
+        .populate_proper_subsets(Parallelism::SEQUENTIAL)
+        .unwrap();
+    for mask in 1u32..0b111 {
+        let rels: Vec<usize> = (0..3).filter(|r| mask & (1 << r) != 0).collect();
+        let cold = join_subset(&query, &instances[0], &rels).unwrap();
+        let warm = cache.get(mask).expect("populated mask");
+        assert_eq!(warm.total(), cold.total(), "mask {mask:03b}: total weight");
+        assert_eq!(
+            warm.distinct_count(),
+            cold.distinct_count(),
+            "mask {mask:03b}: distinct tuples"
+        );
+    }
+}
