@@ -16,4 +16,6 @@ pub mod scenarios;
 
 pub use figures::{example42_instance, fig1_pair, fig2_hard_instance, fig3_nonuniform, fig4_query};
 pub use random::{random_path, random_star, random_two_table, zipf_two_table};
-pub use scenarios::{org_hierarchy, retail_star, social_network};
+pub use scenarios::{
+    heavy_hitter_star, org_hierarchy, retail_star, social_network, wide_attribute_pair,
+};

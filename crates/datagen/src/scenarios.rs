@@ -127,6 +127,123 @@ pub fn org_hierarchy<R: Rng>(
     (query, inst)
 }
 
+/// A **heavy-hitter skewed star**: `m` petal relations `R_r(hub, petal_r)`
+/// joined on `hub`, where a `hot_fraction` of every relation's rows land on
+/// the single hub value `0` and the rest follow a Zipf-like tail over the
+/// remaining hub domain.
+///
+/// This is the imbalance the work-stealing scheduler exists for: the probe
+/// partition (and the lattice masks) containing hub `0` carries most of the
+/// join work, so a fixed-stride split leaves all but one worker idle while
+/// stealing rebalances.  Degrees are wildly non-uniform, so it doubles as a
+/// uniformization stress shape.
+pub fn heavy_hitter_star<R: Rng>(
+    petals: usize,
+    hub_domain: u64,
+    rows_per_relation: usize,
+    hot_fraction: f64,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let hub_domain = hub_domain.max(2);
+    let petal_domain = 64u64;
+    let mut attrs = vec![Attribute::new("hub", hub_domain)];
+    for r in 0..petals {
+        attrs.push(Attribute::new(format!("petal{r}"), petal_domain));
+    }
+    let schema = Schema::new(attrs);
+    let rel_attrs: Vec<Vec<AttrId>> = (0..petals)
+        .map(|r| vec![AttrId(0), AttrId(1 + r as u16)])
+        .collect();
+    let query = JoinQuery::new(schema, rel_attrs).expect("star query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    let hot_fraction = hot_fraction.clamp(0.0, 1.0);
+    for r in 0..petals {
+        for _ in 0..rows_per_relation {
+            let hub = if rng.random::<f64>() < hot_fraction {
+                0
+            } else {
+                1 + popular(hub_domain - 1, rng)
+            };
+            let petal = rng.random_range(0..petal_domain);
+            inst.relation_mut(r)
+                .add(vec![hub, petal], 1)
+                .expect("valid tuple");
+        }
+    }
+    (query, inst)
+}
+
+/// A **wide-attribute pair**: a large probe relation
+/// `R(a, k1, k2, k3, k4)` joined with a small build relation
+/// `S(k1, k2, k3, k4, e)` on the four-attribute key `(k1, k2, k3, k4)`,
+/// every domain astronomically large (`2^40`) and every value sparse —
+/// large, spread-out integers standing in for hashed surrogate keys.
+///
+/// `S` holds exactly one row per key index in `0..key_space`; `R` holds
+/// `probe_rows` rows whose key indices are drawn uniformly from
+/// `0..16 * key_space`, so roughly one probe in sixteen finds a match and
+/// the join is **probe-dominated**: the per-probe key work (project, hash
+/// and compare a four-word wide-value key) is the hot loop, not output
+/// emission.
+///
+/// The distinct-value sets are tiny relative to the domains, so the
+/// per-attribute dictionary compresses every value to a handful of bits
+/// and the whole four-attribute probe key packs into one `u64` (for
+/// `key_space ≤ 4096`) — the shape where dictionary-encoded probing beats
+/// raw wide-value keys: one integer pack/hash/compare per probe instead of
+/// a four-word hash and slice compare.
+pub fn wide_attribute_pair<R: Rng>(
+    key_space: u64,
+    probe_rows: usize,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let domain = 1u64 << 40;
+    let key_space = key_space.max(1);
+    let schema = Schema::new(vec![
+        Attribute::new("a", domain),
+        Attribute::new("k1", domain),
+        Attribute::new("k2", domain),
+        Attribute::new("k3", domain),
+        Attribute::new("k4", domain),
+        Attribute::new("e", domain),
+    ]);
+    let query = JoinQuery::new(
+        schema,
+        vec![
+            vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3), AttrId(4)],
+            vec![AttrId(1), AttrId(2), AttrId(3), AttrId(4), AttrId(5)],
+        ],
+    )
+    .expect("two-table query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    // Spread values across the wide domain with a large odd stride so raw
+    // keys exercise full 64-bit hashing/compares.  Input classes mod 6 keep
+    // the key, `a` and `e` value streams disjoint.
+    let wide = |v: u64| (v.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & (domain - 1);
+    let quad = |t: u64| {
+        [
+            wide(6 * t + 1),
+            wide(6 * t + 2),
+            wide(6 * t + 3),
+            wide(6 * t + 4),
+        ]
+    };
+    for t in 0..key_space {
+        let [k1, k2, k3, k4] = quad(t);
+        inst.relation_mut(1)
+            .add(vec![k1, k2, k3, k4, wide(6 * t)], 1)
+            .expect("valid tuple");
+    }
+    for _ in 0..probe_rows {
+        let a = wide(6 * rng.random_range(0..1u64 << 20) + 5);
+        let [k1, k2, k3, k4] = quad(rng.random_range(0..16 * key_space));
+        inst.relation_mut(0)
+            .add(vec![a, k1, k2, k3, k4], 1)
+            .expect("valid tuple");
+    }
+    (query, inst)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +289,56 @@ mod tests {
         let (_, a) = social_network(64, 100, 100, &mut rng());
         let (_, b) = social_network(64, 100, 100, &mut rng());
         assert_eq!(a, b);
+        let (_, a) = heavy_hitter_star(3, 32, 80, 0.6, &mut rng());
+        let (_, b) = heavy_hitter_star(3, 32, 80, 0.6, &mut rng());
+        assert_eq!(a, b);
+        let (_, a) = wide_attribute_pair(24, 100, &mut rng());
+        let (_, b) = wide_attribute_pair(24, 100, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_hitter_star_is_heavily_imbalanced() {
+        let (q, inst) = heavy_hitter_star(3, 32, 120, 0.5, &mut rng());
+        assert_eq!(q.num_relations(), 3);
+        assert!(q.is_hierarchical());
+        assert!(inst.validate(&q).is_ok());
+        // The heavy hitter (hub 0) absorbs far more than its uniform share
+        // of every relation's weight.
+        for r in 0..3 {
+            let rel = inst.relation(r);
+            let hot: u64 = rel.iter().filter(|(t, _)| t[0] == 0).map(|(_, f)| f).sum();
+            let total: u64 = rel.iter().map(|(_, f)| f).sum();
+            assert!(
+                hot * 4 > total,
+                "relation {r}: hot {hot} of {total} is not a heavy hitter"
+            );
+        }
+        // Skew shows up in the join: far larger than a uniform star.
+        assert!(join_size(&q, &inst).unwrap() > 10_000);
+    }
+
+    #[test]
+    fn wide_attribute_pair_has_wide_sparse_values() {
+        let (q, inst) = wide_attribute_pair(24, 150, &mut rng());
+        assert!(inst.validate(&q).is_ok());
+        assert!(q.schema().domain_size(AttrId(0)).unwrap() >= 1 << 40);
+        // Values really are wide (beyond u32) and sparse (few distinct).
+        let r0 = inst.relation(0);
+        assert!(r0.iter().any(|(t, _)| t[0] > u32::MAX as u64));
+        let distinct_k1: std::collections::BTreeSet<u64> = r0.iter().map(|(t, _)| t[1]).collect();
+        assert!(distinct_k1.len() <= 16 * 24);
+        // The build side is one row per key index: small and key-distinct.
+        assert_eq!(inst.relation(1).distinct_count(), 24);
+        // The pair joins on the four shared attributes, selectively: about
+        // one probe row in sixteen finds its key in the build side.
+        let size = join_size(&q, &inst).unwrap();
+        assert!(size > 0, "some probes must hit");
+        assert!(size < 150 / 4, "the join must stay probe-dominated");
+        // And the four-attribute key packs into one u64 after encoding.
+        let dict = dpsyn_relational::AttrDictionary::build(&q, &inst);
+        assert!(dict
+            .packer(&[AttrId(1), AttrId(2), AttrId(3), AttrId(4)])
+            .is_some());
     }
 }

@@ -483,9 +483,36 @@ impl<'a> ShardedSubJoinCache<'a> {
     /// peels exactly one relation per step), so all masks of a level are
     /// computed concurrently; when a level has a single mask the parallelism
     /// is spent inside the join step's probe loop instead.
+    ///
+    /// Masks within a level are claimed by **work stealing** (one shared
+    /// atomic counter per level): sub-join sizes vary wildly across masks on
+    /// skewed instances, so a worker finishing a light mask immediately
+    /// claims the next instead of idling behind a fixed stride.  Values are
+    /// inserted keyed by mask, so the memo contents — and every downstream
+    /// read — are independent of which worker computed what.
     pub fn populate_proper_subsets(&self, par: Parallelism) -> Result<()> {
+        self.populate_proper_subsets_sched(par, exec::Schedule::Stealing)
+            .map(|_| ())
+    }
+
+    /// [`Self::populate_proper_subsets`] with an explicit schedule, returning
+    /// the per-worker claim counts aggregated across all lattice levels.
+    ///
+    /// The returned [`exec::SchedulerStats`] sums each level's claims
+    /// worker-by-worker (index 0 is always the calling thread), which is how
+    /// the bench harness demonstrates rebalancing: under
+    /// [`exec::Schedule::Stealing`] the max/min spread tracks actual mask
+    /// cost, while [`exec::Schedule::Strided`] fixes the split by arithmetic
+    /// regardless of skew.  Single-mask levels run inline on the caller and
+    /// are counted as one claim by worker 0.
+    pub fn populate_proper_subsets_sched(
+        &self,
+        par: Parallelism,
+        sched: exec::Schedule,
+    ) -> Result<exec::SchedulerStats> {
         let m = self.query.num_relations() as u32;
         let full = (1u32 << m) - 1;
+        let mut stats = exec::SchedulerStats::default();
         for level in 1..m.max(1) {
             let masks: Vec<u32> = (1..full)
                 .filter(|mask| mask.count_ones() == level)
@@ -496,22 +523,25 @@ impl<'a> ShardedSubJoinCache<'a> {
                         let result = self.compute_from_parent(mask, par)?;
                         self.insert(mask, Arc::new(result));
                     }
+                    stats.absorb(&exec::SchedulerStats::from_claims(vec![1]));
                 }
             } else {
-                let outcomes = exec::par_map(par, masks.len(), |i| -> Result<()> {
-                    let mask = masks[i];
-                    if self.get(mask).is_none() {
-                        let result = self.compute_from_parent(mask, Parallelism::SEQUENTIAL)?;
-                        self.insert(mask, Arc::new(result));
-                    }
-                    Ok(())
-                });
+                let (outcomes, level_stats) =
+                    exec::par_map_sched_stats(par, sched, masks.len(), |i| -> Result<()> {
+                        let mask = masks[i];
+                        if self.get(mask).is_none() {
+                            let result = self.compute_from_parent(mask, Parallelism::SEQUENTIAL)?;
+                            self.insert(mask, Arc::new(result));
+                        }
+                        Ok(())
+                    });
                 for outcome in outcomes {
                     outcome?;
                 }
+                stats.absorb(&level_stats);
             }
         }
-        Ok(())
+        Ok(stats)
     }
 }
 
@@ -613,6 +643,32 @@ mod tests {
                 sequential.join_mask((1 << 4) - 1).unwrap(),
                 "threads {threads}"
             );
+        }
+    }
+
+    #[test]
+    fn populate_sched_stats_account_every_mask_under_both_schedules() {
+        let (q, inst) = star_instance(4);
+        let mut sequential = SubJoinCache::new(&q, &inst).unwrap();
+        // 2^4 - 2 proper non-empty subsets, every one claimed exactly once.
+        let proper = (1usize << 4) - 2;
+        for sched in [exec::Schedule::Stealing, exec::Schedule::Strided] {
+            for &threads in &[1usize, 2, 4] {
+                let sharded = ShardedSubJoinCache::new(&q, &inst).unwrap();
+                let stats = sharded
+                    .populate_proper_subsets_sched(Parallelism::threads(threads), sched)
+                    .unwrap();
+                assert_eq!(stats.total(), proper, "{sched:?}, threads {threads}");
+                assert!(stats.workers() >= 1);
+                assert_eq!(sharded.cached_count(), proper);
+                for mask in 1u32..((1 << 4) - 1) {
+                    assert_eq!(
+                        sharded.get(mask).expect("populated").as_ref(),
+                        sequential.join_mask(mask).unwrap(),
+                        "mask {mask:#b}, {sched:?}, threads {threads}"
+                    );
+                }
+            }
         }
     }
 

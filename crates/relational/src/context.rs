@@ -43,7 +43,12 @@
 //! once from per-relation statistics and handed to **every** sub-join cache
 //! checkout, so parallel and sequential consumers decompose the lattice
 //! identically (see [`crate::plan`]).  [`ExecContext::plan_stats`] exposes
-//! the chosen orders with estimated and actual intermediate sizes.
+//! the chosen orders with estimated and actual intermediate sizes.  A slot
+//! further retains the pair's [`DictionaryState`]
+//! ([`ExecContext::attr_dictionary`]): the order-preserving attribute
+//! dictionary and the instance re-encoded to dense `u32` codes, so the
+//! dictionary-encoded probe path ([`ExecContext::join_dict`]) pays the
+//! encode once per instance and probes on integer keys thereafter.
 //!
 //! **Trust model:** the fingerprint is a *non-cryptographic* Fx hash.  It
 //! guards against accidental staleness (edits, instance swaps), not against
@@ -80,10 +85,11 @@ use crate::hash::{FxHashMap, FxHasher};
 use crate::hypergraph::JoinQuery;
 use crate::instance::{Instance, NeighborEdit};
 use crate::join::{
-    grouped_join_size_impl, join_impl, join_size_impl, join_subset_impl, JoinResult,
+    fold_fully_packable, grouped_join_size_impl, join_encoded, join_impl, join_size_impl,
+    join_subset_impl, JoinResult,
 };
 use crate::plan::{JoinPlan, PlanNodeStats, PlanStats, SharedJoinPlan, PLAN_MAX_RELATIONS};
-use crate::tuple::Value;
+use crate::tuple::{AttrDictionary, Value};
 use crate::Result;
 
 /// Default threshold (total distinct tuples across relations) below which
@@ -132,6 +138,36 @@ pub fn instance_fingerprint(query: &JoinQuery, instance: &Instance) -> u64 {
     h.finish()
 }
 
+/// The per-instance dictionary state cached in an LRU slot: the
+/// order-preserving [`AttrDictionary`] plus the `(query, instance)` pair
+/// re-encoded to dense `u32` codes, built once per instance fingerprint (see
+/// [`ExecContext::attr_dictionary`]).
+///
+/// Codes are per-attribute sorted ranks, so encoding is monotone and the
+/// decoded output of a join over the encoded pair is byte-identical to the
+/// raw join.  When every fold step's key tuple packs into a single `u64`
+/// ([`fully_packable`](DictionaryState::fully_packable)), the probe loops run
+/// entirely on integer compares.
+#[derive(Debug)]
+pub struct DictionaryState {
+    /// The per-attribute dictionary mapping wide values to dense codes.
+    pub dictionary: AttrDictionary,
+    /// The query with every attribute domain shrunk to its code count.
+    pub encoded_query: JoinQuery,
+    /// The instance with every value replaced by its dense code.
+    pub encoded_instance: Instance,
+    fully_packable: bool,
+}
+
+impl DictionaryState {
+    /// Whether every binary step of the engine's fold over the encoded
+    /// instance packs its probe-key tuple into one `u64` (the fast path of
+    /// [`crate::join::hash_join_step_dict`]).
+    pub fn fully_packable(&self) -> bool {
+        self.fully_packable
+    }
+}
+
 /// One `(query, instance)` entry of the persistent cache LRU.
 #[derive(Debug)]
 struct CacheSlot {
@@ -146,6 +182,9 @@ struct CacheSlot {
     /// The pair's cost-based decomposition plan (see [`crate::plan`]),
     /// shared by every sub-join cache checkout.
     join_plan: Option<SharedJoinPlan>,
+    /// The pair's attribute dictionary and encoded instance (see
+    /// [`DictionaryState`]), built alongside the join plan on first use.
+    dictionary: Option<Arc<DictionaryState>>,
     /// Logical access time (monotonic per context) driving LRU eviction.
     last_used: u64,
 }
@@ -199,6 +238,7 @@ impl CacheState {
             full_join: None,
             delta_plan: None,
             join_plan: None,
+            dictionary: None,
             last_used: clock,
         });
         self.slots.last_mut().expect("just pushed")
@@ -404,7 +444,13 @@ impl ExecContext {
                 return Ok(plan);
             }
         }
-        let plan = Arc::new(JoinPlan::cost_based(query, instance)?);
+        // The statistics pass parallelises per relation; the plan built from
+        // the merged stats is identical at every thread count.
+        let plan = Arc::new(JoinPlan::cost_based_with(
+            query,
+            instance,
+            self.effective_parallelism(instance),
+        )?);
         let mut state = self.state.lock().expect("context cache poisoned");
         // Store only into an existing slot: a plan lookup is a read and must
         // not evict anyone; check-in claims the slot and persists the plan.
@@ -412,6 +458,72 @@ impl ExecContext {
             Some(slot) => Ok(Arc::clone(slot.join_plan.get_or_insert(plan))),
             None => Ok(plan),
         }
+    }
+
+    // --- dictionary-encoded probing -----------------------------------------
+
+    /// The pair's [`DictionaryState`] — attribute dictionary plus encoded
+    /// `(query, instance)` — built once per instance fingerprint and cached
+    /// in the LRU slot alongside the join plan.
+    ///
+    /// The first call pays one pass over the instance (collect + sort the
+    /// per-attribute value sets, re-encode every tuple); later calls on the
+    /// same data return the same `Arc`.  Mutating the instance changes its
+    /// fingerprint, so a stale dictionary can never be served.
+    pub fn attr_dictionary(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> Result<Arc<DictionaryState>> {
+        let fp = instance_fingerprint(query, instance);
+        {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            if let Some(dict) = state
+                .slot_mut(fp)
+                .and_then(|slot| slot.dictionary.as_ref().map(Arc::clone))
+            {
+                state.hits += 1;
+                return Ok(dict);
+            }
+        }
+        let dictionary = AttrDictionary::build(query, instance);
+        let (encoded_query, encoded_instance) = dictionary.encode_instance(query, instance)?;
+        let fully_packable = fold_fully_packable(&encoded_instance, &dictionary);
+        let dict = Arc::new(DictionaryState {
+            dictionary,
+            encoded_query,
+            encoded_instance,
+            fully_packable,
+        });
+        let mut state = self.state.lock().expect("context cache poisoned");
+        state.misses += 1;
+        Ok(Arc::clone(
+            state
+                .slot_mut_or_insert(fp, self.cache_slots)
+                .dictionary
+                .get_or_insert_with(|| Arc::clone(&dict)),
+        ))
+    }
+
+    /// Joins all relations through the dictionary-encoded probe path:
+    /// values are replaced by dense per-attribute codes (cached via
+    /// [`ExecContext::attr_dictionary`]), the fold probes on code tuples —
+    /// packed into single `u64` keys wherever they fit — and the result is
+    /// decoded on emit.
+    ///
+    /// **Byte-identical** to [`ExecContext::join`]: codes are sorted ranks,
+    /// so encoding preserves per-attribute order, every fold makes the same
+    /// build/probe choices, and decode restores the exact raw values.  The
+    /// win is wall-clock on wide-valued attributes, where key equality and
+    /// hashing collapse to integer ops.
+    pub fn join_dict(&self, query: &JoinQuery, instance: &Instance) -> Result<JoinResult> {
+        let dict = self.attr_dictionary(query, instance)?;
+        join_encoded(
+            &dict.encoded_query,
+            &dict.encoded_instance,
+            &dict.dictionary,
+            self.parallelism,
+        )
     }
 
     // --- persistent sub-join lattice ---------------------------------------
@@ -632,8 +744,8 @@ impl ExecContext {
         (state.hits, state.misses)
     }
 
-    /// Drops every persisted cache slot (full joins, lattices, delta plans
-    /// and join plans), releasing their memory.  The context remains usable;
+    /// Drops every persisted cache slot (full joins, lattices, delta plans,
+    /// join plans and dictionaries), releasing their memory.  The context remains usable;
     /// the next call simply starts cold.
     pub fn clear_cache(&self) {
         let mut state = self.state.lock().expect("context cache poisoned");
@@ -940,6 +1052,50 @@ mod tests {
             ctx.shared_join(&q, &inst).unwrap().as_ref(),
             &join(&q, &inst).unwrap()
         );
+    }
+
+    #[test]
+    fn join_dict_is_cached_and_byte_identical_to_join() {
+        // Wide sparse values so the dictionary actually shrinks domains.
+        let schema = crate::attr::Schema::new(vec![
+            crate::attr::Attribute::new("a", 1 << 40),
+            crate::attr::Attribute::new("b", 1 << 40),
+            crate::attr::Attribute::new("c", 1 << 40),
+        ]);
+        let q = JoinQuery::new(
+            schema,
+            vec![vec![AttrId(0), AttrId(1)], vec![AttrId(1), AttrId(2)]],
+        )
+        .unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..6u64 {
+            inst.relation_mut(0)
+                .add(vec![i * 7_000_000_000, (i % 3) * 9_999_999_937], 1 + i % 2)
+                .unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i % 3) * 9_999_999_937, i * 123_456_789_123], 2)
+                .unwrap();
+        }
+        for &threads in &[1usize, 4] {
+            let ctx = ExecContext::with_threads(threads).with_min_par_instance(1);
+            let raw = ctx.join(&q, &inst).unwrap();
+            let dict = ctx.join_dict(&q, &inst).unwrap();
+            assert_eq!(dict, raw, "threads {threads}");
+            // The dictionary state is built once per fingerprint.
+            let a = ctx.attr_dictionary(&q, &inst).unwrap();
+            let b = ctx.attr_dictionary(&q, &inst).unwrap();
+            assert!(Arc::ptr_eq(&a, &b), "same Arc on a warm slot");
+            assert!(a.fully_packable(), "6 codes per attr pack easily");
+            // Mutation changes the fingerprint: a fresh dictionary is built.
+            let mut edited = inst.clone();
+            edited.relation_mut(0).add(vec![42, 43], 1).unwrap();
+            let c = ctx.attr_dictionary(&q, &edited).unwrap();
+            assert!(!Arc::ptr_eq(&a, &c));
+            assert_eq!(
+                ctx.join_dict(&q, &edited).unwrap(),
+                ctx.join(&q, &edited).unwrap()
+            );
+        }
     }
 
     #[test]

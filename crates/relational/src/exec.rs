@@ -8,25 +8,44 @@
 //! thread ever outlives the borrowed query/instance data it operates on and
 //! no global pool state exists to configure or leak.
 //!
+//! ### Scheduling: morsel-driven work stealing
+//!
+//! Work is dispatched as **morsels** — small contiguous units of task
+//! indices — claimed dynamically from a shared [`AtomicUsize`] counter:
+//! every worker loops `counter.fetch_add(1)` and runs the morsel it drew
+//! until the counter passes the morsel count.  A worker stuck on a heavy
+//! morsel (a skewed hash bucket, a hot lattice subset) simply claims fewer
+//! morsels while the others drain the queue, so imbalance self-corrects
+//! without any cost model.  The historical fixed-stride splitter (worker `w`
+//! of `W` runs morsels `w, w + W, w + 2W, …`) is retained behind
+//! [`Schedule::Strided`] as a cross-check reference and for measuring what
+//! stealing buys; [`SchedulerStats`] reports how many morsels each worker
+//! actually claimed so benches can show the rebalancing directly.
+//!
 //! ### Determinism contract
 //!
 //! Parallel execution must be **byte-identical** to sequential execution —
 //! the engine's downstream consumers are seeded randomized algorithms whose
 //! reproducibility contract (see the crate docs) would otherwise break.
-//! Two design rules guarantee it:
+//! Under the morsel model the contract splits cleanly in two:
 //!
-//! 1. **Deterministic work splitting.**  Tasks are assigned to workers by a
-//!    fixed stride (worker `w` of `W` runs tasks `w, w + W, w + 2W, …`), and
-//!    [`chunk_ranges`] splits index ranges by a fixed balanced-block rule.
-//!    Neither depends on scheduling, load or timing.
-//! 2. **Index-ordered merge.**  Every result is delivered back tagged with
-//!    its task index and merged in task order.  For range-partitioned loops
-//!    ([`par_map_ranges`]) each chunk emits its outputs in input order, so
-//!    the concatenation in chunk order equals the sequential emission order
-//!    *regardless of the worker count or chunk boundaries*.
+//! 1. **Claiming order may vary.**  Which worker runs which morsel — and in
+//!    what real-time order morsels execute — depends on scheduling, load and
+//!    timing, and is *not* reproducible.  Nothing observable may depend on
+//!    it, and nothing does: morsel *boundaries* are a pure function of the
+//!    input length ([`morsel_ranges`], [`chunk_ranges`]), only the
+//!    assignment of morsels to workers floats.
+//! 2. **Merge order may not.**  Every result is delivered back tagged with
+//!    its morsel index and merged in morsel order.  For range-partitioned
+//!    loops ([`par_map_ranges`], [`par_map_morsels`]) each morsel emits its
+//!    outputs in input order, so the concatenation in morsel order equals
+//!    the sequential emission order *regardless of the worker count, the
+//!    morsel size, or which worker claimed what*.
 //!
-//! Consequently `Parallelism::threads(1)`, `threads(4)` and `threads(64)`
-//! all produce identical bytes; only wall-clock time differs.
+//! Consequently `Parallelism::threads(1)`, `threads(4)` and `threads(64)` —
+//! and [`Schedule::Stealing`] vs [`Schedule::Strided`], at any morsel size
+//! down to 1 — all produce identical bytes; only wall-clock time and the
+//! per-worker claim counts differ.
 //!
 //! ### Panic handling
 //!
@@ -48,6 +67,7 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 
 /// How many worker threads the engine may use for one parallel operation.
@@ -58,6 +78,15 @@ use std::sync::{mpsc, OnceLock};
 /// drop to [`Parallelism::SEQUENTIAL`] only to shed thread overhead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Parallelism(NonZeroUsize);
+
+/// Parses a `DPSYN_THREADS`-style value: a positive integer (surrounding
+/// whitespace tolerated) or nothing.  Zero, negative and non-numeric values
+/// are ignored so a broken environment degrades to the machine default
+/// instead of erroring.
+fn parse_thread_env(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
 
 impl Parallelism {
     /// The sequential path: one worker, no spawned threads.
@@ -70,15 +99,24 @@ impl Parallelism {
 
     /// The environment's parallelism: `DPSYN_THREADS` when set to a positive
     /// integer, otherwise [`std::thread::available_parallelism`] (1 if even
-    /// that is unavailable).  The probe result is cached for the process.
+    /// that is unavailable).
+    ///
+    /// **Read once per process.**  The probe result is cached in a
+    /// `OnceLock` on the first call and never re-read: a process observes
+    /// exactly one value for its whole lifetime, so changing
+    /// `DPSYN_THREADS` after the engine has run (e.g. from a test) has no
+    /// effect.  This is deliberate — a mid-process flip would let two calls
+    /// in one release pipeline disagree about the worker count, and while
+    /// outputs would still be byte-identical (see the module docs), CI
+    /// matrices that pin `DPSYN_THREADS` rely on the value being stable
+    /// from the first join to the last.  The behavior is pinned by
+    /// `available_parallelism_is_read_once_per_process` in this module's
+    /// tests.
     pub fn available() -> Self {
         static AVAILABLE: OnceLock<usize> = OnceLock::new();
         let n = *AVAILABLE.get_or_init(|| {
-            if let Some(n) = std::env::var("DPSYN_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-            {
+            let env = std::env::var("DPSYN_THREADS").ok();
+            if let Some(n) = parse_thread_env(env.as_deref()) {
                 return n;
             }
             std::thread::available_parallelism()
@@ -107,13 +145,214 @@ impl Default for Parallelism {
     }
 }
 
-/// Runs `f(0), …, f(tasks - 1)` on up to `par` workers and returns the
-/// results **in task order**.
+/// How morsels are assigned to workers.  Outputs are byte-identical under
+/// both schedules (see the module docs); only wall-clock time and the
+/// per-worker claim counts differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Morsels are claimed dynamically from a shared atomic counter, so a
+    /// worker stalled on a heavy morsel claims fewer while idle workers
+    /// drain the rest.  The engine default.
+    #[default]
+    Stealing,
+    /// The historical fixed-stride assignment: worker `w` of `W` runs
+    /// morsels `w, w + W, w + 2W, …` regardless of cost.  Kept as the
+    /// determinism cross-check reference and the bench baseline.
+    Strided,
+}
+
+/// Per-invocation scheduler telemetry: how many morsels each worker claimed.
 ///
-/// Work is split deterministically by stride (worker `w` runs tasks
-/// `w, w + W, …`); workers 1… send `(index, result)` pairs over a channel
-/// while worker 0 (the calling thread) fills its own slots directly.  With
-/// `par = 1` or `tasks ≤ 1` everything runs inline — no thread is spawned.
+/// Under [`Schedule::Stealing`] on a skewed workload the spread between
+/// [`max_claimed`](SchedulerStats::max_claimed) and
+/// [`min_claimed`](SchedulerStats::min_claimed) shows the rebalancing at
+/// work — the worker that drew the heavy morsel claims few, the others pick
+/// up the slack.  Under [`Schedule::Strided`] the counts are fixed by the
+/// stride arithmetic no matter what the morsels cost.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    claimed: Vec<usize>,
+}
+
+impl SchedulerStats {
+    /// Builds stats from explicit per-worker claim counts (index 0 is the
+    /// calling thread) — for callers that run work inline outside the pool
+    /// but still want it accounted in an [`absorb`](Self::absorb) aggregate.
+    pub fn from_claims(claimed: Vec<usize>) -> Self {
+        SchedulerStats { claimed }
+    }
+
+    /// Morsels claimed per worker; index 0 is the calling thread.
+    pub fn claimed(&self) -> &[usize] {
+        &self.claimed
+    }
+
+    /// The number of workers that participated.
+    pub fn workers(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Total morsels executed.
+    pub fn total(&self) -> usize {
+        self.claimed.iter().sum()
+    }
+
+    /// The largest per-worker claim count (0 if no workers ran).
+    pub fn max_claimed(&self) -> usize {
+        self.claimed.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The smallest per-worker claim count (0 if no workers ran).
+    pub fn min_claimed(&self) -> usize {
+        self.claimed.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Accumulates another invocation's counts into this one, worker by
+    /// worker (used to aggregate stats across the levels of a lattice
+    /// populate).  Worker lists of different lengths are zero-padded.
+    pub fn absorb(&mut self, other: &SchedulerStats) {
+        if self.claimed.len() < other.claimed.len() {
+            self.claimed.resize(other.claimed.len(), 0);
+        }
+        for (mine, theirs) in self.claimed.iter_mut().zip(other.claimed.iter()) {
+            *mine += *theirs;
+        }
+    }
+}
+
+/// A worker's source of morsel indices under a given [`Schedule`].
+enum Claimer<'a> {
+    Stealing {
+        counter: &'a AtomicUsize,
+        tasks: usize,
+    },
+    Strided(std::iter::StepBy<Range<usize>>),
+}
+
+impl Claimer<'_> {
+    fn new(
+        sched: Schedule,
+        counter: &AtomicUsize,
+        w: usize,
+        workers: usize,
+        tasks: usize,
+    ) -> Claimer<'_> {
+        match sched {
+            Schedule::Stealing => Claimer::Stealing { counter, tasks },
+            Schedule::Strided => Claimer::Strided((w..tasks).step_by(workers)),
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Claimer::Stealing { counter, tasks } => {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                (i < *tasks).then_some(i)
+            }
+            Claimer::Strided(it) => it.next(),
+        }
+    }
+}
+
+/// Runs `f(0), …, f(tasks - 1)` on up to `par` workers under `sched` and
+/// returns the results **in task order** plus the per-worker claim counts.
+///
+/// This is the scheduler core: morsel indices are claimed (stolen or
+/// strided), workers 1… send `(index, result)` pairs over a channel while
+/// worker 0 (the calling thread) claims from the same queue and fills its
+/// own slots directly, and the slot vector — indexed by task — is the
+/// merge-in-morsel-order step that makes output independent of who ran
+/// what.  With `par = 1` or `tasks ≤ 1` everything runs inline: no thread
+/// is spawned and the stats report one worker claiming everything.
+///
+/// A panicking task propagates its payload to the caller after all workers
+/// have been joined (see the module docs).
+pub fn par_map_sched_stats<T, F>(
+    par: Parallelism,
+    sched: Schedule,
+    tasks: usize,
+    f: F,
+) -> (Vec<T>, SchedulerStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.get().min(tasks.max(1));
+    if workers <= 1 {
+        let out: Vec<T> = (0..tasks).map(f).collect();
+        return (
+            out,
+            SchedulerStats {
+                claimed: vec![tasks],
+            },
+        );
+    }
+
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let counter = AtomicUsize::new(0);
+    let claim_counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let f = &f;
+        let counter = &counter;
+        let claim_counts = &claim_counts;
+        for (w, count) in claim_counts.iter().enumerate().skip(1) {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut claimer = Claimer::new(sched, counter, w, workers, tasks);
+                let mut claimed = 0usize;
+                while let Some(i) = claimer.next() {
+                    claimed += 1;
+                    // A closed receiver means the coordinator bailed out
+                    // (it panicked in its own morsels); stop early.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+                count.store(claimed, Ordering::Relaxed);
+            });
+        }
+        drop(tx);
+        // Worker 0 claims from the same queue inline on the calling thread.
+        let mut claimer = Claimer::new(sched, counter, 0, workers, tasks);
+        let mut claimed = 0usize;
+        while let Some(i) = claimer.next() {
+            claimed += 1;
+            slots[i] = Some(f(i));
+        }
+        claim_counts[0].store(claimed, Ordering::Relaxed);
+        // Collect until every sender is gone.  If a worker panicked, its
+        // sender is dropped early, the loop ends, and the scope re-raises
+        // the panic when joining below.
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+    let out: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("all workers completed (scope propagates panics)"))
+        .collect();
+    let claimed = claim_counts
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    (out, SchedulerStats { claimed })
+}
+
+/// [`par_map_sched_stats`] without the telemetry.
+pub fn par_map_sched<T, F>(par: Parallelism, sched: Schedule, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_sched_stats(par, sched, tasks, f).0
+}
+
+/// Runs `f(0), …, f(tasks - 1)` on up to `par` workers and returns the
+/// results **in task order**, claiming tasks by work stealing
+/// ([`Schedule::Stealing`]).  Each task is its own morsel, so this is the
+/// maximal-interleaving case (morsel size 1).
 ///
 /// A panicking task propagates its payload to the caller after all workers
 /// have been joined (see the module docs).
@@ -122,43 +361,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = par.get().min(tasks.max(1));
-    if workers <= 1 {
-        return (0..tasks).map(f).collect();
-    }
-
-    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        let f = &f;
-        for w in 1..workers {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                for i in (w..tasks).step_by(workers) {
-                    // A closed receiver means the coordinator bailed out
-                    // (it panicked in its own stride); stop early.
-                    if tx.send((i, f(i))).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        // Worker 0 runs its stride inline on the calling thread.
-        for i in (0..tasks).step_by(workers) {
-            slots[i] = Some(f(i));
-        }
-        // Collect until every sender is gone.  If a worker panicked, its
-        // sender is dropped early, the loop ends, and the scope re-raises
-        // the panic when joining below.
-        for (i, value) in rx {
-            slots[i] = Some(value);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("all workers completed (scope propagates panics)"))
-        .collect()
+    par_map_sched(par, Schedule::Stealing, tasks, f)
 }
 
 /// Splits `0..len` into at most `chunks` contiguous ranges of near-equal
@@ -183,16 +386,84 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Partitions `0..len` into contiguous chunks of at least `min_chunk`
-/// indices, maps `f` over the chunks on up to `par` workers, and returns the
-/// per-chunk results **in range order**.
+/// Splits `0..len` into contiguous morsels of exactly `morsel` indices (the
+/// last may be shorter), in ascending order.  `len = 0` yields a single
+/// empty range; `morsel = 0` is treated as 1.  The split depends only on
+/// `len` and `morsel` — never on scheduling.
+pub fn morsel_ranges(len: usize, morsel: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return vec![Range { start: 0, end: 0 }];
+    }
+    let morsel = morsel.max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(morsel));
+    let mut start = 0;
+    while start < len {
+        let end = (start + morsel).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Maps `f` over fixed-size morsels of `0..len` on up to `par` workers
+/// under `sched`, returning the per-morsel results **in morsel order** plus
+/// the per-worker claim counts.
+///
+/// Morsel boundaries come from [`morsel_ranges`] (a pure function of `len`
+/// and `morsel`), so concatenating the returned parts reproduces the
+/// sequential emission order byte for byte at every worker count, morsel
+/// size (including 1) and schedule.
+pub fn par_map_morsels_stats<T, F>(
+    par: Parallelism,
+    sched: Schedule,
+    len: usize,
+    morsel: usize,
+    f: F,
+) -> (Vec<T>, SchedulerStats)
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = morsel_ranges(len, morsel);
+    par_map_sched_stats(par, sched, ranges.len(), |i| f(ranges[i].clone()))
+}
+
+/// [`par_map_morsels_stats`] with work stealing and no telemetry.
+pub fn par_map_morsels<T, F>(par: Parallelism, len: usize, morsel: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    par_map_morsels_stats(par, Schedule::Stealing, len, morsel, f).0
+}
+
+/// Partitions `0..len` into contiguous morsels of at least `min_chunk`
+/// indices, maps `f` over the morsels on up to `par` workers (work
+/// stealing), and returns the per-morsel results **in range order**.
 ///
 /// This is the `par_chunks`-style entry point behind the partitioned probe
-/// loop: each chunk emits its outputs in input order, so concatenating the
+/// loop: each morsel emits its outputs in input order, so concatenating the
 /// returned parts reproduces the sequential emission order byte for byte at
-/// every worker count.  Chunks are over-decomposed (4 per worker) so a
-/// skewed chunk cannot stall the whole loop.
+/// every worker count.  The range is over-decomposed (up to 8 morsels per
+/// worker) so the stealer has enough slack to rebalance a skewed morsel.
 pub fn par_map_ranges<T, F>(par: Parallelism, len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    par_map_ranges_sched(par, Schedule::Stealing, len, min_chunk, f)
+}
+
+/// [`par_map_ranges`] under an explicit [`Schedule`] — the cross-check and
+/// bench entry point for stealing-vs-strided comparisons.  The morsel
+/// boundaries are identical under both schedules.
+pub fn par_map_ranges_sched<T, F>(
+    par: Parallelism,
+    sched: Schedule,
+    len: usize,
+    min_chunk: usize,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
@@ -201,9 +472,9 @@ where
     if workers <= 1 || len <= min_chunk.max(1) {
         return vec![f(0..len)];
     }
-    let chunks = (len / min_chunk.max(1)).clamp(1, workers * 4);
+    let chunks = (len / min_chunk.max(1)).clamp(1, workers * 8);
     let ranges = chunk_ranges(len, chunks);
-    par_map(par, ranges.len(), |i| f(ranges[i].clone()))
+    par_map_sched(par, sched, ranges.len(), |i| f(ranges[i].clone()))
 }
 
 #[cfg(test)]
@@ -221,6 +492,40 @@ mod tests {
     }
 
     #[test]
+    fn thread_env_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_thread_env(None), None);
+        assert_eq!(parse_thread_env(Some("")), None);
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(Some("-3")), None);
+        assert_eq!(parse_thread_env(Some("four")), None);
+        assert_eq!(parse_thread_env(Some("4")), Some(4));
+        assert_eq!(parse_thread_env(Some("  16\n")), Some(16));
+    }
+
+    /// Pins the documented `OnceLock` behavior of [`Parallelism::available`]:
+    /// the environment is read once per process, so later changes to
+    /// `DPSYN_THREADS` are invisible.
+    #[test]
+    fn available_parallelism_is_read_once_per_process() {
+        // Force the cache to initialize from the *current* environment
+        // before touching it — this also protects concurrently running
+        // tests from ever observing the sentinel value below.
+        let first = Parallelism::available();
+        let saved = std::env::var("DPSYN_THREADS").ok();
+        std::env::set_var("DPSYN_THREADS", "7777");
+        let second = Parallelism::available();
+        match saved {
+            Some(v) => std::env::set_var("DPSYN_THREADS", v),
+            None => std::env::remove_var("DPSYN_THREADS"),
+        }
+        assert_eq!(
+            first, second,
+            "DPSYN_THREADS must be read once per process, not per call"
+        );
+        assert_ne!(second.get(), 7777, "cached value leaked a later env write");
+    }
+
+    #[test]
     fn par_map_matches_sequential_map_at_every_width() {
         let f = |i: usize| (i * i) as u64;
         let expect: Vec<u64> = (0..257).map(f).collect();
@@ -229,6 +534,49 @@ mod tests {
         }
         assert!(par_map(Parallelism::threads(4), 0, f).is_empty());
         assert_eq!(par_map(Parallelism::threads(4), 1, f), vec![0]);
+    }
+
+    #[test]
+    fn stealing_and_strided_agree_with_sequential() {
+        let f = |i: usize| {
+            // Skew: a few tasks are far heavier than the rest.
+            let reps = if i.is_multiple_of(97) { 40_000 } else { 50 };
+            (0..reps).fold(i as u64, |acc, k| {
+                acc.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left((k % 63) as u32)
+            })
+        };
+        let expect: Vec<u64> = (0..311).map(f).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::threads(threads);
+            for sched in [Schedule::Stealing, Schedule::Strided] {
+                let (got, stats) = par_map_sched_stats(par, sched, 311, f);
+                assert_eq!(got, expect, "threads={threads} sched={sched:?}");
+                assert_eq!(stats.total(), 311, "every morsel claimed exactly once");
+                assert!(stats.workers() >= 1 && stats.workers() <= threads);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_claim_counts_are_fixed_by_arithmetic() {
+        let (_, stats) = par_map_sched_stats(Parallelism::threads(4), Schedule::Strided, 10, |i| i);
+        // Worker w of 4 runs tasks w, w+4, w+8 … of 10: counts 3, 3, 2, 2.
+        assert_eq!(stats.claimed(), &[3, 3, 2, 2]);
+        assert_eq!(stats.max_claimed(), 3);
+        assert_eq!(stats.min_claimed(), 2);
+    }
+
+    #[test]
+    fn scheduler_stats_absorb_pads_and_sums() {
+        let mut a = SchedulerStats {
+            claimed: vec![2, 1],
+        };
+        a.absorb(&SchedulerStats {
+            claimed: vec![1, 1, 5],
+        });
+        assert_eq!(a.claimed(), &[3, 2, 5]);
+        assert_eq!(a.total(), 10);
     }
 
     #[test]
@@ -254,28 +602,79 @@ mod tests {
     }
 
     #[test]
+    fn morsel_ranges_are_fixed_width_and_cover_in_order() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for morsel in [0usize, 1, 3, 64, 5000] {
+                let ranges = morsel_ranges(len, morsel);
+                let mut expect_start = 0;
+                for (k, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, expect_start);
+                    expect_start = r.end;
+                    if k + 1 < ranges.len() {
+                        assert_eq!(r.len(), morsel.max(1), "only the last morsel may be short");
+                    }
+                }
+                assert_eq!(expect_start, len);
+            }
+        }
+    }
+
+    #[test]
     fn par_map_ranges_concatenation_is_order_stable() {
         let data: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
         let f = |r: Range<usize>| data[r].to_vec();
         let seq: Vec<u64> = f(0..data.len());
         for threads in [1, 2, 4, 9] {
-            let parts = par_map_ranges(Parallelism::threads(threads), data.len(), 16, f);
-            let merged: Vec<u64> = parts.concat();
-            assert_eq!(merged, seq, "threads = {threads}");
+            for sched in [Schedule::Stealing, Schedule::Strided] {
+                let parts =
+                    par_map_ranges_sched(Parallelism::threads(threads), sched, data.len(), 16, f);
+                let merged: Vec<u64> = parts.concat();
+                assert_eq!(merged, seq, "threads = {threads}, sched = {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_size_one_maximizes_interleaving_and_stays_byte_identical() {
+        let data: Vec<u64> = (0..997u64)
+            .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .collect();
+        let f = |r: Range<usize>| data[r].to_vec();
+        let seq: Vec<u64> = f(0..data.len());
+        for threads in [1, 2, 4, 8] {
+            for sched in [Schedule::Stealing, Schedule::Strided] {
+                for morsel in [1usize, 7, 64] {
+                    let (parts, stats) = par_map_morsels_stats(
+                        Parallelism::threads(threads),
+                        sched,
+                        data.len(),
+                        morsel,
+                        f,
+                    );
+                    assert_eq!(
+                        parts.concat(),
+                        seq,
+                        "threads={threads} sched={sched:?} morsel={morsel}"
+                    );
+                    assert_eq!(stats.total(), data.len().div_ceil(morsel));
+                }
+            }
         }
     }
 
     #[test]
     fn worker_panics_propagate_to_the_caller() {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            par_map(Parallelism::threads(4), 64, |i| {
-                if i == 37 {
-                    panic!("worker task failed deliberately");
-                }
-                i
-            })
-        }));
-        assert!(outcome.is_err(), "panic must cross the pool boundary");
+        for sched in [Schedule::Stealing, Schedule::Strided] {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                par_map_sched(Parallelism::threads(4), sched, 64, |i| {
+                    if i == 37 {
+                        panic!("worker task failed deliberately");
+                    }
+                    i
+                })
+            }));
+            assert!(outcome.is_err(), "panic must cross the pool boundary");
+        }
     }
 
     #[test]

@@ -19,27 +19,54 @@
 //! always merge to distinct tuples (each operand tuple is a projection of
 //! the merged tuple), so duplicates are structurally impossible.
 //!
-//! Hash maps enter only where they pay: each binary step indexes the
-//! *smaller* operand by its shared-attribute projection — keys live in a
-//! frozen [`KeyArena`] and the map is keyed by borrowed `&[Value]` rows, so
-//! the build pass allocates nothing per key at any arity — and probes it
-//! with the larger operand through a reusable scratch buffer: O(1) probes,
-//! zero allocations, in place of the O(len·log n) comparisons the previous
-//! `BTreeMap` engine paid.  [`join_subset`] additionally folds the relations
+//! Hash indexes enter only where they pay: each binary step indexes the
+//! *smaller* operand by its shared-attribute projection.  The index is a
+//! hand-rolled chained hash table (`ProbeIndex`: bucket heads plus
+//! next-links over rows frozen in a [`KeyArena`]) rather than a std
+//! `HashMap` — std's map cannot accept a precomputed hash on stable Rust,
+//! and the batched probe below depends on separating "hash a batch of keys"
+//! from "walk the buckets".  The build pass allocates nothing per key at
+//! any arity, and chains are linked so traversal yields matches in
+//! ascending build-row order — exactly the emission order of the previous
+//! map-of-vectors engine.  [`join_subset`] additionally folds the relations
 //! in ascending size order.
+//!
+//! ### Batched probe
+//!
+//! The probe side is processed in fixed-size batches
+//! ([`ProbeMode::Batched`], the default): pass one projects a batch of
+//! probe keys into a reusable arena and hashes them all, pass two walks the
+//! index chains and emits merges.  Splitting the loop this way amortises
+//! projection dispatch and bounds checks across the batch and keeps the
+//! hash computation out of the dependent load chain of the bucket walk.
+//! [`ProbeMode::Scalar`] (project + hash + probe one row at a time) is kept
+//! as the bench baseline; both modes visit identical (probe row, build row)
+//! pairs in identical order, so outputs are byte-identical.
+//!
+//! ### Dictionary-encoded probe keys
+//!
+//! For instances whose attribute values are *wide* (sparse identifiers from
+//! huge domains), [`join_dict`] / [`join_encoded`] evaluate the fold over a
+//! dictionary-encoded instance ([`crate::tuple::AttrDictionary`]): values
+//! become dense codes, and whenever a step's shared-attribute code widths
+//! sum to ≤ 64 bits the probe key is packed into a **single `u64`**
+//! ([`crate::tuple::KeyPacker`]), making key hash and equality one integer
+//! operation each.  Codes are assigned in value order, so the encoded fold
+//! emits rows in exactly the raw fold's order and the decode-on-emit step
+//! ([`JoinResult::map_values`]) reproduces raw output byte for byte.
 //!
 //! ### Parallel probe
 //!
 //! The probe loop of each binary step is partitioned into contiguous
-//! probe-row ranges and driven through the scoped worker pool of
+//! probe-row morsels and driven through the work-stealing worker pool of
 //! [`crate::exec`] (see [`hash_join_step_with`]).  Each worker probes the
-//! shared frozen index and emits into its own flat buffer; the per-range
-//! buffers are concatenated **in range order**, which reproduces the
-//! sequential emission order byte for byte at every worker count.  The
-//! plain entry points ([`join`], [`join_size`], …) use
-//! [`Parallelism::default`]; [`crate::ExecContext`] methods take the knob
-//! from the context, and `Parallelism::SEQUENTIAL` is exactly the
-//! pre-parallel code path.
+//! shared frozen index and emits into its own flat buffer; the per-morsel
+//! buffers are concatenated **in morsel order**, which reproduces the
+//! sequential emission order byte for byte at every worker count no matter
+//! which worker claimed which morsel.  The plain entry points ([`join`],
+//! [`join_size`], …) use [`Parallelism::default`]; [`crate::ExecContext`]
+//! methods take the knob from the context, and `Parallelism::SEQUENTIAL`
+//! is exactly the pre-parallel code path.
 //!
 //! Determinism is preserved by sorting on emit: [`JoinResult::iter`],
 //! [`JoinResult::group_by`] and [`JoinResult::distinct_projections`] return
@@ -58,7 +85,8 @@ use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::relation::Relation;
 use crate::tuple::{
-    intersect_attrs, project_into, project_positions, union_attrs, KeyArena, TupleKey, Value,
+    intersect_attrs, project_into, project_positions, union_attrs, AttrDictionary, KeyArena,
+    KeyPacker, TupleKey, Value,
 };
 use crate::Result;
 
@@ -66,6 +94,198 @@ use crate::Result;
 /// [`Parallelism`] is requested: below it, thread spawn/join overhead
 /// outweighs the probe work itself.
 const MIN_PAR_PROBE: usize = 1024;
+
+/// Probe rows hashed together before the index is walked (see the module
+/// docs' "Batched probe" section).  Small enough that a batch of keys and
+/// hashes stays cache-resident, large enough to amortise loop dispatch.
+const PROBE_BATCH: usize = 128;
+
+/// Sentinel for "no row" in [`ProbeIndex`] chains.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Fx-hashes a projected key slice (self-contained: only [`ProbeIndex`]
+/// consumes these hashes, so they need not match `std` slice hashing).
+#[inline]
+fn hash_key(key: &[Value]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::hash::FxHasher::default();
+    for &v in key {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+/// Fx-hashes a packed single-word key.
+#[inline]
+fn hash_word(word: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::hash::FxHasher::default();
+    h.write_u64(word);
+    h.finish()
+}
+
+/// How the hash-probe inner loop consumes probe rows.  Outputs are
+/// byte-identical under both modes; only instruction-level behavior differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// Project and hash a batch of probe keys, then walk the index for the
+    /// whole batch (the engine default — see the module docs).
+    #[default]
+    Batched,
+    /// Project, hash and probe one row at a time (the historical loop
+    /// shape, kept as the bench baseline).
+    Scalar,
+}
+
+/// A frozen chained hash index over the build side's projected keys.
+///
+/// Bucket heads plus per-row next-links over a [`KeyArena`]; a row's stored
+/// hash is checked before its key slice so chain walks touch key memory
+/// only on hash agreement.  Rows are linked so that traversal yields
+/// matches in **ascending build-row order** — the emission order the
+/// map-of-vectors engine produced — which keeps every output byte in place.
+struct ProbeIndex {
+    arena: KeyArena,
+    hashes: Vec<u64>,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl ProbeIndex {
+    /// Indexes a frozen arena.  Capacity is sized to ~0.5 load factor.
+    fn build(arena: KeyArena) -> ProbeIndex {
+        let n = arena.len();
+        assert!(
+            n < EMPTY_SLOT as usize,
+            "build side exceeds u32 row indexing"
+        );
+        let cap = (n.max(4) * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut hashes = Vec::with_capacity(n);
+        for i in 0..n {
+            hashes.push(hash_key(arena.row(i)));
+        }
+        let mut heads = vec![EMPTY_SLOT; cap];
+        let mut next = vec![EMPTY_SLOT; n];
+        // Insert in reverse row order with head-prepend so each chain walks
+        // in ascending build-row order.
+        for i in (0..n).rev() {
+            let b = (hashes[i] as usize) & mask;
+            next[i] = heads[b];
+            heads[b] = i as u32;
+        }
+        ProbeIndex {
+            arena,
+            hashes,
+            heads,
+            next,
+        }
+    }
+
+    /// Calls `on_match` with every build-row index whose key equals `key`,
+    /// in ascending row order.  `hash` must be `hash_key(key)`.
+    #[inline]
+    fn for_each_match(&self, key: &[Value], hash: u64, mut on_match: impl FnMut(usize)) {
+        let mask = self.heads.len() - 1;
+        let mut cur = self.heads[(hash as usize) & mask];
+        while cur != EMPTY_SLOT {
+            let i = cur as usize;
+            if self.hashes[i] == hash && self.arena.row(i) == key {
+                on_match(i);
+            }
+            cur = self.next[i];
+        }
+    }
+}
+
+/// A relation's rows materialised into one flat row-major buffer (plus a
+/// parallel frequency vector), in the relation's sorted iteration order.
+///
+/// The join steps walk a relation's rows many times (arena/key build, the
+/// probe loop, match emission); reading them through the `BTreeMap`'s
+/// per-tuple heap allocations makes every access a pointer chase.  One
+/// flattening pass up front turns all of those into contiguous loads.
+struct FlatRows {
+    width: usize,
+    values: Vec<Value>,
+    freqs: Vec<u64>,
+}
+
+impl FlatRows {
+    fn from_relation(rel: &Relation) -> FlatRows {
+        let width = rel.attrs().len();
+        let n = rel.distinct_count();
+        let mut values = Vec::with_capacity(n * width);
+        let mut freqs = Vec::with_capacity(n);
+        for (t, f) in rel.iter() {
+            values.extend_from_slice(t);
+            freqs.push(f);
+        }
+        FlatRows {
+            width,
+            values,
+            freqs,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[Value] {
+        &self.values[i * self.width..(i + 1) * self.width]
+    }
+
+    #[inline]
+    fn freq(&self, i: usize) -> u64 {
+        self.freqs[i]
+    }
+}
+
+/// The packed-key sibling of [`ProbeIndex`]: build keys are single `u64`
+/// words (dictionary codes bit-packed by a [`KeyPacker`]), so key equality
+/// is one integer compare and no stored hash is needed.
+struct PackedProbeIndex {
+    keys: Vec<u64>,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl PackedProbeIndex {
+    fn build(keys: Vec<u64>) -> PackedProbeIndex {
+        let n = keys.len();
+        assert!(
+            n < EMPTY_SLOT as usize,
+            "build side exceeds u32 row indexing"
+        );
+        let cap = (n.max(4) * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut heads = vec![EMPTY_SLOT; cap];
+        let mut next = vec![EMPTY_SLOT; n];
+        for i in (0..n).rev() {
+            let b = (hash_word(keys[i]) as usize) & mask;
+            next[i] = heads[b];
+            heads[b] = i as u32;
+        }
+        PackedProbeIndex { keys, heads, next }
+    }
+
+    /// Calls `on_match` with every build-row index whose packed key equals
+    /// `key`, in ascending row order.
+    #[inline]
+    fn for_each_match(&self, key: u64, mut on_match: impl FnMut(usize)) {
+        let mask = self.heads.len() - 1;
+        let mut cur = self.heads[(hash_word(key) as usize) & mask];
+        while cur != EMPTY_SLOT {
+            let i = cur as usize;
+            if self.keys[i] == key {
+                on_match(i);
+            }
+            cur = self.next[i];
+        }
+    }
+}
 
 /// A sparse join result: tuples over `attrs` with positive integer weights.
 ///
@@ -250,6 +470,24 @@ impl JoinResult {
             weights,
         }
     }
+
+    /// Rewrites every stored value through `f(attr, value)`, preserving row
+    /// order, attribute order and weights.
+    ///
+    /// This is the dictionary **decode-on-emit** step: a result computed
+    /// over an encoded instance is mapped back to raw values in place, so
+    /// no downstream consumer can tell the encoded fold ran.  `f` must be
+    /// injective per attribute (dictionary decode is), otherwise distinct
+    /// rows could collapse.
+    pub fn map_values(mut self, mut f: impl FnMut(AttrId, Value) -> Value) -> JoinResult {
+        let width = self.attrs.len();
+        if width > 0 {
+            for (k, v) in self.values.iter_mut().enumerate() {
+                *v = f(self.attrs[k % width], *v);
+            }
+        }
+        self
+    }
 }
 
 /// Where each attribute of a merged tuple comes from.
@@ -312,23 +550,112 @@ pub fn hash_join_step(acc: &JoinResult, rel: &Relation) -> Result<JoinResult> {
     hash_join_step_with(acc, rel, Parallelism::default())
 }
 
-/// One binary hash-join step at an explicit parallelism level.
-///
-/// The smaller operand (by distinct tuple count) becomes the hash-build side:
-/// its shared-attribute projections are materialised into a frozen
-/// [`KeyArena`] and indexed by borrowed `&[Value]` rows (no per-key
-/// allocation at any arity).  The larger side probes the index through a
-/// reusable scratch key; with `par` workers the probe rows are partitioned
-/// into contiguous ranges, each worker emits into its own flat buffer, and
-/// the buffers are concatenated in range order — byte-identical to the
-/// sequential emission at every worker count.  Output tuples need no dedup
-/// map: distinct operand pairs always produce distinct merged tuples.
-/// Weight multiplication saturates instead of wrapping, so adversarial
-/// worst-case instances degrade gracefully rather than overflow-panicking.
+/// Drives one probe-row range against a [`ProbeIndex`]: projects each
+/// probe row's key via `positions`, hashes it, and calls
+/// `on_match(probe_row, build_row)` for every key match — in probe-row
+/// order, matches in ascending build-row order.  Under
+/// [`ProbeMode::Batched`] keys are projected and hashed [`PROBE_BATCH`]
+/// rows at a time before any chain is walked; under [`ProbeMode::Scalar`]
+/// the three steps run row by row.  The (probe, build) pair sequence is
+/// identical either way.
+fn probe_rows<'a>(
+    index: &ProbeIndex,
+    mode: ProbeMode,
+    range: std::ops::Range<usize>,
+    key_width: usize,
+    row_of: impl Fn(usize) -> &'a [Value],
+    positions: &[usize],
+    mut on_match: impl FnMut(usize, usize),
+) {
+    match mode {
+        ProbeMode::Batched if key_width == 1 => {
+            // Width-1 keys need no arena: the projected key is one value, so
+            // the batch is a plain value buffer and hashing needs no slice
+            // walk.  Candidate order — and thus every output byte — matches
+            // the general arm.
+            let pos = positions[0];
+            let mut batch: Vec<Value> = Vec::with_capacity(PROBE_BATCH);
+            let mut hashes: Vec<u64> = Vec::with_capacity(PROBE_BATCH);
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + PROBE_BATCH).min(range.end);
+                batch.clear();
+                hashes.clear();
+                for i in start..end {
+                    batch.push(row_of(i)[pos]);
+                }
+                hashes.extend(batch.iter().map(|&v| hash_word(v)));
+                for (k, i) in (start..end).enumerate() {
+                    index.for_each_match(std::slice::from_ref(&batch[k]), hashes[k], |j| {
+                        on_match(i, j)
+                    });
+                }
+                start = end;
+            }
+        }
+        ProbeMode::Batched => {
+            let mut batch = KeyArena::with_capacity(key_width, PROBE_BATCH);
+            let mut hashes: Vec<u64> = Vec::with_capacity(PROBE_BATCH);
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + PROBE_BATCH).min(range.end);
+                batch.clear();
+                hashes.clear();
+                // Pass 1: project and hash the whole batch.
+                for i in start..end {
+                    batch.push_projected(row_of(i), positions);
+                }
+                for k in 0..batch.len() {
+                    hashes.push(hash_key(batch.row(k)));
+                }
+                // Pass 2: walk the chains.
+                for (k, i) in (start..end).enumerate() {
+                    index.for_each_match(batch.row(k), hashes[k], |j| on_match(i, j));
+                }
+                start = end;
+            }
+        }
+        ProbeMode::Scalar => {
+            let mut scratch: Vec<Value> = Vec::with_capacity(key_width);
+            for i in range {
+                project_into(row_of(i), positions, &mut scratch);
+                index.for_each_match(&scratch, hash_key(&scratch), |j| on_match(i, j));
+            }
+        }
+    }
+}
+
+/// One binary hash-join step at an explicit parallelism level, with the
+/// default [`ProbeMode::Batched`] inner loop.  See [`hash_join_step_mode`].
 pub fn hash_join_step_with(
     acc: &JoinResult,
     rel: &Relation,
     par: Parallelism,
+) -> Result<JoinResult> {
+    hash_join_step_mode(acc, rel, par, ProbeMode::default())
+}
+
+/// One binary hash-join step at an explicit parallelism level and probe
+/// mode.
+///
+/// The smaller operand (by distinct tuple count) becomes the hash-build
+/// side: its shared-attribute projections are materialised into a frozen
+/// [`KeyArena`] and indexed by a chained hash table (no per-key
+/// allocation at any arity).  The larger side probes the index — in
+/// hash-then-walk batches under [`ProbeMode::Batched`], one row at a time
+/// under [`ProbeMode::Scalar`] — and with `par` workers the probe rows are
+/// partitioned into contiguous morsels, each worker emits into its own
+/// flat buffer, and the buffers are concatenated in morsel order —
+/// byte-identical to the sequential emission at every worker count and in
+/// both probe modes.  Output tuples need no dedup map: distinct operand
+/// pairs always produce distinct merged tuples.  Weight multiplication
+/// saturates instead of wrapping, so adversarial worst-case instances
+/// degrade gracefully rather than overflow-panicking.
+pub fn hash_join_step_mode(
+    acc: &JoinResult,
+    rel: &Relation,
+    par: Parallelism,
+    mode: ProbeMode,
 ) -> Result<JoinResult> {
     let shared = intersect_attrs(&acc.attrs, rel.attrs());
     let (new_attrs, plan) = merge_plan(&acc.attrs, rel.attrs());
@@ -336,31 +663,29 @@ pub fn hash_join_step_with(
     let rel_shared_pos = project_positions(rel.attrs(), &shared)?;
     let plan = &plan[..];
 
+    let rel_rows = FlatRows::from_relation(rel);
     let (out_values, out_weights) = if rel.distinct_count() <= acc.distinct_count() {
         // Build on the relation, probe with the accumulated result.
-        let rel_rows: Vec<(&[Value], u64)> = rel.iter().map(|(t, f)| (t.as_slice(), f)).collect();
         let mut arena = KeyArena::with_capacity(shared.len(), rel_rows.len());
-        for &(t, _) in &rel_rows {
-            arena.push_projected(t, &rel_shared_pos);
+        for i in 0..rel_rows.len() {
+            arena.push_projected(rel_rows.row(i), &rel_shared_pos);
         }
-        let mut index: FxHashMap<&[Value], Vec<(&[Value], u64)>> = FxHashMap::default();
-        for (i, &row) in rel_rows.iter().enumerate() {
-            index.entry(arena.row(i)).or_default().push(row);
-        }
+        let index = ProbeIndex::build(arena);
         let probe = |range: std::ops::Range<usize>| {
             let mut values: Vec<Value> = Vec::new();
             let mut weights: Vec<u128> = Vec::new();
-            let mut scratch: Vec<Value> = Vec::with_capacity(shared.len());
-            for i in range {
-                let t = acc.row(i);
-                project_into(t, &acc_shared_pos, &mut scratch);
-                if let Some(matches) = index.get(scratch.as_slice()) {
-                    for &(rt, rf) in matches {
-                        merge_row(plan, t, rt, &mut values);
-                        weights.push(acc.weights[i].saturating_mul(rf as u128));
-                    }
-                }
-            }
+            probe_rows(
+                &index,
+                mode,
+                range,
+                shared.len(),
+                |i| acc.row(i),
+                &acc_shared_pos,
+                |i, j| {
+                    merge_row(plan, acc.row(i), rel_rows.row(j), &mut values);
+                    weights.push(acc.weights[i].saturating_mul(rel_rows.freq(j) as u128));
+                },
+            );
             (values, weights)
         };
         merge_parts(exec::par_map_ranges(
@@ -375,27 +700,22 @@ pub fn hash_join_step_with(
         for i in 0..acc.distinct_count() {
             arena.push_projected(acc.row(i), &acc_shared_pos);
         }
-        let mut index: FxHashMap<&[Value], Vec<(&[Value], u128)>> = FxHashMap::default();
-        for i in 0..acc.distinct_count() {
-            index
-                .entry(arena.row(i))
-                .or_default()
-                .push((acc.row(i), acc.weights[i]));
-        }
-        let rel_rows: Vec<(&[Value], u64)> = rel.iter().map(|(t, f)| (t.as_slice(), f)).collect();
+        let index = ProbeIndex::build(arena);
         let probe = |range: std::ops::Range<usize>| {
             let mut values: Vec<Value> = Vec::new();
             let mut weights: Vec<u128> = Vec::new();
-            let mut scratch: Vec<Value> = Vec::with_capacity(shared.len());
-            for &(rt, rf) in &rel_rows[range] {
-                project_into(rt, &rel_shared_pos, &mut scratch);
-                if let Some(matches) = index.get(scratch.as_slice()) {
-                    for &(t, w) in matches {
-                        merge_row(plan, t, rt, &mut values);
-                        weights.push(w.saturating_mul(rf as u128));
-                    }
-                }
-            }
+            probe_rows(
+                &index,
+                mode,
+                range,
+                shared.len(),
+                |i| rel_rows.row(i),
+                &rel_shared_pos,
+                |i, j| {
+                    merge_row(plan, acc.row(j), rel_rows.row(i), &mut values);
+                    weights.push(acc.weights[j].saturating_mul(rel_rows.freq(i) as u128));
+                },
+            );
             (values, weights)
         };
         merge_parts(exec::par_map_ranges(
@@ -411,6 +731,188 @@ pub fn hash_join_step_with(
         values: out_values,
         weights: out_weights,
     })
+}
+
+/// Drives one probe-row range against a [`PackedProbeIndex`]: packs a batch
+/// of probe keys, then walks the chains.  The (probe, build) pair sequence
+/// equals [`probe_rows`]' for the same operands.
+fn probe_rows_packed<'a>(
+    index: &PackedProbeIndex,
+    range: std::ops::Range<usize>,
+    packer: &KeyPacker,
+    row_of: impl Fn(usize) -> &'a [Value],
+    positions: &[usize],
+    mut on_match: impl FnMut(usize, usize),
+) {
+    let mut batch: Vec<u64> = Vec::with_capacity(PROBE_BATCH);
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + PROBE_BATCH).min(range.end);
+        batch.clear();
+        for i in start..end {
+            batch.push(packer.pack_projected(row_of(i), positions));
+        }
+        for (k, i) in (start..end).enumerate() {
+            index.for_each_match(batch[k], |j| on_match(i, j));
+        }
+        start = end;
+    }
+}
+
+/// One binary hash-join step over **dictionary-encoded** operands.
+///
+/// When the shared attributes' code widths pack into one `u64` under
+/// `dict` (the common case for encoded instances — see
+/// [`AttrDictionary::packer`]), the probe key becomes a single packed word:
+/// key hash and equality are one integer operation each instead of
+/// per-value loops.  Steps whose keys don't pack fall back to the generic
+/// batched step.  Either way the (probe row, build row) match sequence —
+/// and therefore every output byte — equals [`hash_join_step_with`] on the
+/// same encoded operands.
+pub fn hash_join_step_dict(
+    acc: &JoinResult,
+    rel: &Relation,
+    dict: &AttrDictionary,
+    par: Parallelism,
+) -> Result<JoinResult> {
+    let shared = intersect_attrs(&acc.attrs, rel.attrs());
+    let Some(packer) = dict.packer(&shared) else {
+        return hash_join_step_mode(acc, rel, par, ProbeMode::Batched);
+    };
+    let (new_attrs, plan) = merge_plan(&acc.attrs, rel.attrs());
+    let acc_shared_pos = project_positions(&acc.attrs, &shared)?;
+    let rel_shared_pos = project_positions(rel.attrs(), &shared)?;
+    let plan = &plan[..];
+    let packer = &packer;
+
+    let rel_rows = FlatRows::from_relation(rel);
+    let (out_values, out_weights) = if rel.distinct_count() <= acc.distinct_count() {
+        // Build on the relation, probe with the accumulated result.
+        let keys: Vec<u64> = (0..rel_rows.len())
+            .map(|i| packer.pack_projected(rel_rows.row(i), &rel_shared_pos))
+            .collect();
+        let index = PackedProbeIndex::build(keys);
+        let probe = |range: std::ops::Range<usize>| {
+            let mut values: Vec<Value> = Vec::new();
+            let mut weights: Vec<u128> = Vec::new();
+            probe_rows_packed(
+                &index,
+                range,
+                packer,
+                |i| acc.row(i),
+                &acc_shared_pos,
+                |i, j| {
+                    merge_row(plan, acc.row(i), rel_rows.row(j), &mut values);
+                    weights.push(acc.weights[i].saturating_mul(rel_rows.freq(j) as u128));
+                },
+            );
+            (values, weights)
+        };
+        merge_parts(exec::par_map_ranges(
+            par,
+            acc.distinct_count(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
+    } else {
+        // Build on the accumulated result, probe with the relation.
+        let keys: Vec<u64> = (0..acc.distinct_count())
+            .map(|i| packer.pack_projected(acc.row(i), &acc_shared_pos))
+            .collect();
+        let index = PackedProbeIndex::build(keys);
+        let probe = |range: std::ops::Range<usize>| {
+            let mut values: Vec<Value> = Vec::new();
+            let mut weights: Vec<u128> = Vec::new();
+            probe_rows_packed(
+                &index,
+                range,
+                packer,
+                |i| rel_rows.row(i),
+                &rel_shared_pos,
+                |i, j| {
+                    merge_row(plan, acc.row(j), rel_rows.row(i), &mut values);
+                    weights.push(acc.weights[j].saturating_mul(rel_rows.freq(i) as u128));
+                },
+            );
+            (values, weights)
+        };
+        merge_parts(exec::par_map_ranges(
+            par,
+            rel_rows.len(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
+    };
+
+    Ok(JoinResult {
+        attrs: new_attrs,
+        values: out_values,
+        weights: out_weights,
+    })
+}
+
+/// Joins all relations of an **already dictionary-encoded** instance with
+/// packed probe keys wherever the dictionary allows, then decodes the
+/// result back to raw values.
+///
+/// `enc_query` / `enc_instance` must come from
+/// [`AttrDictionary::encode_instance`] with the same `dict`.  Because
+/// encoding is a per-relation bijection preserving distinct counts and
+/// tuple order, the encoded fold visits the same relation order, builds on
+/// the same sides and emits rows in the same sequence as the raw fold —
+/// the decoded output is **byte-identical** to [`join`] on the raw
+/// instance.
+pub fn join_encoded(
+    enc_query: &JoinQuery,
+    enc_instance: &Instance,
+    dict: &AttrDictionary,
+    par: Parallelism,
+) -> Result<JoinResult> {
+    if enc_instance.num_relations() != enc_query.num_relations() {
+        return Err(RelationalError::RelationCountMismatch {
+            expected: enc_query.num_relations(),
+            got: enc_instance.num_relations(),
+        });
+    }
+    let all: Vec<usize> = (0..enc_query.num_relations()).collect();
+    let order = fold_order(enc_instance, &all);
+    let mut acc = JoinResult::from_relation(enc_instance.relation(order[0]));
+    for &ri in &order[1..] {
+        acc = hash_join_step_dict(&acc, enc_instance.relation(ri), dict, par)?;
+    }
+    Ok(acc.map_values(|a, code| dict.decode(a, code)))
+}
+
+/// Joins all relations through a freshly built attribute dictionary:
+/// builds the dictionary, encodes the instance, folds with packed probe
+/// keys and decodes on emit.  Byte-identical to [`join`]; callers that
+/// answer repeatedly over one instance should cache the dictionary and
+/// encoded instance via [`crate::ExecContext`] instead of re-encoding.
+pub fn join_dict(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<JoinResult> {
+    let dict = AttrDictionary::build(query, instance);
+    let (enc_query, enc_instance) = dict.encode_instance(query, instance)?;
+    join_encoded(&enc_query, &enc_instance, &dict, par)
+}
+
+/// Whether every binary step of the engine's full fold over `instance` can
+/// use a packed single-word probe key under `dict` — the condition for
+/// [`join_encoded`] to run entirely on integer-compare keys.  Pure
+/// simulation over attribute lists; no tuples are touched.
+pub fn fold_fully_packable(instance: &Instance, dict: &AttrDictionary) -> bool {
+    let all: Vec<usize> = (0..instance.num_relations()).collect();
+    let order = fold_order(instance, &all);
+    let Some(&first) = order.first() else {
+        return true;
+    };
+    let mut acc_attrs: Vec<AttrId> = instance.relation(first).attrs().to_vec();
+    for &ri in &order[1..] {
+        let shared = intersect_attrs(&acc_attrs, instance.relation(ri).attrs());
+        if dict.packer(&shared).is_none() {
+            return false;
+        }
+        acc_attrs = union_attrs(&acc_attrs, instance.relation(ri).attrs());
+    }
+    true
 }
 
 /// The engine's greedy fold order for joining the relation subset `rels`:
@@ -800,6 +1302,119 @@ mod tests {
             let seq_rows: Vec<(&[Value], u128)> = seq.iter_unordered().collect();
             let par_rows: Vec<(&[Value], u128)> = par.iter_unordered().collect();
             assert_eq!(par_rows, seq_rows, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_batched_probe_modes_are_byte_identical() {
+        let q = JoinQuery::two_table(64, 4096, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..3000u64 {
+            inst.relation_mut(0).add(vec![i % 37, i % 4096], 1).unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i * 7) % 4096, i % 29], 1 + i % 3)
+                .unwrap();
+        }
+        let acc = JoinResult::from_relation(inst.relation(0));
+        for par in [Parallelism::SEQUENTIAL, Parallelism::threads(4)] {
+            let batched =
+                hash_join_step_mode(&acc, inst.relation(1), par, ProbeMode::Batched).unwrap();
+            let scalar =
+                hash_join_step_mode(&acc, inst.relation(1), par, ProbeMode::Scalar).unwrap();
+            let b: Vec<(&[Value], u128)> = batched.iter_unordered().collect();
+            let s: Vec<(&[Value], u128)> = scalar.iter_unordered().collect();
+            assert_eq!(b, s, "modes must emit identical rows in identical order");
+        }
+    }
+
+    #[test]
+    fn dict_join_is_byte_identical_to_raw_join_on_wide_values() {
+        use crate::attr::{Attribute, Schema};
+        // Two relations sharing three wide attributes: the dictionary packs
+        // the 3-attribute key into one word.
+        let schema = Schema::new(vec![
+            Attribute::new("A", 1 << 40),
+            Attribute::new("B", 1 << 40),
+            Attribute::new("C", 1 << 40),
+            Attribute::new("D", 1 << 40),
+            Attribute::new("E", 1 << 40),
+        ]);
+        let q = JoinQuery::new(schema, vec![ids(&[0, 1, 2, 3]), ids(&[0, 1, 2, 4])]).unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        let wide = |v: u64| v.wrapping_mul(0x9e37_79b9) % (1 << 40);
+        for i in 0..2000u64 {
+            inst.relation_mut(0)
+                .add(
+                    vec![wide(i % 61), wide(i % 53), wide(i % 47), wide(i)],
+                    1 + i % 2,
+                )
+                .unwrap();
+            inst.relation_mut(1)
+                .add(
+                    vec![wide(i % 61), wide(i % 53), wide(i % 43), wide(i + 7)],
+                    1,
+                )
+                .unwrap();
+        }
+        let raw = join(&q, &inst).unwrap();
+        for threads in [1usize, 4] {
+            let dict = join_dict(&q, &inst, Parallelism::threads(threads)).unwrap();
+            assert_eq!(dict.attrs(), raw.attrs());
+            let d: Vec<(&[Value], u128)> = dict.iter_unordered().collect();
+            let r: Vec<(&[Value], u128)> = raw.iter_unordered().collect();
+            assert_eq!(d, r, "threads = {threads}");
+        }
+        // The packability probe agrees with what the fold actually did.
+        let dict = crate::tuple::AttrDictionary::build(&q, &inst);
+        assert!(fold_fully_packable(&inst, &dict));
+    }
+
+    #[test]
+    fn dict_join_falls_back_when_keys_do_not_pack() {
+        // Cross product: the shared set is empty, which trivially packs; to
+        // force the fallback we need > 64 summed bits, i.e. wide keys over
+        // many dense attributes.  Build a 2-relation query sharing 5 attrs
+        // of 8192 codes each (5 × 13 bits = 65 > 64).
+        use crate::attr::{Attribute, Schema};
+        let n_codes = 8192u64;
+        let schema = Schema::new(
+            (0..6)
+                .map(|i| Attribute::new(format!("x{i}"), n_codes))
+                .collect(),
+        );
+        let q = JoinQuery::new(
+            schema,
+            vec![ids(&[0, 1, 2, 3, 4]), ids(&[0, 1, 2, 3, 4, 5])],
+        )
+        .unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..n_codes {
+            inst.relation_mut(0).add(vec![i, i, i, i, i], 1).unwrap();
+            if i % 3 == 0 {
+                inst.relation_mut(1)
+                    .add(vec![i, i, i, i, i, i % 7], 2)
+                    .unwrap();
+            }
+        }
+        let dict = crate::tuple::AttrDictionary::build(&q, &inst);
+        assert!(!fold_fully_packable(&inst, &dict));
+        let raw = join(&q, &inst).unwrap();
+        let viadict = join_dict(&q, &inst, Parallelism::SEQUENTIAL).unwrap();
+        let d: Vec<(&[Value], u128)> = viadict.iter_unordered().collect();
+        let r: Vec<(&[Value], u128)> = raw.iter_unordered().collect();
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn map_values_rewrites_in_place() {
+        let (q, inst) = two_table();
+        let result = join(&q, &inst).unwrap();
+        let shifted = result.clone().map_values(|_, v| v + 100);
+        for ((t, w), (s, sw)) in result.iter_unordered().zip(shifted.iter_unordered()) {
+            assert_eq!(w, sw);
+            for (a, b) in t.iter().zip(s.iter()) {
+                assert_eq!(*b, *a + 100);
+            }
         }
     }
 

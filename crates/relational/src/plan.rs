@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use crate::attr::AttrId;
 use crate::error::RelationalError;
+use crate::exec::{self, Parallelism};
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::join::fold_order;
@@ -73,19 +74,24 @@ pub struct RelationStats {
 }
 
 impl RelationStats {
-    /// Gathers the statistics in one pass over every relation.
+    /// Gathers the statistics in one pass over every relation, sequentially.
     pub fn gather(query: &JoinQuery, instance: &Instance) -> Result<Self> {
+        RelationStats::gather_with(query, instance, Parallelism::SEQUENTIAL)
+    }
+
+    /// [`Self::gather`] with relations swept through the worker pool: each
+    /// relation's pass is independent, so workers claim relations by
+    /// stealing.  Results are merged in relation order — identical to the
+    /// sequential gather at every thread count.
+    pub fn gather_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<Self> {
         if instance.num_relations() != query.num_relations() {
             return Err(RelationalError::RelationCountMismatch {
                 expected: query.num_relations(),
                 got: instance.num_relations(),
             });
         }
-        let mut rows = Vec::with_capacity(instance.num_relations());
-        let mut distinct = Vec::with_capacity(instance.num_relations());
-        for i in 0..instance.num_relations() {
+        let per_relation = exec::par_map(par, instance.num_relations(), |i| {
             let rel = instance.relation(i);
-            rows.push(rel.distinct_count());
             let attrs = rel.attrs();
             let mut seen: Vec<crate::hash::FxHashSet<u64>> = attrs
                 .iter()
@@ -96,13 +102,18 @@ impl RelationStats {
                     seen[pos].insert(v);
                 }
             }
-            distinct.push(
-                attrs
-                    .iter()
-                    .zip(&seen)
-                    .map(|(&a, s)| (a, s.len() as u64))
-                    .collect(),
-            );
+            let distinct: Vec<(AttrId, u64)> = attrs
+                .iter()
+                .zip(&seen)
+                .map(|(&a, s)| (a, s.len() as u64))
+                .collect();
+            (rel.distinct_count(), distinct)
+        });
+        let mut rows = Vec::with_capacity(per_relation.len());
+        let mut distinct = Vec::with_capacity(per_relation.len());
+        for (r, d) in per_relation {
+            rows.push(r);
+            distinct.push(d);
         }
         Ok(RelationStats { rows, distinct })
     }
@@ -177,8 +188,20 @@ impl JoinPlan {
     /// index — a total, deterministic order).  Queries wider than
     /// [`PLAN_MAX_RELATIONS`] fall back to the fixed-prefix chain.
     pub fn cost_based(query: &JoinQuery, instance: &Instance) -> Result<Self> {
+        JoinPlan::cost_based_with(query, instance, Parallelism::SEQUENTIAL)
+    }
+
+    /// [`Self::cost_based`] with the statistics pass swept through the worker
+    /// pool ([`RelationStats::gather_with`]).  The plan is a pure function of
+    /// the gathered statistics, which are merged in relation order — so the
+    /// resulting plan is identical at every thread count.
+    pub fn cost_based_with(
+        query: &JoinQuery,
+        instance: &Instance,
+        par: Parallelism,
+    ) -> Result<Self> {
         let m = query.num_relations();
-        let stats = RelationStats::gather(query, instance)?;
+        let stats = RelationStats::gather_with(query, instance, par)?;
         let all: Vec<usize> = (0..m).collect();
         let top_order = fold_order(instance, &all);
         if m > PLAN_MAX_RELATIONS {
@@ -470,6 +493,31 @@ mod tests {
         assert_eq!(a.top_order().len(), 3);
         assert!(a.check_relations(3).is_ok());
         assert!(a.check_relations(4).is_err());
+    }
+
+    #[test]
+    fn parallel_stats_gather_matches_sequential_at_every_thread_count() {
+        let (q, inst) = path_instance(4, 40);
+        let seq = RelationStats::gather(&q, &inst).unwrap();
+        for &threads in &[1usize, 2, 4, 8] {
+            let par = RelationStats::gather_with(&q, &inst, Parallelism::threads(threads)).unwrap();
+            for r in 0..4 {
+                assert_eq!(par.rows(r), seq.rows(r), "threads {threads}");
+                for a in 0..5u16 {
+                    assert_eq!(
+                        par.distinct(r, AttrId(a)),
+                        seq.distinct(r, AttrId(a)),
+                        "relation {r}, attr {a}, threads {threads}"
+                    );
+                }
+            }
+            let plan = JoinPlan::cost_based_with(&q, &inst, Parallelism::threads(threads)).unwrap();
+            let base = JoinPlan::cost_based(&q, &inst).unwrap();
+            for mask in 1u32..(1 << 4) {
+                assert_eq!(plan.pivot(mask), base.pivot(mask), "threads {threads}");
+                assert_eq!(plan.estimated_rows(mask), base.estimated_rows(mask));
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! returned values are identical: every cached sub-join equals what the
 //! cold path computes (a sub-join is the same weighted tuple set under
 //! every decomposition, and the plan is a pure function of the query and
-//! instance statistics), and the aggregates consumed here (`max` over
+//! instance statistics), the engine's worker pools steal work in morsels
+//! whose results merge in morsel order (claiming order is invisible — see
+//! `dpsyn_relational::exec`), and the aggregates consumed here (`max` over
 //! groups, boundary maps in `BTreeMap` order) are order-free.  The
 //! workspace's seeded release algorithms therefore produce byte-identical
 //! output whether they run on a fresh context, a warm session, or the

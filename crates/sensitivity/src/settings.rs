@@ -4,9 +4,11 @@
 //! [`SensitivityOps`](crate::SensitivityOps) on [`ExecContext`]; the plain
 //! free functions build a throwaway context from
 //! [`SensitivityConfig::default`].  Results are **byte-identical** at every
-//! parallelism level (the engine's parallel loops merge in deterministic
-//! partition order — see `dpsyn_relational::exec`), so the knobs trade only
-//! wall-clock time, never output.
+//! parallelism level: the engine's parallel loops are morsel-driven with
+//! work stealing — workers *claim* morsels in a nondeterministic order, but
+//! every result is tagged with its morsel index and merged in morsel order
+//! (see `dpsyn_relational::exec`) — so the knobs trade only wall-clock
+//! time, never output.
 
 use dpsyn_relational::{ExecContext, Parallelism, DEFAULT_CACHE_SLOTS, DEFAULT_MIN_PAR_INSTANCE};
 

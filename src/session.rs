@@ -87,18 +87,24 @@
 //!    function of the data; the cached full join comes from the same
 //!    size-ordered fold as [`dpsyn_relational::join()`]), so a warm
 //!    session's outputs are byte-identical to a cold session's.
-//! 3. **Parallelism is invisible.** All worker-pool loops merge in
-//!    deterministic partition order ([`dpsyn_relational::exec`]);
-//!    `Session::sequential()` and a 64-thread session produce the same
-//!    bytes, differing only in wall-clock time.
+//! 3. **Parallelism is invisible.** Worker-pool loops are morsel-driven
+//!    with work stealing ([`dpsyn_relational::exec`]): workers claim
+//!    morsels dynamically, but every result is tagged with its morsel index
+//!    and merged in morsel order — so `Session::sequential()` and a
+//!    64-thread session produce the same bytes at every morsel size and
+//!    schedule, differing only in wall-clock time.  The same holds for the
+//!    dictionary-encoded probe path ([`Session::join_dict`]), which decodes
+//!    on emit.
 
 use dpsyn_core::{IndependentLaplaceBaseline, Mechanism, SyntheticRelease};
 use dpsyn_noise::{seeded_rng, PrivacyParams};
 use dpsyn_query::{AnswerOps, AnswerSet, ProductQuery, QueryFamily};
 use dpsyn_relational::{
-    ExecContext, Instance, JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanStats,
+    DictionaryState, ExecContext, Instance, JoinQuery, JoinResult, JoinSizeDelta, NeighborEdit,
+    Parallelism, PlanStats,
 };
 use dpsyn_sensitivity::{ResidualSensitivity, SensitivityConfig, SensitivityOps};
+use std::sync::Arc;
 
 /// Everything one release needs, bundled: the join query, the private
 /// instance, the query workload, the privacy budget, and the RNG seed that
@@ -312,6 +318,33 @@ impl Session {
         QueryFamily::random_sign(query, size, &mut rng)
     }
 
+    /// The full join through the **dictionary-encoded probe path**: values
+    /// are replaced by dense per-attribute codes (built once per instance and
+    /// cached in the session's LRU slot), the fold probes on integer keys —
+    /// packed into a single `u64` wherever the code widths fit — and the
+    /// result is decoded on emit.  Byte-identical to the raw-value join;
+    /// faster on wide-valued attributes (see
+    /// [`dpsyn_relational::join::join_dict`]).
+    pub fn join_dict(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> dpsyn_relational::Result<JoinResult> {
+        self.ctx.join_dict(query, instance)
+    }
+
+    /// The pair's cached [`DictionaryState`] — the per-attribute dictionary
+    /// plus the encoded instance — for diagnostics: code counts per
+    /// attribute, and whether every fold step packs its probe keys into one
+    /// `u64` ([`DictionaryState::fully_packable`]).
+    pub fn attr_dictionary(
+        &self,
+        query: &JoinQuery,
+        instance: &Instance,
+    ) -> dpsyn_relational::Result<Arc<DictionaryState>> {
+        self.ctx.attr_dictionary(query, instance)
+    }
+
     // --- sensitivity -------------------------------------------------------
 
     /// Local sensitivity `LS_count(I)`, through the session cache.
@@ -505,6 +538,19 @@ mod tests {
 
         session.clear_cache();
         assert_eq!(session.cached_subjoins(), 0);
+    }
+
+    #[test]
+    fn session_dict_join_matches_raw_join_and_caches_the_dictionary() {
+        let (q, inst) = fixture();
+        let session = Session::sequential();
+        let raw = session.context().join(&q, &inst).unwrap();
+        let dict = session.join_dict(&q, &inst).unwrap();
+        assert_eq!(dict, raw);
+        let state = session.attr_dictionary(&q, &inst).unwrap();
+        let again = session.attr_dictionary(&q, &inst).unwrap();
+        assert!(Arc::ptr_eq(&state, &again), "dictionary built once");
+        assert!(state.fully_packable(), "small codes pack into one u64");
     }
 
     #[test]

@@ -585,3 +585,103 @@ fn released_answers_are_linear_in_the_histogram() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Morsel-driven work-stealing scheduler: stealing ≡ strided ≡ sequential ≡ naive
+// ---------------------------------------------------------------------------
+
+/// The skewed shapes the stealer exists for, plus the regular chain and star.
+fn scheduler_shapes(seed: u64) -> Vec<(&'static str, JoinQuery, Instance)> {
+    let (chain_q, chain_i) = random_path(3, 16, 500, 0.8, &mut seeded_rng(11_000 + seed));
+    let (star_q, star_i) = random_star(3, 16, 600, 1.0, &mut seeded_rng(11_100 + seed));
+    let (skew_q, skew_i) =
+        dpsyn_datagen::heavy_hitter_star(3, 32, 220, 0.6, &mut seeded_rng(11_200 + seed));
+    vec![
+        ("chain", chain_q, chain_i),
+        ("star", star_q, star_i),
+        ("skewed", skew_q, skew_i),
+    ]
+}
+
+/// Work-stealing, strided, sequential and naive evaluation agree
+/// **byte-per-byte** at 1/2/4/8 threads on chain, star and heavy-hitter
+/// skewed shapes, on cold and warm contexts alike.  `JoinResult` equality
+/// compares the full columnar layout (flat row-major values plus weights),
+/// so `assert_eq!` here really is a byte-level check, not just a multiset
+/// check.
+#[test]
+fn work_stealing_is_byte_identical_to_strided_sequential_and_naive() {
+    use dpsyn_relational::{exec, Schedule};
+    for seed in 0..1u64 {
+        for (shape, query, inst) in scheduler_shapes(seed) {
+            let all: Vec<usize> = (0..query.num_relations()).collect();
+            let seq = ExecContext::sequential().join(&query, &inst).unwrap();
+            let naive = join_subset_naive(&query, &inst, &all).unwrap();
+            assert_eq!(seq.total(), naive.total(), "{shape}, seed {seed}");
+            assert_eq!(
+                seq.distinct_count(),
+                naive.distinct_count(),
+                "{shape}, seed {seed}"
+            );
+            let m = query.num_relations();
+            let mut seq_cache = SubJoinCache::new(&query, &inst).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let par = Parallelism::threads(threads);
+                // Cold context: the engine's default (stealing) join.
+                let ctx = ExecContext::with_threads(threads).with_min_par_instance(1);
+                let cold = ctx.join(&query, &inst).unwrap();
+                assert_eq!(cold, seq, "{shape}, seed {seed}, threads {threads}");
+                // The dictionary-encoded probe path is byte-identical too.
+                let dict = ctx.join_dict(&query, &inst).unwrap();
+                assert_eq!(dict, seq, "{shape} dict, seed {seed}, threads {threads}");
+                // Lattice populate under stealing AND strided: every mask's
+                // sub-join equals the sequential cache's, and every mask is
+                // claimed exactly once.
+                for sched in [Schedule::Stealing, Schedule::Strided] {
+                    let sharded = ShardedSubJoinCache::new(&query, &inst).unwrap();
+                    let stats = sharded.populate_proper_subsets_sched(par, sched).unwrap();
+                    assert_eq!(
+                        stats.total(),
+                        (1usize << m) - 2,
+                        "{shape}, seed {seed}, threads {threads}, {sched:?}"
+                    );
+                    for mask in 1u32..((1u32 << m) - 1) {
+                        assert_eq!(
+                            sharded.get(mask).expect("populated").as_ref(),
+                            seq_cache.join_mask(mask).unwrap(),
+                            "{shape}, mask {mask:#b}, threads {threads}, {sched:?}"
+                        );
+                    }
+                }
+                // Warm context: the cached shared join is the same bytes.
+                let warm_first = ctx.shared_join(&query, &inst).unwrap();
+                let warm_again = ctx.shared_join(&query, &inst).unwrap();
+                assert_eq!(warm_first.as_ref(), &seq, "{shape} warm, threads {threads}");
+                assert!(std::sync::Arc::ptr_eq(&warm_first, &warm_again));
+            }
+            // Morsel-level merge is order-stable down to morsel size 1 (the
+            // maximal-interleaving case) under both schedules: per-morsel
+            // row dumps concatenate to exactly the sequential emission.
+            let rows: Vec<(Vec<Value>, u128)> = seq.iter().map(|(t, w)| (t.to_vec(), w)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                for sched in [Schedule::Stealing, Schedule::Strided] {
+                    for morsel in [1usize, 7, 64] {
+                        let (parts, stats) = exec::par_map_morsels_stats(
+                            Parallelism::threads(threads),
+                            sched,
+                            rows.len(),
+                            morsel,
+                            |r| rows[r].to_vec(),
+                        );
+                        let merged: Vec<(Vec<Value>, u128)> = parts.into_iter().flatten().collect();
+                        assert_eq!(
+                            merged, rows,
+                            "{shape}, threads {threads}, morsel {morsel}, {sched:?}"
+                        );
+                        assert_eq!(stats.total(), rows.len().div_ceil(morsel).max(1));
+                    }
+                }
+            }
+        }
+    }
+}
