@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::black_box;
-use dpsyn_bench::{print_table, rows_to_json_pretty, Row};
+use dpsyn_bench::{existing_rows_json, print_table, raw_rows_to_json_pretty, Row};
 use dpsyn_datagen::{
     heavy_hitter_star, random_path, random_star, random_two_table, wide_attribute_pair,
     zipf_two_table,
@@ -736,6 +736,16 @@ fn main() {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json")
     };
-    std::fs::write(path, rows_to_json_pretty(&rows) + "\n").expect("write bench results");
+    // The stream_ingest bench shares this file: keep its `stream/*` rows
+    // intact and replace only the rows this bench owns.
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut raws: Vec<String> = rows.iter().map(Row::to_json).collect();
+    raws.extend(
+        existing_rows_json(&existing)
+            .into_iter()
+            .filter(|(label, _)| label.starts_with("stream/"))
+            .map(|(_, raw)| raw),
+    );
+    std::fs::write(path, raw_rows_to_json_pretty(&raws) + "\n").expect("write bench results");
     println!("wrote {path}");
 }

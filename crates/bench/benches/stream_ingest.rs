@@ -1,0 +1,191 @@
+//! Streaming-ingestion benchmark: semi-naive batch maintenance of a warm
+//! execution context ([`ExecContext::apply_updates`]) against rebuilding
+//! the same state — sub-join lattice, full join — from scratch on the
+//! updated instance, at batch sizes 1, 16 and 256.
+//!
+//! Each measured maintenance call applies a batch and then its inverse, so
+//! the instance (and the warm slot's fingerprint) returns to its starting
+//! point and every iteration exercises two genuine warm maintenance passes;
+//! the reported `maintain_ns` is the per-batch half.  The rebuild baseline
+//! is exactly what a server without the updates path would pay per batch: a
+//! cold context's lattice populate plus full join over the updated
+//! instance.  Byte-identity of maintained vs rebuilt observables (per-mask
+//! boundary values, full-join emission) is asserted before any timing.
+//!
+//! Results land in the `stream/*` rows of `BENCH_join.json` at the repo
+//! root via read-merge-write (every other bench's rows are kept intact).
+//! `--stream-smoke` runs the identity asserts on quick sizes and skips the
+//! JSON write, for CI.
+
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use dpsyn_bench::{existing_rows_json, print_table, raw_rows_to_json_pretty, Row};
+use dpsyn_datagen::{random_star, update_stream, UpdateStreamConfig};
+use dpsyn_noise::seeded_rng;
+use dpsyn_relational::{apply_batch, ExecContext, Instance, JoinQuery, UpdateBatch, Value};
+use dpsyn_sensitivity::SensitivityOps;
+
+/// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
+/// in nanoseconds.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Picks a sample count so each measurement stays within a small budget.
+fn sample_count(once: Duration) -> usize {
+    let budget = Duration::from_millis(600);
+    ((budget.as_nanos() / once.as_nanos().max(1)) as usize).clamp(5, 60)
+}
+
+/// One seeded mixed batch of the requested size over `instance`.
+fn one_batch(query: &JoinQuery, instance: &Instance, batch_size: usize, seed: u64) -> UpdateBatch {
+    let config = UpdateStreamConfig {
+        batches: 1,
+        batch_size,
+        delete_fraction: 0.25,
+        theta: 1.0,
+    };
+    update_stream(query, instance, config, &mut seeded_rng(seed))
+        .pop()
+        .expect("one batch")
+}
+
+/// Asserts that a warm context maintained through `batch` answers exactly
+/// like a cold context over the rebuilt instance: per-mask boundary values
+/// and the full join's sorted emission.
+fn assert_maintenance_identity(query: &JoinQuery, instance: &Instance, batch: &UpdateBatch) {
+    let warm = ExecContext::sequential();
+    let mut live = instance.clone();
+    let _ = warm.all_boundary_values(query, &live).expect("warm-up");
+    let report = warm
+        .apply_updates(query, &mut live, batch)
+        .expect("maintenance");
+    assert!(report.warm, "the warmed slot must migrate");
+
+    let mut rebuilt = instance.clone();
+    apply_batch(query, &mut rebuilt, batch).expect("plain mutation");
+    assert_eq!(
+        live, rebuilt,
+        "maintained instance must equal plain mutation"
+    );
+
+    let cold = ExecContext::sequential();
+    assert_eq!(
+        warm.all_boundary_values(query, &live).expect("maintained"),
+        cold.all_boundary_values(query, &rebuilt).expect("rebuilt"),
+        "per-mask boundary values must be identical"
+    );
+    let warm_join = warm.shared_join(query, &live).expect("maintained join");
+    let cold_join = cold.shared_join(query, &rebuilt).expect("rebuilt join");
+    let warm_rows: Vec<(Vec<Value>, u128)> =
+        warm_join.iter().map(|(t, w)| (t.to_vec(), w)).collect();
+    let cold_rows: Vec<(Vec<Value>, u128)> =
+        cold_join.iter().map(|(t, w)| (t.to_vec(), w)).collect();
+    assert_eq!(warm_rows, cold_rows, "full-join emission must be identical");
+
+    // And the inverse batch restores every starting byte.
+    let inverse = batch.inverse();
+    warm.apply_updates(query, &mut live, &inverse)
+        .expect("inverse maintenance");
+    assert_eq!(&live, instance, "inverse batch must restore the instance");
+}
+
+fn stream_rows(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let per_rel = if quick { 120 } else { 400 };
+    let (query, instance) = random_star(3, 64, per_rel, 1.0, &mut seeded_rng(51));
+    for &batch_size in &[1usize, 16, 256] {
+        if quick && batch_size == 256 {
+            continue;
+        }
+        let batch = one_batch(&query, &instance, batch_size, 52 + batch_size as u64);
+        let inverse = batch.inverse();
+        assert_maintenance_identity(&query, &instance, &batch);
+
+        // Maintenance: one long-lived warm context, forward + inverse per
+        // measured call (state returns to start; both passes are warm).
+        let ctx = ExecContext::sequential();
+        let mut live = instance.clone();
+        let _ = ctx.all_boundary_values(&query, &live).expect("warm-up");
+        let _ = ctx.shared_join(&query, &live).expect("warm-up");
+        let mut maintain = || {
+            ctx.apply_updates(&query, &mut live, &batch)
+                .expect("forward");
+            ctx.apply_updates(&query, &mut live, &inverse)
+                .expect("inverse");
+        };
+
+        // Rebuild baseline: a cold context's lattice populate + full join
+        // over the updated instance (plan build and fingerprint included —
+        // that is the real cost of not maintaining).
+        let mut updated = instance.clone();
+        apply_batch(&query, &mut updated, &batch).expect("plain mutation");
+        let rebuild = || {
+            let cold = ExecContext::sequential();
+            black_box(cold.all_boundary_values(&query, &updated).expect("lattice"));
+            black_box(cold.shared_join(&query, &updated).expect("full join"));
+        };
+
+        let probe = Instant::now();
+        rebuild();
+        let samples = sample_count(probe.elapsed());
+        let pair_ns = median_ns(samples, &mut maintain);
+        let maintain_ns = pair_ns / 2.0;
+        let rebuild_ns = median_ns(samples, rebuild);
+        let speedup = rebuild_ns / maintain_ns.max(1.0);
+        let label = format!("stream/maintain/star3/{per_rel}/b{batch_size}");
+        println!(
+            "bench: {label:<36} maintain {maintain_ns:>13.1} ns  rebuild {rebuild_ns:>13.1} ns  speedup {speedup:>7.2}x (1 thread, {cores} cores)"
+        );
+        rows.push(
+            Row::new(&label)
+                .with("maintain_ns", maintain_ns)
+                .with("rebuild_ns", rebuild_ns)
+                .with("speedup", speedup)
+                .with("batch_size", batch_size as f64)
+                .with("threads", 1.0)
+                .with("available_cores", cores as f64),
+        );
+    }
+    rows
+}
+
+fn main() {
+    // CI's stream smoke: quick sizes, all identity asserts, no JSON write
+    // (the committed BENCH_join.json is never touched by reduced runs).
+    if std::env::args().any(|a| a == "--stream-smoke") {
+        let rows = stream_rows(true);
+        print_table("stream smoke — batch maintenance vs full rebuild", &rows);
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = stream_rows(quick);
+    print_table("stream_ingest — batch maintenance vs full rebuild", &rows);
+    if quick {
+        return;
+    }
+
+    // Read-merge-write: replace only the stream/* rows of BENCH_join.json,
+    // keeping every other bench's committed rows byte for byte.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut raws: Vec<String> = existing_rows_json(&existing)
+        .into_iter()
+        .filter(|(label, _)| !label.starts_with("stream/"))
+        .map(|(_, raw)| raw)
+        .collect();
+    raws.extend(rows.iter().map(|r| r.to_json()));
+    std::fs::write(path, raw_rows_to_json_pretty(&raws) + "\n").expect("write bench results");
+    println!("wrote {path}");
+}

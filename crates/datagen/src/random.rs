@@ -6,7 +6,7 @@ use rand::Rng;
 /// Draws a value in `0..domain` from a Zipf-like distribution with exponent
 /// `theta` (`theta = 0` is uniform; larger values are more skewed).  Uses the
 /// standard inverse-CDF-by-table method over the (small) domain.
-fn zipf_value<R: Rng>(domain: u64, theta: f64, rng: &mut R) -> Value {
+pub(crate) fn zipf_value<R: Rng>(domain: u64, theta: f64, rng: &mut R) -> Value {
     if theta <= 0.0 || domain <= 1 {
         return rng.random_range(0..domain.max(1));
     }

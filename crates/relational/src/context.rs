@@ -89,6 +89,7 @@ use crate::join::{
     join_subset_impl, JoinResult,
 };
 use crate::plan::{JoinPlan, PlanNodeStats, PlanStats, SharedJoinPlan, PLAN_MAX_RELATIONS};
+use crate::stream::{self, UpdateBatch, UpdateOp, UpdateStats};
 use crate::tuple::{AttrDictionary, Value};
 use crate::Result;
 
@@ -168,6 +169,31 @@ impl DictionaryState {
     }
 }
 
+/// What [`ExecContext::apply_updates`] did with one [`UpdateBatch`]: the
+/// fingerprint transition plus how much warm state survived it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Fingerprint of the `(query, instance)` pair before the batch.
+    pub old_fingerprint: u64,
+    /// Fingerprint after the batch (equal to `old_fingerprint` only when
+    /// the batch was a net no-op).
+    pub new_fingerprint: u64,
+    /// Number of ops in the batch (gross, before net cancellation).
+    pub ops: usize,
+    /// Whether a warm LRU slot was found under the old fingerprint and
+    /// migrated; `false` means the batch was applied cold (plain mutation,
+    /// caches rebuild lazily under the new fingerprint).
+    pub warm: bool,
+    /// Per-mask maintenance counters from the semi-naive lattice patch
+    /// ([`crate::stream`]).
+    pub stats: UpdateStats,
+    /// Whether the slot's [`DictionaryState`] survived the batch (every
+    /// inserted value already had a code, so the dictionary was re-used to
+    /// re-encode the updated instance); `false` means it was invalidated
+    /// (absent or an unseen value arrived) and rebuilds lazily.
+    pub dictionary_retained: bool,
+}
+
 /// One `(query, instance)` entry of the persistent cache LRU.
 #[derive(Debug)]
 struct CacheSlot {
@@ -185,6 +211,10 @@ struct CacheSlot {
     /// The pair's attribute dictionary and encoded instance (see
     /// [`DictionaryState`]), built alongside the join plan on first use.
     dictionary: Option<Arc<DictionaryState>>,
+    /// Per-mask streaming indexes over the lattice entries (see
+    /// [`crate::stream::EntryIndex`]), kept across batches so a steady
+    /// update stream pays each index build once.
+    stream_index: FxHashMap<u32, stream::EntryIndex>,
     /// Logical access time (monotonic per context) driving LRU eviction.
     last_used: u64,
 }
@@ -239,9 +269,23 @@ impl CacheState {
             delta_plan: None,
             join_plan: None,
             dictionary: None,
+            stream_index: FxHashMap::default(),
             last_used: clock,
         });
         self.slots.last_mut().expect("just pushed")
+    }
+
+    /// Removes and returns the slot for `fingerprint`, if present.  Used by
+    /// streaming maintenance to migrate a slot across a fingerprint
+    /// transition: while the slot is out, no concurrent reader can observe
+    /// it half-updated, and if maintenance fails the stale slot simply
+    /// stays gone.
+    fn take_slot(&mut self, fingerprint: u64) -> Option<CacheSlot> {
+        let pos = self
+            .slots
+            .iter()
+            .position(|s| s.fingerprint == fingerprint)?;
+        Some(self.slots.swap_remove(pos))
     }
 }
 
@@ -660,6 +704,137 @@ impl ExecContext {
         .collect()
     }
 
+    // --- streaming updates --------------------------------------------------
+
+    /// Applies a streaming [`UpdateBatch`] to `instance` while migrating the
+    /// pair's warm LRU slot across the fingerprint transition (see
+    /// [`crate::stream`]).
+    ///
+    /// When a slot exists under the pre-update fingerprint, its sub-join
+    /// lattice and cached full join are maintained **in place** semi-naive
+    /// style (see the [`crate::stream`] module docs), its [`DeltaJoinPlan`] is
+    /// regrouped from the maintained lattice without recomputing a single
+    /// join, and its [`DictionaryState`] is re-used when every inserted
+    /// value is already coded (invalidated otherwise — it rebuilds lazily).
+    /// The migrated slot is re-keyed under the post-update fingerprint, so
+    /// warm state survives writes instead of being orphaned.  Without a
+    /// warm slot the batch is applied as a plain mutation and caches
+    /// rebuild lazily.
+    ///
+    /// **Byte-identity:** maintained state holds exactly the weighted tuple
+    /// sets a cold rebuild of the updated instance produces, so every
+    /// downstream observable is byte-identical to dropping the cache and
+    /// starting over — at every thread count, morsel size and schedule.
+    /// Validation errors leave both the instance and the cache untouched; a
+    /// failure during maintenance itself discards the (now unreliable) slot
+    /// rather than ever serving stale state.
+    pub fn apply_updates(
+        &self,
+        query: &JoinQuery,
+        instance: &mut Instance,
+        batch: &UpdateBatch,
+    ) -> Result<UpdateReport> {
+        // Validate before touching the slot: a malformed batch must cost
+        // neither the instance nor the warm cache.
+        batch.check(query, instance)?;
+        let old_fp = instance_fingerprint(query, instance);
+        let m = query.num_relations();
+        // Masks address at most 31 relations; larger queries take the cold
+        // path (no lattice is ever cached for them anyway).
+        let slot = if m <= 31 {
+            let mut state = self.state.lock().expect("context cache poisoned");
+            state.take_slot(old_fp)
+        } else {
+            None
+        };
+        let Some(mut slot) = slot else {
+            stream::apply_batch(query, instance, batch)?;
+            return Ok(UpdateReport {
+                old_fingerprint: old_fp,
+                new_fingerprint: instance_fingerprint(query, instance),
+                ops: batch.len(),
+                warm: false,
+                stats: UpdateStats::default(),
+                dictionary_retained: false,
+            });
+        };
+        // The cached full join is exactly the full-mask lattice entry;
+        // merge it in so one maintenance pass covers it too.
+        let full_mask = ((1u64 << m) - 1) as u32;
+        let mut memo = std::mem::take(&mut slot.lattice);
+        if let Some(full) = slot.full_join.take() {
+            memo.entry(full_mask).or_insert(full);
+        }
+        let par = self.effective_parallelism(instance);
+        let mut indexes = std::mem::take(&mut slot.stream_index);
+        let stats = stream::maintain_memo(query, instance, &mut memo, &mut indexes, batch, par)?;
+        let new_fp = instance_fingerprint(query, instance);
+        // Dictionary: retained and re-applied when it still covers every
+        // value, invalidated when an unseen value arrived (satellite fix:
+        // a stale dictionary must never survive a fingerprint migration).
+        let dictionary = match slot.dictionary.take() {
+            Some(dict) => {
+                refresh_dictionary(&dict.dictionary, query, instance, batch)?.map(Arc::new)
+            }
+            None => None,
+        };
+        let dictionary_retained = dictionary.is_some();
+        // Delta plan: the probe state is derived from the lattice, so
+        // rebuilding it from the maintained memo is pure regrouping — no
+        // sub-join is recomputed.
+        let delta_plan = if slot.delta_plan.take().is_some() {
+            let plan = match slot.join_plan.as_ref() {
+                Some(plan) => Arc::clone(plan),
+                None => Arc::new(JoinPlan::cost_based_with(query, instance, par)?),
+            };
+            let mut cache =
+                ShardedSubJoinCache::with_memo_and_plan(query, instance, memo, Arc::clone(&plan))?;
+            cache.fingerprint = Some(new_fp);
+            let dp = Arc::new(DeltaJoinPlan::build(query, instance, &cache, par)?);
+            memo = cache.into_memo();
+            slot.join_plan.get_or_insert(plan);
+            Some(dp)
+        } else {
+            None
+        };
+        let full_join = memo.get(&full_mask).map(Arc::clone);
+        let mut state = self.state.lock().expect("context cache poisoned");
+        // Merge-don't-clobber, mirroring `retain_subjoin_cache`: if a
+        // concurrent caller already claimed the new fingerprint, its state
+        // is at least as fresh as ours.
+        let new_slot = state.slot_mut_or_insert(new_fp, self.cache_slots);
+        new_slot.lattice.extend(memo);
+        // Index validity is keyed to the entries' Arc identities, so stale
+        // carriers are harmless — they just rebuild on next use.
+        new_slot.stream_index.extend(indexes);
+        if let Some(full) = full_join {
+            new_slot.full_join.get_or_insert(full);
+        }
+        if let Some(dp) = delta_plan {
+            new_slot.delta_plan.get_or_insert(dp);
+        }
+        if let Some(dict) = dictionary {
+            new_slot.dictionary.get_or_insert(dict);
+        }
+        // The retained cost-based plan is a stale-statistics but fully
+        // valid decomposition of the same query; values (and output bytes)
+        // are plan-independent, so keeping it trades optimality of *later*
+        // materialisations for skipping a statistics pass per batch.
+        if let Some(plan) = slot.join_plan.take() {
+            if plan.is_cost_based() {
+                new_slot.join_plan.get_or_insert(plan);
+            }
+        }
+        Ok(UpdateReport {
+            old_fingerprint: old_fp,
+            new_fingerprint: new_fp,
+            ops: batch.len(),
+            warm: true,
+            stats,
+            dictionary_retained,
+        })
+    }
+
     /// Number of sub-join lattice entries currently persisted across all LRU
     /// slots (excluding cached full joins and delta plans).
     pub fn cached_subjoins(&self) -> usize {
@@ -772,6 +947,43 @@ impl ExecContext {
     {
         exec::par_map_ranges(self.parallelism, len, min_chunk, f)
     }
+}
+
+/// Carries a retained [`AttrDictionary`] across an update, or decides it
+/// must be invalidated: when every *inserted* value already has a code, the
+/// dictionary still covers the updated instance (deletes can only leave
+/// harmless extra codes — the mapping stays an order-preserving injection)
+/// and the updated instance is re-encoded through it; any unseen value
+/// returns `None` and the dictionary rebuilds lazily.  The gross insert
+/// list is checked rather than the net effect, so a covered batch can at
+/// worst over-invalidate — never retain a dictionary missing a value.
+fn refresh_dictionary(
+    old: &AttrDictionary,
+    query: &JoinQuery,
+    instance: &Instance,
+    batch: &UpdateBatch,
+) -> Result<Option<DictionaryState>> {
+    for op in batch.ops() {
+        if let UpdateOp::Insert {
+            relation, tuple, ..
+        } = op
+        {
+            let attrs = instance.relation(*relation).attrs();
+            for (pos, &attr) in attrs.iter().enumerate() {
+                if old.code(attr, tuple[pos]).is_none() {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let (encoded_query, encoded_instance) = old.encode_instance(query, instance)?;
+    let fully_packable = fold_fully_packable(&encoded_instance, old);
+    Ok(Some(DictionaryState {
+        dictionary: old.clone(),
+        encoded_query,
+        encoded_instance,
+        fully_packable,
+    }))
 }
 
 #[cfg(test)]
@@ -1107,5 +1319,168 @@ mod tests {
         let tiny = ExecContext::with_threads(4).with_min_par_instance(1);
         assert!(!tiny.is_small_instance(&inst));
         assert_eq!(tiny.effective_parallelism(&inst).get(), 4);
+    }
+
+    fn star_batch() -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, vec![2, 8], 3);
+        batch.delete(1, vec![0, 1], 1);
+        batch.insert(2, vec![5, 5], 1);
+        batch
+    }
+
+    #[test]
+    fn apply_updates_migrates_the_warm_slot() {
+        let (q, base) = star_instance(3);
+        let batch = star_batch();
+        let ctx = ExecContext::sequential();
+        // Warm everything a slot can hold.
+        let mut inst = base.clone();
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        ctx.shared_join(&q, &inst).unwrap();
+        ctx.delta_plan(&q, &inst).unwrap();
+        let report = ctx.apply_updates(&q, &mut inst, &batch).unwrap();
+        assert!(report.warm);
+        assert_ne!(report.old_fingerprint, report.new_fingerprint);
+        assert_eq!(report.new_fingerprint, instance_fingerprint(&q, &inst));
+        assert!(report.stats.maintained_masks > 0);
+        // The migrated slot is warm under the new fingerprint: a checkout
+        // finds every mask, the shared join is served without a join, and
+        // the delta plan survived.
+        assert_eq!(ctx.cached_instances(), 1);
+        let warm = ctx.subjoin_cache(&q, &inst).unwrap();
+        for mask in 1u32..(1 << 3) {
+            assert!(warm.get(mask).is_some(), "mask {mask:#b} went cold");
+        }
+        // Every maintained value equals the cold recomputation.
+        let mut oracle = base.clone();
+        stream::apply_batch(&q, &mut oracle, &batch).unwrap();
+        assert_eq!(inst, oracle);
+        for mask in 1u32..(1 << 3) {
+            let rels: Vec<usize> = (0..3).filter(|&r| mask & (1 << r) != 0).collect();
+            assert_eq!(
+                warm.get(mask).unwrap().as_ref(),
+                &join_subset(&q, &oracle, &rels).unwrap(),
+                "mask {mask:#b} diverged from rebuild"
+            );
+        }
+        assert_eq!(
+            ctx.shared_join(&q, &inst).unwrap().as_ref(),
+            &join(&q, &oracle).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_updates_without_a_slot_is_cold_and_correct() {
+        let (q, base) = star_instance(3);
+        let batch = star_batch();
+        let ctx = ExecContext::sequential();
+        let mut inst = base.clone();
+        let report = ctx.apply_updates(&q, &mut inst, &batch).unwrap();
+        assert!(!report.warm);
+        assert_eq!(report.stats, UpdateStats::default());
+        let mut oracle = base.clone();
+        stream::apply_batch(&q, &mut oracle, &batch).unwrap();
+        assert_eq!(inst, oracle);
+    }
+
+    #[test]
+    fn apply_updates_validation_failure_keeps_the_slot() {
+        let (q, base) = star_instance(3);
+        let ctx = ExecContext::sequential();
+        let mut inst = base.clone();
+        ctx.shared_join(&q, &inst).unwrap();
+        let mut bad = UpdateBatch::new();
+        bad.delete(0, vec![15, 15], 1); // absent tuple: underflow
+        let err = ctx.apply_updates(&q, &mut inst, &bad).unwrap_err();
+        assert_eq!(err, crate::RelationalError::FrequencyUnderflow);
+        assert_eq!(inst, base, "instance untouched on validation error");
+        // A failed batch must not cost the warm slot.
+        let (hits_before, _) = ctx.cache_stats();
+        ctx.shared_join(&q, &inst).unwrap();
+        let (hits_after, _) = ctx.cache_stats();
+        assert_eq!(hits_after, hits_before + 1, "slot survived the bad batch");
+    }
+
+    #[test]
+    fn dictionary_survives_covered_updates_and_dies_on_unseen_values() {
+        // Wide values so the dictionary actually matters.
+        let q = JoinQuery::two_table(u64::MAX, u64::MAX, u64::MAX);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..6u64 {
+            inst.relation_mut(0)
+                .add(vec![i * 7_000_000_000, (i % 3) * 9_999_999_937], 1)
+                .unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i % 3) * 9_999_999_937, i * 123_456_789_123], 2)
+                .unwrap();
+        }
+        let ctx = ExecContext::sequential();
+        let before = ctx.attr_dictionary(&q, &inst).unwrap();
+        // Covered batch: every value already has a code (tuple reweights).
+        let mut covered = UpdateBatch::new();
+        covered.insert(0, vec![0, 0], 5);
+        covered.delete(1, vec![0, 0], 1);
+        let report = ctx.apply_updates(&q, &mut inst, &covered).unwrap();
+        assert!(report.warm);
+        assert!(report.dictionary_retained);
+        let after = ctx.attr_dictionary(&q, &inst).unwrap();
+        assert_eq!(after.dictionary, before.dictionary, "codes unchanged");
+        // Regression: the retained state must encode the *updated*
+        // instance, not serve the pre-update encoding.
+        assert_eq!(
+            after.encoded_instance.relation(0).freq(&[0, 0]),
+            inst.relation(0).freq(&[0, 0])
+        );
+        assert_eq!(
+            ctx.join_dict(&q, &inst).unwrap(),
+            ctx.join(&q, &inst).unwrap(),
+            "dict path must reflect the update"
+        );
+        // Unseen value: the dictionary is invalidated, then rebuilt lazily
+        // with the new code present — never served stale.
+        let mut unseen = UpdateBatch::new();
+        unseen.insert(0, vec![42, 9_999_999_937], 1);
+        let report = ctx.apply_updates(&q, &mut inst, &unseen).unwrap();
+        assert!(report.warm);
+        assert!(!report.dictionary_retained);
+        let rebuilt = ctx.attr_dictionary(&q, &inst).unwrap();
+        assert!(rebuilt.dictionary.code(AttrId(0), 42).is_some());
+        assert_eq!(
+            ctx.join_dict(&q, &inst).unwrap(),
+            ctx.join(&q, &inst).unwrap(),
+            "rebuilt dict path must see the new value"
+        );
+    }
+
+    #[test]
+    fn delta_plan_survives_migration_and_stays_correct() {
+        let (q, base) = star_instance(3);
+        let batch = star_batch();
+        let ctx = ExecContext::sequential();
+        let mut inst = base.clone();
+        ctx.delta_plan(&q, &inst).unwrap();
+        let report = ctx.apply_updates(&q, &mut inst, &batch).unwrap();
+        assert!(report.warm);
+        // The migrated plan is served from the slot (same Arc on lookup)…
+        let migrated = ctx.delta_plan(&q, &inst).unwrap();
+        let again = ctx.delta_plan(&q, &inst).unwrap();
+        assert!(Arc::ptr_eq(&migrated, &again));
+        // …and prices edits over the *updated* instance exactly like a
+        // cold plan over the same data.
+        let cold_ctx = ExecContext::sequential();
+        let cold = cold_ctx.delta_plan(&q, &inst).unwrap();
+        let edit = NeighborEdit::Add {
+            relation: 0,
+            tuple: vec![3, 3],
+        };
+        assert_eq!(
+            migrated.join_size_delta(&edit).unwrap(),
+            cold.join_size_delta(&edit).unwrap()
+        );
     }
 }

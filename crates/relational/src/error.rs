@@ -57,6 +57,11 @@ pub enum RelationalError {
     InvalidRelationSubset(String),
     /// Frequency arithmetic would underflow below zero.
     FrequencyUnderflow,
+    /// Frequency arithmetic would overflow the `u64` frequency type.
+    FrequencyOverflow,
+    /// A streaming update batch is malformed (bad relation index, arity or
+    /// an insert/delete mix that no instance state could satisfy).
+    InvalidUpdate(String),
 }
 
 impl fmt::Display for RelationalError {
@@ -97,6 +102,12 @@ impl fmt::Display for RelationalError {
             }
             RelationalError::FrequencyUnderflow => {
                 write!(f, "frequency update would drop a tuple's frequency below zero")
+            }
+            RelationalError::FrequencyOverflow => {
+                write!(f, "frequency update would overflow the u64 frequency type")
+            }
+            RelationalError::InvalidUpdate(msg) => {
+                write!(f, "invalid update batch: {msg}")
             }
         }
     }

@@ -323,15 +323,52 @@ impl JoinResult {
     }
 
     #[inline]
-    fn width(&self) -> usize {
+    pub(crate) fn width(&self) -> usize {
         self.attrs.len()
     }
 
     /// The tuple of row `i`.
     #[inline]
-    fn row(&self, i: usize) -> &[Value] {
+    pub(crate) fn row(&self, i: usize) -> &[Value] {
         let w = self.width();
         &self.values[i * w..i * w + w]
+    }
+
+    /// The weight of row `i`.
+    #[inline]
+    pub(crate) fn weight_at(&self, i: usize) -> u128 {
+        self.weights[i]
+    }
+
+    /// Overwrites the weight of row `i` (streaming maintenance only; the
+    /// caller keeps weights strictly positive).
+    #[inline]
+    pub(crate) fn set_weight(&mut self, i: usize, w: u128) {
+        debug_assert!(w > 0, "zero-weight rows must be removed, not stored");
+        self.weights[i] = w;
+    }
+
+    /// Appends a row (streaming maintenance only; the caller guarantees the
+    /// tuple is absent and the weight positive).
+    #[inline]
+    pub(crate) fn push_row(&mut self, tuple: &[Value], w: u128) {
+        debug_assert_eq!(tuple.len(), self.width());
+        self.values.extend_from_slice(tuple);
+        self.weights.push(w);
+    }
+
+    /// Removes row `i` by swapping the last row into its place (streaming
+    /// maintenance only).  Physical row order is unobservable: every public
+    /// iteration sorts on emit and equality is order-insensitive.
+    pub(crate) fn swap_remove_row(&mut self, i: usize) {
+        let w = self.width();
+        let last = self.weights.len() - 1;
+        if i != last {
+            let (head, tail) = self.values.split_at_mut(last * w);
+            head[i * w..i * w + w].copy_from_slice(&tail[..w]);
+        }
+        self.values.truncate(last * w);
+        self.weights.swap_remove(i);
     }
 
     /// Total weight `Σ_t Join(t)` — the join size when the result covers all

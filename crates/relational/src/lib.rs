@@ -13,6 +13,8 @@
 //!   ([`join`](mod@join)), with the original `BTreeMap` engine retained as
 //!   a cross-check oracle ([`naive`]),
 //! * shared sub-join caching for relation-subset enumerations ([`cache`]),
+//! * streaming insert/delete batches with in-place semi-naive maintenance
+//!   of the cached lattice ([`stream`]),
 //! * degree statistics `deg`, `Ψ_E` and maximum degrees `mdeg` ([`degree`]),
 //! * attribute trees for hierarchical joins ([`tree`]),
 //! * fractional edge covers and the AGM bound ([`cover`]),
@@ -105,6 +107,20 @@
 //! the join-size change and the post-edit boundary maxima of any edit cost a
 //! hash probe instead of a full re-join — exactly equal to re-joining, at
 //! every worker count.
+//!
+//! # Streaming updates
+//!
+//! The [`stream`] module generalises delta maintenance from priced
+//! *hypothetical* edits to **applied write batches**: an [`UpdateBatch`] of
+//! mixed inserts and deletes is folded into the live instance while the
+//! cached `2^m` sub-join lattice (full join included) is updated *in place*,
+//! semi-naive style — per relation, Δ-relations are joined against the
+//! current intermediates and folded in, with deletes as weight retraction —
+//! instead of rebuilt.  [`ExecContext::apply_updates`] migrates the warm LRU
+//! slot across the [`instance_fingerprint`] transition so caches survive
+//! writes, and the rebuild-from-scratch path remains the cross-check oracle:
+//! maintained state is byte-identical to a cold rebuild at every thread
+//! count, morsel size and schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -124,13 +140,14 @@ pub mod join;
 pub mod naive;
 pub mod plan;
 pub mod relation;
+pub mod stream;
 pub mod tree;
 pub mod tuple;
 
 pub use attr::{AttrId, Attribute, Schema};
 pub use cache::{ShardedSubJoinCache, SubJoinCache};
 pub use context::{
-    instance_fingerprint, DictionaryState, ExecContext, DEFAULT_CACHE_SLOTS,
+    instance_fingerprint, DictionaryState, ExecContext, UpdateReport, DEFAULT_CACHE_SLOTS,
     DEFAULT_MIN_PAR_INSTANCE,
 };
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
@@ -150,6 +167,7 @@ pub use plan::{
     JoinPlan, PlanNodeStats, PlanStats, RelationStats, SharedJoinPlan, PLAN_MAX_RELATIONS,
 };
 pub use relation::Relation;
+pub use stream::{apply_batch, UpdateBatch, UpdateOp, UpdateStats};
 pub use tree::AttributeTree;
 pub use tuple::{
     project, project_positions, AttrDictionary, KeyArena, KeyPacker, TupleKey, Value, INLINE_ARITY,

@@ -33,7 +33,7 @@ use dpsyn_query::QueryFamily;
 use crate::store::{BudgetView, Store};
 use crate::wire::{
     f64_bits_hex, obj, ApiError, CreateDatasetReq, CreateTenantReq, Json, ReleaseReq, SleepReq,
-    WIRE_VERSION,
+    UpdateDatasetReq, WIRE_VERSION,
 };
 
 /// The names of the mechanisms the server will route (sound ones only).
@@ -217,6 +217,54 @@ pub fn create_dataset(store: &Store, body: &[u8]) -> Reply {
             (
                 "fingerprint",
                 Json::Str(format!("{:016x}", dataset.fingerprint)),
+            ),
+        ])))
+    };
+    run().unwrap_or_else(err_reply)
+}
+
+/// `POST /v1/dataset/<name>/updates` — apply an insert/delete batch to a
+/// served dataset, maintaining its warm caches in place (semi-naive delta
+/// maintenance; see `dpsyn_relational::stream`).  Touches no budget: the
+/// tenant is charged when it *releases* over the updated data, not when it
+/// writes.
+pub fn update_dataset(store: &Store, name: &str, body: &[u8]) -> Reply {
+    let run = || -> Result<Reply, ApiError> {
+        let req = UpdateDatasetReq::from_json(&parse_body(body)?)?;
+        let (dataset, report) = store.update_dataset(name, &req)?;
+        Ok(ok(obj(vec![
+            ("v", Json::Num(WIRE_VERSION as f64)),
+            ("dataset", Json::Str(dataset.name.clone())),
+            ("ops", Json::Num(report.ops as f64)),
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", dataset.fingerprint)),
+            ),
+            (
+                "previous_fingerprint",
+                Json::Str(format!("{:016x}", report.old_fingerprint)),
+            ),
+            (
+                "maintenance",
+                obj(vec![
+                    ("warm", Json::Bool(report.warm)),
+                    (
+                        "maintained_masks",
+                        Json::Num(report.stats.maintained_masks as f64),
+                    ),
+                    (
+                        "rebuilt_masks",
+                        Json::Num(report.stats.rebuilt_masks as f64),
+                    ),
+                    (
+                        "relations_touched",
+                        Json::Num(report.stats.relations_touched as f64),
+                    ),
+                    (
+                        "dictionary_retained",
+                        Json::Bool(report.dictionary_retained),
+                    ),
+                ]),
             ),
         ])))
     };

@@ -30,6 +30,15 @@
 //!    every point of the two-phase protocol and assert that recovered
 //!    budgets match an independent oracle replay *bit for bit*.
 //!
+//! Datasets themselves are mutable between releases:
+//! `POST /v1/dataset/{id}/updates` applies a versioned batch of inserts and
+//! deletes (`{"v":1,"updates":[{"relation":0,"op":"insert","tuple":[1,2],
+//! "count":3}, ...]}`) through `ExecContext::apply_updates`, so the
+//! dataset's warm sub-join caches are delta-maintained in place rather than
+//! rebuilt — a post-update release is byte-identical to one over a freshly
+//! uploaded copy of the updated data.  Updates touch no budget (writes are
+//! free; *releases* are charged) and, like uploads, are in-memory only.
+//!
 //! The HTTP layer ([`http`]) is a deliberately small hand-rolled HTTP/1.1
 //! over [`std::net::TcpListener`] — one request per connection, bounded
 //! head and body, no external dependencies — because the build environment

@@ -21,6 +21,7 @@ pub fn dispatch(
         ("GET", ["v1", "tenant", name]) => handlers::get_tenant(store, name),
         ("POST", ["v1", "dataset"]) => handlers::create_dataset(store, body),
         ("GET", ["v1", "dataset", name]) => handlers::get_dataset(store, name),
+        ("POST", ["v1", "dataset", name, "updates"]) => handlers::update_dataset(store, name, body),
         ("POST", ["v1", "release"]) => handlers::release(store, body, exec_timeout),
         ("POST", ["v1", "debug", "sleep"]) => handlers::debug_sleep(body),
         // Right path, wrong method → 405; anything else → 404.
@@ -29,6 +30,7 @@ pub fn dispatch(
         | (_, ["v1", "tenant", _])
         | (_, ["v1", "dataset"])
         | (_, ["v1", "dataset", _])
+        | (_, ["v1", "dataset", _, "updates"])
         | (_, ["v1", "release"])
         | (_, ["v1", "debug", "sleep"]) => {
             let e = ApiError::new(405, "method_not_allowed", format!("{method} not allowed"));

@@ -34,11 +34,12 @@ use std::sync::{Arc, Mutex};
 use dpsyn_noise::ledger::{valid_label, valid_tenant, LedgerRecord, LedgerReplay};
 use dpsyn_noise::{PrivacyParams, TenantLedgerState};
 use dpsyn_relational::{
-    instance_fingerprint, AttrId, Attribute, ExecContext, Instance, JoinQuery, Schema,
+    instance_fingerprint, AttrId, Attribute, ExecContext, Instance, JoinQuery, Schema, UpdateBatch,
+    UpdateReport,
 };
 
 use crate::failpoint;
-use crate::wire::{ApiError, CreateDatasetReq};
+use crate::wire::{ApiError, CreateDatasetReq, UpdateDatasetReq};
 
 /// Name of the ledger file inside the data directory.
 pub const LEDGER_FILE: &str = "ledger.log";
@@ -413,6 +414,81 @@ impl Store {
         });
         inner.datasets.insert(req.name.clone(), dataset.clone());
         Ok(dataset)
+    }
+
+    /// Applies an update batch to a served dataset, maintaining its warm
+    /// execution state in place (`ExecContext::apply_updates`: the cached
+    /// sub-join lattice, full join, delta plan and dictionary migrate to
+    /// the updated instance's fingerprint instead of being orphaned).
+    ///
+    /// Like uploads, updates are in-memory only and never touch the ledger.
+    /// The maintenance itself runs outside the store lock; the swap-in is
+    /// optimistic — if another request changed the dataset meanwhile, this
+    /// one answers `409` and the client retries against the new state.
+    pub fn update_dataset(
+        &self,
+        name: &str,
+        req: &UpdateDatasetReq,
+    ) -> Result<(Arc<Dataset>, UpdateReport), ApiError> {
+        let ds = self.dataset(name)?;
+        let mut batch = UpdateBatch::new();
+        for op in &req.ops {
+            if op.relation >= ds.query.num_relations() {
+                return Err(ApiError::bad_request(
+                    "bad_field",
+                    format!(
+                        "relation {} out of range (dataset has {})",
+                        op.relation,
+                        ds.query.num_relations()
+                    ),
+                ));
+            }
+            if op.insert {
+                batch.insert(op.relation, op.tuple.clone(), op.count);
+            } else {
+                batch.delete(op.relation, op.tuple.clone(), op.count);
+            }
+        }
+        let mut instance = (*ds.instance).clone();
+        let report = ds
+            .ctx
+            .apply_updates(&ds.query, &mut instance, &batch)
+            .map_err(|e| ApiError::bad_request("bad_update", e.to_string()))?;
+
+        let mut inner = self.lock();
+        match inner.datasets.get(name) {
+            Some(current) if current.fingerprint == report.old_fingerprint => {}
+            Some(_) => {
+                return Err(ApiError::new(
+                    409,
+                    "dataset_conflict",
+                    "dataset was modified concurrently; retry against the new state",
+                ))
+            }
+            None => return Err(ApiError::new(404, "unknown_dataset", "no such dataset")),
+        }
+        let updated = Arc::new(Dataset {
+            name: ds.name.clone(),
+            query: ds.query.clone(),
+            instance: Arc::new(instance),
+            fingerprint: report.new_fingerprint,
+            ctx: ds.ctx.clone(),
+        });
+        inner.datasets.insert(name.to_string(), updated.clone());
+        // Re-key the context pool: future uploads with the updated content
+        // share this (still-warm) context; the old fingerprint's entry is
+        // dropped once no dataset serves it any more.
+        inner
+            .contexts
+            .entry(report.new_fingerprint)
+            .or_insert_with(|| updated.ctx.clone());
+        let old_fp = report.old_fingerprint;
+        if old_fp != report.new_fingerprint
+            && !inner.datasets.values().any(|d| d.fingerprint == old_fp)
+        {
+            inner.contexts.remove(&old_fp);
+        }
+        Ok((updated, report))
     }
 
     /// Looks up a dataset by name.

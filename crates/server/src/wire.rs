@@ -573,6 +573,93 @@ impl CreateDatasetReq {
     }
 }
 
+/// One op of a dataset update batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateSpec {
+    /// Relation index within the dataset.
+    pub relation: usize,
+    /// `true` for an insert, `false` for a delete.
+    pub insert: bool,
+    /// The tuple's attribute values.
+    pub tuple: Vec<u64>,
+    /// Multiplicity (copies inserted or retracted).
+    pub count: u64,
+}
+
+/// `POST /v1/dataset/<name>/updates` — a batch of inserts/deletes applied
+/// atomically to a served dataset between releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateDatasetReq {
+    /// The ops, in order.  Semantics are *net* per `(relation, tuple)`.
+    pub ops: Vec<UpdateSpec>,
+}
+
+/// Maximum ops per update batch (same defence role as the dataset caps).
+pub const MAX_UPDATE_OPS: usize = 65_536;
+
+impl UpdateDatasetReq {
+    /// Parses and version-checks a request body.
+    ///
+    /// Body shape:
+    /// `{"v":1,"updates":[{"relation":0,"op":"insert","tuple":[1,2],"count":3}, ...]}`
+    /// (`count` defaults to 1).
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        require_version(body)?;
+        let op_values = body
+            .get("updates")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ApiError::bad_request("missing_field", "missing array \"updates\""))?;
+        if op_values.is_empty() || op_values.len() > MAX_UPDATE_OPS {
+            return Err(ApiError::bad_request(
+                "bad_field",
+                format!("between 1 and {MAX_UPDATE_OPS} update ops are supported"),
+            ));
+        }
+        let mut ops = Vec::with_capacity(op_values.len());
+        for op in op_values {
+            let relation = op.get("relation").and_then(Json::as_u64).ok_or_else(|| {
+                ApiError::bad_request("bad_field", "each update needs an integer \"relation\"")
+            })? as usize;
+            let insert = match op.get("op").and_then(Json::as_str) {
+                Some("insert") => true,
+                Some("delete") => false,
+                _ => {
+                    return Err(ApiError::bad_request(
+                        "bad_field",
+                        "each update's \"op\" must be \"insert\" or \"delete\"",
+                    ))
+                }
+            };
+            let tuple: Vec<u64> = op
+                .get("tuple")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    ApiError::bad_request("bad_field", "each update needs an array \"tuple\"")
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        ApiError::bad_request("bad_field", "tuple values must be integers")
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let count = match op.get("count") {
+                None => 1,
+                Some(v) => v.as_u64().filter(|&c| c >= 1).ok_or_else(|| {
+                    ApiError::bad_request("bad_field", "\"count\" must be an integer >= 1")
+                })?,
+            };
+            ops.push(UpdateSpec {
+                relation,
+                insert,
+                tuple,
+                count,
+            });
+        }
+        Ok(UpdateDatasetReq { ops })
+    }
+}
+
 /// Maximum workload size a release request may ask for.
 pub const MAX_WORKLOAD_SIZE: usize = 4096;
 

@@ -118,9 +118,27 @@
 //! DPSYN_DATA_DIR=/var/lib/dpsyn cargo run --release --bin dpsyn_serve
 //! ```
 //!
-//! then `POST /v1/tenant`, `POST /v1/dataset`, `POST /v1/release` with
-//! versioned JSON bodies (`"v":1`) — see `examples/server_demo.rs` for a
-//! complete client round-trip over raw TCP.
+//! then `POST /v1/tenant`, `POST /v1/dataset`, `POST /v1/dataset/{id}/updates`,
+//! `POST /v1/release` with versioned JSON bodies (`"v":1`) — see
+//! `examples/server_demo.rs` for a complete client round-trip over raw TCP.
+//!
+//! ## Streaming updates
+//!
+//! Instances are rarely static: real traffic is a stream of insert/delete
+//! batches between releases.  [`Session::apply_updates`] applies an
+//! [`relational::UpdateBatch`] to the instance while maintaining the
+//! session's warm state **in place**, semi-naive style
+//! ([`relational::stream`]): per updated relation, the Δ-relation is joined
+//! against the current cached intermediates and folded in (deletes as
+//! weight retraction under the engine's saturating-arithmetic rules), and
+//! the whole LRU slot — sub-join lattice, full join, delta plan, attribute
+//! dictionary — migrates to the updated instance's fingerprint instead of
+//! being orphaned.  Maintenance never changes bytes: a post-update release
+//! is identical to one from a cold session at the same seed, at every
+//! thread count (the rebuild path remains the cross-check oracle in
+//! `tests/properties.rs`).  Served datasets take the same path through
+//! `POST /v1/dataset/{id}/updates` (tracked by the `stream/*` rows of
+//! `BENCH_join.json`); see `examples/stream_demo.rs`.
 //!
 //! ## Performance and determinism
 //!
@@ -176,6 +194,7 @@ pub mod prelude {
     pub use dpsyn_relational::{
         join, join_size, AttrId, Attribute, DeltaJoinPlan, ExecContext, Instance, JoinPlan,
         JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanStats, Relation, Schema,
+        UpdateBatch, UpdateOp, UpdateReport,
     };
     pub use dpsyn_sensitivity::{
         local_sensitivity, residual_sensitivity, ResidualSensitivity, SensitivityConfig,

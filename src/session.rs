@@ -101,7 +101,7 @@ use dpsyn_noise::{seeded_rng, PrivacyParams};
 use dpsyn_query::{AnswerOps, AnswerSet, ProductQuery, QueryFamily};
 use dpsyn_relational::{
     DictionaryState, ExecContext, Instance, JoinQuery, JoinResult, JoinSizeDelta, NeighborEdit,
-    Parallelism, PlanStats,
+    Parallelism, PlanStats, UpdateBatch, UpdateReport,
 };
 use dpsyn_sensitivity::{ResidualSensitivity, SensitivityConfig, SensitivityOps};
 use std::sync::Arc;
@@ -422,6 +422,30 @@ impl Session {
         self.ctx.join_size_deltas(query, instance, edits)
     }
 
+    // --- streaming updates --------------------------------------------------
+
+    /// Applies a streaming [`UpdateBatch`] of inserts and deletes to
+    /// `instance` while keeping the session's warm state warm: the cached
+    /// sub-join lattice, full join and delta plan are maintained **in
+    /// place** semi-naive style and migrated to the updated instance's
+    /// fingerprint, instead of being orphaned and rebuilt (see
+    /// [`dpsyn_relational::stream`] and
+    /// [`ExecContext::apply_updates`]).
+    ///
+    /// A post-update release over the updated instance is byte-identical to
+    /// one from a cold session at the same seed — maintenance never changes
+    /// output bytes, at any thread count.  On a validation error
+    /// (unknown relation, bad arity or domain, a delete below zero) neither
+    /// the instance nor the cache is modified.
+    pub fn apply_updates(
+        &self,
+        query: &JoinQuery,
+        instance: &mut Instance,
+        batch: &UpdateBatch,
+    ) -> dpsyn_relational::Result<UpdateReport> {
+        self.ctx.apply_updates(query, instance, batch)
+    }
+
     // --- cache introspection ------------------------------------------------
 
     /// Planner diagnostics for `(query, instance)`: the cost-based
@@ -619,6 +643,39 @@ mod tests {
         assert!(
             hits_after >= hits_before + 2,
             "both instances must stay warm across interleaved sweeps"
+        );
+    }
+
+    #[test]
+    fn post_update_release_matches_a_cold_session() {
+        let (q, base) = fixture();
+        let params = PrivacyParams::new(1.0, 1e-5).unwrap();
+        let warm = Session::sequential();
+        let workload = warm.random_sign_workload(&q, 8, 3).unwrap();
+        // Warm the session with a release, then stream a batch through it.
+        let before = ReleaseRequest::new(&q, &base, &workload, params).with_seed(4);
+        warm.release(&MultiTable::default(), &before).unwrap();
+        let mut inst = base.clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, vec![7, 1], 2);
+        batch.delete(1, vec![0, 0], 1);
+        batch.insert(1, vec![1, 7], 1);
+        let report = warm.apply_updates(&q, &mut inst, &batch).unwrap();
+        assert!(report.warm, "the release left a warm slot to migrate");
+        // The release over the maintained state is byte-identical to a cold
+        // session over the plainly-updated instance, at the same seed.
+        let mut cold_inst = base.clone();
+        dpsyn_relational::apply_batch(&q, &mut cold_inst, &batch).unwrap();
+        assert_eq!(inst, cold_inst);
+        let request = ReleaseRequest::new(&q, &inst, &workload, params).with_seed(11);
+        let via_warm = warm.release(&MultiTable::default(), &request).unwrap();
+        let cold = Session::sequential();
+        let cold_request = ReleaseRequest::new(&q, &cold_inst, &workload, params).with_seed(11);
+        let via_cold = cold.release(&MultiTable::default(), &cold_request).unwrap();
+        assert_eq!(via_warm.delta_tilde(), via_cold.delta_tilde());
+        assert_eq!(
+            via_warm.answer_all(&workload).unwrap().values(),
+            via_cold.answer_all(&workload).unwrap().values()
         );
     }
 }

@@ -306,6 +306,115 @@ fn wire_end_to_end_admission_and_reproducibility() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The streaming-updates route: a batch posted to a warm dataset is
+/// delta-maintained in place, and a release over the updated dataset is
+/// byte-identical to one over a freshly uploaded copy of the same data.
+#[test]
+fn wire_updates_maintain_warm_state_and_preserve_release_bytes() {
+    let dir = temp_dir("updates");
+    let handle = start(ServerConfig::new(&dir)).unwrap();
+    let addr = handle.addr.to_string();
+    assert_eq!(call(&addr, "POST", "/v1/tenant", TENANT_BODY).0, 200);
+    assert_eq!(call(&addr, "POST", "/v1/dataset", DATASET_BODY).0, 200);
+
+    // Warm the dataset's context with one release.  `multi_table` is the
+    // mechanism that populates the cached sub-join lattice (via residual
+    // sensitivity), so it is the one whose warm state maintenance migrates.
+    let release = |dataset: &str| {
+        release_body(0.2, 1e-7)
+            .replace("two_table", "multi_table")
+            .replace("\"demo\"", &format!("{dataset:?}"))
+    };
+    assert_eq!(call(&addr, "POST", "/v1/release", &release("demo")).0, 200);
+    let fp_before = call(&addr, "GET", "/v1/dataset/demo", "")
+        .1
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // A mixed batch: two inserts and a delete.
+    let update_body = r#"{"v":1,"updates":[
+        {"relation":0,"op":"insert","tuple":[3,2],"count":2},
+        {"relation":1,"op":"delete","tuple":[6,0]},
+        {"relation":1,"op":"insert","tuple":[2,5]}]}"#;
+    let (status, body) = call(&addr, "POST", "/v1/dataset/demo/updates", update_body);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("ops").and_then(Json::as_f64), Some(3.0));
+    let maintenance = body.get("maintenance").expect("maintenance block");
+    assert_eq!(
+        maintenance.get("warm"),
+        Some(&Json::Bool(true)),
+        "the released-over dataset must have a warm slot to migrate"
+    );
+    assert_eq!(
+        body.get("previous_fingerprint").and_then(Json::as_str),
+        Some(fp_before.as_str())
+    );
+    let fp_after = body
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(fp_after, fp_before);
+    assert_eq!(
+        call(&addr, "GET", "/v1/dataset/demo", "")
+            .1
+            .get("fingerprint")
+            .and_then(Json::as_str),
+        Some(fp_after.as_str())
+    );
+
+    // Release over the maintained dataset...
+    let (status, warm_release) = call(&addr, "POST", "/v1/release", &release("demo"));
+    assert_eq!(status, 200);
+
+    // ...and over a freshly uploaded copy of the *updated* contents.
+    let fresh = r#"{"v":1,"name":"demo2","domains":[8,8,8],
+        "relations":[{"attrs":[0,1],"tuples":[[[1,2],3],[[3,2],2],[[4,2],1],[[5,6],2]]},
+                     {"attrs":[1,2],"tuples":[[[2,5],1],[[2,7],2]]}]}"#;
+    assert_eq!(call(&addr, "POST", "/v1/dataset", fresh).0, 200);
+    let (status, cold_release) = call(&addr, "POST", "/v1/release", &release("demo2"));
+    assert_eq!(status, 200);
+    assert_eq!(
+        warm_release.get("result"),
+        cold_release.get("result"),
+        "maintained state must release the same bytes as a cold upload"
+    );
+
+    // Rejections: a delete that underflows, an unknown dataset, a wrong
+    // method, an empty batch — none of them change the dataset.
+    let underflow = r#"{"v":1,"updates":[{"relation":0,"op":"delete","tuple":[1,2],"count":9}]}"#;
+    let (status, body) = call(&addr, "POST", "/v1/dataset/demo/updates", underflow);
+    assert_eq!(status, 400, "{body:?}");
+    assert_eq!(
+        call(&addr, "POST", "/v1/dataset/nope/updates", update_body).0,
+        404
+    );
+    assert_eq!(call(&addr, "GET", "/v1/dataset/demo/updates", "").0, 405);
+    assert_eq!(
+        call(
+            &addr,
+            "POST",
+            "/v1/dataset/demo/updates",
+            r#"{"v":1,"updates":[]}"#
+        )
+        .0,
+        400
+    );
+    assert_eq!(
+        call(&addr, "GET", "/v1/dataset/demo", "")
+            .1
+            .get("fingerprint")
+            .and_then(Json::as_str),
+        Some(fp_after.as_str()),
+        "rejected updates must not change the dataset"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn wire_rejects_bad_requests_cheaply() {
     let dir = temp_dir("reject");
