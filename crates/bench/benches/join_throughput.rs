@@ -20,7 +20,14 @@
 //! the historical fixed-prefix chain on chain / star / skewed scenarios —
 //! recording the chosen decomposition (`spine`, `top_order`) and the total
 //! cached-intermediate tuple counts alongside wall-clock (`--planner-smoke`
-//! runs only this group, for CI).
+//! runs only this group, for CI), plus `adaptive/*` rows measuring (a) the
+//! mergeable-sketch statistics gather against the historical exact
+//! distinct-set gather and (b) the resident-intermediate footprint and
+//! wall-clock of runtime-feedback re-planning against the static plan on
+//! the correlated-pair workload (where independence estimates provably
+//! fail) and the heavy-hitter star control (`--adaptive-smoke` runs only
+//! this group — adaptive values are asserted identical to static before
+//! any timing).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,15 +35,15 @@ use std::time::{Duration, Instant};
 use criterion::black_box;
 use dpsyn_bench::{existing_rows_json, print_table, raw_rows_to_json_pretty, Row};
 use dpsyn_datagen::{
-    heavy_hitter_star, random_path, random_star, random_two_table, wide_attribute_pair,
-    zipf_two_table,
+    correlated_pair, heavy_hitter_star, random_path, random_star, random_two_table,
+    wide_attribute_pair, zipf_two_table,
 };
 use dpsyn_noise::seeded_rng;
 use dpsyn_relational::naive::{all_boundary_values_naive, join_size_naive};
 use dpsyn_relational::{
     fold_fully_packable, hash_join_step_mode, join_encoded, join_size, AttrDictionary, ExecContext,
-    Instance, JoinPlan, JoinQuery, JoinResult, Parallelism, ProbeMode, Schedule,
-    ShardedSubJoinCache, SubJoinCache,
+    FxHashSet, Instance, JoinPlan, JoinQuery, JoinResult, Parallelism, PlanConfig, ProbeMode,
+    RelationStats, Schedule, ShardedSubJoinCache, SubJoinCache, Value,
 };
 use dpsyn_sensitivity::{all_boundary_values, SensitivityConfig, SensitivityOps};
 
@@ -120,6 +127,210 @@ fn lattice_pass(query: &JoinQuery, cache: &ShardedSubJoinCache<'_>) -> u128 {
         best = best.max(value);
     }
     best
+}
+
+/// The adaptive twin of [`lattice_pass`]: the same m transient targets,
+/// walked adaptively — each materialised chain step's actual cardinality is
+/// measured against the plan's estimate and a breach of the configured
+/// ratio re-plans the remainder, re-routing later targets around
+/// correlation traps.  Values are identical to [`lattice_pass`]; only the
+/// set of resident intermediates differs.
+fn lattice_pass_adaptive(
+    query: &JoinQuery,
+    cache: &mut ShardedSubJoinCache<'_>,
+    config: &PlanConfig,
+) -> u128 {
+    let m = query.num_relations();
+    let full = (1u32 << m) - 1;
+    let mut best = 0u128;
+    for i in 0..m {
+        let others_mask = full & !(1u32 << i);
+        let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+        let boundary = query.boundary(&others).expect("valid subset");
+        let value = cache
+            .join_mask_transient_adaptive(others_mask, Parallelism::SEQUENTIAL, config)
+            .expect("sub-join")
+            .max_group_weight(&boundary)
+            .expect("grouping");
+        best = best.max(value);
+    }
+    best
+}
+
+/// The adaptive-planning group.
+///
+/// `adaptive/gather/*`: the mergeable-sketch statistics gather
+/// ([`RelationStats::gather`]) against the historical exact per-attribute
+/// distinct-set gather over the same iteration path — with every sketch
+/// estimate asserted inside the HyperLogLog error envelope of the exact
+/// count before timing.
+///
+/// `adaptive/tuples/*`: a cold local-sensitivity lattice pass (transient
+/// walks) under the static plan vs the adaptive walks, on the
+/// correlated-pair workload whose functional dependency provably breaks
+/// independence estimates, and on the heavy-hitter star where estimates
+/// mostly hold (the control: adaptivity must not hurt it).  Adaptive
+/// values are asserted identical to static before timing; rows record the
+/// resident-intermediate tuple counts and the re-plan feedback counters.
+fn adaptive_rows(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- (a) sketch gather vs exact distinct sets -------------------------
+    let gather_scenarios: Vec<(String, JoinQuery, Instance)> = vec![
+        {
+            let n = if quick { 20_000 } else { 60_000 };
+            let (q, i) = random_two_table(16_384, n, &mut seeded_rng(51));
+            (format!("adaptive/gather/two_table/{n}"), q, i)
+        },
+        {
+            let (key_space, n) = if quick {
+                (512u64, 10_000)
+            } else {
+                (2_048, 40_000)
+            };
+            let (q, i) = wide_attribute_pair(key_space, n, &mut seeded_rng(52));
+            (format!("adaptive/gather/wide4/{n}"), q, i)
+        },
+    ];
+    for (label, query, instance) in &gather_scenarios {
+        let exact_gather = || {
+            let mut total = 0u64;
+            for r in 0..query.num_relations() {
+                let rel = instance.relation(r);
+                let mut sets: Vec<FxHashSet<Value>> =
+                    rel.attrs().iter().map(|_| FxHashSet::default()).collect();
+                for (t, _) in rel.iter() {
+                    for (pos, &v) in t.iter().enumerate() {
+                        sets[pos].insert(v);
+                    }
+                }
+                total += sets.iter().map(|s| s.len() as u64).sum::<u64>();
+            }
+            total
+        };
+        // Accuracy before timing: every per-attribute estimate within the
+        // HLL envelope of its exact count.
+        let stats = RelationStats::gather(query, instance).expect("gather");
+        for r in 0..query.num_relations() {
+            let rel = instance.relation(r);
+            let mut sets: Vec<FxHashSet<Value>> =
+                rel.attrs().iter().map(|_| FxHashSet::default()).collect();
+            for (t, _) in rel.iter() {
+                for (pos, &v) in t.iter().enumerate() {
+                    sets[pos].insert(v);
+                }
+            }
+            for (pos, &attr) in rel.attrs().iter().enumerate() {
+                let exact = sets[pos].len() as f64;
+                let est = stats.distinct(r, attr) as f64;
+                assert!(
+                    (est - exact).abs() <= 0.08 * exact.max(1.0),
+                    "{label}: relation {r} attr {attr:?} estimate {est} vs exact {exact}"
+                );
+            }
+        }
+        let probe = Instant::now();
+        let _ = exact_gather();
+        let samples = sample_count(probe.elapsed());
+        let sketch_ns = median_ns(samples, || {
+            black_box(RelationStats::gather(query, instance).expect("gather"));
+        });
+        let exact_ns = median_ns(samples, || {
+            black_box(exact_gather());
+        });
+        let speedup = exact_ns / sketch_ns.max(1.0);
+        println!(
+            "bench: {label:<32} sketch {sketch_ns:>12.1} ns  exact {exact_ns:>13.1} ns  speedup {speedup:>6.2}x (1 thread, {cores} cores)"
+        );
+        rows.push(
+            Row::new(label)
+                .with("sketch_ns", sketch_ns)
+                .with("exact_ns", exact_ns)
+                .with("speedup", speedup)
+                .with("threads", 1.0)
+                .with("available_cores", cores as f64),
+        );
+    }
+
+    // --- (b) resident intermediates: static vs adaptive walks -------------
+    let config = PlanConfig::default();
+    let walk_scenarios: Vec<(String, JoinQuery, Instance)> = vec![
+        {
+            let (keys, fanout, pair_rows, payloads) = if quick {
+                (48, 12, 256, 6)
+            } else {
+                (64, 16, 512, 8)
+            };
+            let (q, i) = correlated_pair(3, keys, fanout, pair_rows, payloads, &mut seeded_rng(53));
+            (format!("adaptive/tuples/correlated_pair/{pair_rows}"), q, i)
+        },
+        {
+            let per_rel = if quick { 120 } else { 300 };
+            let (q, i) = heavy_hitter_star(4, 64, per_rel, 0.6, &mut seeded_rng(54));
+            (format!("adaptive/tuples/heavy_hitter_star/{per_rel}"), q, i)
+        },
+    ];
+    for (label, query, instance) in &walk_scenarios {
+        let plan = Arc::new(JoinPlan::cost_based(query, instance).expect("plan"));
+        // Identity before timing: the adaptive pass computes exactly the
+        // static pass's local sensitivity, and its resident footprint is
+        // what the row records.
+        let (static_value, static_tuples) = {
+            let cache =
+                ShardedSubJoinCache::with_plan(query, instance, Arc::clone(&plan)).expect("cache");
+            (lattice_pass(query, &cache), cache.cached_tuples())
+        };
+        let (adaptive_value, adaptive_tuples, replans, triggers) = {
+            let mut cache =
+                ShardedSubJoinCache::with_plan(query, instance, Arc::clone(&plan)).expect("cache");
+            let value = lattice_pass_adaptive(query, &mut cache, &config);
+            let feedback = cache.replan_stats().cloned().unwrap_or_default();
+            (
+                value,
+                cache.cached_tuples(),
+                feedback.replans,
+                feedback.triggers,
+            )
+        };
+        assert_eq!(
+            adaptive_value, static_value,
+            "{label}: adaptive walks must be byte-identical to static"
+        );
+        let static_run = || {
+            let cache =
+                ShardedSubJoinCache::with_plan(query, instance, Arc::clone(&plan)).expect("cache");
+            black_box(lattice_pass(query, &cache));
+        };
+        let adaptive_run = || {
+            let mut cache =
+                ShardedSubJoinCache::with_plan(query, instance, Arc::clone(&plan)).expect("cache");
+            black_box(lattice_pass_adaptive(query, &mut cache, &config));
+        };
+        let probe = Instant::now();
+        static_run();
+        let samples = sample_count(probe.elapsed());
+        let adaptive_ns = median_ns(samples, adaptive_run);
+        let static_ns = median_ns(samples, static_run);
+        let speedup = static_ns / adaptive_ns.max(1.0);
+        let tuple_ratio = static_tuples as f64 / (adaptive_tuples as f64).max(1.0);
+        println!(
+            "bench: {label:<32} adapt {adaptive_ns:>13.1} ns  static {static_ns:>13.1} ns  speedup {speedup:>6.2}x  tuples {adaptive_tuples} vs {static_tuples} ({tuple_ratio:.2}x, {replans} replans / {triggers} triggers)"
+        );
+        rows.push(
+            Row::new(label)
+                .with("adaptive_ns", adaptive_ns)
+                .with("static_ns", static_ns)
+                .with("speedup", speedup)
+                .with("adaptive_tuples", adaptive_tuples as f64)
+                .with("static_tuples", static_tuples as f64)
+                .with("tuple_ratio", tuple_ratio)
+                .with("replans", replans as f64)
+                .with("triggers", triggers as f64)
+                .with("available_cores", cores as f64),
+        );
+    }
+    rows
 }
 
 /// A skewed-degree star: heterogeneous relation sizes plus Zipf hubs, so
@@ -455,6 +666,17 @@ fn main() {
         );
         return;
     }
+    // CI's adaptive smoke: the sketch-gather and adaptive-walk groups only
+    // (quick sizes; adaptive ≡ static identity and sketch-accuracy asserts
+    // included), no JSON write.
+    if std::env::args().any(|a| a == "--adaptive-smoke") {
+        let rows = adaptive_rows(true);
+        print_table(
+            "adaptive smoke — sketch gather + runtime-feedback re-planning",
+            &rows,
+        );
+        return;
+    }
     // CI's scheduler smoke: the morsel scheduler and probe-loop groups only
     // (quick sizes, byte-identity asserts included), no JSON write.
     if std::env::args().any(|a| a == "--sched-smoke") {
@@ -724,6 +946,9 @@ fn main() {
 
     // --- Cost-based planner vs fixed-prefix decomposition -------------------
     rows.extend(planner_rows(quick));
+
+    // --- Adaptive planning: sketch gather + runtime-feedback re-planning ----
+    rows.extend(adaptive_rows(quick));
 
     print_table("join_throughput — hash engine vs naive reference", &rows);
 

@@ -6,7 +6,14 @@
 //! Each measured maintenance call applies a batch and then its inverse, so
 //! the instance (and the warm slot's fingerprint) returns to its starting
 //! point and every iteration exercises two genuine warm maintenance passes;
-//! the reported `maintain_ns` is the per-batch half.  The rebuild baseline
+//! the reported `maintain_ns` is the per-batch half.  Large batches trip
+//! the maintenance path's bulk-rebuild escape hatch: once the net batch
+//! rewrites a sizeable share of the touched relations, per-mask delta
+//! patching (one delta join per cached mask per touched relation) can never
+//! beat a rebuild, so every affected mask is recomputed from the updated
+//! instance through the slot's cost-based plan chain instead, memoising
+//! shared chain prefixes across masks — the fix that keeps the `b256` row
+//! from losing to the cold rebuild.  The rebuild baseline
 //! is exactly what a server without the updates path would pay per batch: a
 //! cold context's lattice populate plus full join over the updated
 //! instance.  Byte-identity of maintained vs rebuilt observables (per-mask
@@ -26,19 +33,29 @@ use dpsyn_noise::seeded_rng;
 use dpsyn_relational::{apply_batch, ExecContext, Instance, JoinQuery, UpdateBatch, Value};
 use dpsyn_sensitivity::SensitivityOps;
 
-/// Median wall-clock time of `f` over `samples` runs (with one warm-up run),
-/// in nanoseconds.
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    let mut times: Vec<f64> = (0..samples.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    times[times.len() / 2]
+/// Median wall-clock times of two alternating measurements, in nanoseconds.
+/// The arms are interleaved (`a`, `b`, `a`, `b`, …, after one warm-up of
+/// each) so slow drift in effective machine speed — frequency scaling,
+/// noisy neighbours on a shared core — biases both medians equally instead
+/// of whichever arm happened to run in the slower stretch.
+fn median_ns_interleaved(samples: usize, a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (f64, f64) {
+    a();
+    b();
+    let mut times_a = Vec::with_capacity(samples.max(1));
+    let mut times_b = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        a();
+        times_a.push(t.elapsed().as_secs_f64() * 1e9);
+        let t = Instant::now();
+        b();
+        times_b.push(t.elapsed().as_secs_f64() * 1e9);
+    }
+    let median = |mut times: Vec<f64>| {
+        times.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+        times[times.len() / 2]
+    };
+    (median(times_a), median(times_b))
 }
 
 /// Picks a sample count so each measurement stays within a small budget.
@@ -131,7 +148,7 @@ fn stream_rows(quick: bool) -> Vec<Row> {
         // that is the real cost of not maintaining).
         let mut updated = instance.clone();
         apply_batch(&query, &mut updated, &batch).expect("plain mutation");
-        let rebuild = || {
+        let mut rebuild = || {
             let cold = ExecContext::sequential();
             black_box(cold.all_boundary_values(&query, &updated).expect("lattice"));
             black_box(cold.shared_join(&query, &updated).expect("full join"));
@@ -140,9 +157,8 @@ fn stream_rows(quick: bool) -> Vec<Row> {
         let probe = Instant::now();
         rebuild();
         let samples = sample_count(probe.elapsed());
-        let pair_ns = median_ns(samples, &mut maintain);
+        let (pair_ns, rebuild_ns) = median_ns_interleaved(samples, &mut maintain, &mut rebuild);
         let maintain_ns = pair_ns / 2.0;
-        let rebuild_ns = median_ns(samples, rebuild);
         let speedup = rebuild_ns / maintain_ns.max(1.0);
         let label = format!("stream/maintain/star3/{per_rel}/b{batch_size}");
         println!(

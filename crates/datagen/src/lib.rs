@@ -19,6 +19,7 @@ pub mod stream;
 pub use figures::{example42_instance, fig1_pair, fig2_hard_instance, fig3_nonuniform, fig4_query};
 pub use random::{random_path, random_star, random_two_table, zipf_two_table};
 pub use scenarios::{
-    heavy_hitter_star, org_hierarchy, retail_star, social_network, wide_attribute_pair,
+    correlated_pair, heavy_hitter_star, org_hierarchy, retail_star, social_network,
+    wide_attribute_pair,
 };
 pub use stream::{update_stream, UpdateStreamConfig};

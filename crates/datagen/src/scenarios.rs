@@ -173,6 +173,79 @@ pub fn heavy_hitter_star<R: Rng>(
     (query, inst)
 }
 
+/// A **correlated pair star**: two "wide" relations
+/// `R0(k, kk, p0)` and `R1(k, kk, p1)` sharing the join attributes
+/// `(k, kk)`, plus `satellites` small relations `S_r(k, t_r)` joined on
+/// `k` alone — where `kk = k mod fanout` is a **functional dependency**
+/// of `k`.
+///
+/// This shape provably breaks the classical independence assumption that
+/// cost-based join planners estimate with: under independence the pair
+/// join is estimated as
+/// `|R0|·|R1| / (v(k)·v(kk))`, dividing by *both* shared attributes'
+/// distinct counts, but since `kk` is determined by `k` the second factor
+/// is pure fiction — matching on `k` already implies matching on `kk`, so
+/// the true cardinality is larger than the estimate by roughly
+/// `fanout`×.  A static plan therefore routes sub-joins *through* the
+/// `R0 ⋈ R1` pair (it looks cheap), while measured feedback re-plans
+/// around it — which makes this the canonical workload for the adaptive
+/// planner's re-optimization tests and benchmarks.
+///
+/// `pair_rows` rows are generated for each of `R0`/`R1` (keys uniform over
+/// `0..keys`, payloads uniform over `0..payloads`); each satellite holds
+/// one row per key.  The expected estimate error on the pair is
+/// `≈ fanout`, so pick `fanout` comfortably above the planner's re-plan
+/// ratio to guarantee a trigger.
+pub fn correlated_pair<R: Rng>(
+    satellites: usize,
+    keys: u64,
+    fanout: u64,
+    pair_rows: usize,
+    payloads: u64,
+    rng: &mut R,
+) -> (JoinQuery, Instance) {
+    let keys = keys.max(1);
+    let fanout = fanout.clamp(1, keys);
+    let payloads = payloads.max(1);
+    let mut attrs = vec![
+        Attribute::new("k", keys),
+        Attribute::new("kk", fanout),
+        Attribute::new("p0", payloads),
+        Attribute::new("p1", payloads),
+    ];
+    for r in 0..satellites {
+        attrs.push(Attribute::new(format!("t{r}"), 16));
+    }
+    let schema = Schema::new(attrs);
+    let mut rel_attrs = vec![
+        vec![AttrId(0), AttrId(1), AttrId(2)],
+        vec![AttrId(0), AttrId(1), AttrId(3)],
+    ];
+    for r in 0..satellites {
+        rel_attrs.push(vec![AttrId(0), AttrId(4 + r as u16)]);
+    }
+    let query = JoinQuery::new(schema, rel_attrs).expect("correlated pair query");
+    let mut inst = Instance::empty_for(&query).expect("schema matches");
+    for side in 0..2 {
+        for _ in 0..pair_rows {
+            let k = rng.random_range(0..keys);
+            let p = rng.random_range(0..payloads);
+            inst.relation_mut(side)
+                .add(vec![k, k % fanout, p], 1)
+                .expect("valid tuple");
+        }
+    }
+    for r in 0..satellites {
+        for k in 0..keys {
+            let t = rng.random_range(0..16);
+            inst.relation_mut(2 + r)
+                .add(vec![k, t], 1)
+                .expect("valid tuple");
+        }
+    }
+    (query, inst)
+}
+
 /// A **wide-attribute pair**: a large probe relation
 /// `R(a, k1, k2, k3, k4)` joined with a small build relation
 /// `S(k1, k2, k3, k4, e)` on the four-attribute key `(k1, k2, k3, k4)`,
@@ -316,6 +389,42 @@ mod tests {
         }
         // Skew shows up in the join: far larger than a uniform star.
         assert!(join_size(&q, &inst).unwrap() > 10_000);
+    }
+
+    #[test]
+    fn correlated_pair_breaks_independence_estimates() {
+        let (q, inst) = correlated_pair(3, 64, 16, 512, 8, &mut rng());
+        assert_eq!(q.num_relations(), 5);
+        assert!(inst.validate(&q).is_ok());
+        // Satellites: one row per key.
+        for r in 2..5 {
+            assert_eq!(inst.relation(r).distinct_count() as u64, 64);
+        }
+        // The independence estimate for R0 ⋈ R1 divides by the distinct
+        // counts of BOTH shared attributes (k and kk), but kk = k mod 16 is
+        // functionally dependent on k — so the true pair join must beat the
+        // estimate by a wide margin (≈ fanout×).
+        let r0 = inst.relation(0);
+        let r1 = inst.relation(1);
+        let distinct = |rel: &dpsyn_relational::Relation, pos: usize| {
+            rel.iter()
+                .map(|(t, _)| t[pos])
+                .collect::<std::collections::BTreeSet<u64>>()
+                .len() as f64
+        };
+        let est = (r0.distinct_count() as f64) * (r1.distinct_count() as f64)
+            / (distinct(r0, 0).max(distinct(r1, 0)) * distinct(r0, 1).max(distinct(r1, 1)));
+        let actual = dpsyn_relational::join_subset(&q, &inst, &[0, 1])
+            .unwrap()
+            .distinct_count() as f64;
+        assert!(
+            actual >= 8.0 * est,
+            "pair join {actual} does not break the independence estimate {est}"
+        );
+        // Reproducible from the seed, like every other scenario.
+        let (_, a) = correlated_pair(3, 64, 16, 512, 8, &mut rng());
+        let (_, b) = correlated_pair(3, 64, 16, 512, 8, &mut rng());
+        assert_eq!(a, b);
     }
 
     #[test]

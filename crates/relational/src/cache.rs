@@ -59,7 +59,7 @@ use crate::hash::FxHashMap;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::join::{hash_join_step_with, JoinResult};
-use crate::plan::{JoinPlan, SharedJoinPlan};
+use crate::plan::{JoinPlan, PlanConfig, ReplanStats, SharedJoinPlan};
 use crate::Result;
 
 /// Memoised sub-join results over one `(query, instance)` pair, keyed by the
@@ -261,6 +261,11 @@ pub struct ShardedSubJoinCache<'a> {
     /// [`crate::ExecContext`] on checkout so check-in does not have to
     /// re-hash the whole instance.
     pub(crate) fingerprint: Option<u64>,
+    /// Runtime-feedback diagnostics accumulated by the adaptive walks of
+    /// this checkout ([`Self::populate_proper_subsets_adaptive`],
+    /// [`Self::join_mask_adaptive`]); `None` until one has run.  Carried
+    /// back to the context slot on check-in.
+    pub(crate) replan: Option<ReplanStats>,
 }
 
 impl<'a> ShardedSubJoinCache<'a> {
@@ -301,6 +306,7 @@ impl<'a> ShardedSubJoinCache<'a> {
             plan,
             shards,
             fingerprint: None,
+            replan: None,
         })
     }
 
@@ -517,31 +523,251 @@ impl<'a> ShardedSubJoinCache<'a> {
             let masks: Vec<u32> = (1..full)
                 .filter(|mask| mask.count_ones() == level)
                 .collect();
-            if masks.len() <= 1 {
-                for &mask in &masks {
-                    if self.get(mask).is_none() {
-                        let result = self.compute_from_parent(mask, par)?;
-                        self.insert(mask, Arc::new(result));
-                    }
-                    stats.absorb(&exec::SchedulerStats::from_claims(vec![1]));
-                }
-            } else {
-                let (outcomes, level_stats) =
-                    exec::par_map_sched_stats(par, sched, masks.len(), |i| -> Result<()> {
-                        let mask = masks[i];
-                        if self.get(mask).is_none() {
-                            let result = self.compute_from_parent(mask, Parallelism::SEQUENTIAL)?;
-                            self.insert(mask, Arc::new(result));
-                        }
-                        Ok(())
-                    });
-                for outcome in outcomes {
-                    outcome?;
-                }
-                stats.absorb(&level_stats);
-            }
+            self.populate_level(par, sched, &masks, &mut stats)?;
         }
         Ok(stats)
+    }
+
+    /// Materialises one lattice level's masks through the worker pool (the
+    /// shared body of the static and adaptive populates).  Single-mask
+    /// levels run inline with the full parallelism spent inside the join
+    /// step instead.
+    fn populate_level(
+        &self,
+        par: Parallelism,
+        sched: exec::Schedule,
+        masks: &[u32],
+        stats: &mut exec::SchedulerStats,
+    ) -> Result<()> {
+        if masks.len() <= 1 {
+            for &mask in masks {
+                if self.get(mask).is_none() {
+                    let result = self.compute_from_parent(mask, par)?;
+                    self.insert(mask, Arc::new(result));
+                }
+                stats.absorb(&exec::SchedulerStats::from_claims(vec![1]));
+            }
+        } else {
+            let (outcomes, level_stats) =
+                exec::par_map_sched_stats(par, sched, masks.len(), |i| -> Result<()> {
+                    let mask = masks[i];
+                    if self.get(mask).is_none() {
+                        let result = self.compute_from_parent(mask, Parallelism::SEQUENTIAL)?;
+                        self.insert(mask, Arc::new(result));
+                    }
+                    Ok(())
+                });
+            for outcome in outcomes {
+                outcome?;
+            }
+            stats.absorb(&level_stats);
+        }
+        Ok(())
+    }
+
+    /// Runtime-feedback diagnostics of this checkout's adaptive walks, if
+    /// any have run (see [`ReplanStats`]).
+    pub fn replan_stats(&self) -> Option<&ReplanStats> {
+        self.replan.as_ref()
+    }
+
+    /// Measured cardinalities of every materialised mask — the exact
+    /// anchors a re-plan prices from.
+    fn materialised_anchors(&self) -> FxHashMap<u32, f64> {
+        let mut anchors = FxHashMap::default();
+        for shard in self.shards.iter() {
+            for (&mask, result) in shard.lock().expect("cache shard poisoned").iter() {
+                anchors.insert(mask, result.distinct_count() as f64);
+            }
+        }
+        anchors
+    }
+
+    /// Records `mask`'s measured cardinality against the current plan's
+    /// estimate; returns whether the error factor breaches the configured
+    /// re-plan ratio.  Cardinalities below one tuple compare as one, so
+    /// near-empty results never divide by zero or trigger on noise.
+    fn measure(
+        &self,
+        mask: u32,
+        actual: usize,
+        config: &PlanConfig,
+        replan: &mut ReplanStats,
+    ) -> bool {
+        let Some(est) = self.plan.estimated_rows(mask) else {
+            return false;
+        };
+        let est = est.max(1.0);
+        let actual = (actual as f64).max(1.0);
+        let err = (actual / est).max(est / actual);
+        replan.record_error(err);
+        if err > config.replan_ratio {
+            replan.triggers += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-plans the not-yet-materialised remainder of the lattice from the
+    /// measured anchors and swaps the cache onto the new decomposition.
+    /// Values are plan-invariant, so the swap can never change results —
+    /// only which parents the remaining masks are built from.
+    fn replan_now(&mut self, replan: &mut ReplanStats) {
+        let anchors = self.materialised_anchors();
+        if let Some(new_plan) = self.plan.replanned(self.query, &anchors) {
+            let full = (1u32 << self.query.num_relations()) - 1;
+            let changed = (1..=full)
+                .filter(|mask| {
+                    !anchors.contains_key(mask) && new_plan.pivot(*mask) != self.plan.pivot(*mask)
+                })
+                .count();
+            replan.replans += 1;
+            replan.pivots_changed += changed;
+            self.plan = Arc::new(new_plan);
+        }
+    }
+
+    /// [`Self::populate_proper_subsets_sched`] with the runtime feedback
+    /// loop closed: after each lattice level is materialised, every mask's
+    /// actual cardinality is compared against its estimate, and when the
+    /// error factor `max(actual/est, est/actual)` of any mask exceeds
+    /// [`PlanConfig::replan_ratio`] the remaining levels are re-planned
+    /// with the measured cardinalities as exact anchors
+    /// ([`JoinPlan::replanned`]).
+    ///
+    /// The measurement happens at a **level barrier** — all masks of a
+    /// level are complete before any error is read, and both actuals and
+    /// estimates are thread-count-invariant — so the re-plan decisions, the
+    /// final decomposition, and (since values are plan-invariant) every
+    /// result are byte-identical at every thread count and schedule.
+    pub fn populate_proper_subsets_adaptive(
+        &mut self,
+        par: Parallelism,
+        sched: exec::Schedule,
+        config: &PlanConfig,
+    ) -> Result<(exec::SchedulerStats, ReplanStats)> {
+        let m = self.query.num_relations() as u32;
+        let full = (1u32 << m) - 1;
+        let mut stats = exec::SchedulerStats::default();
+        let mut replan = self.replan.take().unwrap_or_default();
+        for level in 1..m.max(1) {
+            let masks: Vec<u32> = (1..full)
+                .filter(|mask| mask.count_ones() == level)
+                .collect();
+            self.populate_level(par, sched, &masks, &mut stats)?;
+            if !self.plan.is_cost_based() {
+                continue;
+            }
+            let mut breach = false;
+            for &mask in &masks {
+                if let Some(result) = self.get(mask) {
+                    breach |= self.measure(mask, result.distinct_count(), config, &mut replan);
+                }
+            }
+            if breach {
+                self.replan_now(&mut replan);
+            }
+        }
+        let out = replan.clone();
+        self.replan = Some(replan);
+        Ok((stats, out))
+    }
+
+    /// [`Self::join_mask`] with the runtime feedback loop closed on the
+    /// lazy chain walk: each chain step's actual cardinality is measured as
+    /// soon as it materialises, and a breach of
+    /// [`PlanConfig::replan_ratio`] re-plans the not-yet-walked remainder
+    /// of the chain — so one blown estimate re-routes every step still to
+    /// come, instead of compounding through the rest of the walk.  This is
+    /// where adaptive planning shrinks resident intermediates: on
+    /// correlated instances the static chain commits to a trap parent for
+    /// every target, while the adaptive walk pays for the trap once and
+    /// routes subsequent targets around it.
+    ///
+    /// Values are identical to [`Self::join_mask`] under any plan; only the
+    /// set of memoised intermediates differs.
+    pub fn join_mask_adaptive(
+        &mut self,
+        mask: u32,
+        par: Parallelism,
+        config: &PlanConfig,
+    ) -> Result<Arc<JoinResult>> {
+        self.check_mask(mask)?;
+        let mut replan = self.replan.take().unwrap_or_default();
+        let result = loop {
+            if let Some(hit) = self.get(mask) {
+                break hit;
+            }
+            self.advance_chain(mask, par, config, &mut replan)?;
+        };
+        self.replan = Some(replan);
+        Ok(result)
+    }
+
+    /// Materialises the **deepest missing step** of `mask`'s current-plan
+    /// decomposition chain — one join step whose parent is already
+    /// materialised (or empty) — then measures it and re-plans on a breach.
+    /// One call, one new mask: callers re-read the (possibly re-routed)
+    /// plan between steps, which is what lets a mid-chain re-plan steer the
+    /// walk away from a stale route before it is paid for.
+    fn advance_chain(
+        &mut self,
+        mask: u32,
+        par: Parallelism,
+        config: &PlanConfig,
+        replan: &mut ReplanStats,
+    ) -> Result<()> {
+        let mut step = mask;
+        loop {
+            let parent = self.plan.parent(step);
+            if parent == 0 || self.get(parent).is_some() {
+                break;
+            }
+            step = parent;
+        }
+        let computed = self.compute_from_parent(step, par)?;
+        let actual = computed.distinct_count();
+        self.insert(step, Arc::new(computed));
+        if self.measure(step, actual, config, replan) {
+            self.replan_now(replan);
+        }
+        Ok(())
+    }
+
+    /// [`Self::join_mask_transient`] with the adaptive chain walk of
+    /// [`Self::join_mask_adaptive`]: the chain below `mask` materialises
+    /// (and measures, and possibly re-plans) adaptively, while the final
+    /// step stays un-memoised and owned by the caller — the footprint shape
+    /// local sensitivity wants for its `m` full-size targets.
+    pub fn join_mask_transient_adaptive(
+        &mut self,
+        mask: u32,
+        par: Parallelism,
+        config: &PlanConfig,
+    ) -> Result<JoinResult> {
+        self.check_mask(mask)?;
+        let mut replan = self.replan.take().unwrap_or_default();
+        let out = loop {
+            // Pivot and rest are re-read from the *current* plan every
+            // step: a re-plan triggered anywhere below can re-route `mask`
+            // itself, and the walk must follow the new route before the
+            // stale rest mask is materialised (each iteration either
+            // finishes or materialises one new mask, so this terminates).
+            let pivot = self.plan.pivot(mask);
+            let rest = mask & !(1u32 << pivot);
+            if rest == 0 {
+                break Ok(JoinResult::from_relation(self.instance.relation(pivot)));
+            }
+            if let Some(sub) = self.get(rest) {
+                break hash_join_step_with(&sub, self.instance.relation(pivot), par);
+            }
+            if let Err(e) = self.advance_chain(rest, par, config, &mut replan) {
+                break Err(e);
+            }
+        };
+        self.replan = Some(replan);
+        out
     }
 }
 
@@ -766,6 +992,141 @@ mod tests {
             planned.cached_tuples(),
             fixed.cached_tuples()
         );
+    }
+
+    /// Five relations all joining on `k`; R0 and R1 additionally share the
+    /// functionally-correlated `kk = k mod 16`, so the independence
+    /// estimate prices their pairwise join 16× too low (estimated 256,
+    /// actual 4096) while every other join is estimated honestly.  The
+    /// static planner therefore routes every mask containing {0, 1}
+    /// through the trap pair; the payload attributes `p0`/`p1` make the
+    /// trap join genuinely fat (8×8 payload combinations per key).
+    fn correlated_instance() -> (JoinQuery, Instance) {
+        use crate::attr::{Attribute, Schema};
+        let schema = Schema::new(vec![
+            Attribute::new("k", 64),
+            Attribute::new("kk", 16),
+            Attribute::new("p0", 8),
+            Attribute::new("p1", 8),
+            Attribute::new("a", 16),
+            Attribute::new("b", 16),
+            Attribute::new("c", 16),
+        ]);
+        let q = JoinQuery::new(
+            schema,
+            vec![
+                vec![AttrId(0), AttrId(1), AttrId(2)],
+                vec![AttrId(0), AttrId(1), AttrId(3)],
+                vec![AttrId(0), AttrId(4)],
+                vec![AttrId(0), AttrId(5)],
+                vec![AttrId(0), AttrId(6)],
+            ],
+        )
+        .unwrap();
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for x in 0..64u64 {
+            for j in 0..8u64 {
+                inst.relation_mut(0).add(vec![x, x % 16, j], 1).unwrap();
+                inst.relation_mut(1).add(vec![x, x % 16, j], 1).unwrap();
+            }
+            inst.relation_mut(2).add(vec![x, x % 16], 1).unwrap();
+            inst.relation_mut(3).add(vec![x, x % 16], 1).unwrap();
+            inst.relation_mut(4).add(vec![x, x % 16], 1).unwrap();
+        }
+        (q, inst)
+    }
+
+    #[test]
+    fn adaptive_populate_matches_static_and_records_feedback() {
+        let (q, inst) = correlated_instance();
+        let m = q.num_relations();
+        let plan = Arc::new(crate::plan::JoinPlan::cost_based(&q, &inst).unwrap());
+        let reference = ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        reference
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        let config = PlanConfig::with_replan_ratio(8.0);
+        for &threads in &[1usize, 2, 4] {
+            let mut adaptive =
+                ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+            let (sched_stats, replan) = adaptive
+                .populate_proper_subsets_adaptive(
+                    Parallelism::threads(threads),
+                    exec::Schedule::Stealing,
+                    &config,
+                )
+                .unwrap();
+            // Every proper mask is materialised and byte-identical to the
+            // static populate, at every thread count.
+            assert_eq!(sched_stats.total(), (1 << m) - 2, "threads {threads}");
+            for mask in 1u32..((1u32 << m) - 1) {
+                assert_eq!(
+                    adaptive.get(mask).expect("populated").as_ref(),
+                    reference.get(mask).expect("populated").as_ref(),
+                    "mask {mask:#b}, threads {threads}"
+                );
+            }
+            // The correlated pair blew its estimate: the feedback loop saw
+            // it, triggered, and re-planned at least once, identically at
+            // every thread count.
+            assert_eq!(replan.measured, (1 << m) - 2);
+            assert!(replan.triggers >= 1, "threads {threads}: {replan:?}");
+            assert!(replan.replans >= 1, "threads {threads}: {replan:?}");
+            assert!(replan.max_error >= 15.0, "threads {threads}: {replan:?}");
+            assert_eq!(adaptive.replan_stats(), Some(&replan));
+        }
+    }
+
+    #[test]
+    fn adaptive_lazy_walks_cut_intermediates_on_correlated_pairs() {
+        let (q, inst) = correlated_instance();
+        let m = q.num_relations();
+        let plan = Arc::new(crate::plan::JoinPlan::cost_based(&q, &inst).unwrap());
+        // Local-sensitivity-style workload: every size-(m-1) subset,
+        // consumed transiently (targets are not memoised; only the chain
+        // intermediates stay resident).
+        let targets: Vec<u32> = (0..m as u32)
+            .map(|r| ((1u32 << m) - 1) & !(1u32 << r))
+            .collect();
+        let static_cache = ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        let mut adaptive_cache =
+            ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        let config = PlanConfig::with_replan_ratio(8.0);
+        for &t in &targets {
+            let s = static_cache
+                .join_mask_transient(t, Parallelism::SEQUENTIAL)
+                .unwrap();
+            let a = adaptive_cache
+                .join_mask_transient_adaptive(t, Parallelism::SEQUENTIAL, &config)
+                .unwrap();
+            assert_eq!(a, s, "target {t:#b}");
+        }
+        let static_tuples = static_cache.cached_tuples();
+        let adaptive_tuples = adaptive_cache.cached_tuples();
+        // The headline acceptance bound: ≥1.5× fewer resident intermediate
+        // tuples on the correlated workload.
+        assert!(
+            2 * static_tuples >= 3 * adaptive_tuples,
+            "static {static_tuples} vs adaptive {adaptive_tuples}"
+        );
+    }
+
+    #[test]
+    fn adaptive_walks_stay_correct_under_stress_ratio() {
+        // Ratio 1: any deviation re-plans (the CI stress configuration).
+        let (q, inst) = correlated_instance();
+        let m = q.num_relations();
+        let plan = Arc::new(crate::plan::JoinPlan::cost_based(&q, &inst).unwrap());
+        let mut stress = ShardedSubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        let config = PlanConfig::with_replan_ratio(1.0);
+        let mut reference = SubJoinCache::with_plan(&q, &inst, Arc::clone(&plan)).unwrap();
+        let full = (1u32 << m) - 1;
+        for mask in 1u32..=full {
+            let a = stress
+                .join_mask_adaptive(mask, Parallelism::SEQUENTIAL, &config)
+                .unwrap();
+            assert_eq!(a.as_ref(), reference.join_mask(mask).unwrap(), "{mask:#b}");
+        }
     }
 
     #[test]

@@ -88,7 +88,9 @@ use crate::join::{
     fold_fully_packable, grouped_join_size_impl, join_encoded, join_impl, join_size_impl,
     join_subset_impl, JoinResult,
 };
-use crate::plan::{JoinPlan, PlanNodeStats, PlanStats, SharedJoinPlan, PLAN_MAX_RELATIONS};
+use crate::plan::{
+    JoinPlan, PlanConfig, PlanNodeStats, PlanStats, ReplanStats, SharedJoinPlan, PLAN_MAX_RELATIONS,
+};
 use crate::stream::{self, UpdateBatch, UpdateOp, UpdateStats};
 use crate::tuple::{AttrDictionary, Value};
 use crate::Result;
@@ -208,6 +210,10 @@ struct CacheSlot {
     /// The pair's cost-based decomposition plan (see [`crate::plan`]),
     /// shared by every sub-join cache checkout.
     join_plan: Option<SharedJoinPlan>,
+    /// Runtime-feedback diagnostics accumulated by adaptive checkouts over
+    /// this pair (see [`ReplanStats`]): carried out on checkout, merged back
+    /// on check-in, surfaced via [`ExecContext::plan_stats`].
+    replan: Option<ReplanStats>,
     /// The pair's attribute dictionary and encoded instance (see
     /// [`DictionaryState`]), built alongside the join plan on first use.
     dictionary: Option<Arc<DictionaryState>>,
@@ -268,6 +274,7 @@ impl CacheState {
             full_join: None,
             delta_plan: None,
             join_plan: None,
+            replan: None,
             dictionary: None,
             stream_index: FxHashMap::default(),
             last_used: clock,
@@ -301,6 +308,7 @@ pub struct ExecContext {
     parallelism: Parallelism,
     min_par_instance: usize,
     cache_slots: usize,
+    plan_config: PlanConfig,
     state: Mutex<CacheState>,
 }
 
@@ -319,6 +327,7 @@ impl ExecContext {
             parallelism,
             min_par_instance: DEFAULT_MIN_PAR_INSTANCE,
             cache_slots: DEFAULT_CACHE_SLOTS,
+            plan_config: PlanConfig::default(),
             state: Mutex::new(CacheState::default()),
         }
     }
@@ -356,6 +365,20 @@ impl ExecContext {
     /// The cache LRU's slot capacity.
     pub fn cache_slots(&self) -> usize {
         self.cache_slots
+    }
+
+    /// Sets the adaptive-planning knobs (default [`PlanConfig::default`],
+    /// which reads `DPSYN_REPLAN_RATIO` from the environment).  Consumers
+    /// running adaptive populates or walks over this context's checkouts
+    /// read the config via [`ExecContext::plan_config`].
+    pub fn with_plan_config(mut self, plan_config: PlanConfig) -> Self {
+        self.plan_config = plan_config;
+        self
+    }
+
+    /// The adaptive-planning knobs (see [`PlanConfig`]).
+    pub fn plan_config(&self) -> &PlanConfig {
+        &self.plan_config
     }
 
     /// The worker-thread knob.
@@ -591,22 +614,28 @@ impl ExecContext {
     ) -> Result<ShardedSubJoinCache<'a>> {
         let fp = instance_fingerprint(query, instance);
         let plan = self.join_plan_at(fp, query, instance)?;
-        let memo = {
+        let (memo, replan) = {
             let mut state = self.state.lock().expect("context cache poisoned");
             match state.slot_mut(fp) {
                 Some(slot) if !slot.lattice.is_empty() => {
-                    let memo = slot.lattice.clone();
+                    let out = (slot.lattice.clone(), slot.replan.clone());
                     state.hits += 1;
-                    memo
+                    out
                 }
-                _ => {
+                Some(slot) => {
+                    let out = (FxHashMap::default(), slot.replan.clone());
                     state.misses += 1;
-                    FxHashMap::default()
+                    out
+                }
+                None => {
+                    state.misses += 1;
+                    (FxHashMap::default(), None)
                 }
             }
         };
         let mut cache = ShardedSubJoinCache::with_memo_and_plan(query, instance, memo, plan)?;
         cache.fingerprint = Some(fp);
+        cache.replan = replan;
         Ok(cache)
     }
 
@@ -622,6 +651,7 @@ impl ExecContext {
             .fingerprint
             .unwrap_or_else(|| instance_fingerprint(cache.query(), cache.instance()));
         let plan = Arc::clone(cache.plan());
+        let replan = cache.replan.clone();
         let memo = cache.into_memo();
         let mut state = self.state.lock().expect("context cache poisoned");
         // Values for equal masks are equal under every decomposition (a
@@ -632,9 +662,21 @@ impl ExecContext {
         slot.lattice.extend(memo);
         // Persist the checkout's cost-based plan so the next checkout
         // decomposes identically without rebuilding it.  Hand-built
-        // fixed-prefix caches never displace a planner plan.
+        // fixed-prefix caches never displace a planner plan — but an
+        // adaptive checkout that actually re-planned supersedes the slot's
+        // stale-estimate plan, so the next checkout starts on the
+        // anchor-corrected decomposition.
         if plan.is_cost_based() {
-            slot.join_plan.get_or_insert(plan);
+            if replan.as_ref().map(|r| r.replans).unwrap_or(0) > 0 {
+                slot.join_plan = Some(plan);
+            } else {
+                slot.join_plan.get_or_insert(plan);
+            }
+        }
+        // The checkout's feedback stats started from the slot's (copied out
+        // at checkout), so storing them back is a merge, not a clobber.
+        if replan.is_some() {
+            slot.replan = replan;
         }
     }
 
@@ -735,8 +777,11 @@ impl ExecContext {
         batch: &UpdateBatch,
     ) -> Result<UpdateReport> {
         // Validate before touching the slot: a malformed batch must cost
-        // neither the instance nor the warm cache.
-        batch.check(query, instance)?;
+        // neither the instance nor the warm cache.  The net deltas double as
+        // the validation (read against pre-update frequencies — a delete
+        // checks what is currently stored) and are computed exactly once,
+        // shared by maintenance and the sketch patch below.
+        let deltas = batch.net_deltas(query, instance)?;
         let old_fp = instance_fingerprint(query, instance);
         let m = query.num_relations();
         // Masks address at most 31 relations; larger queries take the cold
@@ -748,7 +793,7 @@ impl ExecContext {
             None
         };
         let Some(mut slot) = slot else {
-            stream::apply_batch(query, instance, batch)?;
+            stream::apply_net_deltas(instance, &deltas);
             return Ok(UpdateReport {
                 old_fingerprint: old_fp,
                 new_fingerprint: instance_fingerprint(query, instance),
@@ -767,7 +812,15 @@ impl ExecContext {
         }
         let par = self.effective_parallelism(instance);
         let mut indexes = std::mem::take(&mut slot.stream_index);
-        let stats = stream::maintain_memo(query, instance, &mut memo, &mut indexes, batch, par)?;
+        let stats = stream::maintain_memo(
+            query,
+            instance,
+            &mut memo,
+            &mut indexes,
+            &deltas,
+            slot.join_plan.as_deref(),
+            par,
+        )?;
         let new_fp = instance_fingerprint(query, instance);
         // Dictionary: retained and re-applied when it still covers every
         // value, invalidated when an unseen value arrived (satellite fix:
@@ -816,14 +869,39 @@ impl ExecContext {
         if let Some(dict) = dictionary {
             new_slot.dictionary.get_or_insert(dict);
         }
-        // The retained cost-based plan is a stale-statistics but fully
-        // valid decomposition of the same query; values (and output bytes)
-        // are plan-independent, so keeping it trades optimality of *later*
-        // materialisations for skipping a statistics pass per batch.
+        // Patch the retained plan's sketch statistics from the batch's net
+        // deltas instead of keeping stale estimates (or re-gathering from
+        // scratch): inserts fold straight into the mergeable sketches and
+        // row counts are set exactly, so the migrated slot plans from
+        // current cardinalities at delta cost per batch.  Insert-only
+        // sketches cannot forget, so after net removals the distinct
+        // estimates become upper bounds — bounded drift the runtime
+        // re-plan feedback absorbs; only once a relation has lost a
+        // sizeable share of its rows is it re-gathered from scratch.
         if let Some(plan) = slot.join_plan.take() {
             if plan.is_cost_based() {
+                let patched = plan.stats().and_then(|stats| {
+                    let mut stats = stats.clone();
+                    for delta in &deltas {
+                        let r = delta.relation();
+                        let rows = instance.relation(r).distinct_count();
+                        if delta.removed_rows() * 4 >= rows.max(1) {
+                            stats.refresh_relation(instance, r);
+                        } else {
+                            stats.absorb_inserts(r, delta.added().keys().map(Vec::as_slice));
+                            stats.set_rows(r, rows);
+                        }
+                    }
+                    JoinPlan::from_stats(query, instance, stats).ok()
+                });
+                let plan = patched.map(Arc::new).unwrap_or(plan);
                 new_slot.join_plan.get_or_insert(plan);
             }
+        }
+        // Feedback stats describe estimate quality of the same query family;
+        // they ride the migration like the lattice does.
+        if let Some(replan) = slot.replan.take() {
+            new_slot.replan.get_or_insert(replan);
         }
         Ok(UpdateReport {
             old_fingerprint: old_fp,
@@ -869,15 +947,17 @@ impl ExecContext {
     pub fn plan_stats(&self, query: &JoinQuery, instance: &Instance) -> Result<PlanStats> {
         let fp = instance_fingerprint(query, instance);
         let plan = self.join_plan_at(fp, query, instance)?;
-        let actuals: FxHashMap<u32, usize> = {
+        let (actuals, replan): (FxHashMap<u32, usize>, Option<ReplanStats>) = {
             let mut state = self.state.lock().expect("context cache poisoned");
             match state.slot_mut(fp) {
-                Some(slot) => slot
-                    .lattice
-                    .iter()
-                    .map(|(&mask, result)| (mask, result.distinct_count()))
-                    .collect(),
-                None => FxHashMap::default(),
+                Some(slot) => (
+                    slot.lattice
+                        .iter()
+                        .map(|(&mask, result)| (mask, result.distinct_count()))
+                        .collect(),
+                    slot.replan.clone(),
+                ),
+                None => (FxHashMap::default(), None),
             }
         };
         let m = query.num_relations();
@@ -899,6 +979,7 @@ impl ExecContext {
             nodes,
             cached_masks: actuals.len(),
             cached_tuples: actuals.values().sum(),
+            replan,
         })
     }
 

@@ -48,16 +48,48 @@
 //! `iter_unordered` escape hatches expose the raw hash containers for hot
 //! paths that aggregate further; callers must not let their order escape.
 //!
+//! # Adaptive join planning
+//!
 //! [`SubJoinCache`] memoises sub-join results per subset bitmask so that
 //! `2^m`-subset enumerations (residual sensitivity, multi-relation degree
 //! statistics) perform one hash-join step per distinct subset instead of
 //! re-joining from the base relations each time.  *How* each subset
 //! decomposes into parent-plus-relation is owned by the cost-based join
-//! planner ([`plan`]): a [`JoinPlan`] built from cheap per-relation
-//! statistics picks, per subset, the pivot whose removal leaves the
-//! smallest estimated intermediate — shrinking every cached intermediate
-//! relative to the historical fixed highest-index chain, with values (and
-//! all downstream output bytes) unchanged.
+//! planner ([`plan`]), which runs a **gather → estimate → populate →
+//! measure → re-plan** lifecycle:
+//!
+//! 1. **Gather** — [`RelationStats::gather`] scans each relation once and
+//!    summarises per-attribute distinct counts into mergeable
+//!    [`DistinctSketch`]es (exact sets below a small threshold, promoting
+//!    to a dense HyperLogLog-style register array above it).  Gathering is
+//!    morsel-parallel under the stealing scheduler and the sketch merge is
+//!    associative and commutative, so the statistics — and therefore every
+//!    plan built from them — are identical at every worker count.
+//! 2. **Estimate** — [`JoinPlan::cost_based`] picks, per subset, the pivot
+//!    whose removal leaves the smallest estimated intermediate under the
+//!    classical independence assumption, shrinking every cached
+//!    intermediate relative to the historical fixed highest-index chain.
+//! 3. **Populate / measure** — as the cache materialises intermediates
+//!    ([`ShardedSubJoinCache::populate_proper_subsets_adaptive`], the
+//!    adaptive lazy walks [`ShardedSubJoinCache::join_mask_adaptive`] and
+//!    [`ShardedSubJoinCache::join_mask_transient_adaptive`]), each actual
+//!    cardinality is compared against its estimate.
+//! 4. **Re-plan** — when the worst estimate error exceeds
+//!    [`PlanConfig::replan_ratio`] (default [`DEFAULT_REPLAN_RATIO`],
+//!    overridable via the `DPSYN_REPLAN_RATIO` environment variable), the
+//!    not-yet-materialised remainder is re-planned with every measured
+//!    cardinality pinned as an exact anchor, routing later subsets around
+//!    correlation traps that independence estimates cannot see.  Feedback
+//!    counters surface as [`ReplanStats`] on [`PlanStats`].
+//!
+//! Re-planning never changes *values*: plans only choose decomposition
+//! order, so adaptive output bytes are identical to the static planner and
+//! the naive oracle at every thread count.  Streaming updates keep the
+//! statistics warm instead of re-gathering: sketches absorb inserted
+//! tuples incrementally, row counts are patched exactly, and deletions —
+//! which insert-only sketches cannot subtract — leave the distinct
+//! estimates as upper bounds (drift the re-plan feedback absorbs) until a
+//! relation has lost enough rows to warrant a single-relation re-gather.
 //!
 //! # Parallel execution
 //!
@@ -164,7 +196,8 @@ pub use join::{
     join_subset, JoinResult, ProbeMode,
 };
 pub use plan::{
-    JoinPlan, PlanNodeStats, PlanStats, RelationStats, SharedJoinPlan, PLAN_MAX_RELATIONS,
+    DistinctSketch, JoinPlan, PlanConfig, PlanNodeStats, PlanStats, RelationStats, ReplanStats,
+    SharedJoinPlan, DEFAULT_REPLAN_RATIO, PLAN_MAX_RELATIONS,
 };
 pub use relation::Relation;
 pub use stream::{apply_batch, UpdateBatch, UpdateOp, UpdateStats};

@@ -1,5 +1,5 @@
 //! Cost-based join planning: boundary-aware decomposition of the sub-join
-//! lattice.
+//! lattice, with sketch-based statistics and runtime-feedback re-planning.
 //!
 //! Every sub-join the engine materialises — the `2^m` subset lattice behind
 //! residual sensitivity, the size-`(m-1)` joins of local sensitivity, the
@@ -14,13 +14,38 @@
 //!
 //! A [`JoinPlan`] replaces that fixed rule with a **cost-based decomposition
 //! DAG** in the spirit of Selinger-style optimizers, shrunk to the lattice
-//! setting: cheap per-relation statistics ([`RelationStats`]: tuple counts
-//! and per-attribute distinct counts, gathered in one pass over the
-//! instance) feed textbook independence estimates of every subset's join
-//! cardinality, and each subset's parent is chosen to minimise the estimated
-//! intermediate it must materialise.  The plan also records the engine's
-//! greedy [`fold_order`] for the top-level join, so callers can inspect the
-//! complete evaluation strategy through [`PlanStats`].
+//! setting.  The lifecycle is gather → estimate → populate → measure →
+//! re-plan:
+//!
+//! 1. **Gather.** [`RelationStats::gather`] sweeps each relation once and
+//!    summarises every attribute with a [`DistinctSketch`] — a hand-rolled
+//!    mergeable HyperLogLog-style sketch (exact below
+//!    [`DistinctSketch::EXACT_LIMIT`] values, `2^12` one-byte registers
+//!    above it).  Sketch merging is associative, commutative and
+//!    idempotent, so the gather splits relations into morsels for the
+//!    stealing scheduler and merges partial sketches back in relation
+//!    order: the statistics — and therefore the plan — are identical at
+//!    every thread count.
+//! 2. **Estimate.** Textbook independence estimates built from the sketches
+//!    price every subset's join cardinality bottom-up over the lattice, and
+//!    each subset's parent is chosen to minimise the estimated intermediate
+//!    it must materialise.
+//! 3. **Populate / measure.** As the cache materialises subsets
+//!    ([`crate::ShardedSubJoinCache::populate_proper_subsets`]), each
+//!    actual cardinality is compared against its estimate.
+//! 4. **Re-plan.** When the error factor `max(actual/est, est/actual)`
+//!    exceeds [`PlanConfig::replan_ratio`], the not-yet-materialised
+//!    remainder of the lattice is re-planned with the measured
+//!    cardinalities as exact anchors ([`JoinPlan::replanned`]); the
+//!    feedback loop is summarised in [`ReplanStats`].
+//!
+//! On streaming updates, [`crate::ExecContext::apply_updates`] patches the
+//! sketches incrementally from the update batch's net per-relation deltas
+//! and rebuilds the plan from the patched statistics — no full statistics
+//! pass per batch.  Sketches are insert-only, so net removals leave the
+//! distinct estimates as upper bounds (bounded drift the re-plan feedback
+//! absorbs); a relation that has lost a sizeable share of its rows is
+//! re-gathered from scratch.
 //!
 //! ### Where the plan lives
 //!
@@ -42,18 +67,23 @@
 //! astronomically large joins), and every consumer of the lattice reads it
 //! through order-free aggregates or sorted emits.  The plan itself is a
 //! pure function of the query and the instance statistics — no randomness,
-//! no thread-count dependence — so warm, cold, sequential and parallel
-//! callers all decompose identically, and outputs stay byte-identical to
-//! the fixed-prefix path and to [`crate::naive`].
+//! no thread-count dependence — and re-planning decisions compare
+//! thread-count-invariant actual cardinalities against
+//! thread-count-invariant estimates at level barriers, so warm, cold,
+//! sequential, parallel, static and adaptive callers all produce
+//! byte-identical outputs (adaptive ≡ static ≡ naive is property-tested).
 
+use std::hash::Hasher;
 use std::sync::Arc;
 
 use crate::attr::AttrId;
 use crate::error::RelationalError;
 use crate::exec::{self, Parallelism};
+use crate::hash::{FxHashMap, FxHashSet, FxHasher};
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
 use crate::join::fold_order;
+use crate::tuple::Value;
 use crate::Result;
 
 /// Largest relation count for which the planner enumerates the full `2^m`
@@ -61,16 +91,303 @@ use crate::Result;
 /// the fixed-prefix chain — the table alone would dwarf the joins).
 pub const PLAN_MAX_RELATIONS: usize = 16;
 
-/// Cheap per-relation statistics feeding the planner's cost model: gathered
-/// in one pass over the instance, cached per fingerprint by
-/// [`crate::ExecContext`] (inside the plan they produce).
+/// Rows per statistics-gather morsel: relations larger than this are split
+/// into independent chunks for the worker pool, whose partial sketches are
+/// merged back in morsel order (the merge is order-independent anyway).
+const GATHER_MORSEL_ROWS: usize = 1 << 16;
+
+/// Register-index bits of the HyperLogLog representation (`2^12 = 4096`
+/// registers, ~1.6 % standard relative error).
+const SKETCH_PRECISION: u32 = 12;
+
+/// Number of HyperLogLog registers (`2^SKETCH_PRECISION`).
+const SKETCH_REGISTERS: usize = 1 << SKETCH_PRECISION;
+
+/// A mergeable distinct-count sketch: exact below a small threshold, a
+/// hand-rolled HyperLogLog above it.
+///
+/// Small attribute domains — the common case for the finite-domain
+/// instances this engine serves — stay **exact**: the sketch stores the set
+/// of value hashes until it exceeds [`Self::EXACT_LIMIT`], then promotes to
+/// `2^12` one-byte max-rank registers, keeping memory fixed (~4 KiB) and
+/// the relative error near 1.6 % no matter how many million values stream
+/// through.
+///
+/// Hashing is deterministic — the engine's [`FxHasher`] followed by a
+/// SplitMix64-style avalanche finaliser (Fx alone is too regular in its low
+/// bits for rank statistics) — and both representations are pure functions
+/// of the *set* of inserted values.  Promotion folds the stored hashes into
+/// the registers with the same register-wise `max`, so [`Self::merge`] is
+/// associative, commutative and idempotent regardless of the order morsels
+/// finish in: merged sketches are identical at every thread count.
+///
+/// The sketch is insert-only (registers cannot forget): after deletions the
+/// estimate is an upper bound on the surviving distinct count — bounded
+/// drift the runtime re-plan feedback absorbs — until the affected relation
+/// is re-gathered ([`RelationStats::refresh_relation`]).
+#[derive(Debug, Clone)]
+pub struct DistinctSketch {
+    repr: SketchRepr,
+}
+
+#[derive(Debug, Clone)]
+enum SketchRepr {
+    /// Hashes of every inserted value, while the set is small.
+    Exact(FxHashSet<u64>),
+    /// HyperLogLog max-rank registers, one byte each.
+    Hll(Vec<u8>),
+}
+
+impl Default for DistinctSketch {
+    fn default() -> Self {
+        DistinctSketch::new()
+    }
+}
+
+impl DistinctSketch {
+    /// Distinct-value threshold below which the sketch stays exact.
+    pub const EXACT_LIMIT: usize = 1024;
+
+    /// An empty sketch (exact representation).
+    pub fn new() -> Self {
+        DistinctSketch {
+            repr: SketchRepr::Exact(FxHashSet::default()),
+        }
+    }
+
+    /// The deterministic 64-bit hash a value contributes: [`FxHasher`]
+    /// mixed through a SplitMix64-style finaliser so every bit avalanches.
+    fn hash_value(v: Value) -> u64 {
+        let mut fx = FxHasher::default();
+        fx.write_u64(v);
+        let mut x = fx.finish();
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x
+    }
+
+    /// Folds one value hash into a register array: the top
+    /// [`SKETCH_PRECISION`] bits pick the register, the rank is the
+    /// position of the first set bit among the remaining bits.
+    fn fold_hash(regs: &mut [u8], h: u64) {
+        let idx = (h >> (64 - SKETCH_PRECISION)) as usize;
+        let rest = h << SKETCH_PRECISION;
+        let rank = (rest.leading_zeros() + 1).min(64 - SKETCH_PRECISION + 1) as u8;
+        if regs[idx] < rank {
+            regs[idx] = rank;
+        }
+    }
+
+    /// Promotes an exact hash set into HyperLogLog registers.
+    fn promoted(hashes: &FxHashSet<u64>) -> Vec<u8> {
+        let mut regs = vec![0u8; SKETCH_REGISTERS];
+        for &h in hashes {
+            DistinctSketch::fold_hash(&mut regs, h);
+        }
+        regs
+    }
+
+    /// Records one value.  Duplicate inserts are no-ops in both
+    /// representations.
+    pub fn insert(&mut self, v: Value) {
+        let h = DistinctSketch::hash_value(v);
+        match &mut self.repr {
+            SketchRepr::Exact(set) => {
+                set.insert(h);
+                if set.len() > Self::EXACT_LIMIT {
+                    self.repr = SketchRepr::Hll(DistinctSketch::promoted(set));
+                }
+            }
+            SketchRepr::Hll(regs) => DistinctSketch::fold_hash(regs, h),
+        }
+    }
+
+    /// Merges another sketch into this one.  Associative, commutative and
+    /// idempotent: the result depends only on the union of inserted values,
+    /// never on merge order — the property that keeps morsel-parallel
+    /// statistics gathering thread-count-invariant.
+    pub fn merge(&mut self, other: &DistinctSketch) {
+        match (&mut self.repr, &other.repr) {
+            (SketchRepr::Exact(a), SketchRepr::Exact(b)) => {
+                a.extend(b.iter().copied());
+                if a.len() > Self::EXACT_LIMIT {
+                    self.repr = SketchRepr::Hll(DistinctSketch::promoted(a));
+                }
+            }
+            (SketchRepr::Exact(a), SketchRepr::Hll(b)) => {
+                let mut regs = DistinctSketch::promoted(a);
+                for (r, &o) in regs.iter_mut().zip(b.iter()) {
+                    *r = (*r).max(o);
+                }
+                self.repr = SketchRepr::Hll(regs);
+            }
+            (SketchRepr::Hll(regs), SketchRepr::Exact(b)) => {
+                for &h in b.iter() {
+                    DistinctSketch::fold_hash(regs, h);
+                }
+            }
+            (SketchRepr::Hll(a), SketchRepr::Hll(b)) => {
+                for (r, &o) in a.iter_mut().zip(b.iter()) {
+                    *r = (*r).max(o);
+                }
+            }
+        }
+    }
+
+    /// Whether the sketch is still in its exact representation (estimates
+    /// are then exact counts).
+    pub fn is_exact(&self) -> bool {
+        matches!(self.repr, SketchRepr::Exact(_))
+    }
+
+    /// The estimated distinct count: exact while small, the standard
+    /// HyperLogLog estimator (with the linear-counting small-range
+    /// correction) after promotion.
+    pub fn estimate(&self) -> u64 {
+        match &self.repr {
+            SketchRepr::Exact(set) => set.len() as u64,
+            SketchRepr::Hll(regs) => {
+                let m = SKETCH_REGISTERS as f64;
+                let alpha = 0.7213 / (1.0 + 1.079 / m);
+                let mut inv_sum = 0.0f64;
+                let mut zeros = 0usize;
+                for &r in regs.iter() {
+                    inv_sum += 1.0 / (1u64 << r) as f64;
+                    if r == 0 {
+                        zeros += 1;
+                    }
+                }
+                let raw = alpha * m * m / inv_sum;
+                let est = if raw <= 2.5 * m && zeros > 0 {
+                    m * (m / zeros as f64).ln()
+                } else {
+                    raw
+                };
+                est.round() as u64
+            }
+        }
+    }
+}
+
+/// Default [`PlanConfig::replan_ratio`]: re-plan when a subset's actual
+/// cardinality is off from its estimate by more than 8× either way.
+pub const DEFAULT_REPLAN_RATIO: f64 = 8.0;
+
+/// Knobs of the adaptive planning layer.
+///
+/// Carried by [`crate::ExecContext`] (see
+/// [`crate::ExecContext::with_plan_config`]) and threaded into every
+/// populate of the sub-join lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanConfig {
+    /// Estimate-error factor that triggers a re-plan: when a materialised
+    /// subset's `max(actual/estimate, estimate/actual)` exceeds this ratio,
+    /// the not-yet-materialised remainder of the lattice is re-planned with
+    /// measured cardinalities as exact anchors.  Must be ≥ 1; `1.0` re-plans
+    /// on any deviation (the CI stress setting), `f64::INFINITY` disables
+    /// re-planning.  Defaults to [`DEFAULT_REPLAN_RATIO`], overridable with
+    /// the `DPSYN_REPLAN_RATIO` environment variable.
+    pub replan_ratio: f64,
+}
+
+impl Default for PlanConfig {
+    /// Reads `DPSYN_REPLAN_RATIO` (falling back to
+    /// [`DEFAULT_REPLAN_RATIO`]), same as [`PlanConfig::from_env`].
+    fn default() -> Self {
+        PlanConfig::from_env()
+    }
+}
+
+impl PlanConfig {
+    /// A config with an explicit re-plan ratio (clamped up to 1), ignoring
+    /// the environment.
+    pub fn with_replan_ratio(replan_ratio: f64) -> Self {
+        PlanConfig {
+            replan_ratio: if replan_ratio.is_nan() {
+                DEFAULT_REPLAN_RATIO
+            } else {
+                replan_ratio.max(1.0)
+            },
+        }
+    }
+
+    /// Reads the config from the environment: `DPSYN_REPLAN_RATIO` (a float
+    /// ≥ 1) overrides [`DEFAULT_REPLAN_RATIO`]; unset, empty or invalid
+    /// values fall back to the default.
+    pub fn from_env() -> Self {
+        let ratio = std::env::var("DPSYN_REPLAN_RATIO")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|r| !r.is_nan() && *r >= 1.0)
+            .unwrap_or(DEFAULT_REPLAN_RATIO);
+        PlanConfig {
+            replan_ratio: ratio,
+        }
+    }
+}
+
+/// Feedback-loop diagnostics from one adaptive populate of the lattice:
+/// how far the estimates were off, how often the re-plan threshold fired,
+/// and what the re-plans changed.  Recorded on the context's LRU slot and
+/// surfaced through [`PlanStats::replan`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplanStats {
+    /// Materialised subsets whose actual cardinality was compared against a
+    /// planner estimate.
+    pub measured: usize,
+    /// Of those, how many breached [`PlanConfig::replan_ratio`].
+    pub triggers: usize,
+    /// Re-planning rounds executed (at most one per lattice level or lazy
+    /// chain step, however many subsets breached in it).
+    pub replans: usize,
+    /// Not-yet-materialised subsets whose pivot changed across all re-plans.
+    pub pivots_changed: usize,
+    /// Largest observed error factor `max(actual/est, est/actual)`.
+    pub max_error: f64,
+    /// Mean error factor over all measured subsets.
+    pub mean_error: f64,
+}
+
+impl ReplanStats {
+    /// Records one measured subset's error factor.
+    pub(crate) fn record_error(&mut self, err: f64) {
+        self.measured += 1;
+        self.max_error = self.max_error.max(err);
+        self.mean_error += (err - self.mean_error) / self.measured as f64;
+    }
+
+    /// Accumulates another populate's stats into this one (weighted mean,
+    /// max of maxima, sums elsewhere).
+    pub fn absorb(&mut self, other: &ReplanStats) {
+        let total = self.measured + other.measured;
+        if total > 0 {
+            self.mean_error = (self.mean_error * self.measured as f64
+                + other.mean_error * other.measured as f64)
+                / total as f64;
+        }
+        self.measured = total;
+        self.triggers += other.triggers;
+        self.replans += other.replans;
+        self.pivots_changed += other.pivots_changed;
+        self.max_error = self.max_error.max(other.max_error);
+    }
+}
+
+/// Per-relation statistics feeding the planner's cost model: exact row
+/// counts plus a [`DistinctSketch`] per attribute, gathered in one
+/// streaming pass over the instance and cached (inside the plan they
+/// produce) per fingerprint by [`crate::ExecContext`].
 #[derive(Debug, Clone)]
 pub struct RelationStats {
-    /// Distinct tuple count per relation.
+    /// Distinct tuple count per relation (exact — the relation stores
+    /// distinct tuples with frequencies, so this is just its length).
     rows: Vec<usize>,
-    /// Per relation: distinct value count per attribute, aligned with the
-    /// relation's (sorted) attribute list.
-    distinct: Vec<Vec<(AttrId, u64)>>,
+    /// Per relation: a distinct-count sketch per attribute, aligned with
+    /// the relation's (sorted) attribute list.
+    distinct: Vec<Vec<(AttrId, DistinctSketch)>>,
 }
 
 impl RelationStats {
@@ -79,10 +396,11 @@ impl RelationStats {
         RelationStats::gather_with(query, instance, Parallelism::SEQUENTIAL)
     }
 
-    /// [`Self::gather`] with relations swept through the worker pool: each
-    /// relation's pass is independent, so workers claim relations by
-    /// stealing.  Results are merged in relation order — identical to the
-    /// sequential gather at every thread count.
+    /// [`Self::gather`] with the pass swept through the worker pool: each
+    /// relation is split into `GATHER_MORSEL_ROWS`-row morsels claimed by
+    /// stealing, and the partial sketches are merged back in relation (and
+    /// morsel) order.  Sketch merging is order-independent, so the result
+    /// is identical to the sequential gather at every thread count.
     pub fn gather_with(query: &JoinQuery, instance: &Instance, par: Parallelism) -> Result<Self> {
         if instance.num_relations() != query.num_relations() {
             return Err(RelationalError::RelationCountMismatch {
@@ -90,47 +408,118 @@ impl RelationStats {
                 got: instance.num_relations(),
             });
         }
-        let per_relation = exec::par_map(par, instance.num_relations(), |i| {
-            let rel = instance.relation(i);
-            let attrs = rel.attrs();
-            let mut seen: Vec<crate::hash::FxHashSet<u64>> = attrs
+        let m = instance.num_relations();
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for r in 0..m {
+            let morsels = instance
+                .relation(r)
+                .distinct_count()
+                .div_ceil(GATHER_MORSEL_ROWS)
+                .max(1);
+            for j in 0..morsels {
+                tasks.push((r, j));
+            }
+        }
+        let partials = exec::par_map(par, tasks.len(), |i| {
+            let (r, j) = tasks[i];
+            let rel = instance.relation(r);
+            let mut sketches: Vec<DistinctSketch> =
+                rel.attrs().iter().map(|_| DistinctSketch::new()).collect();
+            for (t, _) in rel
                 .iter()
-                .map(|_| crate::hash::FxHashSet::default())
-                .collect();
-            for (t, _) in rel.iter() {
+                .skip(j * GATHER_MORSEL_ROWS)
+                .take(GATHER_MORSEL_ROWS)
+            {
                 for (pos, &v) in t.iter().enumerate() {
-                    seen[pos].insert(v);
+                    sketches[pos].insert(v);
                 }
             }
-            let distinct: Vec<(AttrId, u64)> = attrs
-                .iter()
-                .zip(&seen)
-                .map(|(&a, s)| (a, s.len() as u64))
-                .collect();
-            (rel.distinct_count(), distinct)
+            sketches
         });
-        let mut rows = Vec::with_capacity(per_relation.len());
-        let mut distinct = Vec::with_capacity(per_relation.len());
-        for (r, d) in per_relation {
-            rows.push(r);
-            distinct.push(d);
+        let mut distinct: Vec<Vec<(AttrId, DistinctSketch)>> = (0..m)
+            .map(|r| {
+                instance
+                    .relation(r)
+                    .attrs()
+                    .iter()
+                    .map(|&a| (a, DistinctSketch::new()))
+                    .collect()
+            })
+            .collect();
+        for (i, partial) in partials.into_iter().enumerate() {
+            let (r, _) = tasks[i];
+            for (slot, sketch) in distinct[r].iter_mut().zip(partial) {
+                slot.1.merge(&sketch);
+            }
         }
+        let rows = (0..m)
+            .map(|r| instance.relation(r).distinct_count())
+            .collect();
         Ok(RelationStats { rows, distinct })
     }
 
-    /// Distinct tuple count of relation `r`.
+    /// Number of relations the statistics cover.
+    pub fn num_relations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Distinct tuple count of relation `r` (exact).
     pub fn rows(&self, r: usize) -> usize {
         self.rows[r]
     }
 
-    /// Distinct value count of attribute `attr` within relation `r` (zero if
-    /// the relation does not carry the attribute).
+    /// Estimated distinct value count of attribute `attr` within relation
+    /// `r` (zero if the relation does not carry the attribute; exact while
+    /// the attribute's sketch is below [`DistinctSketch::EXACT_LIMIT`]).
     pub fn distinct(&self, r: usize, attr: AttrId) -> u64 {
         self.distinct[r]
             .iter()
             .find(|&&(a, _)| a == attr)
-            .map(|&(_, d)| d)
+            .map(|(_, s)| s.estimate())
             .unwrap_or(0)
+    }
+
+    /// Folds newly inserted tuples of relation `r` into its per-attribute
+    /// sketches — the streaming-update fast path (one sketch insert per
+    /// value, no relation scan).  Sketches are insert-only: tuples *removed*
+    /// by an update cannot be subtracted here, so after net removals the
+    /// distinct estimates become upper bounds — bounded drift the runtime
+    /// re-plan feedback absorbs.  Call [`Self::refresh_relation`] to restore
+    /// exactness once removals pile up.
+    pub fn absorb_inserts<'a, I>(&mut self, r: usize, tuples: I)
+    where
+        I: IntoIterator<Item = &'a [Value]>,
+    {
+        for t in tuples {
+            for (pos, &v) in t.iter().enumerate() {
+                if let Some(slot) = self.distinct[r].get_mut(pos) {
+                    slot.1.insert(v);
+                }
+            }
+        }
+    }
+
+    /// Records relation `r`'s exact post-update row count.
+    pub fn set_rows(&mut self, r: usize, rows: usize) {
+        self.rows[r] = rows;
+    }
+
+    /// Re-gathers relation `r`'s statistics from scratch — required after
+    /// net removals, which the insert-only sketches cannot express.
+    pub fn refresh_relation(&mut self, instance: &Instance, r: usize) {
+        let rel = instance.relation(r);
+        let mut sketches: Vec<(AttrId, DistinctSketch)> = rel
+            .attrs()
+            .iter()
+            .map(|&a| (a, DistinctSketch::new()))
+            .collect();
+        for (t, _) in rel.iter() {
+            for (pos, &v) in t.iter().enumerate() {
+                sketches[pos].1.insert(v);
+            }
+        }
+        self.distinct[r] = sketches;
+        self.rows[r] = rel.distinct_count();
     }
 }
 
@@ -154,10 +543,130 @@ enum Decomposition {
     CostBased(Vec<PlanNode>),
 }
 
+/// Builds the full bottom-up decomposition table from per-relation
+/// statistics.  `anchors` maps already-materialised subset masks to their
+/// **actual** cardinalities, which override the independence estimates —
+/// the runtime-feedback hook: children of an anchored subset estimate from
+/// measured truth instead of compounding a bad guess.
+///
+/// Anchors also propagate **upward** as a monotone floor: an unanchored
+/// mask's estimate is raised to the largest measured cardinality among its
+/// anchored subsets (computed with a subset-max DP, `O(2^m · m)`).  Without
+/// this, a correlated attribute pair that fooled the independence estimate
+/// on one measured mask keeps fooling it on every sibling route that joins
+/// the same pair of relations along a different chain — the floor is how
+/// one measurement disqualifies the whole family of trap routes.  Joins can
+/// in principle shrink below a subset's cardinality, so the floor is a
+/// heuristic, not a bound; estimates only ever steer routing, never values.
+fn build_nodes(
+    query: &JoinQuery,
+    stats: &RelationStats,
+    anchors: &FxHashMap<u32, f64>,
+) -> Vec<PlanNode> {
+    let m = query.num_relations();
+    // For each attribute, the bitmask of relations carrying it.
+    let mut attr_rels: FxHashMap<AttrId, u32> = FxHashMap::default();
+    for (r, attrs) in query.relations().iter().enumerate() {
+        for &a in attrs {
+            *attr_rels.entry(a).or_insert(0) |= 1u32 << r;
+        }
+    }
+    // Distinct-count estimate of attribute `a` within the sub-join of
+    // `mask`: joins only ever filter values, so the tightest per-relation
+    // count is an upper bound (the standard independence estimate).
+    let v_of = |mask: u32, a: AttrId| -> f64 {
+        let carriers = attr_rels.get(&a).copied().unwrap_or(0) & mask;
+        let mut best = f64::INFINITY;
+        let mut bits = carriers;
+        while bits != 0 {
+            let r = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            best = best.min(stats.distinct(r, a) as f64);
+        }
+        best
+    };
+
+    let full_count = 1usize << m;
+    let mut nodes = vec![
+        PlanNode {
+            pivot: 0,
+            est_rows: 0.0
+        };
+        full_count
+    ];
+    // Subset-max DP over the anchors: `floor[mask]` is the largest anchored
+    // cardinality among `mask`'s (improper) subsets, built alongside the
+    // nodes in the same bottom-up sweep.
+    let mut floor = vec![0.0f64; full_count];
+    // Bottom-up over popcount: every proper sub-mask of `mask` is
+    // already planned when `mask` is visited.
+    for count in 1..=m as u32 {
+        for mask in 1u32..full_count as u32 {
+            if mask.count_ones() != count {
+                continue;
+            }
+            let mut fl = 0.0f64;
+            let mut bits = mask;
+            while bits != 0 {
+                let p = bits.trailing_zeros();
+                bits &= bits - 1;
+                fl = fl.max(floor[(mask & !(1u32 << p)) as usize]);
+            }
+            let anchored = anchors.get(&mask).copied();
+            floor[mask as usize] = fl.max(anchored.unwrap_or(0.0));
+            if count == 1 {
+                let r = mask.trailing_zeros() as usize;
+                nodes[mask as usize] = PlanNode {
+                    pivot: r as u8,
+                    est_rows: anchored.unwrap_or(stats.rows(r) as f64),
+                };
+                continue;
+            }
+            let mut best: Option<(f64, f64, usize)> = None;
+            let mut bits = mask;
+            while bits != 0 {
+                let p = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let parent = mask & !(1u32 << p);
+                let parent_est = nodes[parent as usize].est_rows;
+                // |parent ⋈ R_p| ≈ |parent|·|R_p| / Π_a max(V(parent, a), V(p, a))
+                // over the shared attributes a — the classic independence
+                // estimate; disconnected pivots divide by nothing and
+                // price the cross product honestly.
+                let mut denom = 1.0f64;
+                for &a in query.relation_attrs(p) {
+                    let others = attr_rels.get(&a).copied().unwrap_or(0) & parent;
+                    if others != 0 {
+                        denom *= v_of(parent, a).max(stats.distinct(p, a) as f64).max(1.0);
+                    }
+                }
+                let step_est = parent_est * stats.rows(p) as f64 / denom;
+                let candidate = (parent_est, step_est, p);
+                let better = match best {
+                    None => true,
+                    Some(b) => candidate < b,
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            let (_, est_rows, pivot) = best.expect("non-empty mask has a pivot");
+            nodes[mask as usize] = PlanNode {
+                pivot: pivot as u8,
+                est_rows: anchored.unwrap_or_else(|| est_rows.max(fl)),
+            };
+        }
+    }
+    nodes
+}
+
 /// A join plan: per-subset decomposition choice (which relation each subset
 /// peels off, with the estimated intermediate cardinalities that justified
-/// it) plus the greedy fold order of the top-level join.  See the module
-/// docs for where plans are built and shared.
+/// it) plus the greedy fold order of the top-level join.  Cost-based plans
+/// carry the [`RelationStats`] they were built from, so streaming updates
+/// can patch the statistics and re-planning can re-price the lattice
+/// without a fresh gather.  See the module docs for where plans are built
+/// and shared.
 #[derive(Debug)]
 pub struct JoinPlan {
     num_relations: usize,
@@ -166,6 +675,9 @@ pub struct JoinPlan {
     /// connectivity-aware order, recorded for inspection).  Empty when the
     /// plan was built without instance statistics.
     top_order: Vec<usize>,
+    /// The statistics the plan was priced from (absent on bare
+    /// fixed-prefix plans).
+    stats: Option<RelationStats>,
 }
 
 impl JoinPlan {
@@ -177,6 +689,7 @@ impl JoinPlan {
             num_relations,
             decomp: Decomposition::FixedPrefix,
             top_order: Vec::new(),
+            stats: None,
         }
     }
 
@@ -200,8 +713,26 @@ impl JoinPlan {
         instance: &Instance,
         par: Parallelism,
     ) -> Result<Self> {
-        let m = query.num_relations();
         let stats = RelationStats::gather_with(query, instance, par)?;
+        JoinPlan::from_stats(query, instance, stats)
+    }
+
+    /// Builds the cost-based plan from already-gathered statistics — the
+    /// streaming-update path, where [`crate::ExecContext::apply_updates`]
+    /// patches the previous plan's sketches from the batch delta and
+    /// re-prices the lattice without touching the relations again.
+    pub fn from_stats(
+        query: &JoinQuery,
+        instance: &Instance,
+        stats: RelationStats,
+    ) -> Result<Self> {
+        let m = query.num_relations();
+        if stats.num_relations() != m {
+            return Err(RelationalError::RelationCountMismatch {
+                expected: m,
+                got: stats.num_relations(),
+            });
+        }
         let all: Vec<usize> = (0..m).collect();
         let top_order = fold_order(instance, &all);
         if m > PLAN_MAX_RELATIONS {
@@ -209,94 +740,45 @@ impl JoinPlan {
                 num_relations: m,
                 decomp: Decomposition::FixedPrefix,
                 top_order,
+                stats: Some(stats),
             });
         }
-
-        // For each attribute, the bitmask of relations carrying it.
-        let mut attr_rels: crate::hash::FxHashMap<AttrId, u32> = crate::hash::FxHashMap::default();
-        for (r, attrs) in query.relations().iter().enumerate() {
-            for &a in attrs {
-                *attr_rels.entry(a).or_insert(0) |= 1u32 << r;
-            }
-        }
-        // Distinct-count estimate of attribute `a` within the sub-join of
-        // `mask`: joins only ever filter values, so the tightest per-relation
-        // count is an upper bound (the standard independence estimate).
-        let v_of = |mask: u32, a: AttrId| -> f64 {
-            let carriers = attr_rels.get(&a).copied().unwrap_or(0) & mask;
-            let mut best = f64::INFINITY;
-            let mut bits = carriers;
-            while bits != 0 {
-                let r = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                best = best.min(stats.distinct(r, a) as f64);
-            }
-            best
-        };
-
-        let full_count = 1usize << m;
-        let mut nodes = vec![
-            PlanNode {
-                pivot: 0,
-                est_rows: 0.0
-            };
-            full_count
-        ];
-        // Bottom-up over popcount: every proper sub-mask of `mask` is
-        // already planned when `mask` is visited.
-        for count in 1..=m as u32 {
-            for mask in 1u32..full_count as u32 {
-                if mask.count_ones() != count {
-                    continue;
-                }
-                if count == 1 {
-                    let r = mask.trailing_zeros() as usize;
-                    nodes[mask as usize] = PlanNode {
-                        pivot: r as u8,
-                        est_rows: stats.rows(r) as f64,
-                    };
-                    continue;
-                }
-                let mut best: Option<(f64, f64, usize)> = None;
-                let mut bits = mask;
-                while bits != 0 {
-                    let p = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let parent = mask & !(1u32 << p);
-                    let parent_est = nodes[parent as usize].est_rows;
-                    // |parent ⋈ R_p| ≈ |parent|·|R_p| / Π_a max(V(parent, a), V(p, a))
-                    // over the shared attributes a — the classic independence
-                    // estimate; disconnected pivots divide by nothing and
-                    // price the cross product honestly.
-                    let mut denom = 1.0f64;
-                    for &a in query.relation_attrs(p) {
-                        let others = attr_rels.get(&a).copied().unwrap_or(0) & parent;
-                        if others != 0 {
-                            denom *= v_of(parent, a).max(stats.distinct(p, a) as f64).max(1.0);
-                        }
-                    }
-                    let step_est = parent_est * stats.rows(p) as f64 / denom;
-                    let candidate = (parent_est, step_est, p);
-                    let better = match best {
-                        None => true,
-                        Some(b) => candidate < b,
-                    };
-                    if better {
-                        best = Some(candidate);
-                    }
-                }
-                let (_, est_rows, pivot) = best.expect("non-empty mask has a pivot");
-                nodes[mask as usize] = PlanNode {
-                    pivot: pivot as u8,
-                    est_rows,
-                };
-            }
-        }
+        let nodes = build_nodes(query, &stats, &FxHashMap::default());
         Ok(JoinPlan {
             num_relations: m,
             decomp: Decomposition::CostBased(nodes),
             top_order,
+            stats: Some(stats),
         })
+    }
+
+    /// Re-prices the whole decomposition table with measured cardinalities
+    /// as exact anchors: each mask in `anchors` takes its actual row count
+    /// instead of the independence estimate, anchored cardinalities
+    /// propagate to supersets as a monotone floor (see `build_nodes`), and
+    /// every not-yet-materialised subset re-chooses its pivot against the
+    /// corrected costs.  Returns
+    /// `None` when the plan carries no statistics (fixed-prefix plans have
+    /// nothing to re-price).  Values are plan-invariant, so swapping a
+    /// re-planned decomposition in mid-populate never changes results —
+    /// only which intermediates get built.
+    pub fn replanned(&self, query: &JoinQuery, anchors: &FxHashMap<u32, f64>) -> Option<JoinPlan> {
+        let stats = self.stats.as_ref()?;
+        if !self.is_cost_based() {
+            return None;
+        }
+        let nodes = build_nodes(query, stats, anchors);
+        Some(JoinPlan {
+            num_relations: self.num_relations,
+            decomp: Decomposition::CostBased(nodes),
+            top_order: self.top_order.clone(),
+            stats: Some(stats.clone()),
+        })
+    }
+
+    /// The statistics the plan was priced from, when it carries them.
+    pub fn stats(&self) -> Option<&RelationStats> {
+        self.stats.as_ref()
     }
 
     /// Number of relations the plan covers.
@@ -374,8 +856,9 @@ pub type SharedJoinPlan = Arc<JoinPlan>;
 
 /// Planner diagnostics for one `(query, instance)` pair: the decomposition
 /// choices with estimated and (where materialised) actual intermediate
-/// cardinalities.  Produced by [`crate::ExecContext::plan_stats`] /
-/// `dpsyn::Session::plan_stats`.
+/// cardinalities, plus the adaptive feedback loop's [`ReplanStats`] when a
+/// measured populate has run.  Produced by
+/// [`crate::ExecContext::plan_stats`] / `dpsyn::Session::plan_stats`.
 #[derive(Debug, Clone)]
 pub struct PlanStats {
     /// Whether the stored plan is cost-based (vs the fixed-prefix fallback).
@@ -392,6 +875,9 @@ pub struct PlanStats {
     /// Total distinct tuples across those materialised entries — the
     /// resident intermediate footprint the planner works to shrink.
     pub cached_tuples: usize,
+    /// Runtime-feedback diagnostics from the slot's most recent adaptive
+    /// populate (`None` before one has run).
+    pub replan: Option<ReplanStats>,
 }
 
 /// One subset's row in [`PlanStats`].
@@ -452,6 +938,122 @@ mod tests {
     }
 
     #[test]
+    fn sketch_is_exact_below_the_limit_and_close_above_it() {
+        let mut small = DistinctSketch::new();
+        for v in 0..100u64 {
+            small.insert(v * 7);
+            small.insert(v * 7); // duplicates are no-ops
+        }
+        assert!(small.is_exact());
+        assert_eq!(small.estimate(), 100);
+
+        let n = 200_000u64;
+        let mut big = DistinctSketch::new();
+        for v in 0..n {
+            big.insert(v);
+        }
+        assert!(!big.is_exact());
+        let est = big.estimate() as f64;
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "estimate {est} for {n} (rel. error {err})");
+    }
+
+    #[test]
+    fn sketch_merge_is_order_independent() {
+        let chunks: Vec<Vec<u64>> = vec![
+            (0..5_000).collect(),
+            (2_500..40_000).collect(),
+            (100..300).collect(),
+            (39_000..41_000).collect(),
+        ];
+        let sketches: Vec<DistinctSketch> = chunks
+            .iter()
+            .map(|c| {
+                let mut s = DistinctSketch::new();
+                for &v in c {
+                    s.insert(v);
+                }
+                s
+            })
+            .collect();
+        let mut forward = DistinctSketch::new();
+        for s in &sketches {
+            forward.merge(s);
+        }
+        let mut backward = DistinctSketch::new();
+        for s in sketches.iter().rev() {
+            backward.merge(s);
+        }
+        // ((0·1)·(2·3)) — a different association.
+        let mut left = sketches[0].clone();
+        left.merge(&sketches[1]);
+        let mut right = sketches[2].clone();
+        right.merge(&sketches[3]);
+        left.merge(&right);
+        assert_eq!(forward.estimate(), backward.estimate());
+        assert_eq!(forward.estimate(), left.estimate());
+        // Idempotence: merging a sketch with itself changes nothing.
+        let before = forward.estimate();
+        let copy = forward.clone();
+        forward.merge(&copy);
+        assert_eq!(forward.estimate(), before);
+    }
+
+    #[test]
+    fn stats_patching_tracks_inserts_and_refresh_handles_removals() {
+        let (q, mut inst) = path_instance(2, 20);
+        let mut stats = RelationStats::gather(&q, &inst).unwrap();
+        assert_eq!(stats.distinct(0, AttrId(0)), 20);
+        // Insert two new tuples with fresh first-attribute values.
+        let added: Vec<Vec<Value>> = vec![vec![40, 41], vec![41, 42]];
+        for t in &added {
+            inst.relation_mut(0).add(t.clone(), 1).unwrap();
+        }
+        stats.absorb_inserts(0, added.iter().map(|t| t.as_slice()));
+        stats.set_rows(0, inst.relation(0).distinct_count());
+        assert_eq!(stats.rows(0), 22);
+        assert_eq!(stats.distinct(0, AttrId(0)), 22);
+        // Removals need a refresh (sketches cannot forget).
+        inst.relation_mut(0).set(vec![40, 41], 0).unwrap();
+        stats.refresh_relation(&inst, 0);
+        assert_eq!(stats.rows(0), inst.relation(0).distinct_count());
+    }
+
+    #[test]
+    fn plan_config_reads_ratio_with_sane_fallbacks() {
+        assert_eq!(PlanConfig::with_replan_ratio(3.0).replan_ratio, 3.0);
+        // Sub-unit and NaN ratios are clamped to sane values.
+        assert_eq!(PlanConfig::with_replan_ratio(0.25).replan_ratio, 1.0);
+        assert_eq!(
+            PlanConfig::with_replan_ratio(f64::NAN).replan_ratio,
+            DEFAULT_REPLAN_RATIO
+        );
+        // Whatever the environment says, the parsed ratio is a finite-or-inf
+        // value ≥ 1 (the CI stress run exports DPSYN_REPLAN_RATIO=1).
+        let cfg = PlanConfig::from_env();
+        assert!(cfg.replan_ratio >= 1.0);
+    }
+
+    #[test]
+    fn replan_stats_absorb_keeps_weighted_means_and_maxima() {
+        let mut a = ReplanStats::default();
+        a.record_error(2.0);
+        a.record_error(4.0);
+        let mut b = ReplanStats::default();
+        b.record_error(10.0);
+        b.triggers = 1;
+        b.replans = 1;
+        b.pivots_changed = 3;
+        a.absorb(&b);
+        assert_eq!(a.measured, 3);
+        assert_eq!(a.triggers, 1);
+        assert_eq!(a.replans, 1);
+        assert_eq!(a.pivots_changed, 3);
+        assert_eq!(a.max_error, 10.0);
+        assert!((a.mean_error - 16.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn fixed_prefix_plan_peels_the_highest_index() {
         let plan = JoinPlan::fixed_prefix(4);
         assert!(!plan.is_cost_based());
@@ -460,6 +1062,7 @@ mod tests {
         assert_eq!(plan.pivot(0b0001), 0);
         assert_eq!(plan.estimated_rows(0b1011), None);
         assert_eq!(plan.spine(), vec![3, 2, 1, 0]);
+        assert!(plan.stats().is_none());
     }
 
     #[test]
@@ -478,6 +1081,30 @@ mod tests {
         let cross = plan.estimated_rows(0b0101).unwrap();
         let linear = plan.estimated_rows(0b0011).unwrap();
         assert!(cross > linear * 4.0, "cross {cross} vs linear {linear}");
+    }
+
+    #[test]
+    fn replanned_anchors_reroute_around_measured_blowups() {
+        let (q, inst) = path_instance(4, 40);
+        let plan = JoinPlan::cost_based(&q, &inst).unwrap();
+        // Unanchored, {0, 1, 3} routes through the linear {0, 1}.
+        assert_eq!(plan.parent(0b1011), 0b0011);
+        // Pretend populate measured {0, 1} as enormous: the re-planned
+        // table must stop routing through it, and the anchored mask itself
+        // reports the measured cardinality.
+        let mut anchors = FxHashMap::default();
+        anchors.insert(0b0011u32, 1e9);
+        let replanned = plan.replanned(&q, &anchors).unwrap();
+        assert_ne!(replanned.parent(0b1011), 0b0011);
+        assert_eq!(replanned.estimated_rows(0b0011), Some(1e9));
+        // No anchors ⇒ the re-planned table is the original.
+        let same = plan.replanned(&q, &FxHashMap::default()).unwrap();
+        for mask in 1u32..(1 << 4) {
+            assert_eq!(same.pivot(mask), plan.pivot(mask));
+            assert_eq!(same.estimated_rows(mask), plan.estimated_rows(mask));
+        }
+        // Fixed-prefix plans have nothing to re-price.
+        assert!(JoinPlan::fixed_prefix(4).replanned(&q, &anchors).is_none());
     }
 
     #[test]

@@ -49,6 +49,19 @@
 //! patching — large batches degrade to a rebuild instead of pathologically
 //! exceeding one.
 //!
+//! Patching is also bounded **across** masks: the per-relation telescoping
+//! pays one delta join per cached mask per touched relation, so a batch
+//! that rewrites a sizeable share of its relations costs roughly
+//! `relations_touched ×` a straight rebuild no matter how good each patch
+//! is.  Once the net batch crosses that regime
+//! (`BULK_REBUILD_MIN_ROWS` changed tuples and at least
+//! `1/BULK_REBUILD_FACTOR` of the touched relations' rows), maintenance
+//! skips patching entirely and recomputes every affected mask from the
+//! updated instance through the slot's cost-based plan chain — ascending
+//! mask order, memoising shared chain prefixes — which is what keeps the
+//! largest `stream/*` batches of `BENCH_join.json` from losing to a cold
+//! rebuild.
+//!
 //! # Determinism and the rebuild oracle
 //!
 //! A maintained entry holds exactly the weighted tuple set a from-scratch
@@ -81,7 +94,8 @@ use crate::exec::Parallelism;
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
-use crate::join::{join_subset_impl, JoinResult};
+use crate::join::{hash_join_step_with, join_subset_impl, JoinResult};
+use crate::plan::JoinPlan;
 use crate::relation::Relation;
 use crate::tuple::{intersect_attrs, project_into, TupleKey, Value};
 use crate::{RelationalError, Result};
@@ -321,9 +335,31 @@ pub(crate) struct RelationDelta {
 }
 
 impl RelationDelta {
+    /// Index of the relation the delta touches.
+    pub(crate) fn relation(&self) -> usize {
+        self.relation
+    }
+
+    /// The net added tuples (tuple → count, counts never zero) — what an
+    /// insert-only statistics sketch can absorb directly.
+    pub(crate) fn added(&self) -> &BTreeMap<Vec<Value>, u64> {
+        &self.added
+    }
+
+    /// Number of distinct tuples the batch nets out to removing weight from
+    /// (insert-only sketches can only over-estimate past any removal).
+    pub(crate) fn removed_rows(&self) -> usize {
+        self.removed.len()
+    }
+
     /// Whether the relation's contents are unchanged by the batch.
     fn is_empty(&self) -> bool {
         self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of distinct tuples whose frequency the batch changes (net).
+    fn net_rows(&self) -> usize {
+        self.added.len() + self.removed.len()
     }
 
     /// Applies the net delta to the live relation.  Infallible after
@@ -358,36 +394,65 @@ pub struct UpdateStats {
 /// Validates first; the instance is untouched on error.
 pub fn apply_batch(query: &JoinQuery, instance: &mut Instance, batch: &UpdateBatch) -> Result<()> {
     let deltas = batch.net_deltas(query, instance)?;
-    for delta in &deltas {
-        delta.apply_to(instance.relation_mut(delta.relation));
-    }
+    apply_net_deltas(instance, &deltas);
     Ok(())
 }
 
-/// Applies `batch` to `instance` while maintaining `memo` — a sub-join
-/// lattice keyed by relation-subset bitmask (the full-join entry rides along
-/// under the full mask) — in place via the semi-naive identity.
+/// Applies pre-validated net deltas to the live instance.  Infallible after
+/// [`UpdateBatch::net_deltas`] validated the final frequencies.
+pub(crate) fn apply_net_deltas(instance: &mut Instance, deltas: &[RelationDelta]) {
+    for delta in deltas {
+        delta.apply_to(instance.relation_mut(delta.relation));
+    }
+}
+
+/// Applies a batch's validated net `deltas` (from
+/// [`UpdateBatch::net_deltas`], computed once by the caller and shared with
+/// the sketch patch) to `instance` while maintaining `memo` — a sub-join
+/// lattice keyed by relation-subset bitmask (the full-join entry rides
+/// along under the full mask) — in place via the semi-naive identity.
 ///
 /// On success every surviving memo entry equals (as a weighted tuple set)
 /// the corresponding sub-join of the updated instance.  Entries that hit the
 /// saturation guard are recomputed from scratch; nothing is ever served
-/// stale.  Validates the whole batch up front; the instance and memo are
-/// untouched on error.
+/// stale.
+///
+/// `plan` routes every fallback sub-join (missing parents, post-batch
+/// rebuilds) through the cost-based decomposition chain — reusing the
+/// deepest memoised ancestor and joining one pivot relation per step —
+/// instead of the naive size-ordered fold over all of the mask's relations.
+/// This is what keeps very large batches (where the cost guard degrades
+/// most masks to rebuilds) from losing to a cold planner rebuild.  Without
+/// a cost-based plan the naive fold is used, as before.
 pub(crate) fn maintain_memo(
     query: &JoinQuery,
     instance: &mut Instance,
     memo: &mut FxHashMap<u32, Arc<JoinResult>>,
     indexes: &mut FxHashMap<u32, EntryIndex>,
-    batch: &UpdateBatch,
+    deltas: &[RelationDelta],
+    plan: Option<&JoinPlan>,
     par: Parallelism,
 ) -> Result<UpdateStats> {
-    let deltas = batch.net_deltas(query, instance)?;
     let m = query.num_relations();
     debug_assert!(m <= 31, "mask-keyed memos cap at 31 relations");
+    // Bulk-rebuild escape hatch: the telescoping below pays one delta join
+    // per cached mask per touched relation, so a batch that rewrites a
+    // sizeable share of its relations costs ~relations_touched× a straight
+    // rebuild however cheap each patch is.  Past the threshold, recompute
+    // every affected mask through the plan chain instead of patching.
+    let net_rows: usize = deltas.iter().map(RelationDelta::net_rows).sum();
+    let touched_rows: usize = deltas
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| instance.relation(d.relation).distinct_count())
+        .sum();
+    if net_rows >= BULK_REBUILD_MIN_ROWS && net_rows * BULK_REBUILD_FACTOR >= touched_rows {
+        return bulk_rebuild(query, instance, memo, indexes, deltas, plan, par);
+    }
     let mut stats = UpdateStats::default();
     // Masks dropped to the rebuild fallback; recomputed after the batch.
     let mut rebuild: FxHashSet<u32> = FxHashSet::default();
-    for delta in &deltas {
+    for delta in deltas {
         if delta.is_empty() {
             continue;
         }
@@ -414,21 +479,14 @@ pub(crate) fn maintain_memo(
                 None
             } else if let Some(p) = memo.get(&parent_mask) {
                 Some(Arc::clone(p))
-            } else if rebuild.contains(&parent_mask) {
-                Some(Arc::new(join_subset_impl(
-                    query,
-                    instance,
-                    &mask_rels(parent_mask),
-                    par,
-                )?))
             } else {
-                let p = Arc::new(join_subset_impl(
-                    query,
-                    instance,
-                    &mask_rels(parent_mask),
-                    par,
-                )?);
-                memo.insert(parent_mask, Arc::clone(&p));
+                let p = planned_subset(query, instance, memo, &rebuild, plan, parent_mask, par)?;
+                // Memoise so later steps maintain it instead of recomputing
+                // — unless the mask awaits a rebuild, in which case the
+                // final pass provides the authoritative value.
+                if !rebuild.contains(&parent_mask) {
+                    memo.insert(parent_mask, Arc::clone(&p));
+                }
                 Some(p)
             };
             let mut target = memo.remove(&mask).expect("mask drawn from the memo");
@@ -480,15 +538,142 @@ pub(crate) fn maintain_memo(
             }
         }
     }
-    let mut rebuild: Vec<u32> = rebuild.into_iter().collect();
-    rebuild.sort_unstable();
-    stats.rebuilt_masks = rebuild.len();
-    for mask in rebuild {
-        let fresh = join_subset_impl(query, instance, &mask_rels(mask), par)?;
+    let mut pending: Vec<u32> = rebuild.iter().copied().collect();
+    pending.sort_unstable();
+    stats.rebuilt_masks = pending.len();
+    // Ascending mask order: a rebuilt subset re-enters the memo before any
+    // larger pending mask walks its chain, so each rebuild reuses the ones
+    // before it instead of starting over.
+    for mask in pending {
+        rebuild.remove(&mask);
+        let fresh = planned_subset(query, instance, memo, &rebuild, plan, mask, par)?;
         indexes.remove(&mask);
-        memo.insert(mask, Arc::new(fresh));
+        memo.insert(mask, fresh);
     }
     Ok(stats)
+}
+
+/// Minimum net changed tuples before the bulk-rebuild path is considered:
+/// below this, per-mask patching is always at least competitive and the
+/// streaming indexes stay warm.
+const BULK_REBUILD_MIN_ROWS: usize = 64;
+
+/// Bulk-rebuild density threshold: the escape hatch fires when the net
+/// batch changes at least `1/BULK_REBUILD_FACTOR` of the touched
+/// relations' distinct rows (and clears [`BULK_REBUILD_MIN_ROWS`]).
+const BULK_REBUILD_FACTOR: usize = 8;
+
+/// The bulk-rebuild path for batches that rewrite a sizeable share of
+/// their relations: applies every net delta, drops all memo entries whose
+/// mask intersects a touched relation, and recomputes them from the
+/// updated instance in ascending mask order through the plan chain — so
+/// each rebuilt subset (and every memoised chain prefix) is reused by the
+/// larger masks after it, exactly like the saturation fallback.  Costs one
+/// plan-routed lattice rebuild regardless of batch size, instead of one
+/// delta join per cached mask per touched relation.
+fn bulk_rebuild(
+    query: &JoinQuery,
+    instance: &mut Instance,
+    memo: &mut FxHashMap<u32, Arc<JoinResult>>,
+    indexes: &mut FxHashMap<u32, EntryIndex>,
+    deltas: &[RelationDelta],
+    plan: Option<&JoinPlan>,
+    par: Parallelism,
+) -> Result<UpdateStats> {
+    let mut stats = UpdateStats::default();
+    let mut touched = 0u32;
+    for delta in deltas {
+        if delta.is_empty() {
+            continue;
+        }
+        stats.relations_touched += 1;
+        touched |= 1u32 << delta.relation;
+        delta.apply_to(instance.relation_mut(delta.relation));
+    }
+    let mut rebuild: FxHashSet<u32> = memo
+        .keys()
+        .copied()
+        .filter(|mask| mask & touched != 0)
+        .collect();
+    let mut pending: Vec<u32> = rebuild.iter().copied().collect();
+    pending.sort_unstable();
+    stats.rebuilt_masks = pending.len();
+    // Drop every stale entry (and its index) up front so the chain walks
+    // below can only ever consume still-valid or freshly-rebuilt values.
+    for mask in &pending {
+        memo.remove(mask);
+        indexes.remove(mask);
+    }
+    for mask in pending {
+        rebuild.remove(&mask);
+        let fresh = planned_subset(query, instance, memo, &rebuild, plan, mask, par)?;
+        memo.insert(mask, fresh);
+    }
+    Ok(stats)
+}
+
+/// Builds the sub-join of `mask` over the instance's **current** contents by
+/// walking `plan`'s decomposition chain down to the deepest usable base — a
+/// memoised ancestor not awaiting rebuild, else a single relation — and
+/// joining one pivot relation per step back up.  Intermediate chain masks
+/// are memoised on the way (they hold correct current-state values, and
+/// later maintenance steps patch them like any other entry); masks awaiting
+/// rebuild never re-enter the memo here, so stale values cannot be
+/// resurrected.  Falls back to the naive size-ordered fold when no
+/// cost-based plan (matching the query's arity) is available.
+fn planned_subset(
+    query: &JoinQuery,
+    instance: &Instance,
+    memo: &mut FxHashMap<u32, Arc<JoinResult>>,
+    rebuild: &FxHashSet<u32>,
+    plan: Option<&JoinPlan>,
+    mask: u32,
+    par: Parallelism,
+) -> Result<Arc<JoinResult>> {
+    let usable = plan.filter(|p| p.is_cost_based() && p.num_relations() == query.num_relations());
+    let Some(plan) = usable else {
+        return Ok(Arc::new(join_subset_impl(
+            query,
+            instance,
+            &mask_rels(mask),
+            par,
+        )?));
+    };
+    // Descend: peel the plan's pivot until a usable base is found.
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut cur = mask;
+    let mut base: Option<Arc<JoinResult>> = None;
+    loop {
+        if cur != mask && !rebuild.contains(&cur) {
+            if let Some(hit) = memo.get(&cur) {
+                base = Some(Arc::clone(hit));
+                break;
+            }
+        }
+        if cur.count_ones() == 1 {
+            break;
+        }
+        let pivot = plan.pivot(cur);
+        pivots.push(pivot);
+        cur &= !(1u32 << pivot);
+    }
+    let mut acc = match base {
+        Some(hit) => hit,
+        None => Arc::new(JoinResult::from_relation(
+            instance.relation(cur.trailing_zeros() as usize),
+        )),
+    };
+    // Ascend: one hash-join step per peeled pivot.
+    let mut built = cur;
+    for &pivot in pivots.iter().rev() {
+        let next = Arc::new(hash_join_step_with(&acc, instance.relation(pivot), par)?);
+        built |= 1u32 << pivot;
+        if built != mask && !rebuild.contains(&built) {
+            memo.insert(built, Arc::clone(&next));
+        }
+        acc = next;
+    }
+    Ok(acc)
 }
 
 /// The relation indices of a subset bitmask, ascending.
@@ -841,6 +1026,93 @@ mod tests {
         }
     }
 
+    /// Test shorthand: net-delta a batch and maintain sequentially, the way
+    /// `ExecContext::apply_updates` drives the production path.
+    fn maintain(
+        query: &JoinQuery,
+        inst: &mut Instance,
+        memo: &mut FxHashMap<u32, Arc<JoinResult>>,
+        indexes: &mut FxHashMap<u32, EntryIndex>,
+        batch: &UpdateBatch,
+        plan: Option<&JoinPlan>,
+    ) -> UpdateStats {
+        let deltas = batch.net_deltas(query, inst).unwrap();
+        maintain_memo(
+            query,
+            inst,
+            memo,
+            indexes,
+            &deltas,
+            plan,
+            Parallelism::SEQUENTIAL,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn huge_batches_take_the_bulk_rebuild_path() {
+        use crate::plan::JoinPlan;
+        // A 3-star large enough to cache, with a batch that rewrites well
+        // over 1/BULK_REBUILD_FACTOR of every relation: maintenance must
+        // skip patching and recompute every affected mask through the
+        // plan chain (maintained_masks == 0, all masks rebuilt).
+        let query = JoinQuery::star(3, 64).unwrap();
+        let mut base = Instance::empty_for(&query).unwrap();
+        for h in 0..16u64 {
+            for p in 0..8u64 {
+                base.relation_mut(0).add(vec![h, p], 1).unwrap();
+                base.relation_mut(1).add(vec![h, (p * 3) % 8], 1).unwrap();
+            }
+            base.relation_mut(2).add(vec![h, h % 4], 1).unwrap();
+        }
+        let plan = JoinPlan::cost_based(&query, &base).unwrap();
+        let mut batch = UpdateBatch::new();
+        for h in 0..16u64 {
+            for p in 8..10u64 {
+                batch.insert(0, vec![h, p], 1);
+                batch.insert(1, vec![h, p], 2);
+            }
+            batch.delete(2, vec![h, h % 4], 1);
+            batch.insert(2, vec![h, 63], 1);
+        }
+        // 96 net rows over 272 stored rows: past both thresholds.
+        let mut inst = base.clone();
+        let mut memo = full_memo(&query, &inst);
+        let mut indexes = FxHashMap::default();
+        let stats = maintain(
+            &query,
+            &mut inst,
+            &mut memo,
+            &mut indexes,
+            &batch,
+            Some(&plan),
+        );
+        assert_eq!(stats.maintained_masks, 0, "patching must be skipped");
+        assert_eq!(stats.relations_touched, 3);
+        assert_eq!(stats.rebuilt_masks, 7, "every cached mask is affected");
+        assert!(
+            indexes.is_empty(),
+            "stale streaming indexes must be dropped"
+        );
+        let mut oracle = base.clone();
+        apply_batch(&query, &mut oracle, &batch).unwrap();
+        assert_eq!(inst, oracle);
+        assert_memo_matches_rebuild(&query, &inst, &memo);
+        // The inverse batch is just as large; the round trip restores the
+        // starting instance and state byte for byte.
+        let stats = maintain(
+            &query,
+            &mut inst,
+            &mut memo,
+            &mut indexes,
+            &batch.inverse(),
+            Some(&plan),
+        );
+        assert_eq!(stats.maintained_masks, 0);
+        assert_eq!(inst, base);
+        assert_memo_matches_rebuild(&query, &inst, &memo);
+    }
+
     #[test]
     fn net_semantics_cancel_within_a_batch() {
         let (query, inst) = two_table();
@@ -921,15 +1193,14 @@ mod tests {
 
         let mut inst = base.clone();
         let mut memo = full_memo(&query, &inst);
-        let stats = maintain_memo(
+        let stats = maintain(
             &query,
             &mut inst,
             &mut memo,
             &mut FxHashMap::default(),
             &batch,
-            Parallelism::SEQUENTIAL,
-        )
-        .unwrap();
+            None,
+        );
         assert_eq!(stats.rebuilt_masks, 0);
         assert_eq!(stats.relations_touched, 2);
         // The instance moved to the updated contents…
@@ -951,18 +1222,94 @@ mod tests {
         let mut inst = base.clone();
         let mut memo = FxHashMap::default();
         memo.insert(0b11, Arc::new(join_subset(&query, &inst, &[0, 1]).unwrap()));
-        maintain_memo(
+        maintain(
             &query,
             &mut inst,
             &mut memo,
             &mut FxHashMap::default(),
             &batch,
-            Parallelism::SEQUENTIAL,
-        )
-        .unwrap();
+            None,
+        );
         assert_memo_matches_rebuild(&query, &inst, &memo);
         // The on-demand parent was memoised and maintained too.
         assert!(memo.contains_key(&0b10));
+    }
+
+    #[test]
+    fn plan_routed_maintenance_equals_rebuild() {
+        use crate::plan::JoinPlan;
+        // A 3-star with skewed relation sizes so the cost-based chain
+        // differs from the fixed highest-index prefix: peeling R0 (the big
+        // relation) first leaves the smallest intermediates.
+        let query = JoinQuery::star(3, 8).unwrap();
+        let mut base = Instance::empty_for(&query).unwrap();
+        for h in 0..4u64 {
+            for p in 0..8u64 {
+                base.relation_mut(0).add(vec![h, p], 1).unwrap();
+            }
+            for p in 0..4u64 {
+                base.relation_mut(1).add(vec![h, p], 1).unwrap();
+            }
+            base.relation_mut(2).add(vec![h, 0], 1).unwrap();
+        }
+        let plan = JoinPlan::cost_based(&query, &base).unwrap();
+        assert!(plan.is_cost_based());
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, vec![5, 5], 2);
+        batch.delete(2, vec![3, 0], 1);
+        batch.insert(2, vec![7, 7], 1);
+        // Only the full mask is cached: the on-demand parent fallback must
+        // route through the plan's chain, not the fixed prefix.
+        let mut inst = base.clone();
+        let mut memo = FxHashMap::default();
+        let full = 0b111u32;
+        memo.insert(
+            full,
+            Arc::new(join_subset(&query, &inst, &[0, 1, 2]).unwrap()),
+        );
+        maintain(
+            &query,
+            &mut inst,
+            &mut memo,
+            &mut FxHashMap::default(),
+            &batch,
+            Some(&plan),
+        );
+        let mut oracle = base.clone();
+        apply_batch(&query, &mut oracle, &batch).unwrap();
+        assert_eq!(inst, oracle);
+        assert_memo_matches_rebuild(&query, &inst, &memo);
+        // The on-demand delta-join parents (full minus each touched
+        // relation) were computed through the plan chain and memoised —
+        // and maintained through the batch like any other entry
+        // (assert_memo_matches_rebuild above covered their values).
+        for parent in [0b101u32, 0b011] {
+            assert!(
+                memo.contains_key(&parent),
+                "the delta-join parent {parent:#b} must be memoised"
+            );
+        }
+
+        // Saturation rebuilds route through the plan too: poison the full
+        // entry and let the guard recompute it along the plan chain.
+        let saturated: BTreeMap<Vec<Value>, u128> = memo[&full]
+            .iter()
+            .map(|(t, _)| (t.to_vec(), u128::MAX))
+            .collect();
+        let attrs = memo[&full].attrs().to_vec();
+        memo.insert(full, Arc::new(JoinResult::from_parts(attrs, saturated)));
+        let mut second = UpdateBatch::new();
+        second.insert(1, vec![6, 6], 1);
+        let stats = maintain(
+            &query,
+            &mut inst,
+            &mut memo,
+            &mut FxHashMap::default(),
+            &second,
+            Some(&plan),
+        );
+        assert!(stats.rebuilt_masks >= 1, "saturation guard must trip");
+        assert_memo_matches_rebuild(&query, &inst, &memo);
     }
 
     #[test]
@@ -987,15 +1334,14 @@ mod tests {
         );
         let mut batch = UpdateBatch::new();
         batch.insert(0, vec![1, 2], 1);
-        let stats = maintain_memo(
+        let stats = maintain(
             &query,
             &mut inst,
             &mut memo,
             &mut FxHashMap::default(),
             &batch,
-            Parallelism::SEQUENTIAL,
-        )
-        .unwrap();
+            None,
+        );
         assert!(stats.rebuilt_masks >= 1, "saturation guard must trip");
         assert_memo_matches_rebuild(&query, &inst, &memo);
     }
@@ -1010,24 +1356,15 @@ mod tests {
         let mut inst = base.clone();
         let mut memo = full_memo(&query, &inst);
         let mut indexes = FxHashMap::default();
-        maintain_memo(
-            &query,
-            &mut inst,
-            &mut memo,
-            &mut indexes,
-            &batch,
-            Parallelism::SEQUENTIAL,
-        )
-        .unwrap();
-        maintain_memo(
+        maintain(&query, &mut inst, &mut memo, &mut indexes, &batch, None);
+        maintain(
             &query,
             &mut inst,
             &mut memo,
             &mut indexes,
             &batch.inverse(),
-            Parallelism::SEQUENTIAL,
-        )
-        .unwrap();
+            None,
+        );
         assert_eq!(inst, base);
         assert_memo_matches_rebuild(&query, &inst, &memo);
         for (&mask, entry) in &full_memo(&query, &base) {

@@ -149,10 +149,19 @@ impl SensitivityOps for ExecContext {
         instance: &Instance,
     ) -> Result<BTreeMap<Vec<usize>, u128>> {
         let m = query.num_relations();
-        let cache = self.subjoin_cache(query, instance)?;
+        let mut cache = self.subjoin_cache(query, instance)?;
         let par = self.effective_parallelism(instance);
         if !par.is_sequential() {
-            cache.populate_proper_subsets(par)?;
+            // Adaptive populate: each lattice level's actual cardinalities
+            // are measured against the plan's estimates, and a blown
+            // estimate re-plans the remaining levels (values are identical
+            // to the static populate; see `dpsyn_relational::plan`).  The
+            // feedback stats ride the cache back into the context's slot.
+            cache.populate_proper_subsets_adaptive(
+                par,
+                exec::Schedule::Stealing,
+                self.plan_config(),
+            )?;
         }
         let full = (1u32 << m) - 1;
         let entries = exec::par_map(par, full as usize, |i| -> Result<(Vec<usize>, u128)> {
@@ -209,22 +218,47 @@ impl SensitivityOps for ExecContext {
             // Beyond the bitmask cache's representation limit; no lattice.
             return local_sensitivity_seq(query, instance);
         }
-        let cache = self.subjoin_cache(query, instance)?;
+        let mut cache = self.subjoin_cache(query, instance)?;
         let par = self.effective_parallelism(instance);
-        let values = exec::par_map(par, m, |i| -> Result<u128> {
-            let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
-            if others.is_empty() {
-                return Ok(1);
-            }
-            // Transient top-level join: the m size-(m-1) results are each
-            // consumed once and can dwarf the inputs, so only their shared
-            // prefixes are memoised (and persisted for the next call).
-            let boundary = query.boundary(&others)?;
-            let mask = cache.mask_of(&others)?;
-            Ok(cache
-                .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
-                .max_group_weight(&boundary)?)
-        });
+        // Transient top-level joins either way: the m size-(m-1) results are
+        // each consumed once and can dwarf the inputs, so only their shared
+        // prefixes are memoised (and persisted for the next call).
+        let values: Vec<Result<u128>> = if par.is_sequential() {
+            // Sequential targets walk **adaptively**: each chain step's
+            // actual cardinality is measured as it materialises, and a
+            // blown estimate re-routes every later target around the trap
+            // parent — this is where correlated instances shed resident
+            // intermediates (values are identical to the static walk).
+            (0..m)
+                .map(|i| -> Result<u128> {
+                    let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+                    if others.is_empty() {
+                        return Ok(1);
+                    }
+                    let boundary = query.boundary(&others)?;
+                    let mask = cache.mask_of(&others)?;
+                    Ok(cache
+                        .join_mask_transient_adaptive(
+                            mask,
+                            Parallelism::SEQUENTIAL,
+                            self.plan_config(),
+                        )?
+                        .max_group_weight(&boundary)?)
+                })
+                .collect()
+        } else {
+            exec::par_map(par, m, |i| -> Result<u128> {
+                let others: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+                if others.is_empty() {
+                    return Ok(1);
+                }
+                let boundary = query.boundary(&others)?;
+                let mask = cache.mask_of(&others)?;
+                Ok(cache
+                    .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
+                    .max_group_weight(&boundary)?)
+            })
+        };
         self.retain_subjoin_cache(cache);
         let mut best = 0u128;
         for value in values {
@@ -404,10 +438,16 @@ impl SensitivityOps for ExecContext {
             let groups = self.grouped_join_size(query, instance, e, y)?;
             return Ok(groups.values().copied().max().unwrap_or(0));
         }
-        let cache = self.subjoin_cache(query, instance)?;
+        let mut cache = self.subjoin_cache(query, instance)?;
         let mask = cache.mask_of(e)?;
+        // Adaptive lazy chain: a mid-chain estimate breach re-plans the
+        // not-yet-walked remainder (values are plan-invariant).
         let value = cache
-            .join_mask(mask, self.effective_parallelism(instance))?
+            .join_mask_adaptive(
+                mask,
+                self.effective_parallelism(instance),
+                self.plan_config(),
+            )?
             .max_group_weight(y)?;
         self.retain_subjoin_cache(cache);
         Ok(value)

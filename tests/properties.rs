@@ -464,6 +464,224 @@ fn planner_decomposition_matches_fixed_prefix_and_naive() {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive planner: sketch statistics + runtime-feedback re-optimization
+// ---------------------------------------------------------------------------
+
+/// The mergeable distinct sketch tracks exact distinct counts within the
+/// HyperLogLog error envelope across five orders of magnitude, and its
+/// merge is associative, commutative and idempotent — the properties that
+/// make morsel-parallel gathering thread-count-invariant.
+#[test]
+fn distinct_sketch_is_accurate_and_merge_is_a_semilattice() {
+    use dpsyn_relational::DistinctSketch;
+    // With 2^12 registers the HLL standard error is 1.04/64 ≈ 1.6%; 8%
+    // is a comfortable 5σ envelope (hashing is deterministic, so this is
+    // a fixed property of each value stream, not a flaky draw).
+    const TOLERANCE: f64 = 0.08;
+    for seed in 0..4u64 {
+        for n in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            // n provably-distinct values (odd stride over u64), inserted
+            // twice each so duplicate insertion is exercised at every size.
+            let stride = 0x9E37_79B9_7F4A_7C15u64 | 1;
+            let value = |i: u64| (seed << 32).wrapping_add(i).wrapping_mul(stride);
+            let mut whole = DistinctSketch::new();
+            for i in 0..n {
+                whole.insert(value(i));
+                whole.insert(value(i));
+            }
+            let est = whole.estimate() as f64;
+            let rel_err = (est - n as f64).abs() / n as f64;
+            assert!(
+                rel_err <= TOLERANCE,
+                "seed {seed}, n {n}: estimate {est} off by {rel_err}"
+            );
+            // Small streams stay exact (zero error below the cutover).
+            if n <= 1_000 {
+                assert!(whole.is_exact(), "seed {seed}, n {n}");
+                assert_eq!(whole.estimate(), n, "seed {seed}, n {n}");
+            }
+
+            // Merge laws: split the stream into three uneven chunks and
+            // recombine in every grouping/order — all equal the
+            // single-stream sketch (associativity + commutativity), and
+            // re-merging a part already absorbed changes nothing
+            // (idempotence).
+            let bounds = [0, n / 7, n / 2, n];
+            let parts: Vec<DistinctSketch> = bounds
+                .windows(2)
+                .map(|w| {
+                    let mut s = DistinctSketch::new();
+                    for i in w[0]..w[1] {
+                        s.insert(value(i));
+                    }
+                    s
+                })
+                .collect();
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            let mut right = parts[2].clone();
+            right.merge(&parts[1]);
+            right.merge(&parts[0]);
+            let mut nested = parts[1].clone();
+            nested.merge(&parts[2]);
+            let mut outer = parts[0].clone();
+            outer.merge(&nested);
+            for (label, merged) in [("left", &left), ("right", &right), ("outer", &outer)] {
+                assert_eq!(
+                    merged.estimate(),
+                    whole.estimate(),
+                    "seed {seed}, n {n}: {label} merge order diverged"
+                );
+                assert_eq!(merged.is_exact(), whole.is_exact(), "seed {seed}, n {n}");
+            }
+            let before = left.estimate();
+            left.merge(&parts[1]);
+            assert_eq!(
+                left.estimate(),
+                before,
+                "seed {seed}, n {n}: not idempotent"
+            );
+        }
+    }
+}
+
+/// Adaptive planning (measure + re-plan) never changes observable bytes:
+/// on the correlated workload that provably breaks independence estimates
+/// and on the heavy-hitter skewed star, the adaptive populate produces the
+/// same lattice as the static populate per mask, and the context entry
+/// points (which measure and re-plan internally) match the naive oracle —
+/// cold and warm, at 1/2/4/8 threads.
+#[test]
+fn adaptive_planning_is_byte_identical_to_static_and_naive() {
+    use dpsyn_datagen::{correlated_pair, heavy_hitter_star};
+    use dpsyn_relational::{PlanConfig, Schedule};
+    for seed in 0..2u64 {
+        let shapes: Vec<(&str, (JoinQuery, Instance))> = vec![
+            (
+                "correlated",
+                correlated_pair(3, 48, 12, 256, 6, &mut seeded_rng(20_000 + seed)),
+            ),
+            (
+                "skew",
+                heavy_hitter_star(3, 24, 60, 0.5, &mut seeded_rng(20_100 + seed)),
+            ),
+        ];
+        for (shape, (query, inst)) in &shapes {
+            let m = query.num_relations();
+            let naive_bv = all_boundary_values_naive(query, inst).unwrap();
+
+            // Direct lattice check: adaptive populate ≡ static populate,
+            // mask for mask, at every worker count — even with the ratio
+            // dropped to 1 so every level re-plans.
+            let plan = Arc::new(JoinPlan::cost_based(query, inst).unwrap());
+            let static_cache =
+                ShardedSubJoinCache::with_plan(query, inst, Arc::clone(&plan)).unwrap();
+            static_cache
+                .populate_proper_subsets(Parallelism::SEQUENTIAL)
+                .unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                for ratio in [1.0f64, 8.0] {
+                    let mut adaptive =
+                        ShardedSubJoinCache::with_plan(query, inst, Arc::clone(&plan)).unwrap();
+                    let (_, replan) = adaptive
+                        .populate_proper_subsets_adaptive(
+                            Parallelism::threads(threads),
+                            Schedule::Stealing,
+                            &PlanConfig::with_replan_ratio(ratio),
+                        )
+                        .unwrap();
+                    for mask in 1u32..((1u32 << m) - 1) {
+                        assert_eq!(
+                            adaptive.get(mask).expect("populated").as_ref(),
+                            static_cache.get(mask).expect("populated").as_ref(),
+                            "{shape}, seed {seed}, threads {threads}, ratio {ratio}, mask {mask:#b}"
+                        );
+                    }
+                    assert_eq!(
+                        replan.measured,
+                        (1usize << m) - 2,
+                        "{shape}, seed {seed}: every proper subset must be measured"
+                    );
+                    // The correlated shape's functional dependency guarantees
+                    // a trigger at the default ratio.
+                    if *shape == "correlated" {
+                        assert!(
+                            replan.replans >= 1,
+                            "{shape}, seed {seed}, threads {threads}, ratio {ratio}: \
+                             correlation trap did not trigger a re-plan"
+                        );
+                        assert!(replan.max_error >= 8.0, "{shape}, seed {seed}");
+                    }
+                }
+            }
+
+            // Context entry points measure and re-plan internally; cold and
+            // warm answers match the naive oracle at every thread count.
+            for threads in [1usize, 2, 4, 8] {
+                let ctx = ExecContext::with_threads(threads).with_min_par_instance(1);
+                let cold = ctx.all_boundary_values(query, inst).unwrap();
+                assert_eq!(
+                    cold, naive_bv,
+                    "{shape}, seed {seed}, threads {threads} (cold)"
+                );
+                let warm = ctx.all_boundary_values(query, inst).unwrap();
+                assert_eq!(
+                    warm, naive_bv,
+                    "{shape}, seed {seed}, threads {threads} (warm)"
+                );
+                assert_eq!(
+                    ctx.local_sensitivity(query, inst).unwrap(),
+                    local_sensitivity(query, inst).unwrap(),
+                    "{shape}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+/// On the generated correlated workload, the adaptive transient walks (the
+/// local-sensitivity access pattern) keep at least 1.5× fewer resident
+/// intermediate tuples than the static plan — while returning identical
+/// values.
+#[test]
+fn adaptive_transient_walks_cut_cached_tuples_on_correlated_workloads() {
+    use dpsyn_datagen::correlated_pair;
+    use dpsyn_relational::PlanConfig;
+    for seed in 0..2u64 {
+        let (query, inst) = correlated_pair(3, 64, 16, 512, 8, &mut seeded_rng(22_000 + seed));
+        let m = query.num_relations();
+        let plan = Arc::new(JoinPlan::cost_based(&query, &inst).unwrap());
+        let static_cache =
+            ShardedSubJoinCache::with_plan(&query, &inst, Arc::clone(&plan)).unwrap();
+        let mut adaptive_cache =
+            ShardedSubJoinCache::with_plan(&query, &inst, Arc::clone(&plan)).unwrap();
+        let config = PlanConfig::with_replan_ratio(8.0);
+        let full = (1u32 << m) - 1;
+        for i in 0..m {
+            let mask = full & !(1u32 << i);
+            let s = static_cache
+                .join_mask_transient(mask, Parallelism::SEQUENTIAL)
+                .unwrap();
+            let a = adaptive_cache
+                .join_mask_transient_adaptive(mask, Parallelism::SEQUENTIAL, &config)
+                .unwrap();
+            assert_eq!(s, a, "seed {seed}, target {i}: values must not change");
+        }
+        assert!(
+            adaptive_cache.replan_stats().map_or(0, |r| r.replans) >= 1,
+            "seed {seed}: the correlation trap must trigger a re-plan"
+        );
+        let st = static_cache.cached_tuples();
+        let ad = adaptive_cache.cached_tuples();
+        assert!(
+            2 * st >= 3 * ad,
+            "seed {seed}: static keeps {st} resident tuples, adaptive {ad} — less than 1.5×"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Join algebra
 // ---------------------------------------------------------------------------
 
