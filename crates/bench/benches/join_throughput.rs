@@ -27,7 +27,17 @@
 //! the correlated-pair workload (where independence estimates provably
 //! fail) and the heavy-hitter star control (`--adaptive-smoke` runs only
 //! this group — adaptive values are asserted identical to static before
-//! any timing).
+//! any timing), plus `agg/*` rows measuring the count-only
+//! aggregate-pushdown evaluation (terminal lattice masks folded into
+//! grouped accumulators behind a Bloom semi-join pre-filter, never
+//! materialised) against the materializing oracle on residual sweeps —
+//! byte-identity of both modes against the naive engine is asserted before
+//! timing, and rows record the resident-byte reduction alongside
+//! wall-clock (`--agg-smoke` runs only this group and refreshes the
+//! committed `agg/*` rows in place).  All A/B comparison groups
+//! (`planner/*`, `sched/*`, `agg/*`, like `stream/*` before them) measure
+//! their arms interleaved, so recorded speedups are immune to machine-speed
+//! drift between arms.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,6 +76,33 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
 fn sample_count(once: Duration) -> usize {
     let budget = Duration::from_millis(600);
     ((budget.as_nanos() / once.as_nanos().max(1)) as usize).clamp(5, 60)
+}
+
+/// Median wall-clock times of two alternating measurements, in nanoseconds.
+/// The arms are interleaved (`a`, `b`, `a`, `b`, …, after one warm-up of
+/// each) so slow drift in effective machine speed — frequency scaling,
+/// noisy neighbours on a shared core — biases both medians equally instead
+/// of whichever arm happened to run in the slower stretch.  A/B comparison
+/// rows (`planner/*`, `sched/*`, `agg/*`) use this; the `speedup` fields
+/// they record are therefore drift-free.
+fn median_ns_interleaved(samples: usize, a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (f64, f64) {
+    a();
+    b();
+    let mut times_a = Vec::with_capacity(samples.max(1));
+    let mut times_b = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        a();
+        times_a.push(t.elapsed().as_secs_f64() * 1e9);
+        let t = Instant::now();
+        b();
+        times_b.push(t.elapsed().as_secs_f64() * 1e9);
+    }
+    let median = |mut times: Vec<f64>| {
+        times.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+        times[times.len() / 2]
+    };
+    (median(times_a), median(times_b))
 }
 
 fn bench_pair(label: &str, mut fast: impl FnMut(), mut naive: impl FnMut()) -> Row {
@@ -333,6 +370,99 @@ fn adaptive_rows(quick: bool) -> Vec<Row> {
     rows
 }
 
+/// The aggregate-pushdown group: a cold residual sweep (boundary-value
+/// lattice + residual sensitivity at three β) under the count-only
+/// evaluation mode (`AggMode::Auto`: terminal masks fold straight into
+/// grouped accumulators behind the Bloom pre-filter) against the
+/// materializing oracle (`AggMode::Never`), on the uniform star4 and the
+/// skewed star.
+///
+/// Byte-identity is asserted before timing: boundary values and residual
+/// sensitivities under both modes equal each other and the naive engine,
+/// bit for bit.  Rows record both wall-clocks (interleaved), the resident
+/// cache bytes after the sweep under each mode (`bytes_ratio` is the
+/// footprint reduction the mode buys) and how many masks stayed count-only.
+fn agg_rows(quick: bool) -> Vec<Row> {
+    use dpsyn_relational::AggMode;
+    let mut rows = Vec::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let betas = [0.2f64, 0.5, 1.0];
+    let scenarios: Vec<(String, JoinQuery, Instance)> = vec![
+        {
+            let per_rel = if quick { 80 } else { 240 };
+            let (q, i) = random_star(4, 32, per_rel, 0.0, &mut seeded_rng(61));
+            (format!("agg/residual/star4/{per_rel}"), q, i)
+        },
+        {
+            let per_rel = if quick { 20 } else { 50 };
+            let (q, i) = skewed_star(per_rel, 62);
+            (format!("agg/residual/skewed_star4/{per_rel}"), q, i)
+        },
+    ];
+    for (label, query, instance) in &scenarios {
+        let sweep = |mode: AggMode| {
+            let ctx = ExecContext::sequential()
+                .with_plan_config(PlanConfig::default().with_agg_mode(mode));
+            let bv = ctx
+                .all_boundary_values(query, instance)
+                .expect("boundary values");
+            let rs: Vec<f64> = betas
+                .iter()
+                .map(|&beta| {
+                    ctx.residual_sensitivity(query, instance, beta)
+                        .expect("residual")
+                        .value
+                })
+                .collect();
+            let stats = ctx.plan_stats(query, instance).expect("plan stats");
+            (bv, rs, ctx.cached_subjoin_bytes(), stats.aggregated_masks)
+        };
+        // Byte-identity before timing: the count-only sweep equals the
+        // materializing oracle and the naive engine, bit for bit.
+        let (agg_bv, agg_rs, agg_bytes, aggregated_masks) = sweep(AggMode::Auto);
+        let (mat_bv, mat_rs, mat_bytes, mat_aggregated) = sweep(AggMode::Never);
+        let naive_bv = all_boundary_values_naive(query, instance).expect("naive");
+        assert_eq!(agg_bv, mat_bv, "{label}: boundary values must not change");
+        assert_eq!(agg_bv, naive_bv, "{label}: naive oracle must agree");
+        assert_eq!(mat_aggregated, 0, "{label}: Never must materialize");
+        assert!(aggregated_masks > 0, "{label}: Auto must aggregate");
+        for (a, m) in agg_rs.iter().zip(&mat_rs) {
+            assert_eq!(
+                a.to_bits(),
+                m.to_bits(),
+                "{label}: residual sensitivity must be bit-identical"
+            );
+        }
+        let mut agg_run = || {
+            black_box(sweep(AggMode::Auto));
+        };
+        let mut mat_run = || {
+            black_box(sweep(AggMode::Never));
+        };
+        let probe = Instant::now();
+        mat_run();
+        let samples = sample_count(probe.elapsed());
+        let (agg_ns, mat_ns) = median_ns_interleaved(samples, &mut agg_run, &mut mat_run);
+        let speedup = mat_ns / agg_ns.max(1.0);
+        let bytes_ratio = mat_bytes as f64 / (agg_bytes as f64).max(1.0);
+        println!(
+            "bench: {label:<32} agg {agg_ns:>15.1} ns  mat {mat_ns:>15.1} ns  speedup {speedup:>6.2}x  bytes {agg_bytes} vs {mat_bytes} ({bytes_ratio:.2}x, {aggregated_masks} count-only masks, {cores} cores)"
+        );
+        rows.push(
+            Row::new(label)
+                .with("agg_ns", agg_ns)
+                .with("mat_ns", mat_ns)
+                .with("speedup", speedup)
+                .with("agg_bytes", agg_bytes as f64)
+                .with("mat_bytes", mat_bytes as f64)
+                .with("bytes_ratio", bytes_ratio)
+                .with("aggregated_masks", aggregated_masks as f64)
+                .with("available_cores", cores as f64),
+        );
+    }
+    rows
+}
+
 /// A skewed-degree star: heterogeneous relation sizes plus Zipf hubs, so
 /// pair sub-joins differ wildly in size and the planner's parent choice
 /// matters.
@@ -400,22 +530,22 @@ fn planner_rows(quick: bool) -> Vec<Row> {
             "planner pass must equal fixed-prefix pass"
         );
 
-        let planner_run = || {
+        let mut planner_run = || {
             // The plan build (statistics + pivot table) is part of the
             // measured cost: this is what a cold context checkout pays.
             let plan = Arc::new(JoinPlan::cost_based(query, instance).expect("plan"));
             let cache = ShardedSubJoinCache::with_plan(query, instance, plan).expect("cache");
             black_box(lattice_pass(query, &cache));
         };
-        let prefix_run = || {
+        let mut prefix_run = || {
             let cache = ShardedSubJoinCache::new(query, instance).expect("cache");
             black_box(lattice_pass(query, &cache));
         };
         let probe = Instant::now();
         prefix_run();
         let samples = sample_count(probe.elapsed());
-        let planner_ns = median_ns(samples, planner_run);
-        let prefix_ns = median_ns(samples, prefix_run);
+        let (planner_ns, prefix_ns) =
+            median_ns_interleaved(samples, &mut planner_run, &mut prefix_run);
         let speedup = prefix_ns / planner_ns.max(1.0);
         let tuple_ratio = prefix_tuples as f64 / (planner_tuples as f64).max(1.0);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -493,8 +623,10 @@ fn sched_rows(quick: bool) -> Vec<Row> {
     let probe = Instant::now();
     run(Schedule::Strided);
     let samples = sample_count(probe.elapsed());
-    let stealing_ns = median_ns(samples, || run(Schedule::Stealing));
-    let strided_ns = median_ns(samples, || run(Schedule::Strided));
+    let (stealing_ns, strided_ns) =
+        median_ns_interleaved(samples, &mut || run(Schedule::Stealing), &mut || {
+            run(Schedule::Strided)
+        });
     let speedup = strided_ns / stealing_ns.max(1.0);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let label = format!("sched/populate/heavy_star{m}/{per_rel}");
@@ -675,6 +807,29 @@ fn main() {
             "adaptive smoke — sketch gather + runtime-feedback re-planning",
             &rows,
         );
+        return;
+    }
+    // CI's aggregate-pushdown smoke: the count-only-vs-materializing group
+    // (quick sizes, byte-identity asserted before timing).  Unlike the other
+    // smokes this one DOES write: its fresh `agg/*` rows replace the
+    // committed ones via the read-merge-write reporter, every other row is
+    // preserved verbatim, so the gate also proves the merge path.
+    if std::env::args().any(|a| a == "--agg-smoke") {
+        let rows = agg_rows(true);
+        print_table(
+            "agg smoke — count-only lattice vs materializing oracle",
+            &rows,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let mut raws: Vec<String> = existing_rows_json(&existing)
+            .into_iter()
+            .filter(|(label, _)| !label.starts_with("agg/"))
+            .map(|(_, raw)| raw)
+            .collect();
+        raws.extend(rows.iter().map(Row::to_json));
+        std::fs::write(path, raw_rows_to_json_pretty(&raws) + "\n").expect("write bench results");
+        println!("wrote {path}");
         return;
     }
     // CI's scheduler smoke: the morsel scheduler and probe-loop groups only
@@ -949,6 +1104,9 @@ fn main() {
 
     // --- Adaptive planning: sketch gather + runtime-feedback re-planning ----
     rows.extend(adaptive_rows(quick));
+
+    // --- Aggregate pushdown: count-only lattice vs materializing oracle -----
+    rows.extend(agg_rows(quick));
 
     print_table("join_throughput — hash engine vs naive reference", &rows);
 

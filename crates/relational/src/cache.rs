@@ -53,13 +53,14 @@
 
 use std::sync::{Arc, Mutex};
 
+use crate::attr::AttrId;
 use crate::error::RelationalError;
 use crate::exec::{self, Parallelism};
 use crate::hash::FxHashMap;
 use crate::hypergraph::JoinQuery;
 use crate::instance::Instance;
-use crate::join::{hash_join_step_with, JoinResult};
-use crate::plan::{JoinPlan, PlanConfig, ReplanStats, SharedJoinPlan};
+use crate::join::{hash_join_step_agg, hash_join_step_with, AggSummary, JoinResult};
+use crate::plan::{AggMode, JoinPlan, PlanConfig, ReplanStats, SharedJoinPlan};
 use crate::Result;
 
 /// Memoised sub-join results over one `(query, instance)` pair, keyed by the
@@ -266,6 +267,17 @@ pub struct ShardedSubJoinCache<'a> {
     /// [`Self::join_mask_adaptive`]); `None` until one has run.  Carried
     /// back to the context slot on check-in.
     pub(crate) replan: Option<ReplanStats>,
+    /// Count-only aggregate summaries, an **overlay** over the materialised
+    /// memo: none of the materialised lookups ([`Self::get`],
+    /// [`Self::join_mask`], delta/stream maintenance) ever see it, so a
+    /// mask's evaluation mode affects cost only, never values.  Keyed by
+    /// mask; a stored summary is only valid for reads over its recorded
+    /// `group_by` list (checked on every hit).
+    agg: Mutex<FxHashMap<u32, Arc<AggSummary>>>,
+    /// The materialize-vs-aggregate policy of this checkout (see
+    /// [`AggMode`]).  Set from the context's [`PlanConfig`] on checkout;
+    /// standalone caches default to the environment's setting.
+    pub(crate) agg_mode: AggMode,
 }
 
 impl<'a> ShardedSubJoinCache<'a> {
@@ -307,6 +319,8 @@ impl<'a> ShardedSubJoinCache<'a> {
             shards,
             fingerprint: None,
             replan: None,
+            agg: Mutex::new(FxHashMap::default()),
+            agg_mode: PlanConfig::default().agg_mode,
         })
     }
 
@@ -769,6 +783,318 @@ impl<'a> ShardedSubJoinCache<'a> {
         self.replan = Some(replan);
         out
     }
+
+    // ---- Aggregate-pushdown (count-only) evaluation --------------------
+    //
+    // The sensitivity layer reads most lattice masks only through
+    // per-boundary-key maximum group weights and join sizes.  The methods
+    // below serve those reads from an `AggSummary` computed by the
+    // non-materializing fold (`hash_join_step_agg`) whenever the mask is
+    // *terminal* — nobody's chain parent under the current plan — and from
+    // the materialised lattice otherwise.  Both paths produce identical
+    // numbers (the fold replicates the materializing oracle's grouping and
+    // saturation exactly), so the per-mask decision is invisible in every
+    // output.
+
+    /// The cached count-only summary of `mask` for this exact `group_by`
+    /// list, if present.  A summary recorded for a different group list is
+    /// not a hit — it answers a different boundary query.
+    fn agg_get(&self, mask: u32, group_by: &[AttrId]) -> Option<Arc<AggSummary>> {
+        self.agg
+            .lock()
+            .expect("agg overlay poisoned")
+            .get(&mask)
+            .filter(|s| s.group_by == group_by)
+            .cloned()
+    }
+
+    fn agg_insert(&self, mask: u32, summary: Arc<AggSummary>) {
+        // Unlike the materialised memo this replaces: a later read over a
+        // different group list supersedes the stored summary (values for
+        // the same list are deterministic, so replacement is safe).
+        self.agg
+            .lock()
+            .expect("agg overlay poisoned")
+            .insert(mask, summary);
+    }
+
+    /// Whether an aggregate read over `mask` should go through the
+    /// materialised lattice instead of the count-only fold.
+    fn reads_materialized(&self, mask: u32) -> bool {
+        let full = (1u32 << self.query.num_relations()) - 1;
+        match self.agg_mode {
+            AggMode::Never => true,
+            // Stress mode: force the fold on every proper mask, even when a
+            // materialised entry is warm.
+            AggMode::Always => mask == full,
+            // Masks the lattice needs materialised anyway — the full join
+            // and every chain parent — plus already-warm entries, read the
+            // tuples directly.
+            AggMode::Auto => {
+                mask == full || self.plan.is_chain_parent(mask) || self.get(mask).is_some()
+            }
+        }
+    }
+
+    /// Computes `mask`'s count-only summary with one aggregate fold from
+    /// its plan parent.  The parent is materialised through the **lazy
+    /// chain walk**, never assumed present: a mid-populate re-plan can
+    /// re-route a chain through a mask the demanded populate skipped, and
+    /// the walk builds such ancestors instead of panicking.
+    fn compute_agg(&self, mask: u32, group_by: &[AttrId], par: Parallelism) -> Result<AggSummary> {
+        let pivot = self.plan.pivot(mask);
+        let rest = mask & !(1u32 << pivot);
+        if rest == 0 {
+            AggSummary::from_join_result(
+                &JoinResult::from_relation(self.instance.relation(pivot)),
+                group_by,
+            )
+        } else {
+            let sub = self.join_mask(rest, par)?;
+            hash_join_step_agg(&sub, self.instance.relation(pivot), group_by, par)
+        }
+    }
+
+    /// The maximum group weight of `mask`'s sub-join over `group_by` (the
+    /// boundary query; an empty list yields the join size).  Serves the
+    /// read count-only where the [`AggMode`] policy allows, memoising the
+    /// summary in the overlay; otherwise reads the materialised lattice via
+    /// [`Self::join_mask`].  Values are identical either way.
+    pub fn max_group_weight(
+        &self,
+        mask: u32,
+        group_by: &[AttrId],
+        par: Parallelism,
+    ) -> Result<u128> {
+        self.check_mask(mask)?;
+        if let Some(hit) = self.agg_get(mask, group_by) {
+            return Ok(hit.max_group_weight);
+        }
+        if self.reads_materialized(mask) {
+            return self.join_mask(mask, par)?.max_group_weight(group_by);
+        }
+        let summary = Arc::new(self.compute_agg(mask, group_by, par)?);
+        let max = summary.max_group_weight;
+        self.agg_insert(mask, summary);
+        Ok(max)
+    }
+
+    /// [`Self::max_group_weight`] without memoising anything for `mask`
+    /// itself (parents materialise as usual) — the footprint shape local
+    /// sensitivity wants for its `m` full-size targets.
+    pub fn max_group_weight_transient(
+        &self,
+        mask: u32,
+        group_by: &[AttrId],
+        par: Parallelism,
+    ) -> Result<u128> {
+        self.check_mask(mask)?;
+        if let Some(hit) = self.agg_get(mask, group_by) {
+            return Ok(hit.max_group_weight);
+        }
+        if self.reads_materialized(mask) {
+            return self
+                .join_mask_transient(mask, par)?
+                .max_group_weight(group_by);
+        }
+        Ok(self.compute_agg(mask, group_by, par)?.max_group_weight)
+    }
+
+    /// [`Self::max_group_weight`] with the runtime feedback loop closed:
+    /// the count-only fold measures the summary's recorded distinct count
+    /// against the planner estimate (exactly what the materializing path
+    /// would have measured — the fold counts the same match pairs), and a
+    /// breach re-plans the not-yet-built remainder.  A re-plan below can
+    /// re-route `mask` itself; values are plan-invariant, so the fold over
+    /// the already-chosen pivot stays correct — only later masks take the
+    /// new route.
+    pub fn max_group_weight_adaptive(
+        &mut self,
+        mask: u32,
+        group_by: &[AttrId],
+        par: Parallelism,
+        config: &PlanConfig,
+    ) -> Result<u128> {
+        self.check_mask(mask)?;
+        if let Some(hit) = self.agg_get(mask, group_by) {
+            return Ok(hit.max_group_weight);
+        }
+        if self.reads_materialized(mask) {
+            return self
+                .join_mask_adaptive(mask, par, config)?
+                .max_group_weight(group_by);
+        }
+        let summary = Arc::new(self.compute_agg_adaptive(mask, group_by, par, config)?);
+        let mut replan = self.replan.take().unwrap_or_default();
+        if self.measure(mask, summary.distinct_count, config, &mut replan) {
+            self.replan_now(&mut replan);
+        }
+        self.replan = Some(replan);
+        let max = summary.max_group_weight;
+        self.agg_insert(mask, summary);
+        Ok(max)
+    }
+
+    /// [`Self::max_group_weight_transient`] with the adaptive chain walk
+    /// below (parents materialise, measure and possibly re-plan) and the
+    /// final fold measured too; nothing is memoised for `mask` itself.
+    pub fn max_group_weight_transient_adaptive(
+        &mut self,
+        mask: u32,
+        group_by: &[AttrId],
+        par: Parallelism,
+        config: &PlanConfig,
+    ) -> Result<u128> {
+        self.check_mask(mask)?;
+        if let Some(hit) = self.agg_get(mask, group_by) {
+            return Ok(hit.max_group_weight);
+        }
+        if self.reads_materialized(mask) {
+            return self
+                .join_mask_transient_adaptive(mask, par, config)?
+                .max_group_weight(group_by);
+        }
+        let summary = self.compute_agg_adaptive(mask, group_by, par, config)?;
+        let mut replan = self.replan.take().unwrap_or_default();
+        if self.measure(mask, summary.distinct_count, config, &mut replan) {
+            self.replan_now(&mut replan);
+        }
+        self.replan = Some(replan);
+        Ok(summary.max_group_weight)
+    }
+
+    /// [`Self::compute_agg`] with the parent chain walked adaptively.  The
+    /// pivot is committed before the walk; a re-plan triggered below may
+    /// re-route `mask`, but the fold over the committed pivot still yields
+    /// `mask`'s sub-join aggregates (values are plan-invariant).
+    fn compute_agg_adaptive(
+        &mut self,
+        mask: u32,
+        group_by: &[AttrId],
+        par: Parallelism,
+        config: &PlanConfig,
+    ) -> Result<AggSummary> {
+        let pivot = self.plan.pivot(mask);
+        let rest = mask & !(1u32 << pivot);
+        if rest == 0 {
+            return AggSummary::from_join_result(
+                &JoinResult::from_relation(self.instance.relation(pivot)),
+                group_by,
+            );
+        }
+        let sub = self.join_mask_adaptive(rest, par, config)?;
+        hash_join_step_agg(&sub, self.instance.relation(pivot), group_by, par)
+    }
+
+    /// [`Self::populate_proper_subsets_adaptive`] restricted to the masks
+    /// the lattice actually *demands* as tuples: under
+    /// [`AggMode::Auto`]/[`AggMode::Always`] only chain parents are
+    /// materialised and terminal masks are left to the count-only reads;
+    /// under [`AggMode::Never`] this is exactly the full adaptive populate.
+    ///
+    /// Each level's demand set is re-read from the **current** plan, so a
+    /// mid-populate re-plan re-routes later levels' demand too, and masks
+    /// are built through the lazy chain walk ([`Self::join_mask`]) rather
+    /// than a parent-present assumption — a re-plan may demand a mask whose
+    /// new parent was skipped at an earlier level, and the walk builds it.
+    pub fn populate_demanded_adaptive(
+        &mut self,
+        par: Parallelism,
+        sched: exec::Schedule,
+        config: &PlanConfig,
+    ) -> Result<(exec::SchedulerStats, ReplanStats)> {
+        if self.agg_mode == AggMode::Never {
+            return self.populate_proper_subsets_adaptive(par, sched, config);
+        }
+        let m = self.query.num_relations() as u32;
+        let full = (1u32 << m) - 1;
+        let mut stats = exec::SchedulerStats::default();
+        let mut replan = self.replan.take().unwrap_or_default();
+        for level in 1..m.max(1) {
+            let masks: Vec<u32> = (1..full)
+                .filter(|&mask| mask.count_ones() == level && self.plan.is_chain_parent(mask))
+                .collect();
+            if masks.len() <= 1 {
+                for &mask in &masks {
+                    self.join_mask(mask, par)?;
+                    stats.absorb(&exec::SchedulerStats::from_claims(vec![1]));
+                }
+            } else {
+                let (outcomes, level_stats) =
+                    exec::par_map_sched_stats(par, sched, masks.len(), |i| {
+                        self.join_mask(masks[i], Parallelism::SEQUENTIAL)
+                            .map(|_| ())
+                    });
+                for outcome in outcomes {
+                    outcome?;
+                }
+                stats.absorb(&level_stats);
+            }
+            if !self.plan.is_cost_based() {
+                continue;
+            }
+            let mut breach = false;
+            for &mask in &masks {
+                if let Some(result) = self.get(mask) {
+                    breach |= self.measure(mask, result.distinct_count(), config, &mut replan);
+                }
+            }
+            if breach {
+                self.replan_now(&mut replan);
+            }
+        }
+        let out = replan.clone();
+        self.replan = Some(replan);
+        Ok((stats, out))
+    }
+
+    /// Snapshot of the count-only overlay (cheap `Arc` clones), taken by
+    /// the execution context before check-in consumes the cache.
+    pub fn agg_entries(&self) -> FxHashMap<u32, Arc<AggSummary>> {
+        self.agg.lock().expect("agg overlay poisoned").clone()
+    }
+
+    /// Seeds the count-only overlay (the warm-checkout counterpart of
+    /// [`Self::agg_entries`]).  Out-of-range masks are silently dropped.
+    pub(crate) fn seed_agg(&self, entries: FxHashMap<u32, Arc<AggSummary>>) {
+        let m = self.query.num_relations();
+        let mut agg = self.agg.lock().expect("agg overlay poisoned");
+        for (mask, summary) in entries {
+            if mask != 0 && (mask >> m) == 0 {
+                agg.insert(mask, summary);
+            }
+        }
+    }
+
+    /// Number of count-only summaries resident in the overlay.
+    pub fn cached_agg_count(&self) -> usize {
+        self.agg.lock().expect("agg overlay poisoned").len()
+    }
+
+    /// Approximate resident bytes across both entry kinds: flat tuple
+    /// buffers for materialised entries, fixed-size summaries for
+    /// aggregated ones.
+    pub fn cached_bytes(&self) -> usize {
+        let materialized: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(|r| r.approx_bytes())
+                    .sum::<usize>()
+            })
+            .sum();
+        let aggregated: usize = self
+            .agg
+            .lock()
+            .expect("agg overlay poisoned")
+            .values()
+            .map(|s| s.approx_bytes())
+            .sum();
+        materialized + aggregated
+    }
 }
 
 #[cfg(test)]
@@ -1127,6 +1453,143 @@ mod tests {
                 .unwrap();
             assert_eq!(a.as_ref(), reference.join_mask(mask).unwrap(), "{mask:#b}");
         }
+    }
+
+    #[test]
+    fn aggregate_reads_match_the_materializing_oracle_on_every_mask() {
+        let (q, inst) = star_instance(4);
+        let m = q.num_relations();
+        for mode in [AggMode::Auto, AggMode::Always, AggMode::Never] {
+            for &threads in &[1usize, 2, 4] {
+                let mut cache = ShardedSubJoinCache::new(&q, &inst).unwrap();
+                cache.agg_mode = mode;
+                let par = Parallelism::threads(threads);
+                for mask in 1u32..(1 << m) {
+                    let rels: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                    let direct = join_subset(&q, &inst, &rels).unwrap();
+                    let boundary = q.boundary(&rels).unwrap();
+                    for y in [&boundary[..], &[]] {
+                        assert_eq!(
+                            cache.max_group_weight(mask, y, par).unwrap(),
+                            direct.max_group_weight(y).unwrap(),
+                            "mask {mask:#b}, {mode:?}, threads {threads}, y {y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demanded_populate_skips_terminal_masks_and_stays_correct() {
+        let (q, inst) = star_instance(4);
+        let m = q.num_relations();
+        let full = (1u32 << m) - 1;
+        let reference = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        reference
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        let config = PlanConfig::default();
+        for &threads in &[1usize, 2, 4] {
+            let mut cache = ShardedSubJoinCache::new(&q, &inst).unwrap();
+            let (sched_stats, _) = cache
+                .populate_demanded_adaptive(
+                    Parallelism::threads(threads),
+                    exec::Schedule::Stealing,
+                    &config,
+                )
+                .unwrap();
+            // Under the fixed-prefix plan the chain parents are exactly the
+            // non-empty subsets of {0, …, m-2}: every terminal mask (one
+            // containing relation m-1) is skipped, halving the populate.
+            let parents = (1usize << (m - 1)) - 1;
+            assert_eq!(sched_stats.total(), parents, "threads {threads}");
+            assert_eq!(cache.cached_count(), parents, "threads {threads}");
+            for mask in 1u32..full {
+                let materialized = cache.get(mask).is_some();
+                assert_eq!(
+                    materialized,
+                    mask & (1 << (m - 1)) == 0,
+                    "mask {mask:#b}, threads {threads}"
+                );
+                // Aggregate reads over the skipped masks are byte-identical
+                // to the fully-materialised reference.
+                let rels: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+                let boundary = q.boundary(&rels).unwrap();
+                assert_eq!(
+                    cache
+                        .max_group_weight(mask, &boundary, Parallelism::SEQUENTIAL)
+                        .unwrap(),
+                    reference
+                        .get(mask)
+                        .unwrap()
+                        .max_group_weight(&boundary)
+                        .unwrap(),
+                    "mask {mask:#b}, threads {threads}"
+                );
+            }
+            // Fixed-size summaries are cheaper than the tuples they replace.
+            assert!(
+                cache.cached_bytes() < reference.cached_bytes(),
+                "agg {} vs materialized {} bytes, threads {threads}",
+                cache.cached_bytes(),
+                reference.cached_bytes()
+            );
+            assert!(cache.cached_agg_count() > 0, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn aggregate_overlay_round_trips_and_reuses_exact_group_hits() {
+        let (q, inst) = star_instance(3);
+        let mut cache = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        cache.agg_mode = AggMode::Always;
+        let mask = 0b101u32;
+        let boundary = q.boundary(&[0, 2]).unwrap();
+        let first = cache
+            .max_group_weight(mask, &boundary, Parallelism::SEQUENTIAL)
+            .unwrap();
+        assert_eq!(cache.cached_agg_count(), 1);
+        // A repeat read with the same grouping serves the overlay entry.
+        assert_eq!(
+            cache
+                .max_group_weight(mask, &boundary, Parallelism::SEQUENTIAL)
+                .unwrap(),
+            first
+        );
+        assert_eq!(cache.cached_agg_count(), 1);
+        // A different grouping misses the overlay, recomputes correctly and
+        // replaces the entry.
+        let total = cache
+            .max_group_weight(mask, &[], Parallelism::SEQUENTIAL)
+            .unwrap();
+        assert_eq!(
+            total,
+            join_subset(&q, &inst, &[0, 2]).unwrap().total(),
+            "empty grouping folds the total join weight"
+        );
+        assert_eq!(cache.cached_agg_count(), 1);
+        // The overlay survives a checkout round trip; stale masks are
+        // dropped on re-seed like the materialised memo does.
+        let mut entries = cache.agg_entries();
+        assert_eq!(entries.len(), 1);
+        entries.insert(
+            1 << 5,
+            Arc::new(AggSummary {
+                group_by: Vec::new(),
+                max_group_weight: 0,
+                total_weight: 0,
+                distinct_count: 0,
+            }),
+        );
+        let warm = ShardedSubJoinCache::new(&q, &inst).unwrap();
+        warm.seed_agg(entries);
+        assert_eq!(warm.cached_agg_count(), 1, "out-of-range mask dropped");
+        assert_eq!(
+            warm.max_group_weight(mask, &[], Parallelism::SEQUENTIAL)
+                .unwrap(),
+            total
+        );
     }
 
     #[test]

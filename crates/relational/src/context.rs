@@ -86,7 +86,7 @@ use crate::hypergraph::JoinQuery;
 use crate::instance::{Instance, NeighborEdit};
 use crate::join::{
     fold_fully_packable, grouped_join_size_impl, join_encoded, join_impl, join_size_impl,
-    join_subset_impl, JoinResult,
+    join_subset_impl, AggSummary, JoinResult,
 };
 use crate::plan::{
     JoinPlan, PlanConfig, PlanNodeStats, PlanStats, ReplanStats, SharedJoinPlan, PLAN_MAX_RELATIONS,
@@ -221,8 +221,41 @@ struct CacheSlot {
     /// [`crate::stream::EntryIndex`]), kept across batches so a steady
     /// update stream pays each index build once.
     stream_index: FxHashMap<u32, stream::EntryIndex>,
+    /// Count-only aggregate summaries (see [`crate::join::AggSummary`]) —
+    /// the lattice overlay of masks evaluated without materialisation,
+    /// carried across checkouts like the lattice itself.
+    agg_lattice: FxHashMap<u32, Arc<AggSummary>>,
     /// Logical access time (monotonic per context) driving LRU eviction.
     last_used: u64,
+}
+
+impl CacheSlot {
+    /// Approximate resident bytes across both lattice entry kinds.
+    fn approx_bytes(&self) -> usize {
+        self.lattice
+            .values()
+            .map(|r| r.approx_bytes())
+            .sum::<usize>()
+            + self
+                .agg_lattice
+                .values()
+                .map(|s| s.approx_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Counters of LRU slot evictions on an [`ExecContext`] — what the
+/// byte-level cache accounting lost to capacity, so the
+/// materialize-vs-aggregate decision's footprint effect stays auditable
+/// even after slots churn.  Surfaced via [`ExecContext::eviction_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionStats {
+    /// Number of slot evictions performed by the LRU.
+    pub evictions: u64,
+    /// Total lattice entries (materialised + aggregated) discarded.
+    pub evicted_entries: usize,
+    /// Approximate bytes discarded with them.
+    pub evicted_bytes: usize,
 }
 
 /// The persistent cache state guarded by the context's mutex: a small LRU of
@@ -233,6 +266,7 @@ struct CacheState {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: EvictionStats,
 }
 
 impl CacheState {
@@ -266,7 +300,10 @@ impl CacheState {
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(pos, _)| pos)
                 .expect("non-empty slot list");
-            self.slots.swap_remove(evict);
+            let gone = self.slots.swap_remove(evict);
+            self.evictions.evictions += 1;
+            self.evictions.evicted_entries += gone.lattice.len() + gone.agg_lattice.len();
+            self.evictions.evicted_bytes += gone.approx_bytes();
         }
         self.slots.push(CacheSlot {
             fingerprint,
@@ -277,6 +314,7 @@ impl CacheState {
             replan: None,
             dictionary: None,
             stream_index: FxHashMap::default(),
+            agg_lattice: FxHashMap::default(),
             last_used: clock,
         });
         self.slots.last_mut().expect("just pushed")
@@ -614,28 +652,41 @@ impl ExecContext {
     ) -> Result<ShardedSubJoinCache<'a>> {
         let fp = instance_fingerprint(query, instance);
         let plan = self.join_plan_at(fp, query, instance)?;
-        let (memo, replan) = {
+        let (memo, agg, replan) = {
             let mut state = self.state.lock().expect("context cache poisoned");
             match state.slot_mut(fp) {
-                Some(slot) if !slot.lattice.is_empty() => {
-                    let out = (slot.lattice.clone(), slot.replan.clone());
+                Some(slot) if !slot.lattice.is_empty() || !slot.agg_lattice.is_empty() => {
+                    let out = (
+                        slot.lattice.clone(),
+                        slot.agg_lattice.clone(),
+                        slot.replan.clone(),
+                    );
                     state.hits += 1;
                     out
                 }
                 Some(slot) => {
-                    let out = (FxHashMap::default(), slot.replan.clone());
+                    let out = (
+                        FxHashMap::default(),
+                        FxHashMap::default(),
+                        slot.replan.clone(),
+                    );
                     state.misses += 1;
                     out
                 }
                 None => {
                     state.misses += 1;
-                    (FxHashMap::default(), None)
+                    (FxHashMap::default(), FxHashMap::default(), None)
                 }
             }
         };
         let mut cache = ShardedSubJoinCache::with_memo_and_plan(query, instance, memo, plan)?;
         cache.fingerprint = Some(fp);
         cache.replan = replan;
+        // The materialize-vs-aggregate policy rides the context's plan
+        // config; the warm overlay re-seeds so repeated aggregate reads
+        // stay free across checkouts.
+        cache.agg_mode = self.plan_config.agg_mode;
+        cache.seed_agg(agg);
         Ok(cache)
     }
 
@@ -652,6 +703,7 @@ impl ExecContext {
             .unwrap_or_else(|| instance_fingerprint(cache.query(), cache.instance()));
         let plan = Arc::clone(cache.plan());
         let replan = cache.replan.clone();
+        let agg = cache.agg_entries();
         let memo = cache.into_memo();
         let mut state = self.state.lock().expect("context cache poisoned");
         // Values for equal masks are equal under every decomposition (a
@@ -660,6 +712,7 @@ impl ExecContext {
         // hand-built fixed-prefix cache checks into a planner slot.
         let slot = state.slot_mut_or_insert(fp, self.cache_slots);
         slot.lattice.extend(memo);
+        slot.agg_lattice.extend(agg);
         // Persist the checkout's cost-based plan so the next checkout
         // decomposes identically without rebuilding it.  Hand-built
         // fixed-prefix caches never displace a planner plan — but an
@@ -899,7 +952,10 @@ impl ExecContext {
             }
         }
         // Feedback stats describe estimate quality of the same query family;
-        // they ride the migration like the lattice does.
+        // they ride the migration like the lattice does.  The old slot's
+        // count-only summaries do NOT migrate: they describe pre-update
+        // aggregates with no delta-maintenance story, so they are dropped
+        // with the taken slot and recompute (cheaply) on demand.
         if let Some(replan) = slot.replan.take() {
             new_slot.replan.get_or_insert(replan);
         }
@@ -939,6 +995,40 @@ impl ExecContext {
             .sum()
     }
 
+    /// Approximate resident bytes across all persisted lattice entries of
+    /// **both** kinds — flat tuple buffers for materialised entries plus
+    /// the fixed-size summaries of count-only ones.  This is the footprint
+    /// the aggregate-pushdown mode shrinks; pair with
+    /// [`ExecContext::eviction_stats`] to audit what the LRU discarded.
+    pub fn cached_subjoin_bytes(&self) -> usize {
+        self.state
+            .lock()
+            .expect("context cache poisoned")
+            .slots
+            .iter()
+            .map(|s| s.approx_bytes())
+            .sum()
+    }
+
+    /// Number of count-only aggregate summaries persisted across all LRU
+    /// slots (the overlay siblings of [`ExecContext::cached_subjoins`]).
+    pub fn cached_subjoin_aggregates(&self) -> usize {
+        self.state
+            .lock()
+            .expect("context cache poisoned")
+            .slots
+            .iter()
+            .map(|s| s.agg_lattice.len())
+            .sum()
+    }
+
+    /// LRU slot-eviction counters since the context was created (or since
+    /// the last [`ExecContext::clear_cache`], which resets them along with
+    /// the slots they describe).
+    pub fn eviction_stats(&self) -> EvictionStats {
+        self.state.lock().expect("context cache poisoned").evictions
+    }
+
     /// Planner diagnostics for `(query, instance)`: the decomposition pivots
     /// with estimated cardinalities (building and caching the pair's
     /// [`JoinPlan`] if absent), the recorded top-level join order, and the
@@ -947,7 +1037,13 @@ impl ExecContext {
     pub fn plan_stats(&self, query: &JoinQuery, instance: &Instance) -> Result<PlanStats> {
         let fp = instance_fingerprint(query, instance);
         let plan = self.join_plan_at(fp, query, instance)?;
-        let (actuals, replan): (FxHashMap<u32, usize>, Option<ReplanStats>) = {
+        type Actuals = FxHashMap<u32, usize>;
+        let (actuals, agg_actuals, cached_bytes, replan): (
+            Actuals,
+            Actuals,
+            usize,
+            Option<ReplanStats>,
+        ) = {
             let mut state = self.state.lock().expect("context cache poisoned");
             match state.slot_mut(fp) {
                 Some(slot) => (
@@ -955,9 +1051,14 @@ impl ExecContext {
                         .iter()
                         .map(|(&mask, result)| (mask, result.distinct_count()))
                         .collect(),
+                    slot.agg_lattice
+                        .iter()
+                        .map(|(&mask, summary)| (mask, summary.distinct_count))
+                        .collect(),
+                    slot.approx_bytes(),
                     slot.replan.clone(),
                 ),
-                None => (FxHashMap::default(), None),
+                None => (FxHashMap::default(), FxHashMap::default(), 0, None),
             }
         };
         let m = query.num_relations();
@@ -968,7 +1069,11 @@ impl ExecContext {
                     mask,
                     pivot: plan.pivot(mask),
                     estimated_rows: plan.estimated_rows(mask),
-                    actual_rows: actuals.get(&mask).copied(),
+                    actual_rows: actuals
+                        .get(&mask)
+                        .or_else(|| agg_actuals.get(&mask))
+                        .copied(),
+                    aggregated: !actuals.contains_key(&mask) && agg_actuals.contains_key(&mask),
                 });
             }
         }
@@ -979,6 +1084,11 @@ impl ExecContext {
             nodes,
             cached_masks: actuals.len(),
             cached_tuples: actuals.values().sum(),
+            aggregated_masks: agg_actuals
+                .keys()
+                .filter(|mask| !actuals.contains_key(mask))
+                .count(),
+            cached_bytes,
             replan,
         })
     }
@@ -1006,6 +1116,7 @@ impl ExecContext {
     pub fn clear_cache(&self) {
         let mut state = self.state.lock().expect("context cache poisoned");
         state.slots.clear();
+        state.evictions = EvictionStats::default();
     }
 
     // --- worker-pool access -------------------------------------------------
@@ -1243,6 +1354,79 @@ mod tests {
                 "instance {warm} must stay warm"
             );
         }
+    }
+
+    #[test]
+    fn byte_accounting_and_eviction_counters_audit_the_lru() {
+        let (q, base) = star_instance(3);
+        let variants: Vec<Instance> = (0..2u64)
+            .map(|v| {
+                let mut inst = base.clone();
+                inst.relation_mut(0).add(vec![9, v % 8], 1).unwrap();
+                inst
+            })
+            .collect();
+        let ctx = ExecContext::sequential().with_cache_slots(1);
+        assert_eq!(ctx.cached_subjoin_bytes(), 0);
+        assert_eq!(ctx.eviction_stats(), EvictionStats::default());
+        let cache = ctx.subjoin_cache(&q, &variants[0]).unwrap();
+        cache
+            .populate_proper_subsets(Parallelism::SEQUENTIAL)
+            .unwrap();
+        ctx.retain_subjoin_cache(cache);
+        let resident = ctx.cached_subjoin_bytes();
+        assert!(resident > 0, "populated lattice has resident bytes");
+        // Checking a second fingerprint into a 1-slot LRU evicts the first,
+        // and the counters record exactly what was discarded (checkouts
+        // stay eviction-free; only check-in claims a slot).
+        let entries = ctx.cached_subjoins();
+        ctx.retain_subjoin_cache(ctx.subjoin_cache(&q, &variants[1]).unwrap());
+        let stats = ctx.eviction_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.evicted_entries, entries);
+        assert_eq!(stats.evicted_bytes, resident);
+        // clear_cache resets both the slots and the audit trail.
+        ctx.clear_cache();
+        assert_eq!(ctx.cached_subjoin_bytes(), 0);
+        assert_eq!(ctx.eviction_stats(), EvictionStats::default());
+    }
+
+    #[test]
+    fn aggregate_overlay_persists_in_the_slot_and_surfaces_in_plan_stats() {
+        use crate::plan::AggMode;
+        let (q, inst) = star_instance(3);
+        let m = q.num_relations();
+        let full = (1u32 << m) - 1;
+        let ctx = ExecContext::sequential()
+            .with_plan_config(PlanConfig::default().with_agg_mode(AggMode::Always));
+        let cache = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(cache.agg_mode, AggMode::Always);
+        let terminal = full & !(1u32); // proper mask containing relation m-1
+        let expected = join_subset(&q, &inst, &[1, 2]).unwrap().total();
+        assert_eq!(
+            cache
+                .max_group_weight(terminal, &[], Parallelism::SEQUENTIAL)
+                .unwrap(),
+            expected
+        );
+        assert_eq!(cache.cached_agg_count(), 1);
+        ctx.retain_subjoin_cache(cache);
+        // The overlay rode the check-in: a warm checkout still holds it, and
+        // plan_stats reports the mask as aggregated with its distinct count.
+        let warm = ctx.subjoin_cache(&q, &inst).unwrap();
+        assert_eq!(warm.cached_agg_count(), 1);
+        ctx.retain_subjoin_cache(warm);
+        let stats = ctx.plan_stats(&q, &inst).unwrap();
+        assert_eq!(stats.aggregated_masks, 1);
+        assert!(stats.cached_bytes > 0);
+        let node = stats
+            .nodes
+            .iter()
+            .find(|n| n.mask == terminal)
+            .expect("node present");
+        assert!(node.aggregated);
+        assert!(node.actual_rows.is_some());
+        assert!(stats.nodes.iter().filter(|n| n.aggregated).count() == 1);
     }
 
     #[test]

@@ -68,6 +68,24 @@
 //! methods take the knob from the context, and `Parallelism::SEQUENTIAL`
 //! is exactly the pre-parallel code path.
 //!
+//! ### Aggregate fold (count-only evaluation)
+//!
+//! The sensitivity layer consumes only *aggregates* of most sub-joins —
+//! join sizes and per-boundary-key maximum group weights — so
+//! [`hash_join_step_agg`] evaluates a binary step **without materialising
+//! the result**: every hash-probe match is folded directly into a grouped
+//! accumulator ([`AggSummary`]: max group weight / total weight / distinct
+//! count, all saturating at `u128::MAX`), the group key projected straight
+//! off the two operand rows.  A blocked Bloom filter built from the
+//! probe index's own key hashes additionally prunes probe rows whose key
+//! the build side cannot contain before any chain is walked.  Build-side
+//! selection, match order and weight arithmetic are shared with the
+//! materializing step, and saturating addition is order-free, so the
+//! summary equals [`AggSummary::from_join_result`] over the materialised
+//! step at every thread count — the lattice planner (see
+//! [`crate::plan::AggMode`]) is free to pick either evaluation per mask
+//! without observable effect beyond speed and memory.
+//!
 //! Determinism is preserved by sorting on emit: [`JoinResult::iter`],
 //! [`JoinResult::group_by`] and [`JoinResult::distinct_projections`] return
 //! sorted views, so downstream seeded algorithms observe exactly the order
@@ -389,6 +407,16 @@ impl JoinResult {
         self.weights.is_empty()
     }
 
+    /// Approximate heap footprint in bytes: the flat value buffer plus the
+    /// weight vector plus the attribute list.  Used by the cache layer's
+    /// byte-level accounting; exactness is not required, only that the
+    /// estimate scales with the real allocation.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Value>()
+            + self.weights.len() * std::mem::size_of::<u128>()
+            + self.attrs.len() * std::mem::size_of::<AttrId>()
+    }
+
     /// Iterates over `(tuple, weight)` pairs in deterministic (sorted tuple)
     /// order.  Sorting happens on emit; use [`JoinResult::iter_unordered`]
     /// when order is irrelevant.
@@ -527,7 +555,54 @@ impl JoinResult {
     }
 }
 
+/// The aggregate summary of one sub-join: everything the sensitivity layer
+/// reads from a lattice mask — the per-boundary-key maximum group weight
+/// (the boundary query `T_E`), the total weight (the join size) and the
+/// distinct tuple count — with the result tuples themselves never
+/// materialised.
+///
+/// Produced either by the streaming fold [`hash_join_step_agg`] or by
+/// [`AggSummary::from_join_result`] over a materialised result (the oracle
+/// semantics); both construction paths yield identical numbers for the same
+/// operands.  All weights saturate at `u128::MAX` exactly like the
+/// materializing path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSummary {
+    /// The boundary attribute list the maximum was grouped by (sorted).
+    /// Cached summaries are only valid for reads over this exact list.
+    pub group_by: Vec<AttrId>,
+    /// Maximum per-group total weight over [`AggSummary::group_by`]; zero
+    /// for an empty result.
+    pub max_group_weight: u128,
+    /// Total weight of the sub-join (its join size).
+    pub total_weight: u128,
+    /// Number of distinct tuples the materialised result would hold (each
+    /// distinct operand pair merges to a distinct tuple, so this is exactly
+    /// the match-pair count of the fold).
+    pub distinct_count: usize,
+}
+
+impl AggSummary {
+    /// Folds a materialised result into its summary — the oracle semantics
+    /// [`hash_join_step_agg`] must reproduce.  Also the evaluation path for
+    /// singleton masks, where the "join" is just the relation itself.
+    pub fn from_join_result(result: &JoinResult, group_by: &[AttrId]) -> Result<AggSummary> {
+        Ok(AggSummary {
+            group_by: group_by.to_vec(),
+            max_group_weight: result.max_group_weight(group_by)?,
+            total_weight: result.total(),
+            distinct_count: result.distinct_count(),
+        })
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<AggSummary>() + self.group_by.len() * std::mem::size_of::<AttrId>()
+    }
+}
+
 /// Where each attribute of a merged tuple comes from.
+#[derive(Clone, Copy)]
 enum Side {
     Left(usize),
     Right(usize),
@@ -662,6 +737,129 @@ fn probe_rows<'a>(
     }
 }
 
+/// Bits provisioned per build key in a [`BlockedBloom`] (the word count is
+/// rounded up to a power of two).  ~12 bits per key with two probe bits per
+/// key keeps the false-positive rate at a few percent, and a false positive
+/// only costs one chain walk that finds nothing.
+const BLOOM_BITS_PER_KEY: usize = 12;
+
+/// A blocked Bloom filter over the build side's probe-key **hashes**, used
+/// to discard probe rows with no possible match before their index chain is
+/// walked (semi-join pruning).
+///
+/// Both probe bits of a key land in a single `u64` word selected by the
+/// hash's high bits, so a membership test is one load, one mask and one
+/// compare — no cache line is ever split.  The filter is built from the
+/// hashes the [`ProbeIndex`] already computed, so keying matches the probe
+/// loop exactly: a single packed word for width-1 keys (the [`KeyPacker`]
+/// framing — one value *is* its packed `u64`), the Fx fold of the key slice
+/// otherwise.  Every key present in the index sets its bits, so there are
+/// **no false negatives**: pruning never changes the (probe, build) match
+/// sequence, only how fast non-matching probe rows are discarded.
+struct BlockedBloom {
+    words: Vec<u64>,
+}
+
+impl BlockedBloom {
+    /// Builds the filter from precomputed build-key hashes.
+    fn from_hashes(hashes: &[u64]) -> BlockedBloom {
+        let words = ((hashes.len() * BLOOM_BITS_PER_KEY) / 64)
+            .max(64)
+            .next_power_of_two();
+        let mut filter = BlockedBloom {
+            words: vec![0u64; words],
+        };
+        for &h in hashes {
+            let w = filter.word_index(h);
+            filter.words[w] |= Self::bits_of(h);
+        }
+        filter
+    }
+
+    /// The word a hash's bits live in, selected by the hash's high bits
+    /// (disjoint from both the probe-bit positions below and the
+    /// [`ProbeIndex`] bucket bits, which use the low end).
+    #[inline]
+    fn word_index(&self, hash: u64) -> usize {
+        ((hash >> 32) as usize) & (self.words.len() - 1)
+    }
+
+    /// The two probe bits of a hash, drawn from its low 12 bits.
+    #[inline]
+    fn bits_of(hash: u64) -> u64 {
+        (1u64 << (hash & 63)) | (1u64 << ((hash >> 6) & 63))
+    }
+
+    /// Whether a key with this hash may be present (`false` ⇒ definitely
+    /// absent from the build side).
+    #[inline]
+    fn may_contain(&self, hash: u64) -> bool {
+        let need = Self::bits_of(hash);
+        self.words[self.word_index(hash)] & need == need
+    }
+}
+
+/// [`probe_rows`]' batched arms with Bloom semi-join pruning: each probe
+/// key's membership is tested against `bloom` between the hash pass and the
+/// chain walk, so keys the build side cannot contain never touch the index.
+/// Because the filter has no false negatives, the emitted (probe, build)
+/// pair sequence is identical to [`probe_rows`]' under any [`ProbeMode`].
+fn probe_rows_bloom<'a>(
+    index: &ProbeIndex,
+    bloom: &BlockedBloom,
+    range: std::ops::Range<usize>,
+    key_width: usize,
+    row_of: impl Fn(usize) -> &'a [Value],
+    positions: &[usize],
+    mut on_match: impl FnMut(usize, usize),
+) {
+    if key_width == 1 {
+        // Width-1 keys need no arena (see probe_rows).
+        let pos = positions[0];
+        let mut batch: Vec<Value> = Vec::with_capacity(PROBE_BATCH);
+        let mut hashes: Vec<u64> = Vec::with_capacity(PROBE_BATCH);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + PROBE_BATCH).min(range.end);
+            batch.clear();
+            hashes.clear();
+            for i in start..end {
+                batch.push(row_of(i)[pos]);
+            }
+            hashes.extend(batch.iter().map(|&v| hash_word(v)));
+            for (k, i) in (start..end).enumerate() {
+                if bloom.may_contain(hashes[k]) {
+                    index.for_each_match(std::slice::from_ref(&batch[k]), hashes[k], |j| {
+                        on_match(i, j)
+                    });
+                }
+            }
+            start = end;
+        }
+    } else {
+        let mut batch = KeyArena::with_capacity(key_width, PROBE_BATCH);
+        let mut hashes: Vec<u64> = Vec::with_capacity(PROBE_BATCH);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + PROBE_BATCH).min(range.end);
+            batch.clear();
+            hashes.clear();
+            for i in start..end {
+                batch.push_projected(row_of(i), positions);
+            }
+            for k in 0..batch.len() {
+                hashes.push(hash_key(batch.row(k)));
+            }
+            for (k, i) in (start..end).enumerate() {
+                if bloom.may_contain(hashes[k]) {
+                    index.for_each_match(batch.row(k), hashes[k], |j| on_match(i, j));
+                }
+            }
+            start = end;
+        }
+    }
+}
+
 /// One binary hash-join step at an explicit parallelism level, with the
 /// default [`ProbeMode::Batched`] inner loop.  See [`hash_join_step_mode`].
 pub fn hash_join_step_with(
@@ -767,6 +965,188 @@ pub fn hash_join_step_mode(
         attrs: new_attrs,
         values: out_values,
         weights: out_weights,
+    })
+}
+
+/// Folds one (probe, build) match into the grouped accumulator: projects
+/// the merged tuple's group key straight off the two operand rows (the
+/// merged tuple itself is never built) and adds the match weight to its
+/// group, saturating.
+#[inline]
+fn fold_match(
+    group_plan: &[Side],
+    left: &[Value],
+    right: &[Value],
+    w: u128,
+    scratch: &mut Vec<Value>,
+    groups: &mut FxHashMap<TupleKey, u128>,
+) {
+    scratch.clear();
+    scratch.extend(group_plan.iter().map(|side| match side {
+        Side::Left(p) => left[*p],
+        Side::Right(p) => right[*p],
+    }));
+    match groups.get_mut(scratch.as_slice()) {
+        Some(total) => *total = total.saturating_add(w),
+        None => {
+            groups.insert(TupleKey::from_slice(scratch), w);
+        }
+    }
+}
+
+/// Merges per-morsel `(groups, match count, total weight)` accumulators.
+/// Unsigned saturating addition is order-free — the fold yields
+/// `min(Σ, u128::MAX)` under any association — so the merged numbers are
+/// identical at every worker count and morsel partition.
+fn merge_agg_parts(
+    mut parts: Vec<(FxHashMap<TupleKey, u128>, usize, u128)>,
+) -> (FxHashMap<TupleKey, u128>, usize, u128) {
+    if parts.len() == 1 {
+        return parts.pop().expect("one part");
+    }
+    let mut groups: FxHashMap<TupleKey, u128> = FxHashMap::default();
+    let mut distinct = 0usize;
+    let mut total = 0u128;
+    for (part, count, sum) in parts {
+        distinct += count;
+        total = total.saturating_add(sum);
+        for (k, w) in part {
+            let slot = groups.entry(k).or_insert(0);
+            *slot = slot.saturating_add(w);
+        }
+    }
+    (groups, distinct, total)
+}
+
+/// One binary hash-join step folded **directly into aggregates** — the
+/// `AggFold` evaluation mode.
+///
+/// Streams every hash-probe match into a grouped accumulator (group key →
+/// saturating weight sum, plus match count and saturating total) without
+/// ever materialising a merged tuple: no flat result buffer, no weight
+/// vector, no [`JoinResult`].  The probe side is additionally pre-filtered
+/// by a blocked Bloom filter built from the index's own key hashes, so probe
+/// rows whose key the build side cannot contain skip the chain walk
+/// entirely.
+///
+/// Build-side selection, the match sequence and the weight arithmetic are
+/// exactly [`hash_join_step_mode`]'s, and grouping reproduces
+/// [`JoinResult::group_by_key`]'s saturating sums, so the returned summary
+/// equals [`AggSummary::from_join_result`] over the materialised step for
+/// every operand pair, thread count and morsel partition — only the
+/// evaluation cost differs.
+pub fn hash_join_step_agg(
+    acc: &JoinResult,
+    rel: &Relation,
+    group_by: &[AttrId],
+    par: Parallelism,
+) -> Result<AggSummary> {
+    let shared = intersect_attrs(&acc.attrs, rel.attrs());
+    let (merged_attrs, plan) = merge_plan(&acc.attrs, rel.attrs());
+    let acc_shared_pos = project_positions(&acc.attrs, &shared)?;
+    let rel_shared_pos = project_positions(rel.attrs(), &shared)?;
+    // Resolve each group-by attribute to the operand position supplying it
+    // in the merged tuple, so group keys project straight off the operand
+    // rows.  Errors (attribute outside the merged list) match the
+    // materializing oracle's, which projects over the same attribute union.
+    let group_plan: Vec<Side> = project_positions(&merged_attrs, group_by)?
+        .iter()
+        .map(|&p| plan[p])
+        .collect();
+    let group_plan = &group_plan[..];
+
+    let rel_rows = FlatRows::from_relation(rel);
+    let (groups, distinct, total) = if rel.distinct_count() <= acc.distinct_count() {
+        // Build on the relation, probe with the accumulated result.
+        let mut arena = KeyArena::with_capacity(shared.len(), rel_rows.len());
+        for i in 0..rel_rows.len() {
+            arena.push_projected(rel_rows.row(i), &rel_shared_pos);
+        }
+        let index = ProbeIndex::build(arena);
+        let bloom = BlockedBloom::from_hashes(&index.hashes);
+        let probe = |range: std::ops::Range<usize>| {
+            let mut groups: FxHashMap<TupleKey, u128> = FxHashMap::default();
+            let mut scratch: Vec<Value> = Vec::with_capacity(group_plan.len());
+            let mut distinct = 0usize;
+            let mut total = 0u128;
+            probe_rows_bloom(
+                &index,
+                &bloom,
+                range,
+                shared.len(),
+                |i| acc.row(i),
+                &acc_shared_pos,
+                |i, j| {
+                    let w = acc.weights[i].saturating_mul(rel_rows.freq(j) as u128);
+                    fold_match(
+                        group_plan,
+                        acc.row(i),
+                        rel_rows.row(j),
+                        w,
+                        &mut scratch,
+                        &mut groups,
+                    );
+                    distinct += 1;
+                    total = total.saturating_add(w);
+                },
+            );
+            (groups, distinct, total)
+        };
+        merge_agg_parts(exec::par_map_ranges(
+            par,
+            acc.distinct_count(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
+    } else {
+        // Build on the accumulated result, probe with the relation.
+        let mut arena = KeyArena::with_capacity(shared.len(), acc.distinct_count());
+        for i in 0..acc.distinct_count() {
+            arena.push_projected(acc.row(i), &acc_shared_pos);
+        }
+        let index = ProbeIndex::build(arena);
+        let bloom = BlockedBloom::from_hashes(&index.hashes);
+        let probe = |range: std::ops::Range<usize>| {
+            let mut groups: FxHashMap<TupleKey, u128> = FxHashMap::default();
+            let mut scratch: Vec<Value> = Vec::with_capacity(group_plan.len());
+            let mut distinct = 0usize;
+            let mut total = 0u128;
+            probe_rows_bloom(
+                &index,
+                &bloom,
+                range,
+                shared.len(),
+                |i| rel_rows.row(i),
+                &rel_shared_pos,
+                |i, j| {
+                    let w = acc.weights[j].saturating_mul(rel_rows.freq(i) as u128);
+                    fold_match(
+                        group_plan,
+                        acc.row(j),
+                        rel_rows.row(i),
+                        w,
+                        &mut scratch,
+                        &mut groups,
+                    );
+                    distinct += 1;
+                    total = total.saturating_add(w);
+                },
+            );
+            (groups, distinct, total)
+        };
+        merge_agg_parts(exec::par_map_ranges(
+            par,
+            rel_rows.len(),
+            MIN_PAR_PROBE,
+            probe,
+        ))
+    };
+
+    Ok(AggSummary {
+        group_by: group_by.to_vec(),
+        max_group_weight: groups.values().copied().max().unwrap_or(0),
+        total_weight: total,
+        distinct_count: distinct,
     })
 }
 
@@ -1472,6 +1852,159 @@ mod tests {
         assert_eq!(result.total(), 12);
         assert_eq!(result.weight(&[3, 4]), 7);
         assert_eq!(result.weight(&[9, 9]), 0);
+    }
+
+    #[test]
+    fn agg_step_matches_the_materializing_oracle() {
+        let q = JoinQuery::two_table(64, 4096, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..3000u64 {
+            inst.relation_mut(0).add(vec![i % 37, i % 4096], 1).unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i * 7) % 4096, i % 29], 1 + i % 3)
+                .unwrap();
+        }
+        let acc = JoinResult::from_relation(inst.relation(0));
+        let materialized =
+            hash_join_step_with(&acc, inst.relation(1), Parallelism::SEQUENTIAL).unwrap();
+        // Boundary-style group lists drawn from both operands and the
+        // empty list (join size only).
+        let group_lists = [ids(&[]), ids(&[0]), ids(&[1]), ids(&[0, 2])];
+        for group_by in group_lists.iter().map(|g| g.as_slice()) {
+            let oracle = AggSummary::from_join_result(&materialized, group_by).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let agg = hash_join_step_agg(
+                    &acc,
+                    inst.relation(1),
+                    group_by,
+                    Parallelism::threads(threads),
+                )
+                .unwrap();
+                assert_eq!(agg, oracle, "threads = {threads}, group_by = {group_by:?}");
+            }
+        }
+        // The opposite build orientation: probe the small accumulated side.
+        let acc_small = JoinResult::from_relation(inst.relation(1));
+        let materialized =
+            hash_join_step_with(&acc_small, inst.relation(0), Parallelism::SEQUENTIAL).unwrap();
+        let oracle = AggSummary::from_join_result(&materialized, &ids(&[1])).unwrap();
+        let agg = hash_join_step_agg(
+            &acc_small,
+            inst.relation(0),
+            &ids(&[1]),
+            Parallelism::threads(4),
+        )
+        .unwrap();
+        assert_eq!(agg, oracle);
+    }
+
+    #[test]
+    fn agg_step_saturates_like_the_materializing_path() {
+        // Mirror of weights_saturate_instead_of_overflowing: per-group and
+        // total sums exceed u128::MAX and must clamp, not wrap.
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], u64::MAX)]).unwrap();
+        let r2 = Relation::from_tuples(
+            ids(&[1, 2]),
+            vec![(vec![0, 0], u64::MAX), (vec![0, 1], u64::MAX)],
+        )
+        .unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let acc = JoinResult::from_relation(inst.relation(0));
+        let agg = hash_join_step_agg(&acc, inst.relation(1), &ids(&[1]), Parallelism::SEQUENTIAL)
+            .unwrap();
+        let per_entry = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(agg.distinct_count, 2);
+        // Both entries share the group B=0, whose sum exceeds u128::MAX.
+        assert_eq!(agg.max_group_weight, u128::MAX);
+        assert_eq!(agg.total_weight, u128::MAX);
+        assert!(per_entry < u128::MAX && per_entry.saturating_add(per_entry) == u128::MAX);
+        let materialized =
+            hash_join_step_with(&acc, inst.relation(1), Parallelism::SEQUENTIAL).unwrap();
+        assert_eq!(
+            agg,
+            AggSummary::from_join_result(&materialized, &ids(&[1])).unwrap()
+        );
+    }
+
+    #[test]
+    fn agg_step_handles_empty_results_and_empty_group_lists() {
+        let r1 = Relation::from_tuples(ids(&[0, 1]), vec![(vec![0, 0], 1)]).unwrap();
+        let r2 = Relation::from_tuples(ids(&[1, 2]), vec![(vec![1, 0], 1)]).unwrap();
+        let inst = Instance::new(vec![r1, r2]);
+        let acc = JoinResult::from_relation(inst.relation(0));
+        let agg = hash_join_step_agg(&acc, inst.relation(1), &[], Parallelism::SEQUENTIAL).unwrap();
+        assert_eq!(agg.max_group_weight, 0);
+        assert_eq!(agg.total_weight, 0);
+        assert_eq!(agg.distinct_count, 0);
+        let materialized =
+            hash_join_step_with(&acc, inst.relation(1), Parallelism::SEQUENTIAL).unwrap();
+        assert_eq!(
+            agg,
+            AggSummary::from_join_result(&materialized, &[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn bloom_filter_never_reports_a_present_key_absent() {
+        let hashes: Vec<u64> = (0..5000u64)
+            .map(|i| hash_word(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect();
+        let bloom = BlockedBloom::from_hashes(&hashes);
+        for &h in &hashes {
+            assert!(bloom.may_contain(h));
+        }
+        // And it does prune: most keys it never saw must test absent.
+        let absent = (5000..50_000u64)
+            .map(|i| hash_word(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .filter(|&h| !bloom.may_contain(h))
+            .count();
+        assert!(absent > 40_000, "bloom pruned only {absent} of 45000");
+    }
+
+    #[test]
+    fn bloom_probe_emits_the_same_match_sequence_as_the_plain_probe() {
+        let q = JoinQuery::two_table(64, 4096, 64);
+        let mut inst = Instance::empty_for(&q).unwrap();
+        for i in 0..3000u64 {
+            inst.relation_mut(0).add(vec![i % 37, i % 4096], 1).unwrap();
+            inst.relation_mut(1)
+                .add(vec![(i * 7) % 4096, i % 29], 1 + i % 3)
+                .unwrap();
+        }
+        let acc = JoinResult::from_relation(inst.relation(0));
+        let rel = inst.relation(1);
+        let shared = intersect_attrs(acc.attrs(), rel.attrs());
+        let acc_pos = project_positions(acc.attrs(), &shared).unwrap();
+        let rel_pos = project_positions(rel.attrs(), &shared).unwrap();
+        let rel_rows = FlatRows::from_relation(rel);
+        let mut arena = KeyArena::with_capacity(shared.len(), rel_rows.len());
+        for i in 0..rel_rows.len() {
+            arena.push_projected(rel_rows.row(i), &rel_pos);
+        }
+        let index = ProbeIndex::build(arena);
+        let bloom = BlockedBloom::from_hashes(&index.hashes);
+        let mut plain: Vec<(usize, usize)> = Vec::new();
+        probe_rows(
+            &index,
+            ProbeMode::Batched,
+            0..acc.distinct_count(),
+            shared.len(),
+            |i| acc.row(i),
+            &acc_pos,
+            |i, j| plain.push((i, j)),
+        );
+        let mut pruned: Vec<(usize, usize)> = Vec::new();
+        probe_rows_bloom(
+            &index,
+            &bloom,
+            0..acc.distinct_count(),
+            shared.len(),
+            |i| acc.row(i),
+            &acc_pos,
+            |i, j| pruned.push((i, j)),
+        );
+        assert_eq!(pruned, plain);
+        assert!(!plain.is_empty());
     }
 
     #[test]

@@ -91,6 +91,25 @@
 //! estimates as upper bounds (drift the re-plan feedback absorbs) until a
 //! relation has lost enough rows to warrant a single-relation re-gather.
 //!
+//! **Materialize vs. aggregate.**  Sensitivity consumers read only
+//! *aggregates* of most lattice entries — join sizes and per-boundary-key
+//! maximum weights — so the cache additionally decides, per mask, whether
+//! a sub-join is worth keeping as tuples at all.  Masks another mask
+//! decomposes through ([`JoinPlan::is_chain_parent`]) and the full join
+//! stay materialized; terminal masks whose only consumers are aggregate
+//! reads are evaluated **count-only**: [`join::hash_join_step_agg`]
+//! streams hash-probe matches straight into grouped saturating
+//! accumulators (an [`AggSummary`]) without building a [`JoinResult`],
+//! pre-filtering probe rows against a blocked Bloom filter built from the
+//! build side's key hashes (no false negatives, so the surviving match
+//! sequence is identical).  The decision is owned by
+//! [`PlanConfig::agg_mode`] / [`AggMode`] (overridable via the
+//! `DPSYN_AGG_FORCE` environment variable), recorded on
+//! [`PlanNodeStats::aggregated`], and changes *how much work and memory*
+//! the same numbers cost — never the numbers: every aggregate is
+//! byte-identical to folding the materializing engine's output, which is
+//! retained as the cross-check oracle ([`AggMode::Never`]).
+//!
 //! # Parallel execution
 //!
 //! The [`exec`] module provides a dependency-free scoped worker pool with a
@@ -179,8 +198,8 @@ pub mod tuple;
 pub use attr::{AttrId, Attribute, Schema};
 pub use cache::{ShardedSubJoinCache, SubJoinCache};
 pub use context::{
-    instance_fingerprint, DictionaryState, ExecContext, UpdateReport, DEFAULT_CACHE_SLOTS,
-    DEFAULT_MIN_PAR_INSTANCE,
+    instance_fingerprint, DictionaryState, EvictionStats, ExecContext, UpdateReport,
+    DEFAULT_CACHE_SLOTS, DEFAULT_MIN_PAR_INSTANCE,
 };
 pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_number};
 pub use degree::{deg_multi, deg_multi_cached, deg_single, max_degree, psi, psi_cached};
@@ -191,13 +210,13 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hypergraph::JoinQuery;
 pub use instance::{Instance, NeighborEdit};
 pub use join::{
-    fold_fully_packable, fold_order, grouped_join_size, hash_join_step, hash_join_step_dict,
-    hash_join_step_mode, hash_join_step_with, join, join_dict, join_encoded, join_size,
-    join_subset, JoinResult, ProbeMode,
+    fold_fully_packable, fold_order, grouped_join_size, hash_join_step, hash_join_step_agg,
+    hash_join_step_dict, hash_join_step_mode, hash_join_step_with, join, join_dict, join_encoded,
+    join_size, join_subset, AggSummary, JoinResult, ProbeMode,
 };
 pub use plan::{
-    DistinctSketch, JoinPlan, PlanConfig, PlanNodeStats, PlanStats, RelationStats, ReplanStats,
-    SharedJoinPlan, DEFAULT_REPLAN_RATIO, PLAN_MAX_RELATIONS,
+    AggMode, DistinctSketch, JoinPlan, PlanConfig, PlanNodeStats, PlanStats, RelationStats,
+    ReplanStats, SharedJoinPlan, DEFAULT_REPLAN_RATIO, PLAN_MAX_RELATIONS,
 };
 pub use relation::Relation;
 pub use stream::{apply_batch, UpdateBatch, UpdateOp, UpdateStats};

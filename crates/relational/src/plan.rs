@@ -276,6 +276,32 @@ impl DistinctSketch {
 /// cardinality is off from its estimate by more than 8× either way.
 pub const DEFAULT_REPLAN_RATIO: f64 = 8.0;
 
+/// When the lattice evaluates a sub-join mask **count-only** (folding the
+/// hash-probe matches straight into an [`crate::join::AggSummary`] instead
+/// of materialising a [`crate::join::JoinResult`] — see the `join` module's
+/// "Aggregate fold" docs).
+///
+/// The decision is per mask and purely a performance choice: both
+/// evaluation modes produce identical numbers, so every setting yields
+/// byte-identical sensitivity outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggMode {
+    /// Demand analysis decides: masks some other mask's chain is built
+    /// through ([`JoinPlan::is_chain_parent`]) and the full join stay
+    /// materialized; terminal masks — whose only consumers are the
+    /// aggregate reads of the sensitivity layer — go count-only.  A warm
+    /// materialized entry is still read directly when present.
+    #[default]
+    Auto,
+    /// Force the aggregate fold on every proper sub-join read, even when a
+    /// materialized entry exists (the CI stress setting).  The populate
+    /// skip set equals [`AggMode::Auto`]'s.
+    Always,
+    /// Never aggregate: every mask is materialized (the historical
+    /// behaviour, kept as the in-process oracle).
+    Never,
+}
+
 /// Knobs of the adaptive planning layer.
 ///
 /// Carried by [`crate::ExecContext`] (see
@@ -291,11 +317,16 @@ pub struct PlanConfig {
     /// re-planning.  Defaults to [`DEFAULT_REPLAN_RATIO`], overridable with
     /// the `DPSYN_REPLAN_RATIO` environment variable.
     pub replan_ratio: f64,
+    /// Per-mask materialize-vs-aggregate policy.  Defaults to
+    /// [`AggMode::Auto`], overridable with the `DPSYN_AGG_FORCE`
+    /// environment variable (`always`, `never` or `auto`).
+    pub agg_mode: AggMode,
 }
 
 impl Default for PlanConfig {
-    /// Reads `DPSYN_REPLAN_RATIO` (falling back to
-    /// [`DEFAULT_REPLAN_RATIO`]), same as [`PlanConfig::from_env`].
+    /// Reads `DPSYN_REPLAN_RATIO` and `DPSYN_AGG_FORCE` (falling back to
+    /// [`DEFAULT_REPLAN_RATIO`] / [`AggMode::Auto`]), same as
+    /// [`PlanConfig::from_env`].
     fn default() -> Self {
         PlanConfig::from_env()
     }
@@ -311,20 +342,38 @@ impl PlanConfig {
             } else {
                 replan_ratio.max(1.0)
             },
+            agg_mode: AggMode::default(),
         }
     }
 
+    /// This config with an explicit materialize-vs-aggregate policy.
+    pub fn with_agg_mode(mut self, agg_mode: AggMode) -> Self {
+        self.agg_mode = agg_mode;
+        self
+    }
+
     /// Reads the config from the environment: `DPSYN_REPLAN_RATIO` (a float
-    /// ≥ 1) overrides [`DEFAULT_REPLAN_RATIO`]; unset, empty or invalid
-    /// values fall back to the default.
+    /// ≥ 1) overrides [`DEFAULT_REPLAN_RATIO`] and `DPSYN_AGG_FORCE`
+    /// (`always` / `never` / `auto`) overrides [`AggMode::Auto`]; unset,
+    /// empty or invalid values fall back to the defaults.
     pub fn from_env() -> Self {
         let ratio = std::env::var("DPSYN_REPLAN_RATIO")
             .ok()
             .and_then(|s| s.trim().parse::<f64>().ok())
             .filter(|r| !r.is_nan() && *r >= 1.0)
             .unwrap_or(DEFAULT_REPLAN_RATIO);
+        let agg_mode = std::env::var("DPSYN_AGG_FORCE")
+            .ok()
+            .and_then(|s| match s.trim().to_ascii_lowercase().as_str() {
+                "always" => Some(AggMode::Always),
+                "never" => Some(AggMode::Never),
+                "auto" => Some(AggMode::Auto),
+                _ => None,
+            })
+            .unwrap_or_default();
         PlanConfig {
             replan_ratio: ratio,
+            agg_mode,
         }
     }
 }
@@ -808,6 +857,37 @@ impl JoinPlan {
         mask & !(1u32 << self.pivot(mask))
     }
 
+    /// Consumer-demand analysis over the decomposition DAG: whether some
+    /// other lattice mask's build chain passes through `mask` under the
+    /// current plan — i.e. whether any superset `mask | {r}` picks `r` as
+    /// its pivot, making `mask` its parent.  Chain parents must stay
+    /// materialized (children are built by one binary step from their
+    /// parent's tuples); *terminal* masks — proper masks that are nobody's
+    /// parent — feed only the sensitivity layer's aggregate reads and are
+    /// the candidates for count-only evaluation under [`AggMode::Auto`].
+    ///
+    /// A proper mask only ever parents its immediate supersets, so one pass
+    /// over the unset bits decides.  The answer is plan-relative: a re-plan
+    /// can re-route chains, which is why the count-only populate always
+    /// materializes missing ancestors through the lazy chain walk rather
+    /// than assuming a parent was kept.
+    pub fn is_chain_parent(&self, mask: u32) -> bool {
+        debug_assert!(mask != 0 && (mask >> self.num_relations) == 0);
+        let full = (1u32 << self.num_relations) - 1;
+        if mask == full {
+            return false;
+        }
+        let mut rest = full & !mask;
+        while rest != 0 {
+            let r = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if self.pivot(mask | (1u32 << r)) == r {
+                return true;
+            }
+        }
+        false
+    }
+
     /// The planner's estimated distinct-tuple cardinality of `mask`'s
     /// sub-join (`None` on fixed-prefix plans, which carry no estimates).
     pub fn estimated_rows(&self, mask: u32) -> Option<f64> {
@@ -875,6 +955,13 @@ pub struct PlanStats {
     /// Total distinct tuples across those materialised entries — the
     /// resident intermediate footprint the planner works to shrink.
     pub cached_tuples: usize,
+    /// Number of lattice entries held as count-only aggregate summaries
+    /// (see [`AggMode`]) instead of materialised tuples.
+    pub aggregated_masks: usize,
+    /// Approximate resident bytes across both entry kinds (flat tuple
+    /// buffers for materialised entries, a fixed-size summary for
+    /// aggregated ones).
+    pub cached_bytes: usize,
     /// Runtime-feedback diagnostics from the slot's most recent adaptive
     /// populate (`None` before one has run).
     pub replan: Option<ReplanStats>,
@@ -889,9 +976,13 @@ pub struct PlanNodeStats {
     pub pivot: usize,
     /// Planner-estimated cardinality (`None` on fixed-prefix plans).
     pub estimated_rows: Option<f64>,
-    /// Actual distinct-tuple count, when the subset is materialised in the
-    /// context's lattice.
+    /// Actual distinct-tuple count, when the subset is resident in the
+    /// context's lattice (from the tuples of a materialised entry or the
+    /// recorded count of an aggregated one).
     pub actual_rows: Option<usize>,
+    /// Whether the resident entry is a count-only aggregate summary rather
+    /// than materialised tuples (`false` when absent or materialised).
+    pub aggregated: bool,
 }
 
 #[cfg(test)]
@@ -1032,6 +1123,52 @@ mod tests {
         // value ≥ 1 (the CI stress run exports DPSYN_REPLAN_RATIO=1).
         let cfg = PlanConfig::from_env();
         assert!(cfg.replan_ratio >= 1.0);
+        // Explicit constructors ignore the environment for the agg mode too.
+        assert_eq!(PlanConfig::with_replan_ratio(3.0).agg_mode, AggMode::Auto);
+        assert_eq!(
+            PlanConfig::with_replan_ratio(3.0)
+                .with_agg_mode(AggMode::Always)
+                .agg_mode,
+            AggMode::Always
+        );
+    }
+
+    #[test]
+    fn chain_parent_analysis_matches_the_decomposition() {
+        // Fixed prefix: every superset peels its highest relation, so a
+        // proper mask is a chain parent iff it lacks some higher relation
+        // than its own top bit — equivalently, iff it contains relation
+        // m-1 it parents nothing (terminal), otherwise mask | {next-higher
+        // missing bit} peels that bit back to mask.
+        for m in [3usize, 4, 5] {
+            let plan = JoinPlan::fixed_prefix(m);
+            let full = (1u32 << m) - 1;
+            for mask in 1..full {
+                // Brute-force the definition against the pivot table.
+                let brute = (1..=full)
+                    .filter(|&s| s != mask && (s & mask) == mask)
+                    .any(|s| plan.parent(s) == mask);
+                assert_eq!(
+                    plan.is_chain_parent(mask),
+                    brute,
+                    "m = {m}, mask = {mask:#b}"
+                );
+                // Under FixedPrefix the terminal masks are exactly those
+                // containing the highest relation.
+                assert_eq!(!plan.is_chain_parent(mask), mask >> (m - 1) == 1);
+            }
+            assert!(!plan.is_chain_parent(full));
+        }
+        // Cost-based plans: validate against the brute-force definition.
+        let (q, inst) = path_instance(4, 48);
+        let plan = JoinPlan::cost_based(&q, &inst).unwrap();
+        let full = (1u32 << 4) - 1;
+        for mask in 1..=full {
+            let brute = (1..=full)
+                .filter(|&s| s != mask && (s & mask) == mask)
+                .any(|s| plan.parent(s) == mask);
+            assert_eq!(plan.is_chain_parent(mask), brute, "mask = {mask:#b}");
+        }
     }
 
     #[test]

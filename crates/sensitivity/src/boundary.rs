@@ -60,6 +60,10 @@ pub fn boundary_query_cached(cache: &mut SubJoinCache<'_>, e: &[usize]) -> Resul
 /// [`aggregate_query`] evaluated through a [`ShardedSubJoinCache`], the
 /// concurrency-safe variant pool workers call while enumerating many subsets
 /// of the same instance in parallel.
+///
+/// Routes through [`ShardedSubJoinCache::max_group_weight`], so terminal
+/// masks fold count-only under the cache's aggregate-pushdown mode instead of
+/// materialising tuples nobody reads; the value is byte-identical either way.
 pub fn aggregate_query_sharded(
     cache: &ShardedSubJoinCache<'_>,
     e: &[usize],
@@ -70,7 +74,7 @@ pub fn aggregate_query_sharded(
         return Ok(1);
     }
     let mask = cache.mask_of(e)?;
-    Ok(cache.join_mask(mask, par)?.max_group_weight(y)?)
+    Ok(cache.max_group_weight(mask, y, par)?)
 }
 
 /// [`boundary_query`] evaluated through a [`ShardedSubJoinCache`].

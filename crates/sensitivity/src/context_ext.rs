@@ -152,16 +152,15 @@ impl SensitivityOps for ExecContext {
         let mut cache = self.subjoin_cache(query, instance)?;
         let par = self.effective_parallelism(instance);
         if !par.is_sequential() {
-            // Adaptive populate: each lattice level's actual cardinalities
-            // are measured against the plan's estimates, and a blown
-            // estimate re-plans the remaining levels (values are identical
-            // to the static populate; see `dpsyn_relational::plan`).  The
-            // feedback stats ride the cache back into the context's slot.
-            cache.populate_proper_subsets_adaptive(
-                par,
-                exec::Schedule::Stealing,
-                self.plan_config(),
-            )?;
+            // Adaptive demanded populate: only the masks other masks
+            // decompose through are materialised eagerly; terminal masks
+            // fold count-only below, under the cache's aggregate-pushdown
+            // mode.  Each materialised level's actual cardinalities are
+            // measured against the plan's estimates, and a blown estimate
+            // re-plans the remaining levels (values are identical to the
+            // static populate; see `dpsyn_relational::plan`).  The feedback
+            // stats ride the cache back into the context's slot.
+            cache.populate_demanded_adaptive(par, exec::Schedule::Stealing, self.plan_config())?;
         }
         let full = (1u32 << m) - 1;
         let entries = exec::par_map(par, full as usize, |i| -> Result<(Vec<usize>, u128)> {
@@ -237,13 +236,12 @@ impl SensitivityOps for ExecContext {
                     }
                     let boundary = query.boundary(&others)?;
                     let mask = cache.mask_of(&others)?;
-                    Ok(cache
-                        .join_mask_transient_adaptive(
-                            mask,
-                            Parallelism::SEQUENTIAL,
-                            self.plan_config(),
-                        )?
-                        .max_group_weight(&boundary)?)
+                    Ok(cache.max_group_weight_transient_adaptive(
+                        mask,
+                        &boundary,
+                        Parallelism::SEQUENTIAL,
+                        self.plan_config(),
+                    )?)
                 })
                 .collect()
         } else {
@@ -254,9 +252,7 @@ impl SensitivityOps for ExecContext {
                 }
                 let boundary = query.boundary(&others)?;
                 let mask = cache.mask_of(&others)?;
-                Ok(cache
-                    .join_mask_transient(mask, Parallelism::SEQUENTIAL)?
-                    .max_group_weight(&boundary)?)
+                Ok(cache.max_group_weight_transient(mask, &boundary, Parallelism::SEQUENTIAL)?)
             })
         };
         self.retain_subjoin_cache(cache);
@@ -441,14 +437,14 @@ impl SensitivityOps for ExecContext {
         let mut cache = self.subjoin_cache(query, instance)?;
         let mask = cache.mask_of(e)?;
         // Adaptive lazy chain: a mid-chain estimate breach re-plans the
-        // not-yet-walked remainder (values are plan-invariant).
-        let value = cache
-            .join_mask_adaptive(
-                mask,
-                self.effective_parallelism(instance),
-                self.plan_config(),
-            )?
-            .max_group_weight(y)?;
+        // not-yet-walked remainder (values are plan-invariant).  Terminal
+        // masks fold count-only under the cache's aggregate-pushdown mode.
+        let value = cache.max_group_weight_adaptive(
+            mask,
+            y,
+            self.effective_parallelism(instance),
+            self.plan_config(),
+        )?;
         self.retain_subjoin_cache(cache);
         Ok(value)
     }
@@ -508,7 +504,9 @@ mod tests {
         let (q, inst) = two_table();
         let ctx = ExecContext::sequential();
         let cold = ctx.residual_sensitivity(&q, &inst, 0.2).unwrap();
-        let cached_after_first = ctx.cached_subjoins();
+        // Under DPSYN_AGG_FORCE=always the lattice persists as count-only
+        // summaries rather than materialised entries; both kinds count.
+        let cached_after_first = ctx.cached_subjoins() + ctx.cached_subjoin_aggregates();
         assert!(cached_after_first > 0, "lattice must persist across calls");
         // A sweep over β reuses the lattice: the cached count stays put and
         // every result matches a cold single-shot context.
@@ -518,7 +516,10 @@ mod tests {
                 .residual_sensitivity(&q, &inst, beta)
                 .unwrap();
             assert_eq!(warm, fresh, "beta {beta}");
-            assert_eq!(ctx.cached_subjoins(), cached_after_first);
+            assert_eq!(
+                ctx.cached_subjoins() + ctx.cached_subjoin_aggregates(),
+                cached_after_first
+            );
         }
         assert_eq!(cold, ctx.residual_sensitivity(&q, &inst, 0.2).unwrap());
         let (hits, _) = ctx.cache_stats();

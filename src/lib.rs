@@ -157,7 +157,16 @@
 //! [`relational::DeltaJoinPlan`]s), so repeated releases and sensitivity
 //! sweeps over a working set of instances pay for the lattice once, and
 //! neighbour-edit sweeps probe instead of re-joining (tracked by the
-//! `edit_sweep/*` rows of `BENCH_join.json`).  Hash order is never
+//! `edit_sweep/*` rows of `BENCH_join.json`).  Lattice masks whose tuples
+//! nobody reads — the terminal subsets consumed only as join sizes and
+//! boundary maxima — are not materialised at all: the cache's
+//! **aggregate-pushdown mode** ([`relational::AggMode`], the
+//! `DPSYN_AGG_FORCE` environment variable) streams their hash-probe
+//! matches straight into grouped saturating accumulators behind a blocked
+//! Bloom semi-join pre-filter, cutting resident bytes
+//! ([`Session::cached_subjoin_bytes`], the `agg/*` rows of
+//! `BENCH_join.json`) without changing a single output byte.  Hash order
+//! is never
 //! observable: every tuple-exposing API sorts on emit, so runs are
 //! byte-reproducible from an RNG seed — see the determinism contract in
 //! [`relational`]'s crate docs.  The previous `BTreeMap` engine survives as
@@ -192,9 +201,9 @@ pub mod prelude {
     pub use dpsyn_pmw::{Histogram, Pmw, PmwConfig};
     pub use dpsyn_query::{AnswerOps, LinearQuery, ProductQuery, QueryFamily};
     pub use dpsyn_relational::{
-        join, join_size, AttrId, Attribute, DeltaJoinPlan, ExecContext, Instance, JoinPlan,
-        JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanConfig, PlanStats, Relation,
-        ReplanStats, Schema, UpdateBatch, UpdateOp, UpdateReport,
+        join, join_size, AggMode, AttrId, Attribute, DeltaJoinPlan, EvictionStats, ExecContext,
+        Instance, JoinPlan, JoinQuery, JoinSizeDelta, NeighborEdit, Parallelism, PlanConfig,
+        PlanStats, Relation, ReplanStats, Schema, UpdateBatch, UpdateOp, UpdateReport,
     };
     pub use dpsyn_sensitivity::{
         local_sensitivity, residual_sensitivity, ResidualSensitivity, SensitivityConfig,

@@ -58,20 +58,37 @@ fn uniformized_release_beats_or_matches_join_as_one_on_skewed_data() {
     // On the Example 4.2 family the uniformized algorithm should not be
     // (much) worse than join-as-one; on average it is better.  We compare
     // averaged errors over a few seeds to keep the test robust.
-    // k = 48 is large enough for the asymptotic gap to dominate the fixed
-    // overhead of budget-halving and bucketing (at k = 12 the ratio sits
-    // right at the assertion threshold and the test is noise-sensitive).
+    //
+    // Why k = 48: Example 4.2's gap between the two mechanisms scales with
+    // the skew of the degree sequence (join-as-one's error tracks the *sum*
+    // of squared degrees, uniformization's the largest uniformized bucket),
+    // but both algorithms also pay a fixed, size-independent overhead —
+    // budget halving plus the noisy bucket partition.  At k = 12 the
+    // asymptotic advantage is the same order as that overhead, so the
+    // err_uni/err_join ratio sits right at the assertion threshold and
+    // crosses it on unlucky noise draws; k = 48 is the smallest member of
+    // the family where the asymptotic term dominates and the ratio is
+    // comfortably inside the bound for every seed below.
+    //
+    // Determinism: each mechanism draws from its own fixed-seed RNG.  With
+    // a single shared RNG the uniformized release's noise depended on how
+    // many draws the join-as-one release consumed before it — any internal
+    // change to one mechanism reshuffled the other's noise, which is what
+    // made this test flake.  Independent streams pin both error sums to
+    // exact, reviewable values for all time.
     let (query, instance) = dpsyn::datagen::example42_instance(48);
     let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
     let mut err_join = 0.0;
     let mut err_uni = 0.0;
     let reps = 3;
     for seed in 0..reps {
-        let mut rng = seeded_rng(100 + seed);
-        let workload = QueryFamily::random_sign(&query, 12, &mut rng).unwrap();
+        let mut workload_rng = seeded_rng(100 + seed);
+        let mut join_rng = seeded_rng(200 + seed);
+        let mut uni_rng = seeded_rng(300 + seed);
+        let workload = QueryFamily::random_sign(&query, 12, &mut workload_rng).unwrap();
         let truth = workload.answer_all_on_instance(&query, &instance).unwrap();
         let join = dpsyn_core::TwoTable::new(fast_pmw())
-            .release(&query, &instance, &workload, budget, &mut rng)
+            .release(&query, &instance, &workload, budget, &mut join_rng)
             .unwrap();
         err_join += join
             .answer_all(&workload)
@@ -79,7 +96,7 @@ fn uniformized_release_beats_or_matches_join_as_one_on_skewed_data() {
             .linf_distance(&truth)
             .unwrap();
         let uni = UniformizedTwoTable::new(fast_pmw())
-            .release(&query, &instance, &workload, budget, &mut rng)
+            .release(&query, &instance, &workload, budget, &mut uni_rng)
             .unwrap();
         err_uni += uni
             .answer_all(&workload)

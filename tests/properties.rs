@@ -681,6 +681,107 @@ fn adaptive_transient_walks_cut_cached_tuples_on_correlated_workloads() {
     }
 }
 
+/// Aggregate pushdown changes how terminal lattice masks are evaluated —
+/// count-only folds behind a Bloom pre-filter instead of materialised tuples
+/// — but never what they evaluate to: boundary values, residual sensitivity,
+/// local sensitivity and join sizes are byte-identical across every
+/// [`AggMode`], thread count and warm/cold state, and equal to the naive
+/// oracle.  `AggMode::Never` *is* the materializing oracle; `Always` forces
+/// the count-only fold even where `Auto` would serve warm tuples.
+#[test]
+fn aggregate_pushdown_is_byte_identical_to_materializing_and_naive() {
+    use dpsyn_datagen::{correlated_pair, heavy_hitter_star};
+    for seed in 0..2u64 {
+        let shapes: Vec<(&str, (JoinQuery, Instance))> = vec![
+            (
+                "chain",
+                random_path(3, 12, 40, 1.0, &mut seeded_rng(30_000 + seed)),
+            ),
+            (
+                "star",
+                random_star(3, 12, 40, 1.0, &mut seeded_rng(30_100 + seed)),
+            ),
+            (
+                "skewed",
+                heavy_hitter_star(3, 24, 60, 0.5, &mut seeded_rng(30_200 + seed)),
+            ),
+            (
+                "correlated",
+                correlated_pair(3, 48, 12, 256, 6, &mut seeded_rng(30_300 + seed)),
+            ),
+        ];
+        for (shape, (query, inst)) in &shapes {
+            let naive_bv = all_boundary_values_naive(query, inst).unwrap();
+            let naive_size = join_size_naive(query, inst).unwrap();
+            let oracle_rs = residual_sensitivity(query, inst, 0.4).unwrap();
+            let oracle_ls = local_sensitivity(query, inst).unwrap();
+            for mode in [AggMode::Never, AggMode::Auto, AggMode::Always] {
+                for threads in [1usize, 2, 4, 8] {
+                    let ctx = ExecContext::with_threads(threads)
+                        .with_min_par_instance(1)
+                        .with_plan_config(PlanConfig::default().with_agg_mode(mode));
+                    let tag = format!("{shape}, seed {seed}, {mode:?}, threads {threads}");
+                    let cold = ctx.all_boundary_values(query, inst).unwrap();
+                    assert_eq!(cold, naive_bv, "{tag} (cold)");
+                    // Warm reads hit whatever the slot retained — tuples,
+                    // summaries or both — and must not drift.
+                    let warm = ctx.all_boundary_values(query, inst).unwrap();
+                    assert_eq!(warm, naive_bv, "{tag} (warm)");
+                    assert_eq!(
+                        ctx.residual_sensitivity(query, inst, 0.4).unwrap(),
+                        oracle_rs,
+                        "{tag}"
+                    );
+                    assert_eq!(
+                        ctx.local_sensitivity(query, inst).unwrap(),
+                        oracle_ls,
+                        "{tag}"
+                    );
+                    assert_eq!(ctx.join_size(query, inst).unwrap(), naive_size, "{tag}");
+                    if mode == AggMode::Never {
+                        assert_eq!(
+                            ctx.plan_stats(query, inst).unwrap().aggregated_masks,
+                            0,
+                            "{tag}: the materializing oracle must not aggregate"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Saturation: grouped weights clamp at u128::MAX on the count-only fold
+    // exactly as on the materializing path.  Three u64::MAX·u64::MAX match
+    // pairs land in one boundary group of the {0,1} sub-join, so its max
+    // (= the local sensitivity of relation 2) saturates.
+    let query = JoinQuery::path(3, 4).unwrap();
+    let mut inst = Instance::empty_for(&query).unwrap();
+    for v in 0..3u64 {
+        inst.relation_mut(0).add(vec![v, 0], u64::MAX).unwrap();
+    }
+    inst.relation_mut(1).add(vec![0, 0], u64::MAX).unwrap();
+    inst.relation_mut(2).add(vec![0, 0], 1).unwrap();
+    let naive_bv = all_boundary_values_naive(&query, &inst).unwrap();
+    assert_eq!(naive_bv[&vec![0usize, 1]], u128::MAX, "fixture saturates");
+    for mode in [AggMode::Never, AggMode::Auto, AggMode::Always] {
+        for threads in [1usize, 2, 4] {
+            let ctx = ExecContext::with_threads(threads)
+                .with_min_par_instance(1)
+                .with_plan_config(PlanConfig::default().with_agg_mode(mode));
+            assert_eq!(
+                ctx.all_boundary_values(&query, &inst).unwrap(),
+                naive_bv,
+                "{mode:?}, threads {threads}"
+            );
+            assert_eq!(
+                ctx.local_sensitivity(&query, &inst).unwrap(),
+                u128::MAX,
+                "{mode:?}, threads {threads}"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Join algebra
 // ---------------------------------------------------------------------------
